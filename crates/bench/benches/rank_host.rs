@@ -1,0 +1,56 @@
+//! Criterion: host-backend list **ranking** across algorithms and sizes
+//! (the wall-clock analogue of Fig. 1 / Table I rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use listkit::gen;
+use listrank::{Algorithm, HostRunner};
+use std::hint::black_box;
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_host");
+    g.sample_size(10);
+    for &n in &[1usize << 14, 1 << 18, 1 << 21] {
+        let list = gen::random_list(n, n as u64);
+        g.throughput(Throughput::Elements(n as u64));
+        for alg in [
+            Algorithm::Serial,
+            Algorithm::Wyllie,
+            Algorithm::MillerReif,
+            Algorithm::AndersonMiller,
+            Algorithm::ReidMiller,
+        ] {
+            // Random mates are slow at the largest size; skip to keep the
+            // suite's runtime sane.
+            if n >= 1 << 21 && matches!(alg, Algorithm::MillerReif | Algorithm::AndersonMiller)
+            {
+                continue;
+            }
+            let runner = HostRunner::new(alg);
+            g.bench_with_input(BenchmarkId::new(alg.name(), n), &list, |b, l| {
+                b.iter(|| black_box(runner.rank(black_box(l))))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_rank_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_threads");
+    g.sample_size(10);
+    let n = 1usize << 21;
+    let list = gen::random_list(n, 77);
+    g.throughput(Throughput::Elements(n as u64));
+    let max_t = rayon::current_num_threads();
+    let mut t = 1usize;
+    while t <= max_t {
+        let runner = HostRunner::new(Algorithm::ReidMiller).with_threads(t);
+        g.bench_with_input(BenchmarkId::new("reid-miller", t), &list, |b, l| {
+            b.iter(|| black_box(runner.rank(black_box(l))))
+        });
+        t *= 2;
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_rank_threads);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: host-backend list **scan** — generic operator cost (Add
+//! vs the non-commutative affine composition) and layout sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use listkit::gen::{self, Layout};
+use listkit::ops::{AddOp, Affine, AffineOp};
+use listrank::{Algorithm, HostRunner};
+use std::hint::black_box;
+
+fn bench_scan_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_ops");
+    g.sample_size(10);
+    let n = 1usize << 20;
+    let list = gen::random_list(n, 3);
+    let ints: Vec<i64> = (0..n as i64).collect();
+    let affines: Vec<Affine> =
+        (0..n).map(|i| Affine::new((i % 3) as i64 + 1, i as i64 % 17)).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    g.bench_function(BenchmarkId::new("add_i64", n), |b| {
+        b.iter(|| black_box(runner.scan(&list, black_box(&ints), &AddOp)))
+    });
+    g.bench_function(BenchmarkId::new("affine_compose", n), |b| {
+        b.iter(|| black_box(runner.scan(&list, black_box(&affines), &AffineOp)))
+    });
+    g.finish();
+}
+
+fn bench_scan_layouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_layouts");
+    g.sample_size(10);
+    let n = 1usize << 20;
+    let vals: Vec<i64> = vec![1; n];
+    g.throughput(Throughput::Elements(n as u64));
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    for (name, layout) in [
+        ("sequential", Layout::Sequential),
+        ("blocked-4k", Layout::Blocked(4096)),
+        ("random", Layout::Random),
+    ] {
+        let list = gen::list_with_layout(n, layout, 9);
+        g.bench_function(BenchmarkId::new(name, n), |b| {
+            b.iter(|| black_box(runner.scan(black_box(&list), &vals, &AddOp)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_ops, bench_scan_layouts);
+criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! **Ablations** — the design choices DESIGN.md calls out, each isolated
+//! on the simulated C90:
+//!
+//! 1. sublist count `m` (the `m ≫ p` latency-hiding argument);
+//! 2. the Eq. (4) pack schedule vs fixed intervals vs never packing;
+//! 3. Anderson–Miller coin bias (paper: 0.9 saves ≈40% over 0.5);
+//! 4. the packed one-gather ranking encoding (rank vs scan kernels);
+//! 5. the hybrid Phase-2 strategy (serial vs Wyllie vs recursion).
+
+use crate::common::{f2, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::sim::anderson_miller::AmParams;
+use listrank::{Algorithm, SimParams, SimRunner};
+use rankmodel::predict::Phase2Choice;
+use rankmodel::schedule::Schedule;
+use rankmodel::ModelCoeffs;
+
+/// Ablation 1: sweep `m` at fixed n; the cost curve is U-shaped around
+/// the tuned optimum.
+pub fn m_sweep() -> String {
+    let n = 1_000_000usize;
+    let list = gen::random_list(n, 21);
+    let values = vec![1i64; n];
+    let coeffs = ModelCoeffs::c90_scan();
+    let mut out = String::from("-- ablation 1: sublist count m (n = 10^6, 1 CPU, scan) --\n");
+    let mut t = Table::new(vec!["m", "cycles/vertex"]);
+    for m in [100usize, 400, 1600, 6400, 25_600, 102_400, 250_000] {
+        let sched = Schedule::from_s1(
+            n as f64,
+            m as f64,
+            (0.3 * n as f64 / m as f64).max(1.0),
+            coeffs.phase1.c_over_a(),
+            1.0,
+        );
+        let params = SimParams {
+            m,
+            schedule: sched.integer_points(),
+            phase2: if m > 4096 { Phase2Choice::Recurse } else { Phase2Choice::Serial },
+        };
+        let run = SimRunner::new(Algorithm::ReidMiller, 1)
+            .with_params(params)
+            .scan(&list, &values, &AddOp);
+        t.row(vec![m.to_string(), f2(run.cycles_per_vertex())]);
+    }
+    let tuned = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp);
+    let tuned_m = SimParams::tuned_scan(n, 1).m;
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "tuned: m = {} -> {} cycles/vertex\n",
+        tuned_m,
+        f2(tuned.cycles_per_vertex())
+    ));
+    out
+}
+
+/// Ablation 2: the Eq. (4) schedule vs naive alternatives.
+pub fn schedule_ablation() -> String {
+    let n = 200_000usize;
+    let list = gen::random_list(n, 22);
+    let values = vec![1i64; n];
+    let m = SimParams::tuned_scan(n, 1).m;
+    let mut out = String::from("-- ablation 2: pack schedule (n = 2*10^5, tuned m, 1 CPU) --\n");
+    let mut t = Table::new(vec!["schedule", "packs", "cycles/vertex"]);
+    let cases: Vec<(&str, SimParams)> = vec![
+        ("optimal (Eq. 4)", SimParams::tuned_scan(n, 1)),
+        ("every 2 links", SimParams::fixed_interval(n, m, 2)),
+        ("every 10 links", SimParams::fixed_interval(n, m, 10)),
+        ("every 50 links", SimParams::fixed_interval(n, m, 50)),
+        ("never pack", SimParams::no_packing(m)),
+    ];
+    for (name, params) in cases {
+        let packs = params.schedule.len();
+        let run = SimRunner::new(Algorithm::ReidMiller, 1)
+            .with_params(params)
+            .scan(&list, &values, &AddOp);
+        t.row(vec![name.to_string(), packs.to_string(), f2(run.cycles_per_vertex())]);
+    }
+    out.push_str(&t.render());
+    out.push_str("expected: the Eq. 4 schedule at or near the minimum; extremes lose.\n");
+    out
+}
+
+/// Ablation 3: Anderson–Miller coin bias.
+pub fn coin_bias() -> String {
+    let n = 500_000usize;
+    let list = gen::random_list(n, 23);
+    let mut out = String::from("-- ablation 3: Anderson-Miller coin bias (n = 5*10^5, 1 CPU) --\n");
+    let mut t = Table::new(vec!["P[male]", "cycles/vertex", "vs 0.5"]);
+    let base = SimRunner::new(Algorithm::AndersonMiller, 1)
+        .with_am(AmParams { male_bias: 0.5, ..AmParams::default() })
+        .rank(&list)
+        .cycles
+        .get();
+    for bias in [0.5f64, 0.7, 0.9, 0.99] {
+        let run = SimRunner::new(Algorithm::AndersonMiller, 1)
+            .with_am(AmParams { male_bias: bias, ..AmParams::default() })
+            .rank(&list);
+        t.row(vec![
+            format!("{bias:.2}"),
+            f2(run.cycles_per_vertex()),
+            f2(run.cycles.get() / base),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("paper: bias 0.9 cut rounds and runtime by about 40% vs 0.5.\n");
+    out
+}
+
+/// Ablation 4: the packed one-gather ranking encoding.
+pub fn packed_encoding() -> String {
+    let n = 2_000_000usize;
+    let list = gen::random_list(n, 24);
+    let values = vec![1i64; n];
+    let mut out = String::from("-- ablation 4: packed (value,link) encoding for ranking --\n");
+    // Rank kernels = one gather; scanning all-ones = the two-gather path
+    // computing the same function.
+    let packed = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+    let unpacked = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp);
+    out.push_str(&format!(
+        "one-gather (packed) rank: {} cycles/vertex\n\
+         two-gather scan of ones:  {} cycles/vertex\n\
+         saving: {:.0}%  (paper: rank 5.1 vs scan 7.4 cycles/vertex => 31%)\n",
+        f2(packed.cycles_per_vertex()),
+        f2(unpacked.cycles_per_vertex()),
+        (1.0 - packed.cycles.get() / unpacked.cycles.get()) * 100.0
+    ));
+    out
+}
+
+/// Ablation 5: Phase-2 strategy. At the tuned `m` Phase 2 is negligible
+/// (that is *why* the tuned `m` is small), so the strategy is isolated
+/// at a deliberately large `m`, where the reduced list is long enough
+/// that serial vs Wyllie vs recursion genuinely matters.
+pub fn phase2_strategy() -> String {
+    let n = 4_000_000usize;
+    let m = n / 16; // 250k sublists: a long reduced list
+    let list = gen::random_list(n, 25);
+    let values = vec![1i64; n];
+    let coeffs = ModelCoeffs::c90_scan();
+    let sched = Schedule::from_s1(
+        n as f64,
+        m as f64,
+        (0.3 * n as f64 / m as f64).max(1.0),
+        coeffs.phase1.c_over_a(),
+        1.0,
+    );
+    let mut out = String::from(
+        "-- ablation 5: Phase-2 strategy (n = 4*10^6, m = n/16 so Phase 2 is large, 1 CPU) --\n",
+    );
+    let mut t = Table::new(vec!["phase 2", "cycles/vertex"]);
+    for (name, choice) in [
+        ("serial", Phase2Choice::Serial),
+        ("wyllie", Phase2Choice::Wyllie),
+        ("recurse", Phase2Choice::Recurse),
+    ] {
+        let params =
+            SimParams { m, schedule: sched.integer_points(), phase2: choice };
+        let run = SimRunner::new(Algorithm::ReidMiller, 1)
+            .with_params(params)
+            .scan(&list, &values, &AddOp);
+        t.row(vec![name.to_string(), f2(run.cycles_per_vertex())]);
+    }
+    out.push_str(&t.render());
+    let tuned = SimParams::tuned_scan(n, 1);
+    out.push_str(&format!(
+        "at the *tuned* m = {} the three choices agree within noise — the tuner\n\
+         keeps the reduced list short precisely so Phase 2 stays negligible\n\
+         (its choice here: {:?}).\n",
+        tuned.m, tuned.phase2
+    ));
+    out
+}
+
+/// Ablation 6: memory-bandwidth sensitivity. The paper's conclusion:
+/// "Because list ranking is so memory bound, its performance is
+/// directly related to the bandwidth of the memory system" — and the
+/// reduced speedup at higher processor counts comes from shared
+/// bandwidth. Sweep the contention coefficient (0 = infinite bandwidth)
+/// and watch the 8-CPU speedup respond; also extend Table I's scaling
+/// to the full 16-CPU C90.
+pub fn bandwidth_sensitivity() -> String {
+    let n = 2_000_000usize;
+    let list = gen::random_list(n, 26);
+    let values = vec![1i64; n];
+    let mut out = String::from("-- ablation 6: memory bandwidth & 16 CPUs (n = 2*10^6, scan) --\n");
+    let mut t = Table::new(vec!["contention coeff", "8-CPU speedup over 1 CPU"]);
+    for coeff in [0.0f64, 0.027, 0.06, 0.12] {
+        let mut cfg1 = vmach::MachineConfig::c90(1);
+        cfg1.contention_coeff = coeff;
+        let mut cfg8 = vmach::MachineConfig::c90(8);
+        cfg8.contention_coeff = coeff;
+        let mut r1 = SimRunner::new(Algorithm::ReidMiller, 1);
+        r1.machine = cfg1;
+        let mut r8 = SimRunner::new(Algorithm::ReidMiller, 8);
+        r8.machine = cfg8;
+        let t1 = r1.scan(&list, &values, &AddOp).cycles.get();
+        let t8 = r8.scan(&list, &values, &AddOp).cycles.get();
+        t.row(vec![format!("{coeff:.3}"), f2(t1 / t8)]);
+    }
+    out.push_str(&t.render());
+    let mut s = Table::new(vec!["CPUs", "ns/vertex", "speedup"]);
+    let base = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp).cycles;
+    for p in [1usize, 2, 4, 8, 16] {
+        let run = SimRunner::new(Algorithm::ReidMiller, p).scan(&list, &values, &AddOp);
+        s.row(vec![
+            p.to_string(),
+            f2(run.ns_per_vertex()),
+            f2(base.get() / run.cycles.get()),
+        ]);
+    }
+    out.push_str("\nfull 16-CPU machine (the paper tuned only 1/2/4/8):\n");
+    out.push_str(&s.render());
+    out.push_str("paper: 'reduced bandwidths result in longer parallel times' — the\nspeedup degrades smoothly as the contention coefficient grows.\n");
+    out
+}
+
+/// All ablations.
+pub fn run() -> String {
+    let mut out = String::from("== Ablations ==\n\n");
+    out.push_str(&m_sweep());
+    out.push('\n');
+    out.push_str(&schedule_ablation());
+    out.push('\n');
+    out.push_str(&coin_bias());
+    out.push('\n');
+    out.push_str(&packed_encoding());
+    out.push('\n');
+    out.push_str(&phase2_strategy());
+    out.push('\n');
+    out.push_str(&bandwidth_sensitivity());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_coin_saves_time() {
+        let n = 200_000usize;
+        let list = gen::random_list(n, 9);
+        let b05 = SimRunner::new(Algorithm::AndersonMiller, 1)
+            .with_am(AmParams { male_bias: 0.5, ..AmParams::default() })
+            .rank(&list)
+            .cycles;
+        let b09 = SimRunner::new(Algorithm::AndersonMiller, 1)
+            .with_am(AmParams { male_bias: 0.9, ..AmParams::default() })
+            .rank(&list)
+            .cycles;
+        assert!(b09.get() < b05.get() * 0.9);
+    }
+
+    #[test]
+    fn packed_rank_saves_over_scan() {
+        let n = 500_000usize;
+        let list = gen::random_list(n, 10);
+        let values = vec![1i64; n];
+        let packed = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+        let scan = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp);
+        let saving = 1.0 - packed.cycles.get() / scan.cycles.get();
+        assert!(saving > 0.15 && saving < 0.45, "saving {saving:.2}");
+    }
+
+    #[test]
+    fn never_packing_is_worse_than_tuned() {
+        let n = 100_000usize;
+        let list = gen::random_list(n, 11);
+        let values = vec![1i64; n];
+        let tuned_params = SimParams::tuned_scan(n, 1);
+        let m = tuned_params.m;
+        let tuned = SimRunner::new(Algorithm::ReidMiller, 1)
+            .with_params(tuned_params)
+            .scan(&list, &values, &AddOp);
+        let nopack = SimRunner::new(Algorithm::ReidMiller, 1)
+            .with_params(SimParams::no_packing(m))
+            .scan(&list, &values, &AddOp);
+        assert!(nopack.cycles.get() > tuned.cycles.get());
+    }
+}

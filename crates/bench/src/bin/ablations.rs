@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablations artifact. See `repro::ablations`.
+fn main() {
+    print!("{}", repro::ablations::run());
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence and prints a combined report —
+//! the source material for `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run -p repro --release --bin all [--skip-host]`
+//! (`--skip-host` omits the wall-clock host comparison, which is the
+//! only machine-dependent section.)
+
+fn main() {
+    let skip_host = std::env::args().any(|a| a == "--skip-host");
+    type Section = (&'static str, fn() -> String);
+    let sections: Vec<Section> = vec![
+        ("Table I", repro::table1::run),
+        ("Table II", repro::table2::run),
+        ("Fig. 1", repro::fig1::run),
+        ("Fig. 3", repro::fig3::run),
+        ("Fig. 9", repro::fig9::run),
+        ("Fig. 10", repro::fig10::run),
+        ("Fig. 11", repro::fig11::run),
+        ("Model check (Eq. 3 / Eq. 5)", repro::model_check::run),
+        ("Pipeline derivation", repro::pipeline_check::run),
+        ("Ablations", repro::ablations::run),
+    ];
+    for (name, f) in sections {
+        eprintln!(">>> running {name} ...");
+        println!("{}", f());
+        println!();
+    }
+    if !skip_host {
+        eprintln!(">>> running host comparison (wall clock) ...");
+        println!("{}", repro::host_compare::run());
+    }
+}

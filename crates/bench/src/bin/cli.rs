@@ -1,0 +1,174 @@
+//! `listrank-cli` — command-line driver for the library.
+//!
+//! ```text
+//! cli gen <n> <file> [seed]                 write a random list to a file
+//! cli rank <file> [host|sim] [alg] [procs]  rank a list file, print timing
+//! cli demo <n> [alg]                        rank a generated list, both backends
+//! cli tune <n> [procs] [rank|scan]          print model-tuned parameters
+//! cli sweep <lo> <hi> [alg]                 ns/vertex across sizes (simulated)
+//! ```
+//!
+//! List file format: line 1 = `n head`, then one link per line.
+
+use listkit::{gen, Idx, LinkedList};
+use listrank::{Algorithm, HostRunner, SimParams, SimRunner};
+use std::io::{BufRead, BufWriter, Write};
+use std::time::Instant;
+
+fn parse_alg(s: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name() == s)
+        .ok_or_else(|| {
+            format!(
+                "unknown algorithm '{s}' (expected one of: {})",
+                Algorithm::ALL.map(|a| a.name()).join(", ")
+            )
+        })
+}
+
+fn write_list(path: &str, list: &LinkedList) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "{} {}", list.len(), list.head())?;
+    for &nx in list.links() {
+        writeln!(w, "{nx}")?;
+    }
+    Ok(())
+}
+
+fn read_list(path: &str) -> Result<LinkedList, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut lines = std::io::BufReader::new(f).lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts.next().ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
+    let head: Idx =
+        parts.next().ok_or("missing head")?.parse().map_err(|e| format!("head: {e}"))?;
+    let mut links = Vec::with_capacity(n);
+    for (i, line) in lines.enumerate().take(n) {
+        let line = line.map_err(|e| e.to_string())?;
+        links.push(line.trim().parse::<Idx>().map_err(|e| format!("line {}: {e}", i + 2))?);
+    }
+    if links.len() != n {
+        return Err(format!("expected {n} links, found {}", links.len()));
+    }
+    LinkedList::new(links, head).map_err(|e| format!("invalid list: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let n: usize = args.first().ok_or("usage: gen <n> <file> [seed]")?.parse().map_err(|e| format!("n: {e}"))?;
+    let path = args.get(1).ok_or("usage: gen <n> <file> [seed]")?;
+    let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("seed: {e}"))?;
+    let list = gen::random_list(n, seed);
+    write_list(path, &list).map_err(|e| e.to_string())?;
+    println!("wrote {n}-vertex random list (seed {seed}) to {path}");
+    Ok(())
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: rank <file> [host|sim] [alg] [procs]")?;
+    let backend = args.get(1).map(String::as_str).unwrap_or("host");
+    let alg = parse_alg(args.get(2).map(String::as_str).unwrap_or("reid-miller"))?;
+    let procs: usize = args.get(3).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
+    let list = read_list(path)?;
+    let n = list.len();
+    match backend {
+        "host" => {
+            let t0 = Instant::now();
+            let ranks = HostRunner::new(alg).rank(&list);
+            let dt = t0.elapsed();
+            println!(
+                "{alg} (host): {n} vertices in {:.2} ms = {:.1} ns/vertex; tail rank {}",
+                dt.as_secs_f64() * 1e3,
+                dt.as_nanos() as f64 / n as f64,
+                ranks[list.tail() as usize]
+            );
+        }
+        "sim" => {
+            let run = SimRunner::new(alg, procs).rank(&list);
+            println!(
+                "{alg} (simulated C90, {procs} CPU): {:.3} Mcycles = {:.1} ns/vertex",
+                run.cycles.get() / 1e6,
+                run.ns_per_vertex()
+            );
+        }
+        other => return Err(format!("unknown backend '{other}' (host|sim)")),
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let n: usize = args.first().map_or(Ok(1_000_000), |s| s.parse()).map_err(|e| format!("n: {e}"))?;
+    let alg = parse_alg(args.get(1).map(String::as_str).unwrap_or("reid-miller"))?;
+    let list = gen::random_list(n, 1);
+    let t0 = Instant::now();
+    let host = HostRunner::new(alg).rank(&list);
+    let host_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sim = SimRunner::new(alg, 1).rank(&list);
+    assert_eq!(host, sim.out, "backends disagree — please report a bug");
+    println!("{alg} on {n} random vertices:");
+    println!("  host:          {host_ms:.2} ms wall clock");
+    println!(
+        "  simulated C90: {:.3} Mcycles = {:.1} ns/vertex (1 CPU)",
+        sim.cycles.get() / 1e6,
+        sim.ns_per_vertex()
+    );
+    Ok(())
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let n: usize = args.first().ok_or("usage: tune <n> [procs] [rank|scan]")?.parse().map_err(|e| format!("n: {e}"))?;
+    let procs: usize = args.get(1).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
+    let kind = args.get(2).map(String::as_str).unwrap_or("scan");
+    let params = match kind {
+        "rank" => SimParams::tuned_rank(n, procs),
+        "scan" => SimParams::tuned_scan(n, procs),
+        other => return Err(format!("unknown kind '{other}' (rank|scan)")),
+    };
+    println!("tuned {kind} parameters for n = {n}, {procs} CPU(s):");
+    println!("  m (split positions): {}", params.m);
+    println!("  pack schedule ({} balances): {:?}", params.schedule.len(), params.schedule);
+    println!("  phase 2: {:?}", params.phase2);
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let lo: usize = args.first().ok_or("usage: sweep <lo> <hi> [alg]")?.parse().map_err(|e| format!("lo: {e}"))?;
+    let hi: usize = args.get(1).ok_or("usage: sweep <lo> <hi> [alg]")?.parse().map_err(|e| format!("hi: {e}"))?;
+    let alg = parse_alg(args.get(2).map(String::as_str).unwrap_or("reid-miller"))?;
+    if lo < 2 || hi < lo {
+        return Err("need 2 <= lo <= hi".into());
+    }
+    println!("{:<12} {:>12}", "n", "ns/vertex (simulated C90, 1 CPU)");
+    let mut n = lo;
+    while n <= hi {
+        let list = gen::random_list(n, n as u64);
+        let run = SimRunner::new(alg, 1).rank(&list);
+        println!("{n:<12} {:>12.1}", run.ns_per_vertex());
+        n *= 2;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "gen" => cmd_gen(rest),
+            "rank" => cmd_rank(rest),
+            "demo" => cmd_demo(rest),
+            "tune" => cmd_tune(rest),
+            "sweep" => cmd_sweep(rest),
+            other => Err(format!("unknown command '{other}'")),
+        },
+        None => Err("usage: cli <gen|rank|demo|tune|sweep> ...".into()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

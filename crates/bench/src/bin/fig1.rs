@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig1 artifact. See `repro::fig1`.
+fn main() {
+    print!("{}", repro::fig1::run());
+}

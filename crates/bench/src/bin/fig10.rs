@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 artifact. See `repro::fig10`.
+fn main() {
+    print!("{}", repro::fig10::run());
+}

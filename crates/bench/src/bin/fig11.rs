@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 artifact. See `repro::fig11`.
+fn main() {
+    print!("{}", repro::fig11::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 artifact. See `repro::fig3`.
+fn main() {
+    print!("{}", repro::fig3::run());
+}

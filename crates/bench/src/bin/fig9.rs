@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig9 artifact. See `repro::fig9`.
+fn main() {
+    print!("{}", repro::fig9::run());
+}

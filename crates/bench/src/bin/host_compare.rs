@@ -1,0 +1,4 @@
+//! Regenerates the paper's host_compare artifact. See `repro::host_compare`.
+fn main() {
+    print!("{}", repro::host_compare::run());
+}

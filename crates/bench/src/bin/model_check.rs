@@ -1,0 +1,4 @@
+//! Regenerates the paper's model_check artifact. See `repro::model_check`.
+fn main() {
+    print!("{}", repro::model_check::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the pipeline derivation table. See `repro::pipeline_check`.
+fn main() {
+    print!("{}", repro::pipeline_check::run());
+}

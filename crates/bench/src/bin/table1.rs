@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 artifact. See `repro::table1`.
+fn main() {
+    print!("{}", repro::table1::run());
+}

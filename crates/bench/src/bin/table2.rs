@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artifact. See `repro::table2`.
+fn main() {
+    print!("{}", repro::table2::run());
+}

@@ -1,0 +1,206 @@
+//! Shared harness utilities: size sweeps, aligned tables, ASCII plots.
+
+use std::fmt::Write as _;
+
+/// Log-spaced list lengths from `lo` to `hi` (inclusive-ish), `per_octave`
+/// points per doubling.
+pub fn logspace_sizes(lo: usize, hi: usize, per_octave: usize) -> Vec<usize> {
+    assert!(lo >= 2 && hi >= lo && per_octave >= 1);
+    let step = 2f64.powf(1.0 / per_octave as f64);
+    let mut out = Vec::new();
+    let mut x = lo as f64;
+    while x <= hi as f64 * 1.0001 {
+        let n = x.round() as usize;
+        if out.last() != Some(&n) {
+            out.push(n);
+        }
+        x *= step;
+    }
+    out
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with right-aligned numeric-ish columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i == 0 {
+                    let _ = write!(line, "{:<width$}", cells[i], width = widths[i]);
+                } else {
+                    let _ = write!(line, "  {:>width$}", cells[i], width = widths[i]);
+                }
+            }
+            line
+        };
+        let header = fmt_row(&self.headers, &widths);
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// One plotted series: a label, a glyph, and (x, y) points.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render a log-log (or linear) ASCII scatter chart.
+pub fn ascii_plot(
+    title: &str,
+    series: &[Series],
+    logx: bool,
+    logy: bool,
+    width: usize,
+    height: usize,
+) -> String {
+    let xs = |v: f64| if logx { v.max(1e-300).log10() } else { v };
+    let ys = |v: f64| if logy { v.max(1e-300).log10() } else { v };
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(xs(x));
+            xmax = xmax.max(xs(x));
+            ymin = ymin.min(ys(y));
+            ymax = ymax.max(ys(y));
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        return format!("{title}\n(no data)\n");
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let cx = (((xs(x) - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((ys(y) - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = s.glyph;
+        }
+    }
+    let unlog = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, row) in grid.iter().enumerate() {
+        let yv = unlog(ymax - (ymax - ymin) * i as f64 / (height - 1) as f64, logy);
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{yv:>10.1}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{} {:<12.0}{:>width$.0}",
+        " ".repeat(10),
+        unlog(xmin, logx),
+        unlog(xmax, logx),
+        width = width - 11
+    );
+    for s in series {
+        let _ = writeln!(out, "    {} = {}", s.glyph, s.label);
+    }
+    out
+}
+
+/// Format a float compactly for tables.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logspace_endpoints_and_monotone() {
+        let s = logspace_sizes(64, 4096, 1);
+        assert_eq!(s.first(), Some(&64));
+        assert!(*s.last().unwrap() >= 4096);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(s.len(), 7); // 64,128,...,4096
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1.0"]);
+        t.row(vec!["b", "22.5"]);
+        let r = t.render();
+        assert!(r.contains("alpha"));
+        assert!(r.contains("22.5"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let s = Series {
+            label: "ours".into(),
+            glyph: 'o',
+            points: vec![(100.0, 30.0), (1000.0, 20.0), (10000.0, 10.0)],
+        };
+        let p = ascii_plot("test", &[s], true, false, 40, 10);
+        assert!(p.contains('o'));
+        assert!(p.contains("ours"));
+        assert!(p.contains("test"));
+    }
+
+    #[test]
+    fn plot_empty_series_is_graceful() {
+        let p = ascii_plot("empty", &[], true, true, 40, 10);
+        assert!(p.contains("no data"));
+    }
+}

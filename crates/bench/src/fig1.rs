@@ -1,0 +1,97 @@
+//! **Fig. 1** — execution time per vertex of the five list-scan
+//! algorithms on one (simulated) C90 CPU, across list lengths.
+//!
+//! The paper's observations to reproduce: the serial curve is flat at
+//! ≈183 ns; Wyllie shows a log-growing sawtooth, wins for short lists
+//! and crosses our curve near n ≈ 10³; the random-mate algorithms are
+//! far above everything; our curve descends to ≈31 ns asymptotically.
+
+use crate::common::{ascii_plot, f1, logspace_sizes, Series, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, SimRunner};
+
+/// ns/vertex of one algorithm at one size.
+pub fn point(alg: Algorithm, n: usize) -> f64 {
+    let list = gen::random_list(n, n as u64 ^ 0xfeed);
+    let values = vec![1i64; n];
+    SimRunner::new(alg, 1).scan(&list, &values, &AddOp).ns_per_vertex()
+}
+
+/// Regenerate Fig. 1.
+pub fn run() -> String {
+    let sizes = logspace_sizes(64, 1 << 22, 1);
+    let algs = [
+        (Algorithm::Serial, 's'),
+        (Algorithm::Wyllie, 'w'),
+        (Algorithm::MillerReif, 'm'),
+        (Algorithm::AndersonMiller, 'a'),
+        (Algorithm::ReidMiller, 'o'),
+    ];
+    let mut series: Vec<Series> = Vec::new();
+    let mut table = Table::new(vec!["n", "serial", "wyllie", "miller-reif", "anderson", "ours"]);
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
+    for &n in &sizes {
+        for (ci, &(alg, _)) in algs.iter().enumerate() {
+            columns[ci].push(point(alg, n));
+        }
+    }
+    for (ri, &n) in sizes.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        row.extend(columns.iter().map(|c| f1(c[ri])));
+        table.row(row);
+    }
+    for (ci, &(alg, glyph)) in algs.iter().enumerate() {
+        series.push(Series {
+            label: alg.name().to_string(),
+            glyph,
+            points: sizes.iter().zip(&columns[ci]).map(|(&n, &y)| (n as f64, y)).collect(),
+        });
+    }
+
+    // Find the Wyllie/ours crossover (paper: ≈ 1000): the first size
+    // after which ours stays ahead (at tiny sizes "ours" degenerates to
+    // serial, which can momentarily beat Wyllie's startup — skip that).
+    let wy = &columns[1];
+    let ours = &columns[4];
+    let last_wyllie_win = sizes
+        .iter()
+        .zip(wy.iter().zip(ours))
+        .rposition(|(_, (w, o))| w < o);
+    let crossover = match last_wyllie_win {
+        Some(i) if i + 1 < sizes.len() => Some(sizes[i + 1]),
+        Some(_) => None, // Wyllie still winning at the largest size
+        None => Some(sizes[0]),
+    };
+
+    let mut out = String::new();
+    out.push_str("== Fig. 1: list-scan ns/vertex vs list length, 1 CPU ==\n\n");
+    out.push_str(&table.render());
+    out.push('\n');
+    out.push_str(&ascii_plot("ns/vertex (log-log)", &series, true, true, 72, 22));
+    out.push_str(&format!(
+        "\nWyllie/ours crossover: {} (paper: ≈1000)\n",
+        crossover.map_or("none".into(), |n| n.to_string())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        // Serial flat at ≈183 ns.
+        assert!((point(Algorithm::Serial, 1 << 16) - 183.0).abs() < 5.0);
+        // Wyllie beats ours on short lists, loses on long ones.
+        let short = 256;
+        let long = 1 << 20;
+        assert!(point(Algorithm::Wyllie, short) < point(Algorithm::ReidMiller, short));
+        assert!(point(Algorithm::Wyllie, long) > point(Algorithm::ReidMiller, long));
+        // Ours asymptotically far below serial.
+        assert!(point(Algorithm::ReidMiller, long) < 60.0);
+        // Random mates are the slowest for long lists.
+        assert!(point(Algorithm::MillerReif, long) > point(Algorithm::Serial, long));
+    }
+}

@@ -1,0 +1,100 @@
+//! **Fig. 10** — `g(x)`, the expected number of sublists longer than
+//! `x`, with the optimal load-balancing step function for n = 10,000,
+//! m = 199, l = 11 balances.
+
+use crate::common::{ascii_plot, f1, Series, Table};
+use rankmodel::coeffs::ModelCoeffs;
+use rankmodel::expdist;
+use rankmodel::schedule::Schedule;
+
+/// Regenerate Fig. 10.
+pub fn run() -> String {
+    let (n, m) = (10_000f64, 199f64);
+    let coeffs = ModelCoeffs::c90_scan();
+    // The figure uses the combined Phase-1+3 coefficients (c/a ≈ 1.93).
+    let c_over_a = coeffs.combined_c() / coeffs.combined_a();
+    let sched = Schedule::with_length(n, m, 11, c_over_a, 1.0)
+        .expect("an S1 giving l = 11 exists for the paper's parameters");
+
+    let mut out = String::new();
+    out.push_str("== Fig. 10: g(x) and the optimal pack schedule (n=10000, m=199, l=11) ==\n\n");
+
+    let mut t = Table::new(vec!["i", "S_i (links)", "g(S_i) live", "step ΔS"]);
+    let mut prev = 0.0;
+    for (i, &s) in sched.points.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            f1(s),
+            f1(expdist::g(s, n, m)),
+            f1(s - prev),
+        ]);
+        prev = s;
+    }
+    out.push_str(&t.render());
+
+    // Plot g(x) (dotted in the paper) and the live-vector step function.
+    let gx: Vec<(f64, f64)> = (0..=180)
+        .map(|x| (x as f64, expdist::g(x as f64, n, m)))
+        .collect();
+    let mut steps: Vec<(f64, f64)> = Vec::new();
+    let seg = sched.segments();
+    for w in seg.windows(2) {
+        let live = expdist::g(w[0], n, m);
+        let mut x = w[0];
+        while x < w[1] {
+            steps.push((x, live));
+            x += 2.0;
+        }
+    }
+    let series = [
+        Series { label: "g(x) expected live".into(), glyph: '.', points: gx },
+        Series { label: "vector length (packs at S_i)".into(), glyph: '#', points: steps },
+    ];
+    out.push('\n');
+    out.push_str(&ascii_plot(
+        "live sublists vs links traversed",
+        &series,
+        false,
+        false,
+        72,
+        20,
+    ));
+    out.push_str(&format!(
+        "\nexpected longest sublist: {:.1} links; schedule covers {:.1}\n\
+         paper: step gaps widen over time because completions slow down.\n",
+        expdist::expected_longest(n, m),
+        sched.points.last().copied().unwrap_or(0.0),
+    ));
+
+    // Monte-Carlo validation of g(x) itself (Eq. 2) — the quantity the
+    // schedule is built from.
+    let xs: Vec<usize> = sched.points.iter().map(|&s| s.round() as usize).collect();
+    let emp = expdist::empirical_g(n as usize, m as usize, &xs, 50, 7);
+    let mut v = Table::new(vec!["x = S_i", "analytic g(x)", "empirical (50 samples)"]);
+    for (&x, &e) in xs.iter().zip(&emp) {
+        v.row(vec![x.to_string(), f1(expdist::g(x as f64, n, m)), f1(e)]);
+    }
+    out.push_str("\nEq. (2) validation at the schedule points:\n");
+    out.push_str(&v.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_schedule_properties() {
+        let (n, m) = (10_000f64, 199f64);
+        let coeffs = ModelCoeffs::c90_scan();
+        let c_over_a = coeffs.combined_c() / coeffs.combined_a();
+        let sched = Schedule::with_length(n, m, 11, c_over_a, 1.0).unwrap();
+        assert_eq!(sched.len(), 11);
+        // The step function lies on or above g(x): it only drops at packs.
+        let seg = sched.segments();
+        for w in seg.windows(2) {
+            let live = expdist::g(w[0], n, m);
+            assert!(live + 1e-9 >= expdist::g(w[1], n, m));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! **Fig. 11** — our list-scan execution time (ns per vertex) on 1, 2,
+//! 4 and 8 C90 CPUs across list lengths: every curve descends toward
+//! its asymptote (31 / 16 / 8.5 / 4.6 ns), and more CPUs need longer
+//! lists to pay off.
+
+use crate::common::{ascii_plot, f1, logspace_sizes, Series, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, SimRunner};
+
+/// ns/vertex of our scan at (n, p).
+fn point(n: usize, p: usize) -> f64 {
+    let list = gen::random_list(n, n as u64 * 3 + 1);
+    let values = vec![1i64; n];
+    SimRunner::new(Algorithm::ReidMiller, p)
+        .scan(&list, &values, &AddOp)
+        .ns_per_vertex()
+}
+
+/// Regenerate Fig. 11.
+pub fn run() -> String {
+    let sizes = logspace_sizes(1 << 10, 1 << 22, 1);
+    let ps = [1usize, 2, 4, 8];
+    let glyphs = ['1', '2', '4', '8'];
+    let mut out = String::new();
+    out.push_str("== Fig. 11: our list scan, ns/vertex on 1/2/4/8 CPUs ==\n\n");
+    let mut t = Table::new(vec!["n", "1 cpu", "2 cpu", "4 cpu", "8 cpu"]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for &n in &sizes {
+        for (ci, &p) in ps.iter().enumerate() {
+            cols[ci].push(point(n, p));
+        }
+    }
+    for (ri, &n) in sizes.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        row.extend(cols.iter().map(|c| f1(c[ri])));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    let series: Vec<Series> = ps
+        .iter()
+        .enumerate()
+        .map(|(ci, &p)| Series {
+            label: format!("{p} CPU"),
+            glyph: glyphs[ci],
+            points: sizes.iter().zip(&cols[ci]).map(|(&n, &y)| (n as f64, y)).collect(),
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&ascii_plot("ns/vertex (log-log)", &series, true, true, 72, 20));
+    out.push_str(
+        "\npaper asymptotes: 31.1 / 16.4 / 8.4 / 4.6 ns per vertex (7.4/3.9/2.0/1.1 cycles).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymptotes_near_paper() {
+        let n = 1 << 22;
+        let paper = [31.1, 16.4, 8.4, 4.6];
+        for (p, want) in [1usize, 2, 4, 8].iter().zip(paper) {
+            let got = point(n, *p);
+            assert!(
+                got / want < 1.5 && want / got < 1.5,
+                "p={p}: measured {got:.1} vs paper {want:.1} ns/vertex"
+            );
+        }
+    }
+
+    #[test]
+    fn more_cpus_need_longer_lists() {
+        // At small n, 8 CPUs are NOT 8× better (startup dominates).
+        let small = 4096;
+        let s = point(small, 1) / point(small, 8);
+        assert!(s < 4.0, "8-CPU speedup at n=4096 should be weak, got {s:.2}");
+    }
+}

@@ -1,0 +1,66 @@
+//! **Fig. 3** — relative speedup of our list scan over its own 1-CPU
+//! time, for 1..8 CPUs and several list lengths. Near-linear for long
+//! lists; degraded by startup costs for short ones and by shared memory
+//! bandwidth at high processor counts.
+
+use crate::common::{ascii_plot, f2, Series, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, SimRunner};
+
+/// Cycles of our scan at (n, p).
+fn cycles(n: usize, p: usize) -> f64 {
+    let list = gen::random_list(n, n as u64 + 13);
+    let values = vec![1i64; n];
+    SimRunner::new(Algorithm::ReidMiller, p)
+        .scan(&list, &values, &AddOp)
+        .cycles
+        .get()
+}
+
+/// Regenerate Fig. 3.
+pub fn run() -> String {
+    let ns = [10_000usize, 100_000, 1_000_000, 4_000_000];
+    let ps = [1usize, 2, 4, 8];
+    let mut out = String::new();
+    out.push_str("== Fig. 3: relative speedup of our list scan ==\n\n");
+    let mut t = Table::new(vec!["n \\ p", "1", "2", "4", "8"]);
+    let mut series = Vec::new();
+    let glyphs = ['a', 'b', 'c', 'd'];
+    for (gi, &n) in ns.iter().enumerate() {
+        let base = cycles(n, 1);
+        let speedups: Vec<f64> = ps.iter().map(|&p| base / cycles(n, p)).collect();
+        let mut row = vec![format!("{n}")];
+        row.extend(speedups.iter().map(|&s| f2(s)));
+        t.row(row);
+        series.push(Series {
+            label: format!("n = {n}"),
+            glyph: glyphs[gi],
+            points: ps.iter().zip(&speedups).map(|(&p, &s)| (p as f64, s)).collect(),
+        });
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str(&ascii_plot("speedup vs CPUs", &series, false, false, 60, 16));
+    out.push_str("\npaper: near-linear scaling for long lists; reduced speedup as p grows\n(memory bandwidth per CPU drops), poor speedup for short lists.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_shape() {
+        let n = 1_000_000;
+        let base = cycles(n, 1);
+        let s2 = base / cycles(n, 2);
+        let s8 = base / cycles(n, 8);
+        assert!(s2 > 1.6 && s2 < 2.05, "2-CPU speedup {s2:.2}");
+        assert!(s8 > 4.5 && s8 < 8.0, "8-CPU speedup {s8:.2}");
+        // Short lists scale worse.
+        let small_base = cycles(10_000, 1);
+        let small_s8 = small_base / cycles(10_000, 8);
+        assert!(small_s8 < s8, "short-list speedup must be worse");
+    }
+}

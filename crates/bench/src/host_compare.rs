@@ -1,0 +1,94 @@
+//! **Host comparison** — the modern-hardware analogue of Table I /
+//! Fig. 1: wall-clock ns/vertex of the five algorithms on this machine
+//! (rayon backend), plus a thread-scaling sweep for the Reid-Miller
+//! algorithm. Absolute numbers are machine-dependent; the *shape*
+//! (work-efficient beats Wyllie asymptotically, serial wins for short
+//! lists, near-linear thread scaling for long lists) is the paper's.
+
+use crate::common::{f1, f2, logspace_sizes, Table};
+use listkit::gen;
+use listkit::LinkedList;
+use listrank::{Algorithm, HostRunner};
+use std::time::Instant;
+
+/// Median-of-`reps` wall time (ns/vertex) of one host run.
+pub fn time_rank(runner: &HostRunner, list: &LinkedList, reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = runner.rank(list);
+            let dt = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            dt / list.len() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Regenerate the host comparison.
+pub fn run() -> String {
+    let mut out = String::new();
+    let threads = rayon::current_num_threads();
+    out.push_str(&format!(
+        "== Host backend: wall-clock ns/vertex on this machine ({threads} threads) ==\n\n"
+    ));
+
+    let sizes = logspace_sizes(1 << 12, 1 << 22, 1);
+    let algs = [
+        Algorithm::Serial,
+        Algorithm::Wyllie,
+        Algorithm::MillerReif,
+        Algorithm::AndersonMiller,
+        Algorithm::ReidMiller,
+    ];
+    let mut t = Table::new(vec!["n", "serial", "wyllie", "miller-reif", "anderson", "ours"]);
+    for &n in &sizes {
+        let list = gen::random_list(n, n as u64);
+        let reps = if n <= 1 << 16 { 5 } else { 3 };
+        let mut row = vec![n.to_string()];
+        for alg in algs {
+            row.push(f1(time_rank(&HostRunner::new(alg), &list, reps)));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    // Thread scaling of the Reid-Miller algorithm.
+    out.push_str("\nReid-Miller thread scaling (rank, n = 2^22):\n");
+    let list = gen::random_list(1 << 22, 99);
+    let mut ts = Table::new(vec!["threads", "ns/vertex", "speedup"]);
+    let base = time_rank(&HostRunner::new(Algorithm::ReidMiller).with_threads(1), &list, 3);
+    let mut tcount = 1usize;
+    while tcount <= threads {
+        let v = time_rank(
+            &HostRunner::new(Algorithm::ReidMiller).with_threads(tcount),
+            &list,
+            3,
+        );
+        ts.row(vec![tcount.to_string(), f1(v), f2(base / v)]);
+        tcount *= 2;
+    }
+    out.push_str(&ts.render());
+    out.push_str(
+        "\nshapes to check against the paper: ours ≪ Wyllie for long lists;\n\
+         random mates uncompetitive; scaling approaches thread count for long lists.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_beats_wyllie_on_long_lists_wallclock() {
+        let list = gen::random_list(1 << 20, 5);
+        let ours = time_rank(&HostRunner::new(Algorithm::ReidMiller), &list, 3);
+        let wyllie = time_rank(&HostRunner::new(Algorithm::Wyllie), &list, 3);
+        assert!(
+            ours < wyllie,
+            "work-efficient must beat O(n log n) at n=2^20: ours {ours:.0} vs wyllie {wyllie:.0} ns/vertex"
+        );
+    }
+}

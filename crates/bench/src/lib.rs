@@ -1,0 +1,32 @@
+//! # repro — the experiment harness
+//!
+//! One module per table/figure of the paper, each exposing a `run()`
+//! that regenerates the artifact as text (and is wrapped by a thin `bin`
+//! target). `bin/all` runs everything — its output is the basis of
+//! `EXPERIMENTS.md`.
+//!
+//! | artifact | module | binary |
+//! |---|---|---|
+//! | Table I  | [`table1`] | `cargo run -p repro --release --bin table1` |
+//! | Table II | [`table2`] | `… --bin table2` |
+//! | Fig. 1   | [`fig1`]   | `… --bin fig1` |
+//! | Fig. 3   | [`fig3`]   | `… --bin fig3` |
+//! | Fig. 9   | [`fig9`]   | `… --bin fig9` |
+//! | Fig. 10  | [`fig10`]  | `… --bin fig10` |
+//! | Fig. 11  | [`fig11`]  | `… --bin fig11` |
+//! | Eq. 3/5  | [`model_check`] | `… --bin model_check` |
+//! | host HW  | [`host_compare`] | `… --bin host_compare` |
+//! | ablations| [`ablations`] | `… --bin ablations` |
+
+pub mod ablations;
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig9;
+pub mod host_compare;
+pub mod model_check;
+pub mod pipeline_check;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,82 @@
+//! **Model check** — paper §4.4: "When we use these estimates of m and
+//! S1, we find that Eq. (3) accurately predicts and Eq. (5) over
+//! estimates the actual execution time on one Cray C90 vector
+//! processor." We verify the same relationship between the Eq. (3)
+//! tuner prediction, the closed-form Eq. (5), and the simulator.
+
+use crate::common::{f1, f2, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, SimRunner};
+use rankmodel::predict;
+use rankmodel::tuner::{Tuner, TunerOptions};
+use rankmodel::ModelCoeffs;
+
+/// Compare at one size; returns (eq3, eq5, simulated) cycles.
+pub fn compare(n: usize) -> (f64, f64, f64) {
+    let mut tuner = Tuner::new(ModelCoeffs::c90_scan(), TunerOptions::c90(1));
+    let t = tuner.tune(n);
+    let eq3 = t.predicted;
+    let eq5 = predict::eq5_estimate(n as f64, t.m.max(1) as f64, t.s1, t.l as f64);
+    let list = gen::random_list(n, 5);
+    let values = vec![1i64; n];
+    let sim = SimRunner::new(Algorithm::ReidMiller, 1)
+        .scan(&list, &values, &AddOp)
+        .cycles
+        .get();
+    (eq3, eq5, sim)
+}
+
+/// Regenerate the model-check experiment.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Model check: Eq. (3) vs Eq. (5) vs simulation (1 CPU, scan) ==\n\n");
+    let mut t = Table::new(vec![
+        "n",
+        "Eq3 (Mcyc)",
+        "Eq5 (Mcyc)",
+        "simulated (Mcyc)",
+        "Eq3/sim",
+        "Eq5/sim",
+    ]);
+    for n in [10_000usize, 50_000, 200_000, 1_000_000, 4_000_000] {
+        let (e3, e5, sim) = compare(n);
+        t.row(vec![
+            n.to_string(),
+            f2(e3 / 1e6),
+            f2(e5 / 1e6),
+            f2(sim / 1e6),
+            f2(e3 / sim),
+            f2(e5 / sim),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nEq3/sim ≈ 1: the schedule-aware model predicts the simulator almost\n\
+         exactly (the residual is the random sublist draw vs the expected g(x)).\n\
+         Eq5 ≥ Eq3 by construction. The paper's stronger statement — Eq5\n\
+         over-estimates the *hardware* (measured 7.4 cycles/vertex vs ≈8+\n\
+         modelled) — shows up here as the simulator (built on the published\n\
+         loop costs) running at {} cycles/vertex where the real C90 measured 7.4.\n",
+        f1(compare(4_000_000).2 / 4_000_000.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_accurate_eq5_no_lower() {
+        for n in [100_000usize, 1_000_000] {
+            let (e3, e5, sim) = compare(n);
+            let r3 = e3 / sim;
+            assert!(r3 > 0.85 && r3 < 1.15, "n={n}: Eq3/sim = {r3:.2} should be ≈1");
+            // Eq5 is a simplification that rounds 63→62 in the b-term but
+            // folds the remaining terms upward; it must not undercut Eq3
+            // by more than that rounding.
+            assert!(e5 > e3 * 0.99, "n={n}: Eq5 ({e5:.0}) must not undercut Eq3 ({e3:.0})");
+        }
+    }
+}

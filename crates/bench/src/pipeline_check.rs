@@ -1,0 +1,64 @@
+//! **Pipeline check** — derive the paper's published loop coefficients
+//! from the microarchitectural model (`vmach::pipeline`): functional
+//! units, chaining, startup, and the single gather/scatter pipe.
+
+use crate::common::{f2, Table};
+use vmach::pipeline::{kernels, per_element, schedule_strip, VLEN};
+
+/// Regenerate the derivation table.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Pipeline model: derived vs published per-element loop costs ==\n\n");
+    let mut t = Table::new(vec!["loop", "derived cyc/elem", "published", "error"]);
+    let rows: [(&str, Vec<vmach::pipeline::VInstr>, f64); 5] = [
+        ("InitialScan (scan, 2 gathers)", kernels::initial_scan(), 3.4),
+        ("InitialScan (rank, packed)", kernels::initial_scan_rank(), 1.9),
+        ("FinalScan (scan, +scatter)", kernels::final_scan(), 4.6),
+        ("FinalScan (rank, packed)", kernels::final_scan_rank(), 3.3),
+        ("Wyllie round (calibrated)", kernels::wyllie_round(), 2.8),
+    ];
+    for (name, prog, published) in rows {
+        let derived = per_element(&prog);
+        t.row(vec![
+            name.to_string(),
+            f2(derived),
+            f2(published),
+            format!("{:+.0}%", (derived / published - 1.0) * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nshort-vector inefficiency (the paper's closing performance note):\n");
+    let mut s = Table::new(vec!["strip length", "InitialScan cyc/elem"]);
+    for n in [VLEN, 64, 32, 16, 8, 4] {
+        s.row(vec![
+            n.to_string(),
+            f2(schedule_strip(&kernels::initial_scan(), n).per_element),
+        ]);
+    }
+    out.push_str(&s.render());
+    out.push_str(
+        "\nthe model: a single gather/scatter pipe at ≈0.6 elements/cycle is what\n\
+         makes the published 3.4 cycles/element (two gathers) coherent; packing\n\
+         (value,link) into one word halves the bottleneck — the rank fast path.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_derivations_within_25_percent() {
+        for (prog, published) in [
+            (kernels::initial_scan(), 3.4),
+            (kernels::final_scan(), 4.6),
+            (kernels::initial_scan_rank(), 1.9),
+        ] {
+            let derived = per_element(&prog);
+            let err = (derived / published - 1.0).abs();
+            assert!(err < 0.25, "derived {derived:.2} vs {published}: {err:.2}");
+        }
+    }
+}

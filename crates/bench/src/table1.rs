@@ -1,0 +1,114 @@
+//! **Table I** — asymptotic ns/vertex for list rank and list scan:
+//! DEC Alpha workstation (cache / memory) vs the Cray C90 (serial /
+//! vectorized / 2 / 4 / 8 CPUs).
+
+use crate::common::{f1, Table};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, SimRunner};
+use vmach::workstation::WorkstationModel;
+
+/// Paper's published values for side-by-side comparison.
+const PAPER_RANK: [f64; 7] = [98.0, 690.0, 177.0, 21.3, 10.9, 5.8, 3.1];
+const PAPER_SCAN: [f64; 7] = [200.0, 990.0, 183.0, 30.8, 16.1, 8.5, 4.6];
+
+/// Measure one row (rank or scan) across all seven columns.
+fn measure(rank: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(7);
+    // Alpha "cache": a list that fits the 2 MB board cache, pre-warmed.
+    let small = gen::random_list(50_000, 41);
+    // Alpha "memory": far larger than the cache, random order.
+    let big = gen::random_list(4_000_000, 42);
+    let alpha = WorkstationModel::dec_alpha();
+    let (cache_run, mem_run) = if rank {
+        (
+            alpha.run_rank(small.links(), small.head(), true),
+            alpha.run_rank(big.links(), big.head(), true),
+        )
+    } else {
+        (
+            alpha.run_scan(small.links(), small.head(), true),
+            alpha.run_scan(big.links(), big.head(), true),
+        )
+    };
+    out.push(cache_run.ns_per_vertex);
+    out.push(mem_run.ns_per_vertex);
+
+    // C90: asymptotic regime (4M vertices).
+    let n = 4_000_000;
+    let list = gen::random_list(n, 7);
+    let values = vec![1i64; n];
+    let serial = SimRunner::new(Algorithm::Serial, 1);
+    out.push(if rank {
+        serial.rank(&list).ns_per_vertex()
+    } else {
+        serial.scan(&list, &values, &AddOp).ns_per_vertex()
+    });
+    for p in [1usize, 2, 4, 8] {
+        let ours = SimRunner::new(Algorithm::ReidMiller, p);
+        out.push(if rank {
+            ours.rank(&list).ns_per_vertex()
+        } else {
+            ours.scan(&list, &values, &AddOp).ns_per_vertex()
+        });
+    }
+    out
+}
+
+/// Regenerate Table I.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Table I: asymptotic execution time (ns per vertex) ==\n");
+    out.push_str("columns: DEC Alpha cache | Alpha memory | C90 serial | C90 1 CPU (vectorized) | 2 | 4 | 8\n\n");
+    let rank = measure(true);
+    let scan = measure(false);
+    let mut t = Table::new(vec![
+        "algorithm", "alpha-cache", "alpha-mem", "c90-serial", "1 cpu", "2 cpu", "4 cpu",
+        "8 cpu",
+    ]);
+    let push = |t: &mut Table, name: &str, vals: &[f64]| {
+        let mut row = vec![name.to_string()];
+        row.extend(vals.iter().map(|&v| f1(v)));
+        t.row(row);
+    };
+    push(&mut t, "list rank (measured)", &rank);
+    push(&mut t, "list rank (paper)", &PAPER_RANK);
+    push(&mut t, "list scan (measured)", &scan);
+    push(&mut t, "list scan (paper)", &PAPER_SCAN);
+    out.push_str(&t.render());
+
+    // Headline claims.
+    let speedup_ws = rank[1] / rank[6];
+    let speedup_serial_1 = rank[2] / rank[3];
+    let speedup_serial_8 = rank[2] / rank[6];
+    out.push_str(&format!(
+        "\nheadlines (paper: ≈200× over the Alpha on 8 CPUs; >8× over C90 serial on 1; ≈50× on 8):\n\
+           8-CPU rank vs Alpha memory: {:.0}x\n\
+           1-CPU rank vs C90 serial:   {:.1}x\n\
+           8-CPU rank vs C90 serial:   {:.1}x\n",
+        speedup_ws, speedup_serial_1, speedup_serial_8
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds() {
+        let rank = measure(true);
+        // Cache ≪ memory on the workstation.
+        assert!(rank[0] < rank[1] * 0.3);
+        // Vectorized ≪ serial on the C90; scaling monotone in p.
+        assert!(rank[3] < rank[2] / 4.0);
+        assert!(rank[4] < rank[3] && rank[5] < rank[4] && rank[6] < rank[5]);
+        // Within 2× of every paper value.
+        for (got, want) in rank.iter().zip(&PAPER_RANK) {
+            assert!(
+                got / want < 2.0 && want / got < 2.0,
+                "measured {got:.1} vs paper {want:.1}"
+            );
+        }
+    }
+}

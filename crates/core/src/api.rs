@@ -1,0 +1,289 @@
+//! Unified dispatch over the five algorithms and two backends.
+
+use crate::host;
+use crate::sim;
+use crate::sim::machine::SimRun;
+use crate::tuning::SimParams;
+use listkit::{LinkedList, ScanOp};
+use vmach::MachineConfig;
+
+/// The five list-ranking/list-scan algorithms the paper implements (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Pointer-chasing serial traversal (§2.1).
+    Serial,
+    /// Wyllie's pointer jumping (§2.2): `O(log n)` time, `O(n log n)`
+    /// work.
+    Wyllie,
+    /// Miller–Reif random mate with per-round packing (§2.3).
+    MillerReif,
+    /// Anderson–Miller random mate with queues and a biased coin (§2.4).
+    AndersonMiller,
+    /// The paper's sublist algorithm (§2.5): work-efficient, small
+    /// constants.
+    ReidMiller,
+}
+
+impl Algorithm {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Serial,
+        Algorithm::Wyllie,
+        Algorithm::MillerReif,
+        Algorithm::AndersonMiller,
+        Algorithm::ReidMiller,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Serial => "serial",
+            Algorithm::Wyllie => "wyllie",
+            Algorithm::MillerReif => "miller-reif",
+            Algorithm::AndersonMiller => "anderson-miller",
+            Algorithm::ReidMiller => "reid-miller",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs algorithms on the **host backend** (rayon, real parallelism).
+#[derive(Clone, Copy, Debug)]
+pub struct HostRunner {
+    /// Which algorithm.
+    pub algorithm: Algorithm,
+    /// RNG seed (randomized algorithms).
+    pub seed: u64,
+    /// Worker threads (`None` = the ambient rayon pool).
+    pub threads: Option<usize>,
+    /// Reid-Miller split count override.
+    pub m: Option<usize>,
+}
+
+impl HostRunner {
+    /// A runner with default settings.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self { algorithm, seed: 0x1994, threads: None, m: None }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run on a dedicated pool of `t` threads (speedup experiments).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = Some(t);
+        self
+    }
+
+    /// Override Reid-Miller's split count.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match self.threads {
+            None => f(),
+            Some(t) => rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool construction")
+                .install(f),
+        }
+    }
+
+    /// List ranking.
+    pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
+        self.install(|| match self.algorithm {
+            Algorithm::Serial => host::serial::rank(list),
+            Algorithm::Wyllie => host::Wyllie.rank(list),
+            Algorithm::MillerReif => host::MillerReif::new(self.seed).rank(list),
+            Algorithm::AndersonMiller => host::AndersonMiller::new(self.seed).rank(list),
+            Algorithm::ReidMiller => {
+                let mut rm = host::ReidMiller::new(self.seed);
+                rm.m = self.m;
+                rm.rank(list)
+            }
+        })
+    }
+
+    /// Exclusive list scan.
+    pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        self.install(|| match self.algorithm {
+            Algorithm::Serial => host::serial::scan(list, values, op),
+            Algorithm::Wyllie => host::Wyllie.scan(list, values, op),
+            Algorithm::MillerReif => host::MillerReif::new(self.seed).scan(list, values, op),
+            Algorithm::AndersonMiller => {
+                host::AndersonMiller::new(self.seed).scan(list, values, op)
+            }
+            Algorithm::ReidMiller => {
+                let mut rm = host::ReidMiller::new(self.seed);
+                rm.m = self.m;
+                rm.scan(list, values, op)
+            }
+        })
+    }
+}
+
+/// Runs algorithms on the **simulated Cray C90** with cycle accounting.
+#[derive(Clone, Debug)]
+pub struct SimRunner {
+    /// Which algorithm.
+    pub algorithm: Algorithm,
+    /// Machine configuration (processor count, contention, clock).
+    pub machine: MachineConfig,
+    /// RNG seed (randomized algorithms).
+    pub seed: u64,
+    /// Reid-Miller parameter override (`None` = model-tuned).
+    pub params: Option<SimParams>,
+    /// Anderson–Miller tunables.
+    pub am: sim::anderson_miller::AmParams,
+}
+
+impl SimRunner {
+    /// A runner on a `procs`-CPU C90.
+    pub fn new(algorithm: Algorithm, procs: usize) -> Self {
+        Self {
+            algorithm,
+            machine: MachineConfig::c90(procs),
+            seed: 0x1994,
+            params: None,
+            am: sim::anderson_miller::AmParams::default(),
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fix Reid-Miller's parameters (ablations).
+    pub fn with_params(mut self, params: SimParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Override the Anderson–Miller tunables.
+    pub fn with_am(mut self, am: sim::anderson_miller::AmParams) -> Self {
+        self.am = am;
+        self
+    }
+
+    /// List ranking with cycle accounting.
+    pub fn rank(&self, list: &LinkedList) -> SimRun<u64> {
+        let cfg = self.machine.clone();
+        match self.algorithm {
+            Algorithm::Serial => sim::serial::rank(list, cfg),
+            Algorithm::Wyllie => sim::wyllie::rank(list, cfg),
+            Algorithm::MillerReif => sim::miller_reif::rank(list, cfg, self.seed),
+            Algorithm::AndersonMiller => {
+                sim::anderson_miller::rank(list, cfg, self.am, self.seed)
+            }
+            Algorithm::ReidMiller => {
+                let params = self
+                    .params
+                    .clone()
+                    .unwrap_or_else(|| SimParams::tuned_rank(list.len(), cfg.n_procs));
+                sim::ReidMillerSim { params, seed: self.seed }.rank(list, cfg)
+            }
+        }
+    }
+
+    /// Exclusive list scan with cycle accounting.
+    pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> SimRun<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        let cfg = self.machine.clone();
+        match self.algorithm {
+            Algorithm::Serial => sim::serial::scan(list, values, op, cfg),
+            Algorithm::Wyllie => sim::wyllie::scan(list, values, op, cfg),
+            Algorithm::MillerReif => {
+                sim::miller_reif::scan(list, values, op, cfg, self.seed)
+            }
+            Algorithm::AndersonMiller => {
+                sim::anderson_miller::scan(list, values, op, cfg, self.am, self.seed)
+            }
+            Algorithm::ReidMiller => {
+                let params = self
+                    .params
+                    .clone()
+                    .unwrap_or_else(|| SimParams::tuned_scan(list.len(), cfg.n_procs));
+                sim::ReidMillerSim { params, seed: self.seed }.scan(list, values, op, cfg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::AddOp;
+
+    #[test]
+    fn every_host_algorithm_agrees_with_serial() {
+        let list = gen::random_list(5000, 17);
+        let reference = listkit::serial::rank(&list);
+        for alg in Algorithm::ALL {
+            assert_eq!(HostRunner::new(alg).rank(&list), reference, "{alg}");
+        }
+    }
+
+    #[test]
+    fn every_sim_algorithm_agrees_with_serial() {
+        let list = gen::random_list(5000, 18);
+        let reference = listkit::serial::rank(&list);
+        for alg in Algorithm::ALL {
+            let run = SimRunner::new(alg, 2).rank(&list);
+            assert_eq!(run.out, reference, "{alg}");
+            assert!(run.cycles.get() > 0.0, "{alg} must charge cycles");
+        }
+    }
+
+    #[test]
+    fn scan_dispatch_all_algorithms() {
+        let list = gen::random_list(3000, 19);
+        let vals: Vec<i64> = (0..3000).map(|i| (i as i64 % 13) - 6).collect();
+        let reference = listkit::serial::scan(&list, &vals, &AddOp);
+        for alg in Algorithm::ALL {
+            assert_eq!(HostRunner::new(alg).scan(&list, &vals, &AddOp), reference, "{alg}");
+            assert_eq!(
+                SimRunner::new(alg, 1).scan(&list, &vals, &AddOp).out,
+                reference,
+                "{alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn host_thread_override() {
+        let list = gen::random_list(20_000, 20);
+        let reference = listkit::serial::rank(&list);
+        for t in [1usize, 2, 4] {
+            let r = HostRunner::new(Algorithm::ReidMiller).with_threads(t).rank(&list);
+            assert_eq!(r, reference, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Algorithm::ReidMiller.name(), "reid-miller");
+        assert_eq!(format!("{}", Algorithm::Wyllie), "wyllie");
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! Instrumented Reid-Miller runs: phase wall times and sublist-length
+//! statistics for the host backend.
+//!
+//! The paper's entire §4 revolves around how the exponential sublist
+//! length distribution drives load balancing; on the host backend the
+//! analogous question is whether over-decomposition (`m ≫ threads`)
+//! plus work stealing hides that skew. This module measures it.
+
+use listkit::{gen, Idx, LinkedList};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Measurements from one instrumented ranking run.
+#[derive(Clone, Debug)]
+pub struct RmStats {
+    /// List length.
+    pub n: usize,
+    /// Split positions requested.
+    pub m_requested: usize,
+    /// Distinct split positions actually used (competition survivors).
+    pub m_actual: usize,
+    /// Shortest sublist.
+    pub len_min: usize,
+    /// Longest sublist (the paper: ≈ `(n/m)·ln(2m+2)` expected).
+    pub len_max: usize,
+    /// Mean sublist length (`n / (m_actual + 1)`).
+    pub len_mean: f64,
+    /// Milliseconds: split-position setup.
+    pub init_ms: f64,
+    /// Milliseconds: Phase 1 (parallel sublist measurement).
+    pub phase1_ms: f64,
+    /// Milliseconds: Phase 2 (reduced-list prefix).
+    pub phase2_ms: f64,
+    /// Milliseconds: Phase 3 (parallel rank write-out).
+    pub phase3_ms: f64,
+}
+
+impl RmStats {
+    /// Total measured milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.init_ms + self.phase1_ms + self.phase2_ms + self.phase3_ms
+    }
+
+    /// Longest sublist relative to the mean — the skew that work
+    /// stealing has to absorb.
+    pub fn skew(&self) -> f64 {
+        self.len_max as f64 / self.len_mean.max(1.0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} sublists [{}..{}] mean {:.0} skew {:.1}x | init {:.2}ms p1 {:.2}ms p2 {:.2}ms p3 {:.2}ms",
+            self.n,
+            self.m_actual,
+            self.len_min,
+            self.len_max,
+            self.len_mean,
+            self.skew(),
+            self.init_ms,
+            self.phase1_ms,
+            self.phase2_ms,
+            self.phase3_ms
+        )
+    }
+}
+
+/// Rank with instrumentation (same algorithm as
+/// [`super::ReidMiller::rank`], measured per phase; the tiny timer
+/// overhead is the price of the data).
+pub fn rank_with_stats(list: &LinkedList, m_requested: usize, seed: u64) -> (Vec<u64>, RmStats) {
+    let n = list.len();
+    let links = list.links();
+
+    let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let splits = gen::random_split_positions(list, m_requested, &mut rng);
+    let mut boundary = vec![false; n];
+    boundary[list.tail() as usize] = true;
+    for &r in &splits {
+        boundary[r as usize] = true;
+    }
+    let mut heads: Vec<Idx> = Vec::with_capacity(splits.len() + 1);
+    heads.push(list.head());
+    heads.extend(splits.iter().map(|&r| links[r as usize]));
+    let mut sub_of_head = vec![u32::MAX; n];
+    for (i, &h) in heads.iter().enumerate() {
+        sub_of_head[h as usize] = i as u32;
+    }
+    let init_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let lens: Vec<(u64, Idx)> = heads
+        .par_iter()
+        .map(|&h| {
+            let mut len = 0u64;
+            let mut cur = h as usize;
+            loop {
+                len += 1;
+                if boundary[cur] {
+                    return (len, cur as Idx);
+                }
+                cur = links[cur] as usize;
+            }
+        })
+        .collect();
+    let phase1_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    let tail_v = list.tail();
+    let k = heads.len();
+    let next_sub: Vec<Idx> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, term))| {
+            if term == tail_v {
+                i as Idx
+            } else {
+                sub_of_head[links[term as usize] as usize]
+            }
+        })
+        .collect();
+    let mut pre = vec![0u64; k];
+    let mut acc = 0u64;
+    let mut cur = 0usize;
+    loop {
+        pre[cur] = acc;
+        acc += lens[cur].0;
+        if next_sub[cur] as usize == cur {
+            break;
+        }
+        cur = next_sub[cur] as usize;
+    }
+    let phase2_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    let t3 = Instant::now();
+    let mut out = vec![0u64; n];
+    {
+        let writer = crate::util::DisjointWriter::new(&mut out);
+        heads.par_iter().enumerate().for_each(|(i, &h)| {
+            let mut r = pre[i];
+            let mut cur = h as usize;
+            loop {
+                // SAFETY: sublists partition the vertex set.
+                unsafe { writer.write(cur, r) };
+                r += 1;
+                if boundary[cur] {
+                    return;
+                }
+                cur = links[cur] as usize;
+            }
+        });
+    }
+    let phase3_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+    let len_min = lens.iter().map(|&(l, _)| l as usize).min().unwrap_or(0);
+    let len_max = lens.iter().map(|&(l, _)| l as usize).max().unwrap_or(0);
+    let stats = RmStats {
+        n,
+        m_requested,
+        m_actual: splits.len(),
+        len_min,
+        len_max,
+        len_mean: n as f64 / k as f64,
+        init_ms,
+        phase1_ms,
+        phase2_ms,
+        phase3_ms,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankmodel::expdist;
+
+    #[test]
+    fn instrumented_rank_is_correct() {
+        let list = gen::random_list(50_000, 3);
+        let (ranks, stats) = rank_with_stats(&list, 500, 7);
+        assert_eq!(ranks, listkit::serial::rank(&list));
+        assert!(stats.m_actual > 0 && stats.m_actual <= 500);
+        assert_eq!(stats.len_mean, 50_000.0 / (stats.m_actual + 1) as f64);
+        assert!(stats.len_min >= 1);
+        assert!(stats.len_max >= stats.len_min);
+        assert!(stats.total_ms() >= 0.0);
+        assert!(stats.summary().contains("skew"));
+    }
+
+    #[test]
+    fn sublist_lengths_partition_n() {
+        let list = gen::random_list(30_000, 9);
+        let (_, stats) = rank_with_stats(&list, 300, 1);
+        // min ≤ mean ≤ max and the mean is exactly n/(m+1).
+        assert!(stats.len_min as f64 <= stats.len_mean);
+        assert!(stats.len_mean <= stats.len_max as f64);
+    }
+
+    #[test]
+    fn longest_sublist_tracks_exponential_prediction() {
+        // E[max] ≈ (n/m)·ln(2m+2); allow a wide band (one sample).
+        let n = 200_000usize;
+        let m = 1000usize;
+        let list = gen::random_list(n, 4);
+        let (_, stats) = rank_with_stats(&list, m, 11);
+        let expected = expdist::expected_longest(n as f64, stats.m_actual as f64);
+        let ratio = stats.len_max as f64 / expected;
+        assert!(
+            (0.45..2.2).contains(&ratio),
+            "observed max {} vs expected {:.0} (ratio {ratio:.2})",
+            stats.len_max,
+            expected
+        );
+    }
+}

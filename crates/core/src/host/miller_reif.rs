@@ -1,0 +1,170 @@
+//! Miller–Reif random mate (paper §2.3), host backend.
+//!
+//! Every live vertex flips a coin; a *female* vertex whose successor is
+//! *male* splices the successor out, absorbing its aggregated value. On
+//! average a quarter of the vertices disappear per round, so O(log n)
+//! rounds contract the list to a single run; a reconstruction phase then
+//! reinserts the spliced vertices in reverse order, assigning each its
+//! exclusive prefix.
+//!
+//! Invariant: each live vertex `v` represents a *run* of consecutive
+//! original vertices starting at `v`; `val[v]` is the operator-sum of
+//! the run (in list order, so non-commutative operators work).
+//!
+//! The splice decision is embarrassingly parallel (pure function of the
+//! previous round's state); applying the splices is a short sequential
+//! pass over the ~n/4 selected pairs, keeping the implementation free
+//! of synchronization — the paper's version pays a pack here instead.
+
+use listkit::{Idx, LinkedList, ScanOp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+/// One splice event: female absorber, spliced male, absorber's value
+/// before absorption.
+type Event<T> = (Idx, Idx, T);
+
+/// Miller–Reif random-mate list scan.
+#[derive(Clone, Copy, Debug)]
+pub struct MillerReif {
+    /// RNG seed for the coin flips.
+    pub seed: u64,
+}
+
+impl Default for MillerReif {
+    fn default() -> Self {
+        Self { seed: 0x5eed }
+    }
+}
+
+impl MillerReif {
+    /// With an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Exclusive list scan.
+    pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), list.len());
+        let n = list.len();
+        let mut next: Vec<Idx> = list.links().to_vec();
+        let mut val: Vec<T> = values.to_vec();
+        let mut live = vec![true; n];
+        let mut live_count = n;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rounds: Vec<Vec<Event<T>>> = Vec::new();
+
+        while live_count > 1 {
+            // Coin flips for this round (false = male, true = female).
+            let coins: Vec<bool> = (0..n).map(|_| rng.random_range(0..2u32) == 0).collect();
+            // Parallel decision: which live females splice their male
+            // successor? Reads only prior-round state.
+            let events: Vec<Event<T>> = (0..n as u32)
+                .into_par_iter()
+                .filter_map(|f| {
+                    let fi = f as usize;
+                    if !live[fi] || !coins[fi] {
+                        return None;
+                    }
+                    let u = next[fi];
+                    if u == f || coins[u as usize] {
+                        return None; // f is terminal, or successor female
+                    }
+                    Some((f, u, val[fi]))
+                })
+                .collect();
+            // Apply: each event touches only (f, u) with f's female and
+            // u's male, so the writes are disjoint; a sequential pass is
+            // simplest and O(#splices).
+            for &(f, u, _) in &events {
+                let (fi, ui) = (f as usize, u as usize);
+                val[fi] = op.combine(val[fi], val[ui]);
+                next[fi] = if next[ui] == u { f } else { next[ui] };
+                live[ui] = false;
+            }
+            live_count -= events.len();
+            rounds.push(events);
+        }
+
+        // The single live run is the head's; expand in reverse.
+        let mut out = vec![op.identity(); n];
+        for round in rounds.iter().rev() {
+            for &(f, u, saved) in round {
+                out[u as usize] = op.combine(out[f as usize], saved);
+            }
+        }
+        out
+    }
+
+    /// List ranking.
+    pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
+        let ones = vec![1i64; list.len()];
+        self.scan(list, &ones, &listkit::ops::AddOp)
+            .into_iter()
+            .map(|r| r as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::{AddOp, Affine, AffineOp, MaxOp};
+
+    #[test]
+    fn rank_matches_serial() {
+        for n in [1usize, 2, 3, 5, 100, 1000, 4096] {
+            let list = gen::random_list(n, 3 * n as u64 + 1);
+            assert_eq!(
+                MillerReif::new(7).rank(&list),
+                listkit::serial::rank(&list),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_serial() {
+        let list = gen::random_list(777, 13);
+        let vals: Vec<i64> = (0..777).map(|i| (i as i64 * 31) % 97 - 48).collect();
+        assert_eq!(
+            MillerReif::new(1).scan(&list, &vals, &AddOp),
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+        assert_eq!(
+            MillerReif::new(2).scan(&list, &vals, &MaxOp),
+            listkit::serial::scan(&list, &vals, &MaxOp)
+        );
+    }
+
+    #[test]
+    fn scan_noncommutative() {
+        let list = gen::random_list(301, 17);
+        let vals: Vec<Affine> =
+            (0..301).map(|i| Affine::new((i % 5) as i64 - 2, (i % 9) as i64 - 4)).collect();
+        assert_eq!(
+            MillerReif::new(9).scan(&list, &vals, &AffineOp),
+            listkit::serial::scan(&list, &vals, &AffineOp)
+        );
+    }
+
+    #[test]
+    fn different_seeds_same_answer() {
+        let list = gen::random_list(500, 21);
+        let a = MillerReif::new(1).rank(&list);
+        let b = MillerReif::new(999).rank(&list);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_layout() {
+        let list = gen::sequential_list(64);
+        assert_eq!(MillerReif::default().rank(&list), listkit::serial::rank(&list));
+    }
+}

@@ -1,0 +1,48 @@
+//! Parallel predecessor-link construction.
+//!
+//! Pointer-jumping computes an *exclusive prefix* scan by walking
+//! predecessor links (walking successors yields suffixes, which cannot
+//! be turned into prefixes for non-invertible or non-commutative
+//! operators). Building `prev` is one parallel scatter; the scatter
+//! targets (`next[v]`) are distinct for distinct `v` because a valid
+//! list's links are injective on non-tail vertices, so relaxed atomic
+//! stores suffice.
+
+use listkit::{Idx, LinkedList};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Build predecessor links in parallel: `prev[next[v]] = v` for
+/// non-tail `v`, `prev[head] = head`.
+pub fn build_prev(list: &LinkedList) -> Vec<Idx> {
+    let n = list.len();
+    let prev: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    prev[list.head() as usize].store(list.head(), Ordering::Relaxed);
+    list.links().par_iter().enumerate().for_each(|(v, &nx)| {
+        if nx as usize != v {
+            prev[nx as usize].store(v as Idx, Ordering::Relaxed);
+        }
+    });
+    prev.into_par_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+
+    #[test]
+    fn matches_serial_predecessors() {
+        for n in [1usize, 2, 3, 100, 4096] {
+            let list = gen::random_list(n, n as u64);
+            assert_eq!(build_prev(&list), list.predecessors(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn head_self_loops() {
+        let list = gen::random_list(64, 9);
+        let prev = build_prev(&list);
+        assert_eq!(prev[list.head() as usize], list.head());
+    }
+}

@@ -1,0 +1,436 @@
+//! Reid-Miller's sublist algorithm (paper §2.5), host backend.
+//!
+//! Phase 0 splits the list at `m` random vertices into `m+1` independent
+//! sublists; Phase 1 reduces each sublist to its operator-sum; Phase 2
+//! scans the reduced list of sums (serially, with Wyllie, or
+//! recursively); Phase 3 expands the Phase-2 prefixes back across the
+//! sublists. Work ≈ 2× serial (each vertex is touched once in Phase 1
+//! and once in Phase 3), constants small, extra space `O(m)`.
+//!
+//! On a multicore, the paper's virtual processors become rayon tasks:
+//! `m ≫ #threads` over-decomposes the work so that work stealing evens
+//! out the exponentially distributed sublist lengths — the same role
+//! the C90 implementation's pack-based load balancing plays.
+//! This backend is **non-destructive** (boundaries live in a side
+//! bitmap instead of spliced self-loops).
+
+use crate::util::DisjointWriter;
+use listkit::{gen, Idx, LinkedList, ScanOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Phase-2 strategy for the reduced list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Phase2 {
+    /// Choose by reduced-list size (serial below the recursion cutoff).
+    #[default]
+    Auto,
+    /// Serial scan of the reduced list.
+    Serial,
+    /// Wyllie pointer jumping on the reduced list.
+    Wyllie,
+    /// Recursive application of this algorithm.
+    Recurse,
+}
+
+/// Reid-Miller list scan/rank.
+#[derive(Clone, Copy, Debug)]
+pub struct ReidMiller {
+    /// Seed for the random split positions.
+    pub seed: u64,
+    /// Number of split positions `m` (`None` = heuristic: a few
+    /// thousand vertices per sublist, at least 8 tasks per thread).
+    pub m: Option<usize>,
+    /// Phase-2 strategy.
+    pub phase2: Phase2,
+    /// Lists up to this length run serially outright.
+    pub serial_cutoff: usize,
+    /// Reduced lists longer than this recurse under [`Phase2::Auto`].
+    pub recurse_cutoff: usize,
+}
+
+impl Default for ReidMiller {
+    fn default() -> Self {
+        Self {
+            seed: 0x11157,
+            m: None,
+            phase2: Phase2::Auto,
+            serial_cutoff: 2048,
+            recurse_cutoff: 8192,
+        }
+    }
+}
+
+impl ReidMiller {
+    /// With an explicit seed, otherwise defaults.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Fix the number of split positions.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Fix the Phase-2 strategy.
+    pub fn with_phase2(mut self, p2: Phase2) -> Self {
+        self.phase2 = p2;
+        self
+    }
+
+    /// The heuristic `m` for a list of `n` vertices: targets sublists of
+    /// ~2048 vertices, but at least 8 tasks per worker thread so work
+    /// stealing can level the exponential length distribution.
+    pub fn default_m(n: usize) -> usize {
+        let threads = rayon::current_num_threads();
+        (n / 2048).max(threads * 8).min(n / 4).max(1)
+    }
+
+    /// Exclusive list scan.
+    pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), list.len());
+        let n = list.len();
+        let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
+        if n <= self.serial_cutoff.max(4) || m_req < 2 {
+            return listkit::serial::scan(list, values, op);
+        }
+        let links = list.links();
+
+        // ---- Phase 0: split at m random distinct non-tail vertices.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let splits = gen::random_split_positions(list, m_req, &mut rng);
+        if splits.is_empty() {
+            return listkit::serial::scan(list, values, op);
+        }
+        let mut boundary = vec![false; n];
+        boundary[list.tail() as usize] = true;
+        for &r in &splits {
+            boundary[r as usize] = true;
+        }
+        // Sublist heads: the whole-list head plus each split's successor.
+        let mut heads: Vec<Idx> = Vec::with_capacity(splits.len() + 1);
+        heads.push(list.head());
+        heads.extend(splits.iter().map(|&r| links[r as usize]));
+        let mut sub_of_head = vec![u32::MAX; n];
+        for (i, &h) in heads.iter().enumerate() {
+            sub_of_head[h as usize] = i as u32;
+        }
+
+        // ---- Phase 1: sum each sublist (parallel, work-stealing).
+        let sums: Vec<(T, Idx)> = heads
+            .par_iter()
+            .map(|&h| {
+                let mut acc = op.identity();
+                let mut cur = h as usize;
+                loop {
+                    acc = op.combine(acc, values[cur]);
+                    if boundary[cur] {
+                        return (acc, cur as Idx);
+                    }
+                    cur = links[cur] as usize;
+                }
+            })
+            .collect();
+
+        // ---- Reduced list: sublist i's successor starts right after
+        // sublist i's terminal vertex.
+        let k = heads.len();
+        let tail_v = list.tail();
+        let next_sub: Vec<Idx> = sums
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, term))| {
+                if term == tail_v {
+                    i as Idx
+                } else {
+                    sub_of_head[links[term as usize] as usize]
+                }
+            })
+            .collect();
+        let totals: Vec<T> = sums.iter().map(|&(s, _)| s).collect();
+
+        // ---- Phase 2: exclusive scan of the reduced list.
+        let pre = self.phase2_scan(&next_sub, &totals, op, k);
+
+        // ---- Phase 3: expand prefixes over the sublists (parallel
+        // disjoint writes: sublists partition the vertex set).
+        let mut out = vec![op.identity(); n];
+        {
+            let writer = DisjointWriter::new(&mut out);
+            heads.par_iter().enumerate().for_each(|(i, &h)| {
+                let mut acc = pre[i];
+                let mut cur = h as usize;
+                loop {
+                    // SAFETY: each vertex belongs to exactly one sublist,
+                    // and this task is the only one walking sublist `i`.
+                    unsafe { writer.write(cur, acc) };
+                    acc = op.combine(acc, values[cur]);
+                    if boundary[cur] {
+                        return;
+                    }
+                    cur = links[cur] as usize;
+                }
+            });
+        }
+        out
+    }
+
+    /// Phase-2 dispatch on the reduced list (`k` sublists, links
+    /// `next_sub`, head = sublist 0).
+    fn phase2_scan<T, Op>(&self, next_sub: &[Idx], totals: &[T], op: &Op, k: usize) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        let strategy = match self.phase2 {
+            Phase2::Auto if k > self.recurse_cutoff => Phase2::Recurse,
+            Phase2::Auto => Phase2::Serial,
+            other => other,
+        };
+        match strategy {
+            Phase2::Serial | Phase2::Auto => {
+                // Walk the reduced list directly; no LinkedList needed.
+                let mut pre = vec![op.identity(); k];
+                let mut acc = op.identity();
+                let mut cur = 0usize;
+                loop {
+                    pre[cur] = acc;
+                    acc = op.combine(acc, totals[cur]);
+                    if next_sub[cur] as usize == cur {
+                        break;
+                    }
+                    cur = next_sub[cur] as usize;
+                }
+                pre
+            }
+            Phase2::Wyllie => {
+                let reduced = LinkedList::new(next_sub.to_vec(), 0)
+                    .expect("reduced list is a valid single path");
+                super::wyllie::Wyllie.scan(&reduced, totals, op)
+            }
+            Phase2::Recurse => {
+                let reduced = LinkedList::new(next_sub.to_vec(), 0)
+                    .expect("reduced list is a valid single path");
+                // Fresh seed per level, and — crucially — drop any
+                // explicit `m` override: the heuristic re-derives `m`
+                // for the smaller list (an inherited large `m` would
+                // barely shrink the problem and recurse unboundedly).
+                let inner = Self {
+                    seed: self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+                    m: None,
+                    ..*self
+                };
+                inner.scan(&reduced, totals, op)
+            }
+        }
+    }
+
+    /// List ranking (the scan of all-ones, specialized to counting: no
+    /// value array is materialized and Phase 1 only measures lengths).
+    pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
+        let n = list.len();
+        let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
+        if n <= self.serial_cutoff.max(4) || m_req < 2 {
+            return listkit::serial::rank(list);
+        }
+        let links = list.links();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let splits = gen::random_split_positions(list, m_req, &mut rng);
+        if splits.is_empty() {
+            return listkit::serial::rank(list);
+        }
+        let mut boundary = vec![false; n];
+        boundary[list.tail() as usize] = true;
+        for &r in &splits {
+            boundary[r as usize] = true;
+        }
+        let mut heads: Vec<Idx> = Vec::with_capacity(splits.len() + 1);
+        heads.push(list.head());
+        heads.extend(splits.iter().map(|&r| links[r as usize]));
+        let mut sub_of_head = vec![u32::MAX; n];
+        for (i, &h) in heads.iter().enumerate() {
+            sub_of_head[h as usize] = i as u32;
+        }
+
+        // Phase 1: lengths only.
+        let lens: Vec<(u64, Idx)> = heads
+            .par_iter()
+            .map(|&h| {
+                let mut len = 0u64;
+                let mut cur = h as usize;
+                loop {
+                    len += 1;
+                    if boundary[cur] {
+                        return (len, cur as Idx);
+                    }
+                    cur = links[cur] as usize;
+                }
+            })
+            .collect();
+
+        // Reduced list + serial exclusive prefix of lengths (the reduced
+        // list is short; ranking it recursively would be overkill —
+        // matches the paper's serial Phase 2 for practical m).
+        let tail_v = list.tail();
+        let k = heads.len();
+        let next_sub: Vec<Idx> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, term))| {
+                if term == tail_v {
+                    i as Idx
+                } else {
+                    sub_of_head[links[term as usize] as usize]
+                }
+            })
+            .collect();
+        let mut pre = vec![0u64; k];
+        let mut acc = 0u64;
+        let mut cur = 0usize;
+        loop {
+            pre[cur] = acc;
+            acc += lens[cur].0;
+            if next_sub[cur] as usize == cur {
+                break;
+            }
+            cur = next_sub[cur] as usize;
+        }
+
+        // Phase 3: write ranks.
+        let mut out = vec![0u64; n];
+        {
+            let writer = DisjointWriter::new(&mut out);
+            heads.par_iter().enumerate().for_each(|(i, &h)| {
+                let mut r = pre[i];
+                let mut cur = h as usize;
+                loop {
+                    // SAFETY: sublists partition the vertex set.
+                    unsafe { writer.write(cur, r) };
+                    r += 1;
+                    if boundary[cur] {
+                        return;
+                    }
+                    cur = links[cur] as usize;
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::{AddOp, Affine, AffineOp, MaxOp, XorOp};
+
+    #[test]
+    fn rank_matches_serial_across_sizes() {
+        for n in [1usize, 2, 3, 100, 2048, 2049, 10_000, 50_000] {
+            let list = gen::random_list(n, n as u64);
+            assert_eq!(
+                ReidMiller::new(1).rank(&list),
+                listkit::serial::rank(&list),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_serial() {
+        let list = gen::random_list(30_000, 77);
+        let vals: Vec<i64> = (0..30_000).map(|i| (i as i64 % 1001) - 500).collect();
+        assert_eq!(
+            ReidMiller::new(3).scan(&list, &vals, &AddOp),
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+        assert_eq!(
+            ReidMiller::new(3).scan(&list, &vals, &MaxOp),
+            listkit::serial::scan(&list, &vals, &MaxOp)
+        );
+    }
+
+    #[test]
+    fn scan_noncommutative() {
+        let list = gen::random_list(12_000, 5);
+        let vals: Vec<Affine> =
+            (0..12_000).map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5)).collect();
+        assert_eq!(
+            ReidMiller::new(9).scan(&list, &vals, &AffineOp),
+            listkit::serial::scan(&list, &vals, &AffineOp)
+        );
+    }
+
+    #[test]
+    fn xor_scan_u64() {
+        let list = gen::random_list(9_000, 66);
+        let vals: Vec<u64> = (0..9_000u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        assert_eq!(
+            ReidMiller::new(2).scan(&list, &vals, &XorOp),
+            listkit::serial::scan(&list, &vals, &XorOp)
+        );
+    }
+
+    #[test]
+    fn explicit_m_values() {
+        let list = gen::random_list(20_000, 4);
+        let reference = listkit::serial::rank(&list);
+        for m in [2usize, 16, 100, 1000, 4999] {
+            assert_eq!(ReidMiller::new(7).with_m(m).rank(&list), reference, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn all_phase2_strategies_agree() {
+        let list = gen::random_list(25_000, 12);
+        let vals: Vec<i64> = (0..25_000).map(|i| i as i64 % 17).collect();
+        let reference = listkit::serial::scan(&list, &vals, &AddOp);
+        for p2 in [Phase2::Serial, Phase2::Wyllie, Phase2::Recurse, Phase2::Auto] {
+            let rm = ReidMiller::new(5).with_m(3000).with_phase2(p2);
+            assert_eq!(rm.scan(&list, &vals, &AddOp), reference, "{p2:?}");
+        }
+    }
+
+    #[test]
+    fn deep_recursion_via_tiny_cutoffs() {
+        let mut rm = ReidMiller::new(8).with_m(10_000).with_phase2(Phase2::Recurse);
+        rm.serial_cutoff = 64;
+        rm.recurse_cutoff = 64;
+        let list = gen::random_list(40_000, 3);
+        assert_eq!(rm.rank(&list), listkit::serial::rank(&list));
+        let vals = vec![2i64; 40_000];
+        assert_eq!(
+            rm.scan(&list, &vals, &AddOp),
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+    }
+
+    #[test]
+    fn different_seeds_same_answer() {
+        let list = gen::random_list(15_000, 1);
+        let a = ReidMiller::new(100).rank(&list);
+        let b = ReidMiller::new(200).rank(&list);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_and_blocked_layouts() {
+        let s = gen::sequential_list(10_000);
+        assert_eq!(ReidMiller::new(1).rank(&s), listkit::serial::rank(&s));
+        let b = gen::list_with_layout(10_000, gen::Layout::Blocked(64), 9);
+        assert_eq!(ReidMiller::new(1).rank(&b), listkit::serial::rank(&b));
+    }
+
+    #[test]
+    fn default_m_sane() {
+        assert!(ReidMiller::default_m(1_000_000) >= 8);
+        assert!(ReidMiller::default_m(1_000_000) <= 250_000);
+        assert!(ReidMiller::default_m(10) >= 1);
+    }
+}

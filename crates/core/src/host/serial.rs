@@ -1,0 +1,32 @@
+//! The serial baseline (paper §2.1) — re-exported from `listkit` so the
+//! host backend exposes all five algorithms uniformly.
+
+use listkit::{LinkedList, ScanOp};
+
+/// Serial list ranking.
+pub fn rank(list: &LinkedList) -> Vec<u64> {
+    listkit::serial::rank(list)
+}
+
+/// Serial exclusive list scan.
+pub fn scan<T: Copy, Op: ScanOp<T>>(list: &LinkedList, values: &[T], op: &Op) -> Vec<T> {
+    listkit::serial::scan(list, values, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::AddOp;
+
+    #[test]
+    fn reexports_agree() {
+        let list = gen::random_list(128, 3);
+        assert_eq!(rank(&list), listkit::serial::rank(&list));
+        let vals = vec![2i64; 128];
+        assert_eq!(
+            scan(&list, &vals, &AddOp),
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Wyllie's pointer jumping (paper §2.2), host backend.
+//!
+//! Every vertex repeatedly replaces its predecessor pointer with its
+//! predecessor's predecessor while folding in the predecessor's partial
+//! sum; after `⌈log₂ n⌉` rounds every vertex holds the inclusive prefix
+//! of the whole list up to itself. Simple, `O(log n)` time — but
+//! `O(n log n)` work, which is why it loses to the work-efficient
+//! algorithm on long lists (Fig. 1).
+//!
+//! We jump *predecessor* links (built by one parallel scatter) so the
+//! scan is a true exclusive prefix for arbitrary associative operators,
+//! including non-commutative ones.
+
+use crate::host::prev::build_prev;
+use listkit::{Idx, LinkedList, ScanOp};
+use rayon::prelude::*;
+
+/// Wyllie's algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Wyllie;
+
+impl Wyllie {
+    /// Number of jumping rounds for a list of `n` vertices:
+    /// `⌈log₂(n−1)⌉` (the paper §2.2). The seeding pass already covers a
+    /// window of one predecessor, so doubling `⌈log₂(n−1)⌉` times
+    /// reaches the maximum exclusive-window length `n−1`.
+    pub fn rounds(n: usize) -> u32 {
+        if n <= 2 {
+            0
+        } else {
+            (n - 1).next_power_of_two().trailing_zeros()
+        }
+    }
+
+    /// Exclusive list scan.
+    pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), list.len());
+        let n = list.len();
+        let head = list.head() as usize;
+        let mut prev = build_prev(list);
+        // Seed each vertex with its *predecessor's* value (identity at
+        // the head): `s[i]` then always covers the window of up-to-2^r
+        // values strictly before `i`, and once a pointer saturates at
+        // the head it keeps folding in the identity — idempotent, no
+        // conditionals needed (the same trick the paper plays with
+        // zeroed sublist tails).
+        let mut s: Vec<T> = (0..n)
+            .map(|i| if i == head { op.identity() } else { values[prev[i] as usize] })
+            .collect();
+
+        for _ in 0..Self::rounds(n) {
+            let (new_s, new_prev): (Vec<T>, Vec<Idx>) = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let p = prev[i] as usize;
+                    (op.combine(s[p], s[i]), prev[p])
+                })
+                .unzip();
+            s = new_s;
+            prev = new_prev;
+        }
+        // `s` is the exclusive prefix directly.
+        s
+    }
+
+    /// List ranking.
+    pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
+        let ones = vec![1i64; list.len()];
+        self.scan(list, &ones, &listkit::ops::AddOp)
+            .into_iter()
+            .map(|r| r as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::{AddOp, Affine, AffineOp, MaxOp};
+
+    #[test]
+    fn rounds_formula() {
+        assert_eq!(Wyllie::rounds(1), 0);
+        assert_eq!(Wyllie::rounds(2), 0); // seeding alone covers n = 2
+        assert_eq!(Wyllie::rounds(3), 1);
+        assert_eq!(Wyllie::rounds(1025), 10); // 2^10 = 1024 = n−1 exactly
+        assert_eq!(Wyllie::rounds(1026), 11); // the sawtooth step
+    }
+
+    #[test]
+    fn rank_matches_serial() {
+        for n in [1usize, 2, 3, 7, 64, 1000, 4097] {
+            let list = gen::random_list(n, n as u64 + 7);
+            assert_eq!(Wyllie.rank(&list), listkit::serial::rank(&list), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_matches_serial_add() {
+        let list = gen::random_list(513, 5);
+        let vals: Vec<i64> = (0..513).map(|i| (i as i64 % 11) - 5).collect();
+        assert_eq!(
+            Wyllie.scan(&list, &vals, &AddOp),
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+    }
+
+    #[test]
+    fn scan_matches_serial_max() {
+        let list = gen::random_list(300, 8);
+        let vals: Vec<i64> = (0..300).map(|i| ((i * 37) % 101) as i64).collect();
+        assert_eq!(
+            Wyllie.scan(&list, &vals, &MaxOp),
+            listkit::serial::scan(&list, &vals, &MaxOp)
+        );
+    }
+
+    #[test]
+    fn scan_noncommutative_affine() {
+        let list = gen::random_list(256, 11);
+        let vals: Vec<Affine> =
+            (0..256).map(|i| Affine::new((i % 7) as i64 - 3, (i % 13) as i64)).collect();
+        assert_eq!(
+            Wyllie.scan(&list, &vals, &AffineOp),
+            listkit::serial::scan(&list, &vals, &AffineOp)
+        );
+    }
+
+    #[test]
+    fn sequential_layout_also_works() {
+        let list = gen::sequential_list(100);
+        assert_eq!(Wyllie.rank(&list), listkit::serial::rank(&list));
+    }
+}

@@ -1,0 +1,72 @@
+//! # listrank — parallel list ranking and list scan
+//!
+//! This crate is the paper's primary contribution: **Reid-Miller's
+//! sublist-based list-ranking/list-scan algorithm**, together with the
+//! four comparison algorithms the paper implements (§2), each on two
+//! backends:
+//!
+//! * [`host`] — real parallelism on the build machine via `rayon`.
+//!   Virtual processors become work-stealing tasks; the paper's
+//!   requirement `m ≫ p` maps directly onto over-decomposition.
+//! * [`sim`] — the algorithms executed over real data on the `vmach`
+//!   Cray C90 cost simulator, with every vectorized loop charged the
+//!   paper's published (or calibrated) cycle costs. This backend
+//!   regenerates the paper's tables and figures deterministically.
+//!
+//! ## The algorithm (paper §2.5)
+//!
+//! 1. **Phase 0 / Initialization** — split the list at `m` random
+//!    vertices into `m+1` independent sublists.
+//! 2. **Phase 1** — traverse every sublist, computing its operator-sum;
+//!    periodically *pack* away completed sublists at the analytically
+//!    optimal points `S_1 < S_2 < …` (see `rankmodel`).
+//! 3. **Phase 2** — list-scan the reduced list of `m+1` sublist sums
+//!    (serially, with Wyllie's algorithm, or recursively).
+//! 4. **Phase 3** — re-traverse each sublist, seeding it with its
+//!    Phase-2 prefix, producing the final scan values.
+//! 5. **Restore** — reconnect the destructively split list (simulated
+//!    backend; the host backend is non-destructive).
+//!
+//! The result is work-efficient (≈ 2× serial work), has small constants,
+//! and needs only `5p + c` extra space — at the cost of `O(n/p +
+//! (n/m)·log m)` instead of optimal `O(n/p + log n)` time, a trade the
+//! paper argues is right whenever `n ≫ p`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use listkit::gen;
+//! use listrank::prelude::*;
+//!
+//! let list = gen::random_list(10_000, 42);
+//! let ranks = HostRunner::new(Algorithm::ReidMiller).rank(&list);
+//! assert_eq!(ranks[list.head() as usize], 0);
+//!
+//! // Same computation on the simulated Cray C90, with a cycle count:
+//! let run = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+//! assert_eq!(run.out, ranks);
+//! println!("{} cycles ({:.1} ns/vertex)", run.cycles,
+//!          run.cycles.ns_per(list.len(), 4.2));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod api;
+pub mod host;
+pub mod sim;
+pub mod tuning;
+mod util;
+
+pub use api::{Algorithm, HostRunner, SimRunner};
+pub use sim::SimRun;
+pub use tuning::SimParams;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::api::{Algorithm, HostRunner, SimRunner};
+    pub use crate::sim::SimRun;
+    pub use crate::tuning::SimParams;
+    pub use listkit::ops::{AddOp, AffineOp, MaxOp, MinOp, XorOp};
+    pub use listkit::{LinkedList, ScanOp, ValuedList};
+}

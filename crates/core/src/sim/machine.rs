@@ -1,0 +1,153 @@
+//! Shared cycle-charging helper and run record for the simulated
+//! backend.
+
+use vmach::{CostProfile, CycleCounter, Cycles, Kernel, MachineConfig};
+
+/// The result of one simulated run: exact output plus deterministic
+/// cycle accounting.
+#[derive(Clone, Debug)]
+pub struct SimRun<T> {
+    /// The computed ranks/scan values.
+    pub out: Vec<T>,
+    /// Per-region cycle breakdown.
+    pub counter: CycleCounter,
+    /// Elapsed cycles (on multiprocessors: the critical path, not the
+    /// summed work).
+    pub cycles: Cycles,
+    /// List length.
+    pub n: usize,
+    /// Clock period used for ns conversions.
+    pub clock_ns: f64,
+    /// Total element-operations charged (work measure, Table II).
+    pub element_ops: u64,
+    /// Extra space beyond the list itself, in 64-bit words (Table II).
+    pub extra_words: usize,
+}
+
+impl<T> SimRun<T> {
+    /// Nanoseconds per vertex — the unit of Table I and Figs. 1/11.
+    pub fn ns_per_vertex(&self) -> f64 {
+        self.cycles.ns_per(self.n, self.clock_ns)
+    }
+
+    /// Cycles per vertex — the unit of §5's asymptotic numbers.
+    pub fn cycles_per_vertex(&self) -> f64 {
+        self.cycles.per(self.n)
+    }
+
+    /// Work per vertex: charged element-operations / n.
+    pub fn ops_per_vertex(&self) -> f64 {
+        self.element_ops as f64 / self.n as f64
+    }
+}
+
+/// A charging context for flat (non-phase-structured) simulated
+/// algorithms: per-element costs are contention-scaled and divided
+/// across the machine's CPUs (Eq. 6's `g(x)/p`).
+#[derive(Clone, Debug)]
+pub struct SimMachine {
+    config: MachineConfig,
+    profile: CostProfile,
+    base_profile: CostProfile,
+    counter: CycleCounter,
+    region: &'static str,
+    element_ops: u64,
+}
+
+impl SimMachine {
+    /// A machine with the C90 profile at the configured processor count.
+    pub fn new(config: MachineConfig) -> Self {
+        let profile = CostProfile::c90().with_contention(config.contention_factor());
+        Self {
+            config,
+            profile,
+            base_profile: CostProfile::c90(),
+            counter: CycleCounter::new(),
+            region: "main",
+            element_ops: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Set the region label for subsequent charges.
+    pub fn set_region(&mut self, region: &'static str) {
+        self.region = region;
+    }
+
+    /// Charge a data-parallel kernel over `x` elements, split across the
+    /// machine's CPUs: `te·x/p + t0` (with contention in `te`).
+    pub fn charge_split(&mut self, k: Kernel, x: usize) {
+        let c = self.profile.kernel(k);
+        let p = self.config.n_procs as f64;
+        self.counter.charge(self.region, c.te * x as f64 / p + c.t0);
+        self.element_ops += x as u64;
+    }
+
+    /// Charge inherently serial work (one CPU busy, no self-contention):
+    /// `te·x + t0` at the uncontended profile.
+    pub fn charge_serial(&mut self, k: Kernel, x: usize) {
+        let c = self.base_profile.kernel(k);
+        self.counter.charge(self.region, c.te * x as f64 + c.t0);
+        self.element_ops += x as u64;
+    }
+
+    /// Charge one barrier synchronization.
+    pub fn charge_sync(&mut self) {
+        self.counter.charge("sync", self.config.sync_cycles);
+    }
+
+    /// Elapsed cycles so far.
+    pub fn elapsed(&self) -> Cycles {
+        self.counter.total()
+    }
+
+    /// Finish the run.
+    pub fn finish<T>(self, out: Vec<T>, n: usize, extra_words: usize) -> SimRun<T> {
+        SimRun {
+            out,
+            cycles: self.counter.total(),
+            counter: self.counter,
+            n,
+            clock_ns: self.config.clock_ns,
+            element_ops: self.element_ops,
+            extra_words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_divides_by_procs() {
+        let mut m1 = SimMachine::new(MachineConfig::c90(1));
+        let mut m8 = SimMachine::new(MachineConfig::c90(8));
+        m1.charge_split(Kernel::WyllieRound, 10_000);
+        m8.charge_split(Kernel::WyllieRound, 10_000);
+        let r = m1.elapsed().get() / m8.elapsed().get();
+        assert!(r > 4.0 && r < 8.0, "speedup {r} should be sublinear-but-large");
+    }
+
+    #[test]
+    fn serial_ignores_contention() {
+        let mut m8 = SimMachine::new(MachineConfig::c90(8));
+        m8.charge_serial(Kernel::SerialScan, 1000);
+        let expect = 43.6 * 1000.0 + 100.0;
+        assert!((m8.elapsed().get() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_reports_per_vertex() {
+        let mut m = SimMachine::new(MachineConfig::c90(1));
+        m.charge_serial(Kernel::SerialRank, 1000);
+        let run = m.finish(vec![0u64; 1000], 1000, 0);
+        assert!((run.ns_per_vertex() - 42.1 * 4.2).abs() < 1.0);
+        assert_eq!(run.element_ops, 1000);
+        assert!(run.ops_per_vertex() > 0.99);
+    }
+}

@@ -1,0 +1,18 @@
+//! Simulated backend: the five algorithms on the `vmach` Cray C90 cost
+//! model.
+//!
+//! Every implementation executes the real algorithm over real data (so
+//! outputs are exact and testable against the serial reference) while
+//! charging each vectorized loop its calibrated C90 cycle cost. Results
+//! are deterministic, which is what lets the `repro` harness regenerate
+//! the paper's tables and figures byte-for-byte across runs.
+
+pub mod anderson_miller;
+pub mod machine;
+pub mod miller_reif;
+pub mod reid_miller;
+pub mod serial;
+pub mod wyllie;
+
+pub use machine::{SimMachine, SimRun};
+pub use reid_miller::ReidMillerSim;

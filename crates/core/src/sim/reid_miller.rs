@@ -1,0 +1,526 @@
+//! Simulated Reid-Miller algorithm (paper §3): the faithful C90
+//! implementation.
+//!
+//! This backend mirrors the paper's vectorized implementation closely:
+//!
+//! * **Destructive splitting** — each chosen random vertex becomes a
+//!   sublist tail: its link is replaced by a self-loop and its value by
+//!   the identity, after saving the originals. The traversal loops are
+//!   then *branch-free*: a finished virtual processor keeps re-adding
+//!   the identity at its self-loop ("we can repeatedly add the tail
+//!   value without changing the sum").
+//! * **Strip-mined virtual processors** — one virtual processor per
+//!   sublist; charges are per link-step over the live vector
+//!   (`T_InitialScan(x) = 3.4x + 35` etc.).
+//! * **Scheduled packing** — load balancing happens at the
+//!   model-optimal points `S_1 < S_2 < …` from `rankmodel` (Eq. 4).
+//! * **Local-only multiprocessing** — virtual processors are divided
+//!   among CPUs once; each CPU packs only its own (paper §5: "we
+//!   synchronize only a constant number of times and do no load
+//!   balancing across processors"); elapsed time is the slowest CPU.
+//! * **Hybrid Phase 2** — serial, Wyllie or recursive by tuned choice.
+
+use super::machine::SimRun;
+use crate::tuning::SimParams;
+use listkit::{gen, Idx, LinkedList, ScanOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rankmodel::predict::Phase2Choice;
+use vmach::{Kernel, MachineConfig, ParallelTimer};
+
+/// Kernel selection: scan uses the two-gather loops, rank the packed
+/// one-gather loops.
+#[derive(Clone, Copy, Debug)]
+struct Kernels {
+    init_scan: Kernel,
+    final_scan: Kernel,
+    serial: Kernel,
+}
+
+const SCAN_KERNELS: Kernels = Kernels {
+    init_scan: Kernel::InitialScan,
+    final_scan: Kernel::FinalScan,
+    serial: Kernel::SerialScan,
+};
+
+const RANK_KERNELS: Kernels = Kernels {
+    init_scan: Kernel::InitialScanRank,
+    final_scan: Kernel::FinalScanRank,
+    serial: Kernel::SerialRank,
+};
+
+/// The simulated Reid-Miller list scan/rank.
+#[derive(Clone, Debug)]
+pub struct ReidMillerSim {
+    /// Split count, pack schedule and Phase-2 strategy.
+    pub params: SimParams,
+    /// Seed for the random split positions.
+    pub seed: u64,
+}
+
+impl ReidMillerSim {
+    /// With model-tuned scan parameters.
+    pub fn tuned_scan(n: usize, procs: usize, seed: u64) -> Self {
+        Self { params: SimParams::tuned_scan(n, procs), seed }
+    }
+
+    /// With model-tuned rank parameters.
+    pub fn tuned_rank(n: usize, procs: usize, seed: u64) -> Self {
+        Self { params: SimParams::tuned_rank(n, procs), seed }
+    }
+
+    /// Simulated list scan.
+    pub fn scan<T, Op>(
+        &self,
+        list: &LinkedList,
+        values: &[T],
+        op: &Op,
+        config: MachineConfig,
+    ) -> SimRun<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        self.run(list, values, op, config, SCAN_KERNELS)
+    }
+
+    /// Simulated list rank (packed one-gather kernels; the scan of
+    /// all-ones).
+    pub fn rank(&self, list: &LinkedList, config: MachineConfig) -> SimRun<u64> {
+        let ones = vec![1i64; list.len()];
+        let run = self.run(list, &ones, &listkit::ops::AddOp, config, RANK_KERNELS);
+        SimRun {
+            out: run.out.into_iter().map(|x| x as u64).collect(),
+            counter: run.counter,
+            cycles: run.cycles,
+            n: run.n,
+            clock_ns: run.clock_ns,
+            element_ops: run.element_ops,
+            extra_words: run.extra_words,
+        }
+    }
+
+    fn run<T, Op>(
+        &self,
+        list: &LinkedList,
+        values: &[T],
+        op: &Op,
+        config: MachineConfig,
+        kernels: Kernels,
+    ) -> SimRun<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), list.len());
+        let n = list.len();
+        let p = config.n_procs;
+        let mut timer = ParallelTimer::new(config.clone());
+        let mut element_ops: u64 = 0;
+
+        // ---- Degenerate sizes: the tuner prescribes plain serial.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let splits = if self.params.m >= 2 && n > 4 {
+            gen::random_split_positions(list, self.params.m, &mut rng)
+        } else {
+            Vec::new()
+        };
+        if splits.is_empty() {
+            let base = vmach::CostProfile::c90();
+            let c = base.kernel(kernels.serial);
+            timer.charge(0, "serial-fallback", c.at(n));
+            let out = listkit::serial::scan(list, values, op);
+            return SimRun {
+                out,
+                cycles: timer.elapsed(),
+                counter: timer.merged_counter().clone(),
+                n,
+                clock_ns: config.clock_ns,
+                element_ops: n as u64,
+                extra_words: 0,
+            };
+        }
+
+        // ---- Initialization (destructive, on working copies).
+        let k = splits.len() + 1;
+        let mut links: Vec<Idx> = list.links().to_vec();
+        let mut vals: Vec<T> = values.to_vec();
+        let tail = list.tail();
+
+        // Virtual-processor state: the paper's "5p + c" extra words.
+        let mut head: Vec<Idx> = Vec::with_capacity(k);
+        head.push(list.head());
+        head.extend(splits.iter().map(|&r| links[r as usize]));
+        // owner[b] = vp whose sublist *follows* boundary b.
+        let mut owner = vec![u32::MAX; n];
+        // Saved originals of destructively zeroed boundary vertices.
+        let mut saved: Vec<T> = vec![op.identity(); n];
+        for (i, &r) in splits.iter().enumerate() {
+            owner[r as usize] = (i + 1) as u32;
+            saved[r as usize] = vals[r as usize];
+            vals[r as usize] = op.identity();
+            links[r as usize] = r; // self-loop: sublist tail
+        }
+        saved[tail as usize] = vals[tail as usize];
+        vals[tail as usize] = op.identity();
+
+        // CPU c owns virtual processors cpu_lo[c]..cpu_hi[c].
+        let cpu_lo: Vec<usize> = (0..p).map(|c| c * k / p).collect();
+        let cpu_hi: Vec<usize> = (0..p).map(|c| (c + 1) * k / p).collect();
+
+        for c in 0..p {
+            let mut proc = timer.make_proc();
+            proc.set_region("init");
+            proc.charge_kernel(Kernel::Initialize, cpu_hi[c] - cpu_lo[c]);
+            timer.commit(c, proc);
+        }
+        element_ops += k as u64;
+        timer.barrier();
+
+        // ---- Phase 1: sublist sums.
+        let mut cur: Vec<usize> = head.iter().map(|&h| h as usize).collect();
+        let mut sum: Vec<T> = vec![op.identity(); k];
+        for c in 0..p {
+            let mut proc = timer.make_proc();
+            proc.set_region("phase1");
+            let mut active: Vec<usize> = (cpu_lo[c]..cpu_hi[c]).collect();
+            let mut done = vec![false; k];
+            let mut live = active.len();
+            let mut step = 0usize;
+            let mut schedule = self.params.schedule.iter().copied().peekable();
+            while live > 0 {
+                // Branch-free traversal step over the packed vector: the
+                // charged length shrinks ONLY at packs — finished virtual
+                // processors idle at their self-loops, re-adding the
+                // identity, exactly as the paper's loop does.
+                proc.charge_kernel(kernels.init_scan, active.len());
+                element_ops += active.len() as u64;
+                for &i in &active {
+                    let v = cur[i];
+                    sum[i] = op.combine(sum[i], vals[v]);
+                    let nx = links[v] as usize;
+                    if nx == v {
+                        if !done[i] {
+                            done[i] = true;
+                            live -= 1;
+                        }
+                    } else {
+                        cur[i] = nx;
+                    }
+                }
+                step += 1;
+                // Pack at scheduled points (local-only load balancing).
+                if schedule.next_if(|&s| step >= s).is_some() {
+                    proc.charge_kernel(Kernel::InitialPack, active.len());
+                    element_ops += active.len() as u64;
+                    active.retain(|&i| !done[i]);
+                }
+            }
+            timer.commit(c, proc);
+        }
+        timer.barrier();
+
+        // ---- Build the reduced list of sublist sums.
+        let mut totals: Vec<T> = Vec::with_capacity(k);
+        let mut next_sub: Vec<Idx> = Vec::with_capacity(k);
+        for i in 0..k {
+            let t = cur[i]; // terminal boundary vertex of sublist i
+            totals.push(op.combine(sum[i], saved[t]));
+            let o = owner[t];
+            next_sub.push(if o == u32::MAX { i as Idx } else { o });
+        }
+        for c in 0..p {
+            let mut proc = timer.make_proc();
+            proc.set_region("find-sublists");
+            proc.charge_kernel(Kernel::FindSublistList, cpu_hi[c] - cpu_lo[c]);
+            timer.commit(c, proc);
+        }
+        element_ops += k as u64;
+        timer.barrier();
+
+        // ---- Phase 2: scan the reduced list.
+        let pre: Vec<T> = match self.params.phase2 {
+            Phase2Choice::Serial => {
+                let base = vmach::CostProfile::c90();
+                timer.charge(0, "phase2", base.kernel(kernels.serial).at(k));
+                element_ops += k as u64;
+                serial_scan_reduced(&next_sub, &totals, op)
+            }
+            Phase2Choice::Wyllie => {
+                let reduced = LinkedList::new(next_sub.clone(), 0)
+                    .expect("reduced list is a valid single path");
+                let run = super::wyllie::scan(&reduced, &totals, op, config.clone());
+                timer.charge_all("phase2", run.cycles.get());
+                element_ops += run.element_ops;
+                run.out
+            }
+            Phase2Choice::Recurse => {
+                let reduced = LinkedList::new(next_sub.clone(), 0)
+                    .expect("reduced list is a valid single path");
+                let inner = ReidMillerSim {
+                    params: SimParams::tuned_scan(k, p),
+                    seed: self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+                };
+                let run = inner.scan(&reduced, &totals, op, config.clone());
+                timer.charge_all("phase2", run.cycles.get());
+                element_ops += run.element_ops;
+                run.out
+            }
+        };
+        timer.barrier();
+
+        // ---- Phase 3: expand prefixes across the sublists.
+        let mut out = vec![op.identity(); n];
+        let mut acc: Vec<T> = pre;
+        let mut cur3: Vec<usize> = head.iter().map(|&h| h as usize).collect();
+        for c in 0..p {
+            let mut proc = timer.make_proc();
+            proc.set_region("phase3");
+            let mut active: Vec<usize> = (cpu_lo[c]..cpu_hi[c]).collect();
+            let mut done = vec![false; k];
+            let mut live = active.len();
+            let mut step = 0usize;
+            let mut schedule = self.params.schedule.iter().copied().peekable();
+            while live > 0 {
+                proc.charge_kernel(kernels.final_scan, active.len());
+                element_ops += active.len() as u64;
+                for &i in &active {
+                    let v = cur3[i];
+                    out[v] = acc[i];
+                    acc[i] = op.combine(acc[i], vals[v]);
+                    let nx = links[v] as usize;
+                    if nx == v {
+                        if !done[i] {
+                            done[i] = true;
+                            live -= 1;
+                        }
+                    } else {
+                        cur3[i] = nx;
+                    }
+                }
+                step += 1;
+                if schedule.next_if(|&s| step >= s).is_some() {
+                    proc.charge_kernel(Kernel::FinalPack, active.len());
+                    element_ops += active.len() as u64;
+                    active.retain(|&i| !done[i]);
+                }
+            }
+            timer.commit(c, proc);
+        }
+        timer.barrier();
+
+        // ---- Restoration (the real implementation reconnects the list;
+        // our working copies are dropped, but the cycles are charged).
+        for c in 0..p {
+            let mut proc = timer.make_proc();
+            proc.set_region("restore");
+            proc.charge_kernel(Kernel::RestoreList, cpu_hi[c] - cpu_lo[c]);
+            timer.commit(c, proc);
+        }
+        element_ops += k as u64;
+        timer.barrier();
+
+        // The paper's space accounting: five per-virtual-processor words
+        // (head, position, sum, random position, successor) + constants.
+        let extra_words = 5 * k;
+        SimRun {
+            out,
+            cycles: timer.elapsed(),
+            counter: timer.merged_counter().clone(),
+            n,
+            clock_ns: config.clock_ns,
+            element_ops,
+            extra_words,
+        }
+    }
+}
+
+/// Serial exclusive scan of the reduced list (head = index 0).
+fn serial_scan_reduced<T: Copy, Op: ScanOp<T>>(
+    next_sub: &[Idx],
+    totals: &[T],
+    op: &Op,
+) -> Vec<T> {
+    let mut pre = vec![op.identity(); next_sub.len()];
+    let mut acc = op.identity();
+    let mut at = 0usize;
+    loop {
+        pre[at] = acc;
+        acc = op.combine(acc, totals[at]);
+        if next_sub[at] as usize == at {
+            break;
+        }
+        at = next_sub[at] as usize;
+    }
+    pre
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::{AddOp, Affine, AffineOp, MaxOp};
+
+    fn c90(p: usize) -> MachineConfig {
+        MachineConfig::c90(p)
+    }
+
+    #[test]
+    fn rank_matches_serial() {
+        for n in [1usize, 5, 100, 1000, 10_000, 100_000] {
+            let list = gen::random_list(n, n as u64 + 3);
+            let rm = ReidMillerSim::tuned_rank(n, 1, 9);
+            assert_eq!(
+                rm.rank(&list, c90(1)).out,
+                listkit::serial::rank(&list),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_serial_all_ops() {
+        let n = 20_000;
+        let list = gen::random_list(n, 5);
+        let rm = ReidMillerSim::tuned_scan(n, 1, 3);
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i % 101) - 50).collect();
+        assert_eq!(
+            rm.scan(&list, &vals, &AddOp, c90(1)).out,
+            listkit::serial::scan(&list, &vals, &AddOp)
+        );
+        assert_eq!(
+            rm.scan(&list, &vals, &MaxOp, c90(1)).out,
+            listkit::serial::scan(&list, &vals, &MaxOp)
+        );
+        let funcs: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 3) as i64 + 1, (i % 7) as i64 - 3)).collect();
+        assert_eq!(
+            rm.scan(&list, &funcs, &AffineOp, c90(1)).out,
+            listkit::serial::scan(&list, &funcs, &AffineOp)
+        );
+    }
+
+    #[test]
+    fn multiprocessor_output_identical() {
+        let n = 50_000;
+        let list = gen::random_list(n, 8);
+        let reference = listkit::serial::rank(&list);
+        for p in [1usize, 2, 4, 8] {
+            let rm = ReidMillerSim::tuned_rank(n, p, 4);
+            assert_eq!(rm.rank(&list, c90(p)).out, reference, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn asymptotic_scan_cost_near_paper() {
+        // Paper §5: 7.4 cycles/vertex asymptotically on one CPU (the
+        // model slightly over-predicts; accept 6.5..10.5).
+        let n = 2_000_000;
+        let list = gen::random_list(n, 1);
+        let vals = vec![1i64; n];
+        let rm = ReidMillerSim::tuned_scan(n, 1, 1);
+        let run = rm.scan(&list, &vals, &AddOp, c90(1));
+        let pv = run.cycles_per_vertex();
+        assert!(pv > 6.5 && pv < 10.5, "scan cycles/vertex {pv:.2}");
+    }
+
+    #[test]
+    fn asymptotic_rank_cheaper_than_scan() {
+        let n = 2_000_000;
+        let list = gen::random_list(n, 2);
+        let rank = ReidMillerSim::tuned_rank(n, 1, 1).rank(&list, c90(1));
+        let vals = vec![1i64; n];
+        let scan = ReidMillerSim::tuned_scan(n, 1, 1).scan(&list, &vals, &AddOp, c90(1));
+        assert!(
+            rank.cycles.get() < scan.cycles.get() * 0.85,
+            "rank {:.2} vs scan {:.2} cycles/vertex",
+            rank.cycles_per_vertex(),
+            scan.cycles_per_vertex()
+        );
+    }
+
+    #[test]
+    fn beats_serial_eightfold_at_scale() {
+        // Paper: "On one processor it is over eight times faster than
+        // the serial algorithm on the Cray C90" (rank).
+        let n = 4_000_000;
+        let list = gen::random_list(n, 3);
+        let ours = ReidMillerSim::tuned_rank(n, 1, 1).rank(&list, c90(1));
+        let serial_cycles = 42.1 * n as f64;
+        let speedup = serial_cycles / ours.cycles.get();
+        assert!(speedup > 5.5, "speedup over serial {speedup:.1} (paper: >8)");
+    }
+
+    #[test]
+    fn multiprocessor_speedup_shape() {
+        // Fig. 3: near-linear for long lists, degrading with p.
+        let n = 2_000_000;
+        let list = gen::random_list(n, 4);
+        let vals = vec![1i64; n];
+        let t1 = ReidMillerSim::tuned_scan(n, 1, 1)
+            .scan(&list, &vals, &AddOp, c90(1))
+            .cycles;
+        let t8 = ReidMillerSim::tuned_scan(n, 8, 1)
+            .scan(&list, &vals, &AddOp, c90(8))
+            .cycles;
+        let s8 = t1.get() / t8.get();
+        assert!(s8 > 4.5 && s8 < 8.0, "8-CPU speedup {s8:.2}");
+    }
+
+    #[test]
+    fn work_is_about_twice_serial() {
+        // Contract + expand: each vertex touched twice, plus overheads.
+        let n = 1_000_000;
+        let list = gen::random_list(n, 5);
+        let run = ReidMillerSim::tuned_rank(n, 1, 2).rank(&list, c90(1));
+        let opv = run.ops_per_vertex();
+        assert!(opv > 1.9 && opv < 3.5, "ops/vertex {opv:.2}");
+    }
+
+    #[test]
+    fn space_is_5p_plus_c() {
+        let n = 500_000;
+        let list = gen::random_list(n, 6);
+        let rm = ReidMillerSim::tuned_rank(n, 1, 2);
+        let run = rm.rank(&list, c90(1));
+        assert!(run.extra_words <= 5 * (rm.params.m + 1));
+        assert!(run.extra_words < n, "far less than the randomized algorithms' 2n+");
+    }
+
+    #[test]
+    fn explicit_params_and_no_packing() {
+        let n = 30_000;
+        let list = gen::random_list(n, 7);
+        let reference = listkit::serial::rank(&list);
+        let fixed = ReidMillerSim {
+            params: SimParams::fixed_interval(n, 300, 20),
+            seed: 3,
+        };
+        assert_eq!(fixed.rank(&list, c90(1)).out, reference);
+        let nopack = ReidMillerSim { params: SimParams::no_packing(300), seed: 3 };
+        let nopack_run = nopack.rank(&list, c90(1));
+        assert_eq!(nopack_run.out, reference);
+        // Never packing wastes traversal work on dead sublists.
+        let packed_run = fixed.rank(&list, c90(1));
+        assert!(
+            nopack_run.cycles.get() > packed_run.cycles.get(),
+            "no-packing {} should cost more than scheduled packing {}",
+            nopack_run.cycles,
+            packed_run.cycles
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_present() {
+        let n = 100_000;
+        let list = gen::random_list(n, 8);
+        let run = ReidMillerSim::tuned_rank(n, 1, 1).rank(&list, c90(1));
+        for region in ["init", "phase1", "find-sublists", "phase2", "phase3", "restore"] {
+            assert!(
+                run.counter.region(region).get() > 0.0,
+                "missing region {region}: {:?}",
+                run.counter
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Simulated serial baseline (paper §2.1, Table I's "Serial" column).
+
+use super::machine::{SimMachine, SimRun};
+use listkit::{LinkedList, ScanOp};
+use vmach::{Kernel, MachineConfig};
+
+/// Serial list rank on the simulated C90 (42.1 cycles/vertex ≈ 177 ns).
+pub fn rank(list: &LinkedList, config: MachineConfig) -> SimRun<u64> {
+    let mut m = SimMachine::new(config);
+    m.set_region("serial-rank");
+    m.charge_serial(Kernel::SerialRank, list.len());
+    let out = listkit::serial::rank(list);
+    m.finish(out, list.len(), 0)
+}
+
+/// Serial list scan on the simulated C90 (43.6 cycles/vertex ≈ 183 ns).
+pub fn scan<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    config: MachineConfig,
+) -> SimRun<T> {
+    let mut m = SimMachine::new(config);
+    m.set_region("serial-scan");
+    m.charge_serial(Kernel::SerialScan, list.len());
+    let out = listkit::serial::scan(list, values, op);
+    m.finish(out, list.len(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::AddOp;
+
+    #[test]
+    fn table1_serial_times() {
+        let list = gen::random_list(100_000, 1);
+        let r = rank(&list, MachineConfig::c90(1));
+        assert!((r.ns_per_vertex() - 177.0).abs() < 2.0, "rank {}", r.ns_per_vertex());
+        let vals = vec![1i64; 100_000];
+        let s = scan(&list, &vals, &AddOp, MachineConfig::c90(1));
+        assert!((s.ns_per_vertex() - 183.0).abs() < 2.0, "scan {}", s.ns_per_vertex());
+    }
+
+    #[test]
+    fn output_is_correct() {
+        let list = gen::random_list(500, 3);
+        let r = rank(&list, MachineConfig::c90(1));
+        assert_eq!(r.out, listkit::serial::rank(&list));
+    }
+
+    #[test]
+    fn serial_does_not_scale_with_procs() {
+        let list = gen::random_list(10_000, 2);
+        let t1 = rank(&list, MachineConfig::c90(1)).cycles;
+        let t8 = rank(&list, MachineConfig::c90(8)).cycles;
+        assert_eq!(t1, t8, "a serial algorithm cannot use more CPUs");
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulated Wyllie pointer jumping (paper §2.2, Fig. 1's sawtooth).
+//!
+//! Wyllie's cost is data-independent — every one of the `⌈log₂(n−1)⌉`
+//! rounds processes all `n` elements — so the cycle charge is computed
+//! from `n` while the output is produced by the (identical-result) host
+//! implementation. The per-round charge `2.8x + 100` is the calibration
+//! discussed on [`vmach::Kernel::WyllieRound`]; the `⌈log⌉` is what
+//! produces the paper's sawtooth.
+
+use super::machine::{SimMachine, SimRun};
+use crate::host::wyllie::Wyllie;
+use listkit::{LinkedList, ScanOp};
+use vmach::{Kernel, MachineConfig};
+
+/// Charge one full Wyllie execution for a list of `n` vertices.
+fn charge(m: &mut SimMachine, n: usize) {
+    // Predecessor scatter + gathering the predecessor values as the
+    // initial partial sums.
+    m.set_region("build-prev");
+    m.charge_split(Kernel::BuildPrev, n);
+    m.charge_split(Kernel::BuildPrev, n);
+    m.set_region("jumping");
+    for _ in 0..Wyllie::rounds(n) {
+        m.charge_split(Kernel::WyllieRound, n);
+        m.charge_sync();
+    }
+}
+
+/// Simulated Wyllie list rank.
+pub fn rank(list: &LinkedList, config: MachineConfig) -> SimRun<u64> {
+    let mut m = SimMachine::new(config);
+    charge(&mut m, list.len());
+    let out = Wyllie.rank(list);
+    // Wyllie needs working copies of links and values: 2n words.
+    let extra = 2 * list.len();
+    m.finish(out, list.len(), extra)
+}
+
+/// Simulated Wyllie list scan.
+pub fn scan<T, Op>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    config: MachineConfig,
+) -> SimRun<T>
+where
+    T: Copy + Send + Sync,
+    Op: ScanOp<T>,
+{
+    let mut m = SimMachine::new(config);
+    charge(&mut m, list.len());
+    let out = Wyllie.scan(list, values, op);
+    let extra = 2 * list.len();
+    m.finish(out, list.len(), extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen;
+    use listkit::ops::AddOp;
+
+    #[test]
+    fn output_matches_serial() {
+        let list = gen::random_list(2000, 7);
+        let r = rank(&list, MachineConfig::c90(1));
+        assert_eq!(r.out, listkit::serial::rank(&list));
+    }
+
+    #[test]
+    fn sawtooth_at_power_of_two() {
+        // One more round at n = 1025 than at n = 1024 (⌈log₂(n−1)⌉).
+        let a = rank(&gen::random_list(1025, 1), MachineConfig::c90(1));
+        let b = rank(&gen::random_list(1026, 1), MachineConfig::c90(1));
+        assert!(
+            b.cycles_per_vertex() > a.cycles_per_vertex(),
+            "crossing 2^10 must add a round"
+        );
+    }
+
+    #[test]
+    fn work_grows_log_linearly() {
+        let small = rank(&gen::random_list(1 << 12, 2), MachineConfig::c90(1));
+        let large = rank(&gen::random_list(1 << 16, 2), MachineConfig::c90(1));
+        // Per-vertex cost grows with log n: 16 rounds vs 12.
+        let ratio = large.cycles_per_vertex() / small.cycles_per_vertex();
+        assert!(ratio > 1.2 && ratio < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scales_almost_linearly_with_procs() {
+        let list = gen::random_list(1 << 18, 3);
+        let t1 = rank(&list, MachineConfig::c90(1)).cycles;
+        let t8 = rank(&list, MachineConfig::c90(8)).cycles;
+        let speedup = t1.get() / t8.get();
+        assert!(speedup > 5.0 && speedup < 8.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn scan_output_correct() {
+        let list = gen::random_list(300, 9);
+        let vals: Vec<i64> = (0..300).map(|i| i as i64).collect();
+        let s = scan(&list, &vals, &AddOp, MachineConfig::c90(2));
+        assert_eq!(s.out, listkit::serial::scan(&list, &vals, &AddOp));
+    }
+}

@@ -1,0 +1,125 @@
+//! Tuned parameters for the simulated backend.
+//!
+//! The paper picks `m` (number of split positions) and `S_1` (first
+//! load-balance point) by minimizing the Eq. (3) cost model, then fits
+//! polylog curves for use at runtime. [`SimParams::tuned_scan`] /
+//! [`SimParams::tuned_rank`] run the `rankmodel` tuner directly (it is
+//! fast enough per call that the fitted-curve indirection is optional;
+//! the curves themselves are exercised in `rankmodel`).
+
+use rankmodel::predict::Phase2Choice;
+use rankmodel::schedule::Schedule;
+use rankmodel::tuner::{Tuner, TunerOptions};
+use rankmodel::ModelCoeffs;
+
+/// Parameters controlling one simulated Reid-Miller run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimParams {
+    /// Number of random split positions requested (`m+1` sublists).
+    pub m: usize,
+    /// Integer pack points: traverse until `schedule[i]` links, then
+    /// pack, for each `i` (strictly increasing).
+    pub schedule: Vec<usize>,
+    /// Phase-2 strategy.
+    pub phase2: Phase2Choice,
+}
+
+impl SimParams {
+    /// Model-tuned parameters for a list **scan** of `n` vertices on `p`
+    /// C90 CPUs.
+    pub fn tuned_scan(n: usize, p: usize) -> Self {
+        Self::tuned(n, p, ModelCoeffs::c90_scan())
+    }
+
+    /// Model-tuned parameters for list **ranking** (packed one-gather
+    /// loops).
+    pub fn tuned_rank(n: usize, p: usize) -> Self {
+        Self::tuned(n, p, ModelCoeffs::c90_rank())
+    }
+
+    fn tuned(n: usize, p: usize, coeffs: ModelCoeffs) -> Self {
+        let mut tuner = Tuner::new(coeffs, TunerOptions::c90(p));
+        let t = tuner.tune(n);
+        if t.m < 2 {
+            return Self { m: 0, schedule: Vec::new(), phase2: Phase2Choice::Serial };
+        }
+        // One schedule drives both phases (the paper tunes a single S1);
+        // use the Phase-1 pack/traverse cost ratio.
+        let sched = Schedule::from_s1(
+            n as f64,
+            t.m as f64,
+            t.s1.max(1.0),
+            coeffs.phase1.c_over_a(),
+            tuner.options().stop_g,
+        );
+        Self { m: t.m, schedule: sched.integer_points(), phase2: t.phase2 }
+    }
+
+    /// Explicit parameters (ablations): a fixed `m` with packs every
+    /// `interval` links up to the expected longest sublist.
+    pub fn fixed_interval(n: usize, m: usize, interval: usize) -> Self {
+        assert!(interval >= 1);
+        let longest = rankmodel::expdist::expected_longest(n as f64, m as f64);
+        let schedule = (1..)
+            .map(|i| i * interval)
+            .take_while(|&s| (s as f64) < longest * 1.5)
+            .collect();
+        Self { m, schedule, phase2: Phase2Choice::Serial }
+    }
+
+    /// Explicit parameters with **no** intermediate packing (ablation:
+    /// the cost of never load balancing).
+    pub fn no_packing(m: usize) -> Self {
+        Self { m, schedule: Vec::new(), phase2: Phase2Choice::Serial }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_scan_reasonable() {
+        let p = SimParams::tuned_scan(100_000, 1);
+        assert!(p.m > 100, "m = {}", p.m);
+        assert!(p.m < 100_000 / 4);
+        assert!(!p.schedule.is_empty());
+        for w in p.schedule.windows(2) {
+            assert!(w[1] > w[0], "schedule must increase");
+        }
+    }
+
+    #[test]
+    fn tuned_rank_differs_from_scan() {
+        let r = SimParams::tuned_rank(1_000_000, 1);
+        let s = SimParams::tuned_scan(1_000_000, 1);
+        assert!(r.m > 0 && s.m > 0);
+        // Rank's cheaper traversal tolerates more packing/sublists or a
+        // different schedule; at minimum the params object is valid.
+        assert!(!r.schedule.is_empty());
+    }
+
+    #[test]
+    fn tiny_n_degenerates_to_serial() {
+        let p = SimParams::tuned_scan(64, 1);
+        assert_eq!(p.m, 0);
+        assert_eq!(p.phase2, Phase2Choice::Serial);
+    }
+
+    #[test]
+    fn fixed_interval_schedule() {
+        let p = SimParams::fixed_interval(10_000, 199, 25);
+        assert_eq!(p.m, 199);
+        assert_eq!(p.schedule[0], 25);
+        assert_eq!(p.schedule[1], 50);
+        assert!(p.schedule.len() > 3);
+    }
+
+    #[test]
+    fn multiprocessor_params_valid() {
+        for p in [2usize, 4, 8] {
+            let sp = SimParams::tuned_scan(1_000_000, p);
+            assert!(sp.m >= 2, "p={p}: m={}", sp.m);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Edge cases and failure injection for the algorithms crate.
+
+use listkit::ops::AddOp;
+use listkit::validate::validate_links;
+use listkit::{gen, LinkedList};
+use listrank::host::{AndersonMiller, MillerReif, ReidMiller, Wyllie};
+use listrank::{Algorithm, HostRunner, SimParams, SimRunner};
+
+#[test]
+fn malformed_lists_rejected_at_the_boundary() {
+    // Algorithms take `LinkedList`, whose constructor enforces validity,
+    // so malformed structures never reach the hot loops.
+    assert!(LinkedList::new(vec![1, 2, 0], 0).is_err()); // pure cycle
+    assert!(LinkedList::new(vec![1, 5, 2], 0).is_err()); // dangling link
+    assert!(LinkedList::new(vec![0, 1], 0).is_err()); // two components
+    assert!(LinkedList::new(vec![], 0).is_err()); // empty
+    // rho shape: 0→1→2→3→1 with an unrelated self-loop at 4.
+    assert!(validate_links(&[1, 2, 3, 1, 4], 0).is_err());
+}
+
+#[test]
+fn single_vertex_everywhere() {
+    let list = LinkedList::from_order(&[0]).unwrap();
+    for alg in Algorithm::ALL {
+        assert_eq!(HostRunner::new(alg).rank(&list), vec![0], "{alg}");
+        assert_eq!(SimRunner::new(alg, 4).rank(&list).out, vec![0], "{alg}");
+    }
+    let vals = vec![123i64];
+    assert_eq!(
+        HostRunner::new(Algorithm::ReidMiller).scan(&list, &vals, &AddOp),
+        vec![0]
+    );
+}
+
+#[test]
+fn two_vertices_everywhere() {
+    let list = LinkedList::from_order(&[1, 0]).unwrap();
+    for alg in Algorithm::ALL {
+        let r = HostRunner::new(alg).rank(&list);
+        assert_eq!(r, vec![1, 0], "{alg}");
+    }
+}
+
+#[test]
+fn m_larger_than_n_is_clamped() {
+    let list = gen::random_list(100, 5);
+    let reference = listkit::serial::rank(&list);
+    // Requesting far more splits than vertices must not break anything.
+    let rm = ReidMiller::new(1).with_m(10_000);
+    assert_eq!(rm.rank(&list), reference);
+    let run = SimRunner::new(Algorithm::ReidMiller, 1)
+        .with_params(SimParams::no_packing(10_000))
+        .rank(&list);
+    assert_eq!(run.out, reference);
+}
+
+#[test]
+fn m_of_zero_or_one_degenerates_to_serial() {
+    let list = gen::random_list(5000, 6);
+    let reference = listkit::serial::rank(&list);
+    for m in [0usize, 1] {
+        assert_eq!(ReidMiller::new(1).with_m(m).rank(&list), reference, "m={m}");
+    }
+}
+
+#[test]
+fn value_length_mismatch_panics() {
+    let list = gen::random_list(100, 7);
+    let short = vec![1i64; 99];
+    let result = std::panic::catch_unwind(|| {
+        HostRunner::new(Algorithm::ReidMiller).scan(&list, &short, &AddOp)
+    });
+    assert!(result.is_err(), "mismatched value array must be rejected");
+}
+
+#[test]
+fn degenerate_am_and_mr_params_still_correct() {
+    let list = gen::random_list(2000, 8);
+    let reference = listkit::serial::rank(&list);
+    // One queue: Anderson–Miller degenerates to near-serial splicing.
+    assert_eq!(AndersonMiller::new(1).with_queues(1).rank(&list), reference);
+    // Queue per vertex.
+    assert_eq!(AndersonMiller::new(1).with_queues(2000).rank(&list), reference);
+    // Miller–Reif with pathological seeds.
+    for seed in [0u64, u64::MAX, 0x5555_5555_5555_5555] {
+        assert_eq!(MillerReif::new(seed).rank(&list), reference);
+    }
+}
+
+#[test]
+fn wyllie_handles_exact_powers_of_two() {
+    for n in [2usize, 4, 1024, 1025, 1026] {
+        let list = gen::random_list(n, n as u64);
+        assert_eq!(Wyllie.rank(&list), listkit::serial::rank(&list), "n={n}");
+    }
+}
+
+#[test]
+fn empty_schedule_and_oversized_schedule() {
+    let n = 20_000;
+    let list = gen::random_list(n, 9);
+    let reference = listkit::serial::rank(&list);
+    // Packs scheduled far beyond the longest sublist: harmless.
+    let params = SimParams {
+        m: 100,
+        schedule: vec![1_000_000, 2_000_000],
+        phase2: rankmodel::predict::Phase2Choice::Serial,
+    };
+    let run = SimRunner::new(Algorithm::ReidMiller, 1).with_params(params).rank(&list);
+    assert_eq!(run.out, reference);
+}
+
+#[test]
+fn sequential_list_is_the_friendly_case_for_everyone() {
+    let list = gen::sequential_list(50_000);
+    let reference = listkit::serial::rank(&list);
+    for alg in Algorithm::ALL {
+        assert_eq!(HostRunner::new(alg).rank(&list), reference, "{alg}");
+    }
+}
+
+#[test]
+fn seeds_change_cycles_not_answers() {
+    let list = gen::random_list(30_000, 10);
+    let a = SimRunner::new(Algorithm::ReidMiller, 1).with_seed(1).rank(&list);
+    let b = SimRunner::new(Algorithm::ReidMiller, 1).with_seed(2).rank(&list);
+    assert_eq!(a.out, b.out);
+    // Different random splits → different live traces → different cycles.
+    assert_ne!(a.cycles, b.cycles);
+}

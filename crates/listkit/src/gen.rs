@@ -1,0 +1,242 @@
+//! Seedable workload generators.
+//!
+//! The paper evaluates on lists laid out in *random order* in memory (the
+//! hard case for caches and memory banks: every link dereference is an
+//! unpredictable gather). We also provide sequential, reversed, strided
+//! and blocked layouts so the cache-sensitivity of the workstation
+//! baseline (Table I "cache" vs "memory" columns) can be demonstrated
+//! mechanistically.
+
+use crate::list::{Idx, LinkedList, ValuedList};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// In-place Fisher–Yates shuffle with an explicit RNG.
+///
+/// Written out rather than using `SliceRandom` so the shuffle is stable
+/// across `rand` versions (reproducibility of seeded workloads matters
+/// for the experiment harness).
+pub fn fisher_yates<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Memory layout of a generated list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Vertex `k` sits at array slot `k`: perfectly sequential traversal.
+    Sequential,
+    /// Traversal walks the array backwards.
+    Reversed,
+    /// Traversal jumps by `stride` slots (mod n): systematic bank/cache
+    /// conflicts when the stride divides the bank count.
+    Strided(usize),
+    /// Blocks of `block` consecutive slots, blocks in random order:
+    /// tunable locality between Sequential and Random.
+    Blocked(usize),
+    /// Uniformly random permutation: the paper's workload.
+    Random,
+}
+
+/// Generate a list of `n` vertices with the given memory [`Layout`].
+///
+/// # Panics
+/// Panics if `n == 0`, if a strided layout's stride is not coprime with
+/// `n`, or if a blocked layout's block size is 0.
+pub fn list_with_layout(n: usize, layout: Layout, seed: u64) -> LinkedList {
+    assert!(n > 0, "list length must be positive");
+    let order: Vec<Idx> = match layout {
+        Layout::Sequential => (0..n as Idx).collect(),
+        Layout::Reversed => (0..n as Idx).rev().collect(),
+        Layout::Strided(stride) => {
+            assert!(stride > 0, "stride must be positive");
+            assert_eq!(gcd(stride, n), 1, "stride must be coprime with n to form a single list");
+            let mut order = Vec::with_capacity(n);
+            let mut at = 0usize;
+            for _ in 0..n {
+                order.push(at as Idx);
+                at = (at + stride) % n;
+            }
+            order
+        }
+        Layout::Blocked(block) => {
+            assert!(block > 0, "block size must be positive");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nblocks = n.div_ceil(block);
+            let mut blocks: Vec<usize> = (0..nblocks).collect();
+            fisher_yates(&mut blocks, &mut rng);
+            let mut order = Vec::with_capacity(n);
+            for b in blocks {
+                let lo = b * block;
+                let hi = (lo + block).min(n);
+                order.extend((lo as Idx)..(hi as Idx));
+            }
+            order
+        }
+        Layout::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut order: Vec<Idx> = (0..n as Idx).collect();
+            fisher_yates(&mut order, &mut rng);
+            order
+        }
+    };
+    LinkedList::from_order(&order).expect("generated order is a permutation")
+}
+
+/// The paper's workload: a list in uniformly random memory order.
+///
+/// ```
+/// let list = listkit::gen::random_list(1000, 42);
+/// assert_eq!(list.len(), 1000);
+/// assert_eq!(list.iter().count(), 1000);
+/// // Deterministic per seed:
+/// assert_eq!(list, listkit::gen::random_list(1000, 42));
+/// ```
+pub fn random_list(n: usize, seed: u64) -> LinkedList {
+    list_with_layout(n, Layout::Random, seed)
+}
+
+/// A list traversed in array order (the cache-friendly best case).
+pub fn sequential_list(n: usize) -> LinkedList {
+    list_with_layout(n, Layout::Sequential, 0)
+}
+
+/// Random list paired with uniform random values in `lo..hi`.
+pub fn random_valued_list(n: usize, seed: u64, lo: i64, hi: i64) -> ValuedList<i64> {
+    let list = random_list(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let values = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    ValuedList::new(list, values).expect("lengths agree by construction")
+}
+
+/// Random list with all values 1 (list ranking as a scan).
+pub fn unit_valued_list(n: usize, seed: u64) -> ValuedList<i64> {
+    let list = random_list(n, seed);
+    let values = vec![1i64; n];
+    ValuedList::new(list, values).expect("lengths agree by construction")
+}
+
+/// Draw `m` *distinct* random vertices, excluding the tail, as sublist
+/// split positions (paper Phase 0: each virtual processor picks a random
+/// vertex to be a sublist tail; duplicates are resolved by competition —
+/// we model the post-competition survivor set).
+///
+/// Returns at most `m` positions; fewer if `m` approaches `n-1`.
+pub fn random_split_positions(list: &LinkedList, m: usize, rng: &mut StdRng) -> Vec<Idx> {
+    let n = list.len();
+    let tail = list.tail();
+    // Competition semantics: m draws with replacement, duplicates dropped.
+    let mut chosen = vec![false; n];
+    let mut out = Vec::with_capacity(m);
+    for _ in 0..m {
+        let v = rng.random_range(0..n as u64) as Idx;
+        if v != tail && !chosen[v as usize] {
+            chosen[v as usize] = true;
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_links;
+
+    #[test]
+    fn random_list_is_valid_and_seeded() {
+        let a = random_list(1000, 42);
+        let b = random_list(1000, 42);
+        let c = random_list(1000, 43);
+        assert_eq!(a, b, "same seed must reproduce the same list");
+        assert_ne!(a, c, "different seeds should differ");
+        validate_links(a.links(), a.head()).unwrap();
+    }
+
+    #[test]
+    fn sequential_and_reversed() {
+        let s = sequential_list(5);
+        assert_eq!(s.order(), vec![0, 1, 2, 3, 4]);
+        let r = list_with_layout(5, Layout::Reversed, 0);
+        assert_eq!(r.order(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn strided_layout_covers_all() {
+        let l = list_with_layout(8, Layout::Strided(3), 0);
+        let mut order = l.order();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 3);
+        order.sort_unstable();
+        assert_eq!(order, (0..8).collect::<Vec<Idx>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn strided_layout_rejects_shared_factor() {
+        let _ = list_with_layout(8, Layout::Strided(2), 0);
+    }
+
+    #[test]
+    fn blocked_layout_valid_and_blocky() {
+        let l = list_with_layout(100, Layout::Blocked(10), 7);
+        validate_links(l.links(), l.head()).unwrap();
+        let order = l.order();
+        // Within each block of 10, order is consecutive.
+        for chunk in order.chunks(10) {
+            for w in chunk.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_layout_handles_ragged_tail_block() {
+        let l = list_with_layout(25, Layout::Blocked(10), 3);
+        validate_links(l.links(), l.head()).unwrap();
+        assert_eq!(l.len(), 25);
+    }
+
+    #[test]
+    fn valued_lists_have_matching_lengths() {
+        let vl = random_valued_list(64, 5, -100, 100);
+        assert_eq!(vl.values.len(), 64);
+        assert!(vl.values.iter().all(|&v| (-100..100).contains(&v)));
+        let ul = unit_valued_list(16, 1);
+        assert!(ul.values.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn split_positions_distinct_and_exclude_tail() {
+        let list = random_list(500, 9);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pos = random_split_positions(&list, 100, &mut rng);
+        assert!(pos.len() <= 100);
+        assert!(!pos.is_empty());
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pos.len(), "positions must be distinct");
+        assert!(pos.iter().all(|&p| p != list.tail()));
+    }
+
+    #[test]
+    fn fisher_yates_is_permutation() {
+        let mut xs: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        fisher_yates(&mut xs, &mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

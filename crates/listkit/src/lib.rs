@@ -1,0 +1,44 @@
+//! # listkit — linked-list substrate for the Reid-Miller reproduction
+//!
+//! The paper represents a linked list as a pair of arrays: a *link* array
+//! (`next[v]` is the index of the successor of vertex `v`) and a *value*
+//! array. The tail of the list is a **self-loop**: `next[tail] == tail`.
+//! This crate provides:
+//!
+//! * [`LinkedList`] / [`ValuedList`] — the array-of-links representation,
+//!   with validated construction;
+//! * [`gen`] — deterministic, seedable workload generators (random
+//!   permutation order, sequential, reversed, strided, blocked locality);
+//! * [`ScanOp`] and concrete operators — the binary associative "sum" of
+//!   the paper's list scan, including a non-commutative operator
+//!   ([`ops::AffineOp`]) used to verify that implementations respect list
+//!   order;
+//! * [`serial`] — reference serial list rank / list scan (paper §2.1);
+//! * [`packed`] — the one-gather encoding of (value, link) in a single
+//!   64-bit word (paper §3, the list-ranking fast path);
+//! * [`validate`] — structural validation with precise error reporting.
+//!
+//! ## Conventions
+//!
+//! *Rank* of a vertex = number of vertices preceding it (head has rank 0).
+//! *Scan* of a vertex = the operator-sum of the **values of all prior
+//! vertices** (exclusive prefix; head gets the identity). This matches the
+//! paper: list ranking is list scan with integer addition over all-ones.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod list;
+pub mod ops;
+pub mod packed;
+pub mod segmented;
+pub mod serial;
+pub mod validate;
+
+pub use list::{Idx, LinkedList, ValuedList};
+pub use ops::ScanOp;
+pub use validate::{ListError, ListTopology};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ListError>;

@@ -1,0 +1,160 @@
+//! Property-based tests for the list substrate.
+
+use listkit::gen::{self, Layout};
+use listkit::ops::{AddOp, Affine, AffineOp, MaxOp, ScanOp, XorOp};
+use listkit::packed::{self, PackedList};
+use listkit::segmented::{self, SegOp};
+use listkit::validate::validate_links;
+use listkit::{Idx, LinkedList};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_layout_generates_valid_lists(
+        n in 1usize..3000,
+        seed in any::<u64>(),
+        layout_ix in 0usize..4,
+    ) {
+        let layout = match layout_ix {
+            0 => Layout::Sequential,
+            1 => Layout::Reversed,
+            2 => Layout::Blocked(17),
+            _ => Layout::Random,
+        };
+        let list = gen::list_with_layout(n, layout, seed);
+        prop_assert!(validate_links(list.links(), list.head()).is_ok());
+        // The traversal order is a permutation.
+        let mut order = list.order();
+        order.sort_unstable();
+        prop_assert!(order.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+
+    #[test]
+    fn from_order_inverts_order(n in 1usize..2000, seed in any::<u64>()) {
+        let list = gen::random_list(n, seed);
+        let order = list.order();
+        let rebuilt = LinkedList::from_order(&order).unwrap();
+        prop_assert_eq!(rebuilt, list);
+    }
+
+    #[test]
+    fn predecessors_invert_successors(n in 1usize..2000, seed in any::<u64>()) {
+        let list = gen::random_list(n, seed);
+        let prev = list.predecessors();
+        for v in 0..n as Idx {
+            if !list.is_tail(v) {
+                prop_assert_eq!(prev[list.next_of(v) as usize], v);
+            }
+        }
+        prop_assert_eq!(prev[list.head() as usize], list.head());
+    }
+
+    #[test]
+    fn packed_roundtrip(value in any::<u32>(), link in any::<u32>()) {
+        let w = packed::pack(value, link);
+        prop_assert_eq!(packed::value_of(w), value);
+        prop_assert_eq!(packed::link_of(w), link);
+    }
+
+    #[test]
+    fn packed_rank_equals_serial(n in 1usize..2000, seed in any::<u64>()) {
+        let list = gen::random_list(n, seed);
+        let packed = PackedList::for_ranking(&list);
+        let pr = packed.serial_rank();
+        let sr = listkit::serial::rank(&list);
+        prop_assert!(pr.iter().zip(&sr).all(|(&p, &s)| p as u64 == s));
+    }
+
+    #[test]
+    fn affine_op_is_associative(
+        a in (-5i64..6, -20i64..20),
+        b in (-5i64..6, -20i64..20),
+        c in (-5i64..6, -20i64..20),
+    ) {
+        let (fa, fb, fc) = (
+            Affine::new(a.0, a.1),
+            Affine::new(b.0, b.1),
+            Affine::new(c.0, c.1),
+        );
+        prop_assert_eq!(
+            AffineOp.combine(fa, AffineOp.combine(fb, fc)),
+            AffineOp.combine(AffineOp.combine(fa, fb), fc)
+        );
+    }
+
+    #[test]
+    fn affine_composition_is_application(
+        a in (-5i64..6, -20i64..20),
+        b in (-5i64..6, -20i64..20),
+        x in -1000i64..1000,
+    ) {
+        let (f, g) = (Affine::new(a.0, a.1), Affine::new(b.0, b.1));
+        prop_assert_eq!(AffineOp.combine(f, g).apply(x), g.apply(f.apply(x)));
+    }
+
+    #[test]
+    fn xor_scan_is_self_inverting(n in 1usize..1500, seed in any::<u64>()) {
+        // inclusive[i] ^ exclusive[i] == value[i].
+        let list = gen::random_list(n, seed);
+        let vals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let ex = listkit::serial::scan(&list, &vals, &XorOp);
+        let inc = listkit::serial::scan_inclusive(&list, &vals, &XorOp);
+        for v in 0..n {
+            prop_assert_eq!(ex[v] ^ inc[v], vals[v]);
+        }
+    }
+
+    #[test]
+    fn max_scan_is_monotone_along_list(n in 1usize..1500, seed in any::<u64>()) {
+        let list = gen::random_list(n, seed);
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 1000).collect();
+        let ex = listkit::serial::scan(&list, &vals, &MaxOp);
+        let mut prev = i64::MIN;
+        for v in list.iter() {
+            prop_assert!(ex[v as usize] >= prev);
+            prev = prev.max(ex[v as usize]).max(vals[v as usize]);
+        }
+    }
+
+    #[test]
+    fn segmented_scan_via_segop_matches_reference(
+        n in 1usize..1200,
+        seed in any::<u64>(),
+        seg_every in 1usize..80,
+    ) {
+        let list = gen::random_list(n, seed);
+        let values: Vec<i64> = (0..n as i64).map(|i| (i % 19) - 9).collect();
+        let mut starts = vec![false; n];
+        for (pos, v) in list.iter().enumerate() {
+            if pos % seg_every == 0 {
+                starts[v as usize] = true;
+            }
+        }
+        let wrapped = segmented::wrap(&values, &starts);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(AddOp));
+        let got = segmented::unwrap_exclusive(&scanned, &starts, &AddOp);
+        let want = segmented::serial_segmented_scan(&list, &values, &starts, &AddOp);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_positions_distinct_nontail(
+        n in 2usize..3000,
+        m in 1usize..3000,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let list = gen::random_list(n, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 1);
+        let pos = gen::random_split_positions(&list, m, &mut rng);
+        prop_assert!(pos.len() <= m);
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        let len = sorted.len();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), len);
+        prop_assert!(pos.iter().all(|&p| p != list.tail() && (p as usize) < n));
+    }
+}

@@ -1,0 +1,248 @@
+//! Sublist-length distribution (paper §4.1).
+//!
+//! Splitting a list of length `n` at `m` random positions produces `m+1`
+//! sublists whose lengths, for large `n ≈ m → ∞`, behave like mutually
+//! independent exponential variates with mean `n/m` (Proposition 2,
+//! after Feller). Hence
+//!
+//! * `Prob[L > x] ≈ e^(−m·x/n)`                         (Eq. 1)
+//! * `g(x) = (m+1)·e^(−m·x/n)`                          (Eq. 2)
+//! * `E[L_(j)] ≈ (n/m)·ln((m+1)/(m−j+0.5))`             (j-th shortest)
+//! * `E[L_(0)] ≈ (n/m)·ln((m+1)/(m+0.5))` and
+//!   `E[L_(m)] ≈ (n/m)·ln(2m+2)` as special cases.
+//!
+//! The empirical sampler reproduces Fig. 9's error bars.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `Prob[L > x]` for a sublist length when a list of `n` vertices is
+/// split into `m+1` sublists (Eq. 1).
+pub fn survival(x: f64, n: f64, m: f64) -> f64 {
+    (-m * x / n).exp()
+}
+
+/// `g(x)`: expected number of sublists with length greater than `x`
+/// (Eq. 2). This is the expected vector length after traversing `x`
+/// links in each live sublist.
+pub fn g(x: f64, n: f64, m: f64) -> f64 {
+    (m + 1.0) * survival(x, n, m)
+}
+
+/// Derivative `g'(x) = −(m/n)·g(x)` (used in the Eq. 4 recurrence).
+pub fn g_prime(x: f64, n: f64, m: f64) -> f64 {
+    -(m / n) * g(x, n, m)
+}
+
+/// Expected length of the j-th shortest of the `m+1` sublists,
+/// `0 ≤ j ≤ m`: solve `survival(x) = (m − j + 0.5)/(m + 1)` for `x`.
+///
+/// The paper notes the estimate is reasonable for `n > 1000`, `m > 100`.
+pub fn expected_jth_shortest(j: usize, n: f64, m: f64) -> f64 {
+    assert!(j as f64 <= m, "j must be in 0..=m");
+    (n / m) * ((m + 1.0) / (m - j as f64 + 0.5)).ln()
+}
+
+/// Expected length of the shortest sublist: `(n/m)·ln((m+1)/(m+0.5))`.
+pub fn expected_shortest(n: f64, m: f64) -> f64 {
+    expected_jth_shortest(0, n, m)
+}
+
+/// Expected length of the longest sublist: `(n/m)·ln(2m+2)`.
+///
+/// This bounds the parallel time of Phases 1 and 3 from below and is the
+/// reason the algorithm needs `m ≫ p`.
+pub fn expected_longest(n: f64, m: f64) -> f64 {
+    expected_jth_shortest(m as usize, n, m)
+}
+
+/// Draw one sample of the `m+1` sublist lengths produced by splitting a
+/// list of `n` vertices at `m` distinct random non-tail positions,
+/// returned **sorted ascending** (order statistics).
+///
+/// Sampling is by rank, which is distributionally identical to choosing
+/// random vertices of a random-order list (what the implementation
+/// does) but needs no actual list.
+pub fn sample_sorted_lengths(n: usize, m: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(m < n, "need m < n distinct non-tail split positions");
+    // Choose m distinct ranks from 0..n-1 (the split vertices become
+    // sublist tails; the global tail, rank n-1, is excluded because
+    // splitting there is a no-op).
+    let mut tails = sample_distinct(n - 1, m, rng);
+    tails.sort_unstable();
+    let mut lengths = Vec::with_capacity(m + 1);
+    let mut prev: isize = -1;
+    for &t in &tails {
+        lengths.push((t as isize - prev) as usize);
+        prev = t as isize;
+    }
+    lengths.push((n as isize - 1 - prev) as usize);
+    lengths.sort_unstable();
+    lengths
+}
+
+/// Mean over `samples` draws of the j-th shortest sublist length, for
+/// all `j` (Fig. 9's observed curve).
+pub fn mean_sorted_lengths(n: usize, m: usize, samples: usize, seed: u64) -> Vec<f64> {
+    let mut acc = vec![0.0f64; m + 1];
+    for s in 0..samples {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(s as u64));
+        let lengths = sample_sorted_lengths(n, m, &mut rng);
+        for (a, &l) in acc.iter_mut().zip(&lengths) {
+            *a += l as f64;
+        }
+    }
+    for a in &mut acc {
+        *a /= samples as f64;
+    }
+    acc
+}
+
+/// Empirical `g(x)`: the mean (over `samples` random splits) number of
+/// sublists longer than `x`, for each query point. Validates Eq. (2)
+/// directly — the quantity the pack schedule is built on.
+pub fn empirical_g(n: usize, m: usize, xs: &[usize], samples: usize, seed: u64) -> Vec<f64> {
+    let mut acc = vec![0.0f64; xs.len()];
+    for s in 0..samples {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(s as u64));
+        let lengths = sample_sorted_lengths(n, m, &mut rng);
+        for (a, &x) in acc.iter_mut().zip(xs) {
+            // lengths sorted ascending: count strictly greater via
+            // partition point.
+            let idx = lengths.partition_point(|&l| l <= x);
+            *a += (lengths.len() - idx) as f64;
+        }
+    }
+    for a in &mut acc {
+        *a /= samples as f64;
+    }
+    acc
+}
+
+/// Floyd's algorithm for `k` distinct values in `0..bound`.
+fn sample_distinct(bound: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= bound);
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in bound - k..bound {
+        let t = rng.random_range(0..=j as u64) as usize;
+        let v = if chosen.contains(&t) { j } else { t };
+        chosen.insert(v);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_endpoints() {
+        assert!((survival(0.0, 10_000.0, 200.0) - 1.0).abs() < 1e-12);
+        assert!(survival(1e9, 10_000.0, 200.0) < 1e-12);
+    }
+
+    #[test]
+    fn g_at_zero_is_sublist_count() {
+        // Fig. 10's dotted curve starts at m+1 = 200.
+        assert!((g(0.0, 10_000.0, 199.0) - 200.0).abs() < 1e-12);
+        assert!(g(50.0, 10_000.0, 199.0) < 200.0);
+    }
+
+    #[test]
+    fn g_is_monotone_decreasing() {
+        let (n, m) = (10_000.0, 199.0);
+        let mut prev = g(0.0, n, m);
+        for i in 1..200 {
+            let cur = g(i as f64, n, m);
+            assert!(cur < prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn g_prime_matches_finite_difference() {
+        let (n, m) = (10_000.0, 199.0);
+        let x = 37.0;
+        let h = 1e-4;
+        let fd = (g(x + h, n, m) - g(x - h, n, m)) / (2.0 * h);
+        assert!((g_prime(x, n, m) - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_special_cases() {
+        let (n, m) = (10_000.0, 199.0);
+        let shortest = expected_shortest(n, m);
+        let longest = expected_longest(n, m);
+        assert!((shortest - (n / m) * ((m + 1.0) / (m + 0.5)).ln()).abs() < 1e-9);
+        assert!((longest - (n / m) * (2.0 * m + 2.0).ln()).abs() < 1e-9);
+        // Longest ≈ 6× the mean at m = 199 (ln(400) ≈ 6).
+        assert!(longest / (n / m) > 5.5 && longest / (n / m) < 6.5);
+    }
+
+    #[test]
+    fn jth_shortest_is_increasing_in_j() {
+        let (n, m) = (10_000.0, 99.0);
+        let mut prev = 0.0;
+        for j in 0..=99 {
+            let e = expected_jth_shortest(j, n, m);
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn samples_partition_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lengths = sample_sorted_lengths(10_000, 199, &mut rng);
+        assert_eq!(lengths.len(), 200);
+        assert_eq!(lengths.iter().sum::<usize>(), 10_000);
+        assert!(lengths.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(lengths.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn observed_matches_expected_fig9() {
+        // Fig. 9's comparison: 20 samples at n = 10_000. The expected
+        // curve should track observed means within a loose tolerance for
+        // middling j (extreme order statistics are noisier).
+        let (n, m) = (10_000usize, 199usize);
+        let means = mean_sorted_lengths(n, m, 20, 42);
+        for j in (20..180).step_by(20) {
+            let expected = expected_jth_shortest(j, n as f64, m as f64);
+            let observed = means[j];
+            let rel = (observed - expected).abs() / expected;
+            assert!(
+                rel < 0.25,
+                "j={j}: expected {expected:.1}, observed {observed:.1}, rel err {rel:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_g_tracks_analytic() {
+        let (n, m) = (10_000usize, 199usize);
+        let xs: Vec<usize> = (0..200).step_by(20).collect();
+        let emp = empirical_g(n, m, &xs, 40, 3);
+        for (&x, &e) in xs.iter().zip(&emp) {
+            let a = g(x as f64, n as f64, m as f64);
+            let tol = (0.15 * a).max(2.0);
+            assert!(
+                (e - a).abs() < tol,
+                "x={x}: empirical {e:.1} vs analytic {a:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs = sample_distinct(100, 60, &mut rng);
+        xs.sort_unstable();
+        let len = xs.len();
+        xs.dedup();
+        assert_eq!(xs.len(), len);
+        assert!(xs.iter().all(|&x| x < 100));
+    }
+}

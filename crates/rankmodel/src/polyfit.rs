@@ -1,0 +1,140 @@
+//! Least-squares polynomial fitting (normal equations + Gaussian
+//! elimination). Small and self-contained: the paper fits `m(n)` and
+//! `S_1(n)` as cubic polynomials of `log n`, which needs nothing heavier.
+
+/// Fit a degree-`deg` polynomial to `(xs, ys)` by least squares; returns
+/// coefficients lowest-order first (`c[0] + c[1]·x + …`).
+///
+/// # Panics
+/// Panics if fewer than `deg + 1` points are supplied or the normal
+/// equations are singular (e.g. duplicate xs for an exact fit).
+pub fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let k = deg + 1;
+    assert!(xs.len() >= k, "need at least {k} points for degree {deg}");
+    // Normal equations: (AᵀA) c = Aᵀy with A the Vandermonde matrix.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = Vec::with_capacity(2 * k - 1);
+        let mut p = 1.0;
+        for _ in 0..2 * k - 1 {
+            powers.push(p);
+            p *= x;
+        }
+        for i in 0..k {
+            aty[i] += powers[i] * y;
+            for j in 0..k {
+                ata[i][j] += powers[i + j];
+            }
+        }
+    }
+    solve(ata, aty)
+}
+
+/// Evaluate a polynomial (lowest-order-first coefficients) at `x` by
+/// Horner's rule.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Gaussian elimination with partial pivoting on an `k×k` system.
+#[allow(clippy::needless_range_loop)] // index-style is clearest for elimination
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let k = b.len();
+    for col in 0..k {
+        // Pivot.
+        let pivot = (col..k)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        assert!(a[pivot][col].abs() > 1e-12, "singular normal equations");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..k {
+            let f = a[row][col] / a[col][col];
+            for c in col..k {
+                a[row][c] -= f * a[col][c];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; k];
+    for row in (0..k).rev() {
+        let mut s = b[row];
+        for c in row + 1..k {
+            s -= a[row][c] * x[c];
+        }
+        x[row] = s / a[row][row];
+    }
+    x
+}
+
+/// Root-mean-square residual of a fit.
+pub fn rms_residual(coeffs: &[f64], xs: &[f64], ys: &[f64]) -> f64 {
+    let sum: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = polyval(coeffs, x) - y;
+            e * e
+        })
+        .sum();
+    (sum / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_cubic_recovery() {
+        let truth = [2.0, -1.5, 0.25, 0.01];
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
+        let fit = polyfit(&xs, &ys, 3);
+        for (f, t) in fit.iter().zip(&truth) {
+            assert!((f - t).abs() < 1e-6, "fit {fit:?} vs truth {truth:?}");
+        }
+        assert!(rms_residual(&fit, &xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_of_noisy_line() {
+        // y = 3x + 5 with deterministic "noise".
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 3.0 * x + 5.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = polyfit(&xs, &ys, 1);
+        assert!((fit[1] - 3.0).abs() < 0.01);
+        assert!((fit[0] - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        assert_eq!(polyval(&[1.0, 2.0, 3.0], 2.0), 1.0 + 4.0 + 12.0);
+        assert_eq!(polyval(&[], 5.0), 0.0);
+        assert_eq!(polyval(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // Quadratic through many exact points.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 4.0 - x + 0.5 * x * x).collect();
+        let fit = polyfit(&xs, &ys, 2);
+        assert!((fit[0] - 4.0).abs() < 1e-7);
+        assert!((fit[1] + 1.0).abs() < 1e-7);
+        assert!((fit[2] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn rejects_underdetermined() {
+        let _ = polyfit(&[1.0, 2.0], &[1.0, 2.0], 3);
+    }
+}

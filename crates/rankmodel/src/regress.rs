@@ -1,0 +1,87 @@
+//! Simple linear regression `y = te·x + t0`.
+//!
+//! The paper measured its loop coefficients by timing each vectorized
+//! loop at many vector lengths and fitting the Hockney line. We use the
+//! same machinery to (a) verify that the simulator's composite kernels
+//! land on the published coefficients and (b) fit host-backend timings.
+
+/// Result of a least-squares line fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Slope (per-element cost, `te`).
+    pub te: f64,
+    /// Intercept (startup, `t0`).
+    pub t0: f64,
+    /// Coefficient of determination (1 = perfect).
+    pub r2: f64,
+}
+
+/// Fit `y = te·x + t0` to the samples.
+///
+/// # Panics
+/// Panics with fewer than two samples or zero variance in `x`.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two samples");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values must vary");
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let te = sxy / sxx;
+    let t0 = my - te * mx;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (te * x + t0);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LineFit { te, t0, r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.4 * x + 35.0).collect();
+        let fit = fit_line(&xs, &ys);
+        assert!((fit.te - 3.4).abs() < 1e-9);
+        assert!((fit.t0 - 35.0).abs() < 1e-6);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + 7.0 + if i % 3 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        let fit = fit_line(&xs, &ys);
+        assert!((fit.te - 2.0).abs() < 0.02);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r2() {
+        let fit = fit_line(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert!((fit.te - 0.0).abs() < 1e-12);
+        assert!((fit.t0 - 5.0).abs() < 1e-12);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        let _ = fit_line(&[1.0], &[2.0]);
+    }
+}

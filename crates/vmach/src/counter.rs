@@ -1,0 +1,145 @@
+//! Cycle accounting with per-region breakdown.
+
+use crate::cycles::Cycles;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulates charged cycles, split by named region (phase).
+///
+/// Regions use `&'static str` labels; a `BTreeMap` keeps report order
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct CycleCounter {
+    total: f64,
+    by_region: BTreeMap<&'static str, f64>,
+    ops: u64,
+}
+
+impl CycleCounter {
+    /// Fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `cycles` to `region`.
+    #[inline]
+    pub fn charge(&mut self, region: &'static str, cycles: f64) {
+        debug_assert!(cycles >= 0.0, "negative charge to {region}");
+        self.total += cycles;
+        *self.by_region.entry(region).or_insert(0.0) += cycles;
+        self.ops += 1;
+    }
+
+    /// Total cycles charged.
+    #[inline]
+    pub fn total(&self) -> Cycles {
+        Cycles(self.total)
+    }
+
+    /// Cycles charged to one region (0 if never charged).
+    pub fn region(&self, region: &str) -> Cycles {
+        Cycles(self.by_region.get(region).copied().unwrap_or(0.0))
+    }
+
+    /// Number of charge events (≈ number of vector instructions issued).
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// All regions and their cycles, in deterministic (sorted) order.
+    pub fn regions(&self) -> impl Iterator<Item = (&'static str, Cycles)> + '_ {
+        self.by_region.iter().map(|(&k, &v)| (k, Cycles(v)))
+    }
+
+    /// Fold another counter's charges into this one (same timeline —
+    /// totals add).
+    pub fn absorb(&mut self, other: &CycleCounter) {
+        self.total += other.total;
+        self.ops += other.ops;
+        for (&k, &v) in &other.by_region {
+            *self.by_region.entry(k).or_insert(0.0) += v;
+        }
+    }
+
+    /// Render a breakdown table (cycles and percentages; ns at the given
+    /// clock).
+    pub fn report(&self, clock_ns: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>14} {:>12} {:>7}",
+            "region", "cycles", "ns", "share"
+        );
+        for (region, c) in self.regions() {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>14.1} {:>12.1} {:>6.1}%",
+                region,
+                c.get(),
+                c.to_ns(clock_ns),
+                100.0 * c.get() / self.total.max(f64::MIN_POSITIVE)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<26} {:>14.1} {:>12.1} {:>6.1}%",
+            "TOTAL",
+            self.total,
+            self.total * clock_ns,
+            100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_region() {
+        let mut c = CycleCounter::new();
+        c.charge("phase1", 10.0);
+        c.charge("phase1", 5.0);
+        c.charge("phase3", 2.5);
+        assert_eq!(c.total(), Cycles(17.5));
+        assert_eq!(c.region("phase1"), Cycles(15.0));
+        assert_eq!(c.region("phase3"), Cycles(2.5));
+        assert_eq!(c.region("nope"), Cycles(0.0));
+        assert_eq!(c.op_count(), 3);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = CycleCounter::new();
+        a.charge("x", 1.0);
+        let mut b = CycleCounter::new();
+        b.charge("x", 2.0);
+        b.charge("y", 3.0);
+        a.absorb(&b);
+        assert_eq!(a.total(), Cycles(6.0));
+        assert_eq!(a.region("x"), Cycles(3.0));
+        assert_eq!(a.op_count(), 3);
+    }
+
+    #[test]
+    fn report_contains_regions_and_total() {
+        let mut c = CycleCounter::new();
+        c.charge("alpha", 30.0);
+        c.charge("beta", 70.0);
+        let r = c.report(4.2);
+        assert!(r.contains("alpha"));
+        assert!(r.contains("beta"));
+        assert!(r.contains("TOTAL"));
+        assert!(r.contains("70.0%"));
+    }
+
+    #[test]
+    fn regions_sorted_deterministically() {
+        let mut c = CycleCounter::new();
+        c.charge("zeta", 1.0);
+        c.charge("alpha", 1.0);
+        let names: Vec<_> = c.regions().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`Cycles`] unit type.
+//!
+//! All simulator accounting is in machine clock cycles (fractional,
+//! because the paper's per-element coefficients like 3.4 cycles/element
+//! are averages over pipelined execution). Conversion to nanoseconds uses
+//! the machine's clock period — 4.2 ns on the C90.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A (possibly fractional) number of machine clock cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Cycles(pub f64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0.0);
+
+    /// Raw cycle count.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Convert to nanoseconds at a given clock period (ns per cycle).
+    #[inline]
+    pub fn to_ns(self, clock_ns: f64) -> f64 {
+        self.0 * clock_ns
+    }
+
+    /// Cycles per vertex for a workload of `n` vertices.
+    #[inline]
+    pub fn per(self, n: usize) -> f64 {
+        self.0 / n as f64
+    }
+
+    /// Nanoseconds per vertex.
+    #[inline]
+    pub fn ns_per(self, n: usize, clock_ns: f64) -> f64 {
+        self.to_ns(clock_ns) / n as f64
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: f64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Div<Cycles> for Cycles {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Cycles) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} Mcycles", self.0 / 1e6)
+        } else {
+            write!(f, "{:.1} cycles", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(10.0) + Cycles(5.0);
+        assert_eq!(a, Cycles(15.0));
+        assert_eq!(a - Cycles(5.0), Cycles(10.0));
+        assert_eq!(a * 2.0, Cycles(30.0));
+        assert_eq!(a / 3.0, Cycles(5.0));
+        assert_eq!(Cycles(30.0) / Cycles(15.0), 2.0);
+        let mut b = Cycles::ZERO;
+        b += Cycles(7.5);
+        assert_eq!(b.get(), 7.5);
+    }
+
+    #[test]
+    fn conversions() {
+        // C90 clock: 4.2 ns
+        let c = Cycles(100.0);
+        assert!((c.to_ns(4.2) - 420.0).abs() < 1e-9);
+        assert!((c.per(50) - 2.0).abs() < 1e-9);
+        assert!((c.ns_per(50, 4.2) - 8.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let total: Cycles = [Cycles(1.0), Cycles(2.0), Cycles(3.5)].into_iter().sum();
+        assert_eq!(total, Cycles(6.5));
+        assert_eq!(Cycles(2.0).max(Cycles(3.0)), Cycles(3.0));
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Cycles(12.34).to_string(), "12.3 cycles");
+        assert_eq!(Cycles(2_500_000.0).to_string(), "2.500 Mcycles");
+    }
+}

@@ -1,0 +1,53 @@
+//! # vmach — a Cray C90-style vector multiprocessor cost simulator
+//!
+//! The paper's evaluation platform is a Cray C90: a shared-memory vector
+//! multiprocessor with a 4.2 ns clock, 128-element vector registers, up
+//! to 16 CPUs, heavily banked memory, and one gather/scatter pipe per
+//! CPU. We do not have one, so this crate provides the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * **Vector operations execute over real Rust slices** — gather,
+//!   scatter, compress (the paper's "pack"), elementwise arithmetic,
+//!   iota, reductions — so algorithm results are exact and testable.
+//! * **Every operation charges cycles** through the Hockney model
+//!   `T(x) = te·x + t0` ([`cost::OpCost`]). Two cost layers exist:
+//!   a generic per-operation layer ([`cost::OpKind`]) for composing new
+//!   kernels, and a **paper-calibrated kernel layer** ([`cost::Kernel`])
+//!   whose coefficients are exactly the loop timings published in §3 of
+//!   the paper (e.g. `T_InitialScan(x) = 3.4x + 35` C90 clock cycles).
+//! * **Multiprocessor mode** ([`multi`]) divides work across `p` CPUs
+//!   with per-CPU counters, barrier costs, and a memory-bandwidth
+//!   contention factor calibrated against Table I of the paper.
+//! * **Banked memory** ([`memory`]) simulates bank-conflict stalls for an
+//!   address stream, supporting the paper's remark that random sublist
+//!   heads make systematic bank conflicts unlikely.
+//! * **Scalar and workstation models** ([`scalar`], [`workstation`],
+//!   [`cache`]) reproduce the serial C90 baseline and the DEC Alpha
+//!   3000/600 baseline of Table I; the Alpha model runs a real
+//!   set-associative LRU cache simulation to decide where a workload sits
+//!   between the paper's "cache" and "memory" columns.
+//!
+//! Cycle accounting is deterministic: simulated experiments are exactly
+//! reproducible, unlike wall-clock measurements.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod config;
+pub mod cost;
+pub mod counter;
+pub mod cycles;
+pub mod memory;
+pub mod multi;
+pub mod pipeline;
+pub mod scalar;
+pub mod vector;
+pub mod workstation;
+
+pub use config::MachineConfig;
+pub use cost::{CostProfile, Kernel, OpCost, OpKind};
+pub use counter::CycleCounter;
+pub use cycles::Cycles;
+pub use multi::ParallelTimer;
+pub use vector::VectorProc;

@@ -1,0 +1,186 @@
+//! Multiprocessor timing: per-CPU timelines, barriers, contention.
+//!
+//! The paper's multiprocessor scheme (§5) assigns virtual processors to
+//! physical processors **once**, load balances only locally, and
+//! synchronizes a constant number of times. We model that with one
+//! timeline per CPU; elapsed time is the maximum timeline, and barriers
+//! advance every CPU to the maximum plus a synchronization cost. Memory
+//! bandwidth is shared, so per-element costs are scaled by the
+//! contention factor from [`MachineConfig`] (calibrated against Table I).
+
+use crate::config::MachineConfig;
+use crate::cost::CostProfile;
+use crate::counter::CycleCounter;
+use crate::cycles::Cycles;
+use crate::vector::VectorProc;
+
+/// Timelines for `p` cooperating vector processors.
+#[derive(Clone, Debug)]
+pub struct ParallelTimer {
+    config: MachineConfig,
+    /// Per-CPU elapsed cycles.
+    timeline: Vec<f64>,
+    /// Merged region accounting across CPUs (sums of work, not elapsed).
+    merged: CycleCounter,
+    barriers: u32,
+}
+
+impl ParallelTimer {
+    /// A timer for the machine's processor count.
+    pub fn new(config: MachineConfig) -> Self {
+        let p = config.n_procs;
+        Self {
+            config,
+            timeline: vec![0.0; p],
+            merged: CycleCounter::new(),
+            barriers: 0,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn n_procs(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// A [`VectorProc`] whose profile already includes this machine's
+    /// contention factor; run a CPU's work on it, then commit with
+    /// [`ParallelTimer::commit`].
+    pub fn make_proc(&self) -> VectorProc {
+        let profile = CostProfile::c90().with_contention(self.config.contention_factor());
+        VectorProc::with_profile(profile, self.config.vector_len)
+    }
+
+    /// Commit a finished processor's counter to CPU `i`'s timeline.
+    pub fn commit(&mut self, i: usize, proc: VectorProc) {
+        let counter = proc.into_counter();
+        self.timeline[i] += counter.total().get();
+        self.merged.absorb(&counter);
+    }
+
+    /// Charge raw cycles to CPU `i` (already contention-scaled by the
+    /// caller if appropriate).
+    pub fn charge(&mut self, i: usize, region: &'static str, cycles: f64) {
+        self.timeline[i] += cycles;
+        self.merged.charge(region, cycles);
+    }
+
+    /// Charge the same serial work to *every* CPU (e.g. a redundantly
+    /// executed scalar section), advancing all timelines.
+    pub fn charge_all(&mut self, region: &'static str, cycles: f64) {
+        for t in &mut self.timeline {
+            *t += cycles;
+        }
+        self.merged.charge(region, cycles);
+    }
+
+    /// Barrier: all CPUs advance to the slowest timeline plus the sync
+    /// cost.
+    pub fn barrier(&mut self) {
+        let max = self.timeline.iter().copied().fold(0.0, f64::max) + self.config.sync_cycles;
+        for t in &mut self.timeline {
+            *t = max;
+        }
+        self.barriers += 1;
+        self.merged.charge("sync", self.config.sync_cycles);
+    }
+
+    /// Number of barriers executed (the paper: constant, independent of n).
+    pub fn barrier_count(&self) -> u32 {
+        self.barriers
+    }
+
+    /// Elapsed cycles: the slowest CPU's timeline.
+    pub fn elapsed(&self) -> Cycles {
+        Cycles(self.timeline.iter().copied().fold(0.0, f64::max))
+    }
+
+    /// Total work across CPUs (for work-efficiency accounting).
+    pub fn total_work(&self) -> Cycles {
+        Cycles(self.timeline.iter().sum())
+    }
+
+    /// Merged per-region accounting.
+    pub fn merged_counter(&self) -> &CycleCounter {
+        &self.merged
+    }
+
+    /// Per-CPU load imbalance: max/mean of the timelines.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.timeline.iter().copied().fold(0.0, f64::max);
+        let mean = self.timeline.iter().sum::<f64>() / self.timeline.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Kernel;
+
+    #[test]
+    fn elapsed_is_max_timeline() {
+        let mut t = ParallelTimer::new(MachineConfig::c90(4));
+        t.charge(0, "w", 100.0);
+        t.charge(1, "w", 300.0);
+        t.charge(2, "w", 200.0);
+        assert_eq!(t.elapsed(), Cycles(300.0));
+        assert_eq!(t.total_work(), Cycles(600.0));
+        assert!((t.imbalance() - 300.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_aligns_and_charges_sync() {
+        let cfg = MachineConfig::c90(2);
+        let sync = cfg.sync_cycles;
+        let mut t = ParallelTimer::new(cfg);
+        t.charge(0, "w", 100.0);
+        t.barrier();
+        assert_eq!(t.elapsed(), Cycles(100.0 + sync));
+        // Both CPUs now aligned: more work on CPU 1 extends from there.
+        t.charge(1, "w", 50.0);
+        assert_eq!(t.elapsed(), Cycles(150.0 + sync));
+        assert_eq!(t.barrier_count(), 1);
+    }
+
+    #[test]
+    fn make_proc_applies_contention() {
+        let t8 = ParallelTimer::new(MachineConfig::c90(8));
+        let p8 = t8.make_proc();
+        let t1 = ParallelTimer::new(MachineConfig::c90(1));
+        let p1 = t1.make_proc();
+        let k8 = p8.profile().kernel(Kernel::InitialScan).te;
+        let k1 = p1.profile().kernel(Kernel::InitialScan).te;
+        assert!(k8 > k1, "8-CPU te must exceed 1-CPU te");
+        assert!((k8 / k1 - MachineConfig::c90(8).contention_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_merges_counters() {
+        let mut t = ParallelTimer::new(MachineConfig::c90(2));
+        let mut p = t.make_proc();
+        p.set_region("phase1");
+        p.charge_kernel(Kernel::InitialScan, 100);
+        let expect = p.elapsed().get();
+        t.commit(0, p);
+        assert_eq!(t.elapsed(), Cycles(expect));
+        assert!(t.merged_counter().region("phase1").get() > 0.0);
+    }
+
+    #[test]
+    fn charge_all_advances_every_cpu() {
+        let mut t = ParallelTimer::new(MachineConfig::c90(3));
+        t.charge_all("serial", 42.0);
+        assert_eq!(t.elapsed(), Cycles(42.0));
+        assert_eq!(t.total_work(), Cycles(126.0));
+        assert!((t.imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the vector-machine substrate.
+
+use proptest::prelude::*;
+use vmach::cache::{CacheConfig, CacheSim};
+use vmach::cost::{CostProfile, Kernel, OpCost, ALL_KERNELS, ALL_OPS};
+use vmach::memory::BankSim;
+use vmach::pipeline::{self, VLEN};
+use vmach::{MachineConfig, VectorProc};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gather_equals_index_map(data in proptest::collection::vec(any::<i64>(), 1..200),
+                               seed in any::<u64>()) {
+        let n = data.len();
+        let idx: Vec<u32> = (0..n as u32).map(|i| ((i as u64 ^ seed) % n as u64) as u32).collect();
+        let mut p = VectorProc::new(&MachineConfig::c90(1));
+        let got = p.gather(&data, &idx);
+        let want: Vec<i64> = idx.iter().map(|&i| data[i as usize]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn compress_preserves_kept_subsequence(
+        data in proptest::collection::vec(any::<i32>(), 0..300),
+        keep_seed in any::<u64>(),
+    ) {
+        let keep: Vec<bool> = (0..data.len())
+            .map(|i| (keep_seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let mut p = VectorProc::new(&MachineConfig::c90(1));
+        let got = p.compress(&data, &keep);
+        let want: Vec<i32> = data
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&d, &k)| k.then_some(d))
+            .collect();
+        let want_len = want.len();
+        prop_assert_eq!(got, want);
+        // compress_indices is consistent.
+        let idx = p.compress_indices(&keep);
+        prop_assert_eq!(idx.len(), want_len);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn hockney_cost_is_monotone_in_x(te in 0.01f64..10.0, t0 in 0.0f64..1000.0,
+                                     a in 0usize..10_000, b in 0usize..10_000) {
+        let c = OpCost::new(te, t0);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(c.at(lo) <= c.at(hi));
+    }
+
+    #[test]
+    fn contention_scaling_is_linear(factor in 1.0f64..3.0) {
+        let base = CostProfile::c90();
+        let scaled = base.with_contention(factor);
+        for k in ALL_KERNELS {
+            prop_assert!((scaled.kernel(k).te - base.kernel(k).te * factor).abs() < 1e-9);
+            prop_assert_eq!(scaled.kernel(k).t0, base.kernel(k).t0);
+        }
+        for o in ALL_OPS {
+            prop_assert!((scaled.op(o).te - base.op(o).te * factor).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(addrs in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let mut c = CacheSim::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 2 });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.stats().accesses(), addrs.len() as u64);
+        let r = c.stats().miss_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn repeated_access_to_same_line_hits(addr in 0u64..1_000_000) {
+        let mut c = CacheSim::new(CacheConfig::alpha_board_cache());
+        c.access(addr);
+        prop_assert!(c.access(addr));
+        prop_assert!(c.access(addr | 1)); // same line
+    }
+
+    #[test]
+    fn bank_stalls_bounded_by_busy_time(
+        addrs in proptest::collection::vec(0usize..10_000, 1..500),
+        busy in 1u32..16,
+    ) {
+        let mut sim = BankSim::new(64, busy);
+        let stats = sim.run(addrs.iter().copied());
+        prop_assert!(stats.stalls_per_access() <= busy as f64);
+        prop_assert!(stats.conflicts <= stats.accesses);
+    }
+
+    #[test]
+    fn strip_time_monotone_in_length(n1 in 1usize..=VLEN, n2 in 1usize..=VLEN) {
+        let prog = pipeline::kernels::initial_scan();
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        let t_lo = pipeline::schedule_strip(&prog, lo);
+        let t_hi = pipeline::schedule_strip(&prog, hi);
+        prop_assert!(t_lo.makespan <= t_hi.makespan);
+        // ...but per-element cost is anti-monotone (amortization), up to
+        // the ±1-cycle ceil quantization of each instruction's busy time.
+        let jitter = 4.0 / lo as f64;
+        prop_assert!(t_lo.per_element + jitter >= t_hi.per_element);
+    }
+
+    #[test]
+    fn kernel_charges_accumulate_linearly(x in 1usize..100_000) {
+        let mut p = VectorProc::new(&MachineConfig::c90(1));
+        p.charge_kernel(Kernel::InitialScan, x);
+        let one = p.elapsed().get();
+        p.charge_kernel(Kernel::InitialScan, x);
+        prop_assert!((p.elapsed().get() - 2.0 * one).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,54 @@
+//! Memory-bank conflicts: checking the paper's claim that "since we are
+//! choosing random positions for the heads of the sublists, systematic
+//! memory bank conflicts are unlikely" — and what would happen if the
+//! access pattern were strided instead.
+//!
+//! ```sh
+//! cargo run --release --example bank_conflicts
+//! ```
+
+use cray_list_ranking::prelude::*;
+use vmach::memory::BankSim;
+
+fn stream_stats(label: &str, addrs: impl IntoIterator<Item = usize>) {
+    // The C90-class machine: ~1024 banks, each busy ~6 cycles.
+    let mut sim = BankSim::new(1024, 6);
+    let stats = sim.run(addrs);
+    println!(
+        "{label:<34} conflicts: {:>6.2}%   stalls/access: {:>5.3}",
+        stats.conflict_rate() * 100.0,
+        stats.stalls_per_access()
+    );
+}
+
+fn main() {
+    let n = 1 << 20;
+    println!("gather streams of {n} accesses against 1024 banks (busy 6 cycles):\n");
+
+    // 1. Sequential sweep: perfect bank interleaving.
+    stream_stats("sequential", 0..n);
+
+    // 2. The paper's case: traversing a random-order list. The gather
+    //    addresses are the successive link targets.
+    let list = gen::random_list(n, 3);
+    let mut addrs = Vec::with_capacity(n);
+    let mut v = list.head();
+    for _ in 0..n {
+        addrs.push(v as usize);
+        v = list.next_of(v);
+    }
+    stream_stats("random list traversal", addrs);
+
+    // 3. A power-of-two stride that aliases onto few banks — the
+    //    pathology the randomization avoids.
+    stream_stats("stride 1024 (bank-aligned)", (0..n).map(|i| i * 1024));
+
+    // 4. An odd stride: coprime with the bank count, conflict-free.
+    stream_stats("stride 1023 (coprime)", (0..n).map(|i| i * 1023));
+
+    println!(
+        "\nconclusion: the random sublist heads keep conflict rates near the\n\
+         uniform-traffic floor, while bank-aligned strides stall on every access —\n\
+         the paper was justified in not engineering around bank conflicts."
+    );
+}

@@ -1,0 +1,62 @@
+//! A tour of the simulated Cray C90: run all five algorithms on the
+//! same list, print the per-phase cycle breakdown of the Reid-Miller
+//! run, its tuned parameters, and the cross-algorithm comparison.
+//!
+//! ```sh
+//! cargo run --release --example c90_report [n]
+//! ```
+
+use cray_list_ranking::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let list = gen::random_list(n, 1);
+    println!("simulated Cray C90 (4.2 ns clock), random list of {n} vertices\n");
+
+    // Cross-algorithm comparison, 1 CPU.
+    println!("{:<18} {:>12} {:>12} {:>12}", "algorithm", "Mcycles", "ns/vertex", "vs serial");
+    let serial = SimRunner::new(Algorithm::Serial, 1).rank(&list);
+    for alg in Algorithm::ALL {
+        let run = SimRunner::new(alg, 1).rank(&list);
+        println!(
+            "{:<18} {:>12.2} {:>12.1} {:>11.1}x",
+            alg.name(),
+            run.cycles.get() / 1e6,
+            run.ns_per_vertex(),
+            serial.cycles.get() / run.cycles.get(),
+        );
+    }
+
+    // Tuned parameters for this size (the paper's §4.4 machinery).
+    let params = SimParams::tuned_rank(n, 1);
+    println!(
+        "\ntuned parameters (1 CPU, rank): m = {} sublists, {} scheduled packs, phase 2 = {:?}",
+        params.m,
+        params.schedule.len(),
+        params.phase2
+    );
+    if !params.schedule.is_empty() {
+        println!("pack points S_i: {:?}", params.schedule);
+    }
+
+    // Phase breakdown of the Reid-Miller run.
+    let run = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+    println!("\nReid-Miller per-phase cycle breakdown:");
+    print!("{}", run.counter.report(4.2));
+
+    // Multiprocessor scaling.
+    println!("\nscaling (rank):");
+    println!("{:>5} {:>12} {:>10}", "CPUs", "ns/vertex", "speedup");
+    let base = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list).cycles;
+    for p in [1usize, 2, 4, 8, 16] {
+        let run = SimRunner::new(Algorithm::ReidMiller, p).rank(&list);
+        println!(
+            "{p:>5} {:>12.2} {:>9.2}x",
+            run.ns_per_vertex(),
+            base.get() / run.cycles.get()
+        );
+    }
+}

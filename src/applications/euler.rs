@@ -1,0 +1,352 @@
+//! Euler-tour tree contraction via list ranking/list scan.
+//!
+//! The Euler tour of a rooted tree visits every edge twice (down into a
+//! subtree, back up out of it), forming a linked list of `2(n−1)` arcs.
+//! Two classic facts turn list primitives into tree algorithms:
+//!
+//! * assigning `+1` to down-arcs and `−1` to up-arcs, the prefix sum at
+//!   vertex `v`'s down-arc is its **depth**;
+//! * the number of arcs between `v`'s down-arc and up-arc (inclusive)
+//!   is twice its **subtree size**, so subtree sizes follow from list
+//!   *ranking* alone.
+//!
+//! This is precisely the "list ranking as a primitive for many tree and
+//! graph algorithms" usage the paper cites as motivation.
+
+use listkit::ops::AddOp;
+use listkit::{Idx, LinkedList};
+use listrank::{Algorithm, HostRunner};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A rooted tree with ordered children.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    parent: Vec<Option<Idx>>,
+    children: Vec<Vec<Idx>>,
+    root: Idx,
+}
+
+impl Tree {
+    /// Build from a parent array (`None` exactly at the root).
+    ///
+    /// Validates that the structure is a single tree: one root, every
+    /// vertex reachable from it.
+    pub fn from_parents(parents: Vec<Option<Idx>>) -> Result<Tree, String> {
+        let n = parents.len();
+        if n == 0 {
+            return Err("tree must have at least one vertex".into());
+        }
+        let mut root = None;
+        let mut children: Vec<Vec<Idx>> = vec![Vec::new(); n];
+        for (v, &p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    if root.replace(v as Idx).is_some() {
+                        return Err("multiple roots".into());
+                    }
+                }
+                Some(p) => {
+                    if p as usize >= n {
+                        return Err(format!("parent {p} of {v} out of range"));
+                    }
+                    children[p as usize].push(v as Idx);
+                }
+            }
+        }
+        let root = root.ok_or("no root")?;
+        // Reachability (also rejects parent cycles).
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(u) = stack.pop() {
+            if seen[u as usize] {
+                return Err("cycle detected".into());
+            }
+            seen[u as usize] = true;
+            count += 1;
+            stack.extend(&children[u as usize]);
+        }
+        if count != n {
+            return Err(format!("only {count} of {n} vertices reachable from the root"));
+        }
+        Ok(Tree { parent: parents, children, root })
+    }
+
+    /// A uniform random recursive tree: vertex `v > 0` attaches to a
+    /// uniform vertex in `0..v`; root 0.
+    pub fn random(n: usize, seed: u64) -> Tree {
+        assert!(n >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut parents: Vec<Option<Idx>> = vec![None];
+        for v in 1..n {
+            parents.push(Some(rng.random_range(0..v as u64) as Idx));
+        }
+        Tree::from_parents(parents).expect("random attachment is a tree")
+    }
+
+    /// A path `0 → 1 → … → n−1` (maximum depth).
+    pub fn path(n: usize) -> Tree {
+        assert!(n >= 1);
+        let parents = (0..n)
+            .map(|v| if v == 0 { None } else { Some(v as Idx - 1) })
+            .collect();
+        Tree::from_parents(parents).expect("a path is a tree")
+    }
+
+    /// A star: everything hangs off the root (maximum fan-out).
+    pub fn star(n: usize) -> Tree {
+        assert!(n >= 1);
+        let parents = (0..n).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        Tree::from_parents(parents).expect("a star is a tree")
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Trees are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> Idx {
+        self.root
+    }
+
+    /// Parent of `v` (`None` at the root).
+    pub fn parent(&self, v: Idx) -> Option<Idx> {
+        self.parent[v as usize]
+    }
+
+    /// Ordered children of `v`.
+    pub fn children(&self, v: Idx) -> &[Idx] {
+        &self.children[v as usize]
+    }
+
+    /// Reference depths by breadth-first traversal (serial).
+    pub fn depths_serial(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.len()];
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            for &c in &self.children[u as usize] {
+                depth[c as usize] = depth[u as usize] + 1;
+                queue.push_back(c);
+            }
+        }
+        depth
+    }
+
+    /// Reference subtree sizes by iterative post-order (serial).
+    pub fn subtree_sizes_serial(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut size = vec![1u32; n];
+        // Process vertices in reverse BFS order so children are done
+        // before parents.
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            queue.extend(self.children[u as usize].iter().copied());
+        }
+        for &u in order.iter().rev() {
+            for &c in &self.children[u as usize] {
+                size[u as usize] += size[c as usize];
+            }
+        }
+        size
+    }
+}
+
+/// The Euler tour of a tree as a linked list of arcs.
+#[derive(Clone, Debug)]
+pub struct EulerTour {
+    /// The arc list (`2(n−1)` arcs; `None` for a single-vertex tree).
+    pub list: LinkedList,
+    /// `down_arc[v]`: the arc entering `v` (undefined at the root).
+    pub down_arc: Vec<Idx>,
+    /// `up_arc[v]`: the arc leaving `v`'s subtree (undefined at root).
+    pub up_arc: Vec<Idx>,
+}
+
+impl EulerTour {
+    /// Build the tour. Returns `None` for a single-vertex tree (no
+    /// arcs).
+    pub fn new(tree: &Tree) -> Option<EulerTour> {
+        let n = tree.len();
+        if n <= 1 {
+            return None;
+        }
+        // Dense edge ids for non-root vertices.
+        let mut eid = vec![Idx::MAX; n];
+        let mut next_id = 0 as Idx;
+        for v in 0..n as Idx {
+            if v != tree.root() {
+                eid[v as usize] = next_id;
+                next_id += 1;
+            }
+        }
+        let down = |v: Idx| 2 * eid[v as usize];
+        let up = |v: Idx| 2 * eid[v as usize] + 1;
+        let arcs = 2 * (n - 1);
+        let mut next = vec![0 as Idx; arcs];
+        for u in 0..n as Idx {
+            let kids = tree.children(u);
+            // Entering u (or starting at the root) leads into the first
+            // child, or straight back up.
+            if u != tree.root() {
+                next[down(u) as usize] =
+                    if let Some(&c0) = kids.first() { down(c0) } else { up(u) };
+            }
+            // Leaving child c leads to its next sibling, or up out of u.
+            for (i, &c) in kids.iter().enumerate() {
+                next[up(c) as usize] = if let Some(&sib) = kids.get(i + 1) {
+                    down(sib)
+                } else if u == tree.root() {
+                    up(c) // tour ends: tail self-loop
+                } else {
+                    up(u)
+                };
+            }
+        }
+        let head = down(*tree.children(tree.root()).first().expect("n > 1 has a child"));
+        let list = LinkedList::new(next, head).expect("Euler tour is a single path");
+        let mut down_arc = vec![Idx::MAX; n];
+        let mut up_arc = vec![Idx::MAX; n];
+        for v in 0..n as Idx {
+            if v != tree.root() {
+                down_arc[v as usize] = down(v);
+                up_arc[v as usize] = up(v);
+            }
+        }
+        Some(EulerTour { list, down_arc, up_arc })
+    }
+}
+
+/// Per-vertex depths via one parallel **list scan** over the Euler tour
+/// (+1 on down-arcs, −1 on up-arcs).
+pub fn depths(tree: &Tree, runner: &HostRunner) -> Vec<u32> {
+    let n = tree.len();
+    let Some(tour) = EulerTour::new(tree) else {
+        return vec![0];
+    };
+    // value[arc] = +1 for down-arcs (even ids), −1 for up-arcs.
+    let values: Vec<i64> =
+        (0..tour.list.len()).map(|a| if a % 2 == 0 { 1 } else { -1 }).collect();
+    let scan = runner.scan(&tour.list, &values, &AddOp);
+    let mut depth = vec![0u32; n];
+    for v in 0..n as Idx {
+        if v != tree.root() {
+            // inclusive prefix at the down-arc = exclusive + 1.
+            depth[v as usize] = (scan[tour.down_arc[v as usize] as usize] + 1) as u32;
+        }
+    }
+    depth
+}
+
+/// Per-vertex subtree sizes via one parallel **list rank** over the
+/// Euler tour.
+pub fn subtree_sizes(tree: &Tree, runner: &HostRunner) -> Vec<u32> {
+    let n = tree.len();
+    let Some(tour) = EulerTour::new(tree) else {
+        return vec![1];
+    };
+    let ranks = runner.rank(&tour.list);
+    let mut size = vec![0u32; n];
+    for v in 0..n as Idx {
+        if v == tree.root() {
+            size[v as usize] = n as u32;
+        } else {
+            let d = ranks[tour.down_arc[v as usize] as usize];
+            let u = ranks[tour.up_arc[v as usize] as usize];
+            // u − d + 1 arcs lie inside v's subtree: two per vertex.
+            size[v as usize] = (u - d).div_ceil(2) as u32;
+        }
+    }
+    size
+}
+
+/// Convenience: depths with the default Reid-Miller host runner.
+pub fn depths_parallel(tree: &Tree) -> Vec<u32> {
+    depths(tree, &HostRunner::new(Algorithm::ReidMiller))
+}
+
+/// Convenience: subtree sizes with the default Reid-Miller host runner.
+pub fn subtree_sizes_parallel(tree: &Tree) -> Vec<u32> {
+    subtree_sizes(tree, &HostRunner::new(Algorithm::ReidMiller))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tour_structure_of_small_tree() {
+        // root 0 with children 1, 2; 1 has child 3.
+        let tree =
+            Tree::from_parents(vec![None, Some(0), Some(0), Some(1)]).unwrap();
+        let tour = EulerTour::new(&tree).unwrap();
+        assert_eq!(tour.list.len(), 6);
+        // Tour order: down(1) down(3) up(3) up(1) down(2) up(2).
+        let order = tour.list.order();
+        assert_eq!(order[0], tour.down_arc[1]);
+        assert_eq!(order[1], tour.down_arc[3]);
+        assert_eq!(order[2], tour.up_arc[3]);
+        assert_eq!(order[3], tour.up_arc[1]);
+        assert_eq!(order[4], tour.down_arc[2]);
+        assert_eq!(order[5], tour.up_arc[2]);
+    }
+
+    #[test]
+    fn depths_match_bfs_on_random_trees() {
+        for n in [1usize, 2, 10, 1000, 20_000] {
+            let tree = Tree::random(n, n as u64 + 5);
+            assert_eq!(depths_parallel(&tree), tree.depths_serial(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sizes_match_postorder_on_random_trees() {
+        for n in [1usize, 2, 10, 1000, 20_000] {
+            let tree = Tree::random(n, 2 * n as u64 + 1);
+            assert_eq!(
+                subtree_sizes_parallel(&tree),
+                tree.subtree_sizes_serial(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_shapes() {
+        let path = Tree::path(500);
+        assert_eq!(depths_parallel(&path)[499], 499);
+        assert_eq!(subtree_sizes_parallel(&path)[0], 500);
+        assert_eq!(subtree_sizes_parallel(&path)[499], 1);
+        let star = Tree::star(500);
+        let d = depths_parallel(&star);
+        assert!(d[1..].iter().all(|&x| x == 1));
+        assert_eq!(subtree_sizes_parallel(&star)[0], 500);
+    }
+
+    #[test]
+    fn invalid_trees_rejected() {
+        assert!(Tree::from_parents(vec![]).is_err());
+        assert!(Tree::from_parents(vec![Some(0)]).is_err()); // no root
+        assert!(Tree::from_parents(vec![None, None]).is_err()); // two roots
+        assert!(Tree::from_parents(vec![None, Some(9)]).is_err()); // bad parent
+        // 1 and 2 point at each other: unreachable cycle.
+        assert!(Tree::from_parents(vec![None, Some(2), Some(1)]).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_computes_the_same_depths() {
+        let tree = Tree::random(3000, 42);
+        let want = tree.depths_serial();
+        for alg in Algorithm::ALL {
+            assert_eq!(depths(&tree, &HostRunner::new(alg)), want, "{alg}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Applications of list ranking and list scan.
+//!
+//! The paper's closing question is "whether having a fast list-ranking
+//! implementation helps in making other pointer-based applications
+//! practical." Two canonical consumers are provided:
+//!
+//! * [`euler`] — Euler-tour tree contraction: one list rank + one list
+//!   scan compute depths and subtree sizes of a rooted tree in parallel;
+//! * [`recurrence`] — first-order linear recurrences solved by a scan
+//!   with the affine-composition operator (the "loop raking" workload of
+//!   the paper's reference [5]).
+
+pub mod euler;
+pub mod recurrence;

@@ -1,0 +1,119 @@
+//! First-order linear recurrences via list scan.
+//!
+//! `x_i = a_i · x_{i−1} + b_i` is an affine-map composition, so a list
+//! scan with [`listkit::ops::AffineOp`] solves the whole recurrence in
+//! parallel — the application behind the paper's reference [5]
+//! (Blelloch, Chatterjee & Zagha, *Solving linear recurrences with loop
+//! raking*), here expressed over an arbitrary linked-list order rather
+//! than an array.
+
+use listkit::ops::{Affine, AffineOp, ScanOp};
+use listkit::{gen, LinkedList};
+use listrank::HostRunner;
+
+/// Solve `x_k = a_k · x_{k−1} + b_k` (k in list order, `x_{-1} = x0`)
+/// for every vertex, in parallel. Returns `x` indexed **by vertex**.
+pub fn solve_on_list(
+    list: &LinkedList,
+    coeffs: &[Affine],
+    x0: i64,
+    runner: &HostRunner,
+) -> Vec<i64> {
+    assert_eq!(coeffs.len(), list.len());
+    // Exclusive scan composes all maps strictly before v; applying v's
+    // own map afterwards gives the inclusive solution at v.
+    let pre = runner.scan(list, coeffs, &AffineOp);
+    pre.iter()
+        .zip(coeffs)
+        .map(|(p, c)| c.apply(p.apply(x0)))
+        .collect()
+}
+
+/// Solve an array-ordered recurrence (the common case): element `i`
+/// depends on element `i−1`.
+pub fn solve(coeffs: &[Affine], x0: i64, runner: &HostRunner) -> Vec<i64> {
+    let list = gen::sequential_list(coeffs.len());
+    solve_on_list(&list, coeffs, x0, runner)
+}
+
+/// Serial reference.
+pub fn solve_serial(coeffs: &[Affine], x0: i64) -> Vec<i64> {
+    let mut out = Vec::with_capacity(coeffs.len());
+    let mut x = x0;
+    for c in coeffs {
+        x = c.apply(x);
+        out.push(x);
+    }
+    out
+}
+
+/// Serial reference over a list order, indexed by vertex.
+pub fn solve_serial_on_list(list: &LinkedList, coeffs: &[Affine], x0: i64) -> Vec<i64> {
+    let mut out = vec![0i64; list.len()];
+    let mut x = x0;
+    for v in list.iter() {
+        x = coeffs[v as usize].apply(x);
+        out[v as usize] = x;
+    }
+    out
+}
+
+/// Fibonacci-style check value: the composed map over the whole list.
+pub fn total_map(list: &LinkedList, coeffs: &[Affine]) -> Affine {
+    let mut acc = AffineOp.identity();
+    for v in list.iter() {
+        acc = AffineOp.combine(acc, coeffs[v as usize]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listrank::Algorithm;
+
+    fn runner() -> HostRunner {
+        HostRunner::new(Algorithm::ReidMiller)
+    }
+
+    #[test]
+    fn array_recurrence_matches_serial() {
+        let n = 30_000;
+        let coeffs: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 3) as i64 - 1, (i % 7) as i64)).collect();
+        assert_eq!(solve(&coeffs, 5, &runner()), solve_serial(&coeffs, 5));
+    }
+
+    #[test]
+    fn list_ordered_recurrence() {
+        let n = 10_000;
+        let list = gen::random_list(n, 11);
+        let coeffs: Vec<Affine> =
+            (0..n).map(|i| Affine::new(1, (i % 10) as i64 - 4)).collect();
+        assert_eq!(
+            solve_on_list(&list, &coeffs, 0, &runner()),
+            solve_serial_on_list(&list, &coeffs, 0)
+        );
+    }
+
+    #[test]
+    fn constant_decay_recurrence() {
+        // x_i = 2 x_{i-1} (wrapping doubling): x_k = x0 << (k+1).
+        let coeffs = vec![Affine::new(2, 0); 30];
+        let xs = solve(&coeffs, 1, &runner());
+        for (k, &x) in xs.iter().enumerate() {
+            assert_eq!(x, 1i64 << (k + 1));
+        }
+    }
+
+    #[test]
+    fn total_map_equals_last_element_relation() {
+        let n = 5_000;
+        let list = gen::random_list(n, 3);
+        let coeffs: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 2) as i64 + 1, (i % 5) as i64)).collect();
+        let xs = solve_on_list(&list, &coeffs, 7, &runner());
+        let total = total_map(&list, &coeffs);
+        assert_eq!(xs[list.tail() as usize], total.apply(7));
+    }
+}

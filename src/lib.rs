@@ -1,0 +1,53 @@
+//! # cray-list-ranking
+//!
+//! A comprehensive reproduction of Margaret Reid-Miller, *"List Ranking
+//! and List Scan on the Cray C-90"* (SPAA 1994; JCSS 53:344–356, 1996),
+//! as a Rust workspace:
+//!
+//! * [`listkit`] — linked-list substrate (representation, generators,
+//!   scan operators, validation, the packed one-gather encoding);
+//! * [`vmach`] — a Cray C90-style vector multiprocessor **cost
+//!   simulator** (the paper's hardware, reproduced as a calibrated
+//!   model executing real data), plus cache/workstation and banked
+//!   memory models;
+//! * [`rankmodel`] — the paper's §4 analysis: exponential sublist
+//!   order statistics, the Eq. (4) pack schedule, the Eq. (3)/(5) cost
+//!   model, and the `(m, S_1)` tuner;
+//! * [`listrank`] — the contribution: Reid-Miller's algorithm and the
+//!   four baselines (serial, Wyllie, Miller–Reif, Anderson–Miller) on
+//!   a real-parallel `rayon` backend and on the simulated C90;
+//! * [`applications`] — classic consumers of list ranking, e.g. Euler
+//!   tour tree contraction.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cray_list_ranking::prelude::*;
+//! use listkit::gen;
+//!
+//! let list = gen::random_list(100_000, 42);
+//! let ranks = HostRunner::new(Algorithm::ReidMiller).rank(&list);
+//! assert_eq!(ranks[list.head() as usize], 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use listkit;
+pub use listrank;
+pub use rankmodel;
+pub use vmach;
+
+pub mod applications;
+
+/// Re-export of the most commonly used items.
+pub mod prelude {
+    pub use crate::applications::euler::{EulerTour, Tree};
+    pub use listkit::gen;
+    pub use listkit::ops::{AddOp, AffineOp, MaxOp, MinOp, XorOp};
+    pub use listkit::{LinkedList, ScanOp, ValuedList};
+    pub use listrank::{Algorithm, HostRunner, SimParams, SimRunner};
+}

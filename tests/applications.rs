@@ -1,0 +1,109 @@
+//! End-to-end application tests: the primitives composed into the
+//! workloads the paper motivates.
+
+use cray_list_ranking::applications::euler;
+use cray_list_ranking::prelude::*;
+use listkit::gen;
+
+#[test]
+fn tree_contraction_at_scale() {
+    let tree = Tree::random(200_000, 99);
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    assert_eq!(euler::depths(&tree, &runner), tree.depths_serial());
+    assert_eq!(euler::subtree_sizes(&tree, &runner), tree.subtree_sizes_serial());
+}
+
+#[test]
+fn tree_shapes_edge_cases() {
+    for tree in [Tree::path(2000), Tree::star(2000), Tree::random(1, 0), Tree::random(2, 0)] {
+        let runner = HostRunner::new(Algorithm::ReidMiller);
+        assert_eq!(euler::depths(&tree, &runner), tree.depths_serial());
+        assert_eq!(euler::subtree_sizes(&tree, &runner), tree.subtree_sizes_serial());
+    }
+}
+
+#[test]
+fn subtree_sizes_sum_identity() {
+    // Σ size(v) = Σ (depth(v) + 1): both count (ancestor, descendant)
+    // pairs including v itself.
+    let tree = Tree::random(50_000, 5);
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    let sizes = euler::subtree_sizes(&tree, &runner);
+    let depths = euler::depths(&tree, &runner);
+    let lhs: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let rhs: u64 = depths.iter().map(|&d| d as u64 + 1).sum();
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn list_to_array_roundtrip() {
+    // rank → reorder → rebuild the list from the order → identical.
+    let n = 80_000;
+    let list = gen::random_list(n, 17);
+    let ranks = HostRunner::new(Algorithm::ReidMiller).rank(&list);
+    let order = listkit::serial::order_from_ranks(&ranks);
+    let rebuilt = listkit::LinkedList::from_order(&order).unwrap();
+    assert_eq!(rebuilt, list);
+}
+
+#[test]
+fn segmented_sums_via_affine_trick() {
+    // A segmented sum over list order: encode "reset" boundaries as the
+    // affine map x→0+v and "accumulate" as x→x+v; composing along the
+    // list yields running sums that restart at each boundary — a scan a
+    // downstream user would actually write.
+    use listkit::ops::{Affine, AffineOp, ScanOp};
+    let n = 10_000usize;
+    let list = gen::random_list(n, 23);
+    let order = list.order();
+    // Mark every 100th vertex *in list order* as a segment start.
+    let mut is_start = vec![false; n];
+    for (k, &v) in order.iter().enumerate() {
+        if k % 100 == 0 {
+            is_start[v as usize] = true;
+        }
+    }
+    let vals: Vec<Affine> = (0..n)
+        .map(|v| {
+            let x = (v % 7) as i64;
+            if is_start[v] {
+                Affine::new(0, x) // reset, then add x
+            } else {
+                Affine::new(1, x) // accumulate x
+            }
+        })
+        .collect();
+    let scans = HostRunner::new(Algorithm::ReidMiller).scan(&list, &vals, &AffineOp);
+    // Verify: inclusive segmented sums computed directly.
+    let mut acc = 0i64;
+    for (k, &v) in order.iter().enumerate() {
+        let x = (v as usize % 7) as i64;
+        if k % 100 == 0 {
+            acc = x;
+        } else {
+            acc += x;
+        }
+        // inclusive value at v = apply the exclusive composite to 0,
+        // then this vertex's own map.
+        let inclusive = vals[v as usize].apply(scans[v as usize].apply(0));
+        assert_eq!(inclusive, acc, "at list position {k}");
+    }
+}
+
+#[test]
+fn workstation_model_sees_layout_not_just_size() {
+    // Same size, different layouts: the cache simulator must charge the
+    // random layout more — the mechanistic point behind Table I's two
+    // Alpha columns.
+    use vmach::workstation::WorkstationModel;
+    let n = 4_000_000;
+    let seq = gen::sequential_list(n);
+    let rnd = gen::random_list(n, 4);
+    let alpha = WorkstationModel::dec_alpha();
+    let t_seq = alpha.run_rank(seq.links(), seq.head(), false).ns_per_vertex;
+    let t_rnd = alpha.run_rank(rnd.links(), rnd.head(), false).ns_per_vertex;
+    assert!(
+        t_rnd > 2.0 * t_seq,
+        "random {t_rnd:.0} ns/vertex should dwarf sequential {t_seq:.0}"
+    );
+}

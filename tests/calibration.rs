@@ -1,0 +1,116 @@
+//! Calibration invariants: the simulated machine must stay anchored to
+//! the paper's published numbers, and the headline claims must hold.
+
+use cray_list_ranking::prelude::*;
+use listkit::gen;
+use vmach::workstation::WorkstationModel;
+
+/// Table I anchors (ns/vertex) with tolerances. The serial and Alpha
+/// endpoints are exact calibration targets; the vectorized numbers come
+/// out of the cost model and are allowed the model's overhang.
+#[test]
+fn table1_anchor_points() {
+    let n = 2_000_000;
+    let list = gen::random_list(n, 1);
+
+    let serial = SimRunner::new(Algorithm::Serial, 1).rank(&list);
+    assert!((serial.ns_per_vertex() - 177.0).abs() < 2.0);
+
+    let ours1 = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+    assert!(
+        ours1.ns_per_vertex() > 18.0 && ours1.ns_per_vertex() < 32.0,
+        "1-CPU rank {} ns/vertex (paper 21.3)",
+        ours1.ns_per_vertex()
+    );
+
+    let ours8 = SimRunner::new(Algorithm::ReidMiller, 8).rank(&list);
+    assert!(
+        ours8.ns_per_vertex() < 6.5,
+        "8-CPU rank {} ns/vertex (paper 3.1)",
+        ours8.ns_per_vertex()
+    );
+}
+
+#[test]
+fn workstation_endpoints() {
+    // Cached: a warm small list hits the calibrated 98/200 ns exactly.
+    let small = gen::random_list(20_000, 2);
+    let alpha = WorkstationModel::dec_alpha();
+    let r = alpha.run_rank(small.links(), small.head(), true);
+    assert_eq!(r.cache.misses, 0);
+    assert!((r.ns_per_vertex - 98.0).abs() < 1e-9);
+    let s = alpha.run_scan(small.links(), small.head(), true);
+    assert!((s.ns_per_vertex - 200.0).abs() < 1e-9);
+}
+
+#[test]
+fn headline_speedups() {
+    let n = 4_000_000;
+    let list = gen::random_list(n, 3);
+    let serial = SimRunner::new(Algorithm::Serial, 1).rank(&list);
+    let ours1 = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+    let ours8 = SimRunner::new(Algorithm::ReidMiller, 8).rank(&list);
+    // Paper: >8× over serial on one CPU; ≈50× on eight; ≈200× over the
+    // workstation. The simulator's model overhang puts us slightly
+    // below the paper's measured 8.3×; the orders must hold regardless.
+    let s1 = serial.cycles.get() / ours1.cycles.get();
+    let s8 = serial.cycles.get() / ours8.cycles.get();
+    assert!(s1 > 5.5, "1-CPU speedup over serial {s1:.1}");
+    assert!(s8 > 30.0, "8-CPU speedup over serial {s8:.1}");
+
+    let big = gen::random_list(n, 4);
+    let alpha = WorkstationModel::dec_alpha().run_rank(big.links(), big.head(), true);
+    let vs_ws = alpha.ns_per_vertex / ours8.ns_per_vertex();
+    assert!(vs_ws > 100.0, "8-CPU speedup over the Alpha {vs_ws:.0} (paper ≈200)");
+}
+
+#[test]
+fn scan_slower_than_rank_by_the_packed_margin() {
+    let n = 1_000_000;
+    let list = gen::random_list(n, 5);
+    let ones = vec![1i64; n];
+    let rank = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list);
+    let scan = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &ones, &AddOp);
+    let ratio = scan.cycles.get() / rank.cycles.get();
+    // Paper: 7.4 / 5.1 ≈ 1.45.
+    assert!(ratio > 1.2 && ratio < 1.7, "scan/rank ratio {ratio:.2}");
+}
+
+#[test]
+fn speedups_monotone_in_procs() {
+    let n = 1_000_000;
+    let list = gen::random_list(n, 6);
+    let mut last = f64::INFINITY;
+    for p in [1usize, 2, 4, 8, 16] {
+        let c = SimRunner::new(Algorithm::ReidMiller, p).rank(&list).cycles.get();
+        assert!(c < last, "p={p} must be faster than p/2");
+        last = c;
+    }
+}
+
+#[test]
+fn wyllie_sawtooth_and_work_inefficiency() {
+    // Work grows by a round each time n−1 crosses a power of two.
+    let at = |n: usize| SimRunner::new(Algorithm::Wyllie, 1)
+        .rank(&gen::random_list(n, 9))
+        .cycles_per_vertex();
+    assert!(at(1026) > at(1025), "sawtooth step at 2^10+1");
+    // And Wyllie is work-inefficient: per-vertex cost grows with n.
+    assert!(at(1 << 18) > at(1 << 12));
+}
+
+#[test]
+fn paper_ratio_anchors() {
+    let n = 500_000;
+    let list = gen::random_list(n, 10);
+    let ours = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list).cycles.get();
+    let serial = SimRunner::new(Algorithm::Serial, 1).rank(&list).cycles.get();
+    let mr = SimRunner::new(Algorithm::MillerReif, 1).rank(&list).cycles.get();
+    let am = SimRunner::new(Algorithm::AndersonMiller, 1).rank(&list).cycles.get();
+    // Paper §2.3: MR ≈ 20× ours, 3.5× serial. §2.4: AM ≈ 3× faster than
+    // MR, ≈7× slower than ours. Generous bands — the structure matters.
+    assert!((10.0..35.0).contains(&(mr / ours)), "MR/ours {:.1}", mr / ours);
+    assert!((2.5..5.0).contains(&(mr / serial)), "MR/serial {:.2}", mr / serial);
+    assert!((1.8..4.5).contains(&(mr / am)), "MR/AM {:.2}", mr / am);
+    assert!((4.0..14.0).contains(&(am / ours)), "AM/ours {:.1}", am / ours);
+}

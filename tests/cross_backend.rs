@@ -1,0 +1,130 @@
+//! Cross-backend equivalence: every algorithm × every backend must
+//! compute exactly the serial reference, across sizes, layouts,
+//! operators and processor counts.
+
+use cray_list_ranking::prelude::*;
+use listkit::gen::{self, Layout};
+use listkit::ops::{Affine, AffineOp};
+
+#[test]
+fn all_algorithms_all_backends_rank() {
+    for n in [1usize, 2, 3, 64, 1000, 20_000] {
+        let list = gen::random_list(n, n as u64 * 7 + 1);
+        let reference = listkit::serial::rank(&list);
+        for alg in Algorithm::ALL {
+            assert_eq!(HostRunner::new(alg).rank(&list), reference, "host {alg} n={n}");
+            assert_eq!(
+                SimRunner::new(alg, 1).rank(&list).out,
+                reference,
+                "sim {alg} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_layouts_agree() {
+    let n = 30_000;
+    for (name, layout) in [
+        ("sequential", Layout::Sequential),
+        ("reversed", Layout::Reversed),
+        ("strided", Layout::Strided(7)),
+        ("blocked", Layout::Blocked(64)),
+        ("random", Layout::Random),
+    ] {
+        let list = gen::list_with_layout(n, layout, 5);
+        let reference = listkit::serial::rank(&list);
+        for alg in Algorithm::ALL {
+            assert_eq!(HostRunner::new(alg).rank(&list), reference, "{alg} on {name}");
+        }
+    }
+}
+
+#[test]
+fn sim_procs_do_not_change_results() {
+    let n = 40_000;
+    let list = gen::random_list(n, 77);
+    let vals: Vec<i64> = (0..n as i64).map(|i| i % 97 - 48).collect();
+    let reference = listkit::serial::scan(&list, &vals, &AddOp);
+    for alg in Algorithm::ALL {
+        for p in [1usize, 2, 4, 8, 16] {
+            let run = SimRunner::new(alg, p).scan(&list, &vals, &AddOp);
+            assert_eq!(run.out, reference, "{alg} p={p}");
+        }
+    }
+}
+
+#[test]
+fn host_threads_do_not_change_results() {
+    let n = 60_000;
+    let list = gen::random_list(n, 3);
+    let reference = listkit::serial::rank(&list);
+    for t in [1usize, 2, 3, 8] {
+        for alg in [Algorithm::Wyllie, Algorithm::ReidMiller] {
+            assert_eq!(
+                HostRunner::new(alg).with_threads(t).rank(&list),
+                reference,
+                "{alg} threads={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn noncommutative_scan_everywhere() {
+    let n = 8_000;
+    let list = gen::random_list(n, 13);
+    let funcs: Vec<Affine> = (0..n)
+        .map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5))
+        .collect();
+    let reference = listkit::serial::scan(&list, &funcs, &AffineOp);
+    for alg in Algorithm::ALL {
+        assert_eq!(
+            HostRunner::new(alg).scan(&list, &funcs, &AffineOp),
+            reference,
+            "host {alg}"
+        );
+        assert_eq!(
+            SimRunner::new(alg, 4).scan(&list, &funcs, &AffineOp).out,
+            reference,
+            "sim {alg}"
+        );
+    }
+}
+
+#[test]
+fn max_min_xor_operators() {
+    let n = 10_000;
+    let list = gen::random_list(n, 21);
+    let ivals: Vec<i64> = (0..n as i64).map(|i| (i * 31) % 1009 - 500).collect();
+    let uvals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    assert_eq!(
+        runner.scan(&list, &ivals, &MaxOp),
+        listkit::serial::scan(&list, &ivals, &MaxOp)
+    );
+    assert_eq!(
+        runner.scan(&list, &ivals, &MinOp),
+        listkit::serial::scan(&list, &ivals, &MinOp)
+    );
+    assert_eq!(
+        runner.scan(&list, &uvals, &XorOp),
+        listkit::serial::scan(&list, &uvals, &XorOp)
+    );
+}
+
+#[test]
+fn rank_is_scan_of_ones() {
+    let n = 15_000;
+    let list = gen::random_list(n, 8);
+    let ones = vec![1i64; n];
+    for alg in Algorithm::ALL {
+        let runner = HostRunner::new(alg);
+        let rank = runner.rank(&list);
+        let scanned = runner.scan(&list, &ones, &AddOp);
+        assert!(
+            rank.iter().zip(&scanned).all(|(&r, &s)| r as i64 == s),
+            "{alg}: rank must equal scan of ones"
+        );
+    }
+}

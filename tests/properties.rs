@@ -1,0 +1,106 @@
+//! Property-based tests over the whole stack (proptest).
+
+use cray_list_ranking::prelude::*;
+use listkit::gen;
+use listkit::ops::{Affine, AffineOp};
+use listkit::validate::validate_links;
+use proptest::prelude::*;
+
+/// Strategy: (list length, generator seed).
+fn list_params() -> impl Strategy<Value = (usize, u64)> {
+    (1usize..4000, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_lists_are_valid((n, seed) in list_params()) {
+        let list = gen::random_list(n, seed);
+        prop_assert!(validate_links(list.links(), list.head()).is_ok());
+        prop_assert_eq!(list.len(), n);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation((n, seed) in list_params()) {
+        let list = gen::random_list(n, seed);
+        let mut ranks = HostRunner::new(Algorithm::ReidMiller).rank(&list);
+        ranks.sort_unstable();
+        prop_assert!(ranks.iter().enumerate().all(|(i, &r)| r == i as u64));
+    }
+
+    #[test]
+    fn every_algorithm_matches_serial_rank((n, seed) in list_params(), alg_ix in 0usize..5) {
+        let list = gen::random_list(n, seed);
+        let alg = Algorithm::ALL[alg_ix];
+        prop_assert_eq!(
+            HostRunner::new(alg).with_seed(seed ^ 0xabc).rank(&list),
+            listkit::serial::rank(&list)
+        );
+    }
+
+    #[test]
+    fn sim_equals_host((n, seed) in (1usize..2000, any::<u64>()), alg_ix in 0usize..5, procs in 1usize..9) {
+        let list = gen::random_list(n, seed);
+        let alg = Algorithm::ALL[alg_ix];
+        let host = HostRunner::new(alg).rank(&list);
+        let sim = SimRunner::new(alg, procs).rank(&list);
+        prop_assert_eq!(host, sim.out);
+        prop_assert!(sim.cycles.get() > 0.0);
+    }
+
+    #[test]
+    fn affine_scan_respects_list_order((n, seed) in (1usize..2000, any::<u64>()), coeffs in proptest::collection::vec((-3i64..4, -10i64..10), 1..2000)) {
+        let n = n.min(coeffs.len());
+        let list = gen::random_list(n, seed);
+        let funcs: Vec<Affine> = coeffs[..n].iter().map(|&(a, b)| Affine::new(a, b)).collect();
+        let got = HostRunner::new(Algorithm::ReidMiller).scan(&list, &funcs, &AffineOp);
+        let want = listkit::serial::scan(&list, &funcs, &AffineOp);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_then_combine_reconstructs_inclusive((n, seed) in (1usize..3000, any::<u64>())) {
+        // exclusive[v] ⊕ value[v] == inclusive[v] for every vertex.
+        let list = gen::random_list(n, seed);
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+        let ex = HostRunner::new(Algorithm::ReidMiller).scan(&list, &vals, &AddOp);
+        let inc = listkit::serial::scan_inclusive(&list, &vals, &AddOp);
+        for v in 0..n {
+            prop_assert_eq!(ex[v] + vals[v], inc[v]);
+        }
+    }
+
+    #[test]
+    fn reorder_by_rank_is_traversal_order((n, seed) in list_params()) {
+        let list = gen::random_list(n, seed);
+        let ranks = HostRunner::new(Algorithm::ReidMiller).rank(&list);
+        let data: Vec<u64> = (0..n as u64).collect();
+        let reordered = listkit::serial::reorder_by_rank(&ranks, &data);
+        let walk: Vec<u64> = list.iter().map(|v| v as u64).collect();
+        prop_assert_eq!(reordered, walk);
+    }
+
+    #[test]
+    fn sim_cycles_deterministic((n, seed) in (1usize..3000, any::<u64>())) {
+        let list = gen::random_list(n, seed);
+        let a = SimRunner::new(Algorithm::ReidMiller, 2).with_seed(seed).rank(&list);
+        let b = SimRunner::new(Algorithm::ReidMiller, 2).with_seed(seed).rank(&list);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.element_ops, b.element_ops);
+    }
+
+    #[test]
+    fn euler_tour_depths_and_sizes(n in 1usize..1500, seed in any::<u64>()) {
+        let tree = Tree::random(n, seed);
+        let runner = HostRunner::new(Algorithm::ReidMiller);
+        prop_assert_eq!(
+            cray_list_ranking::applications::euler::depths(&tree, &runner),
+            tree.depths_serial()
+        );
+        prop_assert_eq!(
+            cray_list_ranking::applications::euler::subtree_sizes(&tree, &runner),
+            tree.subtree_sizes_serial()
+        );
+    }
+}
