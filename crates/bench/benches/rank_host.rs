@@ -21,8 +21,7 @@ fn bench_rank(c: &mut Criterion) {
         ] {
             // Random mates are slow at the largest size; skip to keep the
             // suite's runtime sane.
-            if n >= 1 << 21 && matches!(alg, Algorithm::MillerReif | Algorithm::AndersonMiller)
-            {
+            if n >= 1 << 21 && matches!(alg, Algorithm::MillerReif | Algorithm::AndersonMiller) {
                 continue;
             }
             let runner = HostRunner::new(alg);

@@ -96,11 +96,7 @@ pub fn coin_bias() -> String {
         let run = SimRunner::new(Algorithm::AndersonMiller, 1)
             .with_am(AmParams { male_bias: bias, ..AmParams::default() })
             .rank(&list);
-        t.row(vec![
-            format!("{bias:.2}"),
-            f2(run.cycles_per_vertex()),
-            f2(run.cycles.get() / base),
-        ]);
+        t.row(vec![format!("{bias:.2}"), f2(run.cycles_per_vertex()), f2(run.cycles.get() / base)]);
     }
     out.push_str(&t.render());
     out.push_str("paper: bias 0.9 cut rounds and runtime by about 40% vs 0.5.\n");
@@ -154,8 +150,7 @@ pub fn phase2_strategy() -> String {
         ("wyllie", Phase2Choice::Wyllie),
         ("recurse", Phase2Choice::Recurse),
     ] {
-        let params =
-            SimParams { m, schedule: sched.integer_points(), phase2: choice };
+        let params = SimParams { m, schedule: sched.integer_points(), phase2: choice };
         let run = SimRunner::new(Algorithm::ReidMiller, 1)
             .with_params(params)
             .scan(&list, &values, &AddOp);
@@ -203,11 +198,7 @@ pub fn bandwidth_sensitivity() -> String {
     let base = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp).cycles;
     for p in [1usize, 2, 4, 8, 16] {
         let run = SimRunner::new(Algorithm::ReidMiller, p).scan(&list, &values, &AddOp);
-        s.row(vec![
-            p.to_string(),
-            f2(run.ns_per_vertex()),
-            f2(base.get() / run.cycles.get()),
-        ]);
+        s.row(vec![p.to_string(), f2(run.ns_per_vertex()), f2(base.get() / run.cycles.get())]);
     }
     out.push_str("\nfull 16-CPU machine (the paper tuned only 1/2/4/8):\n");
     out.push_str(&s.render());

@@ -16,15 +16,12 @@ use std::io::{BufRead, BufWriter, Write};
 use std::time::Instant;
 
 fn parse_alg(s: &str) -> Result<Algorithm, String> {
-    Algorithm::ALL
-        .into_iter()
-        .find(|a| a.name() == s)
-        .ok_or_else(|| {
-            format!(
-                "unknown algorithm '{s}' (expected one of: {})",
-                Algorithm::ALL.map(|a| a.name()).join(", ")
-            )
-        })
+    Algorithm::ALL.into_iter().find(|a| a.name() == s).ok_or_else(|| {
+        format!(
+            "unknown algorithm '{s}' (expected one of: {})",
+            Algorithm::ALL.map(|a| a.name()).join(", ")
+        )
+    })
 }
 
 fn write_list(path: &str, list: &LinkedList) -> std::io::Result<()> {
@@ -40,10 +37,7 @@ fn write_list(path: &str, list: &LinkedList) -> std::io::Result<()> {
 fn read_list(path: &str) -> Result<LinkedList, String> {
     let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut lines = std::io::BufReader::new(f).lines();
-    let header = lines
-        .next()
-        .ok_or("empty file")?
-        .map_err(|e| e.to_string())?;
+    let header = lines.next().ok_or("empty file")?.map_err(|e| e.to_string())?;
     let mut parts = header.split_whitespace();
     let n: usize = parts.next().ok_or("missing n")?.parse().map_err(|e| format!("n: {e}"))?;
     let head: Idx =
@@ -60,7 +54,11 @@ fn read_list(path: &str) -> Result<LinkedList, String> {
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let n: usize = args.first().ok_or("usage: gen <n> <file> [seed]")?.parse().map_err(|e| format!("n: {e}"))?;
+    let n: usize = args
+        .first()
+        .ok_or("usage: gen <n> <file> [seed]")?
+        .parse()
+        .map_err(|e| format!("n: {e}"))?;
     let path = args.get(1).ok_or("usage: gen <n> <file> [seed]")?;
     let seed: u64 = args.get(2).map_or(Ok(42), |s| s.parse()).map_err(|e| format!("seed: {e}"))?;
     let list = gen::random_list(n, seed);
@@ -73,7 +71,8 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: rank <file> [host|sim] [alg] [procs]")?;
     let backend = args.get(1).map(String::as_str).unwrap_or("host");
     let alg = parse_alg(args.get(2).map(String::as_str).unwrap_or("reid-miller"))?;
-    let procs: usize = args.get(3).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
+    let procs: usize =
+        args.get(3).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
     let list = read_list(path)?;
     let n = list.len();
     match backend {
@@ -102,7 +101,8 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
-    let n: usize = args.first().map_or(Ok(1_000_000), |s| s.parse()).map_err(|e| format!("n: {e}"))?;
+    let n: usize =
+        args.first().map_or(Ok(1_000_000), |s| s.parse()).map_err(|e| format!("n: {e}"))?;
     let alg = parse_alg(args.get(1).map(String::as_str).unwrap_or("reid-miller"))?;
     let list = gen::random_list(n, 1);
     let t0 = Instant::now();
@@ -121,8 +121,13 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_tune(args: &[String]) -> Result<(), String> {
-    let n: usize = args.first().ok_or("usage: tune <n> [procs] [rank|scan]")?.parse().map_err(|e| format!("n: {e}"))?;
-    let procs: usize = args.get(1).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
+    let n: usize = args
+        .first()
+        .ok_or("usage: tune <n> [procs] [rank|scan]")?
+        .parse()
+        .map_err(|e| format!("n: {e}"))?;
+    let procs: usize =
+        args.get(1).map_or(Ok(1), |s| s.parse()).map_err(|e| format!("procs: {e}"))?;
     let kind = args.get(2).map(String::as_str).unwrap_or("scan");
     let params = match kind {
         "rank" => SimParams::tuned_rank(n, procs),
@@ -137,8 +142,16 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let lo: usize = args.first().ok_or("usage: sweep <lo> <hi> [alg]")?.parse().map_err(|e| format!("lo: {e}"))?;
-    let hi: usize = args.get(1).ok_or("usage: sweep <lo> <hi> [alg]")?.parse().map_err(|e| format!("hi: {e}"))?;
+    let lo: usize = args
+        .first()
+        .ok_or("usage: sweep <lo> <hi> [alg]")?
+        .parse()
+        .map_err(|e| format!("lo: {e}"))?;
+    let hi: usize = args
+        .get(1)
+        .ok_or("usage: sweep <lo> <hi> [alg]")?
+        .parse()
+        .map_err(|e| format!("hi: {e}"))?;
     let alg = parse_alg(args.get(2).map(String::as_str).unwrap_or("reid-miller"))?;
     if lo < 2 || hi < lo {
         return Err("need 2 <= lo <= hi".into());

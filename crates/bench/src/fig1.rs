@@ -54,10 +54,7 @@ pub fn run() -> String {
     // serial, which can momentarily beat Wyllie's startup — skip that).
     let wy = &columns[1];
     let ours = &columns[4];
-    let last_wyllie_win = sizes
-        .iter()
-        .zip(wy.iter().zip(ours))
-        .rposition(|(_, (w, o))| w < o);
+    let last_wyllie_win = sizes.iter().zip(wy.iter().zip(ours)).rposition(|(_, (w, o))| w < o);
     let crossover = match last_wyllie_win {
         Some(i) if i + 1 < sizes.len() => Some(sizes[i + 1]),
         Some(_) => None, // Wyllie still winning at the largest size

@@ -22,20 +22,13 @@ pub fn run() -> String {
     let mut t = Table::new(vec!["i", "S_i (links)", "g(S_i) live", "step ΔS"]);
     let mut prev = 0.0;
     for (i, &s) in sched.points.iter().enumerate() {
-        t.row(vec![
-            (i + 1).to_string(),
-            f1(s),
-            f1(expdist::g(s, n, m)),
-            f1(s - prev),
-        ]);
+        t.row(vec![(i + 1).to_string(), f1(s), f1(expdist::g(s, n, m)), f1(s - prev)]);
         prev = s;
     }
     out.push_str(&t.render());
 
     // Plot g(x) (dotted in the paper) and the live-vector step function.
-    let gx: Vec<(f64, f64)> = (0..=180)
-        .map(|x| (x as f64, expdist::g(x as f64, n, m)))
-        .collect();
+    let gx: Vec<(f64, f64)> = (0..=180).map(|x| (x as f64, expdist::g(x as f64, n, m))).collect();
     let mut steps: Vec<(f64, f64)> = Vec::new();
     let seg = sched.segments();
     for w in seg.windows(2) {
@@ -51,14 +44,7 @@ pub fn run() -> String {
         Series { label: "vector length (packs at S_i)".into(), glyph: '#', points: steps },
     ];
     out.push('\n');
-    out.push_str(&ascii_plot(
-        "live sublists vs links traversed",
-        &series,
-        false,
-        false,
-        72,
-        20,
-    ));
+    out.push_str(&ascii_plot("live sublists vs links traversed", &series, false, false, 72, 20));
     out.push_str(&format!(
         "\nexpected longest sublist: {:.1} links; schedule covers {:.1}\n\
          paper: step gaps widen over time because completions slow down.\n",

@@ -12,9 +12,7 @@ use listrank::{Algorithm, SimRunner};
 fn point(n: usize, p: usize) -> f64 {
     let list = gen::random_list(n, n as u64 * 3 + 1);
     let values = vec![1i64; n];
-    SimRunner::new(Algorithm::ReidMiller, p)
-        .scan(&list, &values, &AddOp)
-        .ns_per_vertex()
+    SimRunner::new(Algorithm::ReidMiller, p).scan(&list, &values, &AddOp).ns_per_vertex()
 }
 
 /// Regenerate Fig. 11.

@@ -12,10 +12,7 @@ use listrank::{Algorithm, SimRunner};
 fn cycles(n: usize, p: usize) -> f64 {
     let list = gen::random_list(n, n as u64 + 13);
     let values = vec![1i64; n];
-    SimRunner::new(Algorithm::ReidMiller, p)
-        .scan(&list, &values, &AddOp)
-        .cycles
-        .get()
+    SimRunner::new(Algorithm::ReidMiller, p).scan(&list, &values, &AddOp).cycles.get()
 }
 
 /// Regenerate Fig. 3.

@@ -44,13 +44,7 @@ pub fn run() -> String {
         for &j in &js {
             let e = expdist::expected_jth_shortest(j, n as f64, m as f64);
             let (_, min, mean, max) = obs[j];
-            t.row(vec![
-                j.to_string(),
-                f1(e),
-                f1(mean),
-                min.to_string(),
-                max.to_string(),
-            ]);
+            t.row(vec![j.to_string(), f1(e), f1(mean), min.to_string(), max.to_string()]);
         }
         out.push_str(&format!("m = {m}:\n{}\n", t.render()));
     }

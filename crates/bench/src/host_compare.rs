@@ -61,11 +61,7 @@ pub fn run() -> String {
     let base = time_rank(&HostRunner::new(Algorithm::ReidMiller).with_threads(1), &list, 3);
     let mut tcount = 1usize;
     while tcount <= threads {
-        let v = time_rank(
-            &HostRunner::new(Algorithm::ReidMiller).with_threads(tcount),
-            &list,
-            3,
-        );
+        let v = time_rank(&HostRunner::new(Algorithm::ReidMiller).with_threads(tcount), &list, 3);
         ts.row(vec![tcount.to_string(), f1(v), f2(base / v)]);
         tcount *= 2;
     }

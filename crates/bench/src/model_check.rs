@@ -20,10 +20,7 @@ pub fn compare(n: usize) -> (f64, f64, f64) {
     let eq5 = predict::eq5_estimate(n as f64, t.m.max(1) as f64, t.s1, t.l as f64);
     let list = gen::random_list(n, 5);
     let values = vec![1i64; n];
-    let sim = SimRunner::new(Algorithm::ReidMiller, 1)
-        .scan(&list, &values, &AddOp)
-        .cycles
-        .get();
+    let sim = SimRunner::new(Algorithm::ReidMiller, 1).scan(&list, &values, &AddOp).cycles.get();
     (eq3, eq5, sim)
 }
 
@@ -31,14 +28,8 @@ pub fn compare(n: usize) -> (f64, f64, f64) {
 pub fn run() -> String {
     let mut out = String::new();
     out.push_str("== Model check: Eq. (3) vs Eq. (5) vs simulation (1 CPU, scan) ==\n\n");
-    let mut t = Table::new(vec![
-        "n",
-        "Eq3 (Mcyc)",
-        "Eq5 (Mcyc)",
-        "simulated (Mcyc)",
-        "Eq3/sim",
-        "Eq5/sim",
-    ]);
+    let mut t =
+        Table::new(vec!["n", "Eq3 (Mcyc)", "Eq5 (Mcyc)", "simulated (Mcyc)", "Eq3/sim", "Eq5/sim"]);
     for n in [10_000usize, 50_000, 200_000, 1_000_000, 4_000_000] {
         let (e3, e5, sim) = compare(n);
         t.row(vec![

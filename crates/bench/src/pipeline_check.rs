@@ -31,10 +31,7 @@ pub fn run() -> String {
     out.push_str("\nshort-vector inefficiency (the paper's closing performance note):\n");
     let mut s = Table::new(vec!["strip length", "InitialScan cyc/elem"]);
     for n in [VLEN, 64, 32, 16, 8, 4] {
-        s.row(vec![
-            n.to_string(),
-            f2(schedule_strip(&kernels::initial_scan(), n).per_element),
-        ]);
+        s.row(vec![n.to_string(), f2(schedule_strip(&kernels::initial_scan(), n).per_element)]);
     }
     out.push_str(&s.render());
     out.push_str(

@@ -63,7 +63,13 @@ pub fn run() -> String {
     let rank = measure(true);
     let scan = measure(false);
     let mut t = Table::new(vec![
-        "algorithm", "alpha-cache", "alpha-mem", "c90-serial", "1 cpu", "2 cpu", "4 cpu",
+        "algorithm",
+        "alpha-cache",
+        "alpha-mem",
+        "c90-serial",
+        "1 cpu",
+        "2 cpu",
+        "4 cpu",
         "8 cpu",
     ]);
     let push = |t: &mut Table, name: &str, vals: &[f64]| {
@@ -105,10 +111,7 @@ mod tests {
         assert!(rank[4] < rank[3] && rank[5] < rank[4] && rank[6] < rank[5]);
         // Within 2× of every paper value.
         for (got, want) in rank.iter().zip(&PAPER_RANK) {
-            assert!(
-                got / want < 2.0 && want / got < 2.0,
-                "measured {got:.1} vs paper {want:.1}"
-            );
+            assert!(got / want < 2.0 && want / got < 2.0, "measured {got:.1} vs paper {want:.1}");
         }
     }
 }

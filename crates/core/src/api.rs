@@ -115,6 +115,59 @@ impl HostRunner {
         })
     }
 
+    /// List ranking into caller-provided buffers — the no-alloc entry
+    /// point batch executors drive with pooled memory. Output is
+    /// byte-identical to [`Self::rank`] for the same configuration.
+    /// Serial and Reid-Miller reuse `scratch`/`out` allocations fully;
+    /// the other algorithms compute normally and move their result into
+    /// `out` (their per-round buffers resist pooling).
+    pub fn rank_into(
+        &self,
+        list: &LinkedList,
+        scratch: &mut host::RankScratch,
+        out: &mut Vec<u64>,
+    ) {
+        self.install(|| match self.algorithm {
+            Algorithm::Serial => listkit::serial::rank_into(list, out),
+            Algorithm::ReidMiller => {
+                let mut rm = host::ReidMiller::new(self.seed);
+                rm.m = self.m;
+                rm.rank_into(list, scratch, out)
+            }
+            Algorithm::Wyllie => *out = host::Wyllie.rank(list),
+            Algorithm::MillerReif => *out = host::MillerReif::new(self.seed).rank(list),
+            Algorithm::AndersonMiller => *out = host::AndersonMiller::new(self.seed).rank(list),
+        })
+    }
+
+    /// Exclusive list scan into caller-provided buffers (see
+    /// [`Self::rank_into`]).
+    pub fn scan_into<T, Op>(
+        &self,
+        list: &LinkedList,
+        values: &[T],
+        op: &Op,
+        scratch: &mut host::RankScratch,
+        out: &mut Vec<T>,
+    ) where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        self.install(|| match self.algorithm {
+            Algorithm::Serial => listkit::serial::scan_into(list, values, op, out),
+            Algorithm::ReidMiller => {
+                let mut rm = host::ReidMiller::new(self.seed);
+                rm.m = self.m;
+                rm.scan_into(list, values, op, scratch, out)
+            }
+            Algorithm::Wyllie => *out = host::Wyllie.scan(list, values, op),
+            Algorithm::MillerReif => *out = host::MillerReif::new(self.seed).scan(list, values, op),
+            Algorithm::AndersonMiller => {
+                *out = host::AndersonMiller::new(self.seed).scan(list, values, op)
+            }
+        })
+    }
+
     /// Exclusive list scan.
     pub fn scan<T, Op>(&self, list: &LinkedList, values: &[T], op: &Op) -> Vec<T>
     where
@@ -189,9 +242,7 @@ impl SimRunner {
             Algorithm::Serial => sim::serial::rank(list, cfg),
             Algorithm::Wyllie => sim::wyllie::rank(list, cfg),
             Algorithm::MillerReif => sim::miller_reif::rank(list, cfg, self.seed),
-            Algorithm::AndersonMiller => {
-                sim::anderson_miller::rank(list, cfg, self.am, self.seed)
-            }
+            Algorithm::AndersonMiller => sim::anderson_miller::rank(list, cfg, self.am, self.seed),
             Algorithm::ReidMiller => {
                 let params = self
                     .params
@@ -212,9 +263,7 @@ impl SimRunner {
         match self.algorithm {
             Algorithm::Serial => sim::serial::scan(list, values, op, cfg),
             Algorithm::Wyllie => sim::wyllie::scan(list, values, op, cfg),
-            Algorithm::MillerReif => {
-                sim::miller_reif::scan(list, values, op, cfg, self.seed)
-            }
+            Algorithm::MillerReif => sim::miller_reif::scan(list, values, op, cfg, self.seed),
             Algorithm::AndersonMiller => {
                 sim::anderson_miller::scan(list, values, op, cfg, self.am, self.seed)
             }
@@ -262,11 +311,7 @@ mod tests {
         let reference = listkit::serial::scan(&list, &vals, &AddOp);
         for alg in Algorithm::ALL {
             assert_eq!(HostRunner::new(alg).scan(&list, &vals, &AddOp), reference, "{alg}");
-            assert_eq!(
-                SimRunner::new(alg, 1).scan(&list, &vals, &AddOp).out,
-                reference,
-                "{alg}"
-            );
+            assert_eq!(SimRunner::new(alg, 1).scan(&list, &vals, &AddOp).out, reference, "{alg}");
         }
     }
 

@@ -162,10 +162,7 @@ impl AndersonMiller {
     /// List ranking.
     pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
         let ones = vec![1i64; list.len()];
-        self.scan(list, &ones, &listkit::ops::AddOp)
-            .into_iter()
-            .map(|r| r as u64)
-            .collect()
+        self.scan(list, &ones, &listkit::ops::AddOp).into_iter().map(|r| r as u64).collect()
     }
 }
 
@@ -179,11 +176,7 @@ mod tests {
     fn rank_matches_serial() {
         for n in [1usize, 2, 3, 17, 128, 1000, 5000] {
             let list = gen::random_list(n, n as u64 + 99);
-            assert_eq!(
-                AndersonMiller::new(5).rank(&list),
-                listkit::serial::rank(&list),
-                "n = {n}"
-            );
+            assert_eq!(AndersonMiller::new(5).rank(&list), listkit::serial::rank(&list), "n = {n}");
         }
     }
 

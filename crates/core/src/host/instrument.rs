@@ -114,13 +114,15 @@ pub fn rank_with_stats(list: &LinkedList, m_requested: usize, seed: u64) -> (Vec
     let next_sub: Vec<Idx> = lens
         .iter()
         .enumerate()
-        .map(|(i, &(_, term))| {
-            if term == tail_v {
-                i as Idx
-            } else {
-                sub_of_head[links[term as usize] as usize]
-            }
-        })
+        .map(
+            |(i, &(_, term))| {
+                if term == tail_v {
+                    i as Idx
+                } else {
+                    sub_of_head[links[term as usize] as usize]
+                }
+            },
+        )
         .collect();
     let mut pre = vec![0u64; k];
     let mut acc = 0u64;

@@ -104,10 +104,7 @@ impl MillerReif {
     /// List ranking.
     pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
         let ones = vec![1i64; list.len()];
-        self.scan(list, &ones, &listkit::ops::AddOp)
-            .into_iter()
-            .map(|r| r as u64)
-            .collect()
+        self.scan(list, &ones, &listkit::ops::AddOp).into_iter().map(|r| r as u64).collect()
     }
 }
 
@@ -121,11 +118,7 @@ mod tests {
     fn rank_matches_serial() {
         for n in [1usize, 2, 3, 5, 100, 1000, 4096] {
             let list = gen::random_list(n, 3 * n as u64 + 1);
-            assert_eq!(
-                MillerReif::new(7).rank(&list),
-                listkit::serial::rank(&list),
-                "n = {n}"
-            );
+            assert_eq!(MillerReif::new(7).rank(&list), listkit::serial::rank(&list), "n = {n}");
         }
     }
 

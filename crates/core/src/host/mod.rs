@@ -12,10 +12,12 @@ pub mod instrument;
 pub mod miller_reif;
 pub mod prev;
 pub mod reid_miller;
+pub mod scratch;
 pub mod serial;
 pub mod wyllie;
 
 pub use anderson_miller::AndersonMiller;
 pub use miller_reif::MillerReif;
 pub use reid_miller::ReidMiller;
+pub use scratch::RankScratch;
 pub use wyllie::Wyllie;

@@ -14,6 +14,7 @@
 //! This backend is **non-destructive** (boundaries live in a side
 //! bitmap instead of spliced self-loops).
 
+use crate::host::scratch::RankScratch;
 use crate::util::DisjointWriter;
 use listkit::{gen, Idx, LinkedList, ScanOp};
 use rand::rngs::StdRng;
@@ -94,33 +95,37 @@ impl ReidMiller {
         T: Copy + Send + Sync,
         Op: ScanOp<T>,
     {
+        let mut scratch = RankScratch::new();
+        let mut out = Vec::new();
+        self.scan_into(list, values, op, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::scan`] into caller-provided buffers: `scratch` holds the
+    /// O(n) working arrays and `out` receives the result; both are
+    /// reused across calls without reallocating once grown. This is the
+    /// entry point batch executors (`engine`) drive with pooled buffers.
+    pub fn scan_into<T, Op>(
+        &self,
+        list: &LinkedList,
+        values: &[T],
+        op: &Op,
+        scratch: &mut RankScratch,
+        out: &mut Vec<T>,
+    ) where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
         assert_eq!(values.len(), list.len());
         let n = list.len();
         let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
-        if n <= self.serial_cutoff.max(4) || m_req < 2 {
-            return listkit::serial::scan(list, values, op);
+        if n <= self.serial_cutoff.max(4) || m_req < 2 || !self.phase0_split(list, m_req, scratch) {
+            listkit::serial::scan_into(list, values, op, out);
+            return;
         }
         let links = list.links();
-
-        // ---- Phase 0: split at m random distinct non-tail vertices.
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let splits = gen::random_split_positions(list, m_req, &mut rng);
-        if splits.is_empty() {
-            return listkit::serial::scan(list, values, op);
-        }
-        let mut boundary = vec![false; n];
-        boundary[list.tail() as usize] = true;
-        for &r in &splits {
-            boundary[r as usize] = true;
-        }
-        // Sublist heads: the whole-list head plus each split's successor.
-        let mut heads: Vec<Idx> = Vec::with_capacity(splits.len() + 1);
-        heads.push(list.head());
-        heads.extend(splits.iter().map(|&r| links[r as usize]));
-        let mut sub_of_head = vec![u32::MAX; n];
-        for (i, &h) in heads.iter().enumerate() {
-            sub_of_head[h as usize] = i as u32;
-        }
+        let RankScratch { boundary, heads, sub_of_head, next_sub, .. } = scratch;
+        let (boundary, heads, sub_of_head) = (&boundary[..], &heads[..], &sub_of_head[..]);
 
         // ---- Phase 1: sum each sublist (parallel, work-stealing).
         let sums: Vec<(T, Idx)> = heads
@@ -138,31 +143,20 @@ impl ReidMiller {
             })
             .collect();
 
-        // ---- Reduced list: sublist i's successor starts right after
-        // sublist i's terminal vertex.
+        // ---- Reduced list.
         let k = heads.len();
-        let tail_v = list.tail();
-        let next_sub: Vec<Idx> = sums
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, term))| {
-                if term == tail_v {
-                    i as Idx
-                } else {
-                    sub_of_head[links[term as usize] as usize]
-                }
-            })
-            .collect();
+        fill_next_sub(&sums, links, sub_of_head, list.tail(), next_sub);
         let totals: Vec<T> = sums.iter().map(|&(s, _)| s).collect();
 
         // ---- Phase 2: exclusive scan of the reduced list.
-        let pre = self.phase2_scan(&next_sub, &totals, op, k);
+        let pre = self.phase2_scan(next_sub, &totals, op, k);
 
         // ---- Phase 3: expand prefixes over the sublists (parallel
         // disjoint writes: sublists partition the vertex set).
-        let mut out = vec![op.identity(); n];
+        out.clear();
+        out.resize(n, op.identity());
         {
-            let writer = DisjointWriter::new(&mut out);
+            let writer = DisjointWriter::new(out);
             heads.par_iter().enumerate().for_each(|(i, &h)| {
                 let mut acc = pre[i];
                 let mut cur = h as usize;
@@ -178,7 +172,40 @@ impl ReidMiller {
                 }
             });
         }
-        out
+    }
+
+    /// Phase 0, shared by [`Self::rank_into`] and [`Self::scan_into`]:
+    /// pick `m_req` random distinct non-tail split vertices and fill
+    /// `scratch`'s boundary bitmap, sublist-head list and head→sublist
+    /// map. Returns `false` when no split survived (caller falls back
+    /// to the serial path).
+    fn phase0_split(&self, list: &LinkedList, m_req: usize, scratch: &mut RankScratch) -> bool {
+        let n = list.len();
+        let links = list.links();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let splits = gen::random_split_positions(list, m_req, &mut rng);
+        if splits.is_empty() {
+            return false;
+        }
+        let boundary = &mut scratch.boundary;
+        boundary.clear();
+        boundary.resize(n, false);
+        boundary[list.tail() as usize] = true;
+        for &r in &splits {
+            boundary[r as usize] = true;
+        }
+        // Sublist heads: the whole-list head plus each split's successor.
+        let heads = &mut scratch.heads;
+        heads.clear();
+        heads.push(list.head());
+        heads.extend(splits.iter().map(|&r| links[r as usize]));
+        let sub_of_head = &mut scratch.sub_of_head;
+        sub_of_head.clear();
+        sub_of_head.resize(n, u32::MAX);
+        for (i, &h) in heads.iter().enumerate() {
+            sub_of_head[h as usize] = i as u32;
+        }
+        true
     }
 
     /// Phase-2 dispatch on the reduced list (`k` sublists, links
@@ -234,29 +261,26 @@ impl ReidMiller {
     /// List ranking (the scan of all-ones, specialized to counting: no
     /// value array is materialized and Phase 1 only measures lengths).
     pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
+        let mut scratch = RankScratch::new();
+        let mut out = Vec::new();
+        self.rank_into(list, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::rank`] into caller-provided buffers: `scratch` holds the
+    /// O(n) working arrays, `out` receives the ranks; both are reused
+    /// across calls without reallocating once grown. Identical output
+    /// to [`Self::rank`] for the same seed.
+    pub fn rank_into(&self, list: &LinkedList, scratch: &mut RankScratch, out: &mut Vec<u64>) {
         let n = list.len();
         let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
-        if n <= self.serial_cutoff.max(4) || m_req < 2 {
-            return listkit::serial::rank(list);
+        if n <= self.serial_cutoff.max(4) || m_req < 2 || !self.phase0_split(list, m_req, scratch) {
+            listkit::serial::rank_into(list, out);
+            return;
         }
         let links = list.links();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let splits = gen::random_split_positions(list, m_req, &mut rng);
-        if splits.is_empty() {
-            return listkit::serial::rank(list);
-        }
-        let mut boundary = vec![false; n];
-        boundary[list.tail() as usize] = true;
-        for &r in &splits {
-            boundary[r as usize] = true;
-        }
-        let mut heads: Vec<Idx> = Vec::with_capacity(splits.len() + 1);
-        heads.push(list.head());
-        heads.extend(splits.iter().map(|&r| links[r as usize]));
-        let mut sub_of_head = vec![u32::MAX; n];
-        for (i, &h) in heads.iter().enumerate() {
-            sub_of_head[h as usize] = i as u32;
-        }
+        let RankScratch { boundary, heads, sub_of_head, next_sub, pre } = scratch;
+        let (boundary, heads, sub_of_head) = (&boundary[..], &heads[..], &sub_of_head[..]);
 
         // Phase 1: lengths only.
         let lens: Vec<(u64, Idx)> = heads
@@ -277,20 +301,10 @@ impl ReidMiller {
         // Reduced list + serial exclusive prefix of lengths (the reduced
         // list is short; ranking it recursively would be overkill —
         // matches the paper's serial Phase 2 for practical m).
-        let tail_v = list.tail();
         let k = heads.len();
-        let next_sub: Vec<Idx> = lens
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, term))| {
-                if term == tail_v {
-                    i as Idx
-                } else {
-                    sub_of_head[links[term as usize] as usize]
-                }
-            })
-            .collect();
-        let mut pre = vec![0u64; k];
+        fill_next_sub(&lens, links, sub_of_head, list.tail(), next_sub);
+        pre.clear();
+        pre.resize(k, 0);
         let mut acc = 0u64;
         let mut cur = 0usize;
         loop {
@@ -301,11 +315,13 @@ impl ReidMiller {
             }
             cur = next_sub[cur] as usize;
         }
+        let pre = &*pre;
 
         // Phase 3: write ranks.
-        let mut out = vec![0u64; n];
+        out.clear();
+        out.resize(n, 0);
         {
-            let writer = DisjointWriter::new(&mut out);
+            let writer = DisjointWriter::new(out);
             heads.par_iter().enumerate().for_each(|(i, &h)| {
                 let mut r = pre[i];
                 let mut cur = h as usize;
@@ -320,8 +336,27 @@ impl ReidMiller {
                 }
             });
         }
-        out
     }
+}
+
+/// Build the reduced list's successor indices from Phase-1 results:
+/// sublist `i`'s successor is the sublist starting right after sublist
+/// `i`'s terminal vertex (self-loop at the list's final sublist).
+fn fill_next_sub<X: Copy>(
+    terms: &[(X, Idx)],
+    links: &[Idx],
+    sub_of_head: &[u32],
+    tail: Idx,
+    next_sub: &mut Vec<Idx>,
+) {
+    next_sub.clear();
+    next_sub.extend(terms.iter().enumerate().map(|(i, &(_, term))| {
+        if term == tail {
+            i as Idx
+        } else {
+            sub_of_head[links[term as usize] as usize]
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -334,11 +369,7 @@ mod tests {
     fn rank_matches_serial_across_sizes() {
         for n in [1usize, 2, 3, 100, 2048, 2049, 10_000, 50_000] {
             let list = gen::random_list(n, n as u64);
-            assert_eq!(
-                ReidMiller::new(1).rank(&list),
-                listkit::serial::rank(&list),
-                "n = {n}"
-            );
+            assert_eq!(ReidMiller::new(1).rank(&list), listkit::serial::rank(&list), "n = {n}");
         }
     }
 
@@ -405,10 +436,7 @@ mod tests {
         let list = gen::random_list(40_000, 3);
         assert_eq!(rm.rank(&list), listkit::serial::rank(&list));
         let vals = vec![2i64; 40_000];
-        assert_eq!(
-            rm.scan(&list, &vals, &AddOp),
-            listkit::serial::scan(&list, &vals, &AddOp)
-        );
+        assert_eq!(rm.scan(&list, &vals, &AddOp), listkit::serial::scan(&list, &vals, &AddOp));
     }
 
     #[test]

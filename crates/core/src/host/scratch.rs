@@ -1,0 +1,59 @@
+//! Reusable per-job scratch buffers for the host Reid-Miller paths.
+//!
+//! One ranking/scan job allocates several O(n) working arrays (the
+//! boundary bitmap, the head-to-sublist map, the output) plus O(m)
+//! reduced-list arrays. A batch executor running millions of jobs pays
+//! that allocator traffic on every job unless the buffers are threaded
+//! back through — [`RankScratch`] is that thread-through: every `Vec` is
+//! `clear()`ed and re-`resize()`d per run, so its backing allocation is
+//! reused whenever the capacity already suffices.
+
+use listkit::Idx;
+
+/// Reusable working memory for [`super::ReidMiller::rank_into`] /
+/// [`super::ReidMiller::scan_into`]. Independent of the job's list —
+/// one scratch can serve jobs of any size, growing to the largest seen.
+#[derive(Debug, Default)]
+pub struct RankScratch {
+    /// Per-vertex: is this vertex a sublist tail? (O(n)).
+    pub(crate) boundary: Vec<bool>,
+    /// Per-vertex: sublist index of each sublist head, `u32::MAX`
+    /// elsewhere (O(n)).
+    pub(crate) sub_of_head: Vec<u32>,
+    /// Sublist head vertices (O(m)).
+    pub(crate) heads: Vec<Idx>,
+    /// Reduced-list successor indices (O(m)).
+    pub(crate) next_sub: Vec<Idx>,
+    /// Reduced-list exclusive prefix of sublist lengths (O(m)).
+    pub(crate) pre: Vec<u64>,
+}
+
+impl RankScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for lists of up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        s.boundary.reserve(n);
+        s.sub_of_head.reserve(n);
+        s
+    }
+
+    /// The list length this scratch can currently serve without
+    /// reallocating its O(n) buffers.
+    pub fn capacity(&self) -> usize {
+        self.boundary.capacity().min(self.sub_of_head.capacity())
+    }
+
+    /// Approximate heap footprint in bytes (buffer-pool accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        self.boundary.capacity() * std::mem::size_of::<bool>()
+            + self.sub_of_head.capacity() * std::mem::size_of::<u32>()
+            + self.heads.capacity() * std::mem::size_of::<Idx>()
+            + self.next_sub.capacity() * std::mem::size_of::<Idx>()
+            + self.pre.capacity() * std::mem::size_of::<u64>()
+    }
+}

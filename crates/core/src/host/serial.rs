@@ -24,9 +24,6 @@ mod tests {
         let list = gen::random_list(128, 3);
         assert_eq!(rank(&list), listkit::serial::rank(&list));
         let vals = vec![2i64; 128];
-        assert_eq!(
-            scan(&list, &vals, &AddOp),
-            listkit::serial::scan(&list, &vals, &AddOp)
-        );
+        assert_eq!(scan(&list, &vals, &AddOp), listkit::serial::scan(&list, &vals, &AddOp));
     }
 }

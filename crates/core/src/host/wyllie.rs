@@ -70,10 +70,7 @@ impl Wyllie {
     /// List ranking.
     pub fn rank(&self, list: &LinkedList) -> Vec<u64> {
         let ones = vec![1i64; list.len()];
-        self.scan(list, &ones, &listkit::ops::AddOp)
-            .into_iter()
-            .map(|r| r as u64)
-            .collect()
+        self.scan(list, &ones, &listkit::ops::AddOp).into_iter().map(|r| r as u64).collect()
     }
 }
 
@@ -104,20 +101,14 @@ mod tests {
     fn scan_matches_serial_add() {
         let list = gen::random_list(513, 5);
         let vals: Vec<i64> = (0..513).map(|i| (i as i64 % 11) - 5).collect();
-        assert_eq!(
-            Wyllie.scan(&list, &vals, &AddOp),
-            listkit::serial::scan(&list, &vals, &AddOp)
-        );
+        assert_eq!(Wyllie.scan(&list, &vals, &AddOp), listkit::serial::scan(&list, &vals, &AddOp));
     }
 
     #[test]
     fn scan_matches_serial_max() {
         let list = gen::random_list(300, 8);
         let vals: Vec<i64> = (0..300).map(|i| ((i * 37) % 101) as i64).collect();
-        assert_eq!(
-            Wyllie.scan(&list, &vals, &MaxOp),
-            listkit::serial::scan(&list, &vals, &MaxOp)
-        );
+        assert_eq!(Wyllie.scan(&list, &vals, &MaxOp), listkit::serial::scan(&list, &vals, &MaxOp));
     }
 
     #[test]

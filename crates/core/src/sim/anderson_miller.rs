@@ -140,12 +140,7 @@ where
 }
 
 /// Simulated Anderson–Miller list rank.
-pub fn rank(
-    list: &LinkedList,
-    config: MachineConfig,
-    params: AmParams,
-    seed: u64,
-) -> SimRun<u64> {
+pub fn rank(list: &LinkedList, config: MachineConfig, params: AmParams, seed: u64) -> SimRun<u64> {
     let ones = vec![1i64; list.len()];
     let run = scan(list, &ones, &listkit::ops::AddOp, config, params, seed);
     SimRun {
@@ -194,14 +189,9 @@ mod tests {
         // The paper's 0.9 bias cut runtime by ≈ 40% vs 0.5.
         let list = gen::random_list(100_000, 9);
         let biased = rank(&list, c90(), AmParams::default(), 3);
-        let unbiased =
-            rank(&list, c90(), AmParams { male_bias: 0.5, ..AmParams::default() }, 3);
+        let unbiased = rank(&list, c90(), AmParams { male_bias: 0.5, ..AmParams::default() }, 3);
         let saving = 1.0 - biased.cycles.get() / unbiased.cycles.get();
-        assert!(
-            saving > 0.15 && saving < 0.6,
-            "bias saving {:.0}% (paper: ≈40%)",
-            saving * 100.0
-        );
+        assert!(saving > 0.15 && saving < 0.6, "bias saving {:.0}% (paper: ≈40%)", saving * 100.0);
         assert_eq!(biased.out, unbiased.out);
     }
 

@@ -47,8 +47,7 @@ where
         // including coin generation, mate checks, splice and re-pack.
         m.charge_split(Kernel::MillerReifRound, live_ids.len());
         m.charge_sync();
-        let coins: Vec<bool> =
-            live_ids.iter().map(|_| rng.random_range(0..2u32) == 0).collect();
+        let coins: Vec<bool> = live_ids.iter().map(|_| rng.random_range(0..2u32) == 0).collect();
         let mut coin_of = vec![false; n];
         for (&v, &c) in live_ids.iter().zip(&coins) {
             coin_of[v as usize] = c;

@@ -336,11 +336,7 @@ impl ReidMillerSim {
 }
 
 /// Serial exclusive scan of the reduced list (head = index 0).
-fn serial_scan_reduced<T: Copy, Op: ScanOp<T>>(
-    next_sub: &[Idx],
-    totals: &[T],
-    op: &Op,
-) -> Vec<T> {
+fn serial_scan_reduced<T: Copy, Op: ScanOp<T>>(next_sub: &[Idx], totals: &[T], op: &Op) -> Vec<T> {
     let mut pre = vec![op.identity(); next_sub.len()];
     let mut acc = op.identity();
     let mut at = 0usize;
@@ -370,11 +366,7 @@ mod tests {
         for n in [1usize, 5, 100, 1000, 10_000, 100_000] {
             let list = gen::random_list(n, n as u64 + 3);
             let rm = ReidMillerSim::tuned_rank(n, 1, 9);
-            assert_eq!(
-                rm.rank(&list, c90(1)).out,
-                listkit::serial::rank(&list),
-                "n = {n}"
-            );
+            assert_eq!(rm.rank(&list, c90(1)).out, listkit::serial::rank(&list), "n = {n}");
         }
     }
 
@@ -457,12 +449,8 @@ mod tests {
         let n = 2_000_000;
         let list = gen::random_list(n, 4);
         let vals = vec![1i64; n];
-        let t1 = ReidMillerSim::tuned_scan(n, 1, 1)
-            .scan(&list, &vals, &AddOp, c90(1))
-            .cycles;
-        let t8 = ReidMillerSim::tuned_scan(n, 8, 1)
-            .scan(&list, &vals, &AddOp, c90(8))
-            .cycles;
+        let t1 = ReidMillerSim::tuned_scan(n, 1, 1).scan(&list, &vals, &AddOp, c90(1)).cycles;
+        let t8 = ReidMillerSim::tuned_scan(n, 8, 1).scan(&list, &vals, &AddOp, c90(8)).cycles;
         let s8 = t1.get() / t8.get();
         assert!(s8 > 4.5 && s8 < 8.0, "8-CPU speedup {s8:.2}");
     }
@@ -492,10 +480,7 @@ mod tests {
         let n = 30_000;
         let list = gen::random_list(n, 7);
         let reference = listkit::serial::rank(&list);
-        let fixed = ReidMillerSim {
-            params: SimParams::fixed_interval(n, 300, 20),
-            seed: 3,
-        };
+        let fixed = ReidMillerSim { params: SimParams::fixed_interval(n, 300, 20), seed: 3 };
         assert_eq!(fixed.rank(&list, c90(1)).out, reference);
         let nopack = ReidMillerSim { params: SimParams::no_packing(300), seed: 3 };
         let nopack_run = nopack.rank(&list, c90(1));

@@ -37,12 +37,7 @@ pub fn rank(list: &LinkedList, config: MachineConfig) -> SimRun<u64> {
 }
 
 /// Simulated Wyllie list scan.
-pub fn scan<T, Op>(
-    list: &LinkedList,
-    values: &[T],
-    op: &Op,
-    config: MachineConfig,
-) -> SimRun<T>
+pub fn scan<T, Op>(list: &LinkedList, values: &[T], op: &Op, config: MachineConfig) -> SimRun<T>
 where
     T: Copy + Send + Sync,
     Op: ScanOp<T>,
@@ -72,10 +67,7 @@ mod tests {
         // One more round at n = 1025 than at n = 1024 (⌈log₂(n−1)⌉).
         let a = rank(&gen::random_list(1025, 1), MachineConfig::c90(1));
         let b = rank(&gen::random_list(1026, 1), MachineConfig::c90(1));
-        assert!(
-            b.cycles_per_vertex() > a.cycles_per_vertex(),
-            "crossing 2^10 must add a round"
-        );
+        assert!(b.cycles_per_vertex() > a.cycles_per_vertex(), "crossing 2^10 must add a round");
     }
 
     #[test]

@@ -60,10 +60,8 @@ impl SimParams {
     pub fn fixed_interval(n: usize, m: usize, interval: usize) -> Self {
         assert!(interval >= 1);
         let longest = rankmodel::expdist::expected_longest(n as f64, m as f64);
-        let schedule = (1..)
-            .map(|i| i * interval)
-            .take_while(|&s| (s as f64) < longest * 1.5)
-            .collect();
+        let schedule =
+            (1..).map(|i| i * interval).take_while(|&s| (s as f64) < longest * 1.5).collect();
         Self { m, schedule, phase2: Phase2Choice::Serial }
     }
 

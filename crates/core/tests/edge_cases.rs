@@ -14,6 +14,7 @@ fn malformed_lists_rejected_at_the_boundary() {
     assert!(LinkedList::new(vec![1, 5, 2], 0).is_err()); // dangling link
     assert!(LinkedList::new(vec![0, 1], 0).is_err()); // two components
     assert!(LinkedList::new(vec![], 0).is_err()); // empty
+
     // rho shape: 0→1→2→3→1 with an unrelated self-loop at 4.
     assert!(validate_links(&[1, 2, 3, 1, 4], 0).is_err());
 }
@@ -26,10 +27,7 @@ fn single_vertex_everywhere() {
         assert_eq!(SimRunner::new(alg, 4).rank(&list).out, vec![0], "{alg}");
     }
     let vals = vec![123i64];
-    assert_eq!(
-        HostRunner::new(Algorithm::ReidMiller).scan(&list, &vals, &AddOp),
-        vec![0]
-    );
+    assert_eq!(HostRunner::new(Algorithm::ReidMiller).scan(&list, &vals, &AddOp), vec![0]);
 }
 
 #[test]

@@ -1,0 +1,195 @@
+//! `rankd` — drive a sustained mixed ranking/scan workload through the
+//! batch engine and report throughput against the naive
+//! sequential-submit baseline.
+//!
+//! ```sh
+//! cargo run --release -p engine --bin rankd -- --help
+//! ```
+
+use engine::workload::{run_baseline, run_engine, Workload, WorkloadConfig};
+use engine::{Engine, EngineConfig};
+
+struct Args {
+    workload: WorkloadConfig,
+    engine: EngineConfig,
+    skip_baseline: bool,
+    repeats: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "rankd — batch list-ranking engine throughput driver
+
+USAGE: rankd [OPTIONS]
+
+Workload:
+  --min-exp E            smallest job decade, 10^E vertices   [default 2]
+  --max-exp E            largest job decade, 10^E vertices    [default 7]
+  --elems-per-decade N   element budget per decade            [default 2000000]
+  --max-jobs-per-decade N  job-count cap per decade           [default 3000]
+  --scan-frac F          fraction of scan (vs rank) jobs      [default 0.3]
+  --seed S               workload seed                        [default 0xC90]
+  --repeats R            run the workload R times through the engine
+                         (planner history carries over)       [default 1]
+
+Engine:
+  --workers W            worker threads                 [default: cores/2, 2..8]
+  --inner-threads T      threads per job                [default: cores/workers]
+  --queue-cap Q          queue capacity (backpressure)  [default 1024]
+  --small-cutoff N       batch jobs up to N vertices    [default 4096]
+  --batch-max B          max jobs per batch             [default 64]
+  --no-pool              disable scratch-buffer pooling
+  --skip-baseline        skip the naive sequential-submit baseline"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: WorkloadConfig::default(),
+        engine: EngineConfig::default(),
+        skip_baseline: false,
+        repeats: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--min-exp" => {
+                args.workload.min_exp = val("--min-exp").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-exp" => {
+                args.workload.max_exp = val("--max-exp").parse().unwrap_or_else(|_| usage())
+            }
+            "--elems-per-decade" => {
+                args.workload.elems_per_decade =
+                    val("--elems-per-decade").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-jobs-per-decade" => {
+                args.workload.max_jobs_per_decade =
+                    val("--max-jobs-per-decade").parse().unwrap_or_else(|_| usage())
+            }
+            "--scan-frac" => {
+                args.workload.scan_frac = val("--scan-frac").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.workload.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--repeats" => args.repeats = val("--repeats").parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                args.engine.workers = val("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--inner-threads" => {
+                args.engine.inner_threads =
+                    val("--inner-threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-cap" => {
+                args.engine.queue_capacity = val("--queue-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--small-cutoff" => {
+                args.engine.small_cutoff = val("--small-cutoff").parse().unwrap_or_else(|_| usage())
+            }
+            "--batch-max" => {
+                args.engine.batch_max = val("--batch-max").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-pool" => args.engine.pool_scratch = false,
+            "--skip-baseline" => args.skip_baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn fmt_rate(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2} M/s", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} k/s", x / 1e3)
+    } else {
+        format!("{x:.1} /s")
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.workload.min_exp > args.workload.max_exp {
+        eprintln!(
+            "--min-exp ({}) must be ≤ --max-exp ({})",
+            args.workload.min_exp, args.workload.max_exp
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "generating workload: decades 10^{}..10^{}, ~{} elems/decade, {:.0}% scans, seed {:#x} ...",
+        args.workload.min_exp,
+        args.workload.max_exp,
+        args.workload.elems_per_decade,
+        args.workload.scan_frac * 100.0,
+        args.workload.seed
+    );
+    let workload = Workload::generate(&args.workload);
+    println!(
+        "workload: {} jobs, {} total vertices (sizes 10^{}..10^{})",
+        workload.jobs.len(),
+        workload.total_elements,
+        args.workload.min_exp,
+        args.workload.max_exp
+    );
+
+    let engine = Engine::new(args.engine.clone());
+    println!(
+        "engine: {} workers × {} inner threads, queue {} (batch ≤{} jobs ≤{} vertices, pool {})",
+        engine.config().workers,
+        engine.config().inner_threads,
+        engine.config().queue_capacity,
+        engine.config().batch_max,
+        engine.config().small_cutoff,
+        if engine.config().pool_scratch { "on" } else { "off" }
+    );
+
+    let mut engine_result = None;
+    for r in 0..args.repeats.max(1) {
+        let res = run_engine(&engine, &workload);
+        println!(
+            "engine pass {}: {} jobs in {:.3}s  ({} jobs, {} elems)",
+            r + 1,
+            res.jobs,
+            res.elapsed.as_secs_f64(),
+            fmt_rate(res.jobs_per_sec()),
+            fmt_rate(res.elements_per_sec()),
+        );
+        engine_result = Some(res);
+    }
+    let engine_result = engine_result.expect("at least one pass");
+
+    println!("\n-- engine stats --\n{}", engine.stats());
+
+    if !args.skip_baseline {
+        eprintln!("running naive sequential-submit baseline ...");
+        let base = run_baseline(&workload);
+        println!(
+            "baseline: {} jobs in {:.3}s  ({} jobs, {} elems)",
+            base.jobs,
+            base.elapsed.as_secs_f64(),
+            fmt_rate(base.jobs_per_sec()),
+            fmt_rate(base.elements_per_sec()),
+        );
+        assert_eq!(base.checksum, engine_result.checksum, "engine and baseline outputs diverged");
+        let speedup = base.elapsed.as_secs_f64() / engine_result.elapsed.as_secs_f64();
+        println!(
+            "\nengine vs baseline: {speedup:.2}× throughput ({} vs {} elems)",
+            fmt_rate(engine_result.elements_per_sec()),
+            fmt_rate(base.elements_per_sec()),
+        );
+    }
+
+    engine.shutdown();
+}

@@ -1,0 +1,337 @@
+//! The engine proper: worker pool, dispatch loop, lifecycle.
+
+use crate::job::{
+    JobCell, JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec, QueuedJob,
+};
+use crate::planner::Planner;
+use crate::pool::ScratchPool;
+use crate::queue::{JobQueue, SubmitError};
+use crate::stats::{Counters, EngineStats};
+use listkit::ops::AddOp;
+use listrank::HostRunner;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine sizing and policy.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue (job-level parallelism).
+    pub workers: usize,
+    /// Queue capacity; blocking `submit` applies backpressure here.
+    pub queue_capacity: usize,
+    /// Thread budget *inside* one job (data-parallel phases). The
+    /// planner predicts costs for this parallelism.
+    pub inner_threads: usize,
+    /// Jobs of at most this many vertices are batched together.
+    pub small_cutoff: usize,
+    /// Maximum jobs per small-job batch.
+    pub batch_max: usize,
+    /// Reuse scratch buffers across jobs (`false` = allocate fresh per
+    /// batch; exists so benchmarks can measure the pool's effect).
+    pub pool_scratch: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = (avail / 2).clamp(2, 8).min(avail.max(1));
+        EngineConfig {
+            workers,
+            queue_capacity: 1024,
+            inner_threads: (avail / workers).max(1),
+            small_cutoff: 4096,
+            batch_max: 64,
+            pool_scratch: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Override the per-job thread budget.
+    pub fn with_inner_threads(mut self, t: usize) -> Self {
+        self.inner_threads = t.max(1);
+        self
+    }
+
+    /// Override the small-job batching parameters.
+    pub fn with_batching(mut self, cutoff: usize, max: usize) -> Self {
+        self.small_cutoff = cutoff;
+        self.batch_max = max.max(1);
+        self
+    }
+
+    /// Enable or disable scratch-buffer pooling.
+    pub fn with_pooling(mut self, pool: bool) -> Self {
+        self.pool_scratch = pool;
+        self
+    }
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    queue: JobQueue,
+    planner: Planner,
+    pool: ScratchPool,
+    counters: Counters,
+    started: Instant,
+}
+
+/// Reject malformed specs at the submit boundary, where the caller can
+/// handle the error — a worker hitting the mismatch assertion later
+/// would panic far from the bug.
+fn validate(spec: &JobSpec) -> Result<(), SubmitError> {
+    match spec {
+        JobSpec::Rank { .. } => Ok(()),
+        JobSpec::ScanAdd { list, values } => {
+            if values.len() == list.len() {
+                Ok(())
+            } else {
+                Err(SubmitError::Invalid)
+            }
+        }
+    }
+}
+
+/// The `rankd` batch execution engine: submit many ranking/scan jobs,
+/// workers drain them with adaptive per-job algorithm selection and
+/// pooled scratch memory.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Start an engine with the given configuration. Zero values for
+    /// the sizing knobs are normalized up to 1 (an engine with no
+    /// workers or no queue could never complete a job).
+    pub fn new(mut cfg: EngineConfig) -> Self {
+        cfg.workers = cfg.workers.max(1);
+        cfg.inner_threads = cfg.inner_threads.max(1);
+        cfg.queue_capacity = cfg.queue_capacity.max(1);
+        cfg.batch_max = cfg.batch_max.max(1);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity),
+            planner: Planner::new(cfg.inner_threads),
+            pool: ScratchPool::new(cfg.workers),
+            counters: Counters::new(),
+            started: Instant::now(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rankd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine { shared, workers, next_id: AtomicU64::new(0) }
+    }
+
+    /// Start with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+
+    /// Submit a job, blocking while the queue is full (backpressure).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_with(spec, JobOptions::default())
+    }
+
+    /// Submit with explicit options, blocking while the queue is full.
+    pub fn submit_with(&self, spec: JobSpec, opts: JobOptions) -> Result<JobHandle, SubmitError> {
+        validate(&spec)?;
+        let (job, handle) = self.make_job(spec, opts);
+        self.shared.queue.push(job)?;
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Submit without blocking; fails with [`SubmitError::Full`] when
+    /// the queue is at capacity.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.try_submit_with(spec, JobOptions::default())
+    }
+
+    /// Non-blocking submit with explicit options.
+    pub fn try_submit_with(
+        &self,
+        spec: JobSpec,
+        opts: JobOptions,
+    ) -> Result<JobHandle, SubmitError> {
+        validate(&spec)?;
+        let (job, handle) = self.make_job(spec, opts);
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err((e, _job)) => {
+                if e == SubmitError::Full {
+                    self.shared.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn make_job(&self, spec: JobSpec, opts: JobOptions) -> (QueuedJob, JobHandle) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell = JobCell::new();
+        let handle = JobHandle { id, cell: Arc::clone(&cell) };
+        let job = QueuedJob { id, spec, opts, cell, enqueued: Instant::now() };
+        (job, handle)
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::gather(
+            self.shared.started,
+            &self.shared.counters,
+            &self.shared.planner,
+            self.shared.pool.stats(),
+            self.shared.queue.depth(),
+            self.shared.queue.peak_depth(),
+        )
+    }
+
+    /// Stop accepting work, drain the queue, join the workers, and
+    /// return the final stats.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.shared.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Each worker owns a thread budget for the data-parallel phases of
+    // the jobs it executes; the shim's `install` scopes it per batch.
+    let inner_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(shared.cfg.inner_threads)
+        .build()
+        .expect("engine inner pool");
+
+    while let Some(job) = shared.queue.pop() {
+        if job.cell.is_settled() {
+            // Cancelled while queued.
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let n = job.spec.len();
+        let mut batch = vec![job];
+        // Small jobs: greedily pull queued siblings so one dequeue, one
+        // scratch acquisition and one pool install serve many jobs.
+        if n <= shared.cfg.small_cutoff && shared.cfg.batch_max > 1 {
+            batch.extend(
+                shared.queue.pop_small_batch(shared.cfg.small_cutoff, shared.cfg.batch_max - 1),
+            );
+        }
+        if batch.len() > 1 {
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            shared.counters.batched_jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        let batched = batch.len() > 1;
+
+        let mut scratch = if shared.cfg.pool_scratch {
+            shared.pool.acquire()
+        } else {
+            listrank::host::RankScratch::new()
+        };
+        inner_pool.install(|| {
+            for job in batch {
+                if job.cell.is_settled() {
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let n = job.spec.len();
+                let queued_ns = job.enqueued.elapsed().as_nanos() as u64;
+                let plan = shared.planner.choose(n, job.opts.algorithm);
+                let mut runner = HostRunner::new(plan.algorithm).with_seed(job.opts.seed);
+                runner.m = plan.m;
+                let t0 = Instant::now();
+                // Isolate panics: an unwinding job must not kill the
+                // worker (stranding every later waiter) — it completes
+                // its cell with `Failed` instead. The scratch is safe
+                // to reuse afterwards: every entry point re-clears it.
+                let exec =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.spec {
+                        JobSpec::Rank { list } => {
+                            let mut out = Vec::new();
+                            runner.rank_into(list, &mut scratch, &mut out);
+                            JobOutput::Ranks(out)
+                        }
+                        JobSpec::ScanAdd { list, values } => {
+                            let mut out = Vec::new();
+                            runner.scan_into(list, values, &AddOp, &mut scratch, &mut out);
+                            JobOutput::Scan(out)
+                        }
+                    }));
+                let exec_ns = t0.elapsed().as_nanos() as u64;
+                let output = match exec {
+                    Ok(output) => output,
+                    Err(_) => {
+                        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        job.cell.complete(Err(JobError::Failed));
+                        continue;
+                    }
+                };
+                // The measurement is valid regardless of a late cancel.
+                shared.planner.record(n, plan.algorithm, exec_ns);
+                let landed = job.cell.complete(Ok(JobReport {
+                    id: job.id,
+                    n,
+                    algorithm: plan.algorithm,
+                    batched,
+                    queued_ns,
+                    exec_ns,
+                    output,
+                }));
+                if landed {
+                    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.elements.fetch_add(n as u64, Ordering::Relaxed);
+                    shared.counters.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+                    shared.counters.queued_ns.fetch_add(queued_ns, Ordering::Relaxed);
+                } else {
+                    // Cancelled while executing: result discarded.
+                    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        if shared.cfg.pool_scratch {
+            shared.pool.release(scratch);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Jobs, results, and the submit/await/cancel handle.
+
+use listkit::LinkedList;
+use listrank::Algorithm;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a job computes.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// List ranking of `list`.
+    Rank {
+        /// The list to rank (shared so many jobs can reference one
+        /// workload list without copying).
+        list: Arc<LinkedList>,
+    },
+    /// Exclusive `+`-scan of `values` along `list`.
+    ScanAdd {
+        /// The list to scan along.
+        list: Arc<LinkedList>,
+        /// Per-vertex values (same length as the list).
+        values: Arc<Vec<i64>>,
+    },
+}
+
+impl JobSpec {
+    /// Number of vertices this job touches.
+    pub fn len(&self) -> usize {
+        match self {
+            JobSpec::Rank { list } => list.len(),
+            JobSpec::ScanAdd { list, .. } => list.len(),
+        }
+    }
+
+    /// Whether the job is over an empty list (never valid — `listkit`
+    /// lists have ≥ 1 vertex).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-job options.
+#[derive(Clone, Copy, Debug)]
+pub struct JobOptions {
+    /// RNG seed for randomized algorithms (matches
+    /// `HostRunner::default`'s seed so engine output is byte-identical
+    /// to a direct `HostRunner::new(alg).rank(..)` call).
+    pub seed: u64,
+    /// Pin the algorithm instead of letting the planner choose.
+    pub algorithm: Option<Algorithm>,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions { seed: 0x1994, algorithm: None }
+    }
+}
+
+/// A finished job's output payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutput {
+    /// Ranks from a [`JobSpec::Rank`] job.
+    Ranks(Vec<u64>),
+    /// Scan values from a [`JobSpec::ScanAdd`] job.
+    Scan(Vec<i64>),
+}
+
+impl JobOutput {
+    /// The rank vector, if this is a ranking output.
+    pub fn ranks(&self) -> Option<&[u64]> {
+        match self {
+            JobOutput::Ranks(r) => Some(r),
+            JobOutput::Scan(_) => None,
+        }
+    }
+
+    /// The scan vector, if this is a scan output.
+    pub fn scan(&self) -> Option<&[i64]> {
+        match self {
+            JobOutput::Scan(s) => Some(s),
+            JobOutput::Ranks(_) => None,
+        }
+    }
+}
+
+/// A completed job: payload plus execution metadata.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Engine-assigned job id (submission order).
+    pub id: u64,
+    /// Vertices in the job's list.
+    pub n: usize,
+    /// The algorithm the planner dispatched.
+    pub algorithm: Algorithm,
+    /// Whether the job was executed as part of a small-job batch.
+    pub batched: bool,
+    /// Nanoseconds spent queued before a worker picked the job up.
+    pub queued_ns: u64,
+    /// Nanoseconds of execution.
+    pub exec_ns: u64,
+    /// The result payload.
+    pub output: JobOutput,
+}
+
+/// Why a job produced no result. There is no shutdown variant:
+/// `Engine::shutdown` (and drop) drain the queue fully, so every
+/// accepted job settles as completed, cancelled, or failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job was cancelled before its result landed.
+    Cancelled,
+    /// Execution panicked; the worker survived and completed the job
+    /// with this error instead of stranding its waiter.
+    Failed,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => f.write_str("job cancelled"),
+            JobError::Failed => f.write_str("job execution panicked"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+pub(crate) enum CellState {
+    Pending,
+    Done(Result<JobReport, JobError>),
+    /// The result was moved out by `wait`.
+    Taken,
+}
+
+/// Shared completion cell between a [`JobHandle`] and the worker that
+/// eventually executes the job.
+pub(crate) struct JobCell {
+    pub(crate) state: Mutex<CellState>,
+    pub(crate) done: Condvar,
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(JobCell { state: Mutex::new(CellState::Pending), done: Condvar::new() })
+    }
+
+    /// First completion wins; later attempts (e.g. a worker finishing a
+    /// job that was cancelled mid-flight) are dropped. Returns whether
+    /// this call's result landed.
+    pub(crate) fn complete(&self, result: Result<JobReport, JobError>) -> bool {
+        let mut st = self.state.lock().expect("job cell poisoned");
+        if matches!(*st, CellState::Pending) {
+            *st = CellState::Done(result);
+            self.done.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn is_settled(&self) -> bool {
+        !matches!(*self.state.lock().expect("job cell poisoned"), CellState::Pending)
+    }
+}
+
+/// Await/cancel handle returned by `Engine::submit`.
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) cell: Arc<JobCell>,
+}
+
+impl JobHandle {
+    /// The engine-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job finishes; consumes the handle.
+    pub fn wait(self) -> Result<JobReport, JobError> {
+        let mut st = self.cell.state.lock().expect("job cell poisoned");
+        loop {
+            match std::mem::replace(&mut *st, CellState::Taken) {
+                CellState::Done(result) => return result,
+                prev @ CellState::Pending => {
+                    *st = prev;
+                    st = self.cell.done.wait(st).expect("job cell poisoned");
+                }
+                CellState::Taken => unreachable!("wait consumes the handle"),
+            }
+        }
+    }
+
+    /// Whether the job has finished (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.cell.is_settled()
+    }
+
+    /// Cancel the job if it has not finished. Returns `true` if the
+    /// cancellation landed (the job will report
+    /// [`JobError::Cancelled`]); `false` if the job already finished.
+    /// A job already executing when cancellation lands runs to
+    /// completion, but its result is discarded and it is counted as
+    /// cancelled, not completed.
+    pub fn cancel(&self) -> bool {
+        let mut st = self.cell.state.lock().expect("job cell poisoned");
+        if matches!(*st, CellState::Pending) {
+            *st = CellState::Done(Err(JobError::Cancelled));
+            self.cell.done.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A queued unit of work (internal).
+pub(crate) struct QueuedJob {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) opts: JobOptions,
+    pub(crate) cell: Arc<JobCell>,
+    pub(crate) enqueued: std::time::Instant,
+}

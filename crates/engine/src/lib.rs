@@ -1,0 +1,51 @@
+//! # engine — `rankd`, the batch execution subsystem
+//!
+//! The paper's algorithms (and this repo's `listrank` crate) answer "how
+//! fast can *one* list be ranked"; a serving system asks "how many
+//! ranking/scan *requests* per second can this machine sustain". `rankd`
+//! is the bridge:
+//!
+//! * **[`Engine`]** — a bounded job queue with blocking backpressure,
+//!   drained by a worker pool; each worker scopes an inner thread budget
+//!   for its jobs' data-parallel phases.
+//! * **[`Planner`]** — adaptive algorithm selection: the paper's cost
+//!   model as prior ([`rankmodel::predict::predict_best`]), refined by
+//!   measured per-size-bucket execution history, so tiny jobs go to the
+//!   serial ranker and big ones to Reid-Miller with a model-tuned `m`.
+//! * **small-job batching** — workers drain sibling small jobs in one
+//!   dequeue so fixed costs amortize across a batch.
+//! * **[`ScratchPool`]** — per-job O(n) working arrays are pooled and
+//!   reused through `listrank`'s `rank_into`/`scan_into` no-alloc entry
+//!   points instead of reallocated per job.
+//! * **[`EngineStats`]** — throughput, queue depth, per-algorithm
+//!   dispatch counts by job size, batching and pool hit rates.
+//!
+//! ```
+//! use engine::{Engine, JobSpec};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::with_defaults();
+//! let list = Arc::new(listkit::gen::random_list(10_000, 42));
+//! let handle = engine.submit(JobSpec::Rank { list: Arc::clone(&list) }).unwrap();
+//! let report = handle.wait().unwrap();
+//! assert_eq!(report.output.ranks().unwrap()[list.head() as usize], 0);
+//! println!("{}", engine.stats());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+pub mod job;
+pub mod planner;
+pub mod pool;
+pub mod queue;
+pub mod stats;
+pub mod workload;
+
+pub use crate::engine::{Engine, EngineConfig};
+pub use job::{JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec};
+pub use planner::{Plan, Planner};
+pub use pool::{PoolStats, ScratchPool};
+pub use queue::SubmitError;
+pub use stats::EngineStats;

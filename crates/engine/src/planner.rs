@@ -1,0 +1,270 @@
+//! Adaptive algorithm selection: model prior + measured history.
+//!
+//! The planner decides, per job, which of the five algorithms to run and
+//! (for Reid-Miller) which split count `m` to use. Its prior is the
+//! paper's cost model ([`rankmodel::predict::predict_best`]); as jobs
+//! complete it folds measured per-element times into per-size-bucket
+//! EWMAs and a global cycles→nanoseconds calibration, so the dispatch
+//! threshold migrates to wherever *this* machine's crossover actually
+//! sits — the multi-decoder dispatch idea: route each request to the
+//! decoder that is cheapest **for that request**, not to one global
+//! winner.
+
+use listrank::Algorithm;
+use rankmodel::predict::{predict_best, AlgChoice};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Size buckets are powers of two: bucket `b` holds `2^(b-1) ≤ n < 2^b`.
+const BUCKETS: usize = usize::BITS as usize + 1;
+const ALGS: usize = Algorithm::ALL.len();
+
+/// EWMA smoothing factor for new measurements.
+const ALPHA: f64 = 0.25;
+
+/// Probe the unmeasured contender once in this many dispatches per
+/// bucket, so measured history covers both candidates.
+const PROBE_EVERY: u64 = 16;
+
+pub(crate) fn bucket_of(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+pub(crate) fn alg_index(alg: Algorithm) -> usize {
+    Algorithm::ALL.iter().position(|&a| a == alg).expect("algorithm in ALL")
+}
+
+/// One dispatch decision.
+#[derive(Clone, Copy, Debug)]
+pub struct Plan {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Reid-Miller split-count override (`None` = host heuristic).
+    pub m: Option<usize>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Ewma {
+    ns_per_elem: f64,
+    samples: u64,
+}
+
+/// The adaptive planner. Thread-safe; shared by all workers.
+pub struct Planner {
+    /// Parallelism available to a single job.
+    p: usize,
+    /// Measured per-element times by (bucket, algorithm).
+    measured: Mutex<Vec<[Ewma; ALGS]>>,
+    /// Dispatch counts by (bucket, algorithm) — the stats surface that
+    /// makes "different algorithms by job size" visible.
+    dispatched: Vec<[AtomicU64; ALGS]>,
+    /// Cached tuned Reid-Miller `m` per bucket.
+    tuned_m: Mutex<HashMap<usize, usize>>,
+}
+
+impl Planner {
+    /// A planner for jobs that may use up to `p` threads each.
+    pub fn new(p: usize) -> Self {
+        Planner {
+            p: p.max(1),
+            measured: Mutex::new(vec![[Ewma::default(); ALGS]; BUCKETS]),
+            dispatched: (0..BUCKETS).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect(),
+            tuned_m: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Choose the algorithm (and `m`) for an `n`-vertex job. `pinned`
+    /// overrides adaptivity (but still records the dispatch).
+    pub fn choose(&self, n: usize, pinned: Option<Algorithm>) -> Plan {
+        let algorithm = pinned.unwrap_or_else(|| self.adaptive_choice(n));
+        self.dispatched[bucket_of(n)][alg_index(algorithm)].fetch_add(1, Ordering::Relaxed);
+        let m = if algorithm == Algorithm::ReidMiller { self.tuned_m(n) } else { None };
+        Plan { algorithm, m }
+    }
+
+    /// Cold-start prior. The `rankmodel` prediction locates the size
+    /// threshold below which startup costs dominate (→ Serial); above
+    /// it, the host's only *work-efficient* parallel algorithm is
+    /// Reid-Miller, so every parallel pick maps there. (The C90 model
+    /// can prefer the random-mate algorithms because vector hardware
+    /// runs them wide even at `p = 1`; a multicore host has no such
+    /// discount, and on one thread nothing beats Serial — mirroring the
+    /// paper's own Fig. 1 ordering.)
+    fn prior_choice(&self, n: usize) -> Algorithm {
+        if self.p < 2 {
+            return Algorithm::Serial;
+        }
+        match predict_best(n, self.p) {
+            AlgChoice::Serial => Algorithm::Serial,
+            _ => Algorithm::ReidMiller,
+        }
+    }
+
+    fn adaptive_choice(&self, n: usize) -> Algorithm {
+        let b = bucket_of(n);
+        let prior = self.prior_choice(n);
+        let measured = self.measured.lock().expect("planner poisoned");
+        let serial = measured[b][alg_index(Algorithm::Serial)];
+        let rm = measured[b][alg_index(Algorithm::ReidMiller)];
+        drop(measured);
+        match (serial.samples, rm.samples) {
+            // Nothing measured in this bucket yet: trust the model.
+            (0, 0) => prior,
+            // One contender unmeasured. If it is the *prior* that lacks
+            // a sample (e.g. the measured one arrived via a pinned
+            // job), dispatch the prior so it gets measured — otherwise a
+            // single pinned job would poison the bucket onto the
+            // non-prior contender. If the prior is the measured one,
+            // keep it and probe the other periodically (Reid-Miller
+            // only where it could plausibly win: p ≥ 2).
+            (0, _) | (_, 0) => {
+                let prior_measured = match prior {
+                    Algorithm::Serial => serial.samples > 0,
+                    _ => rm.samples > 0,
+                };
+                if !prior_measured {
+                    return prior;
+                }
+                let other = if prior == Algorithm::Serial {
+                    Algorithm::ReidMiller
+                } else {
+                    Algorithm::Serial
+                };
+                let count: u64 = self.dispatched[b].iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                let probe = count % PROBE_EVERY == PROBE_EVERY - 1;
+                if probe && (other == Algorithm::Serial || self.p >= 2) {
+                    other
+                } else {
+                    prior
+                }
+            }
+            // Both measured: cheapest expected time wins.
+            _ => {
+                if serial.ns_per_elem <= rm.ns_per_elem {
+                    Algorithm::Serial
+                } else {
+                    Algorithm::ReidMiller
+                }
+            }
+        }
+    }
+
+    /// Model-tuned Reid-Miller split count for `n`, clamped to the host
+    /// backend's over-decomposition bounds (≥ 8 tasks per thread so work
+    /// stealing levels the exponential sublist skew, ≤ n/4 so sublists
+    /// stay non-trivial). Cached per size bucket, tuned for the
+    /// bucket's geometric midpoint (`1.5·2^(b-1)`) rather than
+    /// whichever `n` happens to arrive first, so the cached value is
+    /// equally representative for every job the bucket covers.
+    fn tuned_m(&self, n: usize) -> Option<usize> {
+        let b = bucket_of(n);
+        let rep = if b >= 2 { 3usize << (b - 2) } else { n };
+        let mut cache = self.tuned_m.lock().expect("planner poisoned");
+        let m = *cache.entry(b).or_insert_with(|| listrank::SimParams::tuned_rank(rep, self.p).m);
+        if m < 2 {
+            return None; // model says don't split; host heuristic decides
+        }
+        let floor = self.p * 8;
+        Some(m.clamp(floor.min(n / 4), (n / 4).max(1)).max(2))
+    }
+
+    /// Fold one completed job into the history.
+    pub fn record(&self, n: usize, alg: Algorithm, exec_ns: u64) {
+        if n == 0 {
+            return;
+        }
+        let per_elem = exec_ns as f64 / n as f64;
+        let mut measured = self.measured.lock().expect("planner poisoned");
+        let e = &mut measured[bucket_of(n)][alg_index(alg)];
+        e.ns_per_elem = if e.samples == 0 {
+            per_elem
+        } else {
+            (1.0 - ALPHA) * e.ns_per_elem + ALPHA * per_elem
+        };
+        e.samples += 1;
+    }
+
+    /// Dispatch counts per algorithm, summed over all size buckets
+    /// (order matches [`Algorithm::ALL`]).
+    pub fn dispatch_totals(&self) -> [u64; ALGS] {
+        let mut totals = [0u64; ALGS];
+        for row in &self.dispatched {
+            for (t, c) in totals.iter_mut().zip(row) {
+                *t += c.load(Ordering::Relaxed);
+            }
+        }
+        totals
+    }
+
+    /// Non-empty rows of the (size-bucket × algorithm) dispatch matrix:
+    /// `(upper size bound of bucket, per-algorithm counts)`.
+    pub fn dispatch_by_bucket(&self) -> Vec<(usize, [u64; ALGS])> {
+        let mut rows = Vec::new();
+        for (b, row) in self.dispatched.iter().enumerate() {
+            let counts: [u64; ALGS] = std::array::from_fn(|i| row[i].load(Ordering::Relaxed));
+            if counts.iter().any(|&c| c > 0) {
+                let hi = if b >= usize::BITS as usize { usize::MAX } else { 1usize << b };
+                rows.push((hi, counts));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn prior_dispatches_by_size() {
+        let planner = Planner::new(4);
+        assert_eq!(planner.choose(100, None).algorithm, Algorithm::Serial);
+        let big = planner.choose(2_000_000, None);
+        assert_eq!(big.algorithm, Algorithm::ReidMiller);
+        // Tuned m is within the host over-decomposition bounds.
+        let m = big.m.expect("reid-miller gets a tuned m");
+        assert!((2..=500_000).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn measurements_override_prior() {
+        let planner = Planner::new(4);
+        let n = 1 << 20;
+        // Feed history claiming serial is far cheaper in this bucket.
+        for _ in 0..8 {
+            planner.record(n, Algorithm::Serial, 1_000);
+            planner.record(n, Algorithm::ReidMiller, 1_000_000_000);
+        }
+        assert_eq!(planner.choose(n, None).algorithm, Algorithm::Serial);
+    }
+
+    #[test]
+    fn pinned_sample_does_not_poison_bucket() {
+        // One pinned ReidMiller job leaves an RM-only measurement in a
+        // bucket; unpinned dispatch must still follow the prior
+        // (Serial on a 1-thread engine) rather than the stray sample.
+        let planner = Planner::new(1);
+        let n = 1 << 14;
+        planner.record(n, Algorithm::ReidMiller, 1_000);
+        for _ in 0..8 {
+            assert_eq!(planner.choose(n, None).algorithm, Algorithm::Serial);
+        }
+    }
+
+    #[test]
+    fn pinned_overrides_everything() {
+        let planner = Planner::new(4);
+        assert_eq!(planner.choose(100, Some(Algorithm::Wyllie)).algorithm, Algorithm::Wyllie);
+        let totals = planner.dispatch_totals();
+        assert_eq!(totals[alg_index(Algorithm::Wyllie)], 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Scratch-buffer pool: per-job working memory reused across jobs.
+//!
+//! Every ranking/scan job needs O(n) working arrays (boundary bitmap,
+//! head map, reduced-list arrays — see `listrank::host::RankScratch`).
+//! Allocating them per job makes the allocator the bottleneck at high
+//! job rates; the pool keeps up to `max_idle` scratches alive and hands
+//! them to workers, growing each scratch to the largest job it has
+//! served.
+
+use listrank::host::RankScratch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Pool statistics snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Acquisitions served by a pooled scratch.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh scratch.
+    pub misses: u64,
+    /// Scratches currently idle in the pool.
+    pub idle: usize,
+}
+
+impl PoolStats {
+    /// Fraction of acquisitions served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default cap on the total heap the pool keeps alive while idle.
+/// Scratches grow to the largest job they served (≈ 5 bytes/vertex), so
+/// without a byte budget one 10⁷-vertex job per worker would pin
+/// hundreds of megabytes for the engine's remaining lifetime.
+pub const DEFAULT_MAX_RETAINED_BYTES: usize = 256 << 20;
+
+/// A shared pool of [`RankScratch`] buffers.
+pub struct ScratchPool {
+    idle: Mutex<Vec<RankScratch>>,
+    max_idle: usize,
+    max_retained_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScratchPool {
+    /// A pool retaining at most `max_idle` idle scratches (typically the
+    /// worker count: one in flight per worker plus none wasted) and at
+    /// most [`DEFAULT_MAX_RETAINED_BYTES`] of idle heap.
+    pub fn new(max_idle: usize) -> Self {
+        Self::with_byte_budget(max_idle, DEFAULT_MAX_RETAINED_BYTES)
+    }
+
+    /// A pool with an explicit idle-heap budget.
+    pub fn with_byte_budget(max_idle: usize, max_retained_bytes: usize) -> Self {
+        ScratchPool {
+            idle: Mutex::new(Vec::with_capacity(max_idle)),
+            max_idle: max_idle.max(1),
+            max_retained_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Take a scratch (pooled if available, fresh otherwise). Prefers
+    /// the largest idle scratch so big jobs reuse big buffers instead
+    /// of growing a small one while the big one sits idle.
+    pub fn acquire(&self) -> RankScratch {
+        let mut idle = self.idle.lock().expect("pool poisoned");
+        let largest =
+            idle.iter().enumerate().max_by_key(|(_, s)| s.footprint_bytes()).map(|(i, _)| i);
+        match largest {
+            Some(i) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                idle.swap_remove(i)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                RankScratch::new()
+            }
+        }
+    }
+
+    /// Return a scratch to the pool. Dropped instead if the pool is
+    /// full or retaining it would exceed the byte budget (evicting the
+    /// smallest idle scratch first when the incoming one is bigger —
+    /// big buffers are the expensive ones to reallocate).
+    pub fn release(&self, scratch: RankScratch) {
+        let incoming = scratch.footprint_bytes();
+        let mut idle = self.idle.lock().expect("pool poisoned");
+        if idle.len() >= self.max_idle {
+            return;
+        }
+        let mut retained: usize = idle.iter().map(RankScratch::footprint_bytes).sum();
+        while retained + incoming > self.max_retained_bytes {
+            // Evict the smallest idle scratch; if none is left and the
+            // incoming scratch alone busts the budget, drop it.
+            let Some((i, smallest)) = idle
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.footprint_bytes()))
+                .min_by_key(|&(_, b)| b)
+            else {
+                return;
+            };
+            if smallest >= incoming {
+                return; // everything idle is at least as valuable
+            }
+            idle.swap_remove(i);
+            retained -= smallest;
+        }
+        idle.push(scratch);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            idle: self.idle.lock().expect("pool poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let pool = ScratchPool::new(2);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.stats().misses, 2);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.stats().idle, 2);
+        let _c = pool.acquire();
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn pool_caps_idle() {
+        let pool = ScratchPool::new(1);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.release(a);
+        pool.release(b); // dropped, pool already holds one
+        assert_eq!(pool.stats().idle, 1);
+    }
+
+    #[test]
+    fn pool_respects_byte_budget() {
+        let small = RankScratch::with_capacity(1000); // ≈ 5 kB
+        let big = RankScratch::with_capacity(2000); // ≈ 10 kB
+        let budget = big.footprint_bytes();
+        let pool = ScratchPool::with_byte_budget(4, budget);
+        pool.release(small);
+        assert_eq!(pool.stats().idle, 1);
+        // The bigger scratch evicts the smaller to stay within budget.
+        pool.release(big);
+        assert_eq!(pool.stats().idle, 1);
+        assert!(pool.acquire().footprint_bytes() >= budget);
+        // A scratch that alone busts the budget is dropped outright.
+        let pool = ScratchPool::with_byte_budget(4, 10);
+        pool.release(RankScratch::with_capacity(1000));
+        assert_eq!(pool.stats().idle, 0);
+    }
+}

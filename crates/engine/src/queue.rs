@@ -1,0 +1,157 @@
+//! Bounded MPMC job queue with blocking backpressure.
+//!
+//! `submit` blocks while the queue is at capacity (producers slow to the
+//! engine's drain rate instead of ballooning memory); `try_submit`
+//! returns [`SubmitError::Full`] instead. Workers pop from the front and
+//! may additionally *drain* a batch of small jobs in one lock
+//! acquisition (see [`JobQueue::pop_small_batch`]).
+
+use crate::job::QueuedJob;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Non-blocking submit found the queue at capacity.
+    Full,
+    /// The engine is shutting down and accepts no new work.
+    Shutdown,
+    /// The job spec is malformed (e.g. scan value array length does not
+    /// match the list length); rejected before it can reach a worker.
+    Invalid,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => f.write_str("queue full"),
+            SubmitError::Shutdown => f.write_str("engine shut down"),
+            SubmitError::Invalid => f.write_str("invalid job spec (value/list length mismatch)"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Inner {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+    peak_depth: usize,
+}
+
+pub(crate) struct JobQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity.min(4096)),
+                shutdown: false,
+                peak_depth: 0,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking push: waits for space (backpressure).
+    pub(crate) fn push(&self, job: QueuedJob) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.shutdown {
+                return Err(SubmitError::Shutdown);
+            }
+            if inner.jobs.len() < self.capacity {
+                inner.jobs.push_back(job);
+                let depth = inner.jobs.len();
+                inner.peak_depth = inner.peak_depth.max(depth);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking push.
+    pub(crate) fn try_push(&self, job: QueuedJob) -> Result<(), (SubmitError, QueuedJob)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.shutdown {
+            return Err((SubmitError::Shutdown, job));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((SubmitError::Full, job));
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        inner.peak_depth = inner.peak_depth.max(depth);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` once shut down *and* drained.
+    pub(crate) fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Under one lock, pull up to `max` additional queued jobs whose
+    /// size is ≤ `cutoff` (leaving larger jobs in place and in order).
+    /// Small-job batching: a worker that just popped a small job grabs
+    /// its siblings so one scratch acquisition and one dispatch serve
+    /// the whole batch. Single compacting pass — no per-extraction
+    /// mid-deque shifting.
+    pub(crate) fn pop_small_batch(&self, cutoff: usize, max: usize) -> Vec<QueuedJob> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let jobs = std::mem::take(&mut inner.jobs);
+        for job in jobs {
+            if out.len() < max && job.spec.len() <= cutoff {
+                out.push(job);
+            } else {
+                inner.jobs.push_back(job);
+            }
+        }
+        if !out.is_empty() {
+            self.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Current depth (diagnostics).
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Highest depth observed.
+    pub(crate) fn peak_depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").peak_depth
+    }
+
+    /// Stop accepting work and wake everyone. Remaining queued jobs are
+    /// still drained by workers before they exit.
+    pub(crate) fn shutdown(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.shutdown = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}

@@ -1,0 +1,198 @@
+//! Engine metrics: counters, snapshot, and the printable report.
+
+use crate::planner::Planner;
+use crate::pool::PoolStats;
+use listrank::Algorithm;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Live counters (atomics; updated by workers and submitters).
+#[derive(Debug)]
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected_full: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_jobs: AtomicU64,
+    pub(crate) elements: AtomicU64,
+    pub(crate) exec_ns: AtomicU64,
+    pub(crate) queued_ns: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn new() -> Self {
+        Counters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            elements: AtomicU64::new(0),
+            exec_ns: AtomicU64::new(0),
+            queued_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A point-in-time view of the engine's metrics.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Seconds since the engine started.
+    pub uptime_s: f64,
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs cancelled before execution.
+    pub cancelled: u64,
+    /// Jobs whose execution panicked (completed with `JobError::Failed`).
+    pub failed: u64,
+    /// Non-blocking submissions rejected because the queue was full.
+    pub rejected_full: u64,
+    /// Small-job batches executed.
+    pub batches: u64,
+    /// Jobs that rode in a batch.
+    pub batched_jobs: u64,
+    /// Total vertices processed.
+    pub elements: u64,
+    /// Total execution nanoseconds (sum over jobs; overlaps across
+    /// workers, so divide by workers for wall-clock intuition).
+    pub exec_ns: u64,
+    /// Total nanoseconds jobs spent queued.
+    pub queued_ns: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Dispatch counts in [`Algorithm::ALL`] order.
+    pub dispatch: [u64; Algorithm::ALL.len()],
+    /// Non-empty `(bucket upper bound, dispatch counts)` rows.
+    pub dispatch_by_bucket: Vec<(usize, [u64; Algorithm::ALL.len()])>,
+    /// Scratch-pool statistics.
+    pub pool: PoolStats,
+}
+
+impl EngineStats {
+    pub(crate) fn gather(
+        started: Instant,
+        counters: &Counters,
+        planner: &Planner,
+        pool: PoolStats,
+        queue_depth: usize,
+        peak_queue_depth: usize,
+    ) -> Self {
+        EngineStats {
+            uptime_s: started.elapsed().as_secs_f64(),
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            cancelled: counters.cancelled.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+            rejected_full: counters.rejected_full.load(Ordering::Relaxed),
+            batches: counters.batches.load(Ordering::Relaxed),
+            batched_jobs: counters.batched_jobs.load(Ordering::Relaxed),
+            elements: counters.elements.load(Ordering::Relaxed),
+            exec_ns: counters.exec_ns.load(Ordering::Relaxed),
+            queued_ns: counters.queued_ns.load(Ordering::Relaxed),
+            queue_depth,
+            peak_queue_depth,
+            dispatch: planner.dispatch_totals(),
+            dispatch_by_bucket: planner.dispatch_by_bucket(),
+            pool,
+        }
+    }
+
+    /// Completed jobs per second of uptime.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.uptime_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.uptime_s
+        }
+    }
+
+    /// Vertices processed per second of uptime.
+    pub fn elements_per_sec(&self) -> f64 {
+        if self.uptime_s <= 0.0 {
+            0.0
+        } else {
+            self.elements as f64 / self.uptime_s
+        }
+    }
+
+    /// Mean queue latency per completed job, milliseconds.
+    pub fn mean_queue_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.queued_ns as f64 / self.completed as f64 / 1e6
+        }
+    }
+}
+
+fn format_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} completed / {} submitted ({} cancelled, {} failed, {} rejected) in {:.2}s",
+            self.completed,
+            self.submitted,
+            self.cancelled,
+            self.failed,
+            self.rejected_full,
+            self.uptime_s
+        )?;
+        writeln!(
+            f,
+            "throughput: {} jobs/s, {} elem/s   queue: depth {} (peak {}), mean wait {:.3} ms",
+            format_count(self.jobs_per_sec()),
+            format_count(self.elements_per_sec()),
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.mean_queue_ms()
+        )?;
+        writeln!(
+            f,
+            "batching: {} batches covering {} jobs   pool: {:.0}% hit rate ({} hits / {} misses, {} idle)",
+            self.batches,
+            self.batched_jobs,
+            self.pool.hit_rate() * 100.0,
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.idle
+        )?;
+        writeln!(f, "dispatch by size (rows are job-size upper bounds):")?;
+        write!(f, "  {:>12}", "n <")?;
+        for alg in Algorithm::ALL {
+            write!(f, " {:>15}", alg.name())?;
+        }
+        writeln!(f)?;
+        for (hi, counts) in &self.dispatch_by_bucket {
+            write!(f, "  {:>12}", format_count(*hi as f64))?;
+            for c in counts {
+                write!(f, " {c:>15}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  {:>12}", "total")?;
+        for c in &self.dispatch {
+            write!(f, " {c:>15}")?;
+        }
+        writeln!(f)
+    }
+}

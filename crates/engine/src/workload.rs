@@ -1,0 +1,189 @@
+//! Mixed-workload generation and the engine-vs-baseline throughput
+//! harness (shared by the `rankd` CLI and the criterion benchmark).
+
+use crate::engine::Engine;
+use crate::job::{JobOutput, JobSpec};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, HostRunner};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of a mixed ranking/scan workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Smallest job size decade: jobs of ≥ `10^min_exp` vertices.
+    pub min_exp: u32,
+    /// Largest job size decade: jobs up to `10^max_exp` vertices.
+    pub max_exp: u32,
+    /// Element budget per decade: decade `e` gets about
+    /// `elems_per_decade / 10^e` jobs (clamped to `max_jobs_per_decade`,
+    /// minimum 1), so every decade contributes comparable total work.
+    pub elems_per_decade: u64,
+    /// Cap on the job count of any decade (keeps 10² from dominating).
+    pub max_jobs_per_decade: usize,
+    /// Fraction of jobs that are `+`-scans instead of rankings.
+    pub scan_frac: f64,
+    /// Generator seed (lists, sizes and the submission order are all
+    /// deterministic functions of it).
+    pub seed: u64,
+    /// Distinct lists generated per decade (jobs share them via `Arc`).
+    pub lists_per_decade: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            min_exp: 2,
+            max_exp: 7,
+            elems_per_decade: 2_000_000,
+            max_jobs_per_decade: 3000,
+            scan_frac: 0.3,
+            seed: 0xC90,
+            lists_per_decade: 3,
+        }
+    }
+}
+
+/// A pre-generated job mix (generation cost is paid before timing).
+pub struct Workload {
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// Total vertices across all jobs.
+    pub total_elements: u64,
+}
+
+impl Workload {
+    /// Generate the mixed workload described by `cfg`.
+    pub fn generate(cfg: &WorkloadConfig) -> Self {
+        assert!(cfg.min_exp <= cfg.max_exp, "min_exp must be ≤ max_exp");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        for e in cfg.min_exp..=cfg.max_exp {
+            let base = 10u64.pow(e) as usize;
+            // Distinct lists for this decade, sizes jittered log-uniform
+            // within [10^e, 10^(e+1)) — except the top decade, which is
+            // pinned to exactly 10^max_exp so the workload's size range
+            // is the configured [10^min_exp, 10^max_exp].
+            let variants: Vec<(Arc<listkit::LinkedList>, Arc<Vec<i64>>)> = (0..cfg
+                .lists_per_decade
+                .max(1))
+                .map(|v| {
+                    let factor = if e == cfg.max_exp {
+                        1.0
+                    } else {
+                        10f64.powf(rng.random_range(0.0f64..1.0))
+                    };
+                    let n = ((base as f64) * factor) as usize;
+                    let list = Arc::new(gen::random_list(n, cfg.seed ^ (e as u64) << 8 ^ v as u64));
+                    let values: Arc<Vec<i64>> =
+                        Arc::new((0..n as i64).map(|i| (i % 23) - 11).collect());
+                    (list, values)
+                })
+                .collect();
+            let count = (cfg.elems_per_decade / base as u64)
+                .clamp(1, cfg.max_jobs_per_decade as u64) as usize;
+            for j in 0..count {
+                let (list, values) = &variants[j % variants.len()];
+                let job = if rng.random_range(0.0f64..1.0) < cfg.scan_frac {
+                    JobSpec::ScanAdd { list: Arc::clone(list), values: Arc::clone(values) }
+                } else {
+                    JobSpec::Rank { list: Arc::clone(list) }
+                };
+                jobs.push(job);
+            }
+        }
+        // Interleave decades so the queue always sees a mix of sizes.
+        gen::fisher_yates(&mut jobs, &mut rng);
+        let total_elements = jobs.iter().map(|j| j.len() as u64).sum();
+        Workload { jobs, total_elements }
+    }
+}
+
+/// Outcome of driving one workload through an executor.
+#[derive(Clone, Copy, Debug)]
+pub struct RunResult {
+    /// Wall-clock time for the whole workload.
+    pub elapsed: Duration,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Vertices processed.
+    pub elements: u64,
+    /// Order-independent digest of all outputs (keeps work honest and
+    /// catches divergence between executors on the same workload):
+    /// per-job position-sensitive folds, aggregated by wrapping
+    /// addition so duplicated jobs cannot cancel as they would under
+    /// XOR.
+    pub checksum: u64,
+}
+
+impl RunResult {
+    /// Elements per second.
+    pub fn elements_per_sec(&self) -> f64 {
+        self.elements as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Jobs per second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn fold_output(out: &JobOutput) -> u64 {
+    // Mix the vertex index into each term: a rank vector is always a
+    // permutation of 0..n, so a position-blind XOR would be identical
+    // for any misassignment of correct values to wrong vertices.
+    match out {
+        JobOutput::Ranks(r) => r
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (v, &x)| a ^ (x ^ (v as u64) << 32).wrapping_mul(0x9e3779b9)),
+        JobOutput::Scan(s) => s
+            .iter()
+            .enumerate()
+            .fold(0u64, |a, (v, &x)| a ^ (x as u64 ^ (v as u64) << 32).wrapping_mul(0x85ebca6b)),
+    }
+}
+
+/// Drive the workload through the engine: submit everything (blocking
+/// submits exercise backpressure), then await all handles.
+pub fn run_engine(engine: &Engine, workload: &Workload) -> RunResult {
+    let t0 = Instant::now();
+    let handles: Vec<_> = workload
+        .jobs
+        .iter()
+        .map(|spec| engine.submit(spec.clone()).expect("engine accepting work"))
+        .collect();
+    let mut checksum = 0u64;
+    let mut jobs = 0usize;
+    for h in handles {
+        let report = h.wait().expect("job completed");
+        checksum = checksum.wrapping_add(fold_output(&report.output));
+        jobs += 1;
+    }
+    RunResult { elapsed: t0.elapsed(), jobs, elements: workload.total_elements, checksum }
+}
+
+/// The naive baseline the engine must beat: submit-and-wait each job in
+/// order through a one-shot `HostRunner` with a fixed algorithm and
+/// fresh allocations — exactly what callers did before `rankd` existed.
+pub fn run_baseline(workload: &Workload) -> RunResult {
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for spec in &workload.jobs {
+        let out = match spec {
+            JobSpec::Rank { list } => JobOutput::Ranks(runner.rank(list)),
+            JobSpec::ScanAdd { list, values } => JobOutput::Scan(runner.scan(list, values, &AddOp)),
+        };
+        checksum = checksum.wrapping_add(fold_output(&out));
+    }
+    RunResult {
+        elapsed: t0.elapsed(),
+        jobs: workload.jobs.len(),
+        elements: workload.total_elements,
+        checksum,
+    }
+}

@@ -1,0 +1,307 @@
+//! Integration tests: engine results must be byte-identical to direct
+//! `HostRunner` results, under concurrency, batching, cancellation and
+//! backpressure; and the adaptive planner must demonstrably dispatch
+//! different algorithms by job size.
+
+use engine::{Engine, EngineConfig, JobError, JobOptions, JobSpec};
+use listkit::gen;
+use listkit::ops::AddOp;
+use listrank::{Algorithm, HostRunner};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn shared_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineConfig::default().with_workers(2).with_queue_capacity(256))
+    })
+}
+
+fn values_for(n: usize) -> Arc<Vec<i64>> {
+    Arc::new((0..n as i64).map(|i| (i % 31) - 15).collect())
+}
+
+#[test]
+fn engine_matches_host_runner_all_algorithms_and_sizes() {
+    let engine = shared_engine();
+    // Sizes straddle the serial cutoff, the batching cutoff and the
+    // parallel regime.
+    for &n in &[1usize, 2, 3, 100, 2048, 2049, 10_000, 60_000] {
+        let list = Arc::new(gen::random_list(n, n as u64 ^ 0xBEEF));
+        let values = values_for(n);
+        for alg in Algorithm::ALL {
+            let seed = 0x1994 ^ n as u64;
+            let opts = JobOptions { seed, algorithm: Some(alg) };
+            let rank_handle = engine
+                .submit_with(JobSpec::Rank { list: Arc::clone(&list) }, opts)
+                .expect("submit rank");
+            let scan_handle = engine
+                .submit_with(
+                    JobSpec::ScanAdd { list: Arc::clone(&list), values: Arc::clone(&values) },
+                    opts,
+                )
+                .expect("submit scan");
+
+            let runner = HostRunner::new(alg).with_seed(seed);
+            let rank_report = rank_handle.wait().expect("rank completes");
+            assert_eq!(rank_report.algorithm, alg);
+            assert_eq!(
+                rank_report.output.ranks().expect("rank output"),
+                runner.rank(&list).as_slice(),
+                "rank parity: {alg} n={n}"
+            );
+            let scan_report = scan_handle.wait().expect("scan completes");
+            assert_eq!(
+                scan_report.output.scan().expect("scan output"),
+                runner.scan(&list, &values, &AddOp).as_slice(),
+                "scan parity: {alg} n={n}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_rank_matches_host_for_random_jobs(
+        n in 1usize..30_000,
+        seed in any::<u64>(),
+        alg_ix in 0usize..5,
+    ) {
+        let engine = shared_engine();
+        let alg = Algorithm::ALL[alg_ix];
+        let list = Arc::new(gen::random_list(n, seed));
+        let opts = JobOptions { seed, algorithm: Some(alg) };
+        let handle = engine
+            .submit_with(JobSpec::Rank { list: Arc::clone(&list) }, opts)
+            .expect("submit");
+        let report = handle.wait().expect("completes");
+        let want = HostRunner::new(alg).with_seed(seed).rank(&list);
+        prop_assert_eq!(report.output.ranks().expect("ranks"), want.as_slice());
+    }
+
+    #[test]
+    fn engine_adaptive_rank_is_correct(n in 1usize..50_000, seed in any::<u64>()) {
+        // No pinning: whatever the planner picks must still be right.
+        let engine = shared_engine();
+        let list = Arc::new(gen::random_list(n, seed));
+        let handle = engine.submit(JobSpec::Rank { list: Arc::clone(&list) }).expect("submit");
+        let report = handle.wait().expect("completes");
+        prop_assert_eq!(
+            report.output.ranks().expect("ranks"),
+            listkit::serial::rank(&list).as_slice()
+        );
+    }
+}
+
+#[test]
+fn sixty_four_jobs_in_flight_all_correct() {
+    let engine = Engine::new(EngineConfig::default().with_workers(4).with_queue_capacity(256));
+    // Occupy all four workers with sizeable jobs so the small jobs
+    // below deterministically pile up in the queue.
+    let big = Arc::new(gen::random_list(2_000_000, 99));
+    let blockers: Vec<_> = (0..4)
+        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).expect("submit blocker"))
+        .collect();
+
+    // Pre-generate a handful of lists; 96 jobs reference them.
+    let lists: Vec<Arc<listkit::LinkedList>> =
+        (0..8).map(|i| Arc::new(gen::random_list(1000 * (i + 1), i as u64))).collect();
+    let expected: Vec<Vec<u64>> = lists.iter().map(|l| listkit::serial::rank(l)).collect();
+
+    let handles: Vec<_> = (0..96)
+        .map(|i| {
+            engine
+                .submit(JobSpec::Rank { list: Arc::clone(&lists[i % lists.len()]) })
+                .expect("submit")
+        })
+        .collect();
+    // All 96 were submitted before any wait: ≥64 genuinely in flight.
+    for (i, h) in handles.into_iter().enumerate() {
+        let report = h.wait().expect("job completes");
+        assert_eq!(
+            report.output.ranks().expect("ranks"),
+            expected[i % lists.len()].as_slice(),
+            "job {i}"
+        );
+    }
+    for b in blockers {
+        b.wait().expect("blocker completes");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, 100);
+    assert!(
+        stats.peak_queue_depth >= 64,
+        "peak queue depth {} should show ≥64 jobs in flight",
+        stats.peak_queue_depth
+    );
+}
+
+#[test]
+fn planner_dispatches_different_algorithms_by_size() {
+    // Planner believes jobs get 4 threads (the dispatch decision under
+    // test is independent of the machine the test runs on).
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(2).with_inner_threads(4).with_queue_capacity(256),
+    );
+    let small = Arc::new(gen::random_list(200, 7));
+    let large = Arc::new(gen::random_list(1_500_000, 8));
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        handles.push(engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap());
+    }
+    for _ in 0..4 {
+        handles.push(engine.submit(JobSpec::Rank { list: Arc::clone(&large) }).unwrap());
+    }
+    let mut small_algs = Vec::new();
+    let mut large_algs = Vec::new();
+    for h in handles {
+        let report = h.wait().expect("completes");
+        if report.n == 200 {
+            small_algs.push(report.algorithm);
+        } else {
+            large_algs.push(report.algorithm);
+        }
+    }
+    assert!(
+        small_algs.iter().all(|&a| a == Algorithm::Serial),
+        "small jobs must go serial, got {small_algs:?}"
+    );
+    assert!(
+        large_algs.iter().all(|&a| a == Algorithm::ReidMiller),
+        "large jobs must go to Reid-Miller, got {large_algs:?}"
+    );
+
+    // The dispatch split is visible in the stats surface.
+    let stats = engine.shutdown();
+    let serial_ix = Algorithm::ALL.iter().position(|&a| a == Algorithm::Serial).unwrap();
+    let rm_ix = Algorithm::ALL.iter().position(|&a| a == Algorithm::ReidMiller).unwrap();
+    assert!(stats.dispatch[serial_ix] >= 12);
+    assert!(stats.dispatch[rm_ix] >= 4);
+    let rendered = format!("{stats}");
+    assert!(rendered.contains("serial") && rendered.contains("reid-miller"));
+    // Small and large jobs land in different bucket rows.
+    let small_bucket =
+        stats.dispatch_by_bucket.iter().find(|(hi, _)| *hi == 256).expect("bucket for n=200");
+    assert!(small_bucket.1[serial_ix] >= 12);
+    assert_eq!(small_bucket.1[rm_ix], 0);
+    let large_bucket = stats
+        .dispatch_by_bucket
+        .iter()
+        .find(|(hi, _)| *hi == (1 << 21))
+        .expect("bucket for n=1.5M");
+    assert!(large_bucket.1[rm_ix] >= 4);
+}
+
+#[test]
+fn small_jobs_get_batched() {
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(1).with_queue_capacity(512).with_batching(4096, 64),
+    );
+    // Occupy the single worker so the small jobs pile up behind it.
+    let big = Arc::new(gen::random_list(2_000_000, 3));
+    let blocker = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+    let small = Arc::new(gen::random_list(500, 4));
+    let handles: Vec<_> = (0..100)
+        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap())
+        .collect();
+    blocker.wait().expect("big job done");
+    let mut batched_jobs = 0;
+    for h in handles {
+        if h.wait().expect("small job done").batched {
+            batched_jobs += 1;
+        }
+    }
+    let stats = engine.shutdown();
+    assert!(stats.batches > 0, "expected at least one batch");
+    assert!(batched_jobs > 0, "some jobs should report batched execution");
+    assert!(stats.batched_jobs >= batched_jobs);
+    // The scratch pool served repeat acquisitions.
+    assert!(stats.pool.hits > 0, "pool should be re-serving scratches");
+}
+
+#[test]
+fn malformed_scan_rejected_at_submit() {
+    let engine = shared_engine();
+    let list = Arc::new(gen::random_list(100, 1));
+    let values = Arc::new(vec![0i64; 99]); // one short
+    assert_eq!(
+        engine.submit(JobSpec::ScanAdd { list: Arc::clone(&list), values }).map(|h| h.id()),
+        Err(engine::SubmitError::Invalid)
+    );
+    let ok = Arc::new(vec![0i64; 100]);
+    let h = engine.submit(JobSpec::ScanAdd { list, values: ok }).expect("valid spec accepted");
+    h.wait().expect("valid job completes");
+}
+
+#[test]
+fn cancellation_before_execution() {
+    let engine = Engine::new(EngineConfig::default().with_workers(1));
+    // Worker is busy with this one...
+    let big = Arc::new(gen::random_list(2_000_000, 5));
+    let blocker = engine.submit(JobSpec::Rank { list: big }).unwrap();
+    // ...so this one is still queued and can be cancelled.
+    let victim_list = Arc::new(gen::random_list(10_000, 6));
+    let victim = engine.submit(JobSpec::Rank { list: victim_list }).unwrap();
+    assert!(victim.cancel(), "queued job should cancel");
+    assert_eq!(victim.wait().map(|r| r.id).unwrap_err(), JobError::Cancelled);
+    blocker.wait().expect("big job completes");
+    let stats = engine.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn backpressure_rejects_when_full() {
+    let engine = Engine::new(EngineConfig::default().with_workers(1).with_queue_capacity(2));
+    let big = Arc::new(gen::random_list(3_000_000, 9));
+    let small = Arc::new(gen::random_list(100, 10));
+    // Occupy the worker, then fill the queue.
+    let mut handles = vec![engine.submit(JobSpec::Rank { list: big }).unwrap()];
+    let mut rejected = 0;
+    for _ in 0..64 {
+        match engine.try_submit(JobSpec::Rank { list: Arc::clone(&small) }) {
+            Ok(h) => handles.push(h),
+            Err(engine::SubmitError::Full) => rejected += 1,
+            Err(e) => panic!("unexpected submit error {e:?}"),
+        }
+    }
+    assert!(rejected > 0, "a 2-deep queue must reject some of 64 instant submits");
+    for h in handles {
+        h.wait().expect("accepted jobs complete");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.rejected_full, rejected);
+}
+
+#[test]
+fn engine_beats_naive_sequential_baseline() {
+    use engine::workload::{run_baseline, run_engine, Workload, WorkloadConfig};
+    // Modest workload so the test stays quick; sizes still span three
+    // decades so both planner regimes engage.
+    let cfg = WorkloadConfig {
+        min_exp: 2,
+        max_exp: 5,
+        elems_per_decade: 300_000,
+        max_jobs_per_decade: 500,
+        scan_frac: 0.25,
+        seed: 0xC90,
+        lists_per_decade: 2,
+    };
+    let workload = Workload::generate(&cfg);
+    let engine = Engine::with_defaults();
+    // Warm pass (planner measurements, pool population), then the
+    // measured pass — mirroring a server's steady state.
+    run_engine(&engine, &workload);
+    let eng = run_engine(&engine, &workload);
+    let base = run_baseline(&workload);
+    assert_eq!(eng.checksum, base.checksum, "executors diverged");
+    assert!(
+        eng.elements_per_sec() >= base.elements_per_sec() * 0.9,
+        "engine ({:.1} Melem/s) should at least match the naive baseline ({:.1} Melem/s)",
+        eng.elements_per_sec() / 1e6,
+        base.elements_per_sec() / 1e6
+    );
+    engine.shutdown();
+}

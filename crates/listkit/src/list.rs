@@ -184,10 +184,7 @@ impl<T> ValuedList<T> {
     /// Pair a list with values; lengths must agree.
     pub fn new(list: LinkedList, values: Vec<T>) -> crate::Result<Self> {
         if values.len() != list.len() {
-            return Err(ListError::ValueLengthMismatch {
-                list: list.len(),
-                values: values.len(),
-            });
+            return Err(ListError::ValueLengthMismatch { list: list.len(), values: values.len() });
         }
         Ok(Self { list, values })
     }

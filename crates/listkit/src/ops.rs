@@ -143,10 +143,7 @@ impl ScanOp<Affine> for AffineOp {
     /// `(g ∘ f)(x) = g(f(x)) = g.a*(f.a*x + f.b) + g.b`.
     #[inline]
     fn combine(&self, f: Affine, g: Affine) -> Affine {
-        Affine {
-            a: g.a.wrapping_mul(f.a),
-            b: g.a.wrapping_mul(f.b).wrapping_add(g.b),
-        }
+        Affine { a: g.a.wrapping_mul(f.a), b: g.a.wrapping_mul(f.b).wrapping_add(g.b) }
     }
 }
 
@@ -203,9 +200,6 @@ mod tests {
     fn affine_associative_spot_check() {
         let op = AffineOp;
         let (f, g, h) = (Affine::new(2, 3), Affine::new(-1, 4), Affine::new(5, -2));
-        assert_eq!(
-            op.combine(f, op.combine(g, h)),
-            op.combine(op.combine(f, g), h)
-        );
+        assert_eq!(op.combine(f, op.combine(g, h)), op.combine(op.combine(f, g), h));
     }
 }

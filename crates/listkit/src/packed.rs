@@ -56,12 +56,8 @@ impl PackedList {
     /// Panics if the list is longer than [`MAX_LEN`].
     pub fn with_values(list: &LinkedList, value: impl Fn(Idx) -> u32) -> Self {
         assert!(list.len() <= MAX_LEN, "list too long for packed encoding");
-        let words = list
-            .links()
-            .iter()
-            .enumerate()
-            .map(|(v, &nx)| pack(value(v as Idx), nx))
-            .collect();
+        let words =
+            list.links().iter().enumerate().map(|(v, &nx)| pack(value(v as Idx), nx)).collect();
         Self { words, head: list.head() }
     }
 

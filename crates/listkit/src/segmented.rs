@@ -59,11 +59,7 @@ impl<T: Copy, Op: ScanOp<T>> ScanOp<Segmented<T>> for SegOp<Op> {
 /// Wrap per-vertex values and segment-start flags for a segmented scan.
 pub fn wrap<T: Copy>(values: &[T], starts: &[bool]) -> Vec<Segmented<T>> {
     assert_eq!(values.len(), starts.len());
-    values
-        .iter()
-        .zip(starts)
-        .map(|(&value, &flag)| Segmented { flag, value })
-        .collect()
+    values.iter().zip(starts).map(|(&value, &flag)| Segmented { flag, value }).collect()
 }
 
 /// Extract the exclusive segmented scan from a plain exclusive scan of
@@ -134,10 +130,7 @@ mod tests {
         for a in xs {
             for b in xs {
                 for c in xs {
-                    assert_eq!(
-                        op.combine(a, op.combine(b, c)),
-                        op.combine(op.combine(a, b), c)
-                    );
+                    assert_eq!(op.combine(a, op.combine(b, c)), op.combine(op.combine(a, b), c));
                 }
             }
         }

@@ -9,32 +9,50 @@ use crate::ops::ScanOp;
 
 /// Serial list ranking: `rank[v]` = number of vertices before `v`.
 pub fn rank(list: &LinkedList) -> Vec<u64> {
-    let mut ranks = vec![0u64; list.len()];
-    for (r, v) in list.iter().enumerate() {
-        ranks[v as usize] = r as u64;
-    }
+    let mut ranks = Vec::new();
+    rank_into(list, &mut ranks);
     ranks
+}
+
+/// [`rank`] into a caller-provided buffer (cleared and resized; its
+/// allocation is reused when capacity suffices). The no-alloc entry
+/// point batch executors thread their buffer pools through.
+pub fn rank_into(list: &LinkedList, out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(list.len(), 0);
+    for (r, v) in list.iter().enumerate() {
+        out[v as usize] = r as u64;
+    }
 }
 
 /// Serial exclusive list scan: `out[v]` = op-sum of the values of all
 /// vertices strictly before `v`; the head gets the identity.
 pub fn scan<T: Copy, Op: ScanOp<T>>(list: &LinkedList, values: &[T], op: &Op) -> Vec<T> {
+    let mut out = Vec::new();
+    scan_into(list, values, op, &mut out);
+    out
+}
+
+/// [`scan`] into a caller-provided buffer (cleared and resized; its
+/// allocation is reused when capacity suffices).
+pub fn scan_into<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    out: &mut Vec<T>,
+) {
     assert_eq!(values.len(), list.len(), "value array length mismatch");
-    let mut out = vec![op.identity(); list.len()];
+    out.clear();
+    out.resize(list.len(), op.identity());
     let mut acc = op.identity();
     for v in list.iter() {
         out[v as usize] = acc;
         acc = op.combine(acc, values[v as usize]);
     }
-    out
 }
 
 /// Serial inclusive list scan: `out[v]` includes `values[v]` itself.
-pub fn scan_inclusive<T: Copy, Op: ScanOp<T>>(
-    list: &LinkedList,
-    values: &[T],
-    op: &Op,
-) -> Vec<T> {
+pub fn scan_inclusive<T: Copy, Op: ScanOp<T>>(list: &LinkedList, values: &[T], op: &Op) -> Vec<T> {
     assert_eq!(values.len(), list.len(), "value array length mismatch");
     let mut out = vec![op.identity(); list.len()];
     let mut acc = op.identity();

@@ -125,9 +125,7 @@ pub fn validate_links(next: &[Idx], head: Idx) -> Result<ListTopology, ListError
         if to as usize == v {
             match tail {
                 None => tail = Some(v as Idx),
-                Some(first) => {
-                    return Err(ListError::MultipleTails { first, second: v as Idx })
-                }
+                Some(first) => return Err(ListError::MultipleTails { first, second: v as Idx }),
             }
         }
     }
@@ -169,10 +167,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_head() {
-        assert_eq!(
-            validate_links(&[0], 3),
-            Err(ListError::HeadOutOfRange { head: 3, len: 1 })
-        );
+        assert_eq!(validate_links(&[0], 3), Err(ListError::HeadOutOfRange { head: 3, len: 1 }));
     }
 
     #[test]

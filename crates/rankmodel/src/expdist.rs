@@ -228,10 +228,7 @@ mod tests {
         for (&x, &e) in xs.iter().zip(&emp) {
             let a = g(x as f64, n as f64, m as f64);
             let tol = (0.15 * a).max(2.0);
-            assert!(
-                (e - a).abs() < tol,
-                "x={x}: empirical {e:.1} vs analytic {a:.1}"
-            );
+            assert!((e - a).abs() < tol, "x={x}: empirical {e:.1} vs analytic {a:.1}");
         }
     }
 

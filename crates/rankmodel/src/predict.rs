@@ -162,6 +162,99 @@ pub fn eq5_estimate(n: f64, m: f64, s1: f64, l: f64) -> f64 {
     8.0 * n + 62.0 * (n / m) * m.ln() + (8.0 * s1 + 96.0) * (m + 1.0) + 2150.0 * l + 2750.0
 }
 
+/// An algorithm family the dispatcher can pick, mirroring the five
+/// implementations in `listrank` (kept as a separate enum because this
+/// crate sits *below* `listrank` in the dependency graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgChoice {
+    /// Pointer-chasing serial traversal.
+    Serial,
+    /// Wyllie pointer jumping.
+    Wyllie,
+    /// Miller–Reif random mate.
+    MillerReif,
+    /// Anderson–Miller random mate with queues.
+    AndersonMiller,
+    /// Reid-Miller sublists.
+    ReidMiller,
+}
+
+impl AlgChoice {
+    /// All five choices, in the paper's presentation order.
+    pub const ALL: [AlgChoice; 5] = [
+        AlgChoice::Serial,
+        AlgChoice::Wyllie,
+        AlgChoice::MillerReif,
+        AlgChoice::AndersonMiller,
+        AlgChoice::ReidMiller,
+    ];
+}
+
+/// Per-job fixed overhead of a parallel dispatch, in serial-element
+/// units: split generation, reduced-list setup, thread-pool fan-out.
+const HOST_JOB_OVERHEAD: f64 = 16_384.0;
+
+/// Per-round fixed overhead of the round-based algorithms.
+const HOST_ROUND_OVERHEAD: f64 = 2_048.0;
+
+/// Coarse predicted cost of ranking an `n`-vertex list with `alg` on a
+/// `p`-thread **scalar multicore host**, in *serial-element units* (one
+/// unit = one pointer-chase visit of the serial ranker). This is the
+/// dispatch model for the host backend, where — unlike on the paper's
+/// vector machine, whose faithful model lives in
+/// [`predict_with_phase2`] — there is no vectorization discount:
+///
+/// * Serial visits each vertex once on one thread: `n`.
+/// * Reid-Miller is work-efficient but touches every vertex twice
+///   (Phases 1 and 3) across `p` threads, plus per-job setup.
+/// * Wyllie does `n log n` work; the random-mate algorithms inflate
+///   work by their expected-touch constants (§2.3–2.4: ≈ `e·n` and
+///   ≈ `2.7n`) with heavier per-touch costs — so none of the three ever
+///   beats both Serial and Reid-Miller, matching the paper's Fig. 1
+///   ordering.
+pub fn predicted_cost(alg: AlgChoice, n: usize, p: usize) -> f64 {
+    let nf = n as f64;
+    let pf = p.max(1) as f64;
+    let rounds = if n > 2 { ((n - 1) as f64).log2().ceil().max(1.0) } else { 1.0 };
+    match alg {
+        // Serial pointer-chasing cannot use extra processors.
+        AlgChoice::Serial => nf,
+        AlgChoice::Wyllie => 1.2 * nf * rounds / pf + rounds * HOST_ROUND_OVERHEAD,
+        AlgChoice::MillerReif => {
+            // ≈ 4n total touches (Σ (3/4)^k), ~1.3 units per touch
+            // (coin, gather, conditional splice).
+            4.0 * 1.3 * nf / pf + rounds * HOST_ROUND_OVERHEAD
+        }
+        AlgChoice::AndersonMiller => {
+            // ≈ 2.7n expected touches, ~1.8 units each (queue upkeep).
+            2.7 * 1.8 * nf / pf + rounds * HOST_ROUND_OVERHEAD
+        }
+        AlgChoice::ReidMiller => {
+            // 2 visits per vertex with a small constant for the
+            // boundary-bitmap checks, spread over p threads.
+            2.2 * nf / pf + HOST_JOB_OVERHEAD
+        }
+    }
+}
+
+/// The cheapest algorithm for an `n`-vertex ranking job on a `p`-thread
+/// host, by [`predicted_cost`]: Serial below the parallel break-even
+/// point (always, on one thread — Reid-Miller's 2× work has nothing to
+/// amortize against), Reid-Miller above it. Wyllie and the random-mate
+/// algorithms are work-inefficient and never win, mirroring Fig. 1.
+pub fn predict_best(n: usize, p: usize) -> AlgChoice {
+    let mut best = AlgChoice::Serial;
+    let mut best_cost = f64::INFINITY;
+    for alg in AlgChoice::ALL {
+        let cost = predicted_cost(alg, n, p);
+        if cost < best_cost {
+            best = alg;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,13 +327,43 @@ mod tests {
         let (n, m, s1) = (100_000usize, 2_500usize, 28.0);
         let p = predict1(n, m, s1);
         let e5 = eq5_estimate(n as f64, m as f64, s1, p.l1 as f64);
-        assert!(
-            e5 > p.total,
-            "Eq5 ({e5:.0}) should over-estimate Eq3 ({:.0})",
-            p.total
-        );
+        assert!(e5 > p.total, "Eq5 ({e5:.0}) should over-estimate Eq3 ({:.0})", p.total);
         // ...but not absurdly (same order).
         assert!(e5 < 2.0 * p.total);
+    }
+
+    #[test]
+    fn predict_best_dispatches_by_size() {
+        // Tiny lists: serial wins (no startup costs to amortize).
+        assert_eq!(predict_best(100, 4), AlgChoice::Serial);
+        assert_eq!(predict_best(1000, 4), AlgChoice::Serial);
+        // Large lists on a parallel machine: Reid-Miller wins.
+        assert_eq!(predict_best(1_000_000, 4), AlgChoice::ReidMiller);
+        assert_eq!(predict_best(10_000_000, 8), AlgChoice::ReidMiller);
+        // On one thread nothing amortizes Reid-Miller's 2× work.
+        for n in [100usize, 10_000, 1_000_000, 100_000_000] {
+            assert_eq!(predict_best(n, 1), AlgChoice::Serial, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn predicted_cost_sane() {
+        // Work-inefficient algorithms cost more than Reid-Miller at scale.
+        let n = 1_000_000;
+        let rm = predicted_cost(AlgChoice::ReidMiller, n, 4);
+        assert!(predicted_cost(AlgChoice::Wyllie, n, 4) > rm);
+        assert!(predicted_cost(AlgChoice::MillerReif, n, 4) > rm);
+        assert!(predicted_cost(AlgChoice::AndersonMiller, n, 4) > rm);
+        // Costs are positive and monotone in n.
+        for alg in AlgChoice::ALL {
+            assert!(predicted_cost(alg, 1000, 1) > 0.0);
+            assert!(predicted_cost(alg, 100_000, 1) > predicted_cost(alg, 1000, 1));
+        }
+        // More threads help every parallel algorithm.
+        assert!(
+            predicted_cost(AlgChoice::ReidMiller, n, 8)
+                < predicted_cost(AlgChoice::ReidMiller, n, 2)
+        );
     }
 
     #[test]

@@ -166,8 +166,7 @@ mod tests {
     #[test]
     fn fig10_eleven_balances() {
         // Fig. 10 shows l = 11 for n = 10_000, m = 199.
-        let s = Schedule::with_length(N, M, 11, C_OVER_A, 1.0)
-            .expect("an S_1 with l = 11 exists");
+        let s = Schedule::with_length(N, M, 11, C_OVER_A, 1.0).expect("an S_1 with l = 11 exists");
         assert_eq!(s.len(), 11);
         // All points within the traversal range.
         assert!(s.points[0] > 0.0);

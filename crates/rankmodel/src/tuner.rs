@@ -38,11 +38,7 @@ impl Default for TunerOptions {
 impl TunerOptions {
     /// Options for `p` C90 CPUs (Table I contention calibration).
     pub fn c90(p: usize) -> Self {
-        Self {
-            procs: p,
-            te_factor: 1.0 + 0.027 * (p as f64 - 1.0),
-            ..Self::default()
-        }
+        Self { procs: p, te_factor: 1.0 + 0.027 * (p as f64 - 1.0), ..Self::default() }
     }
 }
 
@@ -102,12 +98,8 @@ impl Tuner {
     /// Best Phase-2 cost for a reduced list of `x` vertices.
     pub fn phase2_cost(&mut self, x: usize) -> (f64, Phase2Choice) {
         let serial = predict::phase2_serial(&self.coeffs, x);
-        let wyllie = predict::phase2_wyllie(
-            &self.coeffs,
-            x,
-            self.opts.procs as f64,
-            self.opts.te_factor,
-        );
+        let wyllie =
+            predict::phase2_wyllie(&self.coeffs, x, self.opts.procs as f64, self.opts.te_factor);
         let mut best = (serial, Phase2Choice::Serial);
         if wyllie < best.0 {
             best = (wyllie, Phase2Choice::Wyllie);
@@ -215,8 +207,7 @@ fn m_candidates(n: usize) -> Vec<usize> {
 }
 
 /// `S1` candidates as fractions of the mean sublist length `n/m`.
-const S1_FRACTIONS: [f64; 12] =
-    [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0, 1.2, 1.5];
+const S1_FRACTIONS: [f64; 12] = [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0, 1.2, 1.5];
 
 #[cfg(test)]
 mod tests {
@@ -250,10 +241,7 @@ mod tests {
         let mut t = Tuner::c90_scan();
         let n = 8_000_000;
         let per_vertex = t.tune(n).predicted / n as f64;
-        assert!(
-            per_vertex > 7.4 && per_vertex < 10.5,
-            "per-vertex {per_vertex:.2}"
-        );
+        assert!(per_vertex > 7.4 && per_vertex < 10.5, "per-vertex {per_vertex:.2}");
     }
 
     #[test]

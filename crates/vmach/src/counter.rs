@@ -65,11 +65,7 @@ impl CycleCounter {
     /// clock).
     pub fn report(&self, clock_ns: f64) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<26} {:>14} {:>12} {:>7}",
-            "region", "cycles", "ns", "share"
-        );
+        let _ = writeln!(out, "{:<26} {:>14} {:>12} {:>7}", "region", "cycles", "ns", "share");
         for (region, c) in self.regions() {
             let _ = writeln!(
                 out,

@@ -29,12 +29,7 @@ impl ParallelTimer {
     /// A timer for the machine's processor count.
     pub fn new(config: MachineConfig) -> Self {
         let p = config.n_procs;
-        Self {
-            config,
-            timeline: vec![0.0; p],
-            merged: CycleCounter::new(),
-            barriers: 0,
-        }
+        Self { config, timeline: vec![0.0; p], merged: CycleCounter::new(), barriers: 0 }
     }
 
     /// Number of CPUs.

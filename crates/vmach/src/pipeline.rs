@@ -205,8 +205,8 @@ pub mod kernels {
     /// (modelled on the gather/scatter pipe), store.
     pub fn pack_one_array() -> Vec<VInstr> {
         vec![
-            VInstr::new(Unit::LoadA, 1, &[]),             // data
-            VInstr::new(Unit::GatherScatter, 2, &[1]),    // compressed scatter
+            VInstr::new(Unit::LoadA, 1, &[]),          // data
+            VInstr::new(Unit::GatherScatter, 2, &[1]), // compressed scatter
         ]
     }
 
@@ -240,10 +240,7 @@ mod tests {
 
     #[test]
     fn independent_instructions_on_different_units_overlap() {
-        let p = vec![
-            VInstr::new(Unit::LoadA, 0, &[]),
-            VInstr::new(Unit::LoadB, 1, &[]),
-        ];
+        let p = vec![VInstr::new(Unit::LoadA, 0, &[]), VInstr::new(Unit::LoadB, 1, &[])];
         let t = schedule_strip(&p, VLEN);
         // Fully parallel: the makespan is one load, not two.
         assert_eq!(t.makespan, Unit::LoadA.startup() + VLEN as u64);
@@ -264,10 +261,7 @@ mod tests {
 
     #[test]
     fn chaining_beats_completion_wait() {
-        let chained = vec![
-            VInstr::new(Unit::LoadA, 0, &[]),
-            VInstr::new(Unit::Alu, 1, &[0]),
-        ];
+        let chained = vec![VInstr::new(Unit::LoadA, 0, &[]), VInstr::new(Unit::Alu, 1, &[0])];
         let t = schedule_strip(&chained, VLEN);
         // The ALU starts CHAIN_LATENCY after the load starts delivering,
         // far before the load completes.

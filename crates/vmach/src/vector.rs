@@ -149,10 +149,7 @@ impl VectorProc {
     pub fn compress<T: Copy>(&mut self, data: &[T], keep: &[bool]) -> Vec<T> {
         assert_eq!(data.len(), keep.len());
         self.charge_op(OpKind::Compress, data.len());
-        data.iter()
-            .zip(keep)
-            .filter_map(|(&d, &k)| if k { Some(d) } else { None })
-            .collect()
+        data.iter().zip(keep).filter_map(|(&d, &k)| if k { Some(d) } else { None }).collect()
     }
 
     /// Indices of set flags (iota + compress), used to pack many parallel
@@ -191,7 +188,12 @@ impl VectorProc {
     }
 
     /// Elementwise comparison producing a mask.
-    pub fn compare<T: Copy>(&mut self, a: &[T], b: &[T], mut f: impl FnMut(T, T) -> bool) -> Vec<bool> {
+    pub fn compare<T: Copy>(
+        &mut self,
+        a: &[T],
+        b: &[T],
+        mut f: impl FnMut(T, T) -> bool,
+    ) -> Vec<bool> {
         assert_eq!(a.len(), b.len());
         self.charge_op(OpKind::Compare, a.len());
         a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
@@ -202,10 +204,7 @@ impl VectorProc {
         assert_eq!(mask.len(), a.len());
         assert_eq!(mask.len(), b.len());
         self.charge_op(OpKind::Select, mask.len());
-        mask.iter()
-            .zip(a.iter().zip(b))
-            .map(|(&m, (&x, &y))| if m { x } else { y })
-            .collect()
+        mask.iter().zip(a.iter().zip(b)).map(|(&m, (&x, &y))| if m { x } else { y }).collect()
     }
 }
 
@@ -269,10 +268,7 @@ mod tests {
         let _ = p.iota(10);
         assert!(p.counter().region("phase1").get() > 0.0);
         assert!(p.counter().region("phase3").get() > 0.0);
-        assert_eq!(
-            p.counter().region("phase1").get(),
-            p.counter().region("phase3").get()
-        );
+        assert_eq!(p.counter().region("phase1").get(), p.counter().region("phase3").get());
     }
 
     #[test]

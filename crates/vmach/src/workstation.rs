@@ -96,7 +96,12 @@ impl WorkstationModel {
             cache.access(v as u64 * lb);
             v = links[v as usize];
         }
-        self.finish(cache.stats(), self.config.rank_cached_ns, self.config.rank_memory_ns, links.len())
+        self.finish(
+            cache.stats(),
+            self.config.rank_cached_ns,
+            self.config.rank_memory_ns,
+            links.len(),
+        )
     }
 
     /// Simulate a serial **list scan**: reads `next[v]` and `value[v]`
@@ -121,10 +126,21 @@ impl WorkstationModel {
             cache.access(value_base + v as u64 * vb);
             v = links[v as usize];
         }
-        self.finish(cache.stats(), self.config.scan_cached_ns, self.config.scan_memory_ns, links.len())
+        self.finish(
+            cache.stats(),
+            self.config.scan_cached_ns,
+            self.config.scan_memory_ns,
+            links.len(),
+        )
     }
 
-    fn finish(&self, stats: CacheStats, cached_ns: f64, memory_ns: f64, n: usize) -> WorkstationRun {
+    fn finish(
+        &self,
+        stats: CacheStats,
+        cached_ns: f64,
+        memory_ns: f64,
+        n: usize,
+    ) -> WorkstationRun {
         let ns_per_vertex = cached_ns + stats.miss_ratio() * (memory_ns - cached_ns);
         WorkstationRun { ns_per_vertex, total_ns: ns_per_vertex * n as f64, cache: stats }
     }

@@ -1,0 +1,47 @@
+//! The `rankd` engine through its library API: submit a burst of
+//! mixed-size jobs, cancel one, await the rest, print the stats
+//! surface.
+//!
+//! ```sh
+//! cargo run --release --example batch_engine
+//! ```
+
+use engine::{Engine, EngineConfig, JobError, JobSpec};
+use listkit::gen;
+use std::sync::Arc;
+
+fn main() {
+    let engine = Engine::new(EngineConfig::default().with_workers(2));
+
+    // A big job to keep the workers busy...
+    let big = Arc::new(gen::random_list(2_000_000, 1));
+    let big_handle = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+
+    // ...a burst of small ones behind it...
+    let small = Arc::new(gen::random_list(5_000, 2));
+    let burst: Vec<_> = (0..32)
+        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap())
+        .collect();
+
+    // ...and one we change our mind about.
+    let doomed = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+    assert!(doomed.cancel(), "still queued, so cancellation lands");
+    assert_eq!(doomed.wait().map(|r| r.id).unwrap_err(), JobError::Cancelled);
+
+    let report = big_handle.wait().unwrap();
+    println!(
+        "big job: n={} via {} in {:.1} ms",
+        report.n,
+        report.algorithm,
+        report.exec_ns as f64 / 1e6
+    );
+    for h in burst {
+        let r = h.wait().unwrap();
+        assert_eq!(r.output.ranks().unwrap()[small.head() as usize], 0);
+    }
+
+    let stats = engine.shutdown();
+    println!("\n{stats}");
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 33);
+}

@@ -9,10 +9,7 @@
 use cray_list_ranking::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
     let list = gen::random_list(n, 1);
     println!("simulated Cray C90 (4.2 ns clock), random list of {n} vertices\n");
 
@@ -53,10 +50,6 @@ fn main() {
     let base = SimRunner::new(Algorithm::ReidMiller, 1).rank(&list).cycles;
     for p in [1usize, 2, 4, 8, 16] {
         let run = SimRunner::new(Algorithm::ReidMiller, p).rank(&list);
-        println!(
-            "{p:>5} {:>12.2} {:>9.2}x",
-            run.ns_per_vertex(),
-            base.get() / run.cycles.get()
-        );
+        println!("{p:>5} {:>12.2} {:>9.2}x", run.ns_per_vertex(), base.get() / run.cycles.get());
     }
 }

@@ -28,8 +28,7 @@ fn main() {
     let mut in_order: Vec<String> = vec![String::new(); n];
     // (Use the rank as a permutation: collect (rank, chunk) pairs and
     // sort-free scatter via indexed write.)
-    let mut pairs: Vec<(u64, usize)> =
-        ranks.par_iter().enumerate().map(|(v, &r)| (r, v)).collect();
+    let mut pairs: Vec<(u64, usize)> = ranks.par_iter().enumerate().map(|(v, &r)| (r, v)).collect();
     pairs.par_sort_unstable();
     in_order
         .par_iter_mut()
@@ -37,8 +36,7 @@ fn main() {
         .for_each(|(slot, &(_, v))| *slot = chunks[v].clone());
 
     // Verify against a serial walk.
-    let serial_order: Vec<&str> =
-        list.iter().map(|v| chunks[v as usize].as_str()).collect();
+    let serial_order: Vec<&str> = list.iter().map(|v| chunks[v as usize].as_str()).collect();
     assert!(in_order.iter().map(String::as_str).eq(serial_order));
     println!(
         "reordered {n} chunks; first = {}, last = {}",

@@ -15,9 +15,8 @@ fn main() {
     let n = 2_000_000;
     // A damped noisy accumulator: x_i = a_i x_{i-1} + b_i with small
     // integer coefficients (wrapping i64 arithmetic).
-    let coeffs: Vec<Affine> = (0..n)
-        .map(|i| Affine::new(if i % 16 == 0 { 0 } else { 1 }, (i % 7) as i64 - 3))
-        .collect();
+    let coeffs: Vec<Affine> =
+        (0..n).map(|i| Affine::new(if i % 16 == 0 { 0 } else { 1 }, (i % 7) as i64 - 3)).collect();
     let runner = HostRunner::new(Algorithm::ReidMiller);
 
     let t0 = Instant::now();

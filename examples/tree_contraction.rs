@@ -39,7 +39,10 @@ fn main() {
     let t0 = Instant::now();
     let ref_depths = tree.depths_serial();
     let ref_sizes = tree.subtree_sizes_serial();
-    println!("serial BFS/post-order reference:          {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "serial BFS/post-order reference:          {:.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
     assert_eq!(depths, ref_depths);
     assert_eq!(sizes, ref_sizes);
     println!("parallel results verified against serial traversals ✓");

@@ -88,9 +88,7 @@ impl Tree {
     /// A path `0 → 1 → … → n−1` (maximum depth).
     pub fn path(n: usize) -> Tree {
         assert!(n >= 1);
-        let parents = (0..n)
-            .map(|v| if v == 0 { None } else { Some(v as Idx - 1) })
-            .collect();
+        let parents = (0..n).map(|v| if v == 0 { None } else { Some(v as Idx - 1) }).collect();
         Tree::from_parents(parents).expect("a path is a tree")
     }
 
@@ -233,8 +231,7 @@ pub fn depths(tree: &Tree, runner: &HostRunner) -> Vec<u32> {
         return vec![0];
     };
     // value[arc] = +1 for down-arcs (even ids), −1 for up-arcs.
-    let values: Vec<i64> =
-        (0..tour.list.len()).map(|a| if a % 2 == 0 { 1 } else { -1 }).collect();
+    let values: Vec<i64> = (0..tour.list.len()).map(|a| if a % 2 == 0 { 1 } else { -1 }).collect();
     let scan = runner.scan(&tour.list, &values, &AddOp);
     let mut depth = vec![0u32; n];
     for v in 0..n as Idx {
@@ -285,8 +282,7 @@ mod tests {
     #[test]
     fn tour_structure_of_small_tree() {
         // root 0 with children 1, 2; 1 has child 3.
-        let tree =
-            Tree::from_parents(vec![None, Some(0), Some(0), Some(1)]).unwrap();
+        let tree = Tree::from_parents(vec![None, Some(0), Some(0), Some(1)]).unwrap();
         let tour = EulerTour::new(&tree).unwrap();
         assert_eq!(tour.list.len(), 6);
         // Tour order: down(1) down(3) up(3) up(1) down(2) up(2).
@@ -311,11 +307,7 @@ mod tests {
     fn sizes_match_postorder_on_random_trees() {
         for n in [1usize, 2, 10, 1000, 20_000] {
             let tree = Tree::random(n, 2 * n as u64 + 1);
-            assert_eq!(
-                subtree_sizes_parallel(&tree),
-                tree.subtree_sizes_serial(),
-                "n = {n}"
-            );
+            assert_eq!(subtree_sizes_parallel(&tree), tree.subtree_sizes_serial(), "n = {n}");
         }
     }
 
@@ -337,6 +329,7 @@ mod tests {
         assert!(Tree::from_parents(vec![Some(0)]).is_err()); // no root
         assert!(Tree::from_parents(vec![None, None]).is_err()); // two roots
         assert!(Tree::from_parents(vec![None, Some(9)]).is_err()); // bad parent
+
         // 1 and 2 point at each other: unreachable cycle.
         assert!(Tree::from_parents(vec![None, Some(2), Some(1)]).is_err());
     }

@@ -23,10 +23,7 @@ pub fn solve_on_list(
     // Exclusive scan composes all maps strictly before v; applying v's
     // own map afterwards gives the inclusive solution at v.
     let pre = runner.scan(list, coeffs, &AffineOp);
-    pre.iter()
-        .zip(coeffs)
-        .map(|(p, c)| c.apply(p.apply(x0)))
-        .collect()
+    pre.iter().zip(coeffs).map(|(p, c)| c.apply(p.apply(x0))).collect()
 }
 
 /// Solve an array-ordered recurrence (the common case): element `i`
@@ -88,8 +85,7 @@ mod tests {
     fn list_ordered_recurrence() {
         let n = 10_000;
         let list = gen::random_list(n, 11);
-        let coeffs: Vec<Affine> =
-            (0..n).map(|i| Affine::new(1, (i % 10) as i64 - 4)).collect();
+        let coeffs: Vec<Affine> = (0..n).map(|i| Affine::new(1, (i % 10) as i64 - 4)).collect();
         assert_eq!(
             solve_on_list(&list, &coeffs, 0, &runner()),
             solve_serial_on_list(&list, &coeffs, 0)

@@ -16,11 +16,15 @@
 //! * [`listrank`] — the contribution: Reid-Miller's algorithm and the
 //!   four baselines (serial, Wyllie, Miller–Reif, Anderson–Miller) on
 //!   a real-parallel `rayon` backend and on the simulated C90;
+//! * [`engine`] — `rankd`, the batch execution subsystem: a bounded job
+//!   queue, worker pool, adaptive per-job algorithm selection, scratch
+//!   buffer pooling and a throughput/stats surface;
 //! * [`applications`] — classic consumers of list ranking, e.g. Euler
 //!   tour tree contraction.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
-//! the paper-vs-measured record of every table and figure.
+//! See the repository `README.md` for the workspace map and quick
+//! start, and the `repro` crate (`crates/bench`) for the harness that
+//! regenerates the paper's tables and figures.
 //!
 //! ## Quick start
 //!
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use engine;
 pub use listkit;
 pub use listrank;
 pub use rankmodel;

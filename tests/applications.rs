@@ -52,7 +52,7 @@ fn segmented_sums_via_affine_trick() {
     // affine map x→0+v and "accumulate" as x→x+v; composing along the
     // list yields running sums that restart at each boundary — a scan a
     // downstream user would actually write.
-    use listkit::ops::{Affine, AffineOp, ScanOp};
+    use listkit::ops::{Affine, AffineOp};
     let n = 10_000usize;
     let list = gen::random_list(n, 23);
     let order = list.order();
@@ -102,8 +102,5 @@ fn workstation_model_sees_layout_not_just_size() {
     let alpha = WorkstationModel::dec_alpha();
     let t_seq = alpha.run_rank(seq.links(), seq.head(), false).ns_per_vertex;
     let t_rnd = alpha.run_rank(rnd.links(), rnd.head(), false).ns_per_vertex;
-    assert!(
-        t_rnd > 2.0 * t_seq,
-        "random {t_rnd:.0} ns/vertex should dwarf sequential {t_seq:.0}"
-    );
+    assert!(t_rnd > 2.0 * t_seq, "random {t_rnd:.0} ns/vertex should dwarf sequential {t_seq:.0}");
 }

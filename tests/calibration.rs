@@ -91,9 +91,9 @@ fn speedups_monotone_in_procs() {
 #[test]
 fn wyllie_sawtooth_and_work_inefficiency() {
     // Work grows by a round each time n−1 crosses a power of two.
-    let at = |n: usize| SimRunner::new(Algorithm::Wyllie, 1)
-        .rank(&gen::random_list(n, 9))
-        .cycles_per_vertex();
+    let at = |n: usize| {
+        SimRunner::new(Algorithm::Wyllie, 1).rank(&gen::random_list(n, 9)).cycles_per_vertex()
+    };
     assert!(at(1026) > at(1025), "sawtooth step at 2^10+1");
     // And Wyllie is work-inefficient: per-vertex cost grows with n.
     assert!(at(1 << 18) > at(1 << 12));

@@ -13,11 +13,7 @@ fn all_algorithms_all_backends_rank() {
         let reference = listkit::serial::rank(&list);
         for alg in Algorithm::ALL {
             assert_eq!(HostRunner::new(alg).rank(&list), reference, "host {alg} n={n}");
-            assert_eq!(
-                SimRunner::new(alg, 1).rank(&list).out,
-                reference,
-                "sim {alg} n={n}"
-            );
+            assert_eq!(SimRunner::new(alg, 1).rank(&list).out, reference, "sim {alg} n={n}");
         }
     }
 }
@@ -74,16 +70,11 @@ fn host_threads_do_not_change_results() {
 fn noncommutative_scan_everywhere() {
     let n = 8_000;
     let list = gen::random_list(n, 13);
-    let funcs: Vec<Affine> = (0..n)
-        .map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5))
-        .collect();
+    let funcs: Vec<Affine> =
+        (0..n).map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5)).collect();
     let reference = listkit::serial::scan(&list, &funcs, &AffineOp);
     for alg in Algorithm::ALL {
-        assert_eq!(
-            HostRunner::new(alg).scan(&list, &funcs, &AffineOp),
-            reference,
-            "host {alg}"
-        );
+        assert_eq!(HostRunner::new(alg).scan(&list, &funcs, &AffineOp), reference, "host {alg}");
         assert_eq!(
             SimRunner::new(alg, 4).scan(&list, &funcs, &AffineOp).out,
             reference,
@@ -99,18 +90,9 @@ fn max_min_xor_operators() {
     let ivals: Vec<i64> = (0..n as i64).map(|i| (i * 31) % 1009 - 500).collect();
     let uvals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
     let runner = HostRunner::new(Algorithm::ReidMiller);
-    assert_eq!(
-        runner.scan(&list, &ivals, &MaxOp),
-        listkit::serial::scan(&list, &ivals, &MaxOp)
-    );
-    assert_eq!(
-        runner.scan(&list, &ivals, &MinOp),
-        listkit::serial::scan(&list, &ivals, &MinOp)
-    );
-    assert_eq!(
-        runner.scan(&list, &uvals, &XorOp),
-        listkit::serial::scan(&list, &uvals, &XorOp)
-    );
+    assert_eq!(runner.scan(&list, &ivals, &MaxOp), listkit::serial::scan(&list, &ivals, &MaxOp));
+    assert_eq!(runner.scan(&list, &ivals, &MinOp), listkit::serial::scan(&list, &ivals, &MinOp));
+    assert_eq!(runner.scan(&list, &uvals, &XorOp), listkit::serial::scan(&list, &uvals, &XorOp));
 }
 
 #[test]
