@@ -11,12 +11,17 @@ use std::ops::Range;
 /// Below roughly this many items per would-be chunk, run inline.
 const MIN_CHUNK: usize = 1024;
 
-/// How many chunks/threads to use for `n` items.
-fn threads_for(n: usize) -> usize {
-    if n < 2 * MIN_CHUNK {
+/// How many chunks/threads to use for `n` items, at least `min_len`
+/// items per chunk. `min_len` defaults to [`MIN_CHUNK`] and is lowered
+/// by `with_min_len` for coarse-grained items (e.g. one shard of a
+/// sharded list per element), mirroring rayon's
+/// `IndexedParallelIterator::with_min_len`.
+fn threads_for(n: usize, min_len: usize) -> usize {
+    let min_len = min_len.max(1);
+    if n < 2 * min_len {
         return 1;
     }
-    crate::current_num_threads().max(1).min(n.div_ceil(MIN_CHUNK))
+    crate::current_num_threads().max(1).min(n.div_ceil(min_len))
 }
 
 /// `k` contiguous, order-preserving `(lo, hi)` ranges covering `0..n`.
@@ -34,8 +39,8 @@ fn bounds(n: usize, k: usize) -> Vec<(usize, usize)> {
 }
 
 /// Run `f(lo, hi)` over chunk ranges, in parallel when worthwhile.
-fn run_chunks<F: Fn(usize, usize) + Sync>(n: usize, f: F) {
-    let k = threads_for(n);
+fn run_chunks<F: Fn(usize, usize) + Sync>(n: usize, min_len: usize, f: F) {
+    let k = threads_for(n, min_len);
     if k <= 1 {
         f(0, n);
         return;
@@ -49,8 +54,12 @@ fn run_chunks<F: Fn(usize, usize) + Sync>(n: usize, f: F) {
 }
 
 /// Ordered parallel collect: concatenate per-chunk vectors.
-fn collect_chunks<U: Send, F: Fn(usize, usize) -> Vec<U> + Sync>(n: usize, f: F) -> Vec<U> {
-    let k = threads_for(n);
+fn collect_chunks<U: Send, F: Fn(usize, usize) -> Vec<U> + Sync>(
+    n: usize,
+    min_len: usize,
+    f: F,
+) -> Vec<U> {
+    let k = threads_for(n, min_len);
     if k <= 1 {
         return f(0, n);
     }
@@ -81,7 +90,7 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Iter = ParSlice<'a, T>;
     fn par_iter(&'a self) -> ParSlice<'a, T> {
-        ParSlice { slice: self }
+        ParSlice { slice: self, min_len: MIN_CHUNK }
     }
 }
 
@@ -96,7 +105,7 @@ pub trait IntoParallelRefMutIterator<'a> {
 impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Iter = ParSliceMut<'a, T>;
     fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
-        ParSliceMut { slice: self }
+        ParSliceMut { slice: self, min_len: MIN_CHUNK }
     }
 }
 
@@ -111,7 +120,7 @@ pub trait IntoParallelIterator {
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Iter = ParVec<T>;
     fn into_par_iter(self) -> ParVec<T> {
-        ParVec { vec: self }
+        ParVec { vec: self, min_len: MIN_CHUNK }
     }
 }
 
@@ -158,7 +167,7 @@ impl<T> ParallelSliceMut<T> for [T] {
         T: Ord + Send,
     {
         let n = self.len();
-        let k = threads_for(n);
+        let k = threads_for(n, MIN_CHUNK);
         if k <= 1 {
             self.sort_unstable();
             return;
@@ -186,23 +195,32 @@ impl<T> ParallelSliceMut<T> for [T] {
 /// Parallel iterator over `&[T]`.
 pub struct ParSlice<'a, T> {
     slice: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Lower the minimum items-per-chunk threshold (rayon's
+    /// `with_min_len`): coarse items — a whole shard per element, say —
+    /// deserve a thread each even when the vector is short.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Parallel map.
     pub fn map<U, F: Fn(&'a T) -> U>(self, f: F) -> ParSliceMap<'a, T, F> {
-        ParSliceMap { slice: self.slice, f }
+        ParSliceMap { slice: self.slice, f, min_len: self.min_len }
     }
 
     /// Pair each item with its index.
     pub fn enumerate(self) -> ParSliceEnum<'a, T> {
-        ParSliceEnum { slice: self.slice }
+        ParSliceEnum { slice: self.slice, min_len: self.min_len }
     }
 
     /// Parallel for-each.
     pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
         let slice = self.slice;
-        run_chunks(slice.len(), |lo, hi| {
+        run_chunks(slice.len(), self.min_len, |lo, hi| {
             for item in &slice[lo..hi] {
                 f(item);
             }
@@ -214,6 +232,7 @@ impl<'a, T: Sync> ParSlice<'a, T> {
 pub struct ParSliceMap<'a, T, F> {
     slice: &'a [T],
     f: F,
+    min_len: usize,
 }
 
 impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
@@ -225,20 +244,29 @@ impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
         C: From<Vec<U>>,
     {
         let (slice, f) = (self.slice, &self.f);
-        collect_chunks(slice.len(), |lo, hi| slice[lo..hi].iter().map(f).collect()).into()
+        collect_chunks(slice.len(), self.min_len, |lo, hi| slice[lo..hi].iter().map(f).collect())
+            .into()
     }
 }
 
 /// `par_iter().enumerate()`.
 pub struct ParSliceEnum<'a, T> {
     slice: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> ParSliceEnum<'a, T> {
+    /// Lower the minimum items-per-chunk threshold (see
+    /// [`ParSlice::with_min_len`]).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Parallel for-each over `(index, &item)`.
     pub fn for_each<F: Fn((usize, &'a T)) + Sync>(self, f: F) {
         let slice = self.slice;
-        run_chunks(slice.len(), |lo, hi| {
+        run_chunks(slice.len(), self.min_len, |lo, hi| {
             for (i, item) in slice[lo..hi].iter().enumerate() {
                 f((lo + i, item));
             }
@@ -247,7 +275,7 @@ impl<'a, T: Sync> ParSliceEnum<'a, T> {
 
     /// Parallel map over `(index, &item)`.
     pub fn map<U, F: Fn((usize, &'a T)) -> U>(self, f: F) -> ParSliceEnumMap<'a, T, F> {
-        ParSliceEnumMap { slice: self.slice, f }
+        ParSliceEnumMap { slice: self.slice, f, min_len: self.min_len }
     }
 }
 
@@ -255,6 +283,7 @@ impl<'a, T: Sync> ParSliceEnum<'a, T> {
 pub struct ParSliceEnumMap<'a, T, F> {
     slice: &'a [T],
     f: F,
+    min_len: usize,
 }
 
 impl<'a, T: Sync, F> ParSliceEnumMap<'a, T, F> {
@@ -266,7 +295,7 @@ impl<'a, T: Sync, F> ParSliceEnumMap<'a, T, F> {
         C: From<Vec<U>>,
     {
         let (slice, f) = (self.slice, &self.f);
-        collect_chunks(slice.len(), |lo, hi| {
+        collect_chunks(slice.len(), self.min_len, |lo, hi| {
             slice[lo..hi].iter().enumerate().map(|(i, item)| f((lo + i, item))).collect()
         })
         .into()
@@ -276,18 +305,26 @@ impl<'a, T: Sync, F> ParSliceEnumMap<'a, T, F> {
 /// Parallel iterator over `&mut [T]`.
 pub struct ParSliceMut<'a, T> {
     slice: &'a mut [T],
+    min_len: usize,
 }
 
 impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Lower the minimum items-per-chunk threshold (see
+    /// [`ParSlice::with_min_len`]).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Zip with a borrowed parallel iterator.
     pub fn zip<'b, U: Sync>(self, other: ParSlice<'b, U>) -> ParZipMutRef<'a, 'b, T, U> {
-        ParZipMutRef { left: self.slice, right: other.slice }
+        ParZipMutRef { left: self.slice, right: other.slice, min_len: self.min_len }
     }
 
     /// Parallel for-each over `&mut` items.
     pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
         let n = self.slice.len();
-        let k = threads_for(n);
+        let k = threads_for(n, self.min_len);
         if k <= 1 {
             self.slice.iter_mut().for_each(f);
             return;
@@ -308,6 +345,7 @@ impl<'a, T: Send> ParSliceMut<'a, T> {
 pub struct ParZipMutRef<'a, 'b, T, U> {
     left: &'a mut [T],
     right: &'b [U],
+    min_len: usize,
 }
 
 impl<T: Send, U: Sync> ParZipMutRef<'_, '_, T, U> {
@@ -315,7 +353,7 @@ impl<T: Send, U: Sync> ParZipMutRef<'_, '_, T, U> {
     pub fn for_each<F: Fn((&mut T, &U)) + Sync>(self, f: F) {
         let n = self.left.len().min(self.right.len());
         let right = &self.right[..n];
-        let k = threads_for(n);
+        let k = threads_for(n, self.min_len);
         if k <= 1 {
             for (a, b) in self.left[..n].iter_mut().zip(right) {
                 f((a, b));
@@ -345,22 +383,30 @@ impl<T: Send, U: Sync> ParZipMutRef<'_, '_, T, U> {
 pub struct ParRange<I> {
     start: usize,
     end: usize,
+    min_len: usize,
     _marker: std::marker::PhantomData<I>,
 }
 
 impl<I: ParIndex> ParRange<I> {
     fn new(start: usize, end: usize) -> Self {
-        ParRange { start, end, _marker: std::marker::PhantomData }
+        ParRange { start, end, min_len: MIN_CHUNK, _marker: std::marker::PhantomData }
     }
 
     fn len(&self) -> usize {
         self.end.saturating_sub(self.start)
     }
 
+    /// Lower the minimum items-per-chunk threshold (see
+    /// [`ParSlice::with_min_len`]).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Parallel for-each over indices.
     pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
         let start = self.start;
-        run_chunks(self.len(), |lo, hi| {
+        run_chunks(self.len(), self.min_len, |lo, hi| {
             for i in lo..hi {
                 f(I::from_usize(start + i));
             }
@@ -393,7 +439,7 @@ impl<I: ParIndex, F> ParRangeMap<I, F> {
         C: From<Vec<U>>,
     {
         let (start, f) = (self.range.start, &self.f);
-        collect_chunks(self.range.len(), |lo, hi| {
+        collect_chunks(self.range.len(), self.range.min_len, |lo, hi| {
             (lo..hi).map(|i| f(I::from_usize(start + i))).collect()
         })
         .into()
@@ -407,7 +453,7 @@ impl<I: ParIndex, F> ParRangeMap<I, F> {
         B: Send,
     {
         let (start, f) = (self.range.start, &self.f);
-        let pairs: Vec<(A, B)> = collect_chunks(self.range.len(), |lo, hi| {
+        let pairs: Vec<(A, B)> = collect_chunks(self.range.len(), self.range.min_len, |lo, hi| {
             (lo..hi).map(|i| f(I::from_usize(start + i))).collect()
         });
         let mut left = Vec::with_capacity(pairs.len());
@@ -435,7 +481,7 @@ impl<I: ParIndex, F> ParRangeFilterMap<I, F> {
         C: From<Vec<U>>,
     {
         let (start, f) = (self.range.start, &self.f);
-        collect_chunks(self.range.len(), |lo, hi| {
+        collect_chunks(self.range.len(), self.range.min_len, |lo, hi| {
             (lo..hi).filter_map(|i| f(I::from_usize(start + i))).collect()
         })
         .into()
@@ -461,12 +507,20 @@ impl<I: ParIndex> From<Range<I>> for ParRange<I> {
 /// Parallel iterator over an owned `Vec<T>`.
 pub struct ParVec<T> {
     vec: Vec<T>,
+    min_len: usize,
 }
 
 impl<T: Send> ParVec<T> {
+    /// Lower the minimum items-per-chunk threshold (see
+    /// [`ParSlice::with_min_len`]).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Parallel map, consuming the vector.
     pub fn map<U, F: Fn(T) -> U>(self, f: F) -> ParVecMap<T, F> {
-        ParVecMap { vec: self.vec, f }
+        ParVecMap { vec: self.vec, f, min_len: self.min_len }
     }
 
     /// Parallel for-each, consuming the vector.
@@ -491,6 +545,7 @@ fn split_vec<T>(mut v: Vec<T>, k: usize) -> Vec<Vec<T>> {
 pub struct ParVecMap<T, F> {
     vec: Vec<T>,
     f: F,
+    min_len: usize,
 }
 
 impl<T: Send, F> ParVecMap<T, F> {
@@ -502,7 +557,7 @@ impl<T: Send, F> ParVecMap<T, F> {
         C: From<Vec<U>>,
     {
         let n = self.vec.len();
-        let k = threads_for(n);
+        let k = threads_for(n, self.min_len);
         let f = &self.f;
         if k <= 1 {
             return self.vec.into_iter().map(f).collect::<Vec<U>>().into();

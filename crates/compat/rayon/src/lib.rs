@@ -164,6 +164,22 @@ mod tests {
     }
 
     #[test]
+    fn with_min_len_fans_out_short_inputs() {
+        // 8 coarse items would run inline under the default 1024-item
+        // chunk threshold; with_min_len(1) must give them real threads.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), 4, "expected 4 worker threads, saw {ids:?}");
+    }
+
+    #[test]
     fn par_sort_unstable_sorts() {
         let mut xs: Vec<i64> = (0..10_000).map(|i| (i * 2654435761u64 as i64) % 997).collect();
         let mut want = xs.clone();

@@ -14,10 +14,12 @@ pub mod prev;
 pub mod reid_miller;
 pub mod scratch;
 pub mod serial;
+pub mod sharded;
 pub mod wyllie;
 
 pub use anderson_miller::AndersonMiller;
 pub use miller_reif::MillerReif;
 pub use reid_miller::ReidMiller;
 pub use scratch::RankScratch;
+pub use sharded::{rank_sharded, rank_sharded_into, ShardedReport};
 pub use wyllie::Wyllie;

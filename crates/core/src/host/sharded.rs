@@ -1,0 +1,145 @@
+//! Shard-parallel huge-list ranking with a model-dispatched stitch.
+//!
+//! The representation and the parallel shard-local/broadcast phases
+//! live in [`listkit::sharded`]; this module supplies the policy the
+//! substrate deliberately leaves open: **how to rank the contracted
+//! boundary list**. The stitch is itself a list-ranking problem — a
+//! weighted scan over one vertex per fragment — so it is dispatched
+//! through the paper's cost model ([`rankmodel::predict::predict_best`])
+//! exactly like a top-level job: a serial walk when the contracted list
+//! is small, Reid-Miller when a fragment-heavy topology leaves it long
+//! enough to amortize a parallel pass.
+
+use crate::api::Algorithm;
+use crate::host::RankScratch;
+use listkit::ops::AddOp;
+use listkit::sharded::ShardedList;
+use listkit::LinkedList;
+use rankmodel::predict::{predict_best, AlgChoice};
+use std::time::Instant;
+
+/// Execution metadata of one sharded ranking run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedReport {
+    /// Shards the list was split into.
+    pub shards: usize,
+    /// Fragments in the contracted boundary list.
+    pub fragments: usize,
+    /// Algorithm the stitch phase was dispatched to.
+    pub stitch_algorithm: Algorithm,
+    /// Nanoseconds spent in the stitch phase (contracted-list scan).
+    pub stitch_ns: u64,
+}
+
+/// Rank `list` through the shard-parallel path with shards of at most
+/// `shard_size` vertices, writing the ranks into `out` (byte-identical
+/// to [`listkit::serial::rank`]). `scratch` serves the stitch phase
+/// when the contracted list is long enough to rank in parallel.
+pub fn rank_sharded_into(
+    list: &LinkedList,
+    shard_size: usize,
+    seed: u64,
+    scratch: &mut RankScratch,
+    out: &mut Vec<u64>,
+) -> ShardedReport {
+    let sharded = ShardedList::build(list, shard_size);
+    let (prefix, stitch_algorithm, stitch_ns) = stitch(&sharded, seed, scratch);
+    sharded.rank_into_with_prefix(&prefix, out);
+    ShardedReport {
+        shards: sharded.shard_count(),
+        fragments: sharded.fragment_count(),
+        stitch_algorithm,
+        stitch_ns,
+    }
+}
+
+/// Convenience wrapper allocating fresh buffers.
+pub fn rank_sharded(list: &LinkedList, shard_size: usize, seed: u64) -> (Vec<u64>, ShardedReport) {
+    let mut out = Vec::new();
+    let mut scratch = RankScratch::new();
+    let report = rank_sharded_into(list, shard_size, seed, &mut scratch, &mut out);
+    (out, report)
+}
+
+/// Rank the contracted boundary list: each fragment's global starting
+/// rank is the exclusive `+`-scan of fragment lengths along it. The
+/// backend is chosen by the host dispatch model for the contracted
+/// length and the ambient thread budget.
+fn stitch(
+    sharded: &ShardedList,
+    seed: u64,
+    scratch: &mut RankScratch,
+) -> (Vec<u64>, Algorithm, u64) {
+    let bt = sharded.boundary();
+    let k = bt.fragment_count();
+    let p = rayon::current_num_threads();
+    let choice = match predict_best(k, p) {
+        AlgChoice::Serial => Algorithm::Serial,
+        // Reid-Miller is the host's only work-efficient parallel
+        // algorithm; every parallel pick maps there (same reasoning as
+        // the engine planner's prior).
+        _ => Algorithm::ReidMiller,
+    };
+    let t0 = Instant::now();
+    let prefix = match choice {
+        Algorithm::Serial => bt.serial_prefix(),
+        _ => {
+            let contracted = bt.to_list();
+            let lens: Vec<i64> = bt.lens().iter().map(|&l| l as i64).collect();
+            let mut rm = crate::host::ReidMiller::new(seed);
+            let mut scanned = Vec::new();
+            rm.m = None;
+            rm.scan_into(&contracted, &lens, &AddOp, scratch, &mut scanned);
+            scanned.into_iter().map(|x| x as u64).collect()
+        }
+    };
+    (prefix, choice, t0.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::gen::{self, Layout};
+
+    #[test]
+    fn sharded_rank_matches_serial_and_reports() {
+        let list = gen::list_with_layout(60_000, Layout::Blocked(128), 5);
+        let (ranks, report) = rank_sharded(&list, 4096, 0x1994);
+        assert_eq!(ranks, listkit::serial::rank(&list));
+        assert_eq!(report.shards, 60_000usize.div_ceil(4096));
+        // One fragment per block, minus the blocks that happen to land
+        // adjacent to their traversal predecessor inside one shard.
+        let blocks = 60_000usize.div_ceil(128);
+        assert!(
+            report.fragments <= blocks && report.fragments >= blocks / 2,
+            "{} fragments for {blocks} blocks",
+            report.fragments
+        );
+        assert_eq!(report.stitch_algorithm, Algorithm::Serial, "a few hundred rank serially");
+    }
+
+    #[test]
+    fn fragment_heavy_topology_dispatches_parallel_stitch() {
+        // A random permutation contracts to ≈ n fragments; the model
+        // must route a list that long to the parallel stitch — and the
+        // result must still be exact.
+        let n = 200_000;
+        let list = gen::random_list(n, 3);
+        let (ranks, report) = rank_sharded(&list, 16_384, 7);
+        assert_eq!(ranks, listkit::serial::rank(&list));
+        assert!(report.fragments > n / 2);
+        if rayon::current_num_threads() >= 2 {
+            assert_eq!(report.stitch_algorithm, Algorithm::ReidMiller);
+        }
+    }
+
+    #[test]
+    fn tiny_and_degenerate_sizes() {
+        for n in [1usize, 2, 3, 5] {
+            let list = gen::random_list(n, n as u64);
+            let (ranks, report) = rank_sharded(&list, 2, 0);
+            assert_eq!(ranks, listkit::serial::rank(&list), "n = {n}");
+            assert_eq!(report.shards, n.div_ceil(2));
+        }
+    }
+}

@@ -6,7 +6,9 @@
 //! cargo run --release -p engine --bin rankd -- --help
 //! ```
 
-use engine::workload::{run_baseline, run_engine, Workload, WorkloadConfig};
+use engine::workload::{
+    run_baseline, run_engine, run_sharded_scenario, HugeListConfig, Workload, WorkloadConfig,
+};
 use engine::{Engine, EngineConfig};
 
 struct Args {
@@ -14,6 +16,12 @@ struct Args {
     engine: EngineConfig,
     skip_baseline: bool,
     repeats: u32,
+    sharded_scenario: bool,
+    huge: HugeListConfig,
+    /// Whether --workers / --inner-threads were given explicitly (the
+    /// sharded scenario picks its own defaults otherwise).
+    workers_set: bool,
+    inner_threads_set: bool,
 }
 
 fn usage() -> ! {
@@ -39,7 +47,16 @@ Engine:
   --small-cutoff N       batch jobs up to N vertices    [default 4096]
   --batch-max B          max jobs per batch             [default 64]
   --no-pool              disable scratch-buffer pooling
-  --skip-baseline        skip the naive sequential-submit baseline"
+  --shard-budget N       per-worker vertex budget: RankSharded jobs
+                         above N split into shards    [default 2097152]
+  --skip-baseline        skip the naive sequential-submit baseline
+
+Huge-list sharded scenario (replaces the mixed workload):
+  --sharded-scenario     rank one huge list sharded vs monolithic
+  --huge-n N             vertices in the huge list (up to 10^8)
+                                                   [default 16777216]
+  --huge-jobs J          ranking jobs per pass             [default 4]
+  --huge-block B         blocked-layout block size      [default 4096]"
     );
     std::process::exit(2)
 }
@@ -50,6 +67,10 @@ fn parse_args() -> Args {
         engine: EngineConfig::default(),
         skip_baseline: false,
         repeats: 1,
+        sharded_scenario: false,
+        huge: HugeListConfig::default(),
+        workers_set: false,
+        inner_threads_set: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,11 +101,13 @@ fn parse_args() -> Args {
             "--seed" => args.workload.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--repeats" => args.repeats = val("--repeats").parse().unwrap_or_else(|_| usage()),
             "--workers" => {
-                args.engine.workers = val("--workers").parse().unwrap_or_else(|_| usage())
+                args.engine.workers = val("--workers").parse().unwrap_or_else(|_| usage());
+                args.workers_set = true;
             }
             "--inner-threads" => {
                 args.engine.inner_threads =
-                    val("--inner-threads").parse().unwrap_or_else(|_| usage())
+                    val("--inner-threads").parse().unwrap_or_else(|_| usage());
+                args.inner_threads_set = true;
             }
             "--queue-cap" => {
                 args.engine.queue_capacity = val("--queue-cap").parse().unwrap_or_else(|_| usage())
@@ -96,6 +119,17 @@ fn parse_args() -> Args {
                 args.engine.batch_max = val("--batch-max").parse().unwrap_or_else(|_| usage())
             }
             "--no-pool" => args.engine.pool_scratch = false,
+            "--shard-budget" => {
+                args.engine.shard_budget = val("--shard-budget").parse().unwrap_or_else(|_| usage())
+            }
+            "--sharded-scenario" => args.sharded_scenario = true,
+            "--huge-n" => args.huge.n = val("--huge-n").parse().unwrap_or_else(|_| usage()),
+            "--huge-jobs" => {
+                args.huge.jobs = val("--huge-jobs").parse().unwrap_or_else(|_| usage())
+            }
+            "--huge-block" => {
+                args.huge.block = val("--huge-block").parse().unwrap_or_else(|_| usage())
+            }
             "--skip-baseline" => args.skip_baseline = true,
             "--help" | "-h" => usage(),
             other => {
@@ -117,8 +151,59 @@ fn fmt_rate(x: f64) -> String {
     }
 }
 
+/// The huge-list scenario: job-level parallelism is pointless when one
+/// job saturates the machine, so *unless overridden on the command
+/// line* run one worker with the full thread budget inside it, and
+/// compare the shard-parallel path against the monolithic fallback on
+/// the same engine.
+fn run_sharded_cli(args: &Args) {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut cfg = args.engine.clone();
+    if !args.workers_set {
+        cfg = cfg.with_workers(1);
+    }
+    if !args.inner_threads_set {
+        cfg = cfg.with_inner_threads(avail);
+    }
+    eprintln!(
+        "generating huge list: {} vertices, block {}, seed {:#x} ...",
+        args.huge.n, args.huge.block, args.huge.seed
+    );
+    let engine = Engine::new(cfg);
+    println!(
+        "engine: {} worker(s) × {} inner threads, shard budget {} vertices",
+        engine.config().workers,
+        engine.config().inner_threads,
+        engine.config().shard_budget
+    );
+    let cmp = run_sharded_scenario(&engine, &args.huge);
+    let stats = engine.stats();
+    println!(
+        "sharded:    {} jobs in {:.3}s  ({} elems)  [{} jobs over {} shards, stitch {:.3} ms]",
+        cmp.sharded.jobs,
+        cmp.sharded.elapsed.as_secs_f64(),
+        fmt_rate(cmp.sharded.elements_per_sec()),
+        stats.sharded_jobs,
+        stats.shards_ranked,
+        stats.stitch_ns as f64 / 1e6,
+    );
+    println!(
+        "monolithic: {} jobs in {:.3}s  ({} elems)",
+        cmp.monolithic.jobs,
+        cmp.monolithic.elapsed.as_secs_f64(),
+        fmt_rate(cmp.monolithic.elements_per_sec()),
+    );
+    println!("\nsharded vs monolithic: {:.2}× throughput", cmp.speedup());
+    println!("\n-- engine stats --\n{}", engine.stats());
+    engine.shutdown();
+}
+
 fn main() {
     let args = parse_args();
+    if args.sharded_scenario {
+        run_sharded_cli(&args);
+        return;
+    }
     if args.workload.min_exp > args.workload.max_exp {
         eprintln!(
             "--min-exp ({}) must be ≤ --max-exp ({})",

@@ -3,7 +3,7 @@
 use crate::job::{
     JobCell, JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec, QueuedJob,
 };
-use crate::planner::Planner;
+use crate::planner::{Planner, ShardDecision};
 use crate::pool::ScratchPool;
 use crate::queue::{JobQueue, SubmitError};
 use crate::stats::{Counters, EngineStats};
@@ -31,6 +31,11 @@ pub struct EngineConfig {
     /// Reuse scratch buffers across jobs (`false` = allocate fresh per
     /// batch; exists so benchmarks can measure the pool's effect).
     pub pool_scratch: bool,
+    /// Per-worker vertex budget for `JobSpec::RankSharded`: lists of at
+    /// most this many vertices run monolithically, larger ones split
+    /// into shards of at most this size (≈ the vertex count whose
+    /// working set a worker can keep cache-resident).
+    pub shard_budget: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +49,7 @@ impl Default for EngineConfig {
             small_cutoff: 4096,
             batch_max: 64,
             pool_scratch: true,
+            shard_budget: 1 << 21,
         }
     }
 }
@@ -79,6 +85,12 @@ impl EngineConfig {
         self.pool_scratch = pool;
         self
     }
+
+    /// Override the per-worker sharding budget.
+    pub fn with_shard_budget(mut self, budget: usize) -> Self {
+        self.shard_budget = budget.max(1);
+        self
+    }
 }
 
 struct Shared {
@@ -88,22 +100,6 @@ struct Shared {
     pool: ScratchPool,
     counters: Counters,
     started: Instant,
-}
-
-/// Reject malformed specs at the submit boundary, where the caller can
-/// handle the error — a worker hitting the mismatch assertion later
-/// would panic far from the bug.
-fn validate(spec: &JobSpec) -> Result<(), SubmitError> {
-    match spec {
-        JobSpec::Rank { .. } => Ok(()),
-        JobSpec::ScanAdd { list, values } => {
-            if values.len() == list.len() {
-                Ok(())
-            } else {
-                Err(SubmitError::Invalid)
-            }
-        }
-    }
 }
 
 /// The `rankd` batch execution engine: submit many ranking/scan jobs,
@@ -161,7 +157,7 @@ impl Engine {
 
     /// Submit with explicit options, blocking while the queue is full.
     pub fn submit_with(&self, spec: JobSpec, opts: JobOptions) -> Result<JobHandle, SubmitError> {
-        validate(&spec)?;
+        spec.validate()?;
         let (job, handle) = self.make_job(spec, opts);
         self.shared.queue.push(job)?;
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -180,7 +176,7 @@ impl Engine {
         spec: JobSpec,
         opts: JobOptions,
     ) -> Result<JobHandle, SubmitError> {
-        validate(&spec)?;
+        spec.validate()?;
         let (job, handle) = self.make_job(spec, opts);
         match self.shared.queue.try_push(job) {
             Ok(()) => {
@@ -236,6 +232,15 @@ impl Drop for Engine {
     }
 }
 
+/// Outcome of one job execution (either path), fed into the report and
+/// the counters.
+struct Executed {
+    output: JobOutput,
+    algorithm: listrank::Algorithm,
+    shards: usize,
+    stitch_ns: u64,
+}
+
 fn worker_loop(shared: &Shared) {
     // Each worker owns a thread budget for the data-parallel phases of
     // the jobs it executes; the shim's `install` scopes it per batch.
@@ -278,52 +283,99 @@ fn worker_loop(shared: &Shared) {
                 }
                 let n = job.spec.len();
                 let queued_ns = job.enqueued.elapsed().as_nanos() as u64;
-                let plan = shared.planner.choose(n, job.opts.algorithm);
-                let mut runner = HostRunner::new(plan.algorithm).with_seed(job.opts.seed);
-                runner.m = plan.m;
+                // Sharded jobs get the budget-aware plan branch; all
+                // others (and sharded jobs that fit the budget) take
+                // the ordinary monolithic dispatch.
+                let decision = match &job.spec {
+                    JobSpec::RankSharded { .. } => shared.planner.choose_sharded(
+                        n,
+                        shared.cfg.shard_budget,
+                        job.opts.algorithm,
+                    ),
+                    _ => ShardDecision::Monolithic(shared.planner.choose(n, job.opts.algorithm)),
+                };
                 let t0 = Instant::now();
                 // Isolate panics: an unwinding job must not kill the
                 // worker (stranding every later waiter) — it completes
                 // its cell with `Failed` instead. The scratch is safe
                 // to reuse afterwards: every entry point re-clears it.
                 let exec =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.spec {
-                        JobSpec::Rank { list } => {
-                            let mut out = Vec::new();
-                            runner.rank_into(list, &mut scratch, &mut out);
-                            JobOutput::Ranks(out)
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match decision {
+                        ShardDecision::Monolithic(plan) => {
+                            let mut runner =
+                                HostRunner::new(plan.algorithm).with_seed(job.opts.seed);
+                            runner.m = plan.m;
+                            let output = match &job.spec {
+                                JobSpec::Rank { list } | JobSpec::RankSharded { list } => {
+                                    let mut out = Vec::new();
+                                    runner.rank_into(list, &mut scratch, &mut out);
+                                    JobOutput::Ranks(out)
+                                }
+                                JobSpec::ScanAdd { list, values } => {
+                                    let mut out = Vec::new();
+                                    runner.scan_into(list, values, &AddOp, &mut scratch, &mut out);
+                                    JobOutput::Scan(out)
+                                }
+                            };
+                            Executed { output, algorithm: plan.algorithm, shards: 0, stitch_ns: 0 }
                         }
-                        JobSpec::ScanAdd { list, values } => {
+                        ShardDecision::Sharded { shard_size, .. } => {
                             let mut out = Vec::new();
-                            runner.scan_into(list, values, &AddOp, &mut scratch, &mut out);
-                            JobOutput::Scan(out)
+                            let report = listrank::host::rank_sharded_into(
+                                job.spec.list(),
+                                shard_size,
+                                job.opts.seed,
+                                &mut scratch,
+                                &mut out,
+                            );
+                            Executed {
+                                output: JobOutput::Ranks(out),
+                                algorithm: report.stitch_algorithm,
+                                shards: report.shards,
+                                stitch_ns: report.stitch_ns,
+                            }
                         }
                     }));
                 let exec_ns = t0.elapsed().as_nanos() as u64;
-                let output = match exec {
-                    Ok(output) => output,
+                let done = match exec {
+                    Ok(done) => done,
                     Err(_) => {
                         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
                         job.cell.complete(Err(JobError::Failed));
                         continue;
                     }
                 };
-                // The measurement is valid regardless of a late cancel.
-                shared.planner.record(n, plan.algorithm, exec_ns);
+                // The measurement is valid regardless of a late cancel
+                // — but only monolithic runs feed the per-algorithm
+                // history (a sharded run is a composite; folding it
+                // into one algorithm's EWMA would poison the bucket).
+                if done.shards == 0 {
+                    shared.planner.record(n, done.algorithm, exec_ns);
+                }
                 let landed = job.cell.complete(Ok(JobReport {
                     id: job.id,
                     n,
-                    algorithm: plan.algorithm,
+                    algorithm: done.algorithm,
+                    shards: done.shards,
+                    stitch_ns: done.stitch_ns,
                     batched,
                     queued_ns,
                     exec_ns,
-                    output,
+                    output: done.output,
                 }));
                 if landed {
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                     shared.counters.elements.fetch_add(n as u64, Ordering::Relaxed);
                     shared.counters.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
                     shared.counters.queued_ns.fetch_add(queued_ns, Ordering::Relaxed);
+                    if done.shards > 0 {
+                        shared.counters.sharded_jobs.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .shards_ranked
+                            .fetch_add(done.shards as u64, Ordering::Relaxed);
+                        shared.counters.stitch_ns.fetch_add(done.stitch_ns, Ordering::Relaxed);
+                    }
                 } else {
                     // Cancelled while executing: result discarded.
                     shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);

@@ -1,5 +1,6 @@
 //! Jobs, results, and the submit/await/cancel handle.
 
+use crate::queue::SubmitError;
 use listkit::LinkedList;
 use listrank::Algorithm;
 use std::sync::{Arc, Condvar, Mutex};
@@ -20,21 +21,55 @@ pub enum JobSpec {
         /// Per-vertex values (same length as the list).
         values: Arc<Vec<i64>>,
     },
+    /// List ranking of `list` through the shard-parallel path when it
+    /// exceeds the engine's per-worker budget (`EngineConfig::
+    /// shard_budget`); lists that fit run monolithically, exactly like
+    /// [`JobSpec::Rank`].
+    RankSharded {
+        /// The (typically huge) list to rank.
+        list: Arc<LinkedList>,
+    },
 }
 
 impl JobSpec {
+    /// The list this job ranks or scans.
+    pub fn list(&self) -> &Arc<LinkedList> {
+        match self {
+            JobSpec::Rank { list }
+            | JobSpec::ScanAdd { list, .. }
+            | JobSpec::RankSharded { list } => list,
+        }
+    }
+
     /// Number of vertices this job touches.
     pub fn len(&self) -> usize {
-        match self {
-            JobSpec::Rank { list } => list.len(),
-            JobSpec::ScanAdd { list, .. } => list.len(),
-        }
+        self.list().len()
     }
 
     /// Whether the job is over an empty list (never valid — `listkit`
     /// lists have ≥ 1 vertex).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Submit-time validation, shared by every submit path (blocking
+    /// and non-blocking) and exhaustive over the variants, so a new
+    /// job kind cannot bypass it: a malformed spec is rejected here,
+    /// where the caller can handle the error, instead of panicking in a
+    /// worker far from the bug. Structural list invariants are already
+    /// enforced by `LinkedList` construction; what remains is the
+    /// cross-field consistency a spec can get wrong.
+    pub fn validate(&self) -> Result<(), SubmitError> {
+        match self {
+            JobSpec::Rank { .. } | JobSpec::RankSharded { .. } => Ok(()),
+            JobSpec::ScanAdd { list, values } => {
+                if values.len() == list.len() {
+                    Ok(())
+                } else {
+                    Err(SubmitError::Invalid)
+                }
+            }
+        }
     }
 }
 
@@ -89,8 +124,16 @@ pub struct JobReport {
     pub id: u64,
     /// Vertices in the job's list.
     pub n: usize,
-    /// The algorithm the planner dispatched.
+    /// The algorithm the planner dispatched. For a job that ran the
+    /// shard-parallel path this is the *stitch* phase's algorithm (the
+    /// shard-local phase is always the serial ranker per shard).
     pub algorithm: Algorithm,
+    /// Shards the job was split into; `0` for a monolithic execution
+    /// (including `RankSharded` jobs that fit the budget).
+    pub shards: usize,
+    /// Nanoseconds the shard-parallel path spent in its stitch phase
+    /// (`0` for monolithic executions).
+    pub stitch_ns: u64,
     /// Whether the job was executed as part of a small-job batch.
     pub batched: bool,
     /// Nanoseconds spent queued before a worker picked the job up.

@@ -45,7 +45,7 @@ pub mod workload;
 
 pub use crate::engine::{Engine, EngineConfig};
 pub use job::{JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec};
-pub use planner::{Plan, Planner};
+pub use planner::{Plan, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
 pub use stats::EngineStats;

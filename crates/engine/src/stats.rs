@@ -19,6 +19,9 @@ pub(crate) struct Counters {
     pub(crate) elements: AtomicU64,
     pub(crate) exec_ns: AtomicU64,
     pub(crate) queued_ns: AtomicU64,
+    pub(crate) sharded_jobs: AtomicU64,
+    pub(crate) shards_ranked: AtomicU64,
+    pub(crate) stitch_ns: AtomicU64,
 }
 
 impl Counters {
@@ -34,6 +37,9 @@ impl Counters {
             elements: AtomicU64::new(0),
             exec_ns: AtomicU64::new(0),
             queued_ns: AtomicU64::new(0),
+            sharded_jobs: AtomicU64::new(0),
+            shards_ranked: AtomicU64::new(0),
+            stitch_ns: AtomicU64::new(0),
         }
     }
 }
@@ -64,6 +70,14 @@ pub struct EngineStats {
     pub exec_ns: u64,
     /// Total nanoseconds jobs spent queued.
     pub queued_ns: u64,
+    /// Jobs executed through the shard-parallel path (lists above the
+    /// per-worker budget).
+    pub sharded_jobs: u64,
+    /// Total shards ranked across all sharded jobs.
+    pub shards_ranked: u64,
+    /// Total nanoseconds sharded jobs spent in their stitch phase
+    /// (ranking the contracted boundary list).
+    pub stitch_ns: u64,
     /// Jobs currently queued.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -97,6 +111,9 @@ impl EngineStats {
             elements: counters.elements.load(Ordering::Relaxed),
             exec_ns: counters.exec_ns.load(Ordering::Relaxed),
             queued_ns: counters.queued_ns.load(Ordering::Relaxed),
+            sharded_jobs: counters.sharded_jobs.load(Ordering::Relaxed),
+            shards_ranked: counters.shards_ranked.load(Ordering::Relaxed),
+            stitch_ns: counters.stitch_ns.load(Ordering::Relaxed),
             queue_depth,
             peak_queue_depth,
             dispatch: planner.dispatch_totals(),
@@ -120,6 +137,15 @@ impl EngineStats {
             0.0
         } else {
             self.elements as f64 / self.uptime_s
+        }
+    }
+
+    /// Mean shards per sharded job (`0.0` when none ran sharded).
+    pub fn mean_shards_per_sharded_job(&self) -> f64 {
+        if self.sharded_jobs == 0 {
+            0.0
+        } else {
+            self.shards_ranked as f64 / self.sharded_jobs as f64
         }
     }
 
@@ -176,6 +202,16 @@ impl std::fmt::Display for EngineStats {
             self.pool.misses,
             self.pool.idle
         )?;
+        if self.sharded_jobs > 0 {
+            writeln!(
+                f,
+                "sharded: {} jobs over {} shards ({:.1} shards/job), stitch total {:.3} ms",
+                self.sharded_jobs,
+                self.shards_ranked,
+                self.mean_shards_per_sharded_job(),
+                self.stitch_ns as f64 / 1e6
+            )?;
+        }
         writeln!(f, "dispatch by size (rows are job-size upper bounds):")?;
         write!(f, "  {:>12}", "n <")?;
         for alg in Algorithm::ALL {

@@ -166,6 +166,84 @@ pub fn run_engine(engine: &Engine, workload: &Workload) -> RunResult {
     RunResult { elapsed: t0.elapsed(), jobs, elements: workload.total_elements, checksum }
 }
 
+/// Parameters of the huge-list sharded-ranking scenario: a few jobs
+/// over one list far above the per-worker budget, run once through the
+/// shard-parallel path and once through the monolithic fallback.
+#[derive(Clone, Debug)]
+pub struct HugeListConfig {
+    /// Vertices in the huge list (scales to 10^8 virtual elements; the
+    /// list is shared by every job via `Arc`, so memory holds one copy).
+    pub n: usize,
+    /// Ranking jobs submitted over the list per pass.
+    pub jobs: usize,
+    /// Blocked-layout block size: the locality knob. Real huge lists
+    /// arrive as concatenations of locally-built chunks; `block`
+    /// vertices stay contiguous while blocks land in random order.
+    pub block: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for HugeListConfig {
+    fn default() -> Self {
+        HugeListConfig { n: 1 << 24, jobs: 4, block: 4096, seed: 0xC90 }
+    }
+}
+
+/// Both passes of the huge-list scenario, checksum-verified against
+/// each other.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedComparison {
+    /// The shard-parallel pass (`JobSpec::RankSharded`).
+    pub sharded: RunResult,
+    /// The monolithic pass (`JobSpec::Rank`, planner-dispatched).
+    pub monolithic: RunResult,
+}
+
+impl ShardedComparison {
+    /// Sharded throughput over monolithic throughput.
+    pub fn speedup(&self) -> f64 {
+        self.monolithic.elapsed.as_secs_f64() / self.sharded.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drive the huge-list scenario through `engine`: submit `cfg.jobs`
+/// sharded ranking jobs, await them, then the same jobs monolithically,
+/// and check both passes produce identical bytes.
+///
+/// # Panics
+/// Panics if the two passes' checksums diverge.
+pub fn run_sharded_scenario(engine: &Engine, cfg: &HugeListConfig) -> ShardedComparison {
+    let list =
+        Arc::new(gen::list_with_layout(cfg.n, gen::Layout::Blocked(cfg.block.max(1)), cfg.seed));
+    let pass = |spec_for: &dyn Fn() -> JobSpec| -> RunResult {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..cfg.jobs.max(1))
+            .map(|_| engine.submit(spec_for()).expect("engine accepting work"))
+            .collect();
+        let mut checksum = 0u64;
+        let mut jobs = 0usize;
+        for h in handles {
+            let report = h.wait().expect("job completed");
+            checksum = checksum.wrapping_add(fold_output(&report.output));
+            jobs += 1;
+        }
+        RunResult {
+            elapsed: t0.elapsed(),
+            jobs,
+            elements: cfg.n as u64 * cfg.jobs.max(1) as u64,
+            checksum,
+        }
+    };
+    let sharded = pass(&|| JobSpec::RankSharded { list: Arc::clone(&list) });
+    let monolithic = pass(&|| JobSpec::Rank { list: Arc::clone(&list) });
+    assert_eq!(
+        sharded.checksum, monolithic.checksum,
+        "sharded and monolithic passes diverged on the same list"
+    );
+    ShardedComparison { sharded, monolithic }
+}
+
 /// The naive baseline the engine must beat: submit-and-wait each job in
 /// order through a one-shot `HostRunner` with a fixed algorithm and
 /// fresh allocations — exactly what callers did before `rankd` existed.
@@ -175,7 +253,9 @@ pub fn run_baseline(workload: &Workload) -> RunResult {
     let mut checksum = 0u64;
     for spec in &workload.jobs {
         let out = match spec {
-            JobSpec::Rank { list } => JobOutput::Ranks(runner.rank(list)),
+            JobSpec::Rank { list } | JobSpec::RankSharded { list } => {
+                JobOutput::Ranks(runner.rank(list))
+            }
             JobSpec::ScanAdd { list, values } => JobOutput::Scan(runner.scan(list, values, &AddOp)),
         };
         checksum = checksum.wrapping_add(fold_output(&out));

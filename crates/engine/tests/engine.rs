@@ -222,17 +222,109 @@ fn small_jobs_get_batched() {
 }
 
 #[test]
-fn malformed_scan_rejected_at_submit() {
+fn malformed_specs_rejected_at_every_submit_path() {
+    // Submit-time validation is centralized in `JobSpec::validate`
+    // (exhaustive over variants): both the blocking and non-blocking
+    // paths must reject a malformed spec, and malformed *successor
+    // arrays* cannot even reach a spec — `LinkedList` construction
+    // rejects them, so every job variant is structurally sound.
     let engine = shared_engine();
     let list = Arc::new(gen::random_list(100, 1));
     let values = Arc::new(vec![0i64; 99]); // one short
     assert_eq!(
-        engine.submit(JobSpec::ScanAdd { list: Arc::clone(&list), values }).map(|h| h.id()),
+        engine
+            .submit(JobSpec::ScanAdd { list: Arc::clone(&list), values: Arc::clone(&values) })
+            .map(|h| h.id()),
         Err(engine::SubmitError::Invalid)
     );
+    assert_eq!(
+        engine.try_submit(JobSpec::ScanAdd { list: Arc::clone(&list), values }).map(|h| h.id()),
+        Err(engine::SubmitError::Invalid)
+    );
+    // Malformed successor arrays: a rho-shaped cycle, an out-of-range
+    // link, and a two-tailed structure are all stopped at list
+    // construction — no Rank/RankSharded/ScanAdd job can carry them.
+    assert!(listkit::LinkedList::new(vec![1, 2, 0], 0).is_err(), "cycle");
+    assert!(listkit::LinkedList::new(vec![1, 9, 2], 0).is_err(), "out of range");
+    assert!(listkit::LinkedList::new(vec![0, 1], 0).is_err(), "two tails");
     let ok = Arc::new(vec![0i64; 100]);
     let h = engine.submit(JobSpec::ScanAdd { list, values: ok }).expect("valid spec accepted");
     h.wait().expect("valid job completes");
+}
+
+#[test]
+fn rank_sharded_matches_serial_across_topologies() {
+    // A tiny budget forces real sharding; parity must hold on the
+    // sharding-friendly (blocked) and sharding-adversarial (random)
+    // topologies, across sizes straddling the budget.
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_inner_threads(2)
+            .with_shard_budget(4096)
+            .with_queue_capacity(64),
+    );
+    let mut handles = Vec::new();
+    let mut expected = Vec::new();
+    for n in [1usize, 100, 4096, 4097, 30_000, 100_000] {
+        for (kind, list) in [
+            ("random", gen::random_list(n, n as u64)),
+            ("blocked", gen::list_with_layout(n, gen::Layout::Blocked(64), n as u64)),
+        ] {
+            expected.push((n, kind, listkit::serial::rank(&list)));
+            handles.push(
+                engine.submit(JobSpec::RankSharded { list: Arc::new(list) }).expect("submit"),
+            );
+        }
+    }
+    for (h, (n, kind, want)) in handles.into_iter().zip(&expected) {
+        let report = h.wait().expect("completes");
+        assert_eq!(report.output.ranks().expect("ranks"), want.as_slice(), "{kind} n={n}");
+        if *n > 4096 {
+            assert!(report.shards >= 2, "{kind} n={n} should shard, got {}", report.shards);
+        } else {
+            assert_eq!(report.shards, 0, "{kind} n={n} fits the budget");
+        }
+    }
+    let stats = engine.shutdown();
+    assert!(stats.sharded_jobs >= 6, "sharded jobs counted: {}", stats.sharded_jobs);
+    assert!(stats.shards_ranked > stats.sharded_jobs, "multiple shards per sharded job");
+    let rendered = format!("{stats}");
+    assert!(rendered.contains("sharded:"), "stats surface the sharded line:\n{rendered}");
+}
+
+#[test]
+fn rank_sharded_pinned_algorithm_forces_monolithic() {
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(1).with_inner_threads(2).with_shard_budget(1000),
+    );
+    let list = Arc::new(gen::random_list(50_000, 21));
+    let opts = JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller) };
+    let h = engine.submit_with(JobSpec::RankSharded { list: Arc::clone(&list) }, opts).unwrap();
+    let report = h.wait().expect("completes");
+    assert_eq!(report.shards, 0, "pinning selects the monolithic backend");
+    assert_eq!(report.algorithm, Algorithm::ReidMiller);
+    assert_eq!(
+        report.output.ranks().expect("ranks"),
+        HostRunner::new(Algorithm::ReidMiller).with_seed(0x1994).rank(&list).as_slice()
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn sharded_scenario_passes_agree() {
+    use engine::workload::{run_sharded_scenario, HugeListConfig};
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(1).with_inner_threads(2).with_shard_budget(8192),
+    );
+    let cfg = HugeListConfig { n: 60_000, jobs: 2, block: 256, seed: 7 };
+    let cmp = run_sharded_scenario(&engine, &cfg); // panics on divergence
+    assert_eq!(cmp.sharded.jobs, 2);
+    assert_eq!(cmp.monolithic.jobs, 2);
+    assert_eq!(cmp.sharded.checksum, cmp.monolithic.checksum);
+    let stats = engine.shutdown();
+    assert_eq!(stats.sharded_jobs, 2);
+    assert!(stats.stitch_ns > 0, "stitch time is measured");
 }
 
 #[test]

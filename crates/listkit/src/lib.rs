@@ -14,6 +14,9 @@
 //!   ([`ops::AffineOp`]) used to verify that implementations respect list
 //!   order;
 //! * [`serial`] — reference serial list rank / list scan (paper §2.1);
+//! * [`sharded`] — chunked representation for lists beyond one worker's
+//!   scratch budget: shard-local ranking plus a contracted boundary
+//!   list for the cross-shard stitch;
 //! * [`packed`] — the one-gather encoding of (value, link) in a single
 //!   64-bit word (paper §3, the list-ranking fast path);
 //! * [`validate`] — structural validation with precise error reporting.
@@ -34,6 +37,7 @@ pub mod ops;
 pub mod packed;
 pub mod segmented;
 pub mod serial;
+pub mod sharded;
 pub mod validate;
 
 pub use list::{Idx, LinkedList, ValuedList};

@@ -135,6 +135,18 @@ impl LinkedList {
         prev
     }
 
+    /// Construct from parts whose invariants the caller (same crate)
+    /// has already established — skips the `O(n)` validation walk on
+    /// release builds. Used by [`crate::sharded`], which builds each
+    /// shard's chained local list correct by construction.
+    pub(crate) fn from_raw_trusted(next: Vec<Idx>, head: Idx, tail: Idx) -> Self {
+        debug_assert!(
+            matches!(validate::validate_links(&next, head), Ok(t) if t.tail == tail),
+            "trusted construction received an invalid list"
+        );
+        Self { next: next.into_boxed_slice(), head, tail }
+    }
+
     /// Consume the list, returning the raw link array and head. Used by
     /// backends that mutate links in place (the paper's implementation is
     /// destructive and restores the list afterwards).

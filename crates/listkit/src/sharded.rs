@@ -1,0 +1,447 @@
+//! Shard-parallel representation for lists too large for one worker.
+//!
+//! Reid-Miller's trade — a little extra work for locality and long
+//! vectors — generalizes one level up: a list whose link array exceeds a
+//! worker's scratch budget is **sharded** into contiguous index ranges.
+//! Each shard stores the list structure restricted to its own vertices
+//! as a *per-shard successor array*, and the edges that leave a shard
+//! are contracted into a [`BoundaryTable`]. Ranking then proceeds in
+//! three phases:
+//!
+//! 1. **Shard-local rank** — inside a shard the list decomposes into
+//!    *fragments* (maximal runs of the global traversal that stay in the
+//!    shard). The fragments are chained head-to-tail into one valid
+//!    local list, so the existing no-alloc serial ranker
+//!    ([`crate::serial::rank_into`]) computes every vertex's offset
+//!    within its fragment in one cache-friendly pass. All shards run in
+//!    parallel on the rayon pool.
+//! 2. **Stitch** — the contracted boundary list (one vertex per
+//!    fragment, weighted by fragment length) is scanned to find each
+//!    fragment's global starting rank. This list is tiny when the input
+//!    has locality and can itself be ranked by any backend (see
+//!    [`BoundaryTable::to_list`]); [`BoundaryTable::serial_prefix`] is
+//!    the serial reference. Higher layers dispatch this step through
+//!    `rankmodel::predict`.
+//! 3. **Broadcast** — each shard adds its fragments' global offsets to
+//!    the local ranks and writes its contiguous slice of the output, in
+//!    parallel, with pure array arithmetic (no pointer chasing).
+//!
+//! The result is byte-identical to [`crate::serial::rank`] for every
+//! topology: ranks are exact integers, so there is no tolerance to
+//! negotiate.
+//!
+//! ```
+//! use listkit::sharded::ShardedList;
+//!
+//! let list = listkit::gen::list_with_layout(10_000, listkit::gen::Layout::Blocked(64), 7);
+//! let sharded = ShardedList::build(&list, 1024);
+//! assert_eq!(sharded.rank(), listkit::serial::rank(&list));
+//! ```
+
+use crate::list::{Idx, LinkedList};
+use rayon::prelude::*;
+
+/// The contracted list of fragments: one vertex per fragment, linked by
+/// the cross-shard edges, weighted by fragment length.
+///
+/// `next[f]` is the fragment the global traversal enters after fragment
+/// `f` ends (self-loop at the fragment containing the global tail);
+/// `lens[f]` is the number of vertices in fragment `f`.
+#[derive(Clone, Debug)]
+pub struct BoundaryTable {
+    next: Vec<Idx>,
+    head: Idx,
+    lens: Vec<u32>,
+}
+
+impl BoundaryTable {
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.next.len()
+    }
+
+    /// The fragment containing the global head.
+    pub fn head(&self) -> Idx {
+        self.head
+    }
+
+    /// Fragment successor links (self-loop at the final fragment).
+    pub fn links(&self) -> &[Idx] {
+        &self.next
+    }
+
+    /// Per-fragment vertex counts.
+    pub fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+
+    /// The contracted list as a validated [`LinkedList`], so any
+    /// ranking/scan backend can run the stitch phase.
+    pub fn to_list(&self) -> LinkedList {
+        LinkedList::new(self.next.clone(), self.head)
+            .expect("contracted boundary list is a single valid path by construction")
+    }
+
+    /// Serial stitch reference: `prefix[f]` = number of vertices before
+    /// fragment `f`'s first vertex in global list order (an exclusive
+    /// scan of `lens` along the contracted list).
+    pub fn serial_prefix(&self) -> Vec<u64> {
+        let mut prefix = vec![0u64; self.next.len()];
+        let mut acc = 0u64;
+        let mut cur = self.head as usize;
+        loop {
+            prefix[cur] = acc;
+            acc += self.lens[cur] as u64;
+            if self.next[cur] as usize == cur {
+                break;
+            }
+            cur = self.next[cur] as usize;
+        }
+        prefix
+    }
+}
+
+/// One shard: the list structure restricted to a contiguous vertex
+/// range, with its fragments chained into a single local list.
+#[derive(Debug)]
+struct Shard {
+    /// Per-shard successor array: the shard's fragments chained
+    /// head-to-tail in discovery order, over local indices.
+    local: LinkedList,
+    /// Global id of this shard's first fragment (its fragments are the
+    /// contiguous id range `frag_off..frag_off + frag_cnt`, in the same
+    /// discovery order the chaining uses).
+    frag_off: usize,
+    /// Number of fragments in this shard.
+    frag_cnt: usize,
+}
+
+/// Per-shard build output, assembled into [`ShardedList`] afterwards.
+struct ShardBuild {
+    local_next: Vec<Idx>,
+    local_head: Idx,
+    local_tail: Idx,
+    /// Global head vertex of each fragment, discovery order.
+    frag_heads: Vec<Idx>,
+    /// Vertex count of each fragment.
+    frag_lens: Vec<u32>,
+    /// Global vertex the traversal enters after each fragment
+    /// (`Idx::MAX` for the fragment ending at the global tail).
+    frag_exits: Vec<Idx>,
+}
+
+/// A list chunked into contiguous index-range shards (see the module
+/// docs for the ranking pipeline).
+#[derive(Debug)]
+pub struct ShardedList {
+    n: usize,
+    shard_size: usize,
+    shards: Vec<Shard>,
+    boundary: BoundaryTable,
+}
+
+impl ShardedList {
+    /// Shard `list` into contiguous index ranges of at most
+    /// `shard_size` vertices. Shards are built in parallel; each build
+    /// reads only the global link array.
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    pub fn build(list: &LinkedList, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        let n = list.len();
+        let shard_count = n.div_ceil(shard_size);
+        let builds: Vec<ShardBuild> = (0..shard_count)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|s| {
+                let lo = s * shard_size;
+                let hi = (lo + shard_size).min(n);
+                build_shard(list, lo, hi)
+            })
+            .collect();
+
+        // Assemble the boundary table: fragments get globally
+        // contiguous ids in (shard, discovery) order, and exits resolve
+        // through a head-vertex -> fragment-id map.
+        let total_frags: usize = builds.iter().map(|b| b.frag_heads.len()).sum();
+        let mut head_frag = vec![u32::MAX; n];
+        let mut off = 0usize;
+        for b in &builds {
+            for (j, &h) in b.frag_heads.iter().enumerate() {
+                head_frag[h as usize] = (off + j) as u32;
+            }
+            off += b.frag_heads.len();
+        }
+        let mut next = Vec::with_capacity(total_frags);
+        let mut lens = Vec::with_capacity(total_frags);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut off = 0usize;
+        for b in builds {
+            let frag_cnt = b.frag_heads.len();
+            for (j, (&exit, &len)) in b.frag_exits.iter().zip(&b.frag_lens).enumerate() {
+                let f = off + j;
+                next.push(if exit == Idx::MAX { f as Idx } else { head_frag[exit as usize] });
+                lens.push(len);
+            }
+            shards.push(Shard {
+                local: LinkedList::from_raw_trusted(b.local_next, b.local_head, b.local_tail),
+                frag_off: off,
+                frag_cnt,
+            });
+            off += frag_cnt;
+        }
+        let head = head_frag[list.head() as usize];
+        debug_assert_ne!(head, u32::MAX, "global head starts a fragment");
+        ShardedList { n, shard_size, shards, boundary: BoundaryTable { next, head, lens } }
+    }
+
+    /// Number of vertices in the underlying list.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (lists have ≥ 1 vertex).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The per-shard vertex budget this list was built with.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of fragments across all shards (the contracted list's
+    /// length — the cross-shard "surface area" of this topology).
+    pub fn fragment_count(&self) -> usize {
+        self.boundary.fragment_count()
+    }
+
+    /// The contracted boundary list.
+    pub fn boundary(&self) -> &BoundaryTable {
+        &self.boundary
+    }
+
+    /// Rank the list: shard-local ranking and broadcast run in
+    /// parallel, the stitch is the serial reference. Byte-identical to
+    /// [`crate::serial::rank`].
+    pub fn rank(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.rank_into(&mut out);
+        out
+    }
+
+    /// [`Self::rank`] into a caller-provided buffer.
+    pub fn rank_into(&self, out: &mut Vec<u64>) {
+        let prefix = self.boundary.serial_prefix();
+        self.rank_into_with_prefix(&prefix, out);
+    }
+
+    /// Shard-local rank + broadcast, given the stitch result: `prefix[f]`
+    /// must be the global rank of fragment `f`'s first vertex (as
+    /// produced by [`BoundaryTable::serial_prefix`] or by any scan of
+    /// [`BoundaryTable::lens`] along [`BoundaryTable::to_list`]).
+    ///
+    /// Shards run in parallel; each writes exactly its contiguous slice
+    /// of `out`.
+    pub fn rank_into_with_prefix(&self, prefix: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            prefix.len(),
+            self.boundary.fragment_count(),
+            "stitch prefix length must equal the fragment count"
+        );
+        out.clear();
+        out.resize(self.n, 0);
+        let boundary = &self.boundary;
+        let work: Vec<(&Shard, &mut [u64])> =
+            self.shards.iter().zip(out.chunks_mut(self.shard_size)).collect();
+        work.into_par_iter().with_min_len(1).for_each(|(shard, chunk)| {
+            // Local ranks through the existing no-alloc serial entry:
+            // within the chained local list, fragment `j` occupies the
+            // contiguous local-rank range [P_j, P_j + len_j) where P_j
+            // is the prefix of this shard's fragment lengths.
+            let mut local = Vec::new();
+            crate::serial::rank_into(&shard.local, &mut local);
+            // adjust[r] = prefix[frag at local rank r] - P_j, so the
+            // broadcast is plain array arithmetic indexed by rank.
+            let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
+            let mut adjust = vec![0u64; chunk.len()];
+            let mut p = 0usize;
+            for (j, &len) in lens.iter().enumerate() {
+                let delta = prefix[shard.frag_off + j].wrapping_sub(p as u64);
+                for slot in &mut adjust[p..p + len as usize] {
+                    *slot = delta;
+                }
+                p += len as usize;
+            }
+            for (slot, &r) in chunk.iter_mut().zip(&local) {
+                *slot = r.wrapping_add(adjust[r as usize]);
+            }
+        });
+    }
+}
+
+/// Build one shard covering global vertices `lo..hi`: identify fragment
+/// heads (vertices whose global predecessor lies outside the shard),
+/// walk each fragment recording its length and exit edge, and chain the
+/// fragments into one valid local list.
+fn build_shard(list: &LinkedList, lo: usize, hi: usize) -> ShardBuild {
+    let links = list.links();
+    let len = hi - lo;
+    // A vertex with an in-shard predecessor is interior to a fragment;
+    // everything else (including the global head, which has no
+    // predecessor at all) starts one.
+    let mut is_head = vec![true; len];
+    for (off, &nx) in links[lo..hi].iter().enumerate() {
+        let (v, nx) = (lo + off, nx as usize);
+        if nx != v && (lo..hi).contains(&nx) {
+            is_head[nx - lo] = false;
+        }
+    }
+    let mut local_next = vec![0 as Idx; len];
+    let mut frag_heads = Vec::new();
+    let mut frag_lens = Vec::new();
+    let mut frag_exits = Vec::new();
+    let mut local_head = 0 as Idx;
+    let mut prev_tail: Option<usize> = None;
+    for lv in (0..len).filter(|&lv| is_head[lv]) {
+        if frag_heads.is_empty() {
+            local_head = lv as Idx;
+        }
+        if let Some(pt) = prev_tail {
+            local_next[pt] = lv as Idx; // chain the previous fragment here
+        }
+        let mut cur = lo + lv;
+        let mut flen = 1u32;
+        let exit = loop {
+            let nx = links[cur] as usize;
+            if nx == cur {
+                break Idx::MAX; // global tail ends this fragment
+            }
+            if !(lo..hi).contains(&nx) {
+                break nx as Idx; // cross-shard edge
+            }
+            local_next[cur - lo] = (nx - lo) as Idx;
+            cur = nx;
+            flen += 1;
+        };
+        frag_heads.push((lo + lv) as Idx);
+        frag_lens.push(flen);
+        frag_exits.push(exit);
+        prev_tail = Some(cur - lo);
+    }
+    let local_tail = prev_tail.expect("non-empty shard has at least one fragment") as Idx;
+    local_next[local_tail as usize] = local_tail;
+    ShardBuild {
+        local_next,
+        local_head,
+        local_tail: local_tail as Idx,
+        frag_heads,
+        frag_lens,
+        frag_exits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, Layout};
+
+    fn check_parity(list: &LinkedList, shard_size: usize) {
+        let sharded = ShardedList::build(list, shard_size);
+        assert_eq!(
+            sharded.rank(),
+            crate::serial::rank(list),
+            "n = {}, shard_size = {shard_size}",
+            list.len()
+        );
+    }
+
+    #[test]
+    fn parity_across_layouts_and_shard_sizes() {
+        for n in [1usize, 2, 3, 7, 64, 65, 1000] {
+            for layout in
+                [Layout::Sequential, Layout::Reversed, Layout::Random, Layout::Blocked(16)]
+            {
+                let list = gen::list_with_layout(n, layout, n as u64);
+                for shard_size in [1usize, 3, 16, 64, n.max(1), 2 * n.max(1)] {
+                    check_parity(&list, shard_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_list_contracts_to_one_fragment_per_shard() {
+        let list = gen::sequential_list(1000);
+        let sharded = ShardedList::build(&list, 128);
+        assert_eq!(sharded.shard_count(), 8);
+        assert_eq!(sharded.fragment_count(), 8, "one unbroken run per shard");
+        let bt = sharded.boundary();
+        assert_eq!(bt.head(), 0);
+        let prefix = bt.serial_prefix();
+        assert_eq!(prefix, (0..8).map(|i| i * 128).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_list_is_boundary_heavy() {
+        // A random permutation crosses shards almost every step: the
+        // contracted list barely contracts. This is the adversarial
+        // topology for sharding, and it must still be exact.
+        let list = gen::random_list(4096, 9);
+        let sharded = ShardedList::build(&list, 512);
+        assert!(sharded.fragment_count() > 3000, "{} fragments", sharded.fragment_count());
+        check_parity(&list, 512);
+    }
+
+    #[test]
+    fn boundary_list_is_a_valid_list_and_lens_sum_to_n() {
+        for (n, shard) in [(1usize, 1usize), (500, 64), (1000, 1), (317, 100)] {
+            let list = gen::random_list(n, 3);
+            let sharded = ShardedList::build(&list, shard);
+            let contracted = sharded.boundary().to_list();
+            assert_eq!(contracted.len(), sharded.fragment_count());
+            let total: u64 = sharded.boundary().lens().iter().map(|&l| l as u64).sum();
+            assert_eq!(total, n as u64);
+        }
+    }
+
+    #[test]
+    fn external_stitch_prefix_matches_serial_stitch() {
+        // Rank the contracted list by scanning lens along it with the
+        // generic serial scanner — the path a parallel stitch backend
+        // takes — and check the broadcast agrees with the built-in.
+        let list = gen::list_with_layout(5000, Layout::Blocked(32), 11);
+        let sharded = ShardedList::build(&list, 600);
+        let bt = sharded.boundary();
+        let contracted = bt.to_list();
+        let lens: Vec<i64> = bt.lens().iter().map(|&l| l as i64).collect();
+        let scanned = crate::serial::scan(&contracted, &lens, &crate::ops::AddOp);
+        let prefix: Vec<u64> = scanned.iter().map(|&x| x as u64).collect();
+        assert_eq!(prefix, bt.serial_prefix());
+        let mut out = Vec::new();
+        sharded.rank_into_with_prefix(&prefix, &mut out);
+        assert_eq!(out, crate::serial::rank(&list));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn zero_shard_size_rejected() {
+        let list = gen::sequential_list(10);
+        let _ = ShardedList::build(&list, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stitch prefix length")]
+    fn wrong_prefix_length_rejected() {
+        let list = gen::sequential_list(100);
+        let sharded = ShardedList::build(&list, 10);
+        let mut out = Vec::new();
+        sharded.rank_into_with_prefix(&[0], &mut out);
+    }
+}

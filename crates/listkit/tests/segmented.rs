@@ -1,0 +1,160 @@
+//! Property coverage for `listkit::segmented`: the wrap → scan →
+//! unwrap round trip and the serial segmented reference, checked
+//! against a naive per-segment fold over arbitrary topologies, start
+//! patterns (including consecutive starts — "empty" length-1 segments
+//! — and single-flag extremes) and both commutative and non-commutative
+//! operators.
+
+use listkit::gen;
+use listkit::ops::{AddOp, Affine, AffineOp, MaxOp, ScanOp};
+use listkit::segmented::{self, SegOp};
+use listkit::LinkedList;
+use proptest::prelude::*;
+
+/// Oracle: walk the list in order, cut it into segments at flagged
+/// vertices (the head implicitly starts one), and fold each segment
+/// independently with a plain exclusive prefix.
+fn naive_per_segment_fold<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    starts: &[bool],
+    op: &Op,
+) -> Vec<T> {
+    let mut out = vec![op.identity(); list.len()];
+    let mut segment: Vec<u32> = Vec::new();
+    let flush = |segment: &mut Vec<u32>, out: &mut Vec<T>| {
+        let mut acc = op.identity();
+        for &v in segment.iter() {
+            out[v as usize] = acc;
+            acc = op.combine(acc, values[v as usize]);
+        }
+        segment.clear();
+    };
+    for v in list.iter() {
+        if starts[v as usize] && !segment.is_empty() {
+            flush(&mut segment, &mut out);
+        }
+        segment.push(v);
+    }
+    flush(&mut segment, &mut out);
+    out
+}
+
+/// Deterministic start pattern from a bit source: roughly one start per
+/// `period` vertices, plus whatever `force_head` dictates.
+fn starts_from(n: usize, seed: u64, period: u64, head: u32, force_head: bool) -> Vec<bool> {
+    let mut starts: Vec<bool> =
+        (0..n as u64).map(|v| (v.wrapping_mul(seed | 1) >> 7) % period.max(1) == 0).collect();
+    if force_head {
+        starts[head as usize] = true;
+    }
+    starts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_matches_reference_and_naive_fold(
+        n in 1usize..800,
+        seed in any::<u64>(),
+        period in 1u64..40,
+        force_head in any::<bool>(),
+    ) {
+        let list = gen::random_list(n, seed);
+        let values: Vec<i64> = (0..n as i64).map(|i| (i % 19) - 9).collect();
+        let starts = starts_from(n, seed, period, list.head(), force_head);
+        let want = segmented::serial_segmented_scan(&list, &values, &starts, &AddOp);
+        prop_assert_eq!(&want, &naive_per_segment_fold(&list, &values, &starts, &AddOp));
+        // Round trip: wrap → plain scan with the transformed operator →
+        // unwrap must reproduce the segmented reference exactly.
+        let wrapped = segmented::wrap(&values, &starts);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(AddOp));
+        let got = segmented::unwrap_exclusive(&scanned, &starts, &AddOp);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn noncommutative_operator_respects_segment_order(
+        n in 1usize..400,
+        seed in any::<u64>(),
+        period in 1u64..25,
+    ) {
+        // AffineOp composition is order-sensitive: any segment scan
+        // that reorders operands diverges immediately.
+        let list = gen::random_list(n, seed);
+        let values: Vec<Affine> = (0..n)
+            .map(|i| Affine::new((i % 5) as i64 - 2, (i % 13) as i64 - 6))
+            .collect();
+        let starts = starts_from(n, seed, period, list.head(), false);
+        let want = segmented::serial_segmented_scan(&list, &values, &starts, &AffineOp);
+        prop_assert_eq!(&want, &naive_per_segment_fold(&list, &values, &starts, &AffineOp));
+        let wrapped = segmented::wrap(&values, &starts);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(AffineOp));
+        prop_assert_eq!(segmented::unwrap_exclusive(&scanned, &starts, &AffineOp), want);
+    }
+
+    #[test]
+    fn consecutive_starts_make_identity_segments(
+        n in 2usize..300,
+        seed in any::<u64>(),
+        run in 1usize..6,
+    ) {
+        // A run of consecutive flagged vertices in *list order*: each
+        // opens a segment that closes immediately — every flagged
+        // vertex must come out as the identity.
+        let list = gen::random_list(n, seed);
+        let order = list.order();
+        let at = (seed as usize) % n;
+        let mut starts = vec![false; n];
+        for k in 0..run.min(n - at) {
+            starts[order[at + k] as usize] = true;
+        }
+        let values: Vec<i64> = (0..n as i64).map(|i| i + 1).collect();
+        let got = segmented::serial_segmented_scan(&list, &values, &starts, &AddOp);
+        prop_assert_eq!(&got, &naive_per_segment_fold(&list, &values, &starts, &AddOp));
+        for k in 0..run.min(n - at) {
+            prop_assert_eq!(got[order[at + k] as usize], 0, "flagged vertex restarts at identity");
+        }
+        let wrapped = segmented::wrap(&values, &starts);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(AddOp));
+        prop_assert_eq!(segmented::unwrap_exclusive(&scanned, &starts, &AddOp), got);
+    }
+
+    #[test]
+    fn single_flag_edge_cases(n in 1usize..300, seed in any::<u64>(), flag_rank in 0usize..300) {
+        // Exactly one flag, placed anywhere (head, middle, tail) — or
+        // no flag at all — must both degrade to a plain scan split at
+        // that single point.
+        let list = gen::random_list(n, seed);
+        let order = list.order();
+        let values: Vec<i64> = (0..n as i64).map(|i| 2 * i - 5).collect();
+
+        // No flags: the implicit head segment covers the whole list.
+        let none = vec![false; n];
+        let got = segmented::serial_segmented_scan(&list, &values, &none, &AddOp);
+        prop_assert_eq!(&got, &listkit::serial::scan(&list, &values, &AddOp));
+
+        // One flag at a random rank.
+        let mut one = vec![false; n];
+        one[order[flag_rank % n] as usize] = true;
+        let got = segmented::serial_segmented_scan(&list, &values, &one, &AddOp);
+        prop_assert_eq!(&got, &naive_per_segment_fold(&list, &values, &one, &AddOp));
+        let wrapped = segmented::wrap(&values, &one);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(AddOp));
+        prop_assert_eq!(segmented::unwrap_exclusive(&scanned, &one, &AddOp), got);
+        prop_assert_eq!(got[order[flag_rank % n] as usize], 0);
+    }
+
+    #[test]
+    fn max_operator_roundtrip(n in 1usize..300, seed in any::<u64>(), period in 1u64..15) {
+        let list = gen::random_list(n, seed);
+        let values: Vec<i64> = (0..n).map(|i| ((i * 37) % 101) as i64 - 50).collect();
+        let starts = starts_from(n, seed, period, list.head(), true);
+        let want = segmented::serial_segmented_scan(&list, &values, &starts, &MaxOp);
+        prop_assert_eq!(&want, &naive_per_segment_fold(&list, &values, &starts, &MaxOp));
+        let wrapped = segmented::wrap(&values, &starts);
+        let scanned = listkit::serial::scan(&list, &wrapped, &SegOp(MaxOp));
+        prop_assert_eq!(segmented::unwrap_exclusive(&scanned, &starts, &MaxOp), want);
+    }
+}

@@ -255,6 +255,65 @@ pub fn predict_best(n: usize, p: usize) -> AlgChoice {
     best
 }
 
+/// Per-shard fixed overhead of the shard-parallel path, in
+/// serial-element units: fragment discovery, local-list assembly and
+/// task spawn for one shard.
+const HOST_SHARD_OVERHEAD: f64 = 4_096.0;
+
+/// Cost of one *streaming* pass over a vertex (build, broadcast),
+/// relative to the serial ranker's random-gather visit that defines one
+/// serial-element unit: sequential reads/writes prefetch, gathers miss.
+const SHARD_STREAM_PASS: f64 = 0.35;
+
+/// Cost of the shard-local pointer-chase visit: still a chase, but
+/// confined to a shard sized to the per-worker budget, so the link
+/// array is cache-resident rather than gathering across the whole list.
+const SHARD_LOCAL_VISIT: f64 = 0.6;
+
+/// Coarse predicted cost of ranking an `n`-vertex list with the
+/// shard-parallel path (`listkit::sharded`) on a `p`-thread host, in
+/// serial-element units. `shard_size` is the per-worker vertex budget
+/// and `fragments` the contracted boundary list's length (the number of
+/// maximal in-shard runs — `n / block` for a blocked layout, ≈ `n` for
+/// a random permutation):
+///
+/// * build + broadcast: one *streaming* pass each over every vertex
+///   (sequential memory order — cheaper per element than a gather),
+///   spread over `p` threads;
+/// * shard-local rank: one pointer-chase pass confined to a
+///   cache-resident shard (discounted accordingly);
+/// * stitch: a serial scan of the contracted list — the term that
+///   makes fragment-heavy topologies expensive, exactly as measured.
+pub fn predicted_sharded_cost(n: usize, shard_size: usize, fragments: usize, p: usize) -> f64 {
+    let nf = n as f64;
+    let pf = p.max(1) as f64;
+    let shards = n.div_ceil(shard_size.max(1)) as f64;
+    let streaming = 2.0 * SHARD_STREAM_PASS * nf / pf; // build + broadcast
+    let local_rank = SHARD_LOCAL_VISIT * nf / pf;
+    let stitch = fragments as f64;
+    streaming + local_rank + stitch + HOST_SHARD_OVERHEAD * shards / pf + HOST_JOB_OVERHEAD
+}
+
+/// Balanced shard size for an `n`-vertex list under a per-worker budget
+/// of `budget` vertices, on a `p`-thread host: take the smallest shard
+/// count that respects the budget, round it up to a multiple of `p`,
+/// and size shards for that count. The returned size never exceeds the
+/// budget. Because callers re-derive the count as `n.div_ceil(size)`,
+/// integer granularity can land the *actual* count slightly below the
+/// rounded target on small `n`; in the regime sharding exists for
+/// (`n ≫ p · budget`-granularity) the count comes out an exact
+/// multiple of `p`, so threads start evenly loaded.
+pub fn shard_size_for(n: usize, budget: usize, p: usize) -> usize {
+    let budget = budget.max(1);
+    if n <= budget {
+        return n.max(1);
+    }
+    let mut shards = n.div_ceil(budget);
+    let p = p.max(1);
+    shards = shards.div_ceil(p) * p;
+    n.div_ceil(shards).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +423,45 @@ mod tests {
             predicted_cost(AlgChoice::ReidMiller, n, 8)
                 < predicted_cost(AlgChoice::ReidMiller, n, 2)
         );
+    }
+
+    #[test]
+    fn sharded_cost_beats_monolithic_on_local_topologies() {
+        // A huge blocked-layout list (few fragments) should be cheaper
+        // sharded than monolithic Reid-Miller; a random permutation
+        // (≈ n fragments) pays a linear serial stitch and should not.
+        let (n, p) = (100_000_000usize, 8usize);
+        let shard = 1 << 21;
+        let mono = predicted_cost(AlgChoice::ReidMiller, n, p);
+        let local = predicted_sharded_cost(n, shard, n / 4096, p);
+        let scattered = predicted_sharded_cost(n, shard, n, p);
+        assert!(local < mono, "local: sharded {local:.0} vs monolithic {mono:.0}");
+        assert!(scattered > local, "fragment count must drive the stitch term");
+    }
+
+    #[test]
+    fn shard_size_respects_budget_and_balances() {
+        // Fits the budget outright: one shard of exactly n.
+        assert_eq!(shard_size_for(1000, 4096, 8), 1000);
+        // Above budget in the real sharding regime: size stays within
+        // the budget and the count callers re-derive from it
+        // (`n.div_ceil(size)` — what `ShardedList::build` does) is an
+        // exact multiple of p.
+        let (n, budget, p) = (10_000_000usize, (1usize << 21) + 13, 6usize);
+        let size = shard_size_for(n, budget, p);
+        assert!(size <= budget);
+        let shards = n.div_ceil(size);
+        assert_eq!(shards % p, 0, "{shards} shards not a multiple of {p}");
+        assert!(size * shards >= n && (size - 1) * shards < n, "unbalanced: {size} x {shards}");
+        // The budget cap holds even at small n, where integer
+        // granularity may undercut the multiple-of-p target
+        // (shard_size_for(13, 4, 3) → size 3 → 5 shards, not 6).
+        for (n, budget, p) in [(13usize, 4usize, 3usize), (100, 7, 3), (17, 2, 8)] {
+            let size = shard_size_for(n, budget, p);
+            assert!((1..=budget).contains(&size), "n={n}: size {size} breaks the budget");
+        }
+        // Degenerate inputs normalize instead of panicking.
+        assert_eq!(shard_size_for(1, 0, 0), 1);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Differential-oracle harness: adversarial list topologies, ranked by
+//! every `Algorithm::ALL` host backend *and* the shard-parallel path,
+//! asserted byte-identical to the `listkit::serial` oracle — under
+//! fixed seeds, so a failure replays exactly.
+//!
+//! Topology zoo (each is adversarial for a different implementation
+//! detail):
+//!
+//! * **single chain** (sequential layout) — fragments never break, the
+//!   degenerate best case for sharding;
+//! * **reversed** — tests that nothing confuses index order with list
+//!   order;
+//! * **all-singleton fragments** (stride ≥ shard size) — every vertex
+//!   exits its shard immediately: the contracted boundary list is as
+//!   long as the input;
+//! * **random permutation** — the paper's workload and the
+//!   shard-boundary-heavy case;
+//! * **tiny blocks** — fragment boundaries land just past every block;
+//! * sizes 0 / 1 / 2 / odd / pow2 ± 1 — off-by-one soup around every
+//!   cutoff in the stack.
+
+use engine::{Engine, EngineConfig, JobOptions, JobSpec};
+use listkit::gen::{self, Layout};
+use listkit::sharded::ShardedList;
+use listkit::LinkedList;
+use listrank::host::rank_sharded;
+use listrank::{Algorithm, HostRunner};
+use std::sync::Arc;
+
+/// Fixed master seed: every generated list below is a deterministic
+/// function of it, the size and the topology tag.
+const SEED: u64 = 0xD1FF_0C90;
+
+/// The adversarial sizes: degenerate, odd, and power-of-two straddles
+/// around the serial/batching/sharding cutoffs used in the tests.
+const SIZES: [usize; 11] = [1, 2, 3, 5, 127, 128, 129, 1023, 1024, 1025, 20_000];
+
+fn coprime_stride(n: usize, at_least: usize) -> usize {
+    let mut s = at_least.max(2).min(n.saturating_sub(1).max(1));
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    while gcd(s, n) != 1 {
+        s += 1;
+    }
+    s
+}
+
+/// Every topology in the zoo at size `n` (skipping the ones a given
+/// `n` cannot express, e.g. strides on lists of ≤ 2 vertices).
+fn topologies(n: usize) -> Vec<(String, LinkedList)> {
+    let seed = SEED ^ (n as u64).wrapping_mul(0x9e37_79b9);
+    let mut out = vec![
+        ("single-chain".to_string(), gen::sequential_list(n)),
+        ("reversed".to_string(), gen::list_with_layout(n, Layout::Reversed, seed)),
+        ("random".to_string(), gen::list_with_layout(n, Layout::Random, seed)),
+        ("tiny-blocks".to_string(), gen::list_with_layout(n, Layout::Blocked(3), seed)),
+    ];
+    if n > 2 {
+        // Stride past the shard size used below: every fragment is a
+        // singleton, the worst case for the boundary table.
+        let stride = coprime_stride(n, 70);
+        if stride < n {
+            out.push((
+                format!("stride-{stride}"),
+                gen::list_with_layout(n, Layout::Strided(stride), seed),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn empty_lists_cannot_exist() {
+    // Size 0 has no oracle: the representation rejects it everywhere,
+    // so no backend can be handed an empty list in the first place.
+    assert!(LinkedList::new(vec![], 0).is_err());
+    assert!(LinkedList::from_order(&[]).is_err());
+}
+
+#[test]
+fn every_backend_matches_serial_on_every_topology() {
+    for n in SIZES {
+        for (name, list) in topologies(n) {
+            let oracle = listkit::serial::rank(&list);
+            for alg in Algorithm::ALL {
+                let got = HostRunner::new(alg).with_seed(SEED ^ n as u64).rank(&list);
+                assert_eq!(got, oracle, "{alg} diverged on {name} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_path_matches_serial_on_every_topology() {
+    for n in SIZES {
+        for (name, list) in topologies(n) {
+            let oracle = listkit::serial::rank(&list);
+            // Shard sizes below, at, and above the boundary-heavy
+            // stride, plus the degenerate one-vertex-per-shard split.
+            for shard_size in [1usize, 7, 64, 4096] {
+                let sharded = ShardedList::build(&list, shard_size);
+                assert_eq!(
+                    sharded.rank(),
+                    oracle,
+                    "substrate sharded rank diverged on {name} n={n} shard={shard_size}"
+                );
+                let (got, report) = rank_sharded(&list, shard_size, SEED ^ n as u64);
+                assert_eq!(
+                    got, oracle,
+                    "dispatched sharded rank diverged on {name} n={n} shard={shard_size}"
+                );
+                assert_eq!(report.shards, n.div_ceil(shard_size));
+                // The boundary table always partitions the vertices.
+                let covered: u64 = sharded.boundary().lens().iter().map(|&l| l as u64).sum();
+                assert_eq!(covered, n as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_sharded_jobs_match_serial_on_every_topology() {
+    // The same zoo through the engine's RankSharded path, with a budget
+    // small enough that the larger sizes genuinely shard. One engine
+    // serves every job (exactly the serving-system configuration).
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_workers(2)
+            .with_inner_threads(2)
+            .with_shard_budget(512)
+            .with_queue_capacity(128),
+    );
+    let mut pending = Vec::new();
+    for n in SIZES {
+        for (name, list) in topologies(n) {
+            let oracle = listkit::serial::rank(&list);
+            let spec = JobSpec::RankSharded { list: Arc::new(list) };
+            let opts = JobOptions { seed: SEED ^ n as u64, algorithm: None };
+            let handle = engine.submit_with(spec, opts).expect("submit");
+            pending.push((n, name, oracle, handle));
+        }
+    }
+    for (n, name, oracle, handle) in pending {
+        let report = handle.wait().expect("job completes");
+        assert_eq!(
+            report.output.ranks().expect("ranks"),
+            oracle.as_slice(),
+            "engine sharded diverged on {name} n={n}"
+        );
+        assert_eq!(report.shards > 0, n > 512, "budget decides sharding for {name} n={n}");
+    }
+    let stats = engine.shutdown();
+    assert!(stats.sharded_jobs > 0, "the zoo exercised the sharded path");
+}
+
+#[test]
+fn scan_backends_match_serial_oracle() {
+    // The differential net over the scan entry points (the engine's
+    // other job kind), with a value pattern that detects misalignment.
+    use listkit::ops::AddOp;
+    for n in [1usize, 2, 129, 1025] {
+        for (name, list) in topologies(n) {
+            let values: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+            let oracle = listkit::serial::scan(&list, &values, &AddOp);
+            for alg in Algorithm::ALL {
+                let got =
+                    HostRunner::new(alg).with_seed(SEED ^ n as u64).scan(&list, &values, &AddOp);
+                assert_eq!(got, oracle, "{alg} scan diverged on {name} n={n}");
+            }
+        }
+    }
+}
+
+/// Every topology generator really is a permutation of `0..n` — the
+/// oracle itself is only meaningful if the inputs are valid lists.
+#[test]
+fn topology_zoo_is_structurally_valid() {
+    for n in SIZES {
+        for (name, list) in topologies(n) {
+            assert_eq!(list.len(), n, "{name}");
+            let mut order = list.order();
+            order.sort_unstable();
+            assert!(
+                order.iter().enumerate().all(|(i, &v)| v as usize == i),
+                "{name} n={n} is not a permutation"
+            );
+        }
+    }
+}
+
+/// The all-singleton stride topology really produces singleton
+/// fragments (the adversarial property the name claims).
+#[test]
+fn stride_topology_is_all_singletons() {
+    let n = 20_000;
+    let stride = coprime_stride(n, 70);
+    let list = gen::list_with_layout(n, Layout::Strided(stride), 1);
+    let sharded = ShardedList::build(&list, 64);
+    assert_eq!(sharded.fragment_count(), n, "every vertex must be its own fragment");
+    assert_eq!(sharded.rank(), listkit::serial::rank(&list));
+}
