@@ -5,7 +5,7 @@
 //! scaled down so the benchmark converges quickly.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use engine::workload::{run_baseline, run_engine, Workload, WorkloadConfig};
+use engine::workload::{run_baseline, run_engine, OpSelect, Workload, WorkloadConfig};
 use engine::{Engine, EngineConfig};
 use std::hint::black_box;
 
@@ -16,6 +16,7 @@ fn scenario() -> WorkloadConfig {
         elems_per_decade: 300_000,
         max_jobs_per_decade: 600,
         scan_frac: 0.3,
+        op: OpSelect::Mixed,
         seed: 0xC90,
         lists_per_decade: 2,
     }

@@ -21,5 +21,7 @@ pub use anderson_miller::AndersonMiller;
 pub use miller_reif::MillerReif;
 pub use reid_miller::ReidMiller;
 pub use scratch::RankScratch;
-pub use sharded::{rank_sharded, rank_sharded_into, ShardedReport};
+pub use sharded::{
+    rank_sharded, rank_sharded_into, scan_sharded, scan_sharded_into, ShardedReport,
+};
 pub use wyllie::Wyllie;

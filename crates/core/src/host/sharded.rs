@@ -14,8 +14,8 @@ use crate::api::Algorithm;
 use crate::host::RankScratch;
 use listkit::ops::AddOp;
 use listkit::sharded::ShardedList;
-use listkit::LinkedList;
-use rankmodel::predict::{predict_best, AlgChoice};
+use listkit::{LinkedList, ScanOp};
+use rankmodel::predict::{predict_best_op, AlgChoice};
 use std::time::Instant;
 
 /// Execution metadata of one sharded ranking run.
@@ -61,25 +61,99 @@ pub fn rank_sharded(list: &LinkedList, shard_size: usize, seed: u64) -> (Vec<u64
     (out, report)
 }
 
+/// Exclusive **generic-operator scan** through the shard-parallel path:
+/// per-fragment operator totals are computed shard-locally in parallel
+/// (the generic analogue of the boundary table's fragment lengths), the
+/// contracted list of totals is op-scanned as the stitch — dispatched
+/// through the op-aware cost model ([`predict_best_op`], which accounts
+/// for the value width) — and every fragment is re-walked seeded with
+/// its global prefix. Byte-identical to [`listkit::serial::scan`] for
+/// any associative operator, commutative or not: fragment order along
+/// the contracted list *is* global list order.
+pub fn scan_sharded_into<T, Op>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    shard_size: usize,
+    seed: u64,
+    scratch: &mut RankScratch,
+    out: &mut Vec<T>,
+) -> ShardedReport
+where
+    T: Copy + Send + Sync,
+    Op: ScanOp<T>,
+{
+    let sharded = ShardedList::build(list, shard_size);
+    let totals = sharded.fragment_totals(values, op);
+    let bt = sharded.boundary();
+    let k = bt.fragment_count();
+    let choice = stitch_choice(k, std::mem::size_of::<T>());
+    let t0 = Instant::now();
+    let prefix = match choice {
+        Algorithm::Serial => bt.serial_exclusive(&totals, op),
+        _ => {
+            let contracted = bt.to_list();
+            let mut rm = crate::host::ReidMiller::new(seed);
+            rm.m = None;
+            let mut scanned = Vec::new();
+            rm.scan_into(&contracted, &totals, op, scratch, &mut scanned);
+            scanned
+        }
+    };
+    let stitch_ns = t0.elapsed().as_nanos() as u64;
+    sharded.scan_into_with_prefix(values, op, &prefix, out);
+    ShardedReport {
+        shards: sharded.shard_count(),
+        fragments: k,
+        stitch_algorithm: choice,
+        stitch_ns,
+    }
+}
+
+/// Convenience wrapper for [`scan_sharded_into`] allocating fresh
+/// buffers.
+pub fn scan_sharded<T, Op>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    shard_size: usize,
+    seed: u64,
+) -> (Vec<T>, ShardedReport)
+where
+    T: Copy + Send + Sync,
+    Op: ScanOp<T>,
+{
+    let mut out = Vec::new();
+    let mut scratch = RankScratch::new();
+    let report = scan_sharded_into(list, values, op, shard_size, seed, &mut scratch, &mut out);
+    (out, report)
+}
+
+/// One dispatch rule for every stitch (rank and generic scan): the
+/// op-width-aware cost model picks the backend for the contracted
+/// length and the ambient thread budget. Reid-Miller is the host's
+/// only work-efficient parallel algorithm, so every parallel pick maps
+/// there (same reasoning as the engine planner's prior).
+fn stitch_choice(fragments: usize, elem_bytes: usize) -> Algorithm {
+    match predict_best_op(fragments, rayon::current_num_threads(), elem_bytes) {
+        AlgChoice::Serial => Algorithm::Serial,
+        _ => Algorithm::ReidMiller,
+    }
+}
+
 /// Rank the contracted boundary list: each fragment's global starting
-/// rank is the exclusive `+`-scan of fragment lengths along it. The
-/// backend is chosen by the host dispatch model for the contracted
-/// length and the ambient thread budget.
+/// rank is the exclusive `+`-scan of fragment lengths along it. Kept
+/// separate from the generic stitch body because ranking exploits the
+/// build-time `lens` table natively (`serial_prefix` walks it with no
+/// value-array allocation in the common serial case); the dispatch
+/// rule itself is shared via [`stitch_choice`].
 fn stitch(
     sharded: &ShardedList,
     seed: u64,
     scratch: &mut RankScratch,
 ) -> (Vec<u64>, Algorithm, u64) {
     let bt = sharded.boundary();
-    let k = bt.fragment_count();
-    let p = rayon::current_num_threads();
-    let choice = match predict_best(k, p) {
-        AlgChoice::Serial => Algorithm::Serial,
-        // Reid-Miller is the host's only work-efficient parallel
-        // algorithm; every parallel pick maps there (same reasoning as
-        // the engine planner's prior).
-        _ => Algorithm::ReidMiller,
-    };
+    let choice = stitch_choice(bt.fragment_count(), std::mem::size_of::<u64>());
     let t0 = Instant::now();
     let prefix = match choice {
         Algorithm::Serial => bt.serial_prefix(),
@@ -140,6 +214,28 @@ mod tests {
             let (ranks, report) = rank_sharded(&list, 2, 0);
             assert_eq!(ranks, listkit::serial::rank(&list), "n = {n}");
             assert_eq!(report.shards, n.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn generic_scan_sharded_matches_serial() {
+        use listkit::ops::{Affine, AffineOp, MaxOp};
+        let n = 50_000;
+        let list = gen::list_with_layout(n, Layout::Blocked(128), 5);
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i % 19) - 9).collect();
+        let (got, report) = scan_sharded(&list, &vals, &MaxOp, 4096, 0x1994);
+        assert_eq!(got, listkit::serial::scan(&list, &vals, &MaxOp));
+        assert_eq!(report.shards, n.div_ceil(4096));
+        // The non-commutative trap through the full dispatched path,
+        // on the fragment-heavy topology that forces a parallel stitch.
+        let list = gen::random_list(n, 9);
+        let funcs: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 3) as i64 - 1, (i % 7) as i64)).collect();
+        let (got, report) = scan_sharded(&list, &funcs, &AffineOp, 4096, 7);
+        assert_eq!(got, listkit::serial::scan(&list, &funcs, &AffineOp));
+        assert!(report.fragments > n / 2, "random permutation barely contracts");
+        if rayon::current_num_threads() >= 2 {
+            assert_eq!(report.stitch_algorithm, Algorithm::ReidMiller);
         }
     }
 }

@@ -7,7 +7,8 @@
 //! ```
 
 use engine::workload::{
-    run_baseline, run_engine, run_sharded_scenario, HugeListConfig, Workload, WorkloadConfig,
+    run_baseline, run_engine, run_sharded_scenario, HugeListConfig, OpSelect, Workload,
+    WorkloadConfig,
 };
 use engine::{Engine, EngineConfig};
 
@@ -36,6 +37,8 @@ Workload:
   --elems-per-decade N   element budget per decade            [default 2000000]
   --max-jobs-per-decade N  job-count cap per decade           [default 3000]
   --scan-frac F          fraction of scan (vs rank) jobs      [default 0.3]
+  --op OP                scan operator: add|max|min|xor|affine|seg|mixed
+                         (mixed rotates through all of them)  [default mixed]
   --seed S               workload seed                        [default 0xC90]
   --repeats R            run the workload R times through the engine
                          (planner history carries over)       [default 1]
@@ -97,6 +100,12 @@ fn parse_args() -> Args {
             }
             "--scan-frac" => {
                 args.workload.scan_frac = val("--scan-frac").parse().unwrap_or_else(|_| usage())
+            }
+            "--op" => {
+                args.workload.op = OpSelect::parse(&val("--op")).unwrap_or_else(|| {
+                    eprintln!("unknown --op (want add|max|min|xor|affine|seg|mixed)");
+                    usage()
+                })
             }
             "--seed" => args.workload.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--repeats" => args.repeats = val("--repeats").parse().unwrap_or_else(|_| usage()),
@@ -223,7 +232,7 @@ fn main() {
     let workload = Workload::generate(&args.workload);
     println!(
         "workload: {} jobs, {} total vertices (sizes 10^{}..10^{})",
-        workload.jobs.len(),
+        workload.num_jobs(),
         workload.total_elements,
         args.workload.min_exp,
         args.workload.max_exp
@@ -255,6 +264,8 @@ fn main() {
     }
     let engine_result = engine_result.expect("at least one pass");
 
+    // The stats Display includes the per-op throughput lines ("by op:")
+    // alongside the dispatch-by-size and dispatch-by-op matrices.
     println!("\n-- engine stats --\n{}", engine.stats());
 
     if !args.skip_baseline {

@@ -1,14 +1,14 @@
 //! The engine proper: worker pool, dispatch loop, lifecycle.
 
 use crate::job::{
-    JobCell, JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec, QueuedJob,
+    ErasedOutput, JobCell, JobError, JobHandle, JobOptions, JobReport, JobSpec, QueuedJob, Request,
 };
 use crate::planner::{Planner, ShardDecision};
 use crate::pool::ScratchPool;
 use crate::queue::{JobQueue, SubmitError};
 use crate::stats::{Counters, EngineStats};
-use listkit::ops::AddOp;
 use listrank::HostRunner;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -150,15 +150,21 @@ impl Engine {
         &self.shared.cfg
     }
 
-    /// Submit a job, blocking while the queue is full (backpressure).
-    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        self.submit_with(spec, JobOptions::default())
+    /// Submit a typed request, blocking while the queue is full
+    /// (backpressure). The returned handle's `wait()` resolves directly
+    /// to the request's concrete output type.
+    pub fn submit<R: Send + 'static>(&self, req: Request<R>) -> Result<JobHandle<R>, SubmitError> {
+        self.submit_with(req, JobOptions::default())
     }
 
     /// Submit with explicit options, blocking while the queue is full.
-    pub fn submit_with(&self, spec: JobSpec, opts: JobOptions) -> Result<JobHandle, SubmitError> {
-        spec.validate()?;
-        let (job, handle) = self.make_job(spec, opts);
+    pub fn submit_with<R: Send + 'static>(
+        &self,
+        req: Request<R>,
+        opts: JobOptions,
+    ) -> Result<JobHandle<R>, SubmitError> {
+        req.spec.validate()?;
+        let (job, handle) = self.make_job(req, opts);
         self.shared.queue.push(job)?;
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
@@ -166,18 +172,21 @@ impl Engine {
 
     /// Submit without blocking; fails with [`SubmitError::Full`] when
     /// the queue is at capacity.
-    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        self.try_submit_with(spec, JobOptions::default())
+    pub fn try_submit<R: Send + 'static>(
+        &self,
+        req: Request<R>,
+    ) -> Result<JobHandle<R>, SubmitError> {
+        self.try_submit_with(req, JobOptions::default())
     }
 
     /// Non-blocking submit with explicit options.
-    pub fn try_submit_with(
+    pub fn try_submit_with<R: Send + 'static>(
         &self,
-        spec: JobSpec,
+        req: Request<R>,
         opts: JobOptions,
-    ) -> Result<JobHandle, SubmitError> {
-        spec.validate()?;
-        let (job, handle) = self.make_job(spec, opts);
+    ) -> Result<JobHandle<R>, SubmitError> {
+        req.spec.validate()?;
+        let (job, handle) = self.make_job(req, opts);
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -192,11 +201,11 @@ impl Engine {
         }
     }
 
-    fn make_job(&self, spec: JobSpec, opts: JobOptions) -> (QueuedJob, JobHandle) {
+    fn make_job<R>(&self, req: Request<R>, opts: JobOptions) -> (QueuedJob, JobHandle<R>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cell = JobCell::new();
-        let handle = JobHandle { id, cell: Arc::clone(&cell) };
-        let job = QueuedJob { id, spec, opts, cell, enqueued: Instant::now() };
+        let handle = JobHandle { id, cell: Arc::clone(&cell), _out: PhantomData };
+        let job = QueuedJob { id, spec: req.spec, opts, cell, enqueued: Instant::now() };
         (job, handle)
     }
 
@@ -235,7 +244,7 @@ impl Drop for Engine {
 /// Outcome of one job execution (either path), fed into the report and
 /// the counters.
 struct Executed {
-    output: JobOutput,
+    output: ErasedOutput,
     algorithm: listrank::Algorithm,
     shards: usize,
     stitch_ns: u64,
@@ -282,17 +291,27 @@ fn worker_loop(shared: &Shared) {
                     continue;
                 }
                 let n = job.spec.len();
+                let op = job.spec.op_kind();
                 let queued_ns = job.enqueued.elapsed().as_nanos() as u64;
-                // Sharded jobs get the budget-aware plan branch; all
-                // others (and sharded jobs that fit the budget) take
-                // the ordinary monolithic dispatch.
-                let decision = match &job.spec {
-                    JobSpec::RankSharded { .. } => shared.planner.choose_sharded(
+                // Sharded requests get the budget-aware plan branch;
+                // all others (and sharded requests that fit the budget)
+                // take the ordinary monolithic dispatch. Both are keyed
+                // on the op kind and value width.
+                let decision = if job.spec.sharded() {
+                    shared.planner.choose_sharded(
                         n,
                         shared.cfg.shard_budget,
+                        op,
+                        job.spec.elem_bytes(),
                         job.opts.algorithm,
-                    ),
-                    _ => ShardDecision::Monolithic(shared.planner.choose(n, job.opts.algorithm)),
+                    )
+                } else {
+                    ShardDecision::Monolithic(shared.planner.choose(
+                        n,
+                        op,
+                        job.spec.elem_bytes(),
+                        job.opts.algorithm,
+                    ))
                 };
                 let t0 = Instant::now();
                 // Isolate panics: an unwinding job must not kill the
@@ -305,31 +324,37 @@ fn worker_loop(shared: &Shared) {
                             let mut runner =
                                 HostRunner::new(plan.algorithm).with_seed(job.opts.seed);
                             runner.m = plan.m;
-                            let output = match &job.spec {
-                                JobSpec::Rank { list } | JobSpec::RankSharded { list } => {
+                            let output: ErasedOutput = match &job.spec {
+                                JobSpec::Rank { list, .. } => {
                                     let mut out = Vec::new();
                                     runner.rank_into(list, &mut scratch, &mut out);
-                                    JobOutput::Ranks(out)
+                                    Box::new(out)
                                 }
-                                JobSpec::ScanAdd { list, values } => {
-                                    let mut out = Vec::new();
-                                    runner.scan_into(list, values, &AddOp, &mut scratch, &mut out);
-                                    JobOutput::Scan(out)
+                                JobSpec::Scan { list, exec, .. } => {
+                                    exec.run(&runner, list, &mut scratch)
                                 }
                             };
                             Executed { output, algorithm: plan.algorithm, shards: 0, stitch_ns: 0 }
                         }
                         ShardDecision::Sharded { shard_size, .. } => {
-                            let mut out = Vec::new();
-                            let report = listrank::host::rank_sharded_into(
-                                job.spec.list(),
-                                shard_size,
-                                job.opts.seed,
-                                &mut scratch,
-                                &mut out,
-                            );
+                            let (output, report): (ErasedOutput, _) = match &job.spec {
+                                JobSpec::Rank { list, .. } => {
+                                    let mut out = Vec::new();
+                                    let report = listrank::host::rank_sharded_into(
+                                        list,
+                                        shard_size,
+                                        job.opts.seed,
+                                        &mut scratch,
+                                        &mut out,
+                                    );
+                                    (Box::new(out), report)
+                                }
+                                JobSpec::Scan { list, exec, .. } => {
+                                    exec.run_sharded(list, shard_size, job.opts.seed, &mut scratch)
+                                }
+                            };
                             Executed {
-                                output: JobOutput::Ranks(out),
+                                output,
                                 algorithm: report.stitch_algorithm,
                                 shards: report.shards,
                                 stitch_ns: report.stitch_ns,
@@ -350,11 +375,12 @@ fn worker_loop(shared: &Shared) {
                 // history (a sharded run is a composite; folding it
                 // into one algorithm's EWMA would poison the bucket).
                 if done.shards == 0 {
-                    shared.planner.record(n, done.algorithm, exec_ns);
+                    shared.planner.record(n, op, done.algorithm, exec_ns);
                 }
                 let landed = job.cell.complete(Ok(JobReport {
                     id: job.id,
                     n,
+                    op,
                     algorithm: done.algorithm,
                     shards: done.shards,
                     stitch_ns: done.stitch_ns,
@@ -368,6 +394,10 @@ fn worker_loop(shared: &Shared) {
                     shared.counters.elements.fetch_add(n as u64, Ordering::Relaxed);
                     shared.counters.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
                     shared.counters.queued_ns.fetch_add(queued_ns, Ordering::Relaxed);
+                    let per_op = &shared.counters.per_op[op.index()];
+                    per_op.completed.fetch_add(1, Ordering::Relaxed);
+                    per_op.elements.fetch_add(n as u64, Ordering::Relaxed);
+                    per_op.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
                     if done.shards > 0 {
                         shared.counters.sharded_jobs.fetch_add(1, Ordering::Relaxed);
                         shared

@@ -1,75 +1,411 @@
-//! Jobs, results, and the submit/await/cancel handle.
+//! Typed requests, type-erased jobs, and the submit/await/cancel handle.
+//!
+//! The public surface is a **typed request builder** ([`Request`]) and
+//! a **typed handle** ([`JobHandle<R>`]): callers say
+//! `engine.submit(Request::scan(list, values, MaxOp))` and `wait()`
+//! hands back the concrete `Vec<i64>` — no closed output enum to
+//! match, no `Option` to unwrap. Internally the generic
+//! [`listkit::ScanOp`] is erased behind the [`ScanExec`] object so the
+//! queue, planner and workers stay monomorphic; the handle re-types the
+//! erased output on the way out (guaranteed to succeed because only the
+//! typed builders can construct a request).
 
+use crate::op::{classify_op, OpKind};
 use crate::queue::SubmitError;
-use listkit::LinkedList;
-use listrank::Algorithm;
+use listkit::segmented::{self, SegOp, Segmented};
+use listkit::{LinkedList, ScanOp};
+use listrank::host::{RankScratch, ShardedReport};
+use listrank::{Algorithm, HostRunner};
+use std::any::Any;
+use std::marker::PhantomData;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// What a job computes.
-#[derive(Clone, Debug)]
-pub enum JobSpec {
+/// A type-erased job output, re-typed by the [`JobHandle`] that awaits
+/// it.
+pub(crate) type ErasedOutput = Box<dyn Any + Send>;
+
+/// The executable body of a scan job with its operator and value types
+/// erased: the worker hands it a configured runner (or the sharded
+/// plan) and gets the erased output back.
+pub(crate) trait ScanExec: Send + Sync {
+    /// Stats/dispatch classification of the operator.
+    fn op_kind(&self) -> OpKind;
+    /// Bytes per scanned value (the op-aware cost model's width input).
+    fn elem_bytes(&self) -> usize;
+    /// Submit-time cross-field validation against the job's list.
+    fn check(&self, list: &LinkedList) -> bool;
+    /// Monolithic execution through the planner-configured runner.
+    fn run(
+        &self,
+        runner: &HostRunner,
+        list: &LinkedList,
+        scratch: &mut RankScratch,
+    ) -> ErasedOutput;
+    /// Shard-parallel execution (generic stitched scan).
+    fn run_sharded(
+        &self,
+        list: &LinkedList,
+        shard_size: usize,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport);
+}
+
+/// A plain generic scan job: values + operator.
+struct ScanJob<T, Op> {
+    values: Arc<Vec<T>>,
+    op: Op,
+    kind: OpKind,
+}
+
+impl<T, Op> ScanExec for ScanJob<T, Op>
+where
+    T: Copy + Send + Sync + 'static,
+    Op: ScanOp<T> + Send + Sync + 'static,
+{
+    fn op_kind(&self) -> OpKind {
+        self.kind
+    }
+
+    fn elem_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+
+    fn check(&self, list: &LinkedList) -> bool {
+        self.values.len() == list.len()
+    }
+
+    fn run(
+        &self,
+        runner: &HostRunner,
+        list: &LinkedList,
+        scratch: &mut RankScratch,
+    ) -> ErasedOutput {
+        let mut out = Vec::new();
+        runner.scan_into(list, &self.values, &self.op, scratch, &mut out);
+        Box::new(out)
+    }
+
+    fn run_sharded(
+        &self,
+        list: &LinkedList,
+        shard_size: usize,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport) {
+        let mut out = Vec::new();
+        let report = listrank::host::scan_sharded_into(
+            list,
+            &self.values,
+            &self.op,
+            shard_size,
+            seed,
+            scratch,
+            &mut out,
+        );
+        (Box::new(out), report)
+    }
+}
+
+/// A segmented scan job: values are pre-wrapped with their segment
+/// flags (once, at request construction), scanned under the
+/// [`SegOp`] transform, and unwrapped back to plain values on the way
+/// out — so the caller's output type is `Vec<T>`, not an engine detail.
+struct SegScanJob<T, Op> {
+    wrapped: Arc<Vec<Segmented<T>>>,
+    starts: Arc<Vec<bool>>,
+    op: Op,
+}
+
+impl<T, Op> ScanExec for SegScanJob<T, Op>
+where
+    T: Copy + Send + Sync + 'static,
+    Op: ScanOp<T> + Clone + Send + Sync + 'static,
+{
+    fn op_kind(&self) -> OpKind {
+        OpKind::Segmented
+    }
+
+    fn elem_bytes(&self) -> usize {
+        std::mem::size_of::<Segmented<T>>()
+    }
+
+    fn check(&self, list: &LinkedList) -> bool {
+        self.wrapped.len() == list.len() && self.starts.len() == list.len()
+    }
+
+    fn run(
+        &self,
+        runner: &HostRunner,
+        list: &LinkedList,
+        scratch: &mut RankScratch,
+    ) -> ErasedOutput {
+        let seg = SegOp(self.op.clone());
+        let mut scanned = Vec::new();
+        runner.scan_into(list, &self.wrapped, &seg, scratch, &mut scanned);
+        Box::new(segmented::unwrap_exclusive(&scanned, &self.starts, &self.op))
+    }
+
+    fn run_sharded(
+        &self,
+        list: &LinkedList,
+        shard_size: usize,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport) {
+        let seg = SegOp(self.op.clone());
+        let mut scanned = Vec::new();
+        let report = listrank::host::scan_sharded_into(
+            list,
+            &self.wrapped,
+            &seg,
+            shard_size,
+            seed,
+            scratch,
+            &mut scanned,
+        );
+        (Box::new(segmented::unwrap_exclusive(&scanned, &self.starts, &self.op)), report)
+    }
+}
+
+/// What a job computes (internal, type-erased). Constructed only
+/// through the typed [`Request`] builders, which is what guarantees the
+/// handle's downcast always succeeds.
+#[derive(Clone)]
+pub(crate) enum JobSpec {
     /// List ranking of `list`.
     Rank {
         /// The list to rank (shared so many jobs can reference one
         /// workload list without copying).
         list: Arc<LinkedList>,
+        /// Route through the budget-aware shard-parallel plan branch.
+        sharded: bool,
     },
-    /// Exclusive `+`-scan of `values` along `list`.
-    ScanAdd {
+    /// Generic-operator scan along `list`.
+    Scan {
         /// The list to scan along.
         list: Arc<LinkedList>,
-        /// Per-vertex values (same length as the list).
-        values: Arc<Vec<i64>>,
+        /// The erased operator + values + output conversion.
+        exec: Arc<dyn ScanExec>,
+        /// Route through the budget-aware shard-parallel plan branch.
+        sharded: bool,
     },
-    /// List ranking of `list` through the shard-parallel path when it
-    /// exceeds the engine's per-worker budget (`EngineConfig::
-    /// shard_budget`); lists that fit run monolithically, exactly like
-    /// [`JobSpec::Rank`].
-    RankSharded {
-        /// The (typically huge) list to rank.
-        list: Arc<LinkedList>,
-    },
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JobSpec::{}(n = {}, sharded = {})", self.op_kind(), self.len(), self.sharded())
+    }
 }
 
 impl JobSpec {
     /// The list this job ranks or scans.
-    pub fn list(&self) -> &Arc<LinkedList> {
+    pub(crate) fn list(&self) -> &Arc<LinkedList> {
         match self {
-            JobSpec::Rank { list }
-            | JobSpec::ScanAdd { list, .. }
-            | JobSpec::RankSharded { list } => list,
+            JobSpec::Rank { list, .. } | JobSpec::Scan { list, .. } => list,
         }
     }
 
-    /// Number of vertices this job touches.
-    pub fn len(&self) -> usize {
+    /// Number of vertices this job touches (≥ 1: `listkit` lists cannot
+    /// be empty, so there is no empty-list branch anywhere downstream).
+    pub(crate) fn len(&self) -> usize {
         self.list().len()
     }
 
-    /// Whether the job is over an empty list (never valid — `listkit`
-    /// lists have ≥ 1 vertex).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Whether this job takes the budget-aware sharded plan branch.
+    pub(crate) fn sharded(&self) -> bool {
+        match self {
+            JobSpec::Rank { sharded, .. } | JobSpec::Scan { sharded, .. } => *sharded,
+        }
+    }
+
+    /// The op-kind dimension for the planner and stats.
+    pub(crate) fn op_kind(&self) -> OpKind {
+        match self {
+            JobSpec::Rank { .. } => OpKind::Rank,
+            JobSpec::Scan { exec, .. } => exec.op_kind(),
+        }
+    }
+
+    /// Bytes per produced element (the cost model's width input).
+    pub(crate) fn elem_bytes(&self) -> usize {
+        match self {
+            JobSpec::Rank { .. } => std::mem::size_of::<u64>(),
+            JobSpec::Scan { exec, .. } => exec.elem_bytes(),
+        }
     }
 
     /// Submit-time validation, shared by every submit path (blocking
     /// and non-blocking) and exhaustive over the variants, so a new
-    /// job kind cannot bypass it: a malformed spec is rejected here,
-    /// where the caller can handle the error, instead of panicking in a
-    /// worker far from the bug. Structural list invariants are already
-    /// enforced by `LinkedList` construction; what remains is the
-    /// cross-field consistency a spec can get wrong.
-    pub fn validate(&self) -> Result<(), SubmitError> {
+    /// request kind cannot bypass it: a malformed spec is rejected
+    /// here, where the caller can handle the error, instead of
+    /// panicking in a worker far from the bug. Structural list
+    /// invariants are already enforced by `LinkedList` construction;
+    /// what remains is the cross-field consistency a spec can get
+    /// wrong.
+    pub(crate) fn validate(&self) -> Result<(), SubmitError> {
         match self {
-            JobSpec::Rank { .. } | JobSpec::RankSharded { .. } => Ok(()),
-            JobSpec::ScanAdd { list, values } => {
-                if values.len() == list.len() {
+            JobSpec::Rank { .. } => Ok(()),
+            JobSpec::Scan { list, exec, .. } => {
+                if exec.check(list) {
                     Ok(())
                 } else {
                     Err(SubmitError::Invalid)
                 }
             }
         }
+    }
+}
+
+/// A typed engine request: what to compute, carrying its result type
+/// `R` so [`crate::Engine::submit`] can hand back a [`JobHandle<R>`]
+/// whose `wait()` returns the concrete payload directly.
+///
+/// Construct through the builders ([`Request::rank`],
+/// [`Request::scan`], [`Request::segmented_scan`],
+/// [`Request::rank_sharded`], [`Request::scan_sharded`]); requests are
+/// cheap to clone (all payload is shared via `Arc`), so one request can
+/// be submitted many times.
+pub struct Request<R> {
+    pub(crate) spec: JobSpec,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<R> Clone for Request<R> {
+    fn clone(&self) -> Self {
+        Request { spec: self.spec.clone(), _out: PhantomData }
+    }
+}
+
+impl<R> std::fmt::Debug for Request<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Request({:?})", self.spec)
+    }
+}
+
+impl<R> Request<R> {
+    fn new(spec: JobSpec) -> Self {
+        Request { spec, _out: PhantomData }
+    }
+
+    /// Number of vertices the request touches.
+    pub fn len(&self) -> usize {
+        self.spec.len()
+    }
+
+    /// Never empty: `listkit` lists have ≥ 1 vertex by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The op-kind classification this request will be dispatched and
+    /// accounted under.
+    pub fn op_kind(&self) -> OpKind {
+        self.spec.op_kind()
+    }
+}
+
+impl Request<Vec<u64>> {
+    /// List ranking of `list`; the handle resolves to the rank vector.
+    pub fn rank(list: Arc<LinkedList>) -> Self {
+        Self::new(JobSpec::Rank { list, sharded: false })
+    }
+
+    /// List ranking through the budget-aware shard-parallel path: lists
+    /// above `EngineConfig::shard_budget` split into cache-resident
+    /// shards, smaller ones run monolithically exactly like
+    /// [`Request::rank`].
+    pub fn rank_sharded(list: Arc<LinkedList>) -> Self {
+        Self::new(JobSpec::Rank { list, sharded: true })
+    }
+}
+
+impl<T: Copy + Send + Sync + 'static> Request<Vec<T>> {
+    fn scan_inner<Op>(list: Arc<LinkedList>, values: Arc<Vec<T>>, op: Op, sharded: bool) -> Self
+    where
+        Op: ScanOp<T> + Send + Sync + 'static,
+    {
+        let kind = classify_op::<Op>();
+        Self::new(JobSpec::Scan { list, exec: Arc::new(ScanJob { values, op, kind }), sharded })
+    }
+
+    fn segmented_inner<Op>(
+        list: Arc<LinkedList>,
+        values: Arc<Vec<T>>,
+        starts: Arc<Vec<bool>>,
+        op: Op,
+        sharded: bool,
+    ) -> Self
+    where
+        Op: ScanOp<T> + Clone + Send + Sync + 'static,
+    {
+        // A length mismatch cannot be wrapped; an empty wrapped array
+        // can never match a (≥ 1 vertex) list, so `validate` rejects it.
+        let wrapped = if values.len() == starts.len() {
+            Arc::new(segmented::wrap(&values, &starts))
+        } else {
+            Arc::new(Vec::new())
+        };
+        Self::new(JobSpec::Scan {
+            list,
+            exec: Arc::new(SegScanJob { wrapped, starts, op }),
+            sharded,
+        })
+    }
+
+    /// Exclusive scan of `values` along `list` under any associative
+    /// operator — the paper's generic list scan, end to end through the
+    /// engine. The handle resolves to the scanned values.
+    pub fn scan<Op>(list: Arc<LinkedList>, values: Arc<Vec<T>>, op: Op) -> Self
+    where
+        Op: ScanOp<T> + Send + Sync + 'static,
+    {
+        Self::scan_inner(list, values, op, false)
+    }
+
+    /// [`Request::scan`] through the budget-aware shard-parallel path
+    /// (generic stitched scan).
+    pub fn scan_sharded<Op>(list: Arc<LinkedList>, values: Arc<Vec<T>>, op: Op) -> Self
+    where
+        Op: ScanOp<T> + Send + Sync + 'static,
+    {
+        Self::scan_inner(list, values, op, true)
+    }
+
+    /// Exclusive **segmented** scan: restarts at every vertex whose
+    /// `starts` flag is set (the head always starts a segment). Values
+    /// are wrapped with their flags once here, scanned under the
+    /// flag-carrying [`SegOp`] transform, and unwrapped back, so the
+    /// handle resolves to plain `Vec<T>`.
+    ///
+    /// A `values`/`starts` length mismatch is caught at submit time
+    /// ([`SubmitError::Invalid`]), like every other malformed spec.
+    pub fn segmented_scan<Op>(
+        list: Arc<LinkedList>,
+        values: Arc<Vec<T>>,
+        starts: Arc<Vec<bool>>,
+        op: Op,
+    ) -> Self
+    where
+        Op: ScanOp<T> + Clone + Send + Sync + 'static,
+    {
+        Self::segmented_inner(list, values, starts, op, false)
+    }
+
+    /// [`Request::segmented_scan`] through the budget-aware
+    /// shard-parallel path: the flag-carrying [`SegOp`] transform is
+    /// associative (never commutative), which is exactly what the
+    /// stitched sharded scan preserves.
+    pub fn segmented_scan_sharded<Op>(
+        list: Arc<LinkedList>,
+        values: Arc<Vec<T>>,
+        starts: Arc<Vec<bool>>,
+        op: Op,
+    ) -> Self
+    where
+        Op: ScanOp<T> + Clone + Send + Sync + 'static,
+    {
+        Self::segmented_inner(list, values, starts, op, true)
     }
 }
 
@@ -90,46 +426,21 @@ impl Default for JobOptions {
     }
 }
 
-/// A finished job's output payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum JobOutput {
-    /// Ranks from a [`JobSpec::Rank`] job.
-    Ranks(Vec<u64>),
-    /// Scan values from a [`JobSpec::ScanAdd`] job.
-    Scan(Vec<i64>),
-}
-
-impl JobOutput {
-    /// The rank vector, if this is a ranking output.
-    pub fn ranks(&self) -> Option<&[u64]> {
-        match self {
-            JobOutput::Ranks(r) => Some(r),
-            JobOutput::Scan(_) => None,
-        }
-    }
-
-    /// The scan vector, if this is a scan output.
-    pub fn scan(&self) -> Option<&[i64]> {
-        match self {
-            JobOutput::Scan(s) => Some(s),
-            JobOutput::Ranks(_) => None,
-        }
-    }
-}
-
-/// A completed job: payload plus execution metadata.
+/// A completed job: the typed payload plus execution metadata.
 #[derive(Clone, Debug)]
-pub struct JobReport {
+pub struct JobReport<R> {
     /// Engine-assigned job id (submission order).
     pub id: u64,
     /// Vertices in the job's list.
     pub n: usize,
+    /// The operation kind the job was dispatched and accounted under.
+    pub op: OpKind,
     /// The algorithm the planner dispatched. For a job that ran the
     /// shard-parallel path this is the *stitch* phase's algorithm (the
-    /// shard-local phase is always the serial ranker per shard).
+    /// shard-local phase is always the serial walker per shard).
     pub algorithm: Algorithm,
     /// Shards the job was split into; `0` for a monolithic execution
-    /// (including `RankSharded` jobs that fit the budget).
+    /// (including sharded-path jobs that fit the budget).
     pub shards: usize,
     /// Nanoseconds the shard-parallel path spent in its stitch phase
     /// (`0` for monolithic executions).
@@ -140,8 +451,31 @@ pub struct JobReport {
     pub queued_ns: u64,
     /// Nanoseconds of execution.
     pub exec_ns: u64,
-    /// The result payload.
-    pub output: JobOutput,
+    /// The result payload — already the concrete type (`Vec<u64>` for
+    /// rankings, `Vec<T>` for scans over `T`).
+    pub output: R,
+}
+
+impl JobReport<ErasedOutput> {
+    /// Re-type the erased payload. Infallible by construction: the
+    /// typed [`Request`] builders are the only way to create a job, and
+    /// they pair the spec with the matching handle type.
+    fn downcast<R: 'static>(self) -> JobReport<R> {
+        let JobReport {
+            id,
+            n,
+            op,
+            algorithm,
+            shards,
+            stitch_ns,
+            batched,
+            queued_ns,
+            exec_ns,
+            output,
+        } = self;
+        let output = *output.downcast::<R>().expect("typed handle matches the job output type");
+        JobReport { id, n, op, algorithm, shards, stitch_ns, batched, queued_ns, exec_ns, output }
+    }
 }
 
 /// Why a job produced no result. There is no shutdown variant:
@@ -169,7 +503,7 @@ impl std::error::Error for JobError {}
 
 pub(crate) enum CellState {
     Pending,
-    Done(Result<JobReport, JobError>),
+    Done(Result<JobReport<ErasedOutput>, JobError>),
     /// The result was moved out by `wait`.
     Taken,
 }
@@ -189,7 +523,7 @@ impl JobCell {
     /// First completion wins; later attempts (e.g. a worker finishing a
     /// job that was cancelled mid-flight) are dropped. Returns whether
     /// this call's result landed.
-    pub(crate) fn complete(&self, result: Result<JobReport, JobError>) -> bool {
+    pub(crate) fn complete(&self, result: Result<JobReport<ErasedOutput>, JobError>) -> bool {
         let mut st = self.state.lock().expect("job cell poisoned");
         if matches!(*st, CellState::Pending) {
             *st = CellState::Done(result);
@@ -205,24 +539,28 @@ impl JobCell {
     }
 }
 
-/// Await/cancel handle returned by `Engine::submit`.
-pub struct JobHandle {
+/// Typed await/cancel handle returned by `Engine::submit`: `wait()`
+/// resolves directly to `JobReport<R>` with the concrete output type
+/// the request was built with.
+pub struct JobHandle<R> {
     pub(crate) id: u64,
     pub(crate) cell: Arc<JobCell>,
+    pub(crate) _out: PhantomData<fn() -> R>,
 }
 
-impl JobHandle {
+impl<R: 'static> JobHandle<R> {
     /// The engine-assigned job id.
     pub fn id(&self) -> u64 {
         self.id
     }
 
-    /// Block until the job finishes; consumes the handle.
-    pub fn wait(self) -> Result<JobReport, JobError> {
+    /// Block until the job finishes; consumes the handle and returns
+    /// the typed report.
+    pub fn wait(self) -> Result<JobReport<R>, JobError> {
         let mut st = self.cell.state.lock().expect("job cell poisoned");
         loop {
             match std::mem::replace(&mut *st, CellState::Taken) {
-                CellState::Done(result) => return result,
+                CellState::Done(result) => return result.map(JobReport::downcast),
                 prev @ CellState::Pending => {
                     *st = prev;
                     st = self.cell.done.wait(st).expect("job cell poisoned");

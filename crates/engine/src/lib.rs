@@ -1,34 +1,48 @@
 //! # engine — `rankd`, the batch execution subsystem
 //!
 //! The paper's algorithms (and this repo's `listrank` crate) answer "how
-//! fast can *one* list be ranked"; a serving system asks "how many
+//! fast can *one* list be scanned"; a serving system asks "how many
 //! ranking/scan *requests* per second can this machine sustain". `rankd`
-//! is the bridge:
+//! is the bridge, and its public boundary carries the paper's full
+//! generality: **any binary associative operator**, typed end to end.
 //!
+//! * **[`Request`]** — typed request builder: [`Request::rank`],
+//!   [`Request::scan`] (any [`listkit::ScanOp`], including
+//!   non-commutative ones), [`Request::segmented_scan`], and the
+//!   budget-aware sharded variants. The operator is type-erased
+//!   *inside* the engine; callers never see an output enum.
+//! * **[`JobHandle`]** — typed await/cancel handle: `wait()` on the
+//!   handle of a `Request<Vec<i64>>` returns `JobReport<Vec<i64>>`
+//!   directly.
 //! * **[`Engine`]** — a bounded job queue with blocking backpressure,
 //!   drained by a worker pool; each worker scopes an inner thread budget
 //!   for its jobs' data-parallel phases.
-//! * **[`Planner`]** — adaptive algorithm selection: the paper's cost
-//!   model as prior ([`rankmodel::predict::predict_best`]), refined by
-//!   measured per-size-bucket execution history, so tiny jobs go to the
-//!   serial ranker and big ones to Reid-Miller with a model-tuned `m`.
-//! * **small-job batching** — workers drain sibling small jobs in one
-//!   dequeue so fixed costs amortize across a batch.
-//! * **[`ScratchPool`]** — per-job O(n) working arrays are pooled and
-//!   reused through `listrank`'s `rank_into`/`scan_into` no-alloc entry
-//!   points instead of reallocated per job.
-//! * **[`EngineStats`]** — throughput, queue depth, per-algorithm
-//!   dispatch counts by job size, batching and pool hit rates.
+//! * **[`Planner`]** — adaptive algorithm selection keyed on job size
+//!   *and* operation kind ([`OpKind`]): the paper's cost model as prior
+//!   (op-width aware), refined by measured per-(size, op) execution
+//!   history.
+//! * **small-job batching**, **[`ScratchPool`]** buffer reuse, and
+//!   **[`EngineStats`]** — throughput, queue depth, dispatch matrices
+//!   by size and by op kind, per-op throughput.
 //!
 //! ```
-//! use engine::{Engine, JobSpec};
+//! use engine::{Engine, Request};
+//! use listkit::ops::MaxOp;
 //! use std::sync::Arc;
 //!
 //! let engine = Engine::with_defaults();
 //! let list = Arc::new(listkit::gen::random_list(10_000, 42));
-//! let handle = engine.submit(JobSpec::Rank { list: Arc::clone(&list) }).unwrap();
-//! let report = handle.wait().unwrap();
-//! assert_eq!(report.output.ranks().unwrap()[list.head() as usize], 0);
+//!
+//! // Ranking: the typed handle resolves straight to Vec<u64>.
+//! let ranks = engine.submit(Request::rank(Arc::clone(&list))).unwrap()
+//!     .wait().unwrap();
+//! assert_eq!(ranks.output[list.head() as usize], 0);
+//!
+//! // Any operator from `listkit::ops` — here a max-scan -> Vec<i64>.
+//! let values = Arc::new((0..10_000).map(|i| (i % 97) - 48).collect::<Vec<i64>>());
+//! let maxes = engine.submit(Request::scan(Arc::clone(&list), values, MaxOp)).unwrap()
+//!     .wait().unwrap();
+//! assert_eq!(maxes.output[list.head() as usize], i64::MIN); // head: identity
 //! println!("{}", engine.stats());
 //! ```
 
@@ -37,6 +51,7 @@
 
 mod engine;
 pub mod job;
+pub mod op;
 pub mod planner;
 pub mod pool;
 pub mod queue;
@@ -44,8 +59,9 @@ pub mod stats;
 pub mod workload;
 
 pub use crate::engine::{Engine, EngineConfig};
-pub use job::{JobError, JobHandle, JobOptions, JobOutput, JobReport, JobSpec};
+pub use job::{JobError, JobHandle, JobOptions, JobReport, Request};
+pub use op::OpKind;
 pub use planner::{Plan, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
-pub use stats::EngineStats;
+pub use stats::{EngineStats, OpThroughput};

@@ -1,0 +1,122 @@
+//! The operation-kind dimension of the engine's dispatch and stats.
+//!
+//! The paper's central claim is that list scan works for **any** binary
+//! associative operator; the typed request API ([`crate::Request`])
+//! admits them all. For adaptive dispatch and observability the engine
+//! still wants a small closed classification — different operators move
+//! different amounts of memory per vertex and therefore sit at
+//! different serial/parallel crossovers — so every request carries an
+//! [`OpKind`]: the well-known operators map to their own kind, anything
+//! else lands in [`OpKind::Other`] (still fully supported, just pooled
+//! in one history bucket).
+
+use listkit::ops::{AddOp, MaxOp, MinOp, XorOp};
+use std::any::TypeId;
+
+/// Classification of what a job computes, used as a dimension of the
+/// planner's EWMA history and the [`crate::EngineStats`] matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// List ranking (scan of all-ones by `+`).
+    Rank,
+    /// `+`-scan ([`listkit::ops::AddOp`]).
+    Add,
+    /// max-scan ([`listkit::ops::MaxOp`]).
+    Max,
+    /// min-scan ([`listkit::ops::MinOp`]).
+    Min,
+    /// xor-scan ([`listkit::ops::XorOp`]).
+    Xor,
+    /// Affine-composition scan ([`listkit::ops::AffineOp`],
+    /// non-commutative).
+    Affine,
+    /// Segmented scan of any inner operator
+    /// ([`listkit::segmented::SegOp`]).
+    Segmented,
+    /// Any other user-supplied [`listkit::ScanOp`] implementation.
+    Other,
+}
+
+impl OpKind {
+    /// All kinds, in display order.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::Rank,
+        OpKind::Add,
+        OpKind::Max,
+        OpKind::Min,
+        OpKind::Xor,
+        OpKind::Affine,
+        OpKind::Segmented,
+        OpKind::Other,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Rank => "rank",
+            OpKind::Add => "add",
+            OpKind::Max => "max",
+            OpKind::Min => "min",
+            OpKind::Xor => "xor",
+            OpKind::Affine => "affine",
+            OpKind::Segmented => "segmented",
+            OpKind::Other => "other",
+        }
+    }
+
+    /// Index into [`OpKind::ALL`]-shaped arrays.
+    pub(crate) fn index(&self) -> usize {
+        Self::ALL.iter().position(|k| k == self).expect("kind in ALL")
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classify a scan operator by its `TypeId`; anything outside the
+/// well-known `listkit::ops` set is [`OpKind::Other`] (still fully
+/// supported — it just pools into one history/stats bucket).
+pub(crate) fn classify_op<Op: 'static>() -> OpKind {
+    let t = TypeId::of::<Op>();
+    if t == TypeId::of::<AddOp>() {
+        OpKind::Add
+    } else if t == TypeId::of::<MaxOp>() {
+        OpKind::Max
+    } else if t == TypeId::of::<MinOp>() {
+        OpKind::Min
+    } else if t == TypeId::of::<XorOp>() {
+        OpKind::Xor
+    } else if t == TypeId::of::<listkit::ops::AffineOp>() {
+        OpKind::Affine
+    } else {
+        OpKind::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use listkit::ops::AffineOp;
+
+    #[test]
+    fn known_ops_classify_to_their_kind() {
+        assert_eq!(classify_op::<AddOp>(), OpKind::Add);
+        assert_eq!(classify_op::<MaxOp>(), OpKind::Max);
+        assert_eq!(classify_op::<MinOp>(), OpKind::Min);
+        assert_eq!(classify_op::<XorOp>(), OpKind::Xor);
+        assert_eq!(classify_op::<AffineOp>(), OpKind::Affine);
+        struct Custom;
+        assert_eq!(classify_op::<Custom>(), OpKind::Other);
+    }
+
+    #[test]
+    fn indices_cover_all() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(format!("{}", OpKind::Segmented), "segmented");
+    }
+}

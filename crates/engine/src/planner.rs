@@ -2,16 +2,17 @@
 //!
 //! The planner decides, per job, which of the five algorithms to run and
 //! (for Reid-Miller) which split count `m` to use. Its prior is the
-//! paper's cost model ([`rankmodel::predict::predict_best`]); as jobs
-//! complete it folds measured per-element times into per-size-bucket
-//! EWMAs and a global cycles→nanoseconds calibration, so the dispatch
-//! threshold migrates to wherever *this* machine's crossover actually
-//! sits — the multi-decoder dispatch idea: route each request to the
-//! decoder that is cheapest **for that request**, not to one global
-//! winner.
+//! paper's cost model ([`rankmodel::predict::predict_best_op`], keyed on
+//! the job's value width); as jobs complete it folds measured
+//! per-element times into per-(size bucket × **op kind**) EWMAs, so the
+//! dispatch threshold migrates to wherever *this* machine's crossover
+//! actually sits **for that operator** — a wide affine-composition scan
+//! moves twice the memory of a ranking and can cross over at a
+//! different size, and their histories must not contaminate each other.
 
+use crate::op::OpKind;
 use listrank::Algorithm;
-use rankmodel::predict::{predict_best, AlgChoice};
+use rankmodel::predict::{predict_best_op, AlgChoice};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -19,6 +20,7 @@ use std::sync::Mutex;
 /// Size buckets are powers of two: bucket `b` holds `2^(b-1) ≤ n < 2^b`.
 const BUCKETS: usize = usize::BITS as usize + 1;
 const ALGS: usize = Algorithm::ALL.len();
+const OPS: usize = OpKind::ALL.len();
 
 /// EWMA smoothing factor for new measurements.
 const ALPHA: f64 = 0.25;
@@ -44,14 +46,14 @@ pub struct Plan {
     pub m: Option<usize>,
 }
 
-/// The plan branch for `JobSpec::RankSharded`: lists that fit the
-/// per-worker budget fall back to the ordinary monolithic dispatch,
-/// larger ones go to the shard-parallel path with a balanced shard
-/// size from the cost model.
+/// The plan branch for sharded requests: lists that fit the per-worker
+/// budget fall back to the ordinary monolithic dispatch, larger ones go
+/// to the shard-parallel path with a balanced shard size from the cost
+/// model.
 #[derive(Clone, Copy, Debug)]
 pub enum ShardDecision {
     /// The list fits one worker's budget (or the caller pinned an
-    /// algorithm): run it like a plain `Rank` job.
+    /// algorithm): run it like a plain monolithic job.
     Monolithic(Plan),
     /// Split into shards of `shard_size` vertices.
     Sharded {
@@ -72,11 +74,14 @@ struct Ewma {
 pub struct Planner {
     /// Parallelism available to a single job.
     p: usize,
-    /// Measured per-element times by (bucket, algorithm).
-    measured: Mutex<Vec<[Ewma; ALGS]>>,
+    /// Measured per-element times by (bucket, op kind, algorithm).
+    measured: Mutex<Vec<[[Ewma; ALGS]; OPS]>>,
     /// Dispatch counts by (bucket, algorithm) — the stats surface that
     /// makes "different algorithms by job size" visible.
     dispatched: Vec<[AtomicU64; ALGS]>,
+    /// Dispatch counts by (op kind, algorithm) — the op dimension of
+    /// the stats surface.
+    dispatched_by_op: Vec<[AtomicU64; ALGS]>,
     /// Cached tuned Reid-Miller `m` per bucket.
     tuned_m: Mutex<HashMap<usize, usize>>,
 }
@@ -86,48 +91,60 @@ impl Planner {
     pub fn new(p: usize) -> Self {
         Planner {
             p: p.max(1),
-            measured: Mutex::new(vec![[Ewma::default(); ALGS]; BUCKETS]),
+            measured: Mutex::new(vec![[[Ewma::default(); ALGS]; OPS]; BUCKETS]),
             dispatched: (0..BUCKETS).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect(),
+            dispatched_by_op: (0..OPS)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
             tuned_m: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Choose the algorithm (and `m`) for an `n`-vertex job. `pinned`
-    /// overrides adaptivity (but still records the dispatch).
-    pub fn choose(&self, n: usize, pinned: Option<Algorithm>) -> Plan {
-        let algorithm = pinned.unwrap_or_else(|| self.adaptive_choice(n));
+    /// Choose the algorithm (and `m`) for an `n`-vertex job computing
+    /// `op` over `elem_bytes`-byte values. `pinned` overrides
+    /// adaptivity (but still records the dispatch).
+    pub fn choose(
+        &self,
+        n: usize,
+        op: OpKind,
+        elem_bytes: usize,
+        pinned: Option<Algorithm>,
+    ) -> Plan {
+        let algorithm = pinned.unwrap_or_else(|| self.adaptive_choice(n, op, elem_bytes));
         self.dispatched[bucket_of(n)][alg_index(algorithm)].fetch_add(1, Ordering::Relaxed);
+        self.dispatched_by_op[op.index()][alg_index(algorithm)].fetch_add(1, Ordering::Relaxed);
         let m = if algorithm == Algorithm::ReidMiller { self.tuned_m(n) } else { None };
         Plan { algorithm, m }
     }
 
     /// Cold-start prior. The `rankmodel` prediction locates the size
-    /// threshold below which startup costs dominate (→ Serial); above
-    /// it, the host's only *work-efficient* parallel algorithm is
-    /// Reid-Miller, so every parallel pick maps there. (The C90 model
-    /// can prefer the random-mate algorithms because vector hardware
-    /// runs them wide even at `p = 1`; a multicore host has no such
-    /// discount, and on one thread nothing beats Serial — mirroring the
-    /// paper's own Fig. 1 ordering.)
-    fn prior_choice(&self, n: usize) -> Algorithm {
+    /// threshold below which startup costs dominate (→ Serial) for the
+    /// job's value width; above it, the host's only *work-efficient*
+    /// parallel algorithm is Reid-Miller, so every parallel pick maps
+    /// there. (The C90 model can prefer the random-mate algorithms
+    /// because vector hardware runs them wide even at `p = 1`; a
+    /// multicore host has no such discount, and on one thread nothing
+    /// beats Serial — mirroring the paper's own Fig. 1 ordering.)
+    fn prior_choice(&self, n: usize, elem_bytes: usize) -> Algorithm {
         if self.p < 2 {
             return Algorithm::Serial;
         }
-        match predict_best(n, self.p) {
+        match predict_best_op(n, self.p, elem_bytes) {
             AlgChoice::Serial => Algorithm::Serial,
             _ => Algorithm::ReidMiller,
         }
     }
 
-    fn adaptive_choice(&self, n: usize) -> Algorithm {
+    fn adaptive_choice(&self, n: usize, op: OpKind, elem_bytes: usize) -> Algorithm {
         let b = bucket_of(n);
-        let prior = self.prior_choice(n);
+        let prior = self.prior_choice(n, elem_bytes);
         let measured = self.measured.lock().expect("planner poisoned");
-        let serial = measured[b][alg_index(Algorithm::Serial)];
-        let rm = measured[b][alg_index(Algorithm::ReidMiller)];
+        let serial = measured[b][op.index()][alg_index(Algorithm::Serial)];
+        let rm = measured[b][op.index()][alg_index(Algorithm::ReidMiller)];
         drop(measured);
         match (serial.samples, rm.samples) {
-            // Nothing measured in this bucket yet: trust the model.
+            // Nothing measured for this (bucket, op) yet: trust the
+            // model.
             (0, 0) => prior,
             // One contender unmeasured. If it is the *prior* that lacks
             // a sample (e.g. the measured one arrived via a pinned
@@ -168,20 +185,22 @@ impl Planner {
         }
     }
 
-    /// The plan branch for sharded ranking jobs. Budget-aware: a list
-    /// of at most `budget` vertices is dispatched monolithically
-    /// through [`Self::choose`]; a pinned algorithm also forces the
-    /// monolithic path (pinning means "run exactly this backend").
-    /// Above the budget, [`rankmodel::predict::shard_size_for`]
-    /// balances the shard size over the job's thread budget.
+    /// The plan branch for sharded requests. Budget-aware: a list of at
+    /// most `budget` vertices is dispatched monolithically through
+    /// [`Self::choose`]; a pinned algorithm also forces the monolithic
+    /// path (pinning means "run exactly this backend"). Above the
+    /// budget, [`rankmodel::predict::shard_size_for`] balances the
+    /// shard size over the job's thread budget.
     pub fn choose_sharded(
         &self,
         n: usize,
         budget: usize,
+        op: OpKind,
+        elem_bytes: usize,
         pinned: Option<Algorithm>,
     ) -> ShardDecision {
         if pinned.is_some() || n <= budget.max(1) {
-            return ShardDecision::Monolithic(self.choose(n, pinned));
+            return ShardDecision::Monolithic(self.choose(n, op, elem_bytes, pinned));
         }
         let shard_size = rankmodel::predict::shard_size_for(n, budget, self.p);
         // Sharded executions are counted at completion time by the
@@ -209,14 +228,14 @@ impl Planner {
         Some(m.clamp(floor.min(n / 4), (n / 4).max(1)).max(2))
     }
 
-    /// Fold one completed job into the history.
-    pub fn record(&self, n: usize, alg: Algorithm, exec_ns: u64) {
+    /// Fold one completed job into the (bucket, op) history.
+    pub fn record(&self, n: usize, op: OpKind, alg: Algorithm, exec_ns: u64) {
         if n == 0 {
             return;
         }
         let per_elem = exec_ns as f64 / n as f64;
         let mut measured = self.measured.lock().expect("planner poisoned");
-        let e = &mut measured[bucket_of(n)][alg_index(alg)];
+        let e = &mut measured[bucket_of(n)][op.index()][alg_index(alg)];
         e.ns_per_elem = if e.samples == 0 {
             per_elem
         } else {
@@ -250,11 +269,31 @@ impl Planner {
         }
         rows
     }
+
+    /// Non-empty rows of the (op kind × algorithm) dispatch matrix.
+    pub fn dispatch_by_op(&self) -> Vec<(OpKind, [u64; ALGS])> {
+        let mut rows = Vec::new();
+        for (k, row) in self.dispatched_by_op.iter().enumerate() {
+            let counts: [u64; ALGS] = std::array::from_fn(|i| row[i].load(Ordering::Relaxed));
+            if counts.iter().any(|&c| c > 0) {
+                rows.push((OpKind::ALL[k], counts));
+            }
+        }
+        rows
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The default dimension most tests dispatch under.
+    const RANK: OpKind = OpKind::Rank;
+    const RB: usize = 8;
+
+    fn choose1(planner: &Planner, n: usize, pinned: Option<Algorithm>) -> Plan {
+        planner.choose(n, RANK, RB, pinned)
+    }
 
     #[test]
     fn buckets_are_powers_of_two() {
@@ -267,8 +306,8 @@ mod tests {
     #[test]
     fn prior_dispatches_by_size() {
         let planner = Planner::new(4);
-        assert_eq!(planner.choose(100, None).algorithm, Algorithm::Serial);
-        let big = planner.choose(2_000_000, None);
+        assert_eq!(choose1(&planner, 100, None).algorithm, Algorithm::Serial);
+        let big = choose1(&planner, 2_000_000, None);
         assert_eq!(big.algorithm, Algorithm::ReidMiller);
         // Tuned m is within the host over-decomposition bounds.
         let m = big.m.expect("reid-miller gets a tuned m");
@@ -281,10 +320,40 @@ mod tests {
         let n = 1 << 20;
         // Feed history claiming serial is far cheaper in this bucket.
         for _ in 0..8 {
-            planner.record(n, Algorithm::Serial, 1_000);
-            planner.record(n, Algorithm::ReidMiller, 1_000_000_000);
+            planner.record(n, RANK, Algorithm::Serial, 1_000);
+            planner.record(n, RANK, Algorithm::ReidMiller, 1_000_000_000);
         }
-        assert_eq!(planner.choose(n, None).algorithm, Algorithm::Serial);
+        assert_eq!(choose1(&planner, n, None).algorithm, Algorithm::Serial);
+    }
+
+    #[test]
+    fn history_is_keyed_per_op_kind() {
+        // Rank history claiming Serial wins must not leak into the
+        // affine dimension of the same bucket: affine still follows its
+        // own (parallel) prior, and once affine history lands it drives
+        // affine dispatch independently.
+        let planner = Planner::new(4);
+        let n = 1 << 21;
+        for _ in 0..8 {
+            planner.record(n, OpKind::Rank, Algorithm::Serial, 1_000);
+            planner.record(n, OpKind::Rank, Algorithm::ReidMiller, 1_000_000_000);
+        }
+        assert_eq!(planner.choose(n, OpKind::Rank, 8, None).algorithm, Algorithm::Serial);
+        assert_eq!(
+            planner.choose(n, OpKind::Affine, 16, None).algorithm,
+            Algorithm::ReidMiller,
+            "affine dimension starts from its own prior"
+        );
+        for _ in 0..8 {
+            planner.record(n, OpKind::Affine, Algorithm::Serial, 2_000_000_000);
+            planner.record(n, OpKind::Affine, Algorithm::ReidMiller, 1_000);
+        }
+        assert_eq!(planner.choose(n, OpKind::Affine, 16, None).algorithm, Algorithm::ReidMiller);
+        assert_eq!(
+            planner.choose(n, OpKind::Rank, 8, None).algorithm,
+            Algorithm::Serial,
+            "rank dimension unchanged by affine history"
+        );
     }
 
     #[test]
@@ -294,9 +363,9 @@ mod tests {
         // (Serial on a 1-thread engine) rather than the stray sample.
         let planner = Planner::new(1);
         let n = 1 << 14;
-        planner.record(n, Algorithm::ReidMiller, 1_000);
+        planner.record(n, RANK, Algorithm::ReidMiller, 1_000);
         for _ in 0..8 {
-            assert_eq!(planner.choose(n, None).algorithm, Algorithm::Serial);
+            assert_eq!(choose1(&planner, n, None).algorithm, Algorithm::Serial);
         }
     }
 
@@ -307,12 +376,12 @@ mod tests {
         // measured history says Reid-Miller is cheaper there.
         let planner = Planner::new(4);
         let n = 100;
-        assert_eq!(planner.choose(n, None).algorithm, Algorithm::Serial, "prior");
+        assert_eq!(choose1(&planner, n, None).algorithm, Algorithm::Serial, "prior");
         for _ in 0..8 {
-            planner.record(n, Algorithm::Serial, 1_000_000);
-            planner.record(n, Algorithm::ReidMiller, 1_000);
+            planner.record(n, RANK, Algorithm::Serial, 1_000_000);
+            planner.record(n, RANK, Algorithm::ReidMiller, 1_000);
         }
-        assert_eq!(planner.choose(n, None).algorithm, Algorithm::ReidMiller);
+        assert_eq!(choose1(&planner, n, None).algorithm, Algorithm::ReidMiller);
     }
 
     #[test]
@@ -322,13 +391,13 @@ mod tests {
         // initial 100× gap well within 20 observations).
         let planner = Planner::new(4);
         let n = 1 << 20;
-        planner.record(n, Algorithm::Serial, 100_000_000); // outlier: 100ns/elem
+        planner.record(n, RANK, Algorithm::Serial, 100_000_000); // outlier: 100ns/elem
         for _ in 0..20 {
-            planner.record(n, Algorithm::Serial, 1_000_000); // steady: 1ns/elem
+            planner.record(n, RANK, Algorithm::Serial, 1_000_000); // steady: 1ns/elem
         }
-        planner.record(n, Algorithm::ReidMiller, 10_000_000); // 10ns/elem
+        planner.record(n, RANK, Algorithm::ReidMiller, 10_000_000); // 10ns/elem
         assert_eq!(
-            planner.choose(n, None).algorithm,
+            choose1(&planner, n, None).algorithm,
             Algorithm::Serial,
             "EWMA must have converged below Reid-Miller's 10ns/elem"
         );
@@ -341,10 +410,10 @@ mod tests {
         // must go to the unmeasured algorithm so history covers both.
         let planner = Planner::new(4);
         let n = 2_000_000;
-        assert_eq!(planner.choose(n, None).algorithm, Algorithm::ReidMiller);
-        planner.record(n, Algorithm::ReidMiller, 1_000);
+        assert_eq!(choose1(&planner, n, None).algorithm, Algorithm::ReidMiller);
+        planner.record(n, RANK, Algorithm::ReidMiller, 1_000);
         let picks: Vec<Algorithm> =
-            (0..2 * PROBE_EVERY).map(|_| planner.choose(n, None).algorithm).collect();
+            (0..2 * PROBE_EVERY).map(|_| choose1(&planner, n, None).algorithm).collect();
         let serial = picks.iter().filter(|&&a| a == Algorithm::Serial).count();
         assert!(serial >= 1, "no probe of the unmeasured contender in {picks:?}");
         assert!(
@@ -363,16 +432,16 @@ mod tests {
         assert_eq!(bucket_of(1 << 14), bucket_of((1 << 15) - 1));
         let planner = Planner::new(4);
         for _ in 0..8 {
-            planner.record(1 << 14, Algorithm::Serial, 1_000_000_000);
-            planner.record(1 << 14, Algorithm::ReidMiller, 1_000);
+            planner.record(1 << 14, RANK, Algorithm::Serial, 1_000_000_000);
+            planner.record(1 << 14, RANK, Algorithm::ReidMiller, 1_000);
         }
-        assert_eq!(planner.choose(1 << 14, None).algorithm, Algorithm::ReidMiller);
-        assert_eq!(planner.choose((1 << 15) - 1, None).algorithm, Algorithm::ReidMiller);
+        assert_eq!(choose1(&planner, 1 << 14, None).algorithm, Algorithm::ReidMiller);
+        assert_eq!(choose1(&planner, (1 << 15) - 1, None).algorithm, Algorithm::ReidMiller);
         // The bucket below holds no history: prior (Serial at 4 threads
         // for 2^14 - 1 vertices? the model decides — but stably).
-        let below = planner.choose((1 << 14) - 1, None).algorithm;
+        let below = choose1(&planner, (1 << 14) - 1, None).algorithm;
         for _ in 0..4 {
-            assert_eq!(planner.choose((1 << 14) - 1, None).algorithm, below);
+            assert_eq!(choose1(&planner, (1 << 14) - 1, None).algorithm, below);
         }
     }
 
@@ -381,12 +450,12 @@ mod tests {
         let planner = Planner::new(4);
         let budget = 1 << 20;
         // Fits: monolithic, and not counted as a sharded dispatch.
-        match planner.choose_sharded(budget, budget, None) {
+        match planner.choose_sharded(budget, budget, RANK, RB, None) {
             ShardDecision::Monolithic(_) => {}
             other => panic!("expected monolithic fallback, got {other:?}"),
         }
         // Above budget: sharded, balanced, within budget.
-        match planner.choose_sharded(10 * budget + 17, budget, None) {
+        match planner.choose_sharded(10 * budget + 17, budget, RANK, RB, None) {
             ShardDecision::Sharded { shard_size, shards } => {
                 assert!(shard_size <= budget);
                 assert_eq!(shards, (10 * budget + 17usize).div_ceil(shard_size));
@@ -394,7 +463,7 @@ mod tests {
             other => panic!("expected sharded dispatch, got {other:?}"),
         }
         // Pinning forces the monolithic path even above budget.
-        match planner.choose_sharded(10 * budget, budget, Some(Algorithm::Wyllie)) {
+        match planner.choose_sharded(10 * budget, budget, RANK, RB, Some(Algorithm::Wyllie)) {
             ShardDecision::Monolithic(plan) => assert_eq!(plan.algorithm, Algorithm::Wyllie),
             other => panic!("pinned must be monolithic, got {other:?}"),
         }
@@ -403,8 +472,23 @@ mod tests {
     #[test]
     fn pinned_overrides_everything() {
         let planner = Planner::new(4);
-        assert_eq!(planner.choose(100, Some(Algorithm::Wyllie)).algorithm, Algorithm::Wyllie);
+        assert_eq!(choose1(&planner, 100, Some(Algorithm::Wyllie)).algorithm, Algorithm::Wyllie);
         let totals = planner.dispatch_totals();
         assert_eq!(totals[alg_index(Algorithm::Wyllie)], 1);
+    }
+
+    #[test]
+    fn op_dispatch_matrix_tracks_kinds() {
+        let planner = Planner::new(4);
+        planner.choose(100, OpKind::Rank, 8, None);
+        planner.choose(100, OpKind::Max, 8, None);
+        planner.choose(100, OpKind::Max, 8, None);
+        let rows = planner.dispatch_by_op();
+        let get = |k: OpKind| {
+            rows.iter().find(|(op, _)| *op == k).map(|(_, c)| c.iter().sum::<u64>()).unwrap_or(0)
+        };
+        assert_eq!(get(OpKind::Rank), 1);
+        assert_eq!(get(OpKind::Max), 2);
+        assert_eq!(get(OpKind::Xor), 0);
     }
 }

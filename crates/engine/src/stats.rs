@@ -1,10 +1,21 @@
 //! Engine metrics: counters, snapshot, and the printable report.
 
+use crate::op::OpKind;
 use crate::planner::Planner;
 use crate::pool::PoolStats;
 use listrank::Algorithm;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+const OPS: usize = OpKind::ALL.len();
+
+/// Per-op-kind live counters.
+#[derive(Debug, Default)]
+pub(crate) struct OpCounters {
+    pub(crate) completed: AtomicU64,
+    pub(crate) elements: AtomicU64,
+    pub(crate) exec_ns: AtomicU64,
+}
 
 /// Live counters (atomics; updated by workers and submitters).
 #[derive(Debug)]
@@ -22,6 +33,8 @@ pub(crate) struct Counters {
     pub(crate) sharded_jobs: AtomicU64,
     pub(crate) shards_ranked: AtomicU64,
     pub(crate) stitch_ns: AtomicU64,
+    /// Indexed by [`OpKind::ALL`] order.
+    pub(crate) per_op: [OpCounters; OPS],
 }
 
 impl Counters {
@@ -40,6 +53,43 @@ impl Counters {
             sharded_jobs: AtomicU64::new(0),
             shards_ranked: AtomicU64::new(0),
             stitch_ns: AtomicU64::new(0),
+            per_op: Default::default(),
+        }
+    }
+}
+
+/// Per-op-kind throughput snapshot (one row of the stats surface's op
+/// dimension).
+#[derive(Clone, Copy, Debug)]
+pub struct OpThroughput {
+    /// The operation kind.
+    pub op: OpKind,
+    /// Jobs of this kind completed.
+    pub completed: u64,
+    /// Vertices processed by jobs of this kind.
+    pub elements: u64,
+    /// Total execution nanoseconds of jobs of this kind.
+    pub exec_ns: u64,
+}
+
+impl OpThroughput {
+    /// Mean execution nanoseconds per element.
+    pub fn ns_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.exec_ns as f64 / self.elements as f64
+        }
+    }
+
+    /// Elements per second of execution time (per-worker rate: sums
+    /// over workers, so it exceeds wall-clock throughput when several
+    /// workers run this kind concurrently).
+    pub fn elements_per_exec_sec(&self) -> f64 {
+        if self.exec_ns == 0 {
+            0.0
+        } else {
+            self.elements as f64 / (self.exec_ns as f64 / 1e9)
         }
     }
 }
@@ -86,6 +136,12 @@ pub struct EngineStats {
     pub dispatch: [u64; Algorithm::ALL.len()],
     /// Non-empty `(bucket upper bound, dispatch counts)` rows.
     pub dispatch_by_bucket: Vec<(usize, [u64; Algorithm::ALL.len()])>,
+    /// Non-empty `(op kind, dispatch counts)` rows — which algorithms
+    /// served which operators.
+    pub dispatch_by_op: Vec<(OpKind, [u64; Algorithm::ALL.len()])>,
+    /// Per-op-kind completion/throughput rows (non-empty kinds only,
+    /// [`OpKind::ALL`] order).
+    pub per_op: Vec<OpThroughput>,
     /// Scratch-pool statistics.
     pub pool: PoolStats,
 }
@@ -99,6 +155,20 @@ impl EngineStats {
         queue_depth: usize,
         peak_queue_depth: usize,
     ) -> Self {
+        let per_op = OpKind::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &op)| {
+                let c = &counters.per_op[i];
+                let row = OpThroughput {
+                    op,
+                    completed: c.completed.load(Ordering::Relaxed),
+                    elements: c.elements.load(Ordering::Relaxed),
+                    exec_ns: c.exec_ns.load(Ordering::Relaxed),
+                };
+                (row.completed > 0).then_some(row)
+            })
+            .collect();
         EngineStats {
             uptime_s: started.elapsed().as_secs_f64(),
             submitted: counters.submitted.load(Ordering::Relaxed),
@@ -118,6 +188,8 @@ impl EngineStats {
             peak_queue_depth,
             dispatch: planner.dispatch_totals(),
             dispatch_by_bucket: planner.dispatch_by_bucket(),
+            dispatch_by_op: planner.dispatch_by_op(),
+            per_op,
             pool,
         }
     }
@@ -212,6 +284,20 @@ impl std::fmt::Display for EngineStats {
                 self.stitch_ns as f64 / 1e6
             )?;
         }
+        if !self.per_op.is_empty() {
+            writeln!(f, "by op (execution-time rates, summed across workers):")?;
+            for row in &self.per_op {
+                writeln!(
+                    f,
+                    "  {:>10}: {:>8} jobs, {:>8} elems, {:>8} elem/s, {:.2} ns/elem",
+                    row.op.name(),
+                    row.completed,
+                    format_count(row.elements as f64),
+                    format_count(row.elements_per_exec_sec()),
+                    row.ns_per_element()
+                )?;
+            }
+        }
         writeln!(f, "dispatch by size (rows are job-size upper bounds):")?;
         write!(f, "  {:>12}", "n <")?;
         for alg in Algorithm::ALL {
@@ -229,6 +315,17 @@ impl std::fmt::Display for EngineStats {
         for c in &self.dispatch {
             write!(f, " {c:>15}")?;
         }
-        writeln!(f)
+        writeln!(f)?;
+        if !self.dispatch_by_op.is_empty() {
+            writeln!(f, "dispatch by op:")?;
+            for (op, counts) in &self.dispatch_by_op {
+                write!(f, "  {:>12}", op.name())?;
+                for c in counts {
+                    write!(f, " {c:>15}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
     }
 }

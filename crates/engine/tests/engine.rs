@@ -1,11 +1,13 @@
 //! Integration tests: engine results must be byte-identical to direct
 //! `HostRunner` results, under concurrency, batching, cancellation and
-//! backpressure; and the adaptive planner must demonstrably dispatch
-//! different algorithms by job size.
+//! backpressure; the adaptive planner must demonstrably dispatch
+//! different algorithms by job size; and the typed request API must
+//! route **every** `listkit::ops` operator through the engine.
 
-use engine::{Engine, EngineConfig, JobError, JobOptions, JobSpec};
+use engine::{Engine, EngineConfig, JobError, JobOptions, OpKind, Request};
 use listkit::gen;
-use listkit::ops::AddOp;
+use listkit::ops::{AddOp, Affine, AffineOp, MaxOp, MinOp, XorOp};
+use listkit::segmented;
 use listrank::{Algorithm, HostRunner};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
@@ -32,31 +34,92 @@ fn engine_matches_host_runner_all_algorithms_and_sizes() {
         for alg in Algorithm::ALL {
             let seed = 0x1994 ^ n as u64;
             let opts = JobOptions { seed, algorithm: Some(alg) };
-            let rank_handle = engine
-                .submit_with(JobSpec::Rank { list: Arc::clone(&list) }, opts)
-                .expect("submit rank");
+            let rank_handle =
+                engine.submit_with(Request::rank(Arc::clone(&list)), opts).expect("submit rank");
             let scan_handle = engine
-                .submit_with(
-                    JobSpec::ScanAdd { list: Arc::clone(&list), values: Arc::clone(&values) },
-                    opts,
-                )
+                .submit_with(Request::scan(Arc::clone(&list), Arc::clone(&values), AddOp), opts)
                 .expect("submit scan");
 
             let runner = HostRunner::new(alg).with_seed(seed);
             let rank_report = rank_handle.wait().expect("rank completes");
             assert_eq!(rank_report.algorithm, alg);
-            assert_eq!(
-                rank_report.output.ranks().expect("rank output"),
-                runner.rank(&list).as_slice(),
-                "rank parity: {alg} n={n}"
-            );
+            assert_eq!(rank_report.op, OpKind::Rank);
+            assert_eq!(rank_report.output, runner.rank(&list), "rank parity: {alg} n={n}");
             let scan_report = scan_handle.wait().expect("scan completes");
+            assert_eq!(scan_report.op, OpKind::Add);
             assert_eq!(
-                scan_report.output.scan().expect("scan output"),
-                runner.scan(&list, &values, &AddOp).as_slice(),
+                scan_report.output,
+                runner.scan(&list, &values, &AddOp),
                 "scan parity: {alg} n={n}"
             );
         }
+    }
+}
+
+#[test]
+fn every_operator_routes_through_the_typed_api() {
+    // The tentpole claim: every `listkit::ops` operator — plus a
+    // segmented and a non-commutative case — is submittable through the
+    // typed request API and agrees with the serial oracle, with no
+    // output enum to unwrap anywhere.
+    let engine = shared_engine();
+    for &n in &[1usize, 2, 257, 5000] {
+        let list = Arc::new(gen::random_list(n, 0xA11 ^ n as u64));
+        let i64s = values_for(n);
+        let u64s: Arc<Vec<u64>> = Arc::new((0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect());
+        let affs: Arc<Vec<Affine>> =
+            Arc::new((0..n as i64).map(|i| Affine::new((i % 5) - 2, i % 9)).collect());
+        let starts: Arc<Vec<bool>> = Arc::new((0..n).map(|v| v % 13 == 0).collect());
+
+        let add =
+            engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), AddOp)).unwrap();
+        let max =
+            engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), MaxOp)).unwrap();
+        let min =
+            engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), MinOp)).unwrap();
+        let xor =
+            engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&u64s), XorOp)).unwrap();
+        let aff =
+            engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&affs), AffineOp)).unwrap();
+        let seg = engine
+            .submit(Request::segmented_scan(
+                Arc::clone(&list),
+                Arc::clone(&i64s),
+                Arc::clone(&starts),
+                AddOp,
+            ))
+            .unwrap();
+
+        assert_eq!(add.wait().unwrap().output, listkit::serial::scan(&list, &i64s, &AddOp));
+        assert_eq!(max.wait().unwrap().output, listkit::serial::scan(&list, &i64s, &MaxOp));
+        assert_eq!(min.wait().unwrap().output, listkit::serial::scan(&list, &i64s, &MinOp));
+        assert_eq!(xor.wait().unwrap().output, listkit::serial::scan(&list, &u64s, &XorOp));
+        let aff_report = aff.wait().unwrap();
+        assert_eq!(aff_report.op, OpKind::Affine);
+        assert_eq!(aff_report.output, listkit::serial::scan(&list, &affs, &AffineOp));
+        let seg_report = seg.wait().unwrap();
+        assert_eq!(seg_report.op, OpKind::Segmented);
+        assert_eq!(
+            seg_report.output,
+            segmented::serial_segmented_scan(&list, &i64s, &starts, &AddOp)
+        );
+    }
+    // The op dimension shows up in the stats surface.
+    let stats = shared_engine().stats();
+    for kind in
+        [OpKind::Add, OpKind::Max, OpKind::Min, OpKind::Xor, OpKind::Affine, OpKind::Segmented]
+    {
+        assert!(
+            stats.per_op.iter().any(|row| row.op == kind && row.completed > 0),
+            "{kind} missing from per-op stats"
+        );
+        assert!(
+            stats
+                .dispatch_by_op
+                .iter()
+                .any(|(op, counts)| *op == kind && counts.iter().sum::<u64>() > 0),
+            "{kind} missing from the op dispatch matrix"
+        );
     }
 }
 
@@ -74,11 +137,11 @@ proptest! {
         let list = Arc::new(gen::random_list(n, seed));
         let opts = JobOptions { seed, algorithm: Some(alg) };
         let handle = engine
-            .submit_with(JobSpec::Rank { list: Arc::clone(&list) }, opts)
+            .submit_with(Request::rank(Arc::clone(&list)), opts)
             .expect("submit");
         let report = handle.wait().expect("completes");
         let want = HostRunner::new(alg).with_seed(seed).rank(&list);
-        prop_assert_eq!(report.output.ranks().expect("ranks"), want.as_slice());
+        prop_assert_eq!(report.output, want);
     }
 
     #[test]
@@ -86,12 +149,9 @@ proptest! {
         // No pinning: whatever the planner picks must still be right.
         let engine = shared_engine();
         let list = Arc::new(gen::random_list(n, seed));
-        let handle = engine.submit(JobSpec::Rank { list: Arc::clone(&list) }).expect("submit");
+        let handle = engine.submit(Request::rank(Arc::clone(&list))).expect("submit");
         let report = handle.wait().expect("completes");
-        prop_assert_eq!(
-            report.output.ranks().expect("ranks"),
-            listkit::serial::rank(&list).as_slice()
-        );
+        prop_assert_eq!(report.output, listkit::serial::rank(&list));
     }
 }
 
@@ -102,7 +162,7 @@ fn sixty_four_jobs_in_flight_all_correct() {
     // below deterministically pile up in the queue.
     let big = Arc::new(gen::random_list(2_000_000, 99));
     let blockers: Vec<_> = (0..4)
-        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).expect("submit blocker"))
+        .map(|_| engine.submit(Request::rank(Arc::clone(&big))).expect("submit blocker"))
         .collect();
 
     // Pre-generate a handful of lists; 96 jobs reference them.
@@ -111,20 +171,12 @@ fn sixty_four_jobs_in_flight_all_correct() {
     let expected: Vec<Vec<u64>> = lists.iter().map(|l| listkit::serial::rank(l)).collect();
 
     let handles: Vec<_> = (0..96)
-        .map(|i| {
-            engine
-                .submit(JobSpec::Rank { list: Arc::clone(&lists[i % lists.len()]) })
-                .expect("submit")
-        })
+        .map(|i| engine.submit(Request::rank(Arc::clone(&lists[i % lists.len()]))).expect("submit"))
         .collect();
     // All 96 were submitted before any wait: ≥64 genuinely in flight.
     for (i, h) in handles.into_iter().enumerate() {
         let report = h.wait().expect("job completes");
-        assert_eq!(
-            report.output.ranks().expect("ranks"),
-            expected[i % lists.len()].as_slice(),
-            "job {i}"
-        );
+        assert_eq!(report.output, expected[i % lists.len()], "job {i}");
     }
     for b in blockers {
         b.wait().expect("blocker completes");
@@ -149,10 +201,10 @@ fn planner_dispatches_different_algorithms_by_size() {
     let large = Arc::new(gen::random_list(1_500_000, 8));
     let mut handles = Vec::new();
     for _ in 0..12 {
-        handles.push(engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap());
+        handles.push(engine.submit(Request::rank(Arc::clone(&small))).unwrap());
     }
     for _ in 0..4 {
-        handles.push(engine.submit(JobSpec::Rank { list: Arc::clone(&large) }).unwrap());
+        handles.push(engine.submit(Request::rank(Arc::clone(&large))).unwrap());
     }
     let mut small_algs = Vec::new();
     let mut large_algs = Vec::new();
@@ -192,6 +244,10 @@ fn planner_dispatches_different_algorithms_by_size() {
         .find(|(hi, _)| *hi == (1 << 21))
         .expect("bucket for n=1.5M");
     assert!(large_bucket.1[rm_ix] >= 4);
+    // Everything above was a ranking: the op matrix says exactly that.
+    let (op, counts) = stats.dispatch_by_op.first().expect("one op row");
+    assert_eq!(*op, OpKind::Rank);
+    assert_eq!(counts.iter().sum::<u64>(), 16);
 }
 
 #[test]
@@ -201,11 +257,10 @@ fn small_jobs_get_batched() {
     );
     // Occupy the single worker so the small jobs pile up behind it.
     let big = Arc::new(gen::random_list(2_000_000, 3));
-    let blocker = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+    let blocker = engine.submit(Request::rank(Arc::clone(&big))).unwrap();
     let small = Arc::new(gen::random_list(500, 4));
-    let handles: Vec<_> = (0..100)
-        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap())
-        .collect();
+    let handles: Vec<_> =
+        (0..100).map(|_| engine.submit(Request::rank(Arc::clone(&small))).unwrap()).collect();
     blocker.wait().expect("big job done");
     let mut batched_jobs = 0;
     for h in handles {
@@ -223,32 +278,47 @@ fn small_jobs_get_batched() {
 
 #[test]
 fn malformed_specs_rejected_at_every_submit_path() {
-    // Submit-time validation is centralized in `JobSpec::validate`
-    // (exhaustive over variants): both the blocking and non-blocking
-    // paths must reject a malformed spec, and malformed *successor
-    // arrays* cannot even reach a spec — `LinkedList` construction
-    // rejects them, so every job variant is structurally sound.
+    // Submit-time validation is centralized in the spec's `validate`
+    // (exhaustive over request kinds): both the blocking and
+    // non-blocking paths must reject a malformed request, and malformed
+    // *successor arrays* cannot even reach a request — `LinkedList`
+    // construction rejects them, so every request is structurally
+    // sound.
     let engine = shared_engine();
     let list = Arc::new(gen::random_list(100, 1));
     let values = Arc::new(vec![0i64; 99]); // one short
     assert_eq!(
-        engine
-            .submit(JobSpec::ScanAdd { list: Arc::clone(&list), values: Arc::clone(&values) })
-            .map(|h| h.id()),
+        engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&values), AddOp)).map(|h| h.id()),
         Err(engine::SubmitError::Invalid)
     );
     assert_eq!(
-        engine.try_submit(JobSpec::ScanAdd { list: Arc::clone(&list), values }).map(|h| h.id()),
+        engine.try_submit(Request::scan(Arc::clone(&list), values, AddOp)).map(|h| h.id()),
+        Err(engine::SubmitError::Invalid)
+    );
+    // Segmented requests validate both arrays (and survive a
+    // values/starts length mismatch without panicking in the builder).
+    let good_vals = Arc::new(vec![1i64; 100]);
+    let short_starts = Arc::new(vec![false; 40]);
+    assert_eq!(
+        engine
+            .submit(Request::segmented_scan(
+                Arc::clone(&list),
+                Arc::clone(&good_vals),
+                short_starts,
+                AddOp
+            ))
+            .map(|h| h.id()),
         Err(engine::SubmitError::Invalid)
     );
     // Malformed successor arrays: a rho-shaped cycle, an out-of-range
     // link, and a two-tailed structure are all stopped at list
-    // construction — no Rank/RankSharded/ScanAdd job can carry them.
+    // construction — no request can carry them.
     assert!(listkit::LinkedList::new(vec![1, 2, 0], 0).is_err(), "cycle");
     assert!(listkit::LinkedList::new(vec![1, 9, 2], 0).is_err(), "out of range");
     assert!(listkit::LinkedList::new(vec![0, 1], 0).is_err(), "two tails");
-    let ok = Arc::new(vec![0i64; 100]);
-    let h = engine.submit(JobSpec::ScanAdd { list, values: ok }).expect("valid spec accepted");
+    let h = engine
+        .submit(Request::scan(list, Arc::new(vec![0i64; 100]), AddOp))
+        .expect("valid request accepted");
     h.wait().expect("valid job completes");
 }
 
@@ -272,14 +342,12 @@ fn rank_sharded_matches_serial_across_topologies() {
             ("blocked", gen::list_with_layout(n, gen::Layout::Blocked(64), n as u64)),
         ] {
             expected.push((n, kind, listkit::serial::rank(&list)));
-            handles.push(
-                engine.submit(JobSpec::RankSharded { list: Arc::new(list) }).expect("submit"),
-            );
+            handles.push(engine.submit(Request::rank_sharded(Arc::new(list))).expect("submit"));
         }
     }
     for (h, (n, kind, want)) in handles.into_iter().zip(&expected) {
         let report = h.wait().expect("completes");
-        assert_eq!(report.output.ranks().expect("ranks"), want.as_slice(), "{kind} n={n}");
+        assert_eq!(&report.output, want, "{kind} n={n}");
         if *n > 4096 {
             assert!(report.shards >= 2, "{kind} n={n} should shard, got {}", report.shards);
         } else {
@@ -294,20 +362,56 @@ fn rank_sharded_matches_serial_across_topologies() {
 }
 
 #[test]
+fn scan_sharded_stitches_generic_ops() {
+    // The sharded path is not rank-only: generic (and non-commutative)
+    // scans route through the stitched shard-parallel path and agree
+    // with the serial oracle.
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(1).with_inner_threads(2).with_shard_budget(2048),
+    );
+    let n = 40_000;
+    let list = Arc::new(gen::list_with_layout(n, gen::Layout::Blocked(64), 77));
+    let i64s = values_for(n);
+    let affs: Arc<Vec<Affine>> =
+        Arc::new((0..n as i64).map(|i| Affine::new((i % 3) - 1, i % 5)).collect());
+    let max =
+        engine.submit(Request::scan_sharded(Arc::clone(&list), Arc::clone(&i64s), MaxOp)).unwrap();
+    let aff = engine
+        .submit(Request::scan_sharded(Arc::clone(&list), Arc::clone(&affs), AffineOp))
+        .unwrap();
+    let starts: Arc<Vec<bool>> = Arc::new((0..n).map(|v| v % 97 == 0).collect());
+    let seg = engine
+        .submit(Request::segmented_scan_sharded(
+            Arc::clone(&list),
+            Arc::clone(&i64s),
+            Arc::clone(&starts),
+            AddOp,
+        ))
+        .unwrap();
+    let max_report = max.wait().expect("completes");
+    assert!(max_report.shards >= 2, "budget 2048 must shard n=40k");
+    assert_eq!(max_report.output, listkit::serial::scan(&list, &i64s, &MaxOp));
+    let aff_report = aff.wait().expect("completes");
+    assert!(aff_report.shards >= 2);
+    assert_eq!(aff_report.output, listkit::serial::scan(&list, &affs, &AffineOp));
+    let seg_report = seg.wait().expect("completes");
+    assert!(seg_report.shards >= 2, "segmented requests shard too");
+    assert_eq!(seg_report.output, segmented::serial_segmented_scan(&list, &i64s, &starts, &AddOp));
+    engine.shutdown();
+}
+
+#[test]
 fn rank_sharded_pinned_algorithm_forces_monolithic() {
     let engine = Engine::new(
         EngineConfig::default().with_workers(1).with_inner_threads(2).with_shard_budget(1000),
     );
     let list = Arc::new(gen::random_list(50_000, 21));
     let opts = JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller) };
-    let h = engine.submit_with(JobSpec::RankSharded { list: Arc::clone(&list) }, opts).unwrap();
+    let h = engine.submit_with(Request::rank_sharded(Arc::clone(&list)), opts).unwrap();
     let report = h.wait().expect("completes");
     assert_eq!(report.shards, 0, "pinning selects the monolithic backend");
     assert_eq!(report.algorithm, Algorithm::ReidMiller);
-    assert_eq!(
-        report.output.ranks().expect("ranks"),
-        HostRunner::new(Algorithm::ReidMiller).with_seed(0x1994).rank(&list).as_slice()
-    );
+    assert_eq!(report.output, HostRunner::new(Algorithm::ReidMiller).with_seed(0x1994).rank(&list));
     engine.shutdown();
 }
 
@@ -332,10 +436,10 @@ fn cancellation_before_execution() {
     let engine = Engine::new(EngineConfig::default().with_workers(1));
     // Worker is busy with this one...
     let big = Arc::new(gen::random_list(2_000_000, 5));
-    let blocker = engine.submit(JobSpec::Rank { list: big }).unwrap();
+    let blocker = engine.submit(Request::rank(big)).unwrap();
     // ...so this one is still queued and can be cancelled.
     let victim_list = Arc::new(gen::random_list(10_000, 6));
-    let victim = engine.submit(JobSpec::Rank { list: victim_list }).unwrap();
+    let victim = engine.submit(Request::rank(victim_list)).unwrap();
     assert!(victim.cancel(), "queued job should cancel");
     assert_eq!(victim.wait().map(|r| r.id).unwrap_err(), JobError::Cancelled);
     blocker.wait().expect("big job completes");
@@ -350,10 +454,10 @@ fn backpressure_rejects_when_full() {
     let big = Arc::new(gen::random_list(3_000_000, 9));
     let small = Arc::new(gen::random_list(100, 10));
     // Occupy the worker, then fill the queue.
-    let mut handles = vec![engine.submit(JobSpec::Rank { list: big }).unwrap()];
+    let mut handles = vec![engine.submit(Request::rank(big)).unwrap()];
     let mut rejected = 0;
     for _ in 0..64 {
-        match engine.try_submit(JobSpec::Rank { list: Arc::clone(&small) }) {
+        match engine.try_submit(Request::rank(Arc::clone(&small))) {
             Ok(h) => handles.push(h),
             Err(engine::SubmitError::Full) => rejected += 1,
             Err(e) => panic!("unexpected submit error {e:?}"),
@@ -369,15 +473,16 @@ fn backpressure_rejects_when_full() {
 
 #[test]
 fn engine_beats_naive_sequential_baseline() {
-    use engine::workload::{run_baseline, run_engine, Workload, WorkloadConfig};
+    use engine::workload::{run_baseline, run_engine, OpSelect, Workload, WorkloadConfig};
     // Modest workload so the test stays quick; sizes still span three
-    // decades so both planner regimes engage.
+    // decades so both planner regimes engage, and the op rotation is on.
     let cfg = WorkloadConfig {
         min_exp: 2,
         max_exp: 5,
         elems_per_decade: 300_000,
         max_jobs_per_decade: 500,
         scan_frac: 0.25,
+        op: OpSelect::Mixed,
         seed: 0xC90,
         lists_per_decade: 2,
     };

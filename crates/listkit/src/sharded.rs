@@ -39,6 +39,7 @@
 //! ```
 
 use crate::list::{Idx, LinkedList};
+use crate::ops::ScanOp;
 use rayon::prelude::*;
 
 /// The contracted list of fragments: one vertex per fragment, linked by
@@ -92,6 +93,28 @@ impl BoundaryTable {
         loop {
             prefix[cur] = acc;
             acc += self.lens[cur] as u64;
+            if self.next[cur] as usize == cur {
+                break;
+            }
+            cur = self.next[cur] as usize;
+        }
+        prefix
+    }
+
+    /// Generic serial stitch: the exclusive op-scan of per-fragment
+    /// values (e.g. fragment totals from
+    /// [`ShardedList::fragment_totals`]) along the contracted list —
+    /// the scan analogue of [`Self::serial_prefix`]. Fragment order
+    /// along the contracted list *is* global list order, so this is
+    /// safe for non-commutative operators.
+    pub fn serial_exclusive<T: Copy, Op: ScanOp<T>>(&self, totals: &[T], op: &Op) -> Vec<T> {
+        assert_eq!(totals.len(), self.next.len(), "one total per fragment");
+        let mut prefix = vec![op.identity(); self.next.len()];
+        let mut acc = op.identity();
+        let mut cur = self.head as usize;
+        loop {
+            prefix[cur] = acc;
+            acc = op.combine(acc, totals[cur]);
             if self.next[cur] as usize == cur {
                 break;
             }
@@ -284,6 +307,118 @@ impl ShardedList {
             }
         });
     }
+
+    /// Per-fragment operator totals: `totals[f]` = op-sum of the values
+    /// of fragment `f`'s vertices in list order — the generic scan's
+    /// Phase-1 analogue of [`BoundaryTable::lens`]. All shards run in
+    /// parallel; each walks its cache-resident local list once.
+    pub fn fragment_totals<T, Op>(&self, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), self.n, "value array length mismatch");
+        let boundary = &self.boundary;
+        let mut totals = vec![op.identity(); boundary.fragment_count()];
+        // Fragment ids are contiguous per shard, so the totals array
+        // splits into disjoint per-shard chunks.
+        let mut work: Vec<(usize, &Shard, &mut [T])> = Vec::with_capacity(self.shards.len());
+        let mut rest: &mut [T] = &mut totals;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(shard.frag_cnt);
+            work.push((s, shard, chunk));
+            rest = tail;
+        }
+        work.into_par_iter().with_min_len(1).for_each(|(s, shard, tchunk)| {
+            let lo = s * self.shard_size;
+            let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
+            let mut j = 0usize;
+            let mut end = lens[0] as usize;
+            let mut acc = op.identity();
+            for (pos, lv) in shard.local.iter().enumerate() {
+                if pos == end {
+                    tchunk[j] = acc;
+                    j += 1;
+                    end += lens[j] as usize;
+                    acc = op.identity();
+                }
+                acc = op.combine(acc, values[lo + lv as usize]);
+            }
+            tchunk[j] = acc;
+        });
+        totals
+    }
+
+    /// Generic exclusive scan along the list: shard-local passes and
+    /// broadcast run in parallel, the stitch is the serial reference.
+    /// Byte-identical to [`crate::serial::scan`] for any associative
+    /// operator (commutative or not).
+    pub fn scan<T, Op>(&self, values: &[T], op: &Op) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        let mut out = Vec::new();
+        self.scan_into(values, op, &mut out);
+        out
+    }
+
+    /// [`Self::scan`] into a caller-provided buffer.
+    pub fn scan_into<T, Op>(&self, values: &[T], op: &Op, out: &mut Vec<T>)
+    where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        let totals = self.fragment_totals(values, op);
+        let prefix = self.boundary.serial_exclusive(&totals, op);
+        self.scan_into_with_prefix(values, op, &prefix, out);
+    }
+
+    /// Phase 3 of the generic scan, given the stitch result:
+    /// `prefix[f]` must be the exclusive op-scan of fragment totals
+    /// along the contracted list (from [`BoundaryTable::
+    /// serial_exclusive`] or any scan backend run over
+    /// [`BoundaryTable::to_list`]). Each shard re-walks its local list
+    /// seeding every fragment with its global prefix — one fused pass,
+    /// no per-vertex fragment map.
+    pub fn scan_into_with_prefix<T, Op>(
+        &self,
+        values: &[T],
+        op: &Op,
+        prefix: &[T],
+        out: &mut Vec<T>,
+    ) where
+        T: Copy + Send + Sync,
+        Op: ScanOp<T>,
+    {
+        assert_eq!(values.len(), self.n, "value array length mismatch");
+        assert_eq!(
+            prefix.len(),
+            self.boundary.fragment_count(),
+            "stitch prefix length must equal the fragment count"
+        );
+        out.clear();
+        out.resize(self.n, op.identity());
+        let boundary = &self.boundary;
+        let work: Vec<((usize, &Shard), &mut [T])> =
+            self.shards.iter().enumerate().zip(out.chunks_mut(self.shard_size)).collect();
+        work.into_par_iter().with_min_len(1).for_each(|((s, shard), chunk)| {
+            let lo = s * self.shard_size;
+            let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
+            let mut j = 0usize;
+            let mut end = lens[0] as usize;
+            let mut acc = prefix[shard.frag_off];
+            for (pos, lv) in shard.local.iter().enumerate() {
+                if pos == end {
+                    j += 1;
+                    end += lens[j] as usize;
+                    acc = prefix[shard.frag_off + j];
+                }
+                chunk[lv as usize] = acc;
+                acc = op.combine(acc, values[lo + lv as usize]);
+            }
+        });
+    }
 }
 
 /// Build one shard covering global vertices `lo..hi`: identify fragment
@@ -427,6 +562,97 @@ mod tests {
         let mut out = Vec::new();
         sharded.rank_into_with_prefix(&prefix, &mut out);
         assert_eq!(out, crate::serial::rank(&list));
+    }
+
+    #[test]
+    fn generic_scan_matches_serial_across_layouts() {
+        use crate::ops::{AddOp, MaxOp};
+        for n in [1usize, 2, 3, 7, 64, 65, 1000] {
+            for layout in
+                [Layout::Sequential, Layout::Reversed, Layout::Random, Layout::Blocked(16)]
+            {
+                let list = gen::list_with_layout(n, layout, 3 * n as u64 + 1);
+                let values: Vec<i64> = (0..n as i64).map(|i| (i % 17) - 8).collect();
+                for shard_size in [1usize, 3, 16, n.max(1), 2 * n.max(1)] {
+                    let sharded = ShardedList::build(&list, shard_size);
+                    assert_eq!(
+                        sharded.scan(&values, &AddOp),
+                        crate::serial::scan(&list, &values, &AddOp),
+                        "add n = {n}, shard_size = {shard_size}"
+                    );
+                    assert_eq!(
+                        sharded.scan(&values, &MaxOp),
+                        crate::serial::scan(&list, &values, &MaxOp),
+                        "max n = {n}, shard_size = {shard_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_commutative_scan_respects_list_order() {
+        // AffineOp is the ordering trap: any path that swaps operand
+        // order (e.g. combining a fragment's total *after* its local
+        // prefix) produces wrong results here.
+        use crate::ops::{Affine, AffineOp};
+        let n = 5000;
+        let list = gen::random_list(n, 77);
+        let funcs: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5)).collect();
+        let want = crate::serial::scan(&list, &funcs, &AffineOp);
+        for shard_size in [1usize, 64, 700, n] {
+            let sharded = ShardedList::build(&list, shard_size);
+            assert_eq!(sharded.scan(&funcs, &AffineOp), want, "shard_size = {shard_size}");
+        }
+    }
+
+    #[test]
+    fn segmented_op_scans_through_shards() {
+        use crate::ops::AddOp;
+        use crate::segmented::{self, SegOp};
+        let n = 3000;
+        let list = gen::list_with_layout(n, Layout::Blocked(32), 13);
+        let values: Vec<i64> = (0..n as i64).map(|i| (i % 9) - 4).collect();
+        let mut starts = vec![false; n];
+        for (pos, v) in list.iter().enumerate() {
+            starts[v as usize] = pos % 41 == 0;
+        }
+        let wrapped = segmented::wrap(&values, &starts);
+        let sharded = ShardedList::build(&list, 256);
+        let got =
+            segmented::unwrap_exclusive(&sharded.scan(&wrapped, &SegOp(AddOp)), &starts, &AddOp);
+        assert_eq!(got, segmented::serial_segmented_scan(&list, &values, &starts, &AddOp));
+    }
+
+    #[test]
+    fn scan_of_ones_equals_rank() {
+        use crate::ops::AddOp;
+        let list = gen::list_with_layout(2048, Layout::Blocked(64), 5);
+        let ones = vec![1i64; 2048];
+        let sharded = ShardedList::build(&list, 300);
+        let scanned = sharded.scan(&ones, &AddOp);
+        let ranks = sharded.rank();
+        assert!(scanned.iter().zip(&ranks).all(|(&s, &r)| s as u64 == r));
+    }
+
+    #[test]
+    fn external_generic_stitch_matches_builtin() {
+        // Stitch the generic scan through an external backend path
+        // (scan fragment totals along the contracted list) and feed the
+        // prefix back — the route `listrank::host::scan_sharded_into`
+        // takes.
+        use crate::ops::AddOp;
+        let list = gen::list_with_layout(4000, Layout::Blocked(50), 21);
+        let values: Vec<i64> = (0..4000).map(|i| (i % 13) as i64).collect();
+        let sharded = ShardedList::build(&list, 512);
+        let totals = sharded.fragment_totals(&values, &AddOp);
+        let contracted = sharded.boundary().to_list();
+        let prefix = crate::serial::scan(&contracted, &totals, &AddOp);
+        assert_eq!(prefix, sharded.boundary().serial_exclusive(&totals, &AddOp));
+        let mut out = Vec::new();
+        sharded.scan_into_with_prefix(&values, &AddOp, &prefix, &mut out);
+        assert_eq!(out, crate::serial::scan(&list, &values, &AddOp));
     }
 
     #[test]

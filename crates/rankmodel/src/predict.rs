@@ -213,7 +213,25 @@ const HOST_ROUND_OVERHEAD: f64 = 2_048.0;
 ///   beats both Serial and Reid-Miller, matching the paper's Fig. 1
 ///   ordering.
 pub fn predicted_cost(alg: AlgChoice, n: usize, p: usize) -> f64 {
-    let nf = n as f64;
+    predicted_cost_op(alg, n, p, RANK_ELEM_BYTES)
+}
+
+/// Element width of a ranking job's payload (the `u64` rank), the unit
+/// the serial-element coefficients were fitted at. Scan jobs over wider
+/// operator carriers (affine maps, segmented pairs) scale the
+/// per-element terms up from here.
+pub const RANK_ELEM_BYTES: usize = 8;
+
+/// [`predicted_cost`] for a *scan* job whose per-vertex value occupies
+/// `elem_bytes` bytes — the op-kind dimension of the dispatch model.
+/// Every visit moves the 8-byte link plus the value, so the
+/// `n`-proportional terms scale by `(8 + elem_bytes) / 16` relative to
+/// the rank baseline; fixed per-job/per-round overheads do not. Wider
+/// operators therefore shift the serial/parallel crossover slightly
+/// *down* (more memory traffic to amortize the parallel startup
+/// against), which is exactly the measured direction.
+pub fn predicted_cost_op(alg: AlgChoice, n: usize, p: usize, elem_bytes: usize) -> f64 {
+    let nf = n as f64 * traffic_factor(elem_bytes);
     let pf = p.max(1) as f64;
     let rounds = if n > 2 { ((n - 1) as f64).log2().ceil().max(1.0) } else { 1.0 };
     match alg {
@@ -237,16 +255,30 @@ pub fn predicted_cost(alg: AlgChoice, n: usize, p: usize) -> f64 {
     }
 }
 
+/// Memory traffic of one visit relative to the rank baseline: 8 bytes
+/// of link plus `elem_bytes` of value, over the baseline's 8 + 8.
+fn traffic_factor(elem_bytes: usize) -> f64 {
+    (8.0 + elem_bytes.max(1) as f64) / (8.0 + RANK_ELEM_BYTES as f64)
+}
+
 /// The cheapest algorithm for an `n`-vertex ranking job on a `p`-thread
 /// host, by [`predicted_cost`]: Serial below the parallel break-even
 /// point (always, on one thread — Reid-Miller's 2× work has nothing to
 /// amortize against), Reid-Miller above it. Wyllie and the random-mate
 /// algorithms are work-inefficient and never win, mirroring Fig. 1.
 pub fn predict_best(n: usize, p: usize) -> AlgChoice {
+    predict_best_op(n, p, RANK_ELEM_BYTES)
+}
+
+/// The cheapest algorithm for an `n`-vertex **scan** job carrying
+/// `elem_bytes`-byte values on a `p`-thread host, by
+/// [`predicted_cost_op`] — the op-aware entry the engine planner's
+/// prior keys on.
+pub fn predict_best_op(n: usize, p: usize, elem_bytes: usize) -> AlgChoice {
     let mut best = AlgChoice::Serial;
     let mut best_cost = f64::INFINITY;
     for alg in AlgChoice::ALL {
-        let cost = predicted_cost(alg, n, p);
+        let cost = predicted_cost_op(alg, n, p, elem_bytes);
         if cost < best_cost {
             best = alg;
             best_cost = cost;
@@ -402,6 +434,32 @@ mod tests {
         // On one thread nothing amortizes Reid-Miller's 2× work.
         for n in [100usize, 10_000, 1_000_000, 100_000_000] {
             assert_eq!(predict_best(n, 1), AlgChoice::Serial, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn op_width_scales_cost_but_keeps_ordering() {
+        // An 8-byte scan is exactly the rank baseline.
+        for alg in AlgChoice::ALL {
+            assert_eq!(predicted_cost_op(alg, 50_000, 4, 8), predicted_cost(alg, 50_000, 4));
+        }
+        // Wider values (16-byte affine maps, 24-byte segmented pairs)
+        // cost strictly more, and the crossover moves down, never up:
+        // any n the 8-byte model sends to Reid-Miller, the wider model
+        // must too.
+        let n = 2_000_000;
+        assert!(
+            predicted_cost_op(AlgChoice::Serial, n, 4, 16)
+                > predicted_cost_op(AlgChoice::Serial, n, 4, 8)
+        );
+        for n in [1000usize, 100_000, 1_000_000] {
+            if predict_best_op(n, 4, 8) == AlgChoice::ReidMiller {
+                assert_eq!(predict_best_op(n, 4, 16), AlgChoice::ReidMiller, "n = {n}");
+            }
+        }
+        // One thread: serial wins at every width (nothing to amortize).
+        for bytes in [8usize, 16, 24] {
+            assert_eq!(predict_best_op(10_000_000, 1, bytes), AlgChoice::Serial);
         }
     }
 

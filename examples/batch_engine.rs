@@ -1,13 +1,14 @@
-//! The `rankd` engine through its library API: submit a burst of
-//! mixed-size jobs, cancel one, await the rest, print the stats
-//! surface.
+//! The `rankd` engine through its typed request API: submit a burst of
+//! mixed-size, mixed-operator jobs, cancel one, await the rest through
+//! typed handles (no output enum to match), print the stats surface.
 //!
 //! ```sh
 //! cargo run --release --example batch_engine
 //! ```
 
-use engine::{Engine, EngineConfig, JobError, JobSpec};
+use engine::{Engine, EngineConfig, JobError, Request};
 use listkit::gen;
+use listkit::ops::{Affine, AffineOp, MaxOp};
 use std::sync::Arc;
 
 fn main() {
@@ -15,16 +16,24 @@ fn main() {
 
     // A big job to keep the workers busy...
     let big = Arc::new(gen::random_list(2_000_000, 1));
-    let big_handle = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+    let big_handle = engine.submit(Request::rank(Arc::clone(&big))).unwrap();
 
     // ...a burst of small ones behind it...
     let small = Arc::new(gen::random_list(5_000, 2));
-    let burst: Vec<_> = (0..32)
-        .map(|_| engine.submit(JobSpec::Rank { list: Arc::clone(&small) }).unwrap())
-        .collect();
+    let burst: Vec<_> =
+        (0..32).map(|_| engine.submit(Request::rank(Arc::clone(&small))).unwrap()).collect();
+
+    // ...two generic scans — the engine serves any associative
+    // operator, typed end to end: `wait()` returns Vec<i64> directly...
+    let values: Arc<Vec<i64>> = Arc::new((0..5_000).map(|i| (i % 101) - 50).collect());
+    let max_handle =
+        engine.submit(Request::scan(Arc::clone(&small), Arc::clone(&values), MaxOp)).unwrap();
+    let coeffs: Arc<Vec<Affine>> =
+        Arc::new((0..5_000).map(|i| Affine::new(if i % 16 == 0 { 0 } else { 1 }, i % 7)).collect());
+    let affine_handle = engine.submit(Request::scan(Arc::clone(&small), coeffs, AffineOp)).unwrap();
 
     // ...and one we change our mind about.
-    let doomed = engine.submit(JobSpec::Rank { list: Arc::clone(&big) }).unwrap();
+    let doomed = engine.submit(Request::rank(Arc::clone(&big))).unwrap();
     assert!(doomed.cancel(), "still queued, so cancellation lands");
     assert_eq!(doomed.wait().map(|r| r.id).unwrap_err(), JobError::Cancelled);
 
@@ -37,11 +46,16 @@ fn main() {
     );
     for h in burst {
         let r = h.wait().unwrap();
-        assert_eq!(r.output.ranks().unwrap()[small.head() as usize], 0);
+        assert_eq!(r.output[small.head() as usize], 0);
     }
+    let maxes = max_handle.wait().unwrap();
+    assert_eq!(maxes.output[small.head() as usize], i64::MIN, "head gets the identity");
+    let composed = affine_handle.wait().unwrap();
+    assert_eq!(composed.output.len(), 5_000);
+    println!("max-scan and affine-scan ran as {} / {}", maxes.op, composed.op);
 
     let stats = engine.shutdown();
     println!("\n{stats}");
     assert_eq!(stats.cancelled, 1);
-    assert_eq!(stats.completed, 33);
+    assert_eq!(stats.completed, 35);
 }

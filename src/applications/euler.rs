@@ -13,11 +13,13 @@
 //! This is precisely the "list ranking as a primitive for many tree and
 //! graph algorithms" usage the paper cites as motivation.
 
+use engine::{Engine, Request};
 use listkit::ops::AddOp;
 use listkit::{Idx, LinkedList};
 use listrank::{Algorithm, HostRunner};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// A rooted tree with ordered children.
 #[derive(Clone, Debug)]
@@ -275,6 +277,61 @@ pub fn subtree_sizes_parallel(tree: &Tree) -> Vec<u32> {
     subtree_sizes(tree, &HostRunner::new(Algorithm::ReidMiller))
 }
 
+/// [`depths`] served by the batch engine: the Euler-tour scan is
+/// submitted as a typed [`Request::scan`] and awaited through the typed
+/// handle — the tree-contraction workload as one request among many on
+/// a shared `rankd` engine (adaptive dispatch, pooled scratch), instead
+/// of a dedicated one-shot runner.
+pub fn depths_engine(tree: &Tree, engine: &Engine) -> Vec<u32> {
+    let n = tree.len();
+    let Some(tour) = EulerTour::new(tree) else {
+        return vec![0];
+    };
+    let EulerTour { list, down_arc, .. } = tour;
+    let values: Arc<Vec<i64>> =
+        Arc::new((0..list.len()).map(|a| if a % 2 == 0 { 1 } else { -1 }).collect());
+    let scan = engine
+        .submit(Request::scan(Arc::new(list), values, AddOp))
+        .expect("engine accepting work")
+        .wait()
+        .expect("depth scan completes")
+        .output;
+    let mut depth = vec![0u32; n];
+    for v in 0..n as Idx {
+        if v != tree.root() {
+            depth[v as usize] = (scan[down_arc[v as usize] as usize] + 1) as u32;
+        }
+    }
+    depth
+}
+
+/// [`subtree_sizes`] served by the batch engine via a typed
+/// [`Request::rank`].
+pub fn subtree_sizes_engine(tree: &Tree, engine: &Engine) -> Vec<u32> {
+    let n = tree.len();
+    let Some(tour) = EulerTour::new(tree) else {
+        return vec![1];
+    };
+    let EulerTour { list, down_arc, up_arc } = tour;
+    let ranks = engine
+        .submit(Request::rank(Arc::new(list)))
+        .expect("engine accepting work")
+        .wait()
+        .expect("tour ranking completes")
+        .output;
+    let mut size = vec![0u32; n];
+    for v in 0..n as Idx {
+        if v == tree.root() {
+            size[v as usize] = n as u32;
+        } else {
+            let d = ranks[down_arc[v as usize] as usize];
+            let u = ranks[up_arc[v as usize] as usize];
+            size[v as usize] = (u - d).div_ceil(2) as u32;
+        }
+    }
+    size
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +398,20 @@ mod tests {
         for alg in Algorithm::ALL {
             assert_eq!(depths(&tree, &HostRunner::new(alg)), want, "{alg}");
         }
+    }
+
+    #[test]
+    fn engine_served_contraction_matches_serial() {
+        let engine = Engine::with_defaults();
+        for n in [1usize, 2, 50, 5000] {
+            let tree = Tree::random(n, 3 * n as u64 + 7);
+            assert_eq!(depths_engine(&tree, &engine), tree.depths_serial(), "depths n = {n}");
+            assert_eq!(
+                subtree_sizes_engine(&tree, &engine),
+                tree.subtree_sizes_serial(),
+                "sizes n = {n}"
+            );
+        }
+        engine.shutdown();
     }
 }

@@ -9,6 +9,13 @@
 //! * [`recurrence`] — first-order linear recurrences solved by a scan
 //!   with the affine-composition operator (the "loop raking" workload of
 //!   the paper's reference [5]).
+//!
+//! Both come in two servings: direct `HostRunner` calls, and
+//! engine-backed variants (`euler::depths_engine`,
+//! `recurrence::solve_on_list_engine`) that submit typed
+//! [`engine::Request`]s to a shared `rankd` engine — the applications
+//! as production consumers of the batch API rather than standalone
+//! programs.
 
 pub mod euler;
 pub mod recurrence;

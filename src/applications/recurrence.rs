@@ -7,9 +7,11 @@
 //! raking*), here expressed over an arbitrary linked-list order rather
 //! than an array.
 
+use engine::{Engine, Request};
 use listkit::ops::{Affine, AffineOp, ScanOp};
 use listkit::{gen, LinkedList};
 use listrank::HostRunner;
+use std::sync::Arc;
 
 /// Solve `x_k = a_k · x_{k−1} + b_k` (k in list order, `x_{-1} = x0`)
 /// for every vertex, in parallel. Returns `x` indexed **by vertex**.
@@ -31,6 +33,28 @@ pub fn solve_on_list(
 pub fn solve(coeffs: &[Affine], x0: i64, runner: &HostRunner) -> Vec<i64> {
     let list = gen::sequential_list(coeffs.len());
     solve_on_list(&list, coeffs, x0, runner)
+}
+
+/// [`solve_on_list`] served by the batch engine: the affine-composition
+/// scan — a **non-commutative** operator — is submitted as a typed
+/// [`Request::scan`] and awaited through the typed handle, so recurrence
+/// solving rides the same adaptive, scratch-pooled `rankd` engine as
+/// every other workload. List and coefficients are `Arc`-shared with
+/// the engine (many recurrences over one list submit with no copying).
+pub fn solve_on_list_engine(
+    list: &Arc<LinkedList>,
+    coeffs: &Arc<Vec<Affine>>,
+    x0: i64,
+    engine: &Engine,
+) -> Vec<i64> {
+    assert_eq!(coeffs.len(), list.len());
+    let pre = engine
+        .submit(Request::scan(Arc::clone(list), Arc::clone(coeffs), AffineOp))
+        .expect("engine accepting work")
+        .wait()
+        .expect("recurrence scan completes")
+        .output;
+    pre.iter().zip(coeffs.iter()).map(|(p, c)| c.apply(p.apply(x0))).collect()
 }
 
 /// Serial reference.
@@ -100,6 +124,22 @@ mod tests {
         for (k, &x) in xs.iter().enumerate() {
             assert_eq!(x, 1i64 << (k + 1));
         }
+    }
+
+    #[test]
+    fn engine_served_recurrence_matches_serial() {
+        let engine = Engine::with_defaults();
+        for n in [1usize, 2, 333, 20_000] {
+            let list = Arc::new(gen::random_list(n, n as u64 + 13));
+            let coeffs: Arc<Vec<Affine>> =
+                Arc::new((0..n as i64).map(|i| Affine::new((i % 3) - 1, (i % 9) - 4)).collect());
+            assert_eq!(
+                solve_on_list_engine(&list, &coeffs, 42, &engine),
+                solve_serial_on_list(&list, &coeffs, 42),
+                "n = {n}"
+            );
+        }
+        engine.shutdown();
     }
 
     #[test]

@@ -16,15 +16,19 @@
 //! * [`listrank`] — the contribution: Reid-Miller's algorithm and the
 //!   four baselines (serial, Wyllie, Miller–Reif, Anderson–Miller) on
 //!   a real-parallel `rayon` backend and on the simulated C90;
-//! * [`engine`] — `rankd`, the batch execution subsystem: a bounded job
-//!   queue, worker pool, adaptive per-job algorithm selection, scratch
-//!   buffer pooling and a throughput/stats surface;
-//! * [`applications`] — classic consumers of list ranking, e.g. Euler
-//!   tour tree contraction.
+//! * [`engine`] — `rankd`, the batch execution subsystem: typed
+//!   requests over any scan operator (`engine::Request` +
+//!   `engine::JobHandle`), a bounded job queue, worker pool, adaptive
+//!   per-(size, op) algorithm selection, scratch buffer pooling and a
+//!   throughput/stats surface;
+//! * [`applications`] — classic consumers of list ranking (Euler-tour
+//!   tree contraction, linear recurrences), each also served through
+//!   the engine's typed request API.
 //!
 //! See the repository `README.md` for the workspace map and quick
-//! start, and the `repro` crate (`crates/bench`) for the harness that
-//! regenerates the paper's tables and figures.
+//! start. The experiment harness that regenerates the paper's tables
+//! and figures is the workspace member at `crates/bench` (package name
+//! `repro`: run it with `cargo run -p repro --bin all`).
 //!
 //! ## Quick start
 //!
@@ -51,6 +55,7 @@ pub mod applications;
 /// Re-export of the most commonly used items.
 pub mod prelude {
     pub use crate::applications::euler::{EulerTour, Tree};
+    pub use engine::{Engine, EngineConfig, JobHandle, OpKind, Request};
     pub use listkit::gen;
     pub use listkit::ops::{AddOp, AffineOp, MaxOp, MinOp, XorOp};
     pub use listkit::{LinkedList, ScanOp, ValuedList};

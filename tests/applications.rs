@@ -14,6 +14,40 @@ fn tree_contraction_at_scale() {
 }
 
 #[test]
+fn applications_run_through_the_engine_end_to_end() {
+    // The applications as engine consumers: tree contraction and a
+    // non-commutative recurrence solve, submitted as typed requests to
+    // ONE shared engine (interleaved with each other, the serving-system
+    // shape) and byte-compared with the serial references.
+    use cray_list_ranking::applications::recurrence;
+    use listkit::ops::Affine;
+    use std::sync::Arc;
+
+    let engine = Engine::with_defaults();
+    let tree = Tree::random(60_000, 17);
+    assert_eq!(euler::depths_engine(&tree, &engine), tree.depths_serial());
+    assert_eq!(euler::subtree_sizes_engine(&tree, &engine), tree.subtree_sizes_serial());
+
+    let n = 80_000;
+    let list = Arc::new(gen::random_list(n, 29));
+    let coeffs: Arc<Vec<Affine>> =
+        Arc::new((0..n as i64).map(|i| Affine::new((i % 3) - 1, (i % 11) - 5)).collect());
+    assert_eq!(
+        recurrence::solve_on_list_engine(&list, &coeffs, 7, &engine),
+        recurrence::solve_serial_on_list(&list, &coeffs, 7)
+    );
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, 3, "three application requests served");
+    assert!(
+        stats.dispatch_by_op.iter().any(|(op, _)| *op == OpKind::Affine),
+        "the recurrence solve dispatched under the affine op kind"
+    );
+    assert!(stats.dispatch_by_op.iter().any(|(op, _)| *op == OpKind::Rank));
+    assert!(stats.dispatch_by_op.iter().any(|(op, _)| *op == OpKind::Add));
+}
+
+#[test]
 fn tree_shapes_edge_cases() {
     for tree in [Tree::path(2000), Tree::star(2000), Tree::random(1, 0), Tree::random(2, 0)] {
         let runner = HostRunner::new(Algorithm::ReidMiller);

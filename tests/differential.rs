@@ -19,13 +19,14 @@
 //! * sizes 0 / 1 / 2 / odd / pow2 ± 1 — off-by-one soup around every
 //!   cutoff in the stack.
 
-use engine::{Engine, EngineConfig, JobOptions, JobSpec};
+use engine::{Engine, EngineConfig, JobOptions, Request};
 use listkit::gen::{self, Layout};
 use listkit::sharded::ShardedList;
 use listkit::LinkedList;
 use listrank::host::rank_sharded;
 use listrank::{Algorithm, HostRunner};
-use std::sync::Arc;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
 
 /// Fixed master seed: every generated list below is a deterministic
 /// function of it, the size and the topology tag.
@@ -139,19 +140,15 @@ fn engine_sharded_jobs_match_serial_on_every_topology() {
     for n in SIZES {
         for (name, list) in topologies(n) {
             let oracle = listkit::serial::rank(&list);
-            let spec = JobSpec::RankSharded { list: Arc::new(list) };
+            let req = Request::rank_sharded(Arc::new(list));
             let opts = JobOptions { seed: SEED ^ n as u64, algorithm: None };
-            let handle = engine.submit_with(spec, opts).expect("submit");
+            let handle = engine.submit_with(req, opts).expect("submit");
             pending.push((n, name, oracle, handle));
         }
     }
     for (n, name, oracle, handle) in pending {
         let report = handle.wait().expect("job completes");
-        assert_eq!(
-            report.output.ranks().expect("ranks"),
-            oracle.as_slice(),
-            "engine sharded diverged on {name} n={n}"
-        );
+        assert_eq!(report.output, oracle, "engine sharded diverged on {name} n={n}");
         assert_eq!(report.shards > 0, n > 512, "budget decides sharding for {name} n={n}");
     }
     let stats = engine.shutdown();
@@ -173,6 +170,108 @@ fn scan_backends_match_serial_oracle() {
                 assert_eq!(got, oracle, "{alg} scan diverged on {name} n={n}");
             }
         }
+    }
+}
+
+/// One engine serves every generic-op differential job below (the
+/// serving-system configuration: histories accumulate across cases).
+fn ops_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::new(EngineConfig::default().with_workers(2).with_queue_capacity(256))
+    })
+}
+
+/// Route every operator through the engine's typed API over `list` and
+/// byte-compare with the `listkit::serial` oracle. `seed` perturbs the
+/// value patterns so proptest explores the payload space too.
+fn check_all_ops_against_serial(name: &str, list: LinkedList, seed: u64) {
+    use listkit::ops::{AddOp, Affine, AffineOp, MaxOp, MinOp, XorOp};
+    use listkit::segmented;
+    let n = list.len();
+    let engine = ops_engine();
+    let list = Arc::new(list);
+    let s = seed as i64 | 1;
+    let i64s: Arc<Vec<i64>> =
+        Arc::new((0..n as i64).map(|i| (i.wrapping_mul(s) % 37) - 18).collect());
+    let u64s: Arc<Vec<u64>> =
+        Arc::new((0..n as u64).map(|i| i.wrapping_mul(seed | 1) ^ (i << 7)).collect());
+    // Affine is the non-commutative ordering trap: coefficients vary by
+    // vertex so any operand swap or fragment reorder shows up.
+    let affs: Arc<Vec<Affine>> = Arc::new(
+        (0..n as i64).map(|i| Affine::new((i.wrapping_add(s) % 5) - 2, (i % 11) - 5)).collect(),
+    );
+    let starts: Arc<Vec<bool>> =
+        Arc::new((0..n as u64).map(|v| v.wrapping_mul(seed | 1) % 17 == 0).collect());
+
+    let add = engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), AddOp)).unwrap();
+    let max = engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), MaxOp)).unwrap();
+    let min = engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&i64s), MinOp)).unwrap();
+    let xor = engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&u64s), XorOp)).unwrap();
+    let aff = engine.submit(Request::scan(Arc::clone(&list), Arc::clone(&affs), AffineOp)).unwrap();
+    let seg = engine
+        .submit(Request::segmented_scan(
+            Arc::clone(&list),
+            Arc::clone(&i64s),
+            Arc::clone(&starts),
+            AddOp,
+        ))
+        .unwrap();
+
+    assert_eq!(
+        add.wait().unwrap().output,
+        listkit::serial::scan(&list, &i64s, &AddOp),
+        "add diverged on {name} n={n}"
+    );
+    assert_eq!(
+        max.wait().unwrap().output,
+        listkit::serial::scan(&list, &i64s, &MaxOp),
+        "max diverged on {name} n={n}"
+    );
+    assert_eq!(
+        min.wait().unwrap().output,
+        listkit::serial::scan(&list, &i64s, &MinOp),
+        "min diverged on {name} n={n}"
+    );
+    assert_eq!(
+        xor.wait().unwrap().output,
+        listkit::serial::scan(&list, &u64s, &XorOp),
+        "xor diverged on {name} n={n}"
+    );
+    assert_eq!(
+        aff.wait().unwrap().output,
+        listkit::serial::scan(&list, &affs, &AffineOp),
+        "affine diverged on {name} n={n}"
+    );
+    assert_eq!(
+        seg.wait().unwrap().output,
+        segmented::serial_segmented_scan(&list, &i64s, &starts, &AddOp),
+        "segmented diverged on {name} n={n}"
+    );
+}
+
+#[test]
+fn every_op_through_engine_matches_serial_on_every_topology() {
+    // The whole zoo, every operator (including the segmented and the
+    // non-commutative cases), through one adaptive engine.
+    for n in [1usize, 2, 129, 1025, 20_000] {
+        for (name, list) in topologies(n) {
+            check_all_ops_against_serial(&name, list, SEED ^ n as u64);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential-oracle property: for *any* size, topology and
+    /// value seed, every operator routed through the engine is
+    /// byte-identical to `listkit::serial::scan`.
+    #[test]
+    fn engine_ops_differential(n in 1usize..3000, topo in 0usize..5, seed in any::<u64>()) {
+        let zoo = topologies(n);
+        let (name, list) = zoo[topo % zoo.len()].clone();
+        check_all_ops_against_serial(&name, list, seed);
     }
 }
 
