@@ -1,0 +1,79 @@
+//! Lane-count sweep of the K-lane interleaved Phase-1 reduce — the
+//! tentpole measurement of the memory-level-parallelism walker.
+//!
+//! For each layout (random = the paper's workload, blocked = locality
+//! the prefetcher can exploit) and size (2²⁰ ≈ L3-resident, 2²³ and
+//! 2²⁵ ≈ DRAM-resident), the list is split into `n / 2048` sublists
+//! exactly like Reid-Miller Phase 0, and one worker reduces every
+//! sublist with `lanes ∈ {1, 2, 4, 8, 16}` interleaved cursors. The
+//! `lanes = 1` row is the old one-cursor-per-chain walk; the serial
+//! row is the whole-list single-chain reference. Single-threaded by
+//! construction (the walker call itself never spawns), so the speedup
+//! shown is pure latency hiding, not thread parallelism.
+//!
+//! `CRITERION_QUICK=1` (CI) shortens runs; `cargo bench -p repro
+//! --bench walk_mlp` runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use listkit::gen::{self, Layout};
+use listkit::ops::AddOp;
+use listkit::walk::{self, BitSet, LaneStats, WalkPolicy};
+use listkit::{Idx, LinkedList};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Reid-Miller Phase-0 split at `n / 2048` random vertices: boundary
+/// bitset + sublist heads, exactly what the host backend hands the
+/// walker.
+fn phase0(list: &LinkedList) -> (BitSet, Vec<Idx>) {
+    let n = list.len();
+    let mut rng = StdRng::seed_from_u64(0x1994);
+    let splits = gen::random_split_positions(list, (n / 2048).max(2), &mut rng);
+    let mut boundary = BitSet::new();
+    boundary.reset(n);
+    boundary.set(list.tail() as usize);
+    for &r in &splits {
+        boundary.set(r as usize);
+    }
+    let mut heads = vec![list.head()];
+    walk::gather_links(list, &splits, WalkPolicy::default(), &mut heads);
+    (boundary, heads)
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let sizes: &[usize] = if quick { &[1 << 20] } else { &[1 << 20, 1 << 23, 1 << 25] };
+    for &n in sizes {
+        for (tag, layout) in [("random", Layout::Random), ("blocked4k", Layout::Blocked(4096))] {
+            let list = gen::list_with_layout(n, layout, 0xC90);
+            let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+            let (boundary, heads) = phase0(&list);
+            let mut sums = vec![(0i64, 0 as Idx); heads.len()];
+
+            let mut g = c.benchmark_group(format!("walk_mlp/{tag}/n{n}"));
+            g.throughput(Throughput::Elements(n as u64));
+            for lanes in [1usize, 2, 4, 8, 16] {
+                let policy = WalkPolicy::with_lanes(lanes);
+                g.bench_function(format!("reduce/lanes{lanes}"), |b| {
+                    b.iter(|| {
+                        let mut stats = LaneStats::default();
+                        walk::reduce_chains(
+                            &list, &values, &AddOp, &heads, &boundary, policy, &mut sums,
+                            &mut stats,
+                        );
+                        black_box(sums.last().copied())
+                    })
+                });
+            }
+            // Whole-list single-chain reference (what Serial pays).
+            g.bench_function("serial_scan", |b| {
+                b.iter(|| black_box(listkit::serial::total(&list, &values, &AddOp)))
+            });
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

@@ -63,12 +63,15 @@ pub struct HostRunner {
     pub threads: Option<usize>,
     /// Reid-Miller split count override.
     pub m: Option<usize>,
+    /// Reid-Miller interleaved-lane override (`None` = the backend's
+    /// default; see [`listkit::walk`]).
+    pub lanes: Option<usize>,
 }
 
 impl HostRunner {
     /// A runner with default settings.
     pub fn new(algorithm: Algorithm) -> Self {
-        Self { algorithm, seed: 0x1994, threads: None, m: None }
+        Self { algorithm, seed: 0x1994, threads: None, m: None, lanes: None }
     }
 
     /// Set the RNG seed.
@@ -89,6 +92,22 @@ impl HostRunner {
         self
     }
 
+    /// Override Reid-Miller's interleaved-lane count.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = Some(lanes.max(1));
+        self
+    }
+
+    /// The configured Reid-Miller backend (seed, `m`, lanes applied).
+    fn reid_miller(&self) -> host::ReidMiller {
+        let mut rm = host::ReidMiller::new(self.seed);
+        rm.m = self.m;
+        if let Some(lanes) = self.lanes {
+            rm.lanes = lanes.max(1);
+        }
+        rm
+    }
+
     fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         match self.threads {
             None => f(),
@@ -107,11 +126,7 @@ impl HostRunner {
             Algorithm::Wyllie => host::Wyllie.rank(list),
             Algorithm::MillerReif => host::MillerReif::new(self.seed).rank(list),
             Algorithm::AndersonMiller => host::AndersonMiller::new(self.seed).rank(list),
-            Algorithm::ReidMiller => {
-                let mut rm = host::ReidMiller::new(self.seed);
-                rm.m = self.m;
-                rm.rank(list)
-            }
+            Algorithm::ReidMiller => self.reid_miller().rank(list),
         })
     }
 
@@ -129,11 +144,7 @@ impl HostRunner {
     ) {
         self.install(|| match self.algorithm {
             Algorithm::Serial => listkit::serial::rank_into(list, out),
-            Algorithm::ReidMiller => {
-                let mut rm = host::ReidMiller::new(self.seed);
-                rm.m = self.m;
-                rm.rank_into(list, scratch, out)
-            }
+            Algorithm::ReidMiller => self.reid_miller().rank_into(list, scratch, out),
             Algorithm::Wyllie => *out = host::Wyllie.rank(list),
             Algorithm::MillerReif => *out = host::MillerReif::new(self.seed).rank(list),
             Algorithm::AndersonMiller => *out = host::AndersonMiller::new(self.seed).rank(list),
@@ -155,11 +166,7 @@ impl HostRunner {
     {
         self.install(|| match self.algorithm {
             Algorithm::Serial => listkit::serial::scan_into(list, values, op, out),
-            Algorithm::ReidMiller => {
-                let mut rm = host::ReidMiller::new(self.seed);
-                rm.m = self.m;
-                rm.scan_into(list, values, op, scratch, out)
-            }
+            Algorithm::ReidMiller => self.reid_miller().scan_into(list, values, op, scratch, out),
             Algorithm::Wyllie => *out = host::Wyllie.scan(list, values, op),
             Algorithm::MillerReif => *out = host::MillerReif::new(self.seed).scan(list, values, op),
             Algorithm::AndersonMiller => {
@@ -181,11 +188,7 @@ impl HostRunner {
             Algorithm::AndersonMiller => {
                 host::AndersonMiller::new(self.seed).scan(list, values, op)
             }
-            Algorithm::ReidMiller => {
-                let mut rm = host::ReidMiller::new(self.seed);
-                rm.m = self.m;
-                rm.scan(list, values, op)
-            }
+            Algorithm::ReidMiller => self.reid_miller().scan(list, values, op),
         })
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::host::scratch::RankScratch;
 use crate::util::DisjointWriter;
+use listkit::walk::{self, LaneStats, WalkPolicy};
 use listkit::{gen, Idx, LinkedList, ScanOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +50,16 @@ pub struct ReidMiller {
     pub serial_cutoff: usize,
     /// Reduced lists longer than this recurse under [`Phase2::Auto`].
     pub recurse_cutoff: usize,
+    /// Interleaved traversal lanes per worker in Phases 1 and 3 (the
+    /// paper's vectorized sublist traversal as memory-level
+    /// parallelism; see [`listkit::walk`]). Never changes results —
+    /// only how many cache misses each worker keeps in flight.
+    pub lanes: usize,
 }
+
+/// Chunked Phase-1 work items: a slice of chain heads paired with the
+/// matching slice of per-chain result slots.
+type ChainWork<'a, R> = Vec<(&'a [Idx], &'a mut [R])>;
 
 impl Default for ReidMiller {
     fn default() -> Self {
@@ -59,6 +69,7 @@ impl Default for ReidMiller {
             phase2: Phase2::Auto,
             serial_cutoff: 2048,
             recurse_cutoff: 8192,
+            lanes: walk::DEFAULT_LANES,
         }
     }
 }
@@ -81,12 +92,27 @@ impl ReidMiller {
         self
     }
 
-    /// The heuristic `m` for a list of `n` vertices: targets sublists of
-    /// ~2048 vertices, but at least 8 tasks per worker thread so work
-    /// stealing can level the exponential length distribution.
+    /// Fix the interleaved-lane count for Phases 1 and 3.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// The heuristic `m` for a list of `n` vertices at the default lane
+    /// count; see [`Self::default_m_for`].
     pub fn default_m(n: usize) -> usize {
+        Self::default_m_for(n, walk::DEFAULT_LANES)
+    }
+
+    /// The heuristic `m` for a list of `n` vertices walked with `lanes`
+    /// interleaved lanes: targets sublists of ~2048 vertices, but at
+    /// least `8·lanes` tasks per worker thread — each worker needs ≥
+    /// `lanes` *live* sublists to keep its lanes full, and the 8×
+    /// over-decomposition on top lets work stealing level the
+    /// exponential sublist-length distribution.
+    pub fn default_m_for(n: usize, lanes: usize) -> usize {
         let threads = rayon::current_num_threads();
-        (n / 2048).max(threads * 8).min(n / 4).max(1)
+        (n / 2048).max(threads * 8 * lanes.max(1)).min(n / 4).max(1)
     }
 
     /// Exclusive list scan.
@@ -118,33 +144,35 @@ impl ReidMiller {
     {
         assert_eq!(values.len(), list.len());
         let n = list.len();
-        let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
+        let m_req = self.m.unwrap_or_else(|| Self::default_m_for(n, self.lanes));
         if n <= self.serial_cutoff.max(4) || m_req < 2 || !self.phase0_split(list, m_req, scratch) {
             listkit::serial::scan_into(list, values, op, out);
             return;
         }
         let links = list.links();
-        let RankScratch { boundary, heads, sub_of_head, next_sub, .. } = scratch;
-        let (boundary, heads, sub_of_head) = (&boundary[..], &heads[..], &sub_of_head[..]);
+        let RankScratch { boundary, heads, sub_of_head, next_sub, telemetry, .. } = scratch;
+        let (boundary, heads, sub_of_head) = (&*boundary, &heads[..], &sub_of_head[..]);
+        let telemetry = &*telemetry;
+        let policy = WalkPolicy::with_lanes(self.lanes);
+        let chunk =
+            walk::chunk_len(heads.len(), rayon::current_num_threads(), policy.effective_lanes());
 
-        // ---- Phase 1: sum each sublist (parallel, work-stealing).
-        let sums: Vec<(T, Idx)> = heads
-            .par_iter()
-            .map(|&h| {
-                let mut acc = op.identity();
-                let mut cur = h as usize;
-                loop {
-                    acc = op.combine(acc, values[cur]);
-                    if boundary[cur] {
-                        return (acc, cur as Idx);
-                    }
-                    cur = links[cur] as usize;
-                }
-            })
-            .collect();
+        // ---- Phase 1: sum each sublist. Each worker interleaves K
+        // lanes over its chunk of sublists, keeping K independent
+        // cache misses in flight (the paper's vectorized traversal).
+        let k = heads.len();
+        let mut sums: Vec<(T, Idx)> = vec![(op.identity(), 0); k];
+        {
+            let work: ChainWork<'_, (T, Idx)> =
+                heads.chunks(chunk).zip(sums.chunks_mut(chunk)).collect();
+            work.into_par_iter().with_min_len(1).for_each(|(hs, sums_chunk)| {
+                let mut stats = LaneStats::default();
+                walk::reduce_chains(list, values, op, hs, boundary, policy, sums_chunk, &mut stats);
+                telemetry.add(&stats);
+            });
+        }
 
         // ---- Reduced list.
-        let k = heads.len();
         fill_next_sub(&sums, links, sub_of_head, list.tail(), next_sub);
         let totals: Vec<T> = sums.iter().map(|&(s, _)| s).collect();
 
@@ -152,24 +180,30 @@ impl ReidMiller {
         let pre = self.phase2_scan(next_sub, &totals, op, k);
 
         // ---- Phase 3: expand prefixes over the sublists (parallel
-        // disjoint writes: sublists partition the vertex set).
+        // disjoint writes: sublists partition the vertex set), again
+        // K-lane interleaved per worker.
         out.clear();
         out.resize(n, op.identity());
         {
             let writer = DisjointWriter::new(out);
-            heads.par_iter().enumerate().for_each(|(i, &h)| {
-                let mut acc = pre[i];
-                let mut cur = h as usize;
-                loop {
-                    // SAFETY: each vertex belongs to exactly one sublist,
-                    // and this task is the only one walking sublist `i`.
-                    unsafe { writer.write(cur, acc) };
-                    acc = op.combine(acc, values[cur]);
-                    if boundary[cur] {
-                        return;
-                    }
-                    cur = links[cur] as usize;
-                }
+            let work: Vec<(&[Idx], &[T])> = heads.chunks(chunk).zip(pre.chunks(chunk)).collect();
+            work.into_par_iter().with_min_len(1).for_each(|(hs, seeds)| {
+                let mut stats = LaneStats::default();
+                walk::expand_chains(
+                    list,
+                    values,
+                    op,
+                    hs,
+                    seeds,
+                    boundary,
+                    policy,
+                    // SAFETY: each vertex belongs to exactly one
+                    // sublist, and exactly one chunk's walker visits
+                    // that sublist.
+                    |v, val| unsafe { writer.write(v, val) },
+                    &mut stats,
+                );
+                telemetry.add(&stats);
             });
         }
     }
@@ -181,24 +215,23 @@ impl ReidMiller {
     /// to the serial path).
     fn phase0_split(&self, list: &LinkedList, m_req: usize, scratch: &mut RankScratch) -> bool {
         let n = list.len();
-        let links = list.links();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let splits = gen::random_split_positions(list, m_req, &mut rng);
         if splits.is_empty() {
             return false;
         }
         let boundary = &mut scratch.boundary;
-        boundary.clear();
-        boundary.resize(n, false);
-        boundary[list.tail() as usize] = true;
+        boundary.reset(n);
+        boundary.set(list.tail() as usize);
         for &r in &splits {
-            boundary[r as usize] = true;
+            boundary.set(r as usize);
         }
-        // Sublist heads: the whole-list head plus each split's successor.
+        // Sublist heads: the whole-list head plus each split's
+        // successor — a pure random gather, prefetched ahead.
         let heads = &mut scratch.heads;
         heads.clear();
         heads.push(list.head());
-        heads.extend(splits.iter().map(|&r| links[r as usize]));
+        walk::gather_links(list, &splits, WalkPolicy::with_lanes(self.lanes), heads);
         let sub_of_head = &mut scratch.sub_of_head;
         sub_of_head.clear();
         sub_of_head.resize(n, u32::MAX);
@@ -273,36 +306,37 @@ impl ReidMiller {
     /// to [`Self::rank`] for the same seed.
     pub fn rank_into(&self, list: &LinkedList, scratch: &mut RankScratch, out: &mut Vec<u64>) {
         let n = list.len();
-        let m_req = self.m.unwrap_or_else(|| Self::default_m(n));
+        let m_req = self.m.unwrap_or_else(|| Self::default_m_for(n, self.lanes));
         if n <= self.serial_cutoff.max(4) || m_req < 2 || !self.phase0_split(list, m_req, scratch) {
             listkit::serial::rank_into(list, out);
             return;
         }
         let links = list.links();
-        let RankScratch { boundary, heads, sub_of_head, next_sub, pre } = scratch;
-        let (boundary, heads, sub_of_head) = (&boundary[..], &heads[..], &sub_of_head[..]);
+        let RankScratch { boundary, heads, sub_of_head, next_sub, pre, telemetry, .. } = scratch;
+        let (boundary, heads, sub_of_head) = (&*boundary, &heads[..], &sub_of_head[..]);
+        let telemetry = &*telemetry;
+        let policy = WalkPolicy::with_lanes(self.lanes);
+        let chunk =
+            walk::chunk_len(heads.len(), rayon::current_num_threads(), policy.effective_lanes());
 
-        // Phase 1: lengths only.
-        let lens: Vec<(u64, Idx)> = heads
-            .par_iter()
-            .map(|&h| {
-                let mut len = 0u64;
-                let mut cur = h as usize;
-                loop {
-                    len += 1;
-                    if boundary[cur] {
-                        return (len, cur as Idx);
-                    }
-                    cur = links[cur] as usize;
-                }
-            })
-            .collect();
+        // Phase 1: lengths only, K-lane interleaved per worker.
+        let mut lens: Vec<(u64, Idx)> = vec![(0, 0); heads.len()];
+        {
+            let work: ChainWork<'_, (u64, Idx)> =
+                heads.chunks(chunk).zip(lens.chunks_mut(chunk)).collect();
+            work.into_par_iter().with_min_len(1).for_each(|(hs, lens_chunk)| {
+                let mut stats = LaneStats::default();
+                walk::count_chains(list, hs, boundary, policy, lens_chunk, &mut stats);
+                telemetry.add(&stats);
+            });
+        }
+        let lens = &lens[..];
 
         // Reduced list + serial exclusive prefix of lengths (the reduced
         // list is short; ranking it recursively would be overkill —
         // matches the paper's serial Phase 2 for practical m).
         let k = heads.len();
-        fill_next_sub(&lens, links, sub_of_head, list.tail(), next_sub);
+        fill_next_sub(lens, links, sub_of_head, list.tail(), next_sub);
         pre.clear();
         pre.resize(k, 0);
         let mut acc = 0u64;
@@ -317,23 +351,25 @@ impl ReidMiller {
         }
         let pre = &*pre;
 
-        // Phase 3: write ranks.
+        // Phase 3: write ranks, K-lane interleaved per worker.
         out.clear();
         out.resize(n, 0);
         {
             let writer = DisjointWriter::new(out);
-            heads.par_iter().enumerate().for_each(|(i, &h)| {
-                let mut r = pre[i];
-                let mut cur = h as usize;
-                loop {
+            let work: Vec<(&[Idx], &[u64])> = heads.chunks(chunk).zip(pre.chunks(chunk)).collect();
+            work.into_par_iter().with_min_len(1).for_each(|(hs, seeds)| {
+                let mut stats = LaneStats::default();
+                walk::expand_rank_chains(
+                    list,
+                    hs,
+                    seeds,
+                    boundary,
+                    policy,
                     // SAFETY: sublists partition the vertex set.
-                    unsafe { writer.write(cur, r) };
-                    r += 1;
-                    if boundary[cur] {
-                        return;
-                    }
-                    cur = links[cur] as usize;
-                }
+                    |v, r| unsafe { writer.write(v, r) },
+                    &mut stats,
+                );
+                telemetry.add(&stats);
             });
         }
     }
@@ -453,6 +489,53 @@ mod tests {
         assert_eq!(ReidMiller::new(1).rank(&s), listkit::serial::rank(&s));
         let b = gen::list_with_layout(10_000, gen::Layout::Blocked(64), 9);
         assert_eq!(ReidMiller::new(1).rank(&b), listkit::serial::rank(&b));
+    }
+
+    #[test]
+    fn every_lane_count_is_byte_identical() {
+        // The tentpole invariant: interleaving never changes results —
+        // rank and non-commutative scan agree with the serial oracle at
+        // every lane count, on friendly and hostile layouts.
+        use listkit::ops::{Affine, AffineOp};
+        let n = 30_000;
+        for layout in [gen::Layout::Random, gen::Layout::Blocked(64), gen::Layout::Sequential] {
+            let list = gen::list_with_layout(n, layout, 41);
+            let rank_ref = listkit::serial::rank(&list);
+            let funcs: Vec<Affine> =
+                (0..n).map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5)).collect();
+            let scan_ref = listkit::serial::scan(&list, &funcs, &AffineOp);
+            for lanes in [1usize, 2, 4, 8, 16] {
+                let rm = ReidMiller::new(6).with_lanes(lanes);
+                assert_eq!(rm.rank(&list), rank_ref, "{layout:?}, lanes = {lanes}");
+                assert_eq!(rm.scan(&list, &funcs, &AffineOp), scan_ref, "{layout:?} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_telemetry_accumulates() {
+        let list = gen::random_list(50_000, 7);
+        let mut scratch = RankScratch::new();
+        let mut out = Vec::new();
+        ReidMiller::new(1).rank_into(&list, &mut scratch, &mut out);
+        let stats = scratch.telemetry.snapshot();
+        // Phases 1 and 3 each visit every vertex once.
+        assert_eq!(stats.steps, 2 * 50_000);
+        assert!(stats.slots >= stats.steps, "occupancy cannot exceed 1");
+        assert!(stats.occupancy() > 0.5, "balanced chains keep lanes mostly full: {stats:?}");
+    }
+
+    #[test]
+    fn default_m_scales_with_lanes() {
+        // Each worker wants ≥ K live sublists: the per-thread task
+        // floor is 8·K, so (below the n/2048 regime) m grows with K.
+        let threads = rayon::current_num_threads();
+        let n = 1_000_000;
+        assert!(ReidMiller::default_m_for(n, 1) >= threads * 8);
+        assert!(ReidMiller::default_m_for(n, 16) >= threads * 8 * 16);
+        assert_eq!(ReidMiller::default_m(n), ReidMiller::default_m_for(n, walk::DEFAULT_LANES));
+        // The n/4 cap still wins on tiny lists.
+        assert!(ReidMiller::default_m_for(40, 16) <= 10);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::host::RankScratch;
 use listkit::ops::AddOp;
 use listkit::sharded::ShardedList;
 use listkit::{LinkedList, ScanOp};
-use rankmodel::predict::{predict_best_op, AlgChoice};
+use rankmodel::predict::{predict_best_op_lanes, AlgChoice};
 use std::time::Instant;
 
 /// Execution metadata of one sharded ranking run.
@@ -32,32 +32,62 @@ pub struct ShardedReport {
 }
 
 /// Rank `list` through the shard-parallel path with shards of at most
-/// `shard_size` vertices, writing the ranks into `out` (byte-identical
-/// to [`listkit::serial::rank`]). `scratch` serves the stitch phase
-/// when the contracted list is long enough to rank in parallel.
+/// `shard_size` vertices, walking each shard's fragments with `lanes`
+/// interleaved cursors, writing the ranks into `out` (byte-identical
+/// to [`listkit::serial::rank`] at every lane count). `scratch` serves
+/// the stitch phase — its dedicated prefix buffer when the contracted
+/// list ranks serially (no per-call allocation), its working arrays
+/// when the contracted list is long enough to rank in parallel — and
+/// accumulates the walkers' lane-occupancy telemetry.
 pub fn rank_sharded_into(
     list: &LinkedList,
     shard_size: usize,
+    lanes: usize,
     seed: u64,
     scratch: &mut RankScratch,
     out: &mut Vec<u64>,
 ) -> ShardedReport {
-    let sharded = ShardedList::build(list, shard_size);
-    let (prefix, stitch_algorithm, stitch_ns) = stitch(&sharded, seed, scratch);
-    sharded.rank_into_with_prefix(&prefix, out);
+    let sharded = ShardedList::build(list, shard_size).with_lanes(lanes);
+    let bt = sharded.boundary();
+    let choice = stitch_choice(bt.fragment_count(), std::mem::size_of::<u64>(), lanes);
+    let t0 = Instant::now();
+    match choice {
+        Algorithm::Serial => bt.serial_prefix_into(&mut scratch.stitch_pre),
+        _ => {
+            let contracted = bt.to_list();
+            let lens: Vec<i64> = bt.lens().iter().map(|&l| l as i64).collect();
+            let mut rm = crate::host::ReidMiller::new(seed).with_lanes(lanes);
+            rm.m = None;
+            let mut scanned = Vec::new();
+            rm.scan_into(&contracted, &lens, &AddOp, scratch, &mut scanned);
+            scratch.stitch_pre.clear();
+            scratch.stitch_pre.extend(scanned.iter().map(|&x| x as u64));
+        }
+    }
+    let stitch_ns = t0.elapsed().as_nanos() as u64;
+    sharded.rank_into_with_prefix(&scratch.stitch_pre, out);
+    scratch.telemetry.add(&sharded.lane_stats());
     ShardedReport {
         shards: sharded.shard_count(),
         fragments: sharded.fragment_count(),
-        stitch_algorithm,
+        stitch_algorithm: choice,
         stitch_ns,
     }
 }
 
-/// Convenience wrapper allocating fresh buffers.
+/// Convenience wrapper allocating fresh buffers at the default lane
+/// count.
 pub fn rank_sharded(list: &LinkedList, shard_size: usize, seed: u64) -> (Vec<u64>, ShardedReport) {
     let mut out = Vec::new();
     let mut scratch = RankScratch::new();
-    let report = rank_sharded_into(list, shard_size, seed, &mut scratch, &mut out);
+    let report = rank_sharded_into(
+        list,
+        shard_size,
+        listkit::walk::DEFAULT_LANES,
+        seed,
+        &mut scratch,
+        &mut out,
+    );
     (out, report)
 }
 
@@ -65,16 +95,18 @@ pub fn rank_sharded(list: &LinkedList, shard_size: usize, seed: u64) -> (Vec<u64
 /// per-fragment operator totals are computed shard-locally in parallel
 /// (the generic analogue of the boundary table's fragment lengths), the
 /// contracted list of totals is op-scanned as the stitch — dispatched
-/// through the op-aware cost model ([`predict_best_op`], which accounts
-/// for the value width) — and every fragment is re-walked seeded with
+/// through the op- and lane-aware cost model ([`predict_best_op_lanes`],
+/// which accounts for the value width) — and every fragment is re-walked seeded with
 /// its global prefix. Byte-identical to [`listkit::serial::scan`] for
 /// any associative operator, commutative or not: fragment order along
 /// the contracted list *is* global list order.
+#[allow(clippy::too_many_arguments)]
 pub fn scan_sharded_into<T, Op>(
     list: &LinkedList,
     values: &[T],
     op: &Op,
     shard_size: usize,
+    lanes: usize,
     seed: u64,
     scratch: &mut RankScratch,
     out: &mut Vec<T>,
@@ -83,17 +115,17 @@ where
     T: Copy + Send + Sync,
     Op: ScanOp<T>,
 {
-    let sharded = ShardedList::build(list, shard_size);
+    let sharded = ShardedList::build(list, shard_size).with_lanes(lanes);
     let totals = sharded.fragment_totals(values, op);
     let bt = sharded.boundary();
     let k = bt.fragment_count();
-    let choice = stitch_choice(k, std::mem::size_of::<T>());
+    let choice = stitch_choice(k, std::mem::size_of::<T>(), lanes);
     let t0 = Instant::now();
     let prefix = match choice {
         Algorithm::Serial => bt.serial_exclusive(&totals, op),
         _ => {
             let contracted = bt.to_list();
-            let mut rm = crate::host::ReidMiller::new(seed);
+            let mut rm = crate::host::ReidMiller::new(seed).with_lanes(lanes);
             rm.m = None;
             let mut scanned = Vec::new();
             rm.scan_into(&contracted, &totals, op, scratch, &mut scanned);
@@ -102,6 +134,7 @@ where
     };
     let stitch_ns = t0.elapsed().as_nanos() as u64;
     sharded.scan_into_with_prefix(values, op, &prefix, out);
+    scratch.telemetry.add(&sharded.lane_stats());
     ShardedReport {
         shards: sharded.shard_count(),
         fragments: k,
@@ -111,7 +144,7 @@ where
 }
 
 /// Convenience wrapper for [`scan_sharded_into`] allocating fresh
-/// buffers.
+/// buffers at the default lane count.
 pub fn scan_sharded<T, Op>(
     list: &LinkedList,
     values: &[T],
@@ -125,49 +158,31 @@ where
 {
     let mut out = Vec::new();
     let mut scratch = RankScratch::new();
-    let report = scan_sharded_into(list, values, op, shard_size, seed, &mut scratch, &mut out);
+    let report = scan_sharded_into(
+        list,
+        values,
+        op,
+        shard_size,
+        listkit::walk::DEFAULT_LANES,
+        seed,
+        &mut scratch,
+        &mut out,
+    );
     (out, report)
 }
 
 /// One dispatch rule for every stitch (rank and generic scan): the
 /// op-width-aware cost model picks the backend for the contracted
-/// length and the ambient thread budget. Reid-Miller is the host's
-/// only work-efficient parallel algorithm, so every parallel pick maps
-/// there (same reasoning as the engine planner's prior).
-fn stitch_choice(fragments: usize, elem_bytes: usize) -> Algorithm {
-    match predict_best_op(fragments, rayon::current_num_threads(), elem_bytes) {
+/// length, the ambient thread budget, and the lane count the stitch
+/// would actually run with (a single-lane pin must not be promised the
+/// multi-lane discount). Reid-Miller is the host's only work-efficient
+/// parallel algorithm, so every parallel pick maps there (same
+/// reasoning as the engine planner's prior).
+fn stitch_choice(fragments: usize, elem_bytes: usize, lanes: usize) -> Algorithm {
+    match predict_best_op_lanes(fragments, rayon::current_num_threads(), elem_bytes, lanes) {
         AlgChoice::Serial => Algorithm::Serial,
         _ => Algorithm::ReidMiller,
     }
-}
-
-/// Rank the contracted boundary list: each fragment's global starting
-/// rank is the exclusive `+`-scan of fragment lengths along it. Kept
-/// separate from the generic stitch body because ranking exploits the
-/// build-time `lens` table natively (`serial_prefix` walks it with no
-/// value-array allocation in the common serial case); the dispatch
-/// rule itself is shared via [`stitch_choice`].
-fn stitch(
-    sharded: &ShardedList,
-    seed: u64,
-    scratch: &mut RankScratch,
-) -> (Vec<u64>, Algorithm, u64) {
-    let bt = sharded.boundary();
-    let choice = stitch_choice(bt.fragment_count(), std::mem::size_of::<u64>());
-    let t0 = Instant::now();
-    let prefix = match choice {
-        Algorithm::Serial => bt.serial_prefix(),
-        _ => {
-            let contracted = bt.to_list();
-            let lens: Vec<i64> = bt.lens().iter().map(|&l| l as i64).collect();
-            let mut rm = crate::host::ReidMiller::new(seed);
-            let mut scanned = Vec::new();
-            rm.m = None;
-            rm.scan_into(&contracted, &lens, &AddOp, scratch, &mut scanned);
-            scanned.into_iter().map(|x| x as u64).collect()
-        }
-    };
-    (prefix, choice, t0.elapsed().as_nanos() as u64)
 }
 
 #[cfg(test)]

@@ -50,6 +50,9 @@ Engine:
   --small-cutoff N       batch jobs up to N vertices    [default 4096]
   --batch-max B          max jobs per batch             [default 64]
   --no-pool              disable scratch-buffer pooling
+  --lanes K              interleaved traversal lanes per worker for the
+                         multi-chain walks; 0 = let the planner tune K
+                         per size bucket                    [default 0]
   --shard-budget N       per-worker vertex budget: RankSharded jobs
                          above N split into shards    [default 2097152]
   --skip-baseline        skip the naive sequential-submit baseline
@@ -128,6 +131,10 @@ fn parse_args() -> Args {
                 args.engine.batch_max = val("--batch-max").parse().unwrap_or_else(|_| usage())
             }
             "--no-pool" => args.engine.pool_scratch = false,
+            "--lanes" => {
+                let k: usize = val("--lanes").parse().unwrap_or_else(|_| usage());
+                args.engine.lanes = (k > 0).then_some(k);
+            }
             "--shard-budget" => {
                 args.engine.shard_budget = val("--shard-budget").parse().unwrap_or_else(|_| usage())
             }
@@ -240,13 +247,17 @@ fn main() {
 
     let engine = Engine::new(args.engine.clone());
     println!(
-        "engine: {} workers × {} inner threads, queue {} (batch ≤{} jobs ≤{} vertices, pool {})",
+        "engine: {} workers × {} inner threads, queue {} (batch ≤{} jobs ≤{} vertices, pool {}, lanes {})",
         engine.config().workers,
         engine.config().inner_threads,
         engine.config().queue_capacity,
         engine.config().batch_max,
         engine.config().small_cutoff,
-        if engine.config().pool_scratch { "on" } else { "off" }
+        if engine.config().pool_scratch { "on" } else { "off" },
+        match engine.config().lanes {
+            Some(k) => k.to_string(),
+            None => "auto".to_string(),
+        }
     );
 
     let mut engine_result = None;

@@ -36,6 +36,10 @@ pub struct EngineConfig {
     /// into shards of at most this size (≈ the vertex count whose
     /// working set a worker can keep cache-resident).
     pub shard_budget: usize,
+    /// Interleaved traversal lanes for the multi-chain walks (`None` =
+    /// the planner tunes the count per size bucket with its EWMA probe
+    /// machinery; `Some(k)` pins it — `rankd --lanes`).
+    pub lanes: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +54,7 @@ impl Default for EngineConfig {
             batch_max: 64,
             pool_scratch: true,
             shard_budget: 1 << 21,
+            lanes: None,
         }
     }
 }
@@ -91,6 +96,13 @@ impl EngineConfig {
         self.shard_budget = budget.max(1);
         self
     }
+
+    /// Pin the interleaved-lane count (`None` restores per-bucket
+    /// tuning).
+    pub fn with_lanes(mut self, lanes: Option<usize>) -> Self {
+        self.lanes = lanes.map(|k| k.max(1));
+        self
+    }
 }
 
 struct Shared {
@@ -122,7 +134,7 @@ impl Engine {
         cfg.batch_max = cfg.batch_max.max(1);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
-            planner: Planner::new(cfg.inner_threads),
+            planner: Planner::new(cfg.inner_threads).with_lanes_override(cfg.lanes),
             pool: ScratchPool::new(cfg.workers),
             counters: Counters::new(),
             started: Instant::now(),
@@ -314,6 +326,9 @@ fn worker_loop(shared: &Shared) {
                     ))
                 };
                 let t0 = Instant::now();
+                // The walks accumulate lane-occupancy telemetry in the
+                // scratch; zero it so this job's delta is attributable.
+                scratch.telemetry.reset();
                 // Isolate panics: an unwinding job must not kill the
                 // worker (stranding every later waiter) — it completes
                 // its cell with `Failed` instead. The scratch is safe
@@ -321,8 +336,9 @@ fn worker_loop(shared: &Shared) {
                 let exec =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match decision {
                         ShardDecision::Monolithic(plan) => {
-                            let mut runner =
-                                HostRunner::new(plan.algorithm).with_seed(job.opts.seed);
+                            let mut runner = HostRunner::new(plan.algorithm)
+                                .with_seed(job.opts.seed)
+                                .with_lanes(plan.lanes);
                             runner.m = plan.m;
                             let output: ErasedOutput = match &job.spec {
                                 JobSpec::Rank { list, .. } => {
@@ -336,22 +352,27 @@ fn worker_loop(shared: &Shared) {
                             };
                             Executed { output, algorithm: plan.algorithm, shards: 0, stitch_ns: 0 }
                         }
-                        ShardDecision::Sharded { shard_size, .. } => {
+                        ShardDecision::Sharded { shard_size, lanes, .. } => {
                             let (output, report): (ErasedOutput, _) = match &job.spec {
                                 JobSpec::Rank { list, .. } => {
                                     let mut out = Vec::new();
                                     let report = listrank::host::rank_sharded_into(
                                         list,
                                         shard_size,
+                                        lanes,
                                         job.opts.seed,
                                         &mut scratch,
                                         &mut out,
                                     );
                                     (Box::new(out), report)
                                 }
-                                JobSpec::Scan { list, exec, .. } => {
-                                    exec.run_sharded(list, shard_size, job.opts.seed, &mut scratch)
-                                }
+                                JobSpec::Scan { list, exec, .. } => exec.run_sharded(
+                                    list,
+                                    shard_size,
+                                    lanes,
+                                    job.opts.seed,
+                                    &mut scratch,
+                                ),
                             };
                             Executed {
                                 output,
@@ -362,6 +383,9 @@ fn worker_loop(shared: &Shared) {
                         }
                     }));
                 let exec_ns = t0.elapsed().as_nanos() as u64;
+                let lane_stats = scratch.telemetry.snapshot();
+                shared.counters.lane_steps.fetch_add(lane_stats.steps, Ordering::Relaxed);
+                shared.counters.lane_slots.fetch_add(lane_stats.slots, Ordering::Relaxed);
                 let done = match exec {
                     Ok(done) => done,
                     Err(_) => {
@@ -376,6 +400,11 @@ fn worker_loop(shared: &Shared) {
                 // into one algorithm's EWMA would poison the bucket).
                 if done.shards == 0 {
                     shared.planner.record(n, op, done.algorithm, exec_ns);
+                    if let ShardDecision::Monolithic(plan) = decision {
+                        if plan.algorithm == listrank::Algorithm::ReidMiller {
+                            shared.planner.record_lanes(n, plan.lanes, exec_ns);
+                        }
+                    }
                 }
                 let landed = job.cell.complete(Ok(JobReport {
                     id: job.id,

@@ -41,11 +41,13 @@ pub(crate) trait ScanExec: Send + Sync {
         list: &LinkedList,
         scratch: &mut RankScratch,
     ) -> ErasedOutput;
-    /// Shard-parallel execution (generic stitched scan).
+    /// Shard-parallel execution (generic stitched scan) with `lanes`
+    /// interleaved cursors per shard-local walk.
     fn run_sharded(
         &self,
         list: &LinkedList,
         shard_size: usize,
+        lanes: usize,
         seed: u64,
         scratch: &mut RankScratch,
     ) -> (ErasedOutput, ShardedReport);
@@ -90,6 +92,7 @@ where
         &self,
         list: &LinkedList,
         shard_size: usize,
+        lanes: usize,
         seed: u64,
         scratch: &mut RankScratch,
     ) -> (ErasedOutput, ShardedReport) {
@@ -99,6 +102,7 @@ where
             &self.values,
             &self.op,
             shard_size,
+            lanes,
             seed,
             scratch,
             &mut out,
@@ -150,6 +154,7 @@ where
         &self,
         list: &LinkedList,
         shard_size: usize,
+        lanes: usize,
         seed: u64,
         scratch: &mut RankScratch,
     ) -> (ErasedOutput, ShardedReport) {
@@ -160,6 +165,7 @@ where
             &self.wrapped,
             &seg,
             shard_size,
+            lanes,
             seed,
             scratch,
             &mut scanned,

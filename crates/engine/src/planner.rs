@@ -12,7 +12,7 @@
 
 use crate::op::OpKind;
 use listrank::Algorithm;
-use rankmodel::predict::{predict_best_op, AlgChoice};
+use rankmodel::predict::{default_lanes, predict_best_op_lanes, AlgChoice};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -29,6 +29,14 @@ const ALPHA: f64 = 0.25;
 /// bucket, so measured history covers both candidates.
 const PROBE_EVERY: u64 = 16;
 
+/// Lane counts the per-bucket lane tuner picks between. The model's
+/// prior seeds the choice; measured Reid-Miller completions at each
+/// candidate migrate it to wherever *this* machine's miss-buffer depth
+/// and cache sizes actually put the optimum.
+pub const LANE_CANDIDATES: [usize; 5] = [1, 2, 4, 8, 16];
+
+const LANE_SLOTS: usize = LANE_CANDIDATES.len();
+
 pub(crate) fn bucket_of(n: usize) -> usize {
     (usize::BITS - n.leading_zeros()) as usize
 }
@@ -44,6 +52,10 @@ pub struct Plan {
     pub algorithm: Algorithm,
     /// Reid-Miller split-count override (`None` = host heuristic).
     pub m: Option<usize>,
+    /// Interleaved traversal lanes for the multi-chain walks (always
+    /// `1` for algorithms without one — a serial chain has a single
+    /// cursor, structurally).
+    pub lanes: usize,
 }
 
 /// The plan branch for sharded requests: lists that fit the per-worker
@@ -61,6 +73,8 @@ pub enum ShardDecision {
         shard_size: usize,
         /// Number of shards the list will split into.
         shards: usize,
+        /// Interleaved lanes for the shard-local fragment walks.
+        lanes: usize,
     },
 }
 
@@ -74,8 +88,16 @@ struct Ewma {
 pub struct Planner {
     /// Parallelism available to a single job.
     p: usize,
+    /// Pinned lane count (`None` = tune per bucket).
+    lanes_override: Option<usize>,
     /// Measured per-element times by (bucket, op kind, algorithm).
     measured: Mutex<Vec<[[Ewma; ALGS]; OPS]>>,
+    /// Measured per-element times of Reid-Miller jobs by (bucket, lane
+    /// candidate) — the lane tuner's history. Kept separate from the
+    /// algorithm EWMAs: lane counts only vary *within* the Reid-Miller
+    /// dispatch, and mixing lane experiments into the serial/RM contest
+    /// would double-count them.
+    lane_measured: Mutex<Vec<[Ewma; LANE_SLOTS]>>,
     /// Dispatch counts by (bucket, algorithm) — the stats surface that
     /// makes "different algorithms by job size" visible.
     dispatched: Vec<[AtomicU64; ALGS]>,
@@ -87,11 +109,14 @@ pub struct Planner {
 }
 
 impl Planner {
-    /// A planner for jobs that may use up to `p` threads each.
+    /// A planner for jobs that may use up to `p` threads each, tuning
+    /// the lane count per size bucket.
     pub fn new(p: usize) -> Self {
         Planner {
             p: p.max(1),
+            lanes_override: None,
             measured: Mutex::new(vec![[[Ewma::default(); ALGS]; OPS]; BUCKETS]),
+            lane_measured: Mutex::new(vec![[Ewma::default(); LANE_SLOTS]; BUCKETS]),
             dispatched: (0..BUCKETS).map(|_| std::array::from_fn(|_| AtomicU64::new(0))).collect(),
             dispatched_by_op: (0..OPS)
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
@@ -100,9 +125,16 @@ impl Planner {
         }
     }
 
-    /// Choose the algorithm (and `m`) for an `n`-vertex job computing
-    /// `op` over `elem_bytes`-byte values. `pinned` overrides
-    /// adaptivity (but still records the dispatch).
+    /// Pin the lane count instead of tuning it (`None` restores
+    /// tuning). The engine threads `EngineConfig::lanes` through here.
+    pub fn with_lanes_override(mut self, lanes: Option<usize>) -> Self {
+        self.lanes_override = lanes.map(|k| k.max(1));
+        self
+    }
+
+    /// Choose the algorithm (plus `m` and the lane count) for an
+    /// `n`-vertex job computing `op` over `elem_bytes`-byte values.
+    /// `pinned` overrides adaptivity (but still records the dispatch).
     pub fn choose(
         &self,
         n: usize,
@@ -113,8 +145,13 @@ impl Planner {
         let algorithm = pinned.unwrap_or_else(|| self.adaptive_choice(n, op, elem_bytes));
         self.dispatched[bucket_of(n)][alg_index(algorithm)].fetch_add(1, Ordering::Relaxed);
         self.dispatched_by_op[op.index()][alg_index(algorithm)].fetch_add(1, Ordering::Relaxed);
-        let m = if algorithm == Algorithm::ReidMiller { self.tuned_m(n) } else { None };
-        Plan { algorithm, m }
+        let (m, lanes) = if algorithm == Algorithm::ReidMiller {
+            let lanes = self.tuned_lanes(n);
+            (self.tuned_m(n, lanes), lanes)
+        } else {
+            (None, 1)
+        };
+        Plan { algorithm, m, lanes }
     }
 
     /// Cold-start prior. The `rankmodel` prediction locates the size
@@ -123,15 +160,58 @@ impl Planner {
     /// parallel algorithm is Reid-Miller, so every parallel pick maps
     /// there. (The C90 model can prefer the random-mate algorithms
     /// because vector hardware runs them wide even at `p = 1`; a
-    /// multicore host has no such discount, and on one thread nothing
-    /// beats Serial — mirroring the paper's own Fig. 1 ordering.)
+    /// multicore host has no such discount.) With the K-lane walker the
+    /// model crosses over to Reid-Miller even on one thread for large
+    /// lists — interleaved chains are the single-core parallelism the
+    /// paper's vector pipeline provided. The prior is keyed on the
+    /// lane count the job would actually run with (override included),
+    /// so pinning `--lanes 1` restores the old serial-on-one-thread
+    /// rule instead of promising a discount the walker won't deliver.
     fn prior_choice(&self, n: usize, elem_bytes: usize) -> Algorithm {
-        if self.p < 2 {
-            return Algorithm::Serial;
-        }
-        match predict_best_op(n, self.p, elem_bytes) {
+        let lanes = self.lanes_override.unwrap_or_else(|| default_lanes(n));
+        match predict_best_op_lanes(n, self.p, elem_bytes, lanes) {
             AlgChoice::Serial => Algorithm::Serial,
             _ => Algorithm::ReidMiller,
+        }
+    }
+
+    /// The lane count for an `n`-vertex Reid-Miller job: the override
+    /// if pinned, else the bucket's best measured candidate, probing
+    /// unmeasured candidates on the probe cadence, seeded by the
+    /// model's prior.
+    fn tuned_lanes(&self, n: usize) -> usize {
+        if let Some(k) = self.lanes_override {
+            return k;
+        }
+        let b = bucket_of(n);
+        let row = { self.lane_measured.lock().expect("planner poisoned")[b] };
+        let measured_any = row.iter().any(|e| e.samples > 0);
+        let unmeasured_any = row.iter().any(|e| e.samples == 0);
+        if measured_any && unmeasured_any {
+            // Probe the least-sampled candidate periodically so the
+            // bucket's history eventually covers the whole ladder.
+            let rm = self.dispatched[b][alg_index(Algorithm::ReidMiller)].load(Ordering::Relaxed);
+            if rm % PROBE_EVERY == PROBE_EVERY - 1 {
+                let (i, _) = row
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.samples)
+                    .expect("candidate ladder is non-empty");
+                return LANE_CANDIDATES[i];
+            }
+        }
+        if measured_any {
+            let (i, _) = row
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.samples > 0)
+                .min_by(|(_, a), (_, b)| {
+                    a.ns_per_elem.partial_cmp(&b.ns_per_elem).expect("EWMAs are finite")
+                })
+                .expect("measured_any");
+            LANE_CANDIDATES[i]
+        } else {
+            default_lanes(n)
         }
     }
 
@@ -168,7 +248,10 @@ impl Planner {
                 };
                 let count: u64 = self.dispatched[b].iter().map(|c| c.load(Ordering::Relaxed)).sum();
                 let probe = count % PROBE_EVERY == PROBE_EVERY - 1;
-                if probe && (other == Algorithm::Serial || self.p >= 2) {
+                // Reid-Miller is a plausible winner even at p = 1 now
+                // (lanes hide latency without threads), so both
+                // contenders are probe-worthy everywhere.
+                if probe {
                     other
                 } else {
                     prior
@@ -203,20 +286,27 @@ impl Planner {
             return ShardDecision::Monolithic(self.choose(n, op, elem_bytes, pinned));
         }
         let shard_size = rankmodel::predict::shard_size_for(n, budget, self.p);
+        // The shard-local fragment walks interleave like Reid-Miller's
+        // phases; key the lane choice on the shard size (the walk's
+        // working set), overridable like everything else.
+        let lanes = self.lanes_override.unwrap_or_else(|| default_lanes(shard_size));
         // Sharded executions are counted at completion time by the
         // engine's `Counters` (the stats surface); the planner keeps no
         // duplicate tally.
-        ShardDecision::Sharded { shard_size, shards: n.div_ceil(shard_size) }
+        ShardDecision::Sharded { shard_size, shards: n.div_ceil(shard_size), lanes }
     }
 
-    /// Model-tuned Reid-Miller split count for `n`, clamped to the host
-    /// backend's over-decomposition bounds (≥ 8 tasks per thread so work
-    /// stealing levels the exponential sublist skew, ≤ n/4 so sublists
-    /// stay non-trivial). Cached per size bucket, tuned for the
-    /// bucket's geometric midpoint (`1.5·2^(b-1)`) rather than
-    /// whichever `n` happens to arrive first, so the cached value is
-    /// equally representative for every job the bucket covers.
-    fn tuned_m(&self, n: usize) -> Option<usize> {
+    /// Model-tuned Reid-Miller split count for `n` walked with `lanes`
+    /// interleaved lanes, clamped to the host backend's
+    /// over-decomposition bounds (≥ `8·lanes` tasks per thread — each
+    /// worker needs ≥ `lanes` *live* sublists to keep its lanes full,
+    /// with the 8× on top so work stealing levels the exponential
+    /// sublist skew — and ≤ n/4 so sublists stay non-trivial). Cached
+    /// per size bucket, tuned for the bucket's geometric midpoint
+    /// (`1.5·2^(b-1)`) rather than whichever `n` happens to arrive
+    /// first, so the cached value is equally representative for every
+    /// job the bucket covers.
+    fn tuned_m(&self, n: usize, lanes: usize) -> Option<usize> {
         let b = bucket_of(n);
         let rep = if b >= 2 { 3usize << (b - 2) } else { n };
         let mut cache = self.tuned_m.lock().expect("planner poisoned");
@@ -224,8 +314,31 @@ impl Planner {
         if m < 2 {
             return None; // model says don't split; host heuristic decides
         }
-        let floor = self.p * 8;
+        let floor = self.p * 8 * lanes.max(1);
         Some(m.clamp(floor.min(n / 4), (n / 4).max(1)).max(2))
+    }
+
+    /// Fold one completed Reid-Miller job into the (bucket, lane)
+    /// history. `lanes` snaps to the nearest candidate rung.
+    pub fn record_lanes(&self, n: usize, lanes: usize, exec_ns: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = LANE_CANDIDATES
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c.abs_diff(lanes))
+            .map(|(i, _)| i)
+            .expect("candidate ladder is non-empty");
+        let per_elem = exec_ns as f64 / n as f64;
+        let mut measured = self.lane_measured.lock().expect("planner poisoned");
+        let e = &mut measured[bucket_of(n)][slot];
+        e.ns_per_elem = if e.samples == 0 {
+            per_elem
+        } else {
+            (1.0 - ALPHA) * e.ns_per_elem + ALPHA * per_elem
+        };
+        e.samples += 1;
     }
 
     /// Fold one completed job into the (bucket, op) history.
@@ -456,9 +569,10 @@ mod tests {
         }
         // Above budget: sharded, balanced, within budget.
         match planner.choose_sharded(10 * budget + 17, budget, RANK, RB, None) {
-            ShardDecision::Sharded { shard_size, shards } => {
+            ShardDecision::Sharded { shard_size, shards, lanes } => {
                 assert!(shard_size <= budget);
                 assert_eq!(shards, (10 * budget + 17usize).div_ceil(shard_size));
+                assert!(lanes >= 1);
             }
             other => panic!("expected sharded dispatch, got {other:?}"),
         }
@@ -467,6 +581,78 @@ mod tests {
             ShardDecision::Monolithic(plan) => assert_eq!(plan.algorithm, Algorithm::Wyllie),
             other => panic!("pinned must be monolithic, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tuned_m_scales_with_lanes() {
+        // The m/lanes contract: with K lanes each worker wants ≥ K live
+        // sublists, so the task floor is p·8·K and the planner's chosen
+        // m must clear it (until the n/4 cap binds).
+        let planner = Planner::new(4);
+        let n = 1 << 22;
+        let plan = choose1(&planner, n, None);
+        assert_eq!(plan.algorithm, Algorithm::ReidMiller);
+        let m = plan.m.expect("reid-miller gets a tuned m");
+        assert!(m >= 4 * 8 * plan.lanes, "m = {m} below the 8·K floor for lanes = {}", plan.lanes);
+        assert!(m <= n / 4);
+        // Pinning a taller lane count raises the floor accordingly.
+        let tall = Planner::new(4).with_lanes_override(Some(16));
+        let plan = tall.choose(n, RANK, RB, None);
+        assert_eq!(plan.lanes, 16);
+        assert!(plan.m.expect("tuned m") >= 4 * 8 * 16);
+    }
+
+    #[test]
+    fn lane_override_pins_every_bucket() {
+        let planner = Planner::new(2).with_lanes_override(Some(4));
+        for n in [100usize, 1 << 18, 1 << 24] {
+            let plan = planner.choose(n, RANK, RB, None);
+            if plan.algorithm == Algorithm::ReidMiller {
+                assert_eq!(plan.lanes, 4);
+            }
+        }
+        match planner.choose_sharded(1 << 24, 1 << 20, RANK, RB, None) {
+            ShardDecision::Sharded { lanes, .. } => assert_eq!(lanes, 4),
+            other => panic!("expected sharded dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_history_overrides_prior_and_probes_the_ladder() {
+        let planner = Planner::new(4);
+        let n = 1 << 22;
+        // Cold start: the model's prior (default lanes above the
+        // cache-resident threshold).
+        assert_eq!(choose1(&planner, n, None).lanes, rankmodel::predict::default_lanes(n), "prior");
+        // Feed history claiming 2 lanes beat the default in this
+        // bucket: the tuner must follow the measurement.
+        for _ in 0..8 {
+            planner.record_lanes(n, 2, 1_000_000);
+            planner.record_lanes(n, rankmodel::predict::default_lanes(n), 64_000_000);
+        }
+        let picks: Vec<usize> =
+            (0..2 * PROBE_EVERY).map(|_| choose1(&planner, n, None).lanes).collect();
+        assert!(
+            picks.iter().filter(|&&k| k == 2).count() >= picks.len() / 2,
+            "measured best must dominate: {picks:?}"
+        );
+        // The unmeasured rungs (1, 4, 16) still get probed.
+        assert!(
+            picks.iter().any(|&k| k != 2 && k != rankmodel::predict::default_lanes(n)),
+            "no probe of unmeasured lane candidates in {picks:?}"
+        );
+    }
+
+    #[test]
+    fn single_thread_prior_uses_lanes_for_big_jobs() {
+        // p = 1 is no longer auto-Serial: above the cache-resident
+        // threshold the lane-discounted model sends big jobs to
+        // Reid-Miller even on one thread (and small jobs stay Serial).
+        let planner = Planner::new(1);
+        assert_eq!(choose1(&planner, 10_000, None).algorithm, Algorithm::Serial);
+        let plan = choose1(&planner, 1 << 23, None);
+        assert_eq!(plan.algorithm, Algorithm::ReidMiller);
+        assert!(plan.lanes >= 2, "latency hiding needs lanes: {plan:?}");
     }
 
     #[test]

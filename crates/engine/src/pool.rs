@@ -35,7 +35,8 @@ impl PoolStats {
 }
 
 /// Default cap on the total heap the pool keeps alive while idle.
-/// Scratches grow to the largest job they served (≈ 5 bytes/vertex), so
+/// Scratches grow to the largest job they served (≈ 4.1 bytes/vertex:
+/// a 4-byte head map plus the packed 1-bit boundary bitset), so
 /// without a byte budget one 10⁷-vertex job per worker would pin
 /// hundreds of megabytes for the engine's remaining lifetime.
 pub const DEFAULT_MAX_RETAINED_BYTES: usize = 256 << 20;
@@ -157,8 +158,8 @@ mod tests {
 
     #[test]
     fn pool_respects_byte_budget() {
-        let small = RankScratch::with_capacity(1000); // ≈ 5 kB
-        let big = RankScratch::with_capacity(2000); // ≈ 10 kB
+        let small = RankScratch::with_capacity(1000); // ≈ 4.1 kB
+        let big = RankScratch::with_capacity(2000); // ≈ 8.3 kB
         let budget = big.footprint_bytes();
         let pool = ScratchPool::with_byte_budget(4, budget);
         pool.release(small);

@@ -33,6 +33,8 @@ pub(crate) struct Counters {
     pub(crate) sharded_jobs: AtomicU64,
     pub(crate) shards_ranked: AtomicU64,
     pub(crate) stitch_ns: AtomicU64,
+    pub(crate) lane_steps: AtomicU64,
+    pub(crate) lane_slots: AtomicU64,
     /// Indexed by [`OpKind::ALL`] order.
     pub(crate) per_op: [OpCounters; OPS],
 }
@@ -53,6 +55,8 @@ impl Counters {
             sharded_jobs: AtomicU64::new(0),
             shards_ranked: AtomicU64::new(0),
             stitch_ns: AtomicU64::new(0),
+            lane_steps: AtomicU64::new(0),
+            lane_slots: AtomicU64::new(0),
             per_op: Default::default(),
         }
     }
@@ -128,6 +132,12 @@ pub struct EngineStats {
     /// Total nanoseconds sharded jobs spent in their stitch phase
     /// (ranking the contracted boundary list).
     pub stitch_ns: u64,
+    /// Vertices visited by K-lane interleaved walks (Reid-Miller
+    /// Phases 1/3 and the shard-local fragment walks).
+    pub lane_steps: u64,
+    /// Lane-slots available while those walks ran (sweeps × lanes);
+    /// `lane_steps / lane_slots` is the mean lane occupancy.
+    pub lane_slots: u64,
     /// Jobs currently queued.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -184,6 +194,8 @@ impl EngineStats {
             sharded_jobs: counters.sharded_jobs.load(Ordering::Relaxed),
             shards_ranked: counters.shards_ranked.load(Ordering::Relaxed),
             stitch_ns: counters.stitch_ns.load(Ordering::Relaxed),
+            lane_steps: counters.lane_steps.load(Ordering::Relaxed),
+            lane_slots: counters.lane_slots.load(Ordering::Relaxed),
             queue_depth,
             peak_queue_depth,
             dispatch: planner.dispatch_totals(),
@@ -209,6 +221,18 @@ impl EngineStats {
             0.0
         } else {
             self.elements as f64 / self.uptime_s
+        }
+    }
+
+    /// Mean lane occupancy of the interleaved walks: the fraction of
+    /// lane-slots that held a live cursor (`0.0` when no interleaved
+    /// walk ran). Low occupancy means jobs had too few live chains for
+    /// their lane count — the tuner's cue to drop K.
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.lane_steps as f64 / self.lane_slots as f64
         }
     }
 
@@ -274,6 +298,14 @@ impl std::fmt::Display for EngineStats {
             self.pool.misses,
             self.pool.idle
         )?;
+        if self.lane_slots > 0 {
+            writeln!(
+                f,
+                "lanes: {:.0}% occupancy over {} interleaved steps",
+                self.lane_occupancy() * 100.0,
+                format_count(self.lane_steps as f64),
+            )?;
+        }
         if self.sharded_jobs > 0 {
             writeln!(
                 f,

@@ -502,3 +502,29 @@ fn engine_beats_naive_sequential_baseline() {
     );
     engine.shutdown();
 }
+
+#[test]
+fn lane_stats_and_pinned_lanes_flow_through_the_engine() {
+    // A pinned lane count must (a) produce byte-identical results to a
+    // direct HostRunner call with the same pinning, and (b) surface
+    // lane occupancy in the stats once a Reid-Miller job has run.
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(1).with_inner_threads(2).with_lanes(Some(4)),
+    );
+    let list = Arc::new(gen::random_list(200_000, 0xAB));
+    let opts = JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller) };
+    let report = engine
+        .submit_with(Request::rank(Arc::clone(&list)), opts)
+        .expect("submit")
+        .wait()
+        .expect("job completes");
+    assert_eq!(
+        report.output,
+        HostRunner::new(Algorithm::ReidMiller).with_seed(0x1994).with_lanes(4).rank(&list),
+        "engine with pinned lanes must match the equally-pinned runner byte for byte"
+    );
+    let stats = engine.shutdown();
+    assert!(stats.lane_steps >= 2 * 200_000, "phases 1+3 both walk: {}", stats.lane_steps);
+    let occ = stats.lane_occupancy();
+    assert!(occ > 0.0 && occ <= 1.0, "occupancy in (0, 1]: {occ}");
+}

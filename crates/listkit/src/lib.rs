@@ -19,6 +19,10 @@
 //!   list for the cross-shard stitch;
 //! * [`packed`] — the one-gather encoding of (value, link) in a single
 //!   64-bit word (paper §3, the list-ranking fast path);
+//! * [`walk`] — the K-lane interleaved traversal engine: the modern
+//!   analogue of the paper's vectorized sublist traversal, keeping K
+//!   independent cache misses in flight per worker so pointer-chasing
+//!   hot paths hide DRAM latency instead of serializing on it;
 //! * [`validate`] — structural validation with precise error reporting.
 //!
 //! ## Conventions
@@ -28,8 +32,12 @@
 //! vertices** (exclusive prefix; head gets the identity). This matches the
 //! paper: list ranking is list scan with integer addition over all-ones.
 
+// `deny` rather than `forbid`: the [`walk`] module's hot loops opt in
+// to unchecked indexing (justified by `LinkedList`'s
+// validated-at-construction invariants and shadowed by debug asserts);
+// everything else stays unsafe-free.
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod gen;
 pub mod list;
@@ -39,6 +47,7 @@ pub mod segmented;
 pub mod serial;
 pub mod sharded;
 pub mod validate;
+pub mod walk;
 
 pub use list::{Idx, LinkedList, ValuedList};
 pub use ops::ScanOp;

@@ -53,17 +53,34 @@ pub fn scan_into<T: Copy, Op: ScanOp<T>>(
 
 /// Serial inclusive list scan: `out[v]` includes `values[v]` itself.
 pub fn scan_inclusive<T: Copy, Op: ScanOp<T>>(list: &LinkedList, values: &[T], op: &Op) -> Vec<T> {
+    let mut out = Vec::new();
+    scan_inclusive_into(list, values, op, &mut out);
+    out
+}
+
+/// [`scan_inclusive`] into a caller-provided buffer (cleared and
+/// resized; its allocation is reused when capacity suffices). Returns
+/// the final carry — the same value [`total`] computes — so a caller
+/// needing both does one walk instead of two.
+pub fn scan_inclusive_into<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    out: &mut Vec<T>,
+) -> T {
     assert_eq!(values.len(), list.len(), "value array length mismatch");
-    let mut out = vec![op.identity(); list.len()];
+    out.clear();
+    out.resize(list.len(), op.identity());
     let mut acc = op.identity();
     for v in list.iter() {
         acc = op.combine(acc, values[v as usize]);
         out[v as usize] = acc;
     }
-    out
+    acc
 }
 
 /// Total op-sum of all values in list order (the scan's final carry).
+/// Allocation-free: one pointer-chase pass, no output array.
 pub fn total<T: Copy, Op: ScanOp<T>>(list: &LinkedList, values: &[T], op: &Op) -> T {
     let mut acc = op.identity();
     for v in list.iter() {

@@ -40,6 +40,7 @@
 
 use crate::list::{Idx, LinkedList};
 use crate::ops::ScanOp;
+use crate::walk::{self, LaneStats, LaneTelemetry, WalkPolicy};
 use rayon::prelude::*;
 
 /// The contracted list of fragments: one vertex per fragment, linked by
@@ -87,7 +88,17 @@ impl BoundaryTable {
     /// fragment `f`'s first vertex in global list order (an exclusive
     /// scan of `lens` along the contracted list).
     pub fn serial_prefix(&self) -> Vec<u64> {
-        let mut prefix = vec![0u64; self.next.len()];
+        let mut prefix = Vec::new();
+        self.serial_prefix_into(&mut prefix);
+        prefix
+    }
+
+    /// [`Self::serial_prefix`] into a caller-provided buffer (cleared
+    /// and resized; its allocation is reused when capacity suffices) —
+    /// the no-alloc entry batch executors stitch through.
+    pub fn serial_prefix_into(&self, prefix: &mut Vec<u64>) {
+        prefix.clear();
+        prefix.resize(self.next.len(), 0);
         let mut acc = 0u64;
         let mut cur = self.head as usize;
         loop {
@@ -98,7 +109,6 @@ impl BoundaryTable {
             }
             cur = self.next[cur] as usize;
         }
-        prefix
     }
 
     /// Generic serial stitch: the exclusive op-scan of per-fragment
@@ -108,8 +118,27 @@ impl BoundaryTable {
     /// along the contracted list *is* global list order, so this is
     /// safe for non-commutative operators.
     pub fn serial_exclusive<T: Copy, Op: ScanOp<T>>(&self, totals: &[T], op: &Op) -> Vec<T> {
+        let mut prefix = Vec::new();
+        self.serial_exclusive_into(totals, op, &mut prefix);
+        prefix
+    }
+
+    /// [`Self::serial_exclusive`] into a caller-provided buffer
+    /// (cleared and resized; its allocation is reused when capacity
+    /// suffices) — the generic-`T` counterpart of
+    /// [`Self::serial_prefix_into`]. Unlike the rank stitch, whose
+    /// `u64` prefix lives in a pooled scratch buffer, a generic scan's
+    /// prefix buffer is owned by the caller (a `Vec<T>` cannot be
+    /// pooled monomorphically), so reuse is per call site.
+    pub fn serial_exclusive_into<T: Copy, Op: ScanOp<T>>(
+        &self,
+        totals: &[T],
+        op: &Op,
+        prefix: &mut Vec<T>,
+    ) {
         assert_eq!(totals.len(), self.next.len(), "one total per fragment");
-        let mut prefix = vec![op.identity(); self.next.len()];
+        prefix.clear();
+        prefix.resize(self.next.len(), op.identity());
         let mut acc = op.identity();
         let mut cur = self.head as usize;
         loop {
@@ -120,7 +149,6 @@ impl BoundaryTable {
             }
             cur = self.next[cur] as usize;
         }
-        prefix
     }
 }
 
@@ -131,6 +159,9 @@ struct Shard {
     /// Per-shard successor array: the shard's fragments chained
     /// head-to-tail in discovery order, over local indices.
     local: LinkedList,
+    /// Local head vertex of each fragment, discovery order — the chain
+    /// seeds the K-lane fragment walker interleaves over.
+    frag_heads_local: Vec<Idx>,
     /// Global id of this shard's first fragment (its fragments are the
     /// contiguous id range `frag_off..frag_off + frag_cnt`, in the same
     /// discovery order the chaining uses).
@@ -161,6 +192,10 @@ pub struct ShardedList {
     shard_size: usize,
     shards: Vec<Shard>,
     boundary: BoundaryTable,
+    /// Lane policy for the shard-local fragment walks.
+    policy: WalkPolicy,
+    /// Accumulated lane occupancy across this list's walks.
+    telemetry: LaneTelemetry,
 }
 
 impl ShardedList {
@@ -200,6 +235,7 @@ impl ShardedList {
         let mut lens = Vec::with_capacity(total_frags);
         let mut shards = Vec::with_capacity(shard_count);
         let mut off = 0usize;
+        let mut shard_lo = 0usize;
         for b in builds {
             let frag_cnt = b.frag_heads.len();
             for (j, (&exit, &len)) in b.frag_exits.iter().zip(&b.frag_lens).enumerate() {
@@ -207,16 +243,46 @@ impl ShardedList {
                 next.push(if exit == Idx::MAX { f as Idx } else { head_frag[exit as usize] });
                 lens.push(len);
             }
+            let frag_heads_local =
+                b.frag_heads.iter().map(|&h| (h as usize - shard_lo) as Idx).collect();
             shards.push(Shard {
                 local: LinkedList::from_raw_trusted(b.local_next, b.local_head, b.local_tail),
+                frag_heads_local,
                 frag_off: off,
                 frag_cnt,
             });
             off += frag_cnt;
+            shard_lo += shard_size;
         }
         let head = head_frag[list.head() as usize];
         debug_assert_ne!(head, u32::MAX, "global head starts a fragment");
-        ShardedList { n, shard_size, shards, boundary: BoundaryTable { next, head, lens } }
+        ShardedList {
+            n,
+            shard_size,
+            shards,
+            boundary: BoundaryTable { next, head, lens },
+            policy: WalkPolicy::default(),
+            telemetry: LaneTelemetry::new(),
+        }
+    }
+
+    /// Set the lane count for this list's shard-local fragment walks
+    /// (see [`crate::walk`]). Lane count never changes results — only
+    /// how many cache misses stay in flight per worker.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.policy = WalkPolicy::with_lanes(lanes);
+        self
+    }
+
+    /// The lane policy the fragment walks run under.
+    pub fn policy(&self) -> WalkPolicy {
+        self.policy
+    }
+
+    /// Lane-occupancy telemetry accumulated over every walk this list
+    /// has run (see [`LaneStats`]).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.telemetry.snapshot()
     }
 
     /// Number of vertices in the underlying list.
@@ -281,30 +347,27 @@ impl ShardedList {
         out.clear();
         out.resize(self.n, 0);
         let boundary = &self.boundary;
+        let (policy, telemetry) = (self.policy, &self.telemetry);
         let work: Vec<(&Shard, &mut [u64])> =
             self.shards.iter().zip(out.chunks_mut(self.shard_size)).collect();
         work.into_par_iter().with_min_len(1).for_each(|(shard, chunk)| {
-            // Local ranks through the existing no-alloc serial entry:
-            // within the chained local list, fragment `j` occupies the
-            // contiguous local-rank range [P_j, P_j + len_j) where P_j
-            // is the prefix of this shard's fragment lengths.
-            let mut local = Vec::new();
-            crate::serial::rank_into(&shard.local, &mut local);
-            // adjust[r] = prefix[frag at local rank r] - P_j, so the
-            // broadcast is plain array arithmetic indexed by rank.
+            // K-lane interleaved fragment walk: fragment `j` starts at
+            // its local head with global rank `prefix[frag_off + j]`
+            // and writes ranks straight into the shard's output chunk —
+            // no local-rank array, no adjust pass, K misses in flight.
             let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
-            let mut adjust = vec![0u64; chunk.len()];
-            let mut p = 0usize;
-            for (j, &len) in lens.iter().enumerate() {
-                let delta = prefix[shard.frag_off + j].wrapping_sub(p as u64);
-                for slot in &mut adjust[p..p + len as usize] {
-                    *slot = delta;
-                }
-                p += len as usize;
-            }
-            for (slot, &r) in chunk.iter_mut().zip(&local) {
-                *slot = r.wrapping_add(adjust[r as usize]);
-            }
+            let seeds = &prefix[shard.frag_off..shard.frag_off + shard.frag_cnt];
+            let mut stats = LaneStats::default();
+            walk::expand_rank_runs(
+                &shard.local,
+                &shard.frag_heads_local,
+                lens,
+                seeds,
+                policy,
+                chunk,
+                &mut stats,
+            );
+            telemetry.add(&stats);
         });
     }
 
@@ -329,22 +392,23 @@ impl ShardedList {
             work.push((s, shard, chunk));
             rest = tail;
         }
+        let (policy, telemetry) = (self.policy, &self.telemetry);
         work.into_par_iter().with_min_len(1).for_each(|(s, shard, tchunk)| {
             let lo = s * self.shard_size;
             let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
-            let mut j = 0usize;
-            let mut end = lens[0] as usize;
-            let mut acc = op.identity();
-            for (pos, lv) in shard.local.iter().enumerate() {
-                if pos == end {
-                    tchunk[j] = acc;
-                    j += 1;
-                    end += lens[j] as usize;
-                    acc = op.identity();
-                }
-                acc = op.combine(acc, values[lo + lv as usize]);
-            }
-            tchunk[j] = acc;
+            let vchunk = &values[lo..lo + shard.local.len()];
+            let mut stats = LaneStats::default();
+            walk::reduce_runs(
+                &shard.local,
+                vchunk,
+                op,
+                &shard.frag_heads_local,
+                lens,
+                policy,
+                tchunk,
+                &mut stats,
+            );
+            telemetry.add(&stats);
         });
         totals
     }
@@ -400,23 +464,27 @@ impl ShardedList {
         out.clear();
         out.resize(self.n, op.identity());
         let boundary = &self.boundary;
+        let (policy, telemetry) = (self.policy, &self.telemetry);
         let work: Vec<((usize, &Shard), &mut [T])> =
             self.shards.iter().enumerate().zip(out.chunks_mut(self.shard_size)).collect();
         work.into_par_iter().with_min_len(1).for_each(|((s, shard), chunk)| {
             let lo = s * self.shard_size;
             let lens = &boundary.lens[shard.frag_off..shard.frag_off + shard.frag_cnt];
-            let mut j = 0usize;
-            let mut end = lens[0] as usize;
-            let mut acc = prefix[shard.frag_off];
-            for (pos, lv) in shard.local.iter().enumerate() {
-                if pos == end {
-                    j += 1;
-                    end += lens[j] as usize;
-                    acc = prefix[shard.frag_off + j];
-                }
-                chunk[lv as usize] = acc;
-                acc = op.combine(acc, values[lo + lv as usize]);
-            }
+            let seeds = &prefix[shard.frag_off..shard.frag_off + shard.frag_cnt];
+            let vchunk = &values[lo..lo + shard.local.len()];
+            let mut stats = LaneStats::default();
+            walk::expand_runs(
+                &shard.local,
+                vchunk,
+                op,
+                &shard.frag_heads_local,
+                lens,
+                seeds,
+                policy,
+                chunk,
+                &mut stats,
+            );
+            telemetry.add(&stats);
         });
     }
 }

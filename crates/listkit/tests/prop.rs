@@ -96,11 +96,15 @@ proptest! {
 
     #[test]
     fn xor_scan_is_self_inverting(n in 1usize..1500, seed in any::<u64>()) {
-        // inclusive[i] ^ exclusive[i] == value[i].
+        // inclusive[i] ^ exclusive[i] == value[i]; the no-alloc entry's
+        // returned carry is the whole-list total.
         let list = gen::random_list(n, seed);
         let vals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
         let ex = listkit::serial::scan(&list, &vals, &XorOp);
-        let inc = listkit::serial::scan_inclusive(&list, &vals, &XorOp);
+        let mut inc = Vec::new();
+        let carry = listkit::serial::scan_inclusive_into(&list, &vals, &XorOp, &mut inc);
+        prop_assert_eq!(carry, listkit::serial::total(&list, &vals, &XorOp));
+        prop_assert_eq!(inc[list.tail() as usize], carry);
         for v in 0..n {
             prop_assert_eq!(ex[v] ^ inc[v], vals[v]);
         }

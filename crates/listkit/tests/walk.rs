@@ -1,0 +1,332 @@
+//! Byte-parity of the K-lane interleaved walker against one-cursor
+//! oracles, across the topology zoo (random, blocked, strided,
+//! chain/sequential, reversed), degenerate sizes (1 / 2 / odd /
+//! pow2 ± 1 — lists cannot be empty by construction), every lane count
+//! the engine tunes over, and the lane-refill edge case of wildly
+//! skewed chain lengths (one huge chain + many singletons).
+
+use listkit::gen::{self, Layout};
+use listkit::ops::{AddOp, Affine, AffineOp, ScanOp, XorOp};
+use listkit::sharded::ShardedList;
+use listkit::walk::{self, BitSet, LaneStats, WalkPolicy};
+use listkit::{Idx, LinkedList};
+use proptest::prelude::*;
+
+const LANE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The zoo: every layout the generators produce, with strides kept
+/// coprime by the caller's choice of `n`.
+fn zoo(n: usize, seed: u64) -> Vec<LinkedList> {
+    let mut lists = vec![
+        gen::list_with_layout(n, Layout::Random, seed),
+        gen::list_with_layout(n, Layout::Blocked(16), seed ^ 1),
+        gen::list_with_layout(n, Layout::Sequential, 0),
+        gen::list_with_layout(n, Layout::Reversed, 0),
+    ];
+    if n > 3 && !n.is_multiple_of(3) {
+        lists.push(gen::list_with_layout(n, Layout::Strided(3), 0));
+    }
+    lists
+}
+
+/// Split the list into chains at every `period`-th vertex of the
+/// traversal (period 1 = all-singleton chains): returns the boundary
+/// bitset and the chain heads in sublist order.
+fn split_chains(list: &LinkedList, period: usize) -> (BitSet, Vec<Idx>) {
+    let n = list.len();
+    let mut boundary = BitSet::new();
+    boundary.reset(n);
+    boundary.set(list.tail() as usize);
+    let mut heads = vec![list.head()];
+    for (pos, v) in list.iter().enumerate() {
+        if pos % period.max(1) == period.max(1) - 1 && !list.is_tail(v) {
+            boundary.set(v as usize);
+            heads.push(list.next_of(v));
+        }
+    }
+    (boundary, heads)
+}
+
+/// One-cursor oracle for [`walk::reduce_chains`].
+fn oracle_reduce<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    heads: &[Idx],
+    boundary: &BitSet,
+) -> Vec<(T, Idx)> {
+    heads
+        .iter()
+        .map(|&h| {
+            let mut acc = op.identity();
+            let mut cur = h as usize;
+            loop {
+                acc = op.combine(acc, values[cur]);
+                if boundary.get(cur) {
+                    return (acc, cur as Idx);
+                }
+                cur = list.next_of(cur as Idx) as usize;
+            }
+        })
+        .collect()
+}
+
+/// One-cursor oracle for [`walk::expand_chains`].
+fn oracle_expand<T: Copy, Op: ScanOp<T>>(
+    list: &LinkedList,
+    values: &[T],
+    op: &Op,
+    heads: &[Idx],
+    seeds: &[T],
+    boundary: &BitSet,
+) -> Vec<T> {
+    let mut out = vec![op.identity(); list.len()];
+    for (&h, &seed) in heads.iter().zip(seeds) {
+        let mut acc = seed;
+        let mut cur = h as usize;
+        loop {
+            out[cur] = acc;
+            acc = op.combine(acc, values[cur]);
+            if boundary.get(cur) {
+                break;
+            }
+            cur = list.next_of(cur as Idx) as usize;
+        }
+    }
+    out
+}
+
+/// Check every walker primitive against its oracle on one (list,
+/// split) at one lane count.
+fn check_primitives(list: &LinkedList, period: usize, lanes: usize) {
+    let n = list.len();
+    let (boundary, heads) = split_chains(list, period);
+    let policy = WalkPolicy::with_lanes(lanes);
+    let values: Vec<Affine> =
+        (0..n).map(|i| Affine::new((i % 5) as i64 - 2, (i % 11) as i64 - 5)).collect();
+    let tag = format!("n = {n}, period = {period}, lanes = {lanes}");
+
+    // reduce_chains vs oracle (non-commutative: order bugs cannot hide).
+    let mut sums = vec![(AffineOp.identity(), 0 as Idx); heads.len()];
+    let mut stats = LaneStats::default();
+    walk::reduce_chains(list, &values, &AffineOp, &heads, &boundary, policy, &mut sums, &mut stats);
+    assert_eq!(sums, oracle_reduce(list, &values, &AffineOp, &heads, &boundary), "{tag}");
+    assert_eq!(stats.steps, n as u64, "reduce visits every vertex once: {tag}");
+
+    // expand_chains vs oracle.
+    let seeds: Vec<Affine> =
+        (0..heads.len()).map(|i| Affine::new((i % 3) as i64 - 1, (i % 7) as i64 - 3)).collect();
+    let mut got = vec![AffineOp.identity(); n];
+    walk::expand_chains(
+        list,
+        &values,
+        &AffineOp,
+        &heads,
+        &seeds,
+        &boundary,
+        policy,
+        |v, x| got[v] = x,
+        &mut stats,
+    );
+    assert_eq!(got, oracle_expand(list, &values, &AffineOp, &heads, &seeds, &boundary), "{tag}");
+
+    // count_chains + expand_rank_chains reproduce serial ranks end to
+    // end (seeding each chain with the exclusive prefix of lengths in
+    // sublist order — exactly the Reid-Miller pipeline).
+    let mut lens = vec![(0u64, 0 as Idx); heads.len()];
+    walk::count_chains(list, &heads, &boundary, policy, &mut lens, &mut stats);
+    assert_eq!(lens.iter().map(|&(l, _)| l).sum::<u64>(), n as u64, "{tag}");
+    // Chain order along the list: heads are discovered in traversal
+    // order by split_chains, so the running sum is the chain's start.
+    let mut rank_seeds = vec![0u64; heads.len()];
+    let mut acc = 0u64;
+    for (i, &(l, _)) in lens.iter().enumerate() {
+        rank_seeds[i] = acc;
+        acc += l;
+    }
+    let mut ranks = vec![0u64; n];
+    walk::expand_rank_chains(
+        list,
+        &heads,
+        &rank_seeds,
+        &boundary,
+        policy,
+        |v, r| ranks[v] = r,
+        &mut stats,
+    );
+    assert_eq!(ranks, listkit::serial::rank(list), "{tag}");
+}
+
+#[test]
+fn zoo_parity_across_lane_counts() {
+    for n in [1usize, 2, 3, 7, 31, 32, 33, 128, 129, 1000] {
+        for list in zoo(n, 3 * n as u64 + 1) {
+            for period in [1usize, 2, 37, n.max(1)] {
+                for lanes in LANE_SWEEP {
+                    check_primitives(&list, period, lanes);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_off_is_byte_identical() {
+    let list = gen::random_list(5000, 9);
+    let (boundary, heads) = split_chains(&list, 41);
+    let values: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+    let run = |prefetch: bool| {
+        let mut sums = vec![(0u64, 0 as Idx); heads.len()];
+        let mut stats = LaneStats::default();
+        let policy = WalkPolicy { lanes: 8, prefetch };
+        walk::reduce_chains(
+            &list, &values, &XorOp, &heads, &boundary, policy, &mut sums, &mut stats,
+        );
+        sums
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn sharded_local_walks_parity_across_lane_counts() {
+    // The length-terminated (runs) walker through its real consumer:
+    // sharded rank + non-commutative sharded scan vs the serial oracle.
+    for n in [1usize, 2, 5, 33, 129, 1000, 4097] {
+        let values: Vec<Affine> =
+            (0..n).map(|i| Affine::new((i % 3) as i64 - 1, (i % 13) as i64 - 6)).collect();
+        for list in zoo(n, n as u64) {
+            let rank_ref = listkit::serial::rank(&list);
+            let scan_ref = listkit::serial::scan(&list, &values, &AffineOp);
+            for shard_size in [1usize, 16, n.div_ceil(3).max(1), n] {
+                for lanes in LANE_SWEEP {
+                    let sharded = ShardedList::build(&list, shard_size).with_lanes(lanes);
+                    let tag = format!("n = {n}, shard = {shard_size}, lanes = {lanes}");
+                    assert_eq!(sharded.rank(), rank_ref, "{tag}");
+                    assert_eq!(sharded.scan(&values, &AffineOp), scan_ref, "{tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_chain_lengths_refill_correctly() {
+    // The lane-refill edge case: one chain holds almost every vertex,
+    // the rest are singletons. Lanes drain to a single live cursor for
+    // most of the walk (occupancy tanks), but results must not move.
+    let n = 20_000;
+    let list = gen::random_list(n, 77);
+    let m = 256; // singleton chains carved off the front of the list
+    let order = list.order();
+    let mut boundary = BitSet::new();
+    boundary.reset(n);
+    boundary.set(list.tail() as usize);
+    let mut heads = vec![list.head()];
+    // The first m traversal positions each end a chain immediately:
+    // m singletons, then one chain of n - m vertices.
+    for &v in order.iter().take(m) {
+        boundary.set(v as usize);
+        heads.push(list.next_of(v));
+    }
+    let values: Vec<i64> = (0..n as i64).map(|i| (i % 17) - 8).collect();
+    let reference = oracle_reduce(&list, &values, &AddOp, &heads, &boundary);
+    for lanes in LANE_SWEEP {
+        let mut sums = vec![(0i64, 0 as Idx); heads.len()];
+        let mut stats = LaneStats::default();
+        walk::reduce_chains(
+            &list,
+            &values,
+            &AddOp,
+            &heads,
+            &boundary,
+            WalkPolicy::with_lanes(lanes),
+            &mut sums,
+            &mut stats,
+        );
+        assert_eq!(sums, reference, "lanes = {lanes}");
+        assert_eq!(stats.steps, n as u64);
+        if lanes >= 8 {
+            // The giant chain serializes the tail of the walk.
+            assert!(
+                stats.occupancy() < 0.9,
+                "skew must show up in occupancy: {stats:?} at lanes = {lanes}"
+            );
+        }
+    }
+    // The reverse skew: the giant chain is *first* in the head order,
+    // so refill happens while it is still running.
+    let mut heads_rev = heads.clone();
+    heads_rev.rotate_left(1);
+    let reference = oracle_reduce(&list, &values, &AddOp, &heads_rev, &boundary);
+    for lanes in LANE_SWEEP {
+        let mut sums = vec![(0i64, 0 as Idx); heads_rev.len()];
+        let mut stats = LaneStats::default();
+        walk::reduce_chains(
+            &list,
+            &values,
+            &AddOp,
+            &heads_rev,
+            &boundary,
+            WalkPolicy::with_lanes(lanes),
+            &mut sums,
+            &mut stats,
+        );
+        assert_eq!(sums, reference, "giant-first, lanes = {lanes}");
+    }
+}
+
+#[test]
+fn singleton_fragments_keep_occupancy_at_most_one() {
+    // Regression: a traversal alternating between two shards makes
+    // every fragment a singleton; the runs walker refills a retired
+    // lane on every visit, and a refill-into-the-same-sweep bug made
+    // `steps` outrun `slots` (occupancy 6400%). Occupancy is a
+    // *fraction* — it must never exceed 1, and results must not move.
+    let n = 2048usize;
+    let order: Vec<Idx> = (0..n as Idx / 2).flat_map(|i| [i, i + n as Idx / 2]).collect();
+    let list = LinkedList::from_order(&order).expect("alternating order is a permutation");
+    let rank_ref = listkit::serial::rank(&list);
+    for lanes in LANE_SWEEP {
+        let sharded = ShardedList::build(&list, n / 2).with_lanes(lanes);
+        assert_eq!(sharded.fragment_count(), n, "every fragment is a singleton");
+        assert_eq!(sharded.rank(), rank_ref, "lanes = {lanes}");
+        let stats = sharded.lane_stats();
+        assert!(stats.steps >= n as u64);
+        assert!(
+            stats.occupancy() <= 1.0 + 1e-9,
+            "occupancy is a fraction: {stats:?} at lanes = {lanes}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_split_parity(
+        n in 1usize..600,
+        seed in any::<u64>(),
+        period in 1usize..50,
+        lane_ix in 0usize..LANE_SWEEP.len(),
+    ) {
+        let list = gen::random_list(n, seed);
+        check_primitives(&list, period, LANE_SWEEP[lane_ix]);
+    }
+
+    #[test]
+    fn sharded_random_parity(
+        n in 1usize..600,
+        seed in any::<u64>(),
+        shard_size in 1usize..80,
+        lane_ix in 0usize..LANE_SWEEP.len(),
+    ) {
+        let list = gen::random_list(n, seed);
+        let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+        let sharded = ShardedList::build(&list, shard_size).with_lanes(LANE_SWEEP[lane_ix]);
+        prop_assert_eq!(sharded.rank(), listkit::serial::rank(&list));
+        prop_assert_eq!(
+            sharded.scan(&values, &AddOp),
+            listkit::serial::scan(&list, &values, &AddOp)
+        );
+    }
+}

@@ -190,6 +190,53 @@ impl AlgChoice {
     ];
 }
 
+/// Default interleaved-lane count of the host's multi-chain walker.
+/// Mirrors `listkit::walk::DEFAULT_LANES` (this crate sits below
+/// `listkit` in the dependency graph, so the constant is mirrored
+/// rather than imported; a workspace test pins the two together).
+pub const DEFAULT_LANES: usize = 8;
+
+/// Outstanding-miss depth the core can actually sustain (line-fill
+/// buffers); lanes beyond this add bookkeeping, not parallelism.
+const LANE_MISS_DEPTH: f64 = 10.0;
+
+/// Fraction of a random-gather visit that is pure DRAM latency — the
+/// part K interleaved lanes divide by K. The remaining ~15% (address
+/// generation, the combine, bandwidth) is irreducible.
+const LANE_LATENCY_FRACTION: f64 = 0.85;
+
+/// Below this many vertices the working set (~12 bytes/vertex) is
+/// cache-resident, latency is small, and interleaving has nothing to
+/// hide: the discount does not apply.
+pub const LANE_EFFECTIVE_MIN: usize = 1 << 16;
+
+/// Residual per-visit cost of a multi-chain pointer chase walked with
+/// `lanes` interleaved cursors, relative to the one-cursor walk
+/// (Eq. (3)'s traversal term, reinterpreted: the C-90's vector
+/// pipeline kept one element's gather in flight per pipeline slot; a
+/// scalar host keeps one cache miss in flight per lane, so interleaved
+/// visits cost ~`miss/K` instead of `miss`, down to a bandwidth
+/// floor). `1.0` for single-lane walks and for lists small enough to
+/// sit in cache.
+pub fn lane_discount(n: usize, lanes: usize) -> f64 {
+    if lanes <= 1 || n <= LANE_EFFECTIVE_MIN {
+        return 1.0;
+    }
+    let k = (lanes as f64).min(LANE_MISS_DEPTH);
+    (1.0 - LANE_LATENCY_FRACTION) + LANE_LATENCY_FRACTION / k
+}
+
+/// The lane count the model recommends for an `n`-vertex multi-chain
+/// walk: 1 while the list is cache-resident (interleaving has nothing
+/// to hide), the walker default above.
+pub fn default_lanes(n: usize) -> usize {
+    if n <= LANE_EFFECTIVE_MIN {
+        1
+    } else {
+        DEFAULT_LANES
+    }
+}
+
 /// Per-job fixed overhead of a parallel dispatch, in serial-element
 /// units: split generation, reduced-list setup, thread-pool fan-out.
 const HOST_JOB_OVERHEAD: f64 = 16_384.0;
@@ -229,13 +276,36 @@ pub const RANK_ELEM_BYTES: usize = 8;
 /// the rank baseline; fixed per-job/per-round overheads do not. Wider
 /// operators therefore shift the serial/parallel crossover slightly
 /// *down* (more memory traffic to amortize the parallel startup
-/// against), which is exactly the measured direction.
+/// against), which is exactly the measured direction. Assumes the
+/// walker's default lane count; see [`predicted_cost_op_lanes`].
 pub fn predicted_cost_op(alg: AlgChoice, n: usize, p: usize, elem_bytes: usize) -> f64 {
+    predicted_cost_op_lanes(alg, n, p, elem_bytes, DEFAULT_LANES)
+}
+
+/// [`predicted_cost_op`] with an explicit interleaved-lane count — the
+/// latency-hiding dimension of the dispatch model. Only Reid-Miller's
+/// traversal term earns the [`lane_discount`]: its Phases 1 and 3 walk
+/// many independent sublists, so a worker can keep `lanes` misses in
+/// flight, while Serial chases a single chain (one outstanding miss,
+/// structurally — no lane can help it) and the round-based algorithms
+/// are already array-parallel passes the hardware pipelines on its
+/// own. This is what moves the serial/Reid-Miller crossover *down* —
+/// including onto one thread, where interleaving is the only
+/// parallelism there is (the paper's actual C-90 insight: 2× work
+/// beats 1× work when the traversal hides memory latency).
+pub fn predicted_cost_op_lanes(
+    alg: AlgChoice,
+    n: usize,
+    p: usize,
+    elem_bytes: usize,
+    lanes: usize,
+) -> f64 {
     let nf = n as f64 * traffic_factor(elem_bytes);
     let pf = p.max(1) as f64;
     let rounds = if n > 2 { ((n - 1) as f64).log2().ceil().max(1.0) } else { 1.0 };
     match alg {
-        // Serial pointer-chasing cannot use extra processors.
+        // Serial pointer-chasing cannot use extra processors — or
+        // extra lanes: one chain has one cursor.
         AlgChoice::Serial => nf,
         AlgChoice::Wyllie => 1.2 * nf * rounds / pf + rounds * HOST_ROUND_OVERHEAD,
         AlgChoice::MillerReif => {
@@ -249,8 +319,9 @@ pub fn predicted_cost_op(alg: AlgChoice, n: usize, p: usize, elem_bytes: usize) 
         }
         AlgChoice::ReidMiller => {
             // 2 visits per vertex with a small constant for the
-            // boundary-bitmap checks, spread over p threads.
-            2.2 * nf / pf + HOST_JOB_OVERHEAD
+            // boundary-bitmap checks, spread over p threads, each
+            // visit latency-discounted by the interleaved lanes.
+            2.2 * nf * lane_discount(n, lanes) / pf + HOST_JOB_OVERHEAD
         }
     }
 }
@@ -262,10 +333,14 @@ fn traffic_factor(elem_bytes: usize) -> f64 {
 }
 
 /// The cheapest algorithm for an `n`-vertex ranking job on a `p`-thread
-/// host, by [`predicted_cost`]: Serial below the parallel break-even
-/// point (always, on one thread — Reid-Miller's 2× work has nothing to
-/// amortize against), Reid-Miller above it. Wyllie and the random-mate
-/// algorithms are work-inefficient and never win, mirroring Fig. 1.
+/// host, by [`predicted_cost`]: Serial below the break-even point,
+/// Reid-Miller above it. With the walker's default lanes the break-even
+/// exists even at `p = 1`: on large random-layout lists the K-lane
+/// interleaved traversal hides enough DRAM latency that Reid-Miller's
+/// 2× work beats the serial chain's one-outstanding-miss walk — the
+/// paper's C-90 insight transplanted to memory-level parallelism.
+/// Wyllie and the random-mate algorithms are work-inefficient and
+/// never win, mirroring Fig. 1.
 pub fn predict_best(n: usize, p: usize) -> AlgChoice {
     predict_best_op(n, p, RANK_ELEM_BYTES)
 }
@@ -273,12 +348,20 @@ pub fn predict_best(n: usize, p: usize) -> AlgChoice {
 /// The cheapest algorithm for an `n`-vertex **scan** job carrying
 /// `elem_bytes`-byte values on a `p`-thread host, by
 /// [`predicted_cost_op`] — the op-aware entry the engine planner's
-/// prior keys on.
+/// prior keys on. Assumes the walker's default lane count.
 pub fn predict_best_op(n: usize, p: usize, elem_bytes: usize) -> AlgChoice {
+    predict_best_op_lanes(n, p, elem_bytes, DEFAULT_LANES)
+}
+
+/// [`predict_best_op`] with an explicit lane count, so a caller that
+/// pins the walker to `lanes` (e.g. `rankd --lanes`) gets a prior
+/// consistent with how the job will actually run — a single-lane pin
+/// restores the old "Serial always wins on one thread" rule.
+pub fn predict_best_op_lanes(n: usize, p: usize, elem_bytes: usize, lanes: usize) -> AlgChoice {
     let mut best = AlgChoice::Serial;
     let mut best_cost = f64::INFINITY;
     for alg in AlgChoice::ALL {
-        let cost = predicted_cost_op(alg, n, p, elem_bytes);
+        let cost = predicted_cost_op_lanes(alg, n, p, elem_bytes, lanes);
         if cost < best_cost {
             best = alg;
             best_cost = cost;
@@ -294,8 +377,14 @@ const HOST_SHARD_OVERHEAD: f64 = 4_096.0;
 
 /// Cost of one *streaming* pass over a vertex (build, broadcast),
 /// relative to the serial ranker's random-gather visit that defines one
-/// serial-element unit: sequential reads/writes prefetch, gathers miss.
-const SHARD_STREAM_PASS: f64 = 0.35;
+/// serial-element unit: sequential reads/writes run at DRAM bandwidth
+/// while the unit-defining gather eats a full miss latency.
+/// (Recalibrated down from 0.35 when the lane discount landed: with
+/// interleaved gathers costing ~miss/K, pricing a hardware-prefetched
+/// stream at a third of a *full* miss was inconsistent — a stream
+/// moves ~16 bytes/vertex at bandwidth, roughly an eighth of the
+/// latency-bound visit.)
+const SHARD_STREAM_PASS: f64 = 0.12;
 
 /// Cost of the shard-local pointer-chase visit: still a chase, but
 /// confined to a shard sized to the per-worker budget, so the link
@@ -316,12 +405,32 @@ const SHARD_LOCAL_VISIT: f64 = 0.6;
 ///   cache-resident shard (discounted accordingly);
 /// * stitch: a serial scan of the contracted list — the term that
 ///   makes fragment-heavy topologies expensive, exactly as measured.
+///
+/// Assumes the walker's default lane count for the shard-local walk;
+/// see [`predicted_sharded_cost_lanes`].
 pub fn predicted_sharded_cost(n: usize, shard_size: usize, fragments: usize, p: usize) -> f64 {
+    predicted_sharded_cost_lanes(n, shard_size, fragments, p, DEFAULT_LANES)
+}
+
+/// [`predicted_sharded_cost`] with an explicit lane count: the
+/// shard-local fragment walk is a multi-chain chase (one chain per
+/// fragment), so it earns the [`lane_discount`] — keyed on the *shard*
+/// size, not `n`, because that is the walk's working set (a shard
+/// sized under the cache budget was already cheap; lanes help the
+/// bigger-than-cache shards).
+pub fn predicted_sharded_cost_lanes(
+    n: usize,
+    shard_size: usize,
+    fragments: usize,
+    p: usize,
+    lanes: usize,
+) -> f64 {
     let nf = n as f64;
     let pf = p.max(1) as f64;
-    let shards = n.div_ceil(shard_size.max(1)) as f64;
+    let shard_size = shard_size.max(1);
+    let shards = n.div_ceil(shard_size) as f64;
     let streaming = 2.0 * SHARD_STREAM_PASS * nf / pf; // build + broadcast
-    let local_rank = SHARD_LOCAL_VISIT * nf / pf;
+    let local_rank = SHARD_LOCAL_VISIT * lane_discount(shard_size.min(n), lanes) * nf / pf;
     let stitch = fragments as f64;
     streaming + local_rank + stitch + HOST_SHARD_OVERHEAD * shards / pf + HOST_JOB_OVERHEAD
 }
@@ -431,10 +540,42 @@ mod tests {
         // Large lists on a parallel machine: Reid-Miller wins.
         assert_eq!(predict_best(1_000_000, 4), AlgChoice::ReidMiller);
         assert_eq!(predict_best(10_000_000, 8), AlgChoice::ReidMiller);
-        // On one thread nothing amortizes Reid-Miller's 2× work.
-        for n in [100usize, 10_000, 1_000_000, 100_000_000] {
+        // On one thread, small lists stay serial (cache-resident, no
+        // latency for lanes to hide, and nothing amortizes Reid-
+        // Miller's 2× work)...
+        for n in [100usize, 10_000, LANE_EFFECTIVE_MIN] {
             assert_eq!(predict_best(n, 1), AlgChoice::Serial, "n = {n}");
         }
+        // ...but large lists flip to Reid-Miller even at p = 1: the
+        // K-lane interleaved traversal hides DRAM latency the serial
+        // chain structurally cannot (the paper's C-90 story).
+        for n in [1_000_000usize, 100_000_000] {
+            assert_eq!(predict_best(n, 1), AlgChoice::ReidMiller, "n = {n}");
+        }
+        // With lanes forced to 1 the old single-thread rule returns.
+        for n in [1_000_000usize, 100_000_000] {
+            let serial = predicted_cost_op_lanes(AlgChoice::Serial, n, 1, 8, 1);
+            let rm = predicted_cost_op_lanes(AlgChoice::ReidMiller, n, 1, 8, 1);
+            assert!(serial < rm, "n = {n}: single-lane RM must not beat serial on one thread");
+        }
+    }
+
+    #[test]
+    fn lane_discount_shape() {
+        // No discount for single-lane walks or cache-resident lists.
+        assert_eq!(lane_discount(1 << 24, 1), 1.0);
+        assert_eq!(lane_discount(LANE_EFFECTIVE_MIN, 8), 1.0);
+        // Monotone in lanes, floored by the bandwidth fraction.
+        let d4 = lane_discount(1 << 24, 4);
+        let d8 = lane_discount(1 << 24, 8);
+        let d64 = lane_discount(1 << 24, 64);
+        assert!(d4 > d8 && d8 > d64);
+        assert!(d64 >= 1.0 - LANE_LATENCY_FRACTION, "floor: {d64}");
+        // Saturates at the miss-buffer depth.
+        assert_eq!(lane_discount(1 << 24, 16), lane_discount(1 << 24, 32));
+        // The model's recommended lane count follows the same split.
+        assert_eq!(default_lanes(1000), 1);
+        assert_eq!(default_lanes(1 << 24), DEFAULT_LANES);
     }
 
     #[test]
@@ -457,9 +598,11 @@ mod tests {
                 assert_eq!(predict_best_op(n, 4, 16), AlgChoice::ReidMiller, "n = {n}");
             }
         }
-        // One thread: serial wins at every width (nothing to amortize).
+        // One thread, big list: Reid-Miller wins at every width (the
+        // lane discount applies to the traversal term regardless of
+        // how wide the values are).
         for bytes in [8usize, 16, 24] {
-            assert_eq!(predict_best_op(10_000_000, 1, bytes), AlgChoice::Serial);
+            assert_eq!(predict_best_op(10_000_000, 1, bytes), AlgChoice::ReidMiller);
         }
     }
 

@@ -8,7 +8,7 @@
 //! than an array.
 
 use engine::{Engine, Request};
-use listkit::ops::{Affine, AffineOp, ScanOp};
+use listkit::ops::{Affine, AffineOp};
 use listkit::{gen, LinkedList};
 use listrank::HostRunner;
 use std::sync::Arc;
@@ -79,13 +79,10 @@ pub fn solve_serial_on_list(list: &LinkedList, coeffs: &[Affine], x0: i64) -> Ve
     out
 }
 
-/// Fibonacci-style check value: the composed map over the whole list.
+/// Fibonacci-style check value: the composed map over the whole list —
+/// the allocation-free [`listkit::serial::total`] fold.
 pub fn total_map(list: &LinkedList, coeffs: &[Affine]) -> Affine {
-    let mut acc = AffineOp.identity();
-    for v in list.iter() {
-        acc = AffineOp.combine(acc, coeffs[v as usize]);
-    }
-    acc
+    listkit::serial::total(list, coeffs, &AffineOp)
 }
 
 #[cfg(test)]

@@ -104,3 +104,10 @@ proptest! {
         );
     }
 }
+
+/// The walker's default lane count and the cost model's mirror of it
+/// must never drift apart (neither crate can import the other's).
+#[test]
+fn lane_constants_agree_across_crates() {
+    assert_eq!(listkit::walk::DEFAULT_LANES, rankmodel::predict::DEFAULT_LANES);
+}
