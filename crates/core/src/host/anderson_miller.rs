@@ -4,7 +4,7 @@
 //! attempts to splice out its queue *top* each round, so processors stay
 //! busy without any packing. All vertices are female except queue tops,
 //! which flip a **biased** coin — the paper's key optimization: with
-//! P[male] = 0.9, almost 90% of active processors splice every round
+//! P\[male\] = 0.9, almost 90% of active processors splice every round
 //! (male top pointed to by a female), cutting rounds and runtime by
 //! ~40% versus the unbiased coin. When few queues remain, the remainder
 //! is finished serially (also per the paper).

@@ -49,7 +49,7 @@
 //!          run.cycles.ns_per(list.len(), 4.2));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;

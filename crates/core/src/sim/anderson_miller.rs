@@ -1,7 +1,7 @@
 //! Simulated Anderson–Miller random mate (paper §2.4).
 //!
 //! Virtual-processor queues (one per vector element on the C90: the
-//! paper had 128 per CPU), a biased coin with P[male] = 0.9 (the
+//! paper had 128 per CPU), a biased coin with P\[male\] = 0.9 (the
 //! paper's optimization — "the result was to reduce the number of
 //! rounds and the run time by about 40%"), no packing, and a switch to
 //! the serial algorithm when only a few queues remain. Per-round cost
@@ -19,7 +19,7 @@ use vmach::{Kernel, MachineConfig};
 pub struct AmParams {
     /// Queues per CPU (paper: the 128 vector elements).
     pub queues_per_proc: usize,
-    /// P[male] for queue tops (paper's optimized value: 0.9; the
+    /// P\[male\] for queue tops (paper's optimized value: 0.9; the
     /// original algorithm: 0.5).
     pub male_bias: f64,
     /// Switch to the serial finish when this many queues remain active.

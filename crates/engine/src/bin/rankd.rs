@@ -1,9 +1,11 @@
 //! `rankd` — drive a sustained mixed ranking/scan workload through the
 //! batch engine and report throughput against the naive
-//! sequential-submit baseline.
+//! sequential-submit baseline, or (`rankd serve`) run the engine as a
+//! long-lived daemon behind a Unix-domain-socket wire protocol.
 //!
 //! ```sh
 //! cargo run --release -p engine --bin rankd -- --help
+//! cargo run --release -p engine --bin rankd -- serve --socket /tmp/rankd.sock
 //! ```
 
 use engine::workload::{
@@ -11,6 +13,9 @@ use engine::workload::{
     WorkloadConfig,
 };
 use engine::{Engine, EngineConfig};
+#[cfg(unix)]
+use engine::{ServeConfig, Server};
+use std::sync::Arc;
 
 struct Args {
     workload: WorkloadConfig,
@@ -30,6 +35,7 @@ fn usage() -> ! {
         "rankd — batch list-ranking engine throughput driver
 
 USAGE: rankd [OPTIONS]
+       rankd serve [OPTIONS]     long-running socket daemon (see rankd serve --help)
 
 Workload:
   --min-exp E            smallest job decade, 10^E vertices   [default 2]
@@ -67,7 +73,36 @@ Huge-list sharded scenario (replaces the mixed workload):
     std::process::exit(2)
 }
 
-fn parse_args() -> Args {
+/// Consume one engine-sizing flag (shared between the workload driver
+/// and `rankd serve`). `Ok(true)` = consumed, `Ok(false)` = not an
+/// engine flag, `Err(())` = the flag's value failed to parse — the
+/// caller reports it with its own usage screen (workload vs serve).
+fn parse_engine_flag(
+    flag: &str,
+    engine: &mut EngineConfig,
+    val: &mut dyn FnMut(&str) -> String,
+) -> Result<bool, ()> {
+    fn num<T: std::str::FromStr>(s: String) -> Result<T, ()> {
+        s.parse().map_err(|_| ())
+    }
+    match flag {
+        "--workers" => engine.workers = num(val("--workers"))?,
+        "--inner-threads" => engine.inner_threads = num(val("--inner-threads"))?,
+        "--queue-cap" => engine.queue_capacity = num(val("--queue-cap"))?,
+        "--small-cutoff" => engine.small_cutoff = num(val("--small-cutoff"))?,
+        "--batch-max" => engine.batch_max = num(val("--batch-max"))?,
+        "--no-pool" => engine.pool_scratch = false,
+        "--lanes" => {
+            let k: usize = num(val("--lanes"))?;
+            engine.lanes = (k > 0).then_some(k);
+        }
+        "--shard-budget" => engine.shard_budget = num(val("--shard-budget"))?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_args(mut it: impl Iterator<Item = String>) -> Args {
     let mut args = Args {
         workload: WorkloadConfig::default(),
         engine: EngineConfig::default(),
@@ -78,7 +113,6 @@ fn parse_args() -> Args {
         workers_set: false,
         inner_threads_set: false,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
@@ -112,32 +146,6 @@ fn parse_args() -> Args {
             }
             "--seed" => args.workload.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--repeats" => args.repeats = val("--repeats").parse().unwrap_or_else(|_| usage()),
-            "--workers" => {
-                args.engine.workers = val("--workers").parse().unwrap_or_else(|_| usage());
-                args.workers_set = true;
-            }
-            "--inner-threads" => {
-                args.engine.inner_threads =
-                    val("--inner-threads").parse().unwrap_or_else(|_| usage());
-                args.inner_threads_set = true;
-            }
-            "--queue-cap" => {
-                args.engine.queue_capacity = val("--queue-cap").parse().unwrap_or_else(|_| usage())
-            }
-            "--small-cutoff" => {
-                args.engine.small_cutoff = val("--small-cutoff").parse().unwrap_or_else(|_| usage())
-            }
-            "--batch-max" => {
-                args.engine.batch_max = val("--batch-max").parse().unwrap_or_else(|_| usage())
-            }
-            "--no-pool" => args.engine.pool_scratch = false,
-            "--lanes" => {
-                let k: usize = val("--lanes").parse().unwrap_or_else(|_| usage());
-                args.engine.lanes = (k > 0).then_some(k);
-            }
-            "--shard-budget" => {
-                args.engine.shard_budget = val("--shard-budget").parse().unwrap_or_else(|_| usage())
-            }
             "--sharded-scenario" => args.sharded_scenario = true,
             "--huge-n" => args.huge.n = val("--huge-n").parse().unwrap_or_else(|_| usage()),
             "--huge-jobs" => {
@@ -148,13 +156,131 @@ fn parse_args() -> Args {
             }
             "--skip-baseline" => args.skip_baseline = true,
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other}");
-                usage()
-            }
+            other => match parse_engine_flag(other, &mut args.engine, &mut val) {
+                Ok(true) => match other {
+                    "--workers" => args.workers_set = true,
+                    "--inner-threads" => args.inner_threads_set = true,
+                    _ => {}
+                },
+                Ok(false) => {
+                    eprintln!("unknown flag {other}");
+                    usage()
+                }
+                Err(()) => {
+                    eprintln!("bad value for {other}");
+                    usage()
+                }
+            },
         }
     }
     args
+}
+
+#[cfg(unix)]
+fn serve_usage() -> ! {
+    eprintln!(
+        "rankd serve — long-running socket daemon for the batch engine
+
+USAGE: rankd serve [OPTIONS]
+
+Accepts concurrent clients over a Unix domain socket speaking the
+length-prefixed binary protocol in docs/PROTOCOL.md; every frame maps
+onto the engine's typed request API, and the bounded queue's
+backpressure becomes per-client admission control.
+
+Serving:
+  --socket PATH          Unix socket path            [default /tmp/rankd.sock]
+  --max-clients N        concurrent client cap; excess connections get
+                         a typed `busy` error             [default 64]
+  --serve-secs S         exit after S seconds; 0 = serve until a client
+                         sends SHUTDOWN                    [default 0]
+
+Engine (as in plain rankd):
+  --workers W --inner-threads T --queue-cap Q --small-cutoff N
+  --batch-max B --no-pool --lanes K --shard-budget N"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(unix)]
+fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, EngineConfig) {
+    let mut cfg = ServeConfig::new("/tmp/rankd.sock");
+    let mut engine = EngineConfig::default();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                serve_usage()
+            })
+        };
+        match flag.as_str() {
+            "--socket" => cfg.socket = val("--socket").into(),
+            "--max-clients" => {
+                cfg = cfg.with_max_clients(
+                    val("--max-clients").parse().unwrap_or_else(|_| serve_usage()),
+                )
+            }
+            "--serve-secs" => {
+                let s: u64 = val("--serve-secs").parse().unwrap_or_else(|_| serve_usage());
+                cfg = cfg.with_serve_secs((s > 0).then_some(s));
+            }
+            "--help" | "-h" => serve_usage(),
+            other => match parse_engine_flag(other, &mut engine, &mut val) {
+                Ok(true) => {}
+                Ok(false) => {
+                    eprintln!("unknown flag {other}");
+                    serve_usage()
+                }
+                Err(()) => {
+                    eprintln!("bad value for {other}");
+                    serve_usage()
+                }
+            },
+        }
+    }
+    (cfg, engine)
+}
+
+#[cfg(unix)]
+fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
+    let max_clients = cfg.max_clients;
+    let serve_secs = cfg.serve_secs;
+    let engine = Arc::new(Engine::new(engine_cfg));
+    let server = Server::bind(Arc::clone(&engine), cfg).unwrap_or_else(|e| {
+        eprintln!("rankd serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, {})",
+        server.socket_path().display(),
+        engine.config().workers,
+        engine.config().inner_threads,
+        engine.config().queue_capacity,
+        max_clients,
+        match serve_secs {
+            Some(s) => format!("serving {s}s"),
+            None => "serving until SHUTDOWN".to_string(),
+        }
+    );
+    let failed = match server.run() {
+        Ok(stats) => {
+            println!("\n-- serving stats --\n{stats}");
+            false
+        }
+        Err(e) => {
+            eprintln!("rankd serve: accept loop failed: {e}");
+            true
+        }
+    };
+    // All handler threads are joined by `run`, so this is the last Arc.
+    if let Ok(engine) = Arc::try_unwrap(engine) {
+        println!("\n-- engine stats --\n{}", engine.shutdown());
+    }
+    if failed {
+        // Supervisors (and the CI smoke job's `wait`) must see a
+        // crashed accept loop as a failure, not a clean exit.
+        std::process::exit(1);
+    }
 }
 
 fn fmt_rate(x: f64) -> String {
@@ -215,7 +341,22 @@ fn run_sharded_cli(args: &Args) {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        #[cfg(unix)]
+        {
+            let (cfg, engine_cfg) = parse_serve_args(argv);
+            run_serve(cfg, engine_cfg);
+            return;
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("rankd serve requires unix domain sockets");
+            std::process::exit(2);
+        }
+    }
+    let args = parse_args(argv);
     if args.sharded_scenario {
         run_sharded_cli(&args);
         return;

@@ -1,0 +1,298 @@
+//! In-process client for a `rankd serve` daemon.
+//!
+//! [`Client`] speaks the [`crate::protocol`] over a Unix domain
+//! socket: connect (which performs the HELLO handshake), then call the
+//! typed request methods — each writes one frame, blocks for the
+//! reply, and decodes it into a [`ServedOutput`]. A server-side
+//! [`FrameKind::Error`] reply surfaces as [`ClientError::Server`] with
+//! its typed code; the connection stays usable afterwards exactly when
+//! the server kept it open (every code except the handshake failures
+//! and [`ErrorCode::FrameTooLarge`]).
+//!
+//! This is the same codec the server uses, so the integration tests
+//! and the `serve_bench` driver exercise the real wire format, not a
+//! shortcut.
+
+use crate::protocol::{
+    self, read_frame, write_frame, ErrorCode, Frame, FrameKind, OutputMeta, ReadFrameError,
+    WireElem, WireOp, WireStats, MAX_FRAME_DEFAULT,
+};
+use listkit::ops::Affine;
+use listkit::LinkedList;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(std::io::Error),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Raw error code from the wire.
+        code: u16,
+        /// The decoded code, when this client version knows it.
+        kind: Option<ErrorCode>,
+        /// Server-provided detail message.
+        message: String,
+    },
+    /// The reply violated the protocol (wrong kind, undecodable body).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, kind, message } => match kind {
+                Some(k) => write!(f, "server error {code} ({k}): {message}"),
+                None => write!(f, "server error {code}: {message}"),
+            },
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The typed error code, when the failure was a server error frame
+    /// with a code this client knows.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { kind, .. } => *kind,
+            _ => None,
+        }
+    }
+}
+
+/// A served result: the typed output payload plus the execution
+/// metadata the OUTPUT frame carries.
+#[derive(Clone, Debug)]
+pub struct ServedOutput<T> {
+    /// The output values (ranks as `Vec<u64>`, scans as the operator's
+    /// element type).
+    pub output: Vec<T>,
+    /// Dispatch/timing metadata of the job that produced them.
+    pub meta: OutputMeta,
+}
+
+/// A connected, handshaken `rankd serve` client.
+pub struct Client {
+    stream: UnixStream,
+    server_version: u16,
+    server_max_frame: u32,
+}
+
+impl Client {
+    /// Connect to the daemon's socket and perform the HELLO handshake.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        let mut client = Client { stream, server_version: 0, server_max_frame: MAX_FRAME_DEFAULT };
+        let reply = client.call(FrameKind::Hello, &protocol::hello_body())?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::HelloOk) => {
+                let (version, max_frame) = protocol::decode_hello_ok(&reply.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                client.server_version = version;
+                client.server_max_frame = max_frame;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!("expected HELLO_OK, got {other:?}"))),
+        }
+    }
+
+    /// The protocol version the server reported in HELLO_OK.
+    pub fn server_version(&self) -> u16 {
+        self.server_version
+    }
+
+    /// The frame-size cap the server reported in HELLO_OK.
+    pub fn server_max_frame(&self) -> u32 {
+        self.server_max_frame
+    }
+
+    /// The frame-size cap applied when reading replies. The server's
+    /// advertised cap bounds *requests*; a reply can legitimately be
+    /// larger (a RANK request carries `u32` links but its OUTPUT reply
+    /// carries `u64` ranks — twice the payload), so allow 2× plus
+    /// header slack.
+    fn reply_cap(&self) -> u32 {
+        self.server_max_frame.saturating_mul(2).saturating_add(64)
+    }
+
+    /// One round trip: write a frame, read the reply, surface error
+    /// frames as [`ClientError::Server`].
+    fn call(&mut self, kind: FrameKind, body: &[u8]) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, kind as u8, body)?;
+        let reply_cap = self.reply_cap();
+        let frame = match read_frame(&mut self.stream, reply_cap) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Err(ReadFrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e @ ReadFrameError::TooLarge { .. }) => {
+                return Err(ClientError::Protocol(e.to_string()))
+            }
+        };
+        if FrameKind::from_u8(frame.kind) == Some(FrameKind::Error) {
+            let (code, kind, message) = protocol::decode_error(&frame.body)
+                .map_err(|e| ClientError::Protocol(e.to_string()))?;
+            return Err(ClientError::Server { code, kind, message });
+        }
+        Ok(frame)
+    }
+
+    fn expect_output<T: WireElem>(
+        &mut self,
+        kind: FrameKind,
+        body: &[u8],
+    ) -> Result<ServedOutput<T>, ClientError> {
+        let reply = self.call(kind, body)?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::Output) => {
+                let (meta, output) = protocol::decode_output::<T>(&reply.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Ok(ServedOutput { output, meta })
+            }
+            other => Err(ClientError::Protocol(format!("expected OUTPUT, got {other:?}"))),
+        }
+    }
+
+    /// Rank `list` on the server; `output[v]` is the rank of vertex
+    /// `v` — byte-identical to a local
+    /// [`listrank::HostRunner`] rank of the same list.
+    pub fn rank(&mut self, list: &LinkedList) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(FrameKind::Rank, &protocol::rank_body(list, false))
+    }
+
+    /// [`Client::rank`] through the engine's budget-aware
+    /// shard-parallel path.
+    pub fn rank_sharded(&mut self, list: &LinkedList) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(FrameKind::Rank, &protocol::rank_body(list, true))
+    }
+
+    fn scan_with<T: WireElem>(
+        &mut self,
+        list: &LinkedList,
+        values: &[T],
+        op: WireOp,
+        sharded: bool,
+    ) -> Result<ServedOutput<T>, ClientError> {
+        self.expect_output(FrameKind::Scan, &protocol::scan_body(list, values, op, sharded))
+    }
+
+    /// Exclusive `+`-scan of `values` along `list`.
+    pub fn scan_add(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_with(list, values, WireOp::Add, false)
+    }
+
+    /// Exclusive max-scan of `values` along `list`.
+    pub fn scan_max(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_with(list, values, WireOp::Max, false)
+    }
+
+    /// Exclusive min-scan of `values` along `list`.
+    pub fn scan_min(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_with(list, values, WireOp::Min, false)
+    }
+
+    /// Exclusive xor-scan of `values` along `list`.
+    pub fn scan_xor(
+        &mut self,
+        list: &LinkedList,
+        values: &[u64],
+    ) -> Result<ServedOutput<u64>, ClientError> {
+        self.scan_with(list, values, WireOp::Xor, false)
+    }
+
+    /// Exclusive affine-composition scan (non-commutative) of `values`
+    /// along `list`.
+    pub fn scan_affine(
+        &mut self,
+        list: &LinkedList,
+        values: &[Affine],
+    ) -> Result<ServedOutput<Affine>, ClientError> {
+        self.scan_with(list, values, WireOp::Affine, false)
+    }
+
+    /// [`Client::scan_add`] through the shard-parallel path.
+    pub fn scan_add_sharded(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_with(list, values, WireOp::Add, true)
+    }
+
+    /// Exclusive **segmented** `+`-scan: restarts wherever `starts` is
+    /// set (the head always starts a segment).
+    pub fn segmented_add(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+        starts: &[bool],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.expect_output(
+            FrameKind::SegScan,
+            &protocol::segscan_body(list, starts, values, WireOp::Add, false),
+        )
+    }
+
+    /// Exclusive segmented max-scan.
+    pub fn segmented_max(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+        starts: &[bool],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.expect_output(
+            FrameKind::SegScan,
+            &protocol::segscan_body(list, starts, values, WireOp::Max, false),
+        )
+    }
+
+    /// Fetch the daemon's metrics: engine totals, the serving layer's
+    /// connection/frame/byte counters, and the rendered stats report.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        let reply = self.call(FrameKind::Stats, &[])?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::StatsOk) => protocol::decode_stats(&reply.body)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+            other => Err(ClientError::Protocol(format!("expected STATS_OK, got {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to drain in-flight work and exit. Consumes the
+    /// client — the server closes this connection once it
+    /// acknowledges.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        let reply = self.call(FrameKind::Shutdown, &[])?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::ShutdownOk) => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected SHUTDOWN_OK, got {other:?}"))),
+        }
+    }
+}

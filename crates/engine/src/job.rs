@@ -5,7 +5,7 @@
 //! `engine.submit(Request::scan(list, values, MaxOp))` and `wait()`
 //! hands back the concrete `Vec<i64>` — no closed output enum to
 //! match, no `Option` to unwrap. Internally the generic
-//! [`listkit::ScanOp`] is erased behind the [`ScanExec`] object so the
+//! [`listkit::ScanOp`] is erased behind the `ScanExec` object so the
 //! queue, planner and workers stay monomorphic; the handle re-types the
 //! erased output on the way out (guaranteed to succeed because only the
 //! typed builders can construct a request).

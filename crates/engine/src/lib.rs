@@ -24,6 +24,12 @@
 //! * **small-job batching**, **[`ScratchPool`]** buffer reuse, and
 //!   **[`EngineStats`]** — throughput, queue depth, dispatch matrices
 //!   by size and by op kind, per-op throughput.
+//! * **`rankd serve`** — the socket front-end: a [`Server`] accepts
+//!   concurrent clients over a Unix domain socket speaking the
+//!   length-prefixed binary [`protocol`] (spec: `docs/PROTOCOL.md`),
+//!   decodes frames into the same typed requests, and turns the
+//!   queue's backpressure into per-client admission control. The
+//!   in-process [`Client`] is the reference consumer.
 //!
 //! ```
 //! use engine::{Engine, Request};
@@ -46,22 +52,31 @@
 //! println!("{}", engine.stats());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[cfg(unix)]
+pub mod client;
 mod engine;
 pub mod job;
 pub mod op;
 pub mod planner;
 pub mod pool;
+pub mod protocol;
 pub mod queue;
+#[cfg(unix)]
+pub mod server;
 pub mod stats;
 pub mod workload;
 
 pub use crate::engine::{Engine, EngineConfig};
+#[cfg(unix)]
+pub use client::{Client, ClientError, ServedOutput};
 pub use job::{JobError, JobHandle, JobOptions, JobReport, Request};
 pub use op::OpKind;
 pub use planner::{Plan, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
+#[cfg(unix)]
+pub use server::{ServeConfig, Server, ServerControl, ServerStats};
 pub use stats::{EngineStats, OpThroughput};

@@ -1,0 +1,901 @@
+//! The `rankd` wire protocol: length-prefixed binary frames over a
+//! byte stream.
+//!
+//! This module is the **single codec** for both sides: the server
+//! ([`crate::server`]) decodes requests and encodes replies with these
+//! functions, and the in-process [`crate::client::Client`] does the
+//! reverse — so a frame that round-trips here round-trips on the wire.
+//! The byte-level layout is specified (with a fully worked example) in
+//! `docs/PROTOCOL.md`; the test suite replays the documented bytes
+//! through [`decode_request`] to keep the document honest.
+//!
+//! ## Framing
+//!
+//! Every frame, in both directions, is:
+//!
+//! ```text
+//! offset 0: u32 LE  len   — byte length of everything after this field
+//! offset 4: u8      kind  — FrameKind discriminant
+//! offset 5: ...     body  — len - 1 bytes, layout per kind
+//! ```
+//!
+//! All integers are little-endian. A connection starts with a
+//! [`FrameKind::Hello`] handshake carrying [`MAGIC`] and [`VERSION`];
+//! requests after a successful handshake decode into typed
+//! [`WireRequest`] values that map 1:1 onto the engine's
+//! [`crate::Request`] builders. Malformed bodies produce a typed
+//! [`WireError`] (which the server answers with a
+//! [`FrameKind::Error`] frame *without* dropping the connection);
+//! only unrecoverable conditions — handshake failure, an oversized
+//! length prefix — close it.
+
+use listkit::ops::Affine;
+use listkit::LinkedList;
+use listrank::Algorithm;
+use std::io::{Read, Write};
+
+/// Handshake magic: the bytes `"RNKD"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
+
+/// Protocol version carried (and checked) in the HELLO handshake.
+pub const VERSION: u16 = 1;
+
+/// Default cap on `len` a peer will accept (256 MiB): large enough for
+/// a 10^7-vertex scan with 16-byte values, small enough that a corrupt
+/// length prefix cannot trigger a multi-gigabyte allocation.
+pub const MAX_FRAME_DEFAULT: u32 = 1 << 28;
+
+/// Frame discriminants. Client→server kinds sit below `0x80`,
+/// server→client kinds at or above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client handshake: magic + version.
+    Hello = 0x01,
+    /// Rank request: a successor array to rank.
+    Rank = 0x02,
+    /// Scan request: successor array + operator + value array.
+    Scan = 0x03,
+    /// Segmented-scan request: scan + a packed segment-start bitmap.
+    SegScan = 0x04,
+    /// Metrics request (no body).
+    Stats = 0x05,
+    /// Ask the daemon to drain and exit (no body).
+    Shutdown = 0x06,
+    /// Handshake accepted: server version + frame-size cap.
+    HelloOk = 0x81,
+    /// Job result: execution metadata + output payload.
+    Output = 0x82,
+    /// Metrics reply: counter block + rendered engine stats.
+    StatsOk = 0x85,
+    /// Shutdown acknowledged; the daemon is draining.
+    ShutdownOk = 0x86,
+    /// Typed error reply: code + UTF-8 message.
+    Error = 0xEE,
+}
+
+impl FrameKind {
+    /// Decode a kind byte.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::Hello,
+            0x02 => FrameKind::Rank,
+            0x03 => FrameKind::Scan,
+            0x04 => FrameKind::SegScan,
+            0x05 => FrameKind::Stats,
+            0x06 => FrameKind::Shutdown,
+            0x81 => FrameKind::HelloOk,
+            0x82 => FrameKind::Output,
+            0x85 => FrameKind::StatsOk,
+            0x86 => FrameKind::ShutdownOk,
+            0xEE => FrameKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Scan operators expressible on the wire. The engine's typed API takes
+/// *any* [`listkit::ScanOp`]; a byte protocol needs a closed set, so
+/// the wire carries the operators the workspace ships. The operator
+/// determines the element encoding ([`WireOp::elem_bytes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireOp {
+    /// `i64` wrapping addition ([`listkit::ops::AddOp`]), 8-byte elements.
+    Add = 1,
+    /// `i64` maximum ([`listkit::ops::MaxOp`]), 8-byte elements.
+    Max = 2,
+    /// `i64` minimum ([`listkit::ops::MinOp`]), 8-byte elements.
+    Min = 3,
+    /// `u64` bitwise xor ([`listkit::ops::XorOp`]), 8-byte elements.
+    Xor = 4,
+    /// Affine-map composition ([`listkit::ops::AffineOp`],
+    /// non-commutative), 16-byte elements (`a: i64`, `b: i64`).
+    Affine = 5,
+}
+
+impl WireOp {
+    /// All wire operators, in code order.
+    pub const ALL: [WireOp; 5] =
+        [WireOp::Add, WireOp::Max, WireOp::Min, WireOp::Xor, WireOp::Affine];
+
+    /// Decode an operator byte.
+    pub fn from_u8(b: u8) -> Option<WireOp> {
+        Some(match b {
+            1 => WireOp::Add,
+            2 => WireOp::Max,
+            3 => WireOp::Min,
+            4 => WireOp::Xor,
+            5 => WireOp::Affine,
+            _ => return None,
+        })
+    }
+
+    /// Bytes per value element under this operator.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            WireOp::Add | WireOp::Max | WireOp::Min | WireOp::Xor => 8,
+            WireOp::Affine => 16,
+        }
+    }
+
+    /// Lower-case operator name (matches `rankd --op` spellings).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireOp::Add => "add",
+            WireOp::Max => "max",
+            WireOp::Min => "min",
+            WireOp::Xor => "xor",
+            WireOp::Affine => "affine",
+        }
+    }
+}
+
+/// Typed error codes carried by [`FrameKind::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// HELLO magic was not [`MAGIC`]; the connection is closed.
+    BadMagic = 1,
+    /// HELLO version differs from [`VERSION`]; the connection is closed.
+    VersionMismatch = 2,
+    /// A frame body failed to decode (bad lengths, an invalid successor
+    /// array, trailing bytes). The connection stays open.
+    Malformed = 3,
+    /// Unknown operator byte in a SCAN/SEGSCAN frame.
+    UnknownOp = 4,
+    /// The engine rejected the request at submit-time validation.
+    InvalidRequest = 5,
+    /// The engine is shutting down and accepts no new work.
+    EngineShutdown = 6,
+    /// Job execution panicked; the daemon survives and the connection
+    /// stays open.
+    JobFailed = 7,
+    /// The daemon is at `--max-clients`; retry later.
+    Busy = 8,
+    /// The length prefix exceeds the frame cap; the connection is
+    /// closed (framing can no longer be trusted).
+    FrameTooLarge = 9,
+    /// A request arrived before the HELLO handshake.
+    ExpectedHello = 10,
+    /// Unknown frame kind byte.
+    UnknownKind = 11,
+}
+
+impl ErrorCode {
+    /// Decode an error code.
+    pub fn from_u16(c: u16) -> Option<ErrorCode> {
+        Some(match c {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::VersionMismatch,
+            3 => ErrorCode::Malformed,
+            4 => ErrorCode::UnknownOp,
+            5 => ErrorCode::InvalidRequest,
+            6 => ErrorCode::EngineShutdown,
+            7 => ErrorCode::JobFailed,
+            8 => ErrorCode::Busy,
+            9 => ErrorCode::FrameTooLarge,
+            10 => ErrorCode::ExpectedHello,
+            11 => ErrorCode::UnknownKind,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadMagic => "bad handshake magic",
+            ErrorCode::VersionMismatch => "protocol version mismatch",
+            ErrorCode::Malformed => "malformed frame body",
+            ErrorCode::UnknownOp => "unknown scan operator",
+            ErrorCode::InvalidRequest => "request failed submit validation",
+            ErrorCode::EngineShutdown => "engine shutting down",
+            ErrorCode::JobFailed => "job execution panicked",
+            ErrorCode::Busy => "server at max clients",
+            ErrorCode::FrameTooLarge => "frame exceeds size cap",
+            ErrorCode::ExpectedHello => "expected HELLO handshake first",
+            ErrorCode::UnknownKind => "unknown frame kind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decode failure: the error code the server should reply with, plus
+/// a human-readable detail message.
+#[derive(Clone, Debug)]
+pub struct WireError {
+    /// The [`ErrorCode`] to put on the wire.
+    pub code: ErrorCode,
+    /// Detail for the error frame's message field.
+    pub message: String,
+}
+
+impl WireError {
+    fn malformed(message: impl Into<String>) -> WireError {
+        WireError { code: ErrorCode::Malformed, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One raw frame: the kind byte plus its undecoded body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The kind byte (possibly unknown to this peer).
+    pub kind: u8,
+    /// The body: `len - 1` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why [`read_frame`] failed.
+#[derive(Debug)]
+pub enum ReadFrameError {
+    /// Transport error (including EOF in the middle of a frame).
+    Io(std::io::Error),
+    /// The length prefix exceeds the configured cap; the stream can no
+    /// longer be re-synchronized and must be closed.
+    TooLarge {
+        /// The offending length prefix.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for ReadFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadFrameError::Io(e) => write!(f, "frame read failed: {e}"),
+            ReadFrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadFrameError {}
+
+impl From<std::io::Error> for ReadFrameError {
+    fn from(e: std::io::Error) -> Self {
+        ReadFrameError::Io(e)
+    }
+}
+
+/// Write one frame; returns the total bytes put on the wire
+/// (`4 + 1 + body.len()`). A body whose length cannot be represented
+/// in the `u32` prefix is an [`std::io::ErrorKind::InvalidInput`]
+/// error at the sender — never a silently wrapped prefix that would
+/// desync the peer.
+pub fn write_frame(w: &mut impl Write, kind: u8, body: &[u8]) -> std::io::Result<u64> {
+    let len = u32::try_from(1 + body.len() as u64).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds the u32 length prefix", body.len()),
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(4 + 1 + body.len() as u64)
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the stream cleanly
+/// (EOF before any byte of the next frame); EOF *inside* a frame is an
+/// [`ReadFrameError::Io`] error.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Frame>, ReadFrameError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first read so a clean close is distinguishable from a
+    // truncated frame.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                )
+                .into())
+            }
+            k => got += k,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "zero-length frame (missing kind byte)",
+        )
+        .into());
+    }
+    if len > max_frame {
+        return Err(ReadFrameError::TooLarge { len, max: max_frame });
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut body = vec![0u8; len as usize - 1];
+    r.read_exact(&mut body)?;
+    Ok(Some(Frame { kind: kind[0], body }))
+}
+
+// ---------------------------------------------------------------------
+// Element encoding
+// ---------------------------------------------------------------------
+
+/// A value type with a fixed wire encoding. Sealed in practice to the
+/// element types the wire operators use (`i64`, `u64`,
+/// [`listkit::ops::Affine`]).
+pub trait WireElem: Copy {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Append the little-endian encoding.
+    fn put(self, out: &mut Vec<u8>);
+    /// Decode from exactly [`Self::BYTES`] bytes.
+    fn get(b: &[u8]) -> Self;
+}
+
+impl WireElem for i64 {
+    const BYTES: usize = 8;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get(b: &[u8]) -> Self {
+        i64::from_le_bytes(b.try_into().expect("8-byte i64"))
+    }
+}
+
+impl WireElem for u64 {
+    const BYTES: usize = 8;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get(b: &[u8]) -> Self {
+        u64::from_le_bytes(b.try_into().expect("8-byte u64"))
+    }
+}
+
+impl WireElem for Affine {
+    const BYTES: usize = 16;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+    fn get(b: &[u8]) -> Self {
+        Affine::new(
+            i64::from_le_bytes(b[..8].try_into().expect("8-byte a")),
+            i64::from_le_bytes(b[8..16].try_into().expect("8-byte b")),
+        )
+    }
+}
+
+/// A decoded value array, typed by the operator that owns it: `i64` for
+/// add/max/min, `u64` for xor, [`Affine`] for affine composition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireValues {
+    /// Values for [`WireOp::Add`] / [`WireOp::Max`] / [`WireOp::Min`].
+    I64(Vec<i64>),
+    /// Values for [`WireOp::Xor`].
+    U64(Vec<u64>),
+    /// Values for [`WireOp::Affine`].
+    Affine(Vec<Affine>),
+}
+
+fn decode_values(op: WireOp, n: usize, d: &mut Dec<'_>) -> Result<WireValues, WireError> {
+    let total = n
+        .checked_mul(op.elem_bytes())
+        .ok_or_else(|| WireError::malformed("value array length overflows"))?;
+    let raw = d.take(total, "value array")?;
+    Ok(match op {
+        WireOp::Add | WireOp::Max | WireOp::Min => {
+            WireValues::I64(raw.chunks_exact(8).map(i64::get).collect())
+        }
+        WireOp::Xor => WireValues::U64(raw.chunks_exact(8).map(u64::get).collect()),
+        WireOp::Affine => WireValues::Affine(raw.chunks_exact(16).map(Affine::get).collect()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Body decoding
+// ---------------------------------------------------------------------
+
+/// Little cursor over a frame body; every under-run is a typed
+/// [`WireError`] naming the field that came up short.
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Dec { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| WireError::malformed(format!("truncated {what}")))?;
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Every body must be consumed exactly; trailing bytes mean the
+    /// peer and we disagree about the layout.
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError::malformed(format!("{} trailing bytes", self.b.len() - self.pos)))
+        }
+    }
+}
+
+/// Request flag bit: route through the budget-aware shard-parallel
+/// plan branch ([`crate::Request::rank_sharded`] and friends).
+pub const FLAG_SHARDED: u8 = 0b0000_0001;
+
+/// A decoded client→server request, ready to map onto the engine's
+/// typed [`crate::Request`] builders. The successor array has already
+/// passed [`LinkedList`] construction — a structurally invalid list
+/// never gets past [`decode_request`].
+#[derive(Debug)]
+pub enum WireRequest {
+    /// Handshake (magic and version still unchecked — the server
+    /// decides how to answer).
+    Hello {
+        /// Magic the client sent (must be [`MAGIC`]).
+        magic: u32,
+        /// Version the client speaks (must be [`VERSION`]).
+        version: u16,
+    },
+    /// Rank the list.
+    Rank {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// The validated list.
+        list: LinkedList,
+    },
+    /// Scan values along the list under `op`.
+    Scan {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// The operator (fixes the element type of `values`).
+        op: WireOp,
+        /// The validated list.
+        list: LinkedList,
+        /// The value array (same length as the list).
+        values: WireValues,
+    },
+    /// Segmented scan: like [`WireRequest::Scan`] plus segment-start
+    /// flags.
+    SegScan {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// The operator (fixes the element type of `values`).
+        op: WireOp,
+        /// The validated list.
+        list: LinkedList,
+        /// Unpacked segment-start flags, one per vertex.
+        starts: Vec<bool>,
+        /// The value array (same length as the list).
+        values: WireValues,
+    },
+    /// Metrics snapshot request.
+    Stats,
+    /// Drain-and-exit request.
+    Shutdown,
+}
+
+/// Read the request flags byte, enforcing the spec's "other bits must
+/// be zero" rule: a future client's unknown flag must fail typed
+/// (`malformed`) rather than be silently dropped and the request
+/// executed under different semantics than it asked for.
+fn decode_flags(d: &mut Dec<'_>) -> Result<u8, WireError> {
+    let flags = d.u8("flags")?;
+    if flags & !FLAG_SHARDED != 0 {
+        return Err(WireError::malformed(format!("reserved flag bits set: {flags:#010b}")));
+    }
+    Ok(flags)
+}
+
+fn decode_list(d: &mut Dec<'_>) -> Result<(LinkedList, usize), WireError> {
+    let head = d.u32("head")?;
+    let n = d.u32("vertex count")? as usize;
+    let raw = d.take(
+        n.checked_mul(4).ok_or_else(|| WireError::malformed("successor array overflows"))?,
+        "successor array",
+    )?;
+    let next: Vec<u32> =
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect();
+    let list = LinkedList::new(next, head)
+        .map_err(|e| WireError::malformed(format!("invalid list: {e}")))?;
+    Ok((list, n))
+}
+
+fn decode_starts(n: usize, d: &mut Dec<'_>) -> Result<Vec<bool>, WireError> {
+    let raw = d.take(n.div_ceil(8), "segment-start bitmap")?;
+    Ok((0..n).map(|v| raw[v / 8] >> (v % 8) & 1 == 1).collect())
+}
+
+/// Decode a client→server frame into a typed request. Failures carry
+/// the [`ErrorCode`] the server should answer with; none of them are
+/// connection-fatal (the whole body was already consumed off the wire).
+pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
+    let kind = FrameKind::from_u8(frame.kind).ok_or(WireError {
+        code: ErrorCode::UnknownKind,
+        message: format!("frame kind {:#04x}", frame.kind),
+    })?;
+    let mut d = Dec::new(&frame.body);
+    let req = match kind {
+        FrameKind::Hello => {
+            let magic = d.u32("magic")?;
+            let version = d.u16("version")?;
+            WireRequest::Hello { magic, version }
+        }
+        FrameKind::Rank => {
+            let flags = decode_flags(&mut d)?;
+            let (list, _) = decode_list(&mut d)?;
+            WireRequest::Rank { sharded: flags & FLAG_SHARDED != 0, list }
+        }
+        FrameKind::Scan | FrameKind::SegScan => {
+            let flags = decode_flags(&mut d)?;
+            let op_byte = d.u8("operator")?;
+            let op = WireOp::from_u8(op_byte).ok_or(WireError {
+                code: ErrorCode::UnknownOp,
+                message: format!("operator byte {op_byte:#04x}"),
+            })?;
+            let (list, n) = decode_list(&mut d)?;
+            let sharded = flags & FLAG_SHARDED != 0;
+            if kind == FrameKind::SegScan {
+                let starts = decode_starts(n, &mut d)?;
+                let values = decode_values(op, n, &mut d)?;
+                WireRequest::SegScan { sharded, op, list, starts, values }
+            } else {
+                let values = decode_values(op, n, &mut d)?;
+                WireRequest::Scan { sharded, op, list, values }
+            }
+        }
+        FrameKind::Stats => WireRequest::Stats,
+        FrameKind::Shutdown => WireRequest::Shutdown,
+        other => {
+            return Err(WireError::malformed(format!("{other:?} is a server→client frame kind")))
+        }
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Body encoding (client side, plus server replies)
+// ---------------------------------------------------------------------
+
+/// HELLO body: magic + version.
+pub fn hello_body() -> Vec<u8> {
+    let mut b = Vec::with_capacity(6);
+    b.extend_from_slice(&MAGIC.to_le_bytes());
+    b.extend_from_slice(&VERSION.to_le_bytes());
+    b
+}
+
+fn put_list(list: &LinkedList, out: &mut Vec<u8>) {
+    out.extend_from_slice(&list.head().to_le_bytes());
+    out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+    for &s in list.links() {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+}
+
+/// RANK body: flags + the list's head/length/successor array.
+pub fn rank_body(list: &LinkedList, sharded: bool) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + 8 + 4 * list.len());
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    put_list(list, &mut b);
+    b
+}
+
+/// SCAN body: flags + operator + list + values.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op` — the typed
+/// [`crate::client::Client`] methods make that impossible.
+pub fn scan_body<T: WireElem>(
+    list: &LinkedList,
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+) -> Vec<u8> {
+    assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
+    let mut b = Vec::with_capacity(2 + 8 + 4 * list.len() + T::BYTES * values.len());
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    b.push(op as u8);
+    put_list(list, &mut b);
+    for &v in values {
+        v.put(&mut b);
+    }
+    b
+}
+
+/// Pack segment-start flags LSB-first, 8 per byte.
+pub fn pack_starts(starts: &[bool]) -> Vec<u8> {
+    let mut raw = vec![0u8; starts.len().div_ceil(8)];
+    for (v, &s) in starts.iter().enumerate() {
+        if s {
+            raw[v / 8] |= 1 << (v % 8);
+        }
+    }
+    raw
+}
+
+/// SEGSCAN body: flags + operator + list + packed start bitmap +
+/// values.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ (caught here rather than as a server-side
+/// malformed-frame error).
+pub fn segscan_body<T: WireElem>(
+    list: &LinkedList,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+) -> Vec<u8> {
+    assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
+    assert_eq!(starts.len(), values.len(), "one start flag per value");
+    let mut b = Vec::with_capacity(
+        2 + 8 + 4 * list.len() + starts.len().div_ceil(8) + T::BYTES * values.len(),
+    );
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    b.push(op as u8);
+    put_list(list, &mut b);
+    b.extend_from_slice(&pack_starts(starts));
+    for &v in values {
+        v.put(&mut b);
+    }
+    b
+}
+
+/// HELLO_OK body: server version + the frame-size cap it enforces.
+pub fn hello_ok_body(version: u16, max_frame: u32) -> Vec<u8> {
+    let mut b = Vec::with_capacity(6);
+    b.extend_from_slice(&version.to_le_bytes());
+    b.extend_from_slice(&max_frame.to_le_bytes());
+    b
+}
+
+/// Decode a HELLO_OK body into `(version, max_frame)`.
+pub fn decode_hello_ok(body: &[u8]) -> Result<(u16, u32), WireError> {
+    let mut d = Dec::new(body);
+    let version = d.u16("version")?;
+    let max_frame = d.u32("max frame")?;
+    d.finish()?;
+    Ok((version, max_frame))
+}
+
+/// Execution metadata of an OUTPUT frame — the wire projection of the
+/// engine's [`crate::JobReport`] fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutputMeta {
+    /// The algorithm the planner dispatched (stitch algorithm for
+    /// sharded runs).
+    pub algorithm: Algorithm,
+    /// Shards the job split into (`0` = monolithic).
+    pub shards: u32,
+    /// Nanoseconds the job spent queued.
+    pub queued_ns: u64,
+    /// Nanoseconds of execution.
+    pub exec_ns: u64,
+}
+
+/// OUTPUT body: metadata + the typed payload.
+pub fn output_body<T: WireElem>(meta: &OutputMeta, values: &[T]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + 4 + 8 + 8 + 4 + T::BYTES * values.len());
+    let code = Algorithm::ALL.iter().position(|a| *a == meta.algorithm).expect("known algorithm");
+    b.push(code as u8);
+    b.extend_from_slice(&meta.shards.to_le_bytes());
+    b.extend_from_slice(&meta.queued_ns.to_le_bytes());
+    b.extend_from_slice(&meta.exec_ns.to_le_bytes());
+    b.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        v.put(&mut b);
+    }
+    b
+}
+
+/// Decode an OUTPUT body; the caller supplies the element type it
+/// asked for (the request's operator determines it).
+pub fn decode_output<T: WireElem>(body: &[u8]) -> Result<(OutputMeta, Vec<T>), WireError> {
+    let mut d = Dec::new(body);
+    let code = d.u8("algorithm")? as usize;
+    let algorithm = *Algorithm::ALL
+        .get(code)
+        .ok_or_else(|| WireError::malformed(format!("algorithm code {code}")))?;
+    let shards = d.u32("shards")?;
+    let queued_ns = d.u64("queued_ns")?;
+    let exec_ns = d.u64("exec_ns")?;
+    let n = d.u32("element count")? as usize;
+    let raw = d.take(
+        n.checked_mul(T::BYTES).ok_or_else(|| WireError::malformed("payload overflows"))?,
+        "payload",
+    )?;
+    d.finish()?;
+    let values = raw.chunks_exact(T::BYTES).map(T::get).collect();
+    Ok((OutputMeta { algorithm, shards, queued_ns, exec_ns }, values))
+}
+
+/// The STATS_OK payload: a fixed counter block (engine totals plus the
+/// serving layer's connection/frame/byte counters) followed by the
+/// rendered [`crate::EngineStats`] report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Engine: jobs accepted.
+    pub engine_submitted: u64,
+    /// Engine: jobs finished successfully.
+    pub engine_completed: u64,
+    /// Engine: jobs cancelled.
+    pub engine_cancelled: u64,
+    /// Engine: jobs whose execution panicked.
+    pub engine_failed: u64,
+    /// Engine: total vertices processed.
+    pub engine_elements: u64,
+    /// Server: connections accepted since start.
+    pub connections_total: u64,
+    /// Server: connections currently open.
+    pub connections_active: u64,
+    /// Server: highest concurrent connection count observed.
+    pub peak_connections: u64,
+    /// Server: frames decoded off client sockets.
+    pub frames_in: u64,
+    /// Server: frames written to client sockets.
+    pub frames_out: u64,
+    /// Server: bytes read from client sockets.
+    pub bytes_in: u64,
+    /// Server: bytes written to client sockets.
+    pub bytes_out: u64,
+    /// Server: error frames sent.
+    pub errors_sent: u64,
+    /// Server: connections turned away at `--max-clients`.
+    pub busy_rejected: u64,
+    /// The `Display` rendering of the engine's full stats snapshot
+    /// (dispatch matrices, per-op throughput, lanes, pool).
+    pub text: String,
+}
+
+impl WireStats {
+    const COUNTERS: usize = 14;
+
+    fn counters(&self) -> [u64; Self::COUNTERS] {
+        [
+            self.engine_submitted,
+            self.engine_completed,
+            self.engine_cancelled,
+            self.engine_failed,
+            self.engine_elements,
+            self.connections_total,
+            self.connections_active,
+            self.peak_connections,
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.errors_sent,
+            self.busy_rejected,
+        ]
+    }
+}
+
+/// STATS_OK body: counter count + counters + UTF-8 stats text.
+pub fn stats_body(stats: &WireStats) -> Vec<u8> {
+    let counters = stats.counters();
+    let mut b = Vec::with_capacity(1 + 8 * counters.len() + stats.text.len());
+    b.push(counters.len() as u8);
+    for c in counters {
+        b.extend_from_slice(&c.to_le_bytes());
+    }
+    b.extend_from_slice(stats.text.as_bytes());
+    b
+}
+
+/// Decode a STATS_OK body. Counters beyond the [`WireStats`] fields
+/// this version knows are skipped (newer servers may append more).
+pub fn decode_stats(body: &[u8]) -> Result<WireStats, WireError> {
+    let mut d = Dec::new(body);
+    let count = d.u8("counter count")? as usize;
+    if count < WireStats::COUNTERS {
+        return Err(WireError::malformed(format!(
+            "counter block has {count} entries, need {}",
+            WireStats::COUNTERS
+        )));
+    }
+    let mut c = [0u64; WireStats::COUNTERS];
+    for slot in &mut c {
+        *slot = d.u64("counter")?;
+    }
+    for _ in WireStats::COUNTERS..count {
+        d.u64("extra counter")?;
+    }
+    let text = String::from_utf8(d.take(d.b.len() - d.pos, "stats text")?.to_vec())
+        .map_err(|_| WireError::malformed("stats text is not UTF-8"))?;
+    Ok(WireStats {
+        engine_submitted: c[0],
+        engine_completed: c[1],
+        engine_cancelled: c[2],
+        engine_failed: c[3],
+        engine_elements: c[4],
+        connections_total: c[5],
+        connections_active: c[6],
+        peak_connections: c[7],
+        frames_in: c[8],
+        frames_out: c[9],
+        bytes_in: c[10],
+        bytes_out: c[11],
+        errors_sent: c[12],
+        busy_rejected: c[13],
+        text,
+    })
+}
+
+/// ERROR body: code + UTF-8 message.
+pub fn error_body(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(2 + message.len());
+    b.extend_from_slice(&(code as u16).to_le_bytes());
+    b.extend_from_slice(message.as_bytes());
+    b
+}
+
+/// Decode an ERROR body into `(raw code, decoded code, message)`. The
+/// raw code is kept so an unknown code from a newer peer still
+/// surfaces.
+pub fn decode_error(body: &[u8]) -> Result<(u16, Option<ErrorCode>, String), WireError> {
+    let mut d = Dec::new(body);
+    let raw = d.u16("error code")?;
+    let message = String::from_utf8(d.take(d.b.len() - d.pos, "error message")?.to_vec())
+        .map_err(|_| WireError::malformed("error message is not UTF-8"))?;
+    Ok((raw, ErrorCode::from_u16(raw), message))
+}

@@ -4,7 +4,7 @@
 //! engine's drain rate instead of ballooning memory); `try_submit`
 //! returns [`SubmitError::Full`] instead. Workers pop from the front and
 //! may additionally *drain* a batch of small jobs in one lock
-//! acquisition (see [`JobQueue::pop_small_batch`]).
+//! acquisition (see `JobQueue::pop_small_batch`).
 
 use crate::job::QueuedJob;
 use std::collections::VecDeque;

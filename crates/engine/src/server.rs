@@ -1,0 +1,768 @@
+//! `rankd serve` — the concurrent Unix-domain-socket front-end.
+//!
+//! One [`Server`] wraps one [`Engine`]: an accept loop hands each
+//! client connection to its own handler thread, which decodes
+//! [`crate::protocol`] frames, maps them onto the engine's typed
+//! [`Request`] builders, and writes the replies back. Because the
+//! handler uses the engine's *blocking* submit, the bounded job
+//! queue's backpressure becomes per-client admission control: a
+//! client that floods requests simply blocks on submit until the
+//! queue drains, instead of ballooning daemon memory or being
+//! disconnected.
+//!
+//! Error handling is deliberately forgiving: a malformed frame body
+//! gets a typed [`FrameKind::Error`] reply and the connection keeps
+//! serving. Only three conditions close a connection from the server
+//! side — a failed handshake, a length prefix above the frame cap
+//! (framing can no longer be trusted), and shutdown draining.
+//!
+//! Shutdown (a client's SHUTDOWN frame, or the `--serve-secs`
+//! deadline) is graceful: the accept loop stops, every in-flight
+//! request still completes and its reply is written, and handlers
+//! linger up to [`ServeConfig::drain_grace`] for clients to
+//! disconnect on their own before the socket file is removed.
+
+use crate::engine::Engine;
+use crate::job::{JobError, Request};
+use crate::protocol::{
+    self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, ReadFrameError,
+    WireElem, WireOp, WireRequest, WireStats, WireValues, MAX_FRAME_DEFAULT,
+};
+use crate::queue::SubmitError;
+use listkit::ops::{AddOp, MaxOp, MinOp, XorOp};
+use listkit::LinkedList;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving-layer configuration (`rankd serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Filesystem path of the Unix domain socket (`--socket`). A stale
+    /// file at this path is removed on bind.
+    pub socket: PathBuf,
+    /// Maximum concurrently served clients (`--max-clients`); excess
+    /// connections are answered with [`ErrorCode::Busy`] and closed.
+    pub max_clients: usize,
+    /// Serve for at most this long (`--serve-secs`); `None` serves
+    /// until a client sends SHUTDOWN.
+    pub serve_secs: Option<u64>,
+    /// Per-frame size cap enforced on reads (also advertised to
+    /// clients in HELLO_OK).
+    pub max_frame: u32,
+    /// After shutdown begins, how long handlers wait for idle clients
+    /// to disconnect before closing on them. In-flight requests always
+    /// complete regardless.
+    pub drain_grace: Duration,
+}
+
+impl ServeConfig {
+    /// Configuration with defaults for everything but the socket path.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            max_clients: 64,
+            serve_secs: None,
+            max_frame: MAX_FRAME_DEFAULT,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+
+    /// Override the client cap.
+    pub fn with_max_clients(mut self, max: usize) -> Self {
+        self.max_clients = max.max(1);
+        self
+    }
+
+    /// Bound the serving time (`None` = until SHUTDOWN).
+    pub fn with_serve_secs(mut self, secs: Option<u64>) -> Self {
+        self.serve_secs = secs;
+        self
+    }
+
+    /// Override the frame-size cap.
+    pub fn with_max_frame(mut self, max: u32) -> Self {
+        self.max_frame = max.max(64);
+        self
+    }
+
+    /// Override the post-shutdown drain grace.
+    pub fn with_drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
+}
+
+/// Serving-layer counters: the connection/frame/byte dimension of the
+/// stats surface, surfaced to clients through the STATS frame next to
+/// the engine's own [`crate::EngineStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_total: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Highest concurrent connection count observed.
+    pub peak_connections: u64,
+    /// Frames decoded off client sockets.
+    pub frames_in: u64,
+    /// Frames written to client sockets (replies and errors).
+    pub frames_out: u64,
+    /// Bytes read from client sockets.
+    pub bytes_in: u64,
+    /// Bytes written to client sockets.
+    pub bytes_out: u64,
+    /// Error frames sent.
+    pub errors_sent: u64,
+    /// Connections turned away at [`ServeConfig::max_clients`].
+    pub busy_rejected: u64,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "connections: {} total (peak {} concurrent, {} busy-rejected), {} still open",
+            self.connections_total,
+            self.peak_connections,
+            self.busy_rejected,
+            self.connections_active
+        )?;
+        write!(
+            f,
+            "frames: {} in / {} out ({} errors)   bytes: {} in / {} out",
+            self.frames_in, self.frames_out, self.errors_sent, self.bytes_in, self.bytes_out
+        )
+    }
+}
+
+/// Shared state between the accept loop, the handlers, and
+/// [`ServerControl`].
+struct Shared {
+    shutdown: AtomicBool,
+    /// Set when shutdown begins; handlers close idle connections past
+    /// it (in-flight requests still finish).
+    drain_deadline: Mutex<Option<Instant>>,
+    drain_grace: Duration,
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    peak_connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    errors_sent: AtomicU64,
+    busy_rejected: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut d = self.drain_deadline.lock().expect("drain deadline poisoned");
+        if d.is_none() {
+            *d = Some(Instant::now() + self.drain_grace);
+        }
+    }
+
+    /// Whether an *idle* handler (no frame in progress) should stop
+    /// waiting for more frames.
+    fn drain_expired(&self) -> bool {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        match *self.drain_deadline.lock().expect("drain deadline poisoned") {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            errors_sent: self.errors_sent.load(Ordering::Relaxed),
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A handle for observing and stopping a running [`Server`] from
+/// another thread (tests, signal handlers).
+#[derive(Clone)]
+pub struct ServerControl {
+    shared: Arc<Shared>,
+}
+
+impl ServerControl {
+    /// Ask the server to stop accepting and drain, as if a client had
+    /// sent SHUTDOWN.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time serving-layer counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+}
+
+/// The `rankd serve` daemon: bind with [`Server::bind`], then
+/// [`Server::run`] the accept loop to completion.
+pub struct Server {
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+    listener: UnixListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the socket (removing a *stale* file at the path first) and
+    /// prepare to serve requests against `engine`. A socket file with
+    /// a live daemon behind it is an [`std::io::ErrorKind::AddrInUse`]
+    /// error — binding never silently steals another server's path.
+    pub fn bind(engine: Arc<Engine>, cfg: ServeConfig) -> std::io::Result<Server> {
+        // A daemon that died without cleanup leaves the socket file
+        // behind; rebinding over *that* is the expected restart flow.
+        // Distinguish stale from live with a connect probe: refused =
+        // nobody listening = safe to unlink.
+        if cfg.socket.exists() {
+            match UnixStream::connect(&cfg.socket) {
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("{} has a live server behind it", cfg.socket.display()),
+                    ))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    std::fs::remove_file(&cfg.socket)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
+            drain_grace: cfg.drain_grace,
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            peak_connections: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            errors_sent: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+        });
+        Ok(Server { engine, cfg, listener, shared })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn socket_path(&self) -> &Path {
+        &self.cfg.socket
+    }
+
+    /// A cloneable control handle (shutdown + stats) usable from other
+    /// threads while [`Server::run`] blocks.
+    pub fn control(&self) -> ServerControl {
+        ServerControl { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Run the accept loop until SHUTDOWN (or the `serve_secs`
+    /// deadline), drain every handler, remove the socket file, and
+    /// return the final serving-layer counters.
+    pub fn run(self) -> std::io::Result<ServerStats> {
+        let deadline = self.cfg.serve_secs.map(|s| Instant::now() + Duration::from_secs(s));
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.shared.begin_shutdown();
+                    break;
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let active = self.shared.connections_active.load(Ordering::Relaxed);
+                    if active as usize >= self.cfg.max_clients {
+                        self.shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                        // Best-effort typed rejection; the stream is
+                        // blocking again for the one write.
+                        let _ = stream.set_nonblocking(false);
+                        let mut s = stream;
+                        let _ = send_error(
+                            &mut s,
+                            &self.shared,
+                            ErrorCode::Busy,
+                            "server at max clients",
+                        );
+                        continue;
+                    }
+                    self.shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                    let now_active =
+                        self.shared.connections_active.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.shared.peak_connections.fetch_max(now_active, Ordering::Relaxed);
+                    let engine = Arc::clone(&self.engine);
+                    let shared = Arc::clone(&self.shared);
+                    let max_frame = self.cfg.max_frame;
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("rankd-client".to_string())
+                            .spawn(move || {
+                                handle_client(stream, &engine, &shared, max_frame);
+                                shared.connections_active.fetch_sub(1, Ordering::Relaxed);
+                            })
+                            .expect("spawn client handler"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Reap finished handlers so a long-lived daemon's
+                    // thread carcasses (stack + join metadata) don't
+                    // accumulate with connection count.
+                    let mut i = 0;
+                    while i < handlers.len() {
+                        if handlers[i].is_finished() {
+                            let _ = handlers.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    self.shared.begin_shutdown();
+                    for h in handlers {
+                        let _ = h.join();
+                    }
+                    let _ = std::fs::remove_file(&self.cfg.socket);
+                    return Err(e);
+                }
+            }
+        }
+        // Shutdown: no new connections; handlers drain (in-flight
+        // requests complete, idle connections close after the grace).
+        self.shared.begin_shutdown();
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        Ok(self.shared.stats())
+    }
+}
+
+/// How long a reply write may sit with zero progress before the
+/// handler gives the client up for dead. Bounds the damage of a client
+/// that submits work and never reads the reply: its handler (and the
+/// `--max-clients` slot it holds) is reclaimed instead of pinned in
+/// `write_all` forever.
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// The tighter zero-progress limit applied once the shutdown drain
+/// grace has expired: still long enough that an actively-draining
+/// client's reply completes, short enough that a dead one cannot
+/// stretch shutdown by much.
+const DRAIN_WRITE_STALL_LIMIT: Duration = Duration::from_secs(2);
+
+/// Reply-write counterpart of `PolledReader` (in `read_frame_polled`):
+/// the stream has a short write timeout, and each timeout is a chance
+/// to notice shutdown draining or a dead-stalled reader. Giving up
+/// mid-frame corrupts that client's stream, which is fine — the
+/// handler closes the connection on any write error.
+struct PolledWriter<'a> {
+    stream: &'a mut UnixStream,
+    shared: &'a Shared,
+    last_progress: Instant,
+}
+
+impl std::io::Write for PolledWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.write(buf) {
+                Ok(k) => {
+                    if k > 0 {
+                        self.last_progress = Instant::now();
+                    }
+                    return Ok(k);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Give up only on genuine lack of progress — a
+                    // client actively draining a large reply keeps
+                    // resetting the clock, so a scheduling hiccup
+                    // can't truncate its frame even during the
+                    // shutdown drain (where the patience merely
+                    // shrinks from 30 s to 2 s).
+                    let limit = if self.shared.drain_expired() {
+                        DRAIN_WRITE_STALL_LIMIT
+                    } else {
+                        WRITE_STALL_LIMIT
+                    };
+                    if self.last_progress.elapsed() >= limit {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "client not draining replies",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// Write a frame and account it.
+fn send(
+    stream: &mut UnixStream,
+    shared: &Shared,
+    kind: FrameKind,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut writer = PolledWriter { stream, shared, last_progress: Instant::now() };
+    let bytes = write_frame(&mut writer, kind as u8, body)?;
+    shared.frames_out.fetch_add(1, Ordering::Relaxed);
+    shared.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Write a typed error frame and account it.
+fn send_error(
+    stream: &mut UnixStream,
+    shared: &Shared,
+    code: ErrorCode,
+    message: &str,
+) -> std::io::Result<()> {
+    shared.errors_sent.fetch_add(1, Ordering::Relaxed);
+    send(stream, shared, FrameKind::Error, &error_body(code, message))
+}
+
+/// Read one frame off a polled (read-timeout) stream. Timeouts keep
+/// accumulating bytes (a slow writer can never corrupt framing) while
+/// giving the handler a cadence to notice shutdown draining — after
+/// which idle and stalled-mid-frame clients both stop being waited
+/// on.
+enum Polled {
+    Frame(Frame),
+    /// Peer closed cleanly, or drain told us to stop waiting.
+    Done,
+    /// Framing is no longer trustworthy; an error frame has been sent.
+    Fatal,
+}
+
+fn read_frame_polled(stream: &mut UnixStream, shared: &Shared, max_frame: u32) -> Polled {
+    struct PolledReader<'a> {
+        stream: &'a mut UnixStream,
+        shared: &'a Shared,
+    }
+    impl std::io::Read for PolledReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                match self.stream.read(buf) {
+                    Ok(k) => return Ok(k),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // Once the drain grace has expired, stop
+                        // waiting on this client: idle between frames
+                        // this reads as a clean close; mid-frame the
+                        // short read surfaces as UnexpectedEof and the
+                        // half-received frame is abandoned (a stalled
+                        // writer must not be able to pin a handler —
+                        // and with it shutdown — forever). Requests
+                        // already *executing* are unaffected.
+                        if self.shared.drain_expired() {
+                            return Ok(0);
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    let mut reader = PolledReader { stream, shared };
+    match read_frame(&mut reader, max_frame) {
+        Ok(Some(frame)) => {
+            shared.frames_in.fetch_add(1, Ordering::Relaxed);
+            shared.bytes_in.fetch_add(5 + frame.body.len() as u64, Ordering::Relaxed);
+            Polled::Frame(frame)
+        }
+        Ok(None) => Polled::Done,
+        Err(ReadFrameError::TooLarge { len, max }) => {
+            let _ = send_error(
+                reader.stream,
+                shared,
+                ErrorCode::FrameTooLarge,
+                &format!("frame length {len} exceeds cap {max}"),
+            );
+            Polled::Fatal
+        }
+        Err(ReadFrameError::Io(_)) => Polled::Done,
+    }
+}
+
+/// Serve one connection to completion.
+fn handle_client(mut stream: UnixStream, engine: &Engine, shared: &Shared, max_frame: u32) {
+    // The read/write timeouts are the poll cadence for noticing
+    // shutdown and dead peers; they are not client-visible deadlines
+    // (see `read_frame_polled` / `PolledWriter`).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let mut greeted = false;
+    loop {
+        let frame = match read_frame_polled(&mut stream, shared, max_frame) {
+            Polled::Frame(f) => f,
+            Polled::Done | Polled::Fatal => return,
+        };
+        let keep = dispatch(&frame, &mut stream, engine, shared, max_frame, &mut greeted);
+        if !keep || shared.drain_expired() {
+            return;
+        }
+    }
+}
+
+/// Decode and answer one frame. Returns whether the connection should
+/// keep being served.
+fn dispatch(
+    frame: &Frame,
+    stream: &mut UnixStream,
+    engine: &Engine,
+    shared: &Shared,
+    max_frame: u32,
+    greeted: &mut bool,
+) -> bool {
+    let req = match protocol::decode_request(frame) {
+        Ok(req) => req,
+        Err(we) => {
+            // Decode failures consumed the whole body off the wire, so
+            // the stream is still framed correctly: reply and carry on.
+            return send_error(stream, shared, we.code, &we.message).is_ok();
+        }
+    };
+    match req {
+        WireRequest::Hello { magic, version } => {
+            if magic != protocol::MAGIC {
+                let _ = send_error(
+                    stream,
+                    shared,
+                    ErrorCode::BadMagic,
+                    &format!("magic {magic:#010x}, want {:#010x}", protocol::MAGIC),
+                );
+                return false;
+            }
+            if version != protocol::VERSION {
+                let _ = send_error(
+                    stream,
+                    shared,
+                    ErrorCode::VersionMismatch,
+                    &format!("client speaks v{version}, server speaks v{}", protocol::VERSION),
+                );
+                return false;
+            }
+            *greeted = true;
+            send(
+                stream,
+                shared,
+                FrameKind::HelloOk,
+                // Advertise the cap this server actually enforces
+                // (ServeConfig::max_frame), not the protocol default.
+                &protocol::hello_ok_body(protocol::VERSION, max_frame),
+            )
+            .is_ok()
+        }
+        _ if !*greeted => {
+            send_error(stream, shared, ErrorCode::ExpectedHello, "send HELLO before requests")
+                .is_ok()
+        }
+        WireRequest::Stats => {
+            let es = engine.stats();
+            let ss = shared.stats();
+            let wire = WireStats {
+                engine_submitted: es.submitted,
+                engine_completed: es.completed,
+                engine_cancelled: es.cancelled,
+                engine_failed: es.failed,
+                engine_elements: es.elements,
+                connections_total: ss.connections_total,
+                connections_active: ss.connections_active,
+                peak_connections: ss.peak_connections,
+                frames_in: ss.frames_in,
+                frames_out: ss.frames_out,
+                bytes_in: ss.bytes_in,
+                bytes_out: ss.bytes_out,
+                errors_sent: ss.errors_sent,
+                busy_rejected: ss.busy_rejected,
+                text: format!("{es}\n-- serving --\n{ss}\n"),
+            };
+            send(stream, shared, FrameKind::StatsOk, &protocol::stats_body(&wire)).is_ok()
+        }
+        WireRequest::Shutdown => {
+            let _ = send(stream, shared, FrameKind::ShutdownOk, &[]);
+            shared.begin_shutdown();
+            false
+        }
+        WireRequest::Rank { sharded, list } => {
+            let list = Arc::new(list);
+            let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) };
+            run_and_reply(engine, req, stream, shared)
+        }
+        WireRequest::Scan { sharded, op, list, values } => {
+            let list = Arc::new(list);
+            match (op, values) {
+                (WireOp::Add, WireValues::I64(v)) => {
+                    run_and_reply(engine, scan_req(list, v, AddOp, sharded), stream, shared)
+                }
+                (WireOp::Max, WireValues::I64(v)) => {
+                    run_and_reply(engine, scan_req(list, v, MaxOp, sharded), stream, shared)
+                }
+                (WireOp::Min, WireValues::I64(v)) => {
+                    run_and_reply(engine, scan_req(list, v, MinOp, sharded), stream, shared)
+                }
+                (WireOp::Xor, WireValues::U64(v)) => {
+                    run_and_reply(engine, scan_req(list, v, XorOp, sharded), stream, shared)
+                }
+                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, listkit::ops::AffineOp, sharded),
+                    stream,
+                    shared,
+                ),
+                // decode_values types the array by the operator, so a
+                // mismatch cannot be constructed.
+                _ => unreachable!("decoder pairs values with their operator"),
+            }
+        }
+        WireRequest::SegScan { sharded, op, list, starts, values } => {
+            let list = Arc::new(list);
+            let starts = Arc::new(starts);
+            match (op, values) {
+                (WireOp::Add, WireValues::I64(v)) => {
+                    run_and_reply(engine, seg_req(list, v, starts, AddOp, sharded), stream, shared)
+                }
+                (WireOp::Max, WireValues::I64(v)) => {
+                    run_and_reply(engine, seg_req(list, v, starts, MaxOp, sharded), stream, shared)
+                }
+                (WireOp::Min, WireValues::I64(v)) => {
+                    run_and_reply(engine, seg_req(list, v, starts, MinOp, sharded), stream, shared)
+                }
+                (WireOp::Xor, WireValues::U64(v)) => {
+                    run_and_reply(engine, seg_req(list, v, starts, XorOp, sharded), stream, shared)
+                }
+                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, listkit::ops::AffineOp, sharded),
+                    stream,
+                    shared,
+                ),
+                _ => unreachable!("decoder pairs values with their operator"),
+            }
+        }
+    }
+}
+
+fn scan_req<T, Op>(list: Arc<LinkedList>, values: Vec<T>, op: Op, sharded: bool) -> Request<Vec<T>>
+where
+    T: Copy + Send + Sync + 'static,
+    Op: listkit::ScanOp<T> + Send + Sync + 'static,
+{
+    let values = Arc::new(values);
+    if sharded {
+        Request::scan_sharded(list, values, op)
+    } else {
+        Request::scan(list, values, op)
+    }
+}
+
+fn seg_req<T, Op>(
+    list: Arc<LinkedList>,
+    values: Vec<T>,
+    starts: Arc<Vec<bool>>,
+    op: Op,
+    sharded: bool,
+) -> Request<Vec<T>>
+where
+    T: Copy + Send + Sync + 'static,
+    Op: listkit::ScanOp<T> + Clone + Send + Sync + 'static,
+{
+    let values = Arc::new(values);
+    if sharded {
+        Request::segmented_scan_sharded(list, values, starts, op)
+    } else {
+        Request::segmented_scan(list, values, starts, op)
+    }
+}
+
+/// Submit through the engine's blocking path (this is where a flooded
+/// queue turns into per-client backpressure), await, and encode the
+/// OUTPUT reply. Returns whether the connection should keep being
+/// served.
+fn run_and_reply<T: WireElem + Send + 'static>(
+    engine: &Engine,
+    req: Request<Vec<T>>,
+    stream: &mut UnixStream,
+    shared: &Shared,
+) -> bool {
+    let handle = match engine.submit(req) {
+        Ok(h) => h,
+        Err(SubmitError::Invalid) => {
+            return send_error(
+                stream,
+                shared,
+                ErrorCode::InvalidRequest,
+                "request failed submit validation",
+            )
+            .is_ok()
+        }
+        Err(SubmitError::Shutdown) => {
+            let _ = send_error(stream, shared, ErrorCode::EngineShutdown, "engine shut down");
+            return false;
+        }
+        // Blocking submit never reports Full; treat it like Busy if it
+        // ever does.
+        Err(SubmitError::Full) => {
+            return send_error(stream, shared, ErrorCode::Busy, "queue full").is_ok()
+        }
+    };
+    match handle.wait() {
+        Ok(report) => {
+            let meta = protocol::OutputMeta {
+                algorithm: report.algorithm,
+                shards: report.shards as u32,
+                queued_ns: report.queued_ns,
+                exec_ns: report.exec_ns,
+            };
+            send(stream, shared, FrameKind::Output, &protocol::output_body(&meta, &report.output))
+                .is_ok()
+        }
+        Err(JobError::Failed) => {
+            send_error(stream, shared, ErrorCode::JobFailed, "job execution panicked").is_ok()
+        }
+        Err(JobError::Cancelled) => {
+            // The server never cancels its own jobs; defensive arm.
+            send_error(stream, shared, ErrorCode::JobFailed, "job cancelled").is_ok()
+        }
+    }
+}

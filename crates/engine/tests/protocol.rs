@@ -1,0 +1,326 @@
+//! Wire-format tests that keep `docs/PROTOCOL.md` honest: the byte
+//! strings documented there are replayed, literally, through the real
+//! codec (and, on unix, through a live server). If an edit to the
+//! protocol changes any documented byte, these tests fail until the
+//! document is updated to match.
+
+use engine::protocol::{
+    self, ErrorCode, Frame, FrameKind, OutputMeta, WireOp, WireRequest, WireValues, MAGIC,
+    MAX_FRAME_DEFAULT, VERSION,
+};
+use listkit::ops::Affine;
+use listkit::LinkedList;
+use listrank::Algorithm;
+
+/// The worked example list from PROTOCOL.md: traversal order
+/// `1 → 0 → 2`, i.e. `next = [2, 0, 2]` (vertex 2 is the self-loop
+/// tail) with head 1. Ranks: `rank[0] = 1`, `rank[1] = 0`,
+/// `rank[2] = 2`.
+fn example_list() -> LinkedList {
+    LinkedList::new(vec![2, 0, 2], 1).expect("example list is valid")
+}
+
+/// PROTOCOL.md §"A worked round trip", frame 1: HELLO.
+const DOC_HELLO: &[u8] = &[
+    0x07, 0x00, 0x00, 0x00, // len = 7
+    0x01, // kind = HELLO
+    0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
+    0x01, 0x00, // version = 1
+];
+
+/// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
+const DOC_HELLO_OK: &[u8] = &[
+    0x07, 0x00, 0x00, 0x00, // len = 7
+    0x81, // kind = HELLO_OK
+    0x01, 0x00, // version = 1
+    0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
+];
+
+/// PROTOCOL.md §"A worked round trip", frame 3: RANK.
+const DOC_RANK: &[u8] = &[
+    0x16, 0x00, 0x00, 0x00, // len = 22
+    0x02, // kind = RANK
+    0x00, // flags (bit 0 clear: monolithic dispatch)
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// PROTOCOL.md §"A worked round trip", frame 4: OUTPUT (with the
+/// document's placeholder timings: queued 1000 ns, exec 2000 ns).
+const DOC_OUTPUT: &[u8] = &[
+    0x32, 0x00, 0x00, 0x00, // len = 50
+    0x82, // kind = OUTPUT
+    0x00, // algorithm = 0 (serial)
+    0x00, 0x00, 0x00, 0x00, // shards = 0 (monolithic)
+    0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // queued_ns = 1000
+    0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // exec_ns = 2000
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[0] = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[1] = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[2] = 2
+];
+
+/// Frame a body the way the wire does.
+fn framed(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    protocol::write_frame(&mut out, kind as u8, body).expect("write to Vec");
+    out
+}
+
+/// Read exactly one frame out of a documented byte string.
+fn parse(mut bytes: &[u8]) -> Frame {
+    let frame = protocol::read_frame(&mut bytes, MAX_FRAME_DEFAULT)
+        .expect("documented bytes frame correctly")
+        .expect("documented bytes are non-empty");
+    assert!(bytes.is_empty(), "documented example has trailing bytes");
+    frame
+}
+
+#[test]
+fn documented_hello_bytes_match_the_codec() {
+    assert_eq!(framed(FrameKind::Hello, &protocol::hello_body()), DOC_HELLO);
+    let frame = parse(DOC_HELLO);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::Hello { magic, version } => {
+            assert_eq!(magic, MAGIC);
+            assert_eq!(version, VERSION);
+        }
+        other => panic!("want Hello, got {other:?}"),
+    }
+}
+
+#[test]
+fn documented_hello_ok_bytes_match_the_codec() {
+    assert_eq!(
+        framed(FrameKind::HelloOk, &protocol::hello_ok_body(VERSION, MAX_FRAME_DEFAULT)),
+        DOC_HELLO_OK
+    );
+    let frame = parse(DOC_HELLO_OK);
+    let (version, max_frame) = protocol::decode_hello_ok(&frame.body).expect("decodes");
+    assert_eq!(version, VERSION);
+    assert_eq!(max_frame, MAX_FRAME_DEFAULT);
+}
+
+#[test]
+fn documented_rank_bytes_decode_to_the_example_list() {
+    // Encoder side: the documented bytes are exactly what the client
+    // produces for the example list.
+    assert_eq!(framed(FrameKind::Rank, &protocol::rank_body(&example_list(), false)), DOC_RANK);
+    // Decoder side: replaying the documented bytes yields the list.
+    let frame = parse(DOC_RANK);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::Rank { sharded, list } => {
+            assert!(!sharded);
+            assert_eq!(list.head(), 1);
+            assert_eq!(list.links(), &[2, 0, 2]);
+        }
+        other => panic!("want Rank, got {other:?}"),
+    }
+}
+
+#[test]
+fn documented_output_bytes_round_trip() {
+    let meta =
+        OutputMeta { algorithm: Algorithm::Serial, shards: 0, queued_ns: 1000, exec_ns: 2000 };
+    assert_eq!(framed(FrameKind::Output, &protocol::output_body(&meta, &[1u64, 0, 2])), DOC_OUTPUT);
+    let frame = parse(DOC_OUTPUT);
+    let (got_meta, ranks) = protocol::decode_output::<u64>(&frame.body).expect("decodes");
+    assert_eq!(got_meta, meta);
+    assert_eq!(ranks, vec![1, 0, 2]);
+}
+
+/// The full documented conversation against a live daemon: write the
+/// PROTOCOL.md byte strings to the socket verbatim, compare the replies
+/// byte-for-byte (masking only the two timing fields the document
+/// marks as variable).
+#[cfg(unix)]
+#[test]
+fn documented_round_trip_against_a_live_server() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("rankd-protodoc-{}.sock", std::process::id()));
+    let engine = Arc::new(engine::Engine::new(
+        engine::EngineConfig::default().with_workers(1).with_inner_threads(1),
+    ));
+    let server = engine::server::Server::bind(engine, engine::server::ServeConfig::new(&path))
+        .expect("bind");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    stream.write_all(DOC_HELLO).expect("send documented HELLO");
+    let mut hello_ok = vec![0u8; DOC_HELLO_OK.len()];
+    stream.read_exact(&mut hello_ok).expect("read HELLO_OK");
+    assert_eq!(hello_ok, DOC_HELLO_OK);
+
+    stream.write_all(DOC_RANK).expect("send documented RANK");
+    let mut output = vec![0u8; DOC_OUTPUT.len()];
+    stream.read_exact(&mut output).expect("read OUTPUT");
+    // Mask queued_ns (offset 10..18) and exec_ns (offset 18..26): the
+    // document shows placeholder values for these two fields.
+    let mut masked = output.clone();
+    masked[10..26].copy_from_slice(&DOC_OUTPUT[10..26]);
+    assert_eq!(masked, DOC_OUTPUT, "live reply matches the documented bytes");
+
+    drop(stream);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+// ------------------------------------------------------------------
+// Codec round trips beyond the documented example
+// ------------------------------------------------------------------
+
+#[test]
+fn scan_and_segscan_bodies_round_trip_for_every_operator() {
+    let list = LinkedList::new(vec![1, 2, 3, 3], 0).expect("chain");
+    let starts = vec![true, false, true, false];
+    for op in WireOp::ALL {
+        let frame_body = match op {
+            WireOp::Add | WireOp::Max | WireOp::Min => {
+                protocol::scan_body(&list, &[-1i64, 2, -3, 4], op, false)
+            }
+            WireOp::Xor => protocol::scan_body(&list, &[1u64, 2, 3, 4], op, true),
+            WireOp::Affine => protocol::scan_body(
+                &list,
+                &[Affine::new(1, 2), Affine::new(-1, 0), Affine::new(2, 2), Affine::new(0, 7)],
+                op,
+                false,
+            ),
+        };
+        let frame = Frame { kind: FrameKind::Scan as u8, body: frame_body };
+        match protocol::decode_request(&frame).expect("scan decodes") {
+            WireRequest::Scan { op: got, list: l, values, sharded } => {
+                assert_eq!(got, op);
+                assert_eq!(l.links(), list.links());
+                assert_eq!(sharded, op == WireOp::Xor);
+                match (op, values) {
+                    (WireOp::Add | WireOp::Max | WireOp::Min, WireValues::I64(v)) => {
+                        assert_eq!(v, vec![-1, 2, -3, 4])
+                    }
+                    (WireOp::Xor, WireValues::U64(v)) => assert_eq!(v, vec![1, 2, 3, 4]),
+                    (WireOp::Affine, WireValues::Affine(v)) => assert_eq!(v.len(), 4),
+                    (op, v) => panic!("mispaired {op:?} / {v:?}"),
+                }
+            }
+            other => panic!("want Scan, got {other:?}"),
+        }
+
+        let seg_body = match op {
+            WireOp::Add | WireOp::Max | WireOp::Min => {
+                protocol::segscan_body(&list, &starts, &[-1i64, 2, -3, 4], op, false)
+            }
+            WireOp::Xor => protocol::segscan_body(&list, &starts, &[1u64, 2, 3, 4], op, false),
+            WireOp::Affine => protocol::segscan_body(
+                &list,
+                &starts,
+                &[Affine::new(1, 2), Affine::new(-1, 0), Affine::new(2, 2), Affine::new(0, 7)],
+                op,
+                false,
+            ),
+        };
+        let frame = Frame { kind: FrameKind::SegScan as u8, body: seg_body };
+        match protocol::decode_request(&frame).expect("segscan decodes") {
+            WireRequest::SegScan { starts: got, .. } => assert_eq!(got, starts),
+            other => panic!("want SegScan, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn start_bitmap_packs_lsb_first_with_partial_final_byte() {
+    // 9 flags: 1 bit into the second byte.
+    let starts = vec![true, false, false, true, false, false, false, false, true];
+    let packed = protocol::pack_starts(&starts);
+    assert_eq!(packed, vec![0b0000_1001, 0b0000_0001]);
+    let list = LinkedList::from_order(&[0, 1, 2, 3, 4, 5, 6, 7, 8]).expect("chain");
+    let body = protocol::segscan_body(&list, &starts, &[0i64; 9], WireOp::Add, false);
+    let frame = Frame { kind: FrameKind::SegScan as u8, body };
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::SegScan { starts: got, .. } => assert_eq!(got, starts),
+        other => panic!("want SegScan, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_and_error_bodies_round_trip() {
+    let stats = protocol::WireStats {
+        engine_submitted: 10,
+        engine_completed: 9,
+        engine_cancelled: 1,
+        engine_failed: 0,
+        engine_elements: 123_456,
+        connections_total: 4,
+        connections_active: 2,
+        peak_connections: 3,
+        frames_in: 40,
+        frames_out: 39,
+        bytes_in: 10_000,
+        bytes_out: 90_000,
+        errors_sent: 1,
+        busy_rejected: 0,
+        text: "jobs: 9 completed".to_string(),
+    };
+    let decoded = protocol::decode_stats(&protocol::stats_body(&stats)).expect("decodes");
+    assert_eq!(decoded, stats);
+
+    let body = protocol::error_body(ErrorCode::Busy, "server at max clients");
+    let (raw, code, message) = protocol::decode_error(&body).expect("decodes");
+    assert_eq!(raw, ErrorCode::Busy as u16);
+    assert_eq!(code, Some(ErrorCode::Busy));
+    assert_eq!(message, "server at max clients");
+
+    // An unknown error code still decodes, with the raw value kept.
+    let mut future = protocol::error_body(ErrorCode::Busy, "from the future");
+    future[0] = 0xFE;
+    future[1] = 0x00;
+    let (raw, code, _) = protocol::decode_error(&future).expect("decodes");
+    assert_eq!(raw, 0xFE);
+    assert_eq!(code, None);
+}
+
+#[test]
+fn decode_rejects_malformed_bodies_with_typed_codes() {
+    // Zero-length frames, truncated fields, trailing bytes.
+    let cases: Vec<(u8, Vec<u8>, ErrorCode)> = vec![
+        (0x7F, vec![], ErrorCode::UnknownKind),
+        (FrameKind::Hello as u8, vec![0x52], ErrorCode::Malformed),
+        (FrameKind::Rank as u8, vec![0], ErrorCode::Malformed),
+        (FrameKind::Scan as u8, vec![0, 99], ErrorCode::UnknownOp),
+        (FrameKind::Stats as u8, vec![1, 2], ErrorCode::Malformed), // trailing bytes
+        (FrameKind::Output as u8, vec![], ErrorCode::Malformed),    // server→client kind
+    ];
+    for (kind, body, want) in cases {
+        let frame = Frame { kind, body };
+        let err = protocol::decode_request(&frame).expect_err("must not decode");
+        assert_eq!(err.code, want, "kind {kind:#04x}: {err}");
+    }
+}
+
+#[test]
+fn reserved_flag_bits_are_rejected_not_silently_dropped() {
+    // PROTOCOL.md: "other bits must be zero". A future client's
+    // unknown flag must fail typed, never execute with the flag
+    // ignored.
+    let list = LinkedList::new(vec![1, 1], 0).expect("chain");
+    for frame_kind in [FrameKind::Rank, FrameKind::Scan] {
+        let mut body = match frame_kind {
+            FrameKind::Rank => protocol::rank_body(&list, false),
+            _ => protocol::scan_body(&list, &[1i64, 2], WireOp::Add, false),
+        };
+        body[0] |= 0x02; // a reserved flag bit
+        let frame = Frame { kind: frame_kind as u8, body };
+        let err = protocol::decode_request(&frame).expect_err("reserved bit must not decode");
+        assert_eq!(err.code, ErrorCode::Malformed, "{err}");
+    }
+    // The sharded bit itself stays fine.
+    let frame = Frame { kind: FrameKind::Rank as u8, body: protocol::rank_body(&list, true) };
+    assert!(matches!(
+        protocol::decode_request(&frame),
+        Ok(WireRequest::Rank { sharded: true, .. })
+    ));
+}

@@ -36,7 +36,7 @@
 // to unchecked indexing (justified by `LinkedList`'s
 // validated-at-construction invariants and shadowed by debug asserts);
 // everything else stays unsafe-free.
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod gen;

@@ -27,7 +27,7 @@
 //!
 //! The hot loops use unchecked indexing. This is sound because every
 //! entry point takes a [`LinkedList`], whose construction validates
-//! `links[v] < n` for all `v` (and [`LinkedList::from_raw_trusted`]
+//! `links[v] < n` for all `v` (and `LinkedList::from_raw_trusted`
 //! debug-asserts the same), and because each wrapper asserts up front
 //! that chain heads, value arrays and the boundary bitset cover the
 //! list. A `debug_assert!` shadows every unchecked access, so debug
@@ -686,8 +686,8 @@ pub fn expand_rank_runs(
 /// `links[at[i]]` for each position to `out`. The Phase-0
 /// boundary-splitting pass uses this to turn split vertices into
 /// sublist heads — a pure random gather whose loads are all
-/// independent, so prefetching [`GATHER_PREFETCH_DIST`] ahead keeps
-/// them in flight.
+/// independent, so prefetching `GATHER_PREFETCH_DIST` (16) positions
+/// ahead keeps them in flight.
 pub fn gather_links(list: &LinkedList, at: &[Idx], policy: WalkPolicy, out: &mut Vec<Idx>) {
     let links = list.links();
     out.reserve(at.len());

@@ -24,7 +24,7 @@
 //! * [`polyfit`], [`regress`] — small dense least-squares machinery
 //!   (own implementation; no linear-algebra dependency).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod coeffs;

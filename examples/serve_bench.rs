@@ -1,0 +1,128 @@
+//! `serve_bench` — workload driver for the `rankd serve` socket layer.
+//!
+//! Spawns an engine + server in-process on a temporary socket (or
+//! targets an already-running daemon with `--socket`), then drives it
+//! with N concurrent clients × M mixed rank/scan requests each, checks
+//! every reply byte-for-byte against a local `HostRunner`, and reports
+//! request throughput plus the serving-layer counters — i.e. what the
+//! wire protocol and the per-client handler threads cost on top of the
+//! bare engine.
+//!
+//! ```sh
+//! cargo run --release --example serve_bench -- --clients 8 --requests 50
+//! ```
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve_bench requires unix domain sockets");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    use engine::client::Client;
+    use engine::server::{ServeConfig, Server};
+    use engine::{Engine, EngineConfig};
+    use listkit::gen;
+    use listkit::ops::AddOp;
+    use listrank::{Algorithm, HostRunner};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut clients = 4usize;
+    let mut requests = 25usize;
+    let mut n = 20_000usize;
+    let mut socket: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--clients" => clients = val("--clients").parse().expect("count"),
+            "--requests" => requests = val("--requests").parse().expect("count"),
+            "--n" => n = val("--n").parse().expect("vertices"),
+            "--socket" => socket = Some(val("--socket")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--socket PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // In-process daemon unless pointed at an external one.
+    let mut spawned = None;
+    let path = match socket {
+        Some(p) => p,
+        None => {
+            let p = std::env::temp_dir()
+                .join(format!("rankd-serve-bench-{}.sock", std::process::id()))
+                .to_string_lossy()
+                .into_owned();
+            let engine = Arc::new(Engine::new(EngineConfig::default()));
+            let server =
+                Server::bind(Arc::clone(&engine), ServeConfig::new(&p)).expect("bind bench socket");
+            let control = server.control();
+            let join = std::thread::spawn(move || server.run());
+            spawned = Some((engine, control, join));
+            p
+        }
+    };
+
+    println!(
+        "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, socket {path}"
+    );
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).expect("connect");
+                let runner = HostRunner::new(Algorithm::ReidMiller);
+                let mut elements = 0u64;
+                for r in 0..requests {
+                    let list = gen::random_list(n, (c * 1009 + r) as u64);
+                    if r % 2 == 0 {
+                        let served = client.rank(&list).expect("rank");
+                        assert_eq!(served.output, runner.rank(&list), "rank parity");
+                    } else {
+                        let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+                        let served = client.scan_add(&list, &values).expect("scan");
+                        assert_eq!(
+                            served.output,
+                            runner.scan(&list, &values, &AddOp),
+                            "scan parity"
+                        );
+                    }
+                    elements += n as u64;
+                }
+                elements
+            })
+        })
+        .collect();
+    let elements: u64 = workers.into_iter().map(|w| w.join().expect("client")).sum();
+    let elapsed = t0.elapsed();
+    let total = clients * requests;
+    println!(
+        "{total} requests ({elements} vertices) in {:.3}s — {:.1} req/s, {:.2} M elem/s, all parity-checked",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        elements as f64 / elapsed.as_secs_f64() / 1e6
+    );
+
+    let mut probe = Client::connect(&path).expect("probe");
+    let stats = probe.stats().expect("stats");
+    println!("\n-- daemon stats --\n{}", stats.text);
+    drop(probe);
+
+    if let Some((engine, control, join)) = spawned {
+        control.request_shutdown();
+        join.join().expect("server thread").expect("server run");
+        drop(engine);
+    }
+}

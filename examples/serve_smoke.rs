@@ -1,0 +1,66 @@
+//! Smoke-test client for a running `rankd serve` daemon (used by CI).
+//!
+//! ```sh
+//! cargo run --release -p engine --bin rankd -- serve --socket /tmp/rankd.sock &
+//! cargo run --release --example serve_smoke -- /tmp/rankd.sock
+//! ```
+//!
+//! Connects over the Unix socket, runs one ranking and one scan,
+//! asserts byte parity against a local [`listrank::HostRunner`] on the
+//! same inputs, prints the daemon's STATS report, and sends SHUTDOWN.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve_smoke requires unix domain sockets");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    use engine::client::Client;
+    use listkit::gen;
+    use listkit::ops::AddOp;
+    use listrank::{Algorithm, HostRunner};
+
+    let socket = std::env::args().nth(1).unwrap_or_else(|| "/tmp/rankd.sock".to_string());
+    // The daemon may still be binding; retry briefly before giving up.
+    let mut client = None;
+    for _ in 0..50 {
+        match Client::connect(&socket) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+    let mut client = client.unwrap_or_else(|| {
+        eprintln!("serve_smoke: no daemon reachable at {socket}");
+        std::process::exit(1);
+    });
+    println!("connected to {socket} (server protocol v{})", client.server_version());
+
+    let n = 100_000;
+    let list = gen::random_list(n, 0xC90);
+    let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+
+    let served = client.rank(&list).expect("served rank");
+    assert_eq!(served.output, runner.rank(&list), "served ranks must be byte-identical");
+    println!(
+        "rank({n}): parity OK  [algorithm {}, exec {:.3} ms, queued {:.3} ms]",
+        served.meta.algorithm.name(),
+        served.meta.exec_ns as f64 / 1e6,
+        served.meta.queued_ns as f64 / 1e6
+    );
+
+    let scanned = client.scan_add(&list, &values).expect("served scan");
+    assert_eq!(scanned.output, runner.scan(&list, &values, &AddOp), "served scan must match");
+    println!("scan_add({n}): parity OK  [algorithm {}]", scanned.meta.algorithm.name());
+
+    let stats = client.stats().expect("stats");
+    println!("\n-- daemon stats --\n{}", stats.text);
+
+    client.shutdown().expect("daemon acknowledged shutdown");
+    println!("shutdown acknowledged; smoke test passed");
+}

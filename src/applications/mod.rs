@@ -8,7 +8,7 @@
 //!   scan compute depths and subtree sizes of a rooted tree in parallel;
 //! * [`recurrence`] — first-order linear recurrences solved by a scan
 //!   with the affine-composition operator (the "loop raking" workload of
-//!   the paper's reference [5]).
+//!   the paper's reference \[5\]).
 //!
 //! Both come in two servings: direct `HostRunner` calls, and
 //! engine-backed variants (`euler::depths_engine`,

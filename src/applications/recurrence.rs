@@ -2,7 +2,7 @@
 //!
 //! `x_i = a_i · x_{i−1} + b_i` is an affine-map composition, so a list
 //! scan with [`listkit::ops::AffineOp`] solves the whole recurrence in
-//! parallel — the application behind the paper's reference [5]
+//! parallel — the application behind the paper's reference \[5\]
 //! (Blelloch, Chatterjee & Zagha, *Solving linear recurrences with loop
 //! raking*), here expressed over an arbitrary linked-list order rather
 //! than an array.

@@ -19,16 +19,21 @@
 //! * [`engine`] — `rankd`, the batch execution subsystem: typed
 //!   requests over any scan operator (`engine::Request` +
 //!   `engine::JobHandle`), a bounded job queue, worker pool, adaptive
-//!   per-(size, op) algorithm selection, scratch buffer pooling and a
-//!   throughput/stats surface;
+//!   per-(size, op) algorithm selection, scratch buffer pooling, a
+//!   throughput/stats surface, and the `rankd serve` socket front-end
+//!   (`engine::server` / `engine::client` over the `engine::protocol`
+//!   wire format);
 //! * [`applications`] — classic consumers of list ranking (Euler-tour
 //!   tree contraction, linear recurrences), each also served through
 //!   the engine's typed request API.
 //!
-//! See the repository `README.md` for the workspace map and quick
-//! start. The experiment harness that regenerates the paper's tables
-//! and figures is the workspace member at `crates/bench` (package name
-//! `repro`: run it with `cargo run -p repro --bin all`).
+//! The repository-level documents divide the territory the same way:
+//! `DESIGN.md` is the architecture map (the layer diagram and the life
+//! of a request from socket bytes to output bytes), `docs/PROTOCOL.md`
+//! is the byte-level wire-format specification, and `README.md` is the
+//! quick start. The experiment harness that regenerates the paper's
+//! tables and figures is the workspace member at `crates/bench`
+//! (package name `repro`: run it with `cargo run -p repro --bin all`).
 //!
 //! ## Quick start
 //!
