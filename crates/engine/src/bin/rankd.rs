@@ -12,9 +12,9 @@ use engine::workload::{
     run_baseline, run_engine, run_sharded_scenario, HugeListConfig, OpSelect, Workload,
     WorkloadConfig,
 };
-use engine::{Engine, EngineConfig};
 #[cfg(unix)]
-use engine::{ServeConfig, Server};
+use engine::{Client, ServeConfig, Server};
+use engine::{Engine, EngineConfig};
 use std::sync::Arc;
 
 struct Args {
@@ -36,6 +36,7 @@ fn usage() -> ! {
 
 USAGE: rankd [OPTIONS]
        rankd serve [OPTIONS]     long-running socket daemon (see rankd serve --help)
+       rankd stats [OPTIONS]     live telemetry dashboard for a daemon (see rankd stats --help)
 
 Workload:
   --min-exp E            smallest job decade, 10^E vertices   [default 2]
@@ -61,7 +62,12 @@ Engine:
                          per size bucket                    [default 0]
   --shard-budget N       per-worker vertex budget: RankSharded jobs
                          above N split into shards    [default 2097152]
+  --no-telemetry         disable latency histograms / span recording
+  --slow-ms MS           slow-request warn threshold in ms (also
+                         RANKD_SLOW_MS)                  [default 250]
   --skip-baseline        skip the naive sequential-submit baseline
+
+Logging: set RANKD_LOG=error|warn|info|debug|trace   [default warn]
 
 Huge-list sharded scenario (replaces the mixed workload):
   --sharded-scenario     rank one huge list sharded vs monolithic
@@ -97,6 +103,8 @@ fn parse_engine_flag(
             engine.lanes = (k > 0).then_some(k);
         }
         "--shard-budget" => engine.shard_budget = num(val("--shard-budget"))?,
+        "--no-telemetry" => engine.telemetry = false,
+        "--slow-ms" => engine.slow_request_ms = Some(num(val("--slow-ms"))?),
         _ => return Ok(false),
     }
     Ok(true)
@@ -197,7 +205,10 @@ Serving:
 
 Engine (as in plain rankd):
   --workers W --inner-threads T --queue-cap Q --small-cutoff N
-  --batch-max B --no-pool --lanes K --shard-budget N"
+  --batch-max B --no-pool --lanes K --shard-budget N
+  --no-telemetry --slow-ms MS
+
+Logging: set RANKD_LOG=error|warn|info|debug|trace   [default warn]"
     );
     std::process::exit(2)
 }
@@ -283,13 +294,180 @@ fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
     }
 }
 
+#[cfg(unix)]
+fn stats_usage() -> ! {
+    eprintln!(
+        "rankd stats — live telemetry dashboard for a rankd serve daemon
+
+USAGE: rankd stats [OPTIONS]
+
+Polls the daemon's STATS_V2 frame and renders per-op / per-phase
+latency percentiles, throughput, queue depth, lane occupancy, and the
+planner's dispatch matrix.
+
+  --socket PATH          daemon socket path       [default /tmp/rankd.sock]
+  --watch N              refresh every N seconds until interrupted
+                         (omit for a single snapshot)"
+    );
+    std::process::exit(2)
+}
+
+#[cfg(unix)]
+fn parse_stats_args(mut it: impl Iterator<Item = String>) -> (String, Option<u64>) {
+    let mut socket = "/tmp/rankd.sock".to_string();
+    let mut watch = None;
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                stats_usage()
+            })
+        };
+        match flag.as_str() {
+            "--socket" => socket = val("--socket"),
+            "--watch" => {
+                let n: u64 = val("--watch").parse().unwrap_or_else(|_| stats_usage());
+                watch = Some(n.max(1));
+            }
+            "--help" | "-h" => stats_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                stats_usage()
+            }
+        }
+    }
+    (socket, watch)
+}
+
+/// One `samples p50 p95 p99 max` dashboard row (milliseconds).
+#[cfg(unix)]
+fn hist_row(h: &engine::Histogram) -> String {
+    format!(
+        "{:>9} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+        h.count(),
+        h.percentile(50.0) as f64 / 1e6,
+        h.percentile(95.0) as f64 / 1e6,
+        h.percentile(99.0) as f64 / 1e6,
+        h.max() as f64 / 1e6
+    )
+}
+
+/// Render one STATS_V2 snapshot as the top-style dashboard.
+#[cfg(unix)]
+fn render_dashboard(socket: &str, v2: &engine::protocol::WireStatsV2) -> String {
+    use listrank::Algorithm;
+    use std::fmt::Write;
+
+    let g = &v2.gauges;
+    let uptime_s = g.uptime_ns as f64 / 1e9;
+    let mut out = String::new();
+    let _ = writeln!(out, "rankd stats — {socket}  (daemon uptime {uptime_s:.1}s)");
+    let _ = writeln!(
+        out,
+        "jobs: {} completed / {} submitted ({} cancelled, {} failed, {} rejected)",
+        g.completed, g.submitted, g.cancelled, g.failed, g.rejected_full
+    );
+    let jobs_per_sec = if uptime_s > 0.0 { g.completed as f64 / uptime_s } else { 0.0 };
+    let elems_per_sec = if uptime_s > 0.0 { g.elements as f64 / uptime_s } else { 0.0 };
+    let occupancy = if g.lane_slots > 0 {
+        format!("{:.0}%", g.lane_steps as f64 / g.lane_slots as f64 * 100.0)
+    } else {
+        "-".to_string()
+    };
+    let _ = writeln!(
+        out,
+        "throughput: {} jobs/s, {} elems/s   queue: {} (peak {})   lanes: {} occupancy   conns: {} open / {} total",
+        fmt_rate(jobs_per_sec),
+        fmt_rate(elems_per_sec),
+        g.queue_depth,
+        g.peak_queue_depth,
+        occupancy,
+        g.connections_active,
+        g.connections_total
+    );
+    if v2.per_op.iter().any(|h| !h.is_empty()) {
+        let _ = writeln!(out, "\nexec latency by op (ms):");
+        let _ = writeln!(
+            out,
+            "  {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "op", "samples", "p50", "p95", "p99", "max"
+        );
+        for op in engine::OpKind::ALL {
+            let h = &v2.per_op[op.index()];
+            if !h.is_empty() {
+                let _ = writeln!(out, "  {:>11} {}", op.name(), hist_row(h));
+            }
+        }
+    }
+    if v2.phase.iter().any(|h| !h.is_empty()) {
+        let _ = writeln!(out, "\nlatency by phase (ms):");
+        let _ = writeln!(
+            out,
+            "  {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "phase", "samples", "p50", "p95", "p99", "max"
+        );
+        for phase in engine::Phase::ALL {
+            let h = &v2.phase[phase.index()];
+            if !h.is_empty() {
+                let _ = writeln!(out, "  {:>11} {}", phase.name(), hist_row(h));
+            }
+        }
+    }
+    if !v2.dispatch_by_op.is_empty() {
+        let _ = writeln!(out, "\nplanner dispatch (completions per algorithm):");
+        let _ = write!(out, "  {:>11}", "op");
+        for alg in Algorithm::ALL {
+            let _ = write!(out, " {:>12}", alg.name());
+        }
+        let _ = writeln!(out);
+        for (op, row) in &v2.dispatch_by_op {
+            let _ = write!(out, "  {:>11}", op.name());
+            for c in row {
+                let _ = write!(out, " {c:>12}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if !v2.mispredict.is_empty() {
+        let scale = engine::planner::MISPREDICT_SCALE as f64;
+        let _ = writeln!(
+            out,
+            "\nplanner mispredict (measured/predicted): p50 {:.2}x  p95 {:.2}x  p99 {:.2}x  over {} scored",
+            v2.mispredict.percentile(50.0) as f64 / scale,
+            v2.mispredict.percentile(95.0) as f64 / scale,
+            v2.mispredict.percentile(99.0) as f64 / scale,
+            v2.mispredict.count()
+        );
+    }
+    out
+}
+
+#[cfg(unix)]
+fn run_stats(socket: String, watch: Option<u64>) {
+    loop {
+        let v2 = Client::connect(&socket).and_then(|mut c| c.stats_v2()).unwrap_or_else(|e| {
+            eprintln!("rankd stats: {e}");
+            std::process::exit(1);
+        });
+        if watch.is_some() {
+            // ANSI clear + home, like top(1).
+            print!("\x1B[2J\x1B[H");
+        }
+        println!("{}", render_dashboard(&socket, &v2));
+        match watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+            None => return,
+        }
+    }
+}
+
 fn fmt_rate(x: f64) -> String {
     if x >= 1e6 {
-        format!("{:.2} M/s", x / 1e6)
+        format!("{:.2}M", x / 1e6)
     } else if x >= 1e3 {
-        format!("{:.2} k/s", x / 1e3)
+        format!("{:.2}k", x / 1e3)
     } else {
-        format!("{x:.1} /s")
+        format!("{x:.1}")
     }
 }
 
@@ -321,7 +499,7 @@ fn run_sharded_cli(args: &Args) {
     let cmp = run_sharded_scenario(&engine, &args.huge);
     let stats = engine.stats();
     println!(
-        "sharded:    {} jobs in {:.3}s  ({} elems)  [{} jobs over {} shards, stitch {:.3} ms]",
+        "sharded:    {} jobs in {:.3}s  ({} elems/s)  [{} jobs over {} shards, stitch {:.3} ms]",
         cmp.sharded.jobs,
         cmp.sharded.elapsed.as_secs_f64(),
         fmt_rate(cmp.sharded.elements_per_sec()),
@@ -330,7 +508,7 @@ fn run_sharded_cli(args: &Args) {
         stats.stitch_ns as f64 / 1e6,
     );
     println!(
-        "monolithic: {} jobs in {:.3}s  ({} elems)",
+        "monolithic: {} jobs in {:.3}s  ({} elems/s)",
         cmp.monolithic.jobs,
         cmp.monolithic.elapsed.as_secs_f64(),
         fmt_rate(cmp.monolithic.elements_per_sec()),
@@ -353,6 +531,20 @@ fn main() {
         #[cfg(not(unix))]
         {
             eprintln!("rankd serve requires unix domain sockets");
+            std::process::exit(2);
+        }
+    }
+    if argv.peek().map(String::as_str) == Some("stats") {
+        argv.next();
+        #[cfg(unix)]
+        {
+            let (socket, watch) = parse_stats_args(argv);
+            run_stats(socket, watch);
+            return;
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("rankd stats requires unix domain sockets");
             std::process::exit(2);
         }
     }
@@ -405,7 +597,7 @@ fn main() {
     for r in 0..args.repeats.max(1) {
         let res = run_engine(&engine, &workload);
         println!(
-            "engine pass {}: {} jobs in {:.3}s  ({} jobs, {} elems)",
+            "engine pass {}: {} jobs in {:.3}s  ({} jobs/s, {} elems/s)",
             r + 1,
             res.jobs,
             res.elapsed.as_secs_f64(),
@@ -424,7 +616,7 @@ fn main() {
         eprintln!("running naive sequential-submit baseline ...");
         let base = run_baseline(&workload);
         println!(
-            "baseline: {} jobs in {:.3}s  ({} jobs, {} elems)",
+            "baseline: {} jobs in {:.3}s  ({} jobs/s, {} elems/s)",
             base.jobs,
             base.elapsed.as_secs_f64(),
             fmt_rate(base.jobs_per_sec()),
@@ -433,7 +625,7 @@ fn main() {
         assert_eq!(base.checksum, engine_result.checksum, "engine and baseline outputs diverged");
         let speedup = base.elapsed.as_secs_f64() / engine_result.elapsed.as_secs_f64();
         println!(
-            "\nengine vs baseline: {speedup:.2}× throughput ({} vs {} elems)",
+            "\nengine vs baseline: {speedup:.2}× throughput ({} vs {} elems/s)",
             fmt_rate(engine_result.elements_per_sec()),
             fmt_rate(base.elements_per_sec()),
         );

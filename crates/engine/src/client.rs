@@ -15,7 +15,7 @@
 
 use crate::protocol::{
     self, read_frame, write_frame, ErrorCode, Frame, FrameKind, OutputMeta, ReadFrameError,
-    WireElem, WireOp, WireStats, MAX_FRAME_DEFAULT,
+    WireElem, WireOp, WireStats, WireStatsV2, MAX_FRAME_DEFAULT,
 };
 use listkit::ops::Affine;
 use listkit::LinkedList;
@@ -282,6 +282,19 @@ impl Client {
             Some(FrameKind::StatsOk) => protocol::decode_stats(&reply.body)
                 .map_err(|e| ClientError::Protocol(e.to_string())),
             other => Err(ClientError::Protocol(format!("expected STATS_OK, got {other:?}"))),
+        }
+    }
+
+    /// Fetch the daemon's histogram-level metrics: per-phase and
+    /// per-op latency histograms, the planner's mispredict histogram
+    /// and dispatch matrix, and the gauge block — everything the
+    /// `rankd stats` dashboard renders.
+    pub fn stats_v2(&mut self) -> Result<WireStatsV2, ClientError> {
+        let reply = self.call(FrameKind::StatsV2, &[])?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::StatsV2Ok) => protocol::decode_stats_v2(&reply.body)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+            other => Err(ClientError::Protocol(format!("expected STATS_V2_OK, got {other:?}"))),
         }
     }
 

@@ -7,6 +7,7 @@ use crate::planner::{Planner, ShardDecision};
 use crate::pool::ScratchPool;
 use crate::queue::{JobQueue, SubmitError};
 use crate::stats::{Counters, EngineStats};
+use crate::telemetry::{self, Phase, Span, Telemetry};
 use listrank::HostRunner;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,14 @@ pub struct EngineConfig {
     /// the planner tunes the count per size bucket with its EWMA probe
     /// machinery; `Some(k)` pins it — `rankd --lanes`).
     pub lanes: Option<usize>,
+    /// Record latency histograms, request spans, and slow-request log
+    /// lines (`rankd --no-telemetry` clears it; exists so the <3%
+    /// recording overhead can be measured against a true baseline).
+    pub telemetry: bool,
+    /// Slow-request log threshold in milliseconds (total phase time).
+    /// `None` = the `RANKD_SLOW_MS` environment variable, defaulting to
+    /// [`crate::telemetry::DEFAULT_SLOW_MS`].
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +64,8 @@ impl Default for EngineConfig {
             pool_scratch: true,
             shard_budget: 1 << 21,
             lanes: None,
+            telemetry: true,
+            slow_request_ms: None,
         }
     }
 }
@@ -103,6 +114,19 @@ impl EngineConfig {
         self.lanes = lanes.map(|k| k.max(1));
         self
     }
+
+    /// Enable or disable telemetry recording (histograms, spans,
+    /// slow-request lines).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Override the slow-request log threshold in milliseconds.
+    pub fn with_slow_request_ms(mut self, ms: u64) -> Self {
+        self.slow_request_ms = Some(ms);
+        self
+    }
 }
 
 struct Shared {
@@ -111,6 +135,7 @@ struct Shared {
     planner: Planner,
     pool: ScratchPool,
     counters: Counters,
+    telemetry: Telemetry,
     started: Instant,
 }
 
@@ -137,6 +162,7 @@ impl Engine {
             planner: Planner::new(cfg.inner_threads).with_lanes_override(cfg.lanes),
             pool: ScratchPool::new(cfg.workers),
             counters: Counters::new(),
+            telemetry: Telemetry::new(cfg.telemetry, cfg.slow_request_ms),
             started: Instant::now(),
             cfg,
         });
@@ -213,12 +239,30 @@ impl Engine {
         }
     }
 
-    fn make_job<R>(&self, req: Request<R>, opts: JobOptions) -> (QueuedJob, JobHandle<R>) {
+    fn make_job<R>(&self, req: Request<R>, mut opts: JobOptions) -> (QueuedJob, JobHandle<R>) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Trace ids are assigned at the earliest observation point:
+        // the server sets one at frame decode; in-process requests get
+        // theirs here, at submit.
+        let trace_id = match opts.trace_id {
+            Some(t) => t,
+            None => {
+                let t = telemetry::next_trace_id();
+                opts.trace_id = Some(t);
+                t
+            }
+        };
         let cell = JobCell::new();
-        let handle = JobHandle { id, cell: Arc::clone(&cell), _out: PhantomData };
+        let handle = JobHandle { id, trace_id, cell: Arc::clone(&cell), _out: PhantomData };
         let job = QueuedJob { id, spec: req.spec, opts, cell, enqueued: Instant::now() };
         (job, handle)
+    }
+
+    /// The engine's telemetry registry (histograms, span ring) — the
+    /// socket server records its decode/reply-write phases here so the
+    /// whole request pipeline lands in one set of histograms.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// A point-in-time metrics snapshot.
@@ -227,6 +271,7 @@ impl Engine {
             self.shared.started,
             &self.shared.counters,
             &self.shared.planner,
+            &self.shared.telemetry,
             self.shared.pool.stats(),
             self.shared.queue.depth(),
             self.shared.queue.peak_depth(),
@@ -309,6 +354,7 @@ fn worker_loop(shared: &Shared) {
                 // all others (and sharded requests that fit the budget)
                 // take the ordinary monolithic dispatch. Both are keyed
                 // on the op kind and value width.
+                let t_plan = Instant::now();
                 let decision = if job.spec.sharded() {
                     shared.planner.choose_sharded(
                         n,
@@ -325,6 +371,7 @@ fn worker_loop(shared: &Shared) {
                         job.opts.algorithm,
                     ))
                 };
+                let plan_ns = t_plan.elapsed().as_nanos() as u64;
                 let t0 = Instant::now();
                 // The walks accumulate lane-occupancy telemetry in the
                 // scratch; zero it so this job's delta is attributable.
@@ -406,8 +453,10 @@ fn worker_loop(shared: &Shared) {
                         }
                     }
                 }
+                let trace_id = job.opts.trace_id.unwrap_or(0);
                 let landed = job.cell.complete(Ok(JobReport {
                     id: job.id,
+                    trace_id,
                     n,
                     op,
                     algorithm: done.algorithm,
@@ -415,6 +464,7 @@ fn worker_loop(shared: &Shared) {
                     stitch_ns: done.stitch_ns,
                     batched,
                     queued_ns,
+                    plan_ns,
                     exec_ns,
                     output: done.output,
                 }));
@@ -434,6 +484,33 @@ fn worker_loop(shared: &Shared) {
                             .shards_ranked
                             .fetch_add(done.shards as u64, Ordering::Relaxed);
                         shared.counters.stitch_ns.fetch_add(done.stitch_ns, Ordering::Relaxed);
+                    }
+                    if shared.telemetry.enabled() {
+                        // Sum-consistency invariant (pinned by tests):
+                        // these histograms record exactly the values
+                        // the counters above accumulate, so e.g.
+                        // phase[Exec].sum() == counters.exec_ns.
+                        shared.telemetry.record_phase(Phase::QueueWait, queued_ns);
+                        shared.telemetry.record_phase(Phase::Plan, plan_ns);
+                        shared.telemetry.record_phase(Phase::Exec, exec_ns);
+                        if done.shards > 0 {
+                            shared.telemetry.record_phase(Phase::Stitch, done.stitch_ns);
+                        }
+                        shared.telemetry.record_op(op, exec_ns);
+                        let mut phase_ns = [0u64; Phase::ALL.len()];
+                        phase_ns[Phase::Decode.index()] = job.opts.decode_ns;
+                        phase_ns[Phase::QueueWait.index()] = queued_ns;
+                        phase_ns[Phase::Plan.index()] = plan_ns;
+                        phase_ns[Phase::Exec.index()] = exec_ns;
+                        phase_ns[Phase::Stitch.index()] = done.stitch_ns;
+                        shared.telemetry.record_span(Span {
+                            trace_id,
+                            op,
+                            n,
+                            algorithm: done.algorithm,
+                            shards: done.shards,
+                            phase_ns,
+                        });
                     }
                 } else {
                     // Cancelled while executing: result discarded.

@@ -424,11 +424,29 @@ pub struct JobOptions {
     pub seed: u64,
     /// Pin the algorithm instead of letting the planner choose.
     pub algorithm: Option<Algorithm>,
+    /// Trace id assigned upstream of submit (the socket server assigns
+    /// one at frame decode); `None` lets the engine allocate one via
+    /// [`crate::telemetry::next_trace_id`] so every job has a nonzero
+    /// id either way.
+    pub trace_id: Option<u64>,
+    /// Nanoseconds the request spent in its decode phase before submit
+    /// (frame-body parsing in the server; `0` for in-process callers).
+    /// Carried into the request's telemetry span so slow-request log
+    /// lines show the full timeline.
+    pub decode_ns: u64,
 }
 
 impl Default for JobOptions {
     fn default() -> Self {
-        JobOptions { seed: 0x1994, algorithm: None }
+        JobOptions { seed: 0x1994, algorithm: None, trace_id: None, decode_ns: 0 }
+    }
+}
+
+impl JobOptions {
+    /// Attach an upstream-assigned trace id.
+    pub fn with_trace_id(mut self, id: u64) -> Self {
+        self.trace_id = Some(id);
+        self
     }
 }
 
@@ -437,6 +455,9 @@ impl Default for JobOptions {
 pub struct JobReport<R> {
     /// Engine-assigned job id (submission order).
     pub id: u64,
+    /// The request's trace id (assigned at frame decode or submit;
+    /// echoed in the OUTPUT wire frame and in slow-request log lines).
+    pub trace_id: u64,
     /// Vertices in the job's list.
     pub n: usize,
     /// The operation kind the job was dispatched and accounted under.
@@ -455,6 +476,8 @@ pub struct JobReport<R> {
     pub batched: bool,
     /// Nanoseconds spent queued before a worker picked the job up.
     pub queued_ns: u64,
+    /// Nanoseconds the planner spent choosing algorithm/lanes/shards.
+    pub plan_ns: u64,
     /// Nanoseconds of execution.
     pub exec_ns: u64,
     /// The result payload — already the concrete type (`Vec<u64>` for
@@ -469,6 +492,7 @@ impl JobReport<ErasedOutput> {
     fn downcast<R: 'static>(self) -> JobReport<R> {
         let JobReport {
             id,
+            trace_id,
             n,
             op,
             algorithm,
@@ -476,11 +500,25 @@ impl JobReport<ErasedOutput> {
             stitch_ns,
             batched,
             queued_ns,
+            plan_ns,
             exec_ns,
             output,
         } = self;
         let output = *output.downcast::<R>().expect("typed handle matches the job output type");
-        JobReport { id, n, op, algorithm, shards, stitch_ns, batched, queued_ns, exec_ns, output }
+        JobReport {
+            id,
+            trace_id,
+            n,
+            op,
+            algorithm,
+            shards,
+            stitch_ns,
+            batched,
+            queued_ns,
+            plan_ns,
+            exec_ns,
+            output,
+        }
     }
 }
 
@@ -550,6 +588,7 @@ impl JobCell {
 /// the request was built with.
 pub struct JobHandle<R> {
     pub(crate) id: u64,
+    pub(crate) trace_id: u64,
     pub(crate) cell: Arc<JobCell>,
     pub(crate) _out: PhantomData<fn() -> R>,
 }
@@ -558,6 +597,12 @@ impl<R: 'static> JobHandle<R> {
     /// The engine-assigned job id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The request's trace id (nonzero; equals the id echoed in OUTPUT
+    /// replies and printed by slow-request log lines).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Block until the job finishes; consumes the handle and returns

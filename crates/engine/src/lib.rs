@@ -67,6 +67,7 @@ pub mod queue;
 #[cfg(unix)]
 pub mod server;
 pub mod stats;
+pub mod telemetry;
 pub mod workload;
 
 pub use crate::engine::{Engine, EngineConfig};
@@ -74,9 +75,10 @@ pub use crate::engine::{Engine, EngineConfig};
 pub use client::{Client, ClientError, ServedOutput};
 pub use job::{JobError, JobHandle, JobOptions, JobReport, Request};
 pub use op::OpKind;
-pub use planner::{Plan, Planner, ShardDecision};
+pub use planner::{Plan, PlanDecision, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
 #[cfg(unix)]
 pub use server::{ServeConfig, Server, ServerControl, ServerStats};
 pub use stats::{EngineStats, OpThroughput};
+pub use telemetry::{Histogram, Phase, Span, Telemetry};

@@ -64,9 +64,15 @@ impl OpKind {
         }
     }
 
-    /// Index into [`OpKind::ALL`]-shaped arrays.
-    pub(crate) fn index(&self) -> usize {
+    /// Index into [`OpKind::ALL`]-shaped arrays (also the wire id of
+    /// this op's histogram block in `STATS_V2`).
+    pub fn index(&self) -> usize {
         Self::ALL.iter().position(|k| k == self).expect("kind in ALL")
+    }
+
+    /// Inverse of [`OpKind::index`] (wire decode).
+    pub fn from_index(i: usize) -> Option<OpKind> {
+        Self::ALL.get(i).copied()
     }
 }
 

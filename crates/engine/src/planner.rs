@@ -11,6 +11,8 @@
 //! different size, and their histories must not contaminate each other.
 
 use crate::op::OpKind;
+use crate::telemetry::log::Level;
+use crate::telemetry::{AtomicHistogram, Histogram, Ring};
 use listrank::Algorithm;
 use rankmodel::predict::{default_lanes, predict_best_op_lanes, AlgChoice};
 use std::collections::HashMap;
@@ -84,6 +86,37 @@ struct Ewma {
     samples: u64,
 }
 
+/// How many recent dispatch decisions the introspection ring keeps.
+const DECISION_RING_CAPACITY: usize = 128;
+
+/// Scale of the mispredict-ratio histogram: a recorded value of
+/// [`MISPREDICT_SCALE`] means measured cost == predicted cost; `2×` the
+/// scale means the job ran twice as slow as predicted.
+pub const MISPREDICT_SCALE: u64 = 1000;
+
+/// One dispatch decision, as kept in the planner's introspection log
+/// ([`Planner::recent_decisions`]) and printed by `RANKD_LOG=debug`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanDecision {
+    /// Job size.
+    pub n: usize,
+    /// Operation kind the dispatch was keyed on.
+    pub op: OpKind,
+    /// Chosen algorithm (stitch algorithm is not known yet for sharded
+    /// dispatches; this is the monolithic pick or `Serial` placeholder).
+    pub algorithm: Algorithm,
+    /// Chosen interleaved-lane count.
+    pub lanes: usize,
+    /// Shards the job will split into (`0` = monolithic).
+    pub shards: usize,
+    /// The EWMA's predicted ns/element for the chosen algorithm at
+    /// decision time, or `0.0` when the bucket had no measurement yet
+    /// (prior-driven dispatch).
+    pub predicted_ns_per_elem: f64,
+    /// Whether the caller pinned the algorithm.
+    pub pinned: bool,
+}
+
 /// The adaptive planner. Thread-safe; shared by all workers.
 pub struct Planner {
     /// Parallelism available to a single job.
@@ -106,6 +139,14 @@ pub struct Planner {
     dispatched_by_op: Vec<[AtomicU64; ALGS]>,
     /// Cached tuned Reid-Miller `m` per bucket.
     tuned_m: Mutex<HashMap<usize, usize>>,
+    /// Recent dispatch decisions (introspection; `RANKD_LOG=debug`
+    /// prints them live).
+    decisions: Ring<PlanDecision>,
+    /// Mispredict ratios: for every completion whose (bucket, op,
+    /// algorithm) EWMA held a prediction, `measured/predicted ×`
+    /// [`MISPREDICT_SCALE`]. A tight mode at the scale value means the
+    /// EWMA layer predicts well; heavy tails mean it is being surprised.
+    mispredict: AtomicHistogram,
 }
 
 impl Planner {
@@ -122,6 +163,8 @@ impl Planner {
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
             tuned_m: Mutex::new(HashMap::new()),
+            decisions: Ring::new(DECISION_RING_CAPACITY),
+            mispredict: AtomicHistogram::new(),
         }
     }
 
@@ -151,7 +194,49 @@ impl Planner {
         } else {
             (None, 1)
         };
-        Plan { algorithm, m, lanes }
+        let plan = Plan { algorithm, m, lanes };
+        self.log_decision(n, op, algorithm, lanes, 0, pinned.is_some());
+        plan
+    }
+
+    /// Record one decision in the introspection ring (and at
+    /// `RANKD_LOG=debug`, on stderr).
+    fn log_decision(
+        &self,
+        n: usize,
+        op: OpKind,
+        algorithm: Algorithm,
+        lanes: usize,
+        shards: usize,
+        pinned: bool,
+    ) {
+        let predicted_ns_per_elem = {
+            let measured = self.measured.lock().expect("planner poisoned");
+            let e = measured[bucket_of(n)][op.index()][alg_index(algorithm)];
+            if e.samples > 0 {
+                e.ns_per_elem
+            } else {
+                0.0
+            }
+        };
+        let d = PlanDecision { n, op, algorithm, lanes, shards, predicted_ns_per_elem, pinned };
+        if crate::telemetry::log::enabled(Level::Debug) {
+            crate::telemetry::log::write(
+                Level::Debug,
+                "planner",
+                &format!(
+                    "dispatch n={} op={} alg={} lanes={} shards={} predicted_ns_per_elem={:.2}{}",
+                    d.n,
+                    d.op,
+                    d.algorithm.name(),
+                    d.lanes,
+                    d.shards,
+                    d.predicted_ns_per_elem,
+                    if d.pinned { " pinned" } else { "" }
+                ),
+            );
+        }
+        self.decisions.push(d);
     }
 
     /// Cold-start prior. The `rankmodel` prediction locates the size
@@ -293,7 +378,11 @@ impl Planner {
         // Sharded executions are counted at completion time by the
         // engine's `Counters` (the stats surface); the planner keeps no
         // duplicate tally.
-        ShardDecision::Sharded { shard_size, shards: n.div_ceil(shard_size), lanes }
+        let shards = n.div_ceil(shard_size);
+        // The stitch algorithm is chosen downstream by the sharded
+        // runner; log the shard-local phase (a serial walk per shard).
+        self.log_decision(n, op, Algorithm::Serial, lanes, shards, false);
+        ShardDecision::Sharded { shard_size, shards, lanes }
     }
 
     /// Model-tuned Reid-Miller split count for `n` walked with `lanes`
@@ -341,7 +430,8 @@ impl Planner {
         e.samples += 1;
     }
 
-    /// Fold one completed job into the (bucket, op) history.
+    /// Fold one completed job into the (bucket, op) history, scoring
+    /// the EWMA's prediction against the measurement on the way in.
     pub fn record(&self, n: usize, op: OpKind, alg: Algorithm, exec_ns: u64) {
         if n == 0 {
             return;
@@ -349,6 +439,13 @@ impl Planner {
         let per_elem = exec_ns as f64 / n as f64;
         let mut measured = self.measured.lock().expect("planner poisoned");
         let e = &mut measured[bucket_of(n)][op.index()][alg_index(alg)];
+        if e.samples > 0 && e.ns_per_elem > 0.0 {
+            // The pre-update EWMA is what `choose` would have predicted
+            // for this job; its measured/predicted ratio (scaled by
+            // MISPREDICT_SCALE) is the planner's self-assessment.
+            let ratio = (per_elem / e.ns_per_elem) * MISPREDICT_SCALE as f64;
+            self.mispredict.record(ratio.clamp(0.0, u64::MAX as f64) as u64);
+        }
         e.ns_per_elem = if e.samples == 0 {
             per_elem
         } else {
@@ -381,6 +478,18 @@ impl Planner {
             }
         }
         rows
+    }
+
+    /// The up-to-`k` most recent dispatch decisions, oldest first.
+    pub fn recent_decisions(&self, k: usize) -> Vec<PlanDecision> {
+        self.decisions.recent(k)
+    }
+
+    /// Snapshot of the mispredict-ratio histogram (values are
+    /// `measured/predicted ×` [`MISPREDICT_SCALE`]; only completions
+    /// whose bucket already held a prediction are scored).
+    pub fn mispredict_histogram(&self) -> Histogram {
+        self.mispredict.snapshot()
     }
 
     /// Non-empty rows of the (op kind × algorithm) dispatch matrix.
@@ -661,6 +770,46 @@ mod tests {
         assert_eq!(choose1(&planner, 100, Some(Algorithm::Wyllie)).algorithm, Algorithm::Wyllie);
         let totals = planner.dispatch_totals();
         assert_eq!(totals[alg_index(Algorithm::Wyllie)], 1);
+    }
+
+    #[test]
+    fn mispredict_histogram_scores_predictions() {
+        let planner = Planner::new(4);
+        let n = 1 << 20;
+        // First sample seeds the EWMA — nothing to score yet.
+        planner.record(n, RANK, Algorithm::Serial, n as u64); // 1 ns/elem
+        assert!(planner.mispredict_histogram().is_empty());
+        // Second sample runs 2× the prediction: ratio ≈ 2 × SCALE.
+        planner.record(n, RANK, Algorithm::Serial, 2 * n as u64);
+        let h = planner.mispredict_histogram();
+        assert_eq!(h.count(), 1);
+        let (lo, hi) = h.percentile_bounds(50.0);
+        assert!(
+            lo <= 2 * MISPREDICT_SCALE && 2 * MISPREDICT_SCALE <= hi,
+            "2× mispredict outside [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn decision_log_records_dispatches() {
+        let planner = Planner::new(4);
+        planner.choose(100, OpKind::Rank, 8, None);
+        planner.choose(2_000_000, OpKind::Add, 8, None);
+        let ds = planner.recent_decisions(8);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].n, 100);
+        assert_eq!(ds[0].op, OpKind::Rank);
+        assert!(!ds[0].pinned);
+        assert_eq!(ds[1].op, OpKind::Add);
+        // A measured bucket reports its prediction with the decision.
+        planner.record(100, OpKind::Rank, ds[0].algorithm, 1_000);
+        planner.choose(100, OpKind::Rank, 8, None);
+        let last = planner.recent_decisions(1);
+        assert!(last[0].predicted_ns_per_elem > 0.0);
+        // Sharded dispatches log their shard count.
+        planner.choose_sharded(1 << 24, 1 << 20, OpKind::Rank, 8, None);
+        let last = planner.recent_decisions(1);
+        assert!(last[0].shards > 1, "sharded decision logged: {:?}", last[0]);
     }
 
     #[test]

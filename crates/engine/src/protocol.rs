@@ -29,6 +29,9 @@
 //! only unrecoverable conditions — handshake failure, an oversized
 //! length prefix — close it.
 
+use crate::op::OpKind;
+use crate::telemetry::hist;
+use crate::telemetry::{Histogram, Phase};
 use listkit::ops::Affine;
 use listkit::LinkedList;
 use listrank::Algorithm;
@@ -38,7 +41,11 @@ use std::io::{Read, Write};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
 
 /// Protocol version carried (and checked) in the HELLO handshake.
-pub const VERSION: u16 = 1;
+///
+/// Version history: **1** — initial protocol. **2** — OUTPUT gained a
+/// `trace_id: u64` field, and the STATS_V2 / STATS_V2_OK frame pair
+/// (histogram blocks) was added.
+pub const VERSION: u16 = 2;
 
 /// Default cap on `len` a peer will accept (256 MiB): large enough for
 /// a 10^7-vertex scan with 16-byte values, small enough that a corrupt
@@ -62,6 +69,8 @@ pub enum FrameKind {
     Stats = 0x05,
     /// Ask the daemon to drain and exit (no body).
     Shutdown = 0x06,
+    /// Histogram-level metrics request (no body).
+    StatsV2 = 0x07,
     /// Handshake accepted: server version + frame-size cap.
     HelloOk = 0x81,
     /// Job result: execution metadata + output payload.
@@ -70,6 +79,9 @@ pub enum FrameKind {
     StatsOk = 0x85,
     /// Shutdown acknowledged; the daemon is draining.
     ShutdownOk = 0x86,
+    /// Histogram-level metrics reply: tagged blocks of latency
+    /// histograms, gauges, and planner dispatch rows.
+    StatsV2Ok = 0x87,
     /// Typed error reply: code + UTF-8 message.
     Error = 0xEE,
 }
@@ -84,10 +96,12 @@ impl FrameKind {
             0x04 => FrameKind::SegScan,
             0x05 => FrameKind::Stats,
             0x06 => FrameKind::Shutdown,
+            0x07 => FrameKind::StatsV2,
             0x81 => FrameKind::HelloOk,
             0x82 => FrameKind::Output,
             0x85 => FrameKind::StatsOk,
             0x86 => FrameKind::ShutdownOk,
+            0x87 => FrameKind::StatsV2Ok,
             0xEE => FrameKind::Error,
             _ => return None,
         })
@@ -528,6 +542,8 @@ pub enum WireRequest {
     },
     /// Metrics snapshot request.
     Stats,
+    /// Histogram-level metrics request ([`FrameKind::StatsV2`]).
+    StatsV2,
     /// Drain-and-exit request.
     Shutdown,
 }
@@ -602,6 +618,7 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             }
         }
         FrameKind::Stats => WireRequest::Stats,
+        FrameKind::StatsV2 => WireRequest::StatsV2,
         FrameKind::Shutdown => WireRequest::Shutdown,
         other => {
             return Err(WireError::malformed(format!("{other:?} is a server→client frame kind")))
@@ -731,16 +748,21 @@ pub struct OutputMeta {
     pub queued_ns: u64,
     /// Nanoseconds of execution.
     pub exec_ns: u64,
+    /// The request's trace id (assigned at frame decode; `0` means the
+    /// server predates tracing). Echoed so clients can correlate
+    /// replies with the daemon's slow-request log lines.
+    pub trace_id: u64,
 }
 
 /// OUTPUT body: metadata + the typed payload.
 pub fn output_body<T: WireElem>(meta: &OutputMeta, values: &[T]) -> Vec<u8> {
-    let mut b = Vec::with_capacity(1 + 4 + 8 + 8 + 4 + T::BYTES * values.len());
+    let mut b = Vec::with_capacity(1 + 4 + 8 + 8 + 8 + 4 + T::BYTES * values.len());
     let code = Algorithm::ALL.iter().position(|a| *a == meta.algorithm).expect("known algorithm");
     b.push(code as u8);
     b.extend_from_slice(&meta.shards.to_le_bytes());
     b.extend_from_slice(&meta.queued_ns.to_le_bytes());
     b.extend_from_slice(&meta.exec_ns.to_le_bytes());
+    b.extend_from_slice(&meta.trace_id.to_le_bytes());
     b.extend_from_slice(&(values.len() as u32).to_le_bytes());
     for &v in values {
         v.put(&mut b);
@@ -759,6 +781,7 @@ pub fn decode_output<T: WireElem>(body: &[u8]) -> Result<(OutputMeta, Vec<T>), W
     let shards = d.u32("shards")?;
     let queued_ns = d.u64("queued_ns")?;
     let exec_ns = d.u64("exec_ns")?;
+    let trace_id = d.u64("trace_id")?;
     let n = d.u32("element count")? as usize;
     let raw = d.take(
         n.checked_mul(T::BYTES).ok_or_else(|| WireError::malformed("payload overflows"))?,
@@ -766,7 +789,7 @@ pub fn decode_output<T: WireElem>(body: &[u8]) -> Result<(OutputMeta, Vec<T>), W
     )?;
     d.finish()?;
     let values = raw.chunks_exact(T::BYTES).map(T::get).collect();
-    Ok((OutputMeta { algorithm, shards, queued_ns, exec_ns }, values))
+    Ok((OutputMeta { algorithm, shards, queued_ns, exec_ns, trace_id }, values))
 }
 
 /// The STATS_OK payload: a fixed counter block (engine totals plus the
@@ -879,6 +902,294 @@ pub fn decode_stats(body: &[u8]) -> Result<WireStats, WireError> {
         busy_rejected: c[13],
         text,
     })
+}
+
+// ---------------------------------------------------------------------
+// STATS_V2: tagged histogram blocks
+// ---------------------------------------------------------------------
+
+/// STATS_V2_OK block tag: a per-phase latency histogram (block id is
+/// [`Phase::index`]).
+pub const TAG_PHASE_HIST: u8 = 1;
+/// STATS_V2_OK block tag: a per-op exec-latency histogram (block id is
+/// [`OpKind::index`]).
+pub const TAG_OP_HIST: u8 = 2;
+/// STATS_V2_OK block tag: the planner's mispredict-ratio histogram
+/// (block id is `0`; values are `measured/predicted ×`
+/// [`crate::planner::MISPREDICT_SCALE`]).
+pub const TAG_MISPREDICT: u8 = 3;
+/// STATS_V2_OK block tag: the gauge block (block id is `0`; payload is
+/// `count: u8` followed by `count` LE `u64`s in [`StatsGauges`] field
+/// order).
+pub const TAG_GAUGES: u8 = 4;
+/// STATS_V2_OK block tag: one planner dispatch-matrix row (block id is
+/// [`OpKind::index`]; payload is `count: u8` followed by `count` LE
+/// `u64`s in [`Algorithm::ALL`] order).
+pub const TAG_DISPATCH_OP: u8 = 5;
+
+/// The fixed gauge block of a STATS_V2_OK frame: point-in-time scalars
+/// the `rankd stats` dashboard needs alongside the histograms. Encoded
+/// with a leading count so future versions can append gauges without
+/// breaking older readers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsGauges {
+    /// Engine uptime in nanoseconds.
+    pub uptime_ns: u64,
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs cancelled before execution.
+    pub cancelled: u64,
+    /// Jobs whose execution panicked.
+    pub failed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_full: u64,
+    /// Total vertices processed by completed jobs.
+    pub elements: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Vertices visited by K-lane interleaved walks.
+    pub lane_steps: u64,
+    /// Lane slots offered while those walks ran (`lane_steps /
+    /// lane_slots` is the occupancy).
+    pub lane_slots: u64,
+    /// Server connections currently open.
+    pub connections_active: u64,
+    /// Server connections accepted since start.
+    pub connections_total: u64,
+}
+
+impl StatsGauges {
+    /// Number of gauges this version defines.
+    pub const COUNT: usize = 13;
+
+    fn to_array(self) -> [u64; Self::COUNT] {
+        [
+            self.uptime_ns,
+            self.submitted,
+            self.completed,
+            self.cancelled,
+            self.failed,
+            self.rejected_full,
+            self.elements,
+            self.queue_depth,
+            self.peak_queue_depth,
+            self.lane_steps,
+            self.lane_slots,
+            self.connections_active,
+            self.connections_total,
+        ]
+    }
+
+    fn from_array(c: [u64; Self::COUNT]) -> StatsGauges {
+        StatsGauges {
+            uptime_ns: c[0],
+            submitted: c[1],
+            completed: c[2],
+            cancelled: c[3],
+            failed: c[4],
+            rejected_full: c[5],
+            elements: c[6],
+            queue_depth: c[7],
+            peak_queue_depth: c[8],
+            lane_steps: c[9],
+            lane_slots: c[10],
+            connections_active: c[11],
+            connections_total: c[12],
+        }
+    }
+}
+
+/// The decoded payload of a STATS_V2_OK frame: every histogram the
+/// telemetry registry keeps, the planner's mispredict histogram and
+/// dispatch-by-op matrix, and the gauge block. Histogram slots that
+/// were not on the wire (the encoder skips empty ones) decode as empty
+/// histograms, so consumers can index without `Option` juggling.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireStatsV2 {
+    /// Per-phase latency histograms, indexed by [`Phase::index`].
+    pub phase: [Histogram; Phase::ALL.len()],
+    /// Per-op exec-latency histograms, indexed by [`OpKind::ALL`] order.
+    pub per_op: [Histogram; OpKind::ALL.len()],
+    /// The planner's mispredict-ratio histogram.
+    pub mispredict: Histogram,
+    /// The gauge block.
+    pub gauges: StatsGauges,
+    /// Planner dispatch rows: `(op, completions per algorithm)` in
+    /// [`Algorithm::ALL`] order; only ops with completions appear.
+    pub dispatch_by_op: Vec<(OpKind, Vec<u64>)>,
+}
+
+/// Append one histogram's wire payload: `sub_bits: u8`, `count: u64`,
+/// `sum: u64`, `max: u64`, `nonzero: u32`, then `nonzero` ×
+/// `(index: u16, count: u64)` sparse bucket pairs.
+fn put_hist(h: &Histogram, out: &mut Vec<u8>) {
+    out.push(hist::SUB_BITS as u8);
+    out.extend_from_slice(&h.count().to_le_bytes());
+    out.extend_from_slice(&h.sum().to_le_bytes());
+    out.extend_from_slice(&h.max().to_le_bytes());
+    let buckets: Vec<(u16, u64)> = h.nonzero_buckets().collect();
+    out.extend_from_slice(&(buckets.len() as u32).to_le_bytes());
+    for (i, c) in buckets {
+        out.extend_from_slice(&i.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn parse_hist(d: &mut Dec<'_>) -> Result<Histogram, WireError> {
+    let sub_bits = d.u8("histogram sub_bits")?;
+    if sub_bits as u32 != hist::SUB_BITS {
+        return Err(WireError::malformed(format!(
+            "histogram sub-bucket resolution {sub_bits} (this peer speaks {})",
+            hist::SUB_BITS
+        )));
+    }
+    let count = d.u64("histogram count")?;
+    let sum = d.u64("histogram sum")?;
+    let max = d.u64("histogram max")?;
+    let nonzero = d.u32("histogram bucket count")? as usize;
+    let mut buckets = Vec::with_capacity(nonzero.min(hist::SLOTS));
+    for _ in 0..nonzero {
+        let i = d.u16("bucket index")?;
+        let c = d.u64("bucket count")?;
+        buckets.push((i, c));
+    }
+    Histogram::from_parts(&buckets, count, sum, max)
+        .ok_or_else(|| WireError::malformed("histogram bucket index out of range"))
+}
+
+fn put_block(tag: u8, id: u8, payload: &[u8], out: &mut Vec<u8>) {
+    out.push(tag);
+    out.push(id);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// STATS_V2_OK body: `block_count: u16` followed by that many
+/// `(tag: u8, id: u8, len: u32, payload)` blocks. Empty histograms are
+/// not encoded; a reader skips blocks with tags it does not know
+/// (their `len` makes that possible), which is the forward-compat
+/// contract: new telemetry = new tags, never a relayout.
+pub fn stats_v2_body(stats: &WireStatsV2) -> Vec<u8> {
+    let mut blocks: Vec<u8> = Vec::new();
+    let mut block_count: u16 = 0;
+    let mut payload = Vec::new();
+    for phase in Phase::ALL {
+        let h = &stats.phase[phase.index()];
+        if h.is_empty() {
+            continue;
+        }
+        payload.clear();
+        put_hist(h, &mut payload);
+        put_block(TAG_PHASE_HIST, phase.index() as u8, &payload, &mut blocks);
+        block_count += 1;
+    }
+    for op in OpKind::ALL {
+        let h = &stats.per_op[op.index()];
+        if h.is_empty() {
+            continue;
+        }
+        payload.clear();
+        put_hist(h, &mut payload);
+        put_block(TAG_OP_HIST, op.index() as u8, &payload, &mut blocks);
+        block_count += 1;
+    }
+    if !stats.mispredict.is_empty() {
+        payload.clear();
+        put_hist(&stats.mispredict, &mut payload);
+        put_block(TAG_MISPREDICT, 0, &payload, &mut blocks);
+        block_count += 1;
+    }
+    payload.clear();
+    payload.push(StatsGauges::COUNT as u8);
+    for g in stats.gauges.to_array() {
+        payload.extend_from_slice(&g.to_le_bytes());
+    }
+    put_block(TAG_GAUGES, 0, &payload, &mut blocks);
+    block_count += 1;
+    for (op, row) in &stats.dispatch_by_op {
+        payload.clear();
+        payload.push(row.len() as u8);
+        for c in row {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        put_block(TAG_DISPATCH_OP, op.index() as u8, &payload, &mut blocks);
+        block_count += 1;
+    }
+    let mut b = Vec::with_capacity(2 + blocks.len());
+    b.extend_from_slice(&block_count.to_le_bytes());
+    b.extend_from_slice(&blocks);
+    b
+}
+
+/// Decode a STATS_V2_OK body. Blocks with unknown tags are skipped;
+/// blocks with known tags but out-of-range ids are malformed.
+pub fn decode_stats_v2(body: &[u8]) -> Result<WireStatsV2, WireError> {
+    let mut d = Dec::new(body);
+    let block_count = d.u16("block count")?;
+    let mut out = WireStatsV2::default();
+    for _ in 0..block_count {
+        let tag = d.u8("block tag")?;
+        let id = d.u8("block id")?;
+        let len = d.u32("block length")? as usize;
+        let payload = d.take(len, "block payload")?;
+        let mut p = Dec::new(payload);
+        match tag {
+            TAG_PHASE_HIST => {
+                let phase = Phase::from_index(id as usize)
+                    .ok_or_else(|| WireError::malformed(format!("phase id {id}")))?;
+                out.phase[phase.index()] = parse_hist(&mut p)?;
+                p.finish()?;
+            }
+            TAG_OP_HIST => {
+                let op = OpKind::from_index(id as usize)
+                    .ok_or_else(|| WireError::malformed(format!("op id {id}")))?;
+                out.per_op[op.index()] = parse_hist(&mut p)?;
+                p.finish()?;
+            }
+            TAG_MISPREDICT => {
+                out.mispredict = parse_hist(&mut p)?;
+                p.finish()?;
+            }
+            TAG_GAUGES => {
+                let count = p.u8("gauge count")? as usize;
+                if count < StatsGauges::COUNT {
+                    return Err(WireError::malformed(format!(
+                        "gauge block has {count} entries, need {}",
+                        StatsGauges::COUNT
+                    )));
+                }
+                let mut c = [0u64; StatsGauges::COUNT];
+                for slot in &mut c {
+                    *slot = p.u64("gauge")?;
+                }
+                for _ in StatsGauges::COUNT..count {
+                    p.u64("extra gauge")?;
+                }
+                p.finish()?;
+                out.gauges = StatsGauges::from_array(c);
+            }
+            TAG_DISPATCH_OP => {
+                let op = OpKind::from_index(id as usize)
+                    .ok_or_else(|| WireError::malformed(format!("op id {id}")))?;
+                let count = p.u8("dispatch row length")? as usize;
+                let mut row = Vec::with_capacity(count);
+                for _ in 0..count {
+                    row.push(p.u64("dispatch count")?);
+                }
+                p.finish()?;
+                out.dispatch_by_op.push((op, row));
+            }
+            // Unknown tag from a newer peer: the whole payload was
+            // already consumed via `len`, so just move on.
+            _ => {}
+        }
+    }
+    d.finish()?;
+    Ok(out)
 }
 
 /// ERROR body: code + UTF-8 message.

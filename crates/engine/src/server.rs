@@ -23,12 +23,16 @@
 //! disconnect on their own before the socket file is removed.
 
 use crate::engine::Engine;
-use crate::job::{JobError, Request};
+use crate::job::{JobError, JobOptions, Request};
 use crate::protocol::{
     self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, ReadFrameError,
-    WireElem, WireOp, WireRequest, WireStats, WireValues, MAX_FRAME_DEFAULT,
+    StatsGauges, WireElem, WireOp, WireRequest, WireStats, WireStatsV2, WireValues,
+    MAX_FRAME_DEFAULT,
 };
 use crate::queue::SubmitError;
+use crate::rankd_log;
+use crate::telemetry::log::Level;
+use crate::telemetry::{self, Phase};
 use listkit::ops::{AddOp, MaxOp, MinOp, XorOp};
 use listkit::LinkedList;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -554,13 +558,37 @@ fn dispatch(
     max_frame: u32,
     greeted: &mut bool,
 ) -> bool {
+    let t_decode = Instant::now();
     let req = match protocol::decode_request(frame) {
         Ok(req) => req,
         Err(we) => {
             // Decode failures consumed the whole body off the wire, so
             // the stream is still framed correctly: reply and carry on.
+            rankd_log!(Level::Debug, "server", "decode failed: {we}");
             return send_error(stream, shared, we.code, &we.message).is_ok();
         }
+    };
+    let decode_ns = t_decode.elapsed().as_nanos() as u64;
+    // Job-bearing frames get a trace id at the moment of decode — the
+    // earliest point the request exists as a typed value — so the span
+    // covers the whole server-side pipeline.
+    let opts = match req {
+        WireRequest::Rank { .. } | WireRequest::Scan { .. } | WireRequest::SegScan { .. } => {
+            let trace_id = telemetry::next_trace_id();
+            engine.telemetry().record_phase(Phase::Decode, decode_ns);
+            rankd_log!(
+                Level::Trace,
+                "server",
+                "request trace={trace_id} kind={:#04x} body={}B decode={:.3}ms",
+                frame.kind,
+                frame.body.len(),
+                decode_ns as f64 / 1e6
+            );
+            let mut opts = JobOptions::default().with_trace_id(trace_id);
+            opts.decode_ns = decode_ns;
+            opts
+        }
+        _ => JobOptions::default(),
     };
     match req {
         WireRequest::Hello { magic, version } => {
@@ -619,6 +647,36 @@ fn dispatch(
             };
             send(stream, shared, FrameKind::StatsOk, &protocol::stats_body(&wire)).is_ok()
         }
+        WireRequest::StatsV2 => {
+            let es = engine.stats();
+            let ss = shared.stats();
+            let wire = WireStatsV2 {
+                phase: es.phase_hist,
+                per_op: es.op_hist,
+                mispredict: es.mispredict,
+                gauges: StatsGauges {
+                    uptime_ns: (es.uptime_s * 1e9) as u64,
+                    submitted: es.submitted,
+                    completed: es.completed,
+                    cancelled: es.cancelled,
+                    failed: es.failed,
+                    rejected_full: es.rejected_full,
+                    elements: es.elements,
+                    queue_depth: es.queue_depth as u64,
+                    peak_queue_depth: es.peak_queue_depth as u64,
+                    lane_steps: es.lane_steps,
+                    lane_slots: es.lane_slots,
+                    connections_active: ss.connections_active,
+                    connections_total: ss.connections_total,
+                },
+                dispatch_by_op: es
+                    .dispatch_by_op
+                    .iter()
+                    .map(|(op, row)| (*op, row.to_vec()))
+                    .collect(),
+            };
+            send(stream, shared, FrameKind::StatsV2Ok, &protocol::stats_v2_body(&wire)).is_ok()
+        }
         WireRequest::Shutdown => {
             let _ = send(stream, shared, FrameKind::ShutdownOk, &[]);
             shared.begin_shutdown();
@@ -627,26 +685,27 @@ fn dispatch(
         WireRequest::Rank { sharded, list } => {
             let list = Arc::new(list);
             let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) };
-            run_and_reply(engine, req, stream, shared)
+            run_and_reply(engine, req, opts, stream, shared)
         }
         WireRequest::Scan { sharded, op, list, values } => {
             let list = Arc::new(list);
             match (op, values) {
                 (WireOp::Add, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, AddOp, sharded), stream, shared)
+                    run_and_reply(engine, scan_req(list, v, AddOp, sharded), opts, stream, shared)
                 }
                 (WireOp::Max, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, MaxOp, sharded), stream, shared)
+                    run_and_reply(engine, scan_req(list, v, MaxOp, sharded), opts, stream, shared)
                 }
                 (WireOp::Min, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, MinOp, sharded), stream, shared)
+                    run_and_reply(engine, scan_req(list, v, MinOp, sharded), opts, stream, shared)
                 }
                 (WireOp::Xor, WireValues::U64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, XorOp, sharded), stream, shared)
+                    run_and_reply(engine, scan_req(list, v, XorOp, sharded), opts, stream, shared)
                 }
                 (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
                     engine,
                     scan_req(list, v, listkit::ops::AffineOp, sharded),
+                    opts,
                     stream,
                     shared,
                 ),
@@ -659,21 +718,38 @@ fn dispatch(
             let list = Arc::new(list);
             let starts = Arc::new(starts);
             match (op, values) {
-                (WireOp::Add, WireValues::I64(v)) => {
-                    run_and_reply(engine, seg_req(list, v, starts, AddOp, sharded), stream, shared)
-                }
-                (WireOp::Max, WireValues::I64(v)) => {
-                    run_and_reply(engine, seg_req(list, v, starts, MaxOp, sharded), stream, shared)
-                }
-                (WireOp::Min, WireValues::I64(v)) => {
-                    run_and_reply(engine, seg_req(list, v, starts, MinOp, sharded), stream, shared)
-                }
-                (WireOp::Xor, WireValues::U64(v)) => {
-                    run_and_reply(engine, seg_req(list, v, starts, XorOp, sharded), stream, shared)
-                }
+                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, AddOp, sharded),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, MaxOp, sharded),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, MinOp, sharded),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, XorOp, sharded),
+                    opts,
+                    stream,
+                    shared,
+                ),
                 (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
                     engine,
                     seg_req(list, v, starts, listkit::ops::AffineOp, sharded),
+                    opts,
                     stream,
                     shared,
                 ),
@@ -722,10 +798,11 @@ where
 fn run_and_reply<T: WireElem + Send + 'static>(
     engine: &Engine,
     req: Request<Vec<T>>,
+    opts: JobOptions,
     stream: &mut UnixStream,
     shared: &Shared,
 ) -> bool {
-    let handle = match engine.submit(req) {
+    let handle = match engine.submit_with(req, opts) {
         Ok(h) => h,
         Err(SubmitError::Invalid) => {
             return send_error(
@@ -753,9 +830,22 @@ fn run_and_reply<T: WireElem + Send + 'static>(
                 shards: report.shards as u32,
                 queued_ns: report.queued_ns,
                 exec_ns: report.exec_ns,
+                trace_id: report.trace_id,
             };
-            send(stream, shared, FrameKind::Output, &protocol::output_body(&meta, &report.output))
-                .is_ok()
+            let body = protocol::output_body(&meta, &report.output);
+            let t_reply = Instant::now();
+            let ok = send(stream, shared, FrameKind::Output, &body).is_ok();
+            let reply_ns = t_reply.elapsed().as_nanos() as u64;
+            engine.telemetry().record_phase(Phase::ReplyWrite, reply_ns);
+            rankd_log!(
+                Level::Trace,
+                "server",
+                "reply trace={} bytes={} reply-write={:.3}ms",
+                report.trace_id,
+                body.len() + 5,
+                reply_ns as f64 / 1e6
+            );
+            ok
         }
         Err(JobError::Failed) => {
             send_error(stream, shared, ErrorCode::JobFailed, "job execution panicked").is_ok()

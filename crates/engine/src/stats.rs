@@ -1,8 +1,9 @@
 //! Engine metrics: counters, snapshot, and the printable report.
 
 use crate::op::OpKind;
-use crate::planner::Planner;
+use crate::planner::{Planner, MISPREDICT_SCALE};
 use crate::pool::PoolStats;
+use crate::telemetry::{Histogram, Phase, Telemetry};
 use listrank::Algorithm;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -154,6 +155,18 @@ pub struct EngineStats {
     pub per_op: Vec<OpThroughput>,
     /// Scratch-pool statistics.
     pub pool: PoolStats,
+    /// Latency histogram per request phase, indexed by
+    /// [`Phase::index`]. Sum-consistent with the counters: the
+    /// queue-wait histogram's `sum()` equals `queued_ns`, the exec
+    /// histogram's equals `exec_ns` (empty when telemetry is off).
+    pub phase_hist: [Histogram; Phase::ALL.len()],
+    /// Exec-latency histogram per op kind, indexed by [`OpKind::ALL`]
+    /// order (empty histograms for kinds that never ran).
+    pub op_hist: [Histogram; OpKind::ALL.len()],
+    /// The planner's mispredict-ratio histogram (values are
+    /// `measured/predicted × 1000`; see
+    /// [`crate::planner::MISPREDICT_SCALE`]).
+    pub mispredict: Histogram,
 }
 
 impl EngineStats {
@@ -161,6 +174,7 @@ impl EngineStats {
         started: Instant,
         counters: &Counters,
         planner: &Planner,
+        telemetry: &Telemetry,
         pool: PoolStats,
         queue_depth: usize,
         peak_queue_depth: usize,
@@ -203,6 +217,9 @@ impl EngineStats {
             dispatch_by_op: planner.dispatch_by_op(),
             per_op,
             pool,
+            phase_hist: telemetry.phase_snapshots(),
+            op_hist: telemetry.op_snapshots(),
+            mispredict: planner.mispredict_histogram(),
         }
     }
 
@@ -358,6 +375,59 @@ impl std::fmt::Display for EngineStats {
                 writeln!(f)?;
             }
         }
+        if self.phase_hist.iter().any(|h| !h.is_empty()) {
+            writeln!(f, "latency by phase (ms):")?;
+            writeln!(
+                f,
+                "  {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "phase", "samples", "p50", "p95", "p99", "max"
+            )?;
+            for phase in Phase::ALL {
+                let h = &self.phase_hist[phase.index()];
+                if h.is_empty() {
+                    continue;
+                }
+                writeln!(f, "  {:>12} {}", phase.name(), hist_row(h))?;
+            }
+        }
+        if self.op_hist.iter().any(|h| !h.is_empty()) {
+            writeln!(f, "exec latency by op (ms):")?;
+            writeln!(
+                f,
+                "  {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "op", "samples", "p50", "p95", "p99", "max"
+            )?;
+            for op in OpKind::ALL {
+                let h = &self.op_hist[op.index()];
+                if h.is_empty() {
+                    continue;
+                }
+                writeln!(f, "  {:>12} {}", op.name(), hist_row(h))?;
+            }
+        }
+        if !self.mispredict.is_empty() {
+            writeln!(
+                f,
+                "planner mispredict (measured/predicted): p50 {:.2}x, p95 {:.2}x, p99 {:.2}x over {} scored",
+                self.mispredict.percentile(50.0) as f64 / MISPREDICT_SCALE as f64,
+                self.mispredict.percentile(95.0) as f64 / MISPREDICT_SCALE as f64,
+                self.mispredict.percentile(99.0) as f64 / MISPREDICT_SCALE as f64,
+                self.mispredict.count()
+            )?;
+        }
         Ok(())
     }
+}
+
+/// One `samples p50 p95 p99 max` row (milliseconds) for a non-empty
+/// histogram of nanosecond samples.
+fn hist_row(h: &Histogram) -> String {
+    format!(
+        "{:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        h.count(),
+        h.percentile(50.0) as f64 / 1e6,
+        h.percentile(95.0) as f64 / 1e6,
+        h.percentile(99.0) as f64 / 1e6,
+        h.max() as f64 / 1e6
+    )
 }

@@ -1,0 +1,172 @@
+//! `RANKD_LOG` — the leveled structured logger.
+//!
+//! A deliberately tiny stderr logger (std only, no external deps): one
+//! global level parsed once from the `RANKD_LOG` environment variable
+//! (`error|warn|info|debug|trace`, default `warn`), a cheap
+//! [`enabled`] guard so disabled call sites cost one relaxed atomic
+//! load, and a line format that is structured enough to grep:
+//!
+//! ```text
+//! [rankd +12.045s WARN engine] slow request trace=42 op=rank n=1000000 total=312.4ms ...
+//! ```
+//!
+//! Call sites use the [`rankd_log!`](crate::rankd_log) macro, which
+//! formats its arguments only when the level is enabled.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Log severity, most to least severe. The active level comes from
+/// `RANKD_LOG`; a line is emitted when its level is at or above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 0,
+    /// Degraded behavior worth a human's attention (default level);
+    /// slow-request lines land here.
+    Warn = 1,
+    /// Lifecycle events: serve start/stop, config.
+    Info = 2,
+    /// Per-decision detail: planner dispatch choices.
+    Debug = 3,
+    /// Per-request detail: frame decode, reply writes, trace spans.
+    Trace = 4,
+}
+
+impl Level {
+    /// Display name, upper case, as printed in log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn init_level() -> u8 {
+    let level =
+        std::env::var("RANKD_LOG").ok().and_then(|s| Level::parse(&s)).unwrap_or(Level::Warn) as u8;
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+/// The active maximum level (parsed from `RANKD_LOG` on first use).
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == LEVEL_UNSET { init_level() } else { raw };
+    match raw {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether a line at `level` would be emitted. Call sites guard on
+/// this before formatting, so disabled logging costs one atomic load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+fn start_instant() -> &'static Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now)
+}
+
+fn sink() -> &'static Mutex<()> {
+    static SINK: Mutex<()> = Mutex::new(());
+    &SINK
+}
+
+/// Emit one log line to stderr (unconditionally — use [`enabled`] or
+/// the [`rankd_log!`](crate::rankd_log) macro to guard). `target`
+/// names the subsystem (`engine`, `planner`, `serve`, …).
+pub fn write(level: Level, target: &str, msg: &str) {
+    let t = start_instant().elapsed();
+    // One writeln under a lock so concurrent workers never interleave
+    // within a line; stderr itself is line-buffered anyway.
+    let guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    let _ = writeln!(
+        std::io::stderr(),
+        "[rankd +{:.3}s {} {}] {}",
+        t.as_secs_f64(),
+        level.name(),
+        target,
+        msg
+    );
+    drop(guard);
+}
+
+/// Log a structured line if `RANKD_LOG` admits the level; the format
+/// arguments are not evaluated otherwise.
+///
+/// ```
+/// use engine::telemetry::log::Level;
+/// engine::rankd_log!(Level::Debug, "planner", "dispatch n={} alg={}", 1000, "serial");
+/// ```
+#[macro_export]
+macro_rules! rankd_log {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::telemetry::log::enabled($level) {
+            $crate::telemetry::log::write($level, $target, &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_documented_levels() {
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse(" trace "), Some(Level::Trace));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn enabled_is_monotone() {
+        let max = max_level();
+        assert!(enabled(Level::Error) || max < Level::Error);
+        if enabled(Level::Trace) {
+            assert!(enabled(Level::Debug));
+        }
+    }
+
+    #[test]
+    fn write_does_not_panic() {
+        write(Level::Error, "test", "line with fields k=v n=3");
+    }
+}

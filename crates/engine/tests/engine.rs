@@ -33,7 +33,7 @@ fn engine_matches_host_runner_all_algorithms_and_sizes() {
         let values = values_for(n);
         for alg in Algorithm::ALL {
             let seed = 0x1994 ^ n as u64;
-            let opts = JobOptions { seed, algorithm: Some(alg) };
+            let opts = JobOptions { seed, algorithm: Some(alg), ..Default::default() };
             let rank_handle =
                 engine.submit_with(Request::rank(Arc::clone(&list)), opts).expect("submit rank");
             let scan_handle = engine
@@ -135,7 +135,7 @@ proptest! {
         let engine = shared_engine();
         let alg = Algorithm::ALL[alg_ix];
         let list = Arc::new(gen::random_list(n, seed));
-        let opts = JobOptions { seed, algorithm: Some(alg) };
+        let opts = JobOptions { seed, algorithm: Some(alg), ..Default::default() };
         let handle = engine
             .submit_with(Request::rank(Arc::clone(&list)), opts)
             .expect("submit");
@@ -406,7 +406,8 @@ fn rank_sharded_pinned_algorithm_forces_monolithic() {
         EngineConfig::default().with_workers(1).with_inner_threads(2).with_shard_budget(1000),
     );
     let list = Arc::new(gen::random_list(50_000, 21));
-    let opts = JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller) };
+    let opts =
+        JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller), ..Default::default() };
     let h = engine.submit_with(Request::rank_sharded(Arc::clone(&list)), opts).unwrap();
     let report = h.wait().expect("completes");
     assert_eq!(report.shards, 0, "pinning selects the monolithic backend");
@@ -512,7 +513,8 @@ fn lane_stats_and_pinned_lanes_flow_through_the_engine() {
         EngineConfig::default().with_workers(1).with_inner_threads(2).with_lanes(Some(4)),
     );
     let list = Arc::new(gen::random_list(200_000, 0xAB));
-    let opts = JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller) };
+    let opts =
+        JobOptions { seed: 0x1994, algorithm: Some(Algorithm::ReidMiller), ..Default::default() };
     let report = engine
         .submit_with(Request::rank(Arc::clone(&list)), opts)
         .expect("submit")

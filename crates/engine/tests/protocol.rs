@@ -25,14 +25,14 @@ const DOC_HELLO: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x01, // kind = HELLO
     0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
-    0x01, 0x00, // version = 1
+    0x02, 0x00, // version = 2
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
 const DOC_HELLO_OK: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x81, // kind = HELLO_OK
-    0x01, 0x00, // version = 1
+    0x02, 0x00, // version = 2
     0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
 ];
 
@@ -49,19 +49,123 @@ const DOC_RANK: &[u8] = &[
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 4: OUTPUT (with the
-/// document's placeholder timings: queued 1000 ns, exec 2000 ns).
+/// document's placeholder timings — queued 1000 ns, exec 2000 ns — and
+/// placeholder trace id 1).
 const DOC_OUTPUT: &[u8] = &[
-    0x32, 0x00, 0x00, 0x00, // len = 50
+    0x3A, 0x00, 0x00, 0x00, // len = 58
     0x82, // kind = OUTPUT
     0x00, // algorithm = 0 (serial)
     0x00, 0x00, 0x00, 0x00, // shards = 0 (monolithic)
     0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // queued_ns = 1000
     0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // exec_ns = 2000
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // trace_id = 1
     0x03, 0x00, 0x00, 0x00, // n = 3
     0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[0] = 1
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[1] = 0
     0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[2] = 2
 ];
+
+/// PROTOCOL.md §"STATS_V2 / STATS_V2_OK", the request frame (no body).
+const DOC_STATS_V2: &[u8] = &[
+    0x01, 0x00, 0x00, 0x00, // len = 1
+    0x07, // kind = STATS_V2
+];
+
+/// The worked STATS_V2_OK example from PROTOCOL.md: an exec-phase
+/// histogram holding two samples (1000 ns and 2000 ns) plus the gauge
+/// block. See [`example_stats_v2`] for the semantic content.
+const DOC_STATS_V2_OK: &[u8] = &[
+    0xA9, 0x00, 0x00, 0x00, // len = 169
+    0x87, // kind = STATS_V2_OK
+    0x02, 0x00, // block_count = 2
+    // block 1: the exec-phase latency histogram
+    0x01, // tag = 1 (phase histogram)
+    0x03, // id = 3 (phase: exec)
+    0x31, 0x00, 0x00, 0x00, // block len = 49
+    0x04, // sub_bits = 4
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count = 2
+    0xB8, 0x0B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // sum = 3000
+    0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // max = 2000
+    0x02, 0x00, 0x00, 0x00, // nonzero buckets = 2
+    0x6F, 0x00, // bucket index = 111 (values 992..1024)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // bucket count = 1
+    0x7F, 0x00, // bucket index = 127 (values 1984..2048)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // bucket count = 1
+    // block 2: the gauge block
+    0x04, // tag = 4 (gauges)
+    0x00, // id = 0
+    0x69, 0x00, 0x00, 0x00, // block len = 105
+    0x0D, // gauge count = 13
+    0x00, 0xF2, 0x05, 0x2A, 0x01, 0x00, 0x00, 0x00, // uptime_ns = 5e9
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // submitted = 2
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // completed = 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cancelled = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // failed = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rejected_full = 0
+    0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // elements = 6
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // queue_depth = 0
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // peak_queue_depth = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lane_steps = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lane_slots = 0
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // connections_active = 1
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // connections_total = 1
+];
+
+/// The semantic content of [`DOC_STATS_V2_OK`].
+fn example_stats_v2() -> protocol::WireStatsV2 {
+    let mut v2 = protocol::WireStatsV2::default();
+    // 1000 ns lands in bucket 111, 2000 ns in bucket 127 (4 sub-bucket
+    // bits: group = floor(log2 v) - 3, sub = top-4-bits-after-leading).
+    v2.phase[engine::Phase::Exec.index()].record(1000);
+    v2.phase[engine::Phase::Exec.index()].record(2000);
+    v2.gauges = protocol::StatsGauges {
+        uptime_ns: 5_000_000_000,
+        submitted: 2,
+        completed: 2,
+        cancelled: 0,
+        failed: 0,
+        rejected_full: 0,
+        elements: 6,
+        queue_depth: 0,
+        peak_queue_depth: 1,
+        lane_steps: 0,
+        lane_slots: 0,
+        connections_active: 1,
+        connections_total: 1,
+    };
+    v2
+}
+
+#[test]
+fn documented_stats_v2_bytes_match_the_codec() {
+    // The request frame.
+    assert_eq!(framed(FrameKind::StatsV2, &[]), DOC_STATS_V2);
+    let frame = parse(DOC_STATS_V2);
+    assert!(matches!(protocol::decode_request(&frame).expect("decodes"), WireRequest::StatsV2));
+
+    // The reply: encoder produces exactly the documented bytes, and
+    // replaying the documented bytes reproduces the example snapshot.
+    let v2 = example_stats_v2();
+    let got = framed(FrameKind::StatsV2Ok, &protocol::stats_v2_body(&v2));
+    if got != DOC_STATS_V2_OK {
+        eprintln!("ACTUAL STATS_V2_OK bytes:");
+        for chunk in got.chunks(8) {
+            eprintln!(
+                "    {},",
+                chunk.iter().map(|b| format!("{b:#04X}")).collect::<Vec<_>>().join(", ")
+            );
+        }
+    }
+    assert_eq!(got, DOC_STATS_V2_OK);
+    let frame = parse(DOC_STATS_V2_OK);
+    assert_eq!(frame.kind, FrameKind::StatsV2Ok as u8);
+    let decoded = protocol::decode_stats_v2(&frame.body).expect("decodes");
+    assert_eq!(decoded, v2);
+    let exec = &decoded.phase[engine::Phase::Exec.index()];
+    assert_eq!(exec.count(), 2);
+    assert_eq!(exec.sum(), 3000);
+    assert_eq!(exec.max(), 2000);
+}
 
 /// Frame a body the way the wire does.
 fn framed(kind: FrameKind, body: &[u8]) -> Vec<u8> {
@@ -123,8 +227,13 @@ fn documented_rank_bytes_decode_to_the_example_list() {
 
 #[test]
 fn documented_output_bytes_round_trip() {
-    let meta =
-        OutputMeta { algorithm: Algorithm::Serial, shards: 0, queued_ns: 1000, exec_ns: 2000 };
+    let meta = OutputMeta {
+        algorithm: Algorithm::Serial,
+        shards: 0,
+        queued_ns: 1000,
+        exec_ns: 2000,
+        trace_id: 1,
+    };
     assert_eq!(framed(FrameKind::Output, &protocol::output_body(&meta, &[1u64, 0, 2])), DOC_OUTPUT);
     let frame = parse(DOC_OUTPUT);
     let (got_meta, ranks) = protocol::decode_output::<u64>(&frame.body).expect("decodes");
@@ -160,11 +269,42 @@ fn documented_round_trip_against_a_live_server() {
     stream.write_all(DOC_RANK).expect("send documented RANK");
     let mut output = vec![0u8; DOC_OUTPUT.len()];
     stream.read_exact(&mut output).expect("read OUTPUT");
-    // Mask queued_ns (offset 10..18) and exec_ns (offset 18..26): the
-    // document shows placeholder values for these two fields.
+    // Mask queued_ns (offset 10..18), exec_ns (18..26), and trace_id
+    // (26..34): the document shows placeholder values for these fields.
+    let (meta, _) = protocol::decode_output::<u64>(&output[5..]).expect("live OUTPUT decodes");
+    assert_ne!(meta.trace_id, 0, "server assigns a nonzero trace id");
     let mut masked = output.clone();
-    masked[10..26].copy_from_slice(&DOC_OUTPUT[10..26]);
+    masked[10..34].copy_from_slice(&DOC_OUTPUT[10..34]);
     assert_eq!(masked, DOC_OUTPUT, "live reply matches the documented bytes");
+
+    // STATS_V2 over the same connection: one rank has completed, so the
+    // per-op and per-phase histograms must be populated and
+    // sum-consistent with the OUTPUT frame's own timings. The worker
+    // publishes counters just *after* fulfilling the job handle, so
+    // the snapshot can trail the OUTPUT reply by a beat — poll until
+    // the completion is visible.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let v2 = loop {
+        stream.write_all(DOC_STATS_V2).expect("send documented STATS_V2");
+        let mut reply = &stream;
+        let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+            .expect("read STATS_V2_OK")
+            .expect("reply present");
+        assert_eq!(frame.kind, FrameKind::StatsV2Ok as u8);
+        let v2 = protocol::decode_stats_v2(&frame.body).expect("decodes");
+        if v2.gauges.completed == 1 && v2.phase[engine::Phase::ReplyWrite.index()].count() == 1 {
+            break v2;
+        }
+        assert!(std::time::Instant::now() < deadline, "completion never became visible: {v2:?}");
+        std::thread::yield_now();
+    };
+    assert_eq!(v2.gauges.completed, 1);
+    assert_eq!(v2.per_op[engine::OpKind::Rank.index()].count(), 1);
+    assert_eq!(v2.per_op[engine::OpKind::Rank.index()].sum(), meta.exec_ns);
+    assert_eq!(v2.phase[engine::Phase::Exec.index()].sum(), meta.exec_ns);
+    assert_eq!(v2.phase[engine::Phase::QueueWait.index()].sum(), meta.queued_ns);
+    assert_eq!(v2.phase[engine::Phase::Decode.index()].count(), 1);
+    assert_eq!(v2.phase[engine::Phase::ReplyWrite.index()].count(), 1);
 
     drop(stream);
     control.request_shutdown();

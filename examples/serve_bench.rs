@@ -85,14 +85,21 @@ fn main() {
                 let mut client = Client::connect(&path).expect("connect");
                 let runner = HostRunner::new(Algorithm::ReidMiller);
                 let mut elements = 0u64;
+                // Client-observed wall-clock latency per op kind: the
+                // wire + queue + exec round trip as the caller sees it.
+                let mut rank_lat = engine::Histogram::new();
+                let mut scan_lat = engine::Histogram::new();
                 for r in 0..requests {
                     let list = gen::random_list(n, (c * 1009 + r) as u64);
+                    let t_req = Instant::now();
                     if r % 2 == 0 {
                         let served = client.rank(&list).expect("rank");
+                        rank_lat.record(t_req.elapsed().as_nanos() as u64);
                         assert_eq!(served.output, runner.rank(&list), "rank parity");
                     } else {
                         let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
                         let served = client.scan_add(&list, &values).expect("scan");
+                        scan_lat.record(t_req.elapsed().as_nanos() as u64);
                         assert_eq!(
                             served.output,
                             runner.scan(&list, &values, &AddOp),
@@ -101,11 +108,21 @@ fn main() {
                     }
                     elements += n as u64;
                 }
-                elements
+                (elements, rank_lat, scan_lat)
             })
         })
         .collect();
-    let elements: u64 = workers.into_iter().map(|w| w.join().expect("client")).sum();
+    // Merge the per-thread histograms (merge is associative and
+    // commutative, so join order does not matter).
+    let mut elements = 0u64;
+    let mut rank_lat = engine::Histogram::new();
+    let mut scan_lat = engine::Histogram::new();
+    for w in workers {
+        let (e, r, s) = w.join().expect("client");
+        elements += e;
+        rank_lat.merge(&r);
+        scan_lat.merge(&s);
+    }
     let elapsed = t0.elapsed();
     let total = clients * requests;
     println!(
@@ -114,6 +131,18 @@ fn main() {
         total as f64 / elapsed.as_secs_f64(),
         elements as f64 / elapsed.as_secs_f64() / 1e6
     );
+    for (name, h) in [("rank", &rank_lat), ("scan_add", &scan_lat)] {
+        if !h.is_empty() {
+            println!(
+                "client latency {name:>9}: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms  ({} requests)",
+                h.percentile(50.0) as f64 / 1e6,
+                h.percentile(95.0) as f64 / 1e6,
+                h.percentile(99.0) as f64 / 1e6,
+                h.max() as f64 / 1e6,
+                h.count()
+            );
+        }
+    }
 
     let mut probe = Client::connect(&path).expect("probe");
     let stats = probe.stats().expect("stats");

@@ -47,8 +47,10 @@ fn main() {
 
     let served = client.rank(&list).expect("served rank");
     assert_eq!(served.output, runner.rank(&list), "served ranks must be byte-identical");
+    assert_ne!(served.meta.trace_id, 0, "server must echo a nonzero trace id");
     println!(
-        "rank({n}): parity OK  [algorithm {}, exec {:.3} ms, queued {:.3} ms]",
+        "rank({n}): parity OK  [trace {}, algorithm {}, exec {:.3} ms, queued {:.3} ms]",
+        served.meta.trace_id,
         served.meta.algorithm.name(),
         served.meta.exec_ns as f64 / 1e6,
         served.meta.queued_ns as f64 / 1e6

@@ -141,7 +141,7 @@ fn engine_sharded_jobs_match_serial_on_every_topology() {
         for (name, list) in topologies(n) {
             let oracle = listkit::serial::rank(&list);
             let req = Request::rank_sharded(Arc::new(list));
-            let opts = JobOptions { seed: SEED ^ n as u64, algorithm: None };
+            let opts = JobOptions { seed: SEED ^ n as u64, algorithm: None, ..Default::default() };
             let handle = engine.submit_with(req, opts).expect("submit");
             pending.push((n, name, oracle, handle));
         }
