@@ -14,6 +14,7 @@ use crate::api::Algorithm;
 use crate::host::RankScratch;
 use listkit::ops::AddOp;
 use listkit::sharded::ShardedList;
+use listkit::walk::LaneStats;
 use listkit::{LinkedList, ScanOp};
 use rankmodel::predict::{predict_best_op_lanes, AlgChoice};
 use std::time::Instant;
@@ -48,6 +49,25 @@ pub fn rank_sharded_into(
     out: &mut Vec<u64>,
 ) -> ShardedReport {
     let sharded = ShardedList::build(list, shard_size).with_lanes(lanes);
+    rank_sharded_prebuilt_into(&sharded, seed, scratch, out)
+}
+
+/// Rank through an **already-built** [`ShardedList`] — the resident-
+/// dataset fast path: the shard decomposition, boundary table, and lane
+/// policy were fixed at build time (or fetched from an artifact cache),
+/// so this run pays only the stitch and the final prefix walk. The
+/// sharded representation's lane telemetry is cumulative across runs;
+/// only this call's delta is folded into `scratch.telemetry` so shared
+/// artifacts don't double-count (concurrent runs over the same artifact
+/// may attribute each other's steps — the counters are advisory).
+pub fn rank_sharded_prebuilt_into(
+    sharded: &ShardedList,
+    seed: u64,
+    scratch: &mut RankScratch,
+    out: &mut Vec<u64>,
+) -> ShardedReport {
+    let lanes = sharded.policy().lanes;
+    let before = sharded.lane_stats();
     let bt = sharded.boundary();
     let choice = stitch_choice(bt.fragment_count(), std::mem::size_of::<u64>(), lanes);
     let t0 = Instant::now();
@@ -66,7 +86,11 @@ pub fn rank_sharded_into(
     }
     let stitch_ns = t0.elapsed().as_nanos() as u64;
     sharded.rank_into_with_prefix(&scratch.stitch_pre, out);
-    scratch.telemetry.add(&sharded.lane_stats());
+    let after = sharded.lane_stats();
+    scratch.telemetry.add(&LaneStats {
+        steps: after.steps.saturating_sub(before.steps),
+        slots: after.slots.saturating_sub(before.slots),
+    });
     ShardedReport {
         shards: sharded.shard_count(),
         fragments: sharded.fragment_count(),
@@ -116,6 +140,26 @@ where
     Op: ScanOp<T>,
 {
     let sharded = ShardedList::build(list, shard_size).with_lanes(lanes);
+    scan_sharded_prebuilt_into(&sharded, values, op, seed, scratch, out)
+}
+
+/// Generic-operator scan through an **already-built** [`ShardedList`]
+/// — the scan analogue of [`rank_sharded_prebuilt_into`], with the same
+/// telemetry-delta contract.
+pub fn scan_sharded_prebuilt_into<T, Op>(
+    sharded: &ShardedList,
+    values: &[T],
+    op: &Op,
+    seed: u64,
+    scratch: &mut RankScratch,
+    out: &mut Vec<T>,
+) -> ShardedReport
+where
+    T: Copy + Send + Sync,
+    Op: ScanOp<T>,
+{
+    let lanes = sharded.policy().lanes;
+    let before = sharded.lane_stats();
     let totals = sharded.fragment_totals(values, op);
     let bt = sharded.boundary();
     let k = bt.fragment_count();
@@ -134,7 +178,11 @@ where
     };
     let stitch_ns = t0.elapsed().as_nanos() as u64;
     sharded.scan_into_with_prefix(values, op, &prefix, out);
-    scratch.telemetry.add(&sharded.lane_stats());
+    let after = sharded.lane_stats();
+    scratch.telemetry.add(&LaneStats {
+        steps: after.steps.saturating_sub(before.steps),
+        slots: after.slots.saturating_sub(before.slots),
+    });
     ShardedReport {
         shards: sharded.shard_count(),
         fragments: k,

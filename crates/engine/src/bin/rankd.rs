@@ -202,6 +202,9 @@ Serving:
                          a typed `busy` error             [default 64]
   --serve-secs S         exit after S seconds; 0 = serve until a client
                          sends SHUTDOWN                    [default 0]
+  --store-budget BYTES   resident dataset store byte budget for PUT
+                         datasets + cached artifacts; accepts k/m/g
+                         suffixes (e.g. 256m, 2g)          [default 1g]
 
 Engine (as in plain rankd):
   --workers W --inner-threads T --queue-cap Q --small-cutoff N
@@ -235,6 +238,13 @@ fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, Engin
                 let s: u64 = val("--serve-secs").parse().unwrap_or_else(|_| serve_usage());
                 cfg = cfg.with_serve_secs((s > 0).then_some(s));
             }
+            "--store-budget" => {
+                let bytes = parse_bytes(&val("--store-budget")).unwrap_or_else(|| {
+                    eprintln!("bad --store-budget (want BYTES with optional k/m/g suffix)");
+                    serve_usage()
+                });
+                cfg = cfg.with_store_budget(bytes);
+            }
             "--help" | "-h" => serve_usage(),
             other => match parse_engine_flag(other, &mut engine, &mut val) {
                 Ok(true) => {}
@@ -256,18 +266,20 @@ fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, Engin
 fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
     let max_clients = cfg.max_clients;
     let serve_secs = cfg.serve_secs;
+    let store_budget = cfg.store_budget;
     let engine = Arc::new(Engine::new(engine_cfg));
     let server = Server::bind(Arc::clone(&engine), cfg).unwrap_or_else(|e| {
         eprintln!("rankd serve: bind failed: {e}");
         std::process::exit(1);
     });
     println!(
-        "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, {})",
+        "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, store {}, {})",
         server.socket_path().display(),
         engine.config().workers,
         engine.config().inner_threads,
         engine.config().queue_capacity,
         max_clients,
+        fmt_bytes(store_budget),
         match serve_secs {
             Some(s) => format!("serving {s}s"),
             None => "serving until SHUTDOWN".to_string(),
@@ -385,6 +397,27 @@ fn render_dashboard(socket: &str, v2: &engine::protocol::WireStatsV2) -> String 
         g.connections_active,
         g.connections_total
     );
+    let s = &v2.store;
+    let hit_rate = if s.lookups > 0 {
+        format!("{:.1}%", s.hits as f64 / s.lookups as f64 * 100.0)
+    } else {
+        "-".to_string()
+    };
+    let _ = writeln!(
+        out,
+        "store: {} datasets, {} / {} resident   hits: {}/{} lookups ({} hit rate)   evictions: {}   puts: {} ({} rejected)   artifacts: {} built / {} reused",
+        s.resident_count,
+        fmt_bytes(s.resident_bytes),
+        fmt_bytes(s.budget_bytes),
+        s.hits,
+        s.lookups,
+        hit_rate,
+        s.evictions,
+        s.puts,
+        s.put_rejected,
+        s.artifacts_built,
+        s.artifacts_reused
+    );
     if v2.per_op.iter().any(|h| !h.is_empty()) {
         let _ = writeln!(out, "\nexec latency by op (ms):");
         let _ = writeln!(
@@ -458,6 +491,35 @@ fn run_stats(socket: String, watch: Option<u64>) {
             Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
             None => return,
         }
+    }
+}
+
+/// Parse a byte count with an optional k/m/g suffix (powers of 1024),
+/// case-insensitive: `1g`, `256M`, `65536`.
+#[cfg(unix)]
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Render a byte count with a binary-unit suffix.
+#[cfg(unix)]
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
     }
 }
 

@@ -17,6 +17,7 @@ use crate::protocol::{
     self, read_frame, write_frame, ErrorCode, Frame, FrameKind, OutputMeta, ReadFrameError,
     WireElem, WireOp, WireStats, WireStatsV2, MAX_FRAME_DEFAULT,
 };
+use crate::store::PutReceipt;
 use listkit::ops::Affine;
 use listkit::LinkedList;
 use std::os::unix::net::UnixStream;
@@ -272,6 +273,150 @@ impl Client {
             FrameKind::SegScan,
             &protocol::segscan_body(list, starts, values, WireOp::Max, false),
         )
+    }
+
+    /// Send a pre-encoded request body for `kind` and decode the
+    /// OUTPUT reply. Benchmark drivers use this to keep the encode
+    /// cost out of their latency measurement; the typed methods are
+    /// thin wrappers over it.
+    pub fn request_encoded<T: WireElem>(
+        &mut self,
+        kind: FrameKind,
+        body: &[u8],
+    ) -> Result<ServedOutput<T>, ClientError> {
+        self.expect_output(kind, body)
+    }
+
+    /// Upload `list` into the server's resident dataset store. The
+    /// returned receipt carries the handle for subsequent
+    /// [`Client::rank_h`]/[`Client::scan_add_h`]/… calls and the bytes
+    /// charged against the store budget. Handles are scoped to this
+    /// connection and die with it.
+    pub fn put(&mut self, list: &LinkedList) -> Result<PutReceipt, ClientError> {
+        let reply = self.call(FrameKind::Put, &protocol::put_body(list))?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::PutOk) => {
+                let (handle, bytes) = protocol::decode_put_ok(&reply.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Ok(PutReceipt { handle, bytes })
+            }
+            other => Err(ClientError::Protocol(format!("expected PUT_OK, got {other:?}"))),
+        }
+    }
+
+    /// Rank the resident dataset `handle` — byte-identical to
+    /// [`Client::rank`] of the list that was PUT.
+    pub fn rank_h(&mut self, handle: u64) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(FrameKind::RankH, &protocol::rank_h_body(handle, false))
+    }
+
+    /// [`Client::rank_h`] through the shard-parallel path (reuses the
+    /// store's cached sharded artifact when one exists).
+    pub fn rank_h_sharded(&mut self, handle: u64) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(FrameKind::RankH, &protocol::rank_h_body(handle, true))
+    }
+
+    fn scan_h_with<T: WireElem>(
+        &mut self,
+        handle: u64,
+        values: &[T],
+        op: WireOp,
+        sharded: bool,
+    ) -> Result<ServedOutput<T>, ClientError> {
+        self.expect_output(FrameKind::ScanH, &protocol::scan_h_body(handle, values, op, sharded))
+    }
+
+    /// Exclusive `+`-scan of `values` along the resident dataset.
+    pub fn scan_add_h(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Add, false)
+    }
+
+    /// Exclusive max-scan of `values` along the resident dataset.
+    pub fn scan_max_h(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Max, false)
+    }
+
+    /// Exclusive min-scan of `values` along the resident dataset.
+    pub fn scan_min_h(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Min, false)
+    }
+
+    /// Exclusive xor-scan of `values` along the resident dataset.
+    pub fn scan_xor_h(
+        &mut self,
+        handle: u64,
+        values: &[u64],
+    ) -> Result<ServedOutput<u64>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Xor, false)
+    }
+
+    /// Exclusive affine-composition scan of `values` along the
+    /// resident dataset.
+    pub fn scan_affine_h(
+        &mut self,
+        handle: u64,
+        values: &[Affine],
+    ) -> Result<ServedOutput<Affine>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Affine, false)
+    }
+
+    /// [`Client::scan_add_h`] through the shard-parallel path.
+    pub fn scan_add_h_sharded(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.scan_h_with(handle, values, WireOp::Add, true)
+    }
+
+    /// Exclusive segmented `+`-scan along the resident dataset.
+    pub fn segmented_add_h(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+        starts: &[bool],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.expect_output(
+            FrameKind::SegScanH,
+            &protocol::segscan_h_body(handle, starts, values, WireOp::Add, false),
+        )
+    }
+
+    /// Exclusive segmented max-scan along the resident dataset.
+    pub fn segmented_max_h(
+        &mut self,
+        handle: u64,
+        values: &[i64],
+        starts: &[bool],
+    ) -> Result<ServedOutput<i64>, ClientError> {
+        self.expect_output(
+            FrameKind::SegScanH,
+            &protocol::segscan_h_body(handle, starts, values, WireOp::Max, false),
+        )
+    }
+
+    /// Drop the resident dataset `handle`, releasing its store bytes.
+    /// A handle the server does not recognise (already dropped, or
+    /// owned by another connection) fails with
+    /// [`ErrorCode::StaleHandle`]; the connection survives.
+    pub fn drop_handle(&mut self, handle: u64) -> Result<(), ClientError> {
+        let reply = self.call(FrameKind::Drop, &protocol::drop_body(handle))?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::DropOk) => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected DROP_OK, got {other:?}"))),
+        }
     }
 
     /// Fetch the daemon's metrics: engine totals, the serving layer's

@@ -400,8 +400,28 @@ fn worker_loop(shared: &Shared) {
                             Executed { output, algorithm: plan.algorithm, shards: 0, stitch_ns: 0 }
                         }
                         ShardDecision::Sharded { shard_size, lanes, .. } => {
-                            let (output, report): (ErasedOutput, _) = match &job.spec {
-                                JobSpec::Rank { list, .. } => {
+                            // Resident-dataset fast path: fetch (or
+                            // build and cache) the sharded artifact for
+                            // this plan instead of rebuilding per job.
+                            let prebuilt = job
+                                .spec
+                                .warm()
+                                .map(|c| c.get_or_build(job.spec.list(), shard_size, lanes));
+                            let (output, report): (ErasedOutput, _) = match (&job.spec, &prebuilt) {
+                                (JobSpec::Rank { .. }, Some(sharded)) => {
+                                    let mut out = Vec::new();
+                                    let report = listrank::host::rank_sharded_prebuilt_into(
+                                        sharded,
+                                        job.opts.seed,
+                                        &mut scratch,
+                                        &mut out,
+                                    );
+                                    (Box::new(out), report)
+                                }
+                                (JobSpec::Scan { exec, .. }, Some(sharded)) => {
+                                    exec.run_sharded_prebuilt(sharded, job.opts.seed, &mut scratch)
+                                }
+                                (JobSpec::Rank { list, .. }, None) => {
                                     let mut out = Vec::new();
                                     let report = listrank::host::rank_sharded_into(
                                         list,
@@ -413,7 +433,7 @@ fn worker_loop(shared: &Shared) {
                                     );
                                     (Box::new(out), report)
                                 }
-                                JobSpec::Scan { list, exec, .. } => exec.run_sharded(
+                                (JobSpec::Scan { list, exec, .. }, None) => exec.run_sharded(
                                     list,
                                     shard_size,
                                     lanes,

@@ -12,7 +12,9 @@
 
 use crate::op::{classify_op, OpKind};
 use crate::queue::SubmitError;
+use crate::store::ArtifactCache;
 use listkit::segmented::{self, SegOp, Segmented};
+use listkit::sharded::ShardedList;
 use listkit::{LinkedList, ScanOp};
 use listrank::host::{RankScratch, ShardedReport};
 use listrank::{Algorithm, HostRunner};
@@ -48,6 +50,14 @@ pub(crate) trait ScanExec: Send + Sync {
         list: &LinkedList,
         shard_size: usize,
         lanes: usize,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport);
+    /// Shard-parallel execution against an already-built sharded
+    /// representation (the resident-dataset artifact fast path).
+    fn run_sharded_prebuilt(
+        &self,
+        sharded: &ShardedList,
         seed: u64,
         scratch: &mut RankScratch,
     ) -> (ErasedOutput, ShardedReport);
@@ -103,6 +113,24 @@ where
             &self.op,
             shard_size,
             lanes,
+            seed,
+            scratch,
+            &mut out,
+        );
+        (Box::new(out), report)
+    }
+
+    fn run_sharded_prebuilt(
+        &self,
+        sharded: &ShardedList,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport) {
+        let mut out = Vec::new();
+        let report = listrank::host::scan_sharded_prebuilt_into(
+            sharded,
+            &self.values,
+            &self.op,
             seed,
             scratch,
             &mut out,
@@ -172,6 +200,25 @@ where
         );
         (Box::new(segmented::unwrap_exclusive(&scanned, &self.starts, &self.op)), report)
     }
+
+    fn run_sharded_prebuilt(
+        &self,
+        sharded: &ShardedList,
+        seed: u64,
+        scratch: &mut RankScratch,
+    ) -> (ErasedOutput, ShardedReport) {
+        let seg = SegOp(self.op.clone());
+        let mut scanned = Vec::new();
+        let report = listrank::host::scan_sharded_prebuilt_into(
+            sharded,
+            &self.wrapped,
+            &seg,
+            seed,
+            scratch,
+            &mut scanned,
+        );
+        (Box::new(segmented::unwrap_exclusive(&scanned, &self.starts, &self.op)), report)
+    }
 }
 
 /// What a job computes (internal, type-erased). Constructed only
@@ -186,6 +233,10 @@ pub(crate) enum JobSpec {
         list: Arc<LinkedList>,
         /// Route through the budget-aware shard-parallel plan branch.
         sharded: bool,
+        /// Resident-dataset artifact cache: the sharded arm fetches
+        /// (or builds and caches) the `ShardedList` here instead of
+        /// rebuilding per job. `None` for inline requests.
+        warm: Option<Arc<ArtifactCache>>,
     },
     /// Generic-operator scan along `list`.
     Scan {
@@ -195,6 +246,8 @@ pub(crate) enum JobSpec {
         exec: Arc<dyn ScanExec>,
         /// Route through the budget-aware shard-parallel plan branch.
         sharded: bool,
+        /// Resident-dataset artifact cache (see [`JobSpec::Rank`]).
+        warm: Option<Arc<ArtifactCache>>,
     },
 }
 
@@ -222,6 +275,14 @@ impl JobSpec {
     pub(crate) fn sharded(&self) -> bool {
         match self {
             JobSpec::Rank { sharded, .. } | JobSpec::Scan { sharded, .. } => *sharded,
+        }
+    }
+
+    /// The resident-dataset artifact cache, if this job runs against a
+    /// stored dataset.
+    pub(crate) fn warm(&self) -> Option<&Arc<ArtifactCache>> {
+        match self {
+            JobSpec::Rank { warm, .. } | JobSpec::Scan { warm, .. } => warm.as_ref(),
         }
     }
 
@@ -309,12 +370,24 @@ impl<R> Request<R> {
     pub fn op_kind(&self) -> OpKind {
         self.spec.op_kind()
     }
+
+    /// Attach a resident dataset's [`ArtifactCache`]: if the planner
+    /// routes the job to the sharded arm, the worker fetches the built
+    /// `ShardedList` from the cache (building and caching it on first
+    /// use) instead of rebuilding it per job. Used by the server for
+    /// handle-routed queries ([`crate::DatasetRef::artifacts`]).
+    pub fn with_artifacts(mut self, cache: Arc<ArtifactCache>) -> Self {
+        match &mut self.spec {
+            JobSpec::Rank { warm, .. } | JobSpec::Scan { warm, .. } => *warm = Some(cache),
+        }
+        self
+    }
 }
 
 impl Request<Vec<u64>> {
     /// List ranking of `list`; the handle resolves to the rank vector.
     pub fn rank(list: Arc<LinkedList>) -> Self {
-        Self::new(JobSpec::Rank { list, sharded: false })
+        Self::new(JobSpec::Rank { list, sharded: false, warm: None })
     }
 
     /// List ranking through the budget-aware shard-parallel path: lists
@@ -322,7 +395,7 @@ impl Request<Vec<u64>> {
     /// shards, smaller ones run monolithically exactly like
     /// [`Request::rank`].
     pub fn rank_sharded(list: Arc<LinkedList>) -> Self {
-        Self::new(JobSpec::Rank { list, sharded: true })
+        Self::new(JobSpec::Rank { list, sharded: true, warm: None })
     }
 }
 
@@ -332,7 +405,12 @@ impl<T: Copy + Send + Sync + 'static> Request<Vec<T>> {
         Op: ScanOp<T> + Send + Sync + 'static,
     {
         let kind = classify_op::<Op>();
-        Self::new(JobSpec::Scan { list, exec: Arc::new(ScanJob { values, op, kind }), sharded })
+        Self::new(JobSpec::Scan {
+            list,
+            exec: Arc::new(ScanJob { values, op, kind }),
+            sharded,
+            warm: None,
+        })
     }
 
     fn segmented_inner<Op>(
@@ -356,6 +434,7 @@ impl<T: Copy + Send + Sync + 'static> Request<Vec<T>> {
             list,
             exec: Arc::new(SegScanJob { wrapped, starts, op }),
             sharded,
+            warm: None,
         })
     }
 

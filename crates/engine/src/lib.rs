@@ -67,6 +67,7 @@ pub mod queue;
 #[cfg(unix)]
 pub mod server;
 pub mod stats;
+pub mod store;
 pub mod telemetry;
 pub mod workload;
 
@@ -81,4 +82,5 @@ pub use queue::SubmitError;
 #[cfg(unix)]
 pub use server::{ServeConfig, Server, ServerControl, ServerStats};
 pub use stats::{EngineStats, OpThroughput};
+pub use store::{ArtifactCache, DatasetRef, DatasetStore, PutReceipt, StoreError, StoreStats};
 pub use telemetry::{Histogram, Phase, Span, Telemetry};

@@ -44,8 +44,17 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
 ///
 /// Version history: **1** — initial protocol. **2** — OUTPUT gained a
 /// `trace_id: u64` field, and the STATS_V2 / STATS_V2_OK frame pair
-/// (histogram blocks) was added.
-pub const VERSION: u16 = 2;
+/// (histogram blocks) was added. **3** — the resident-dataset plane:
+/// PUT / PUT_OK, RANK_H / SCAN_H / SEGSCAN_H, DROP / DROP_OK, error
+/// codes `stale_handle` and `store_full`, and the STATS_V2 `store`
+/// gauge block. v3 is purely additive over v2 (no existing layout
+/// changed), so servers accept HELLOs from [`MIN_VERSION`] up.
+pub const VERSION: u16 = 3;
+
+/// Oldest HELLO version a server still accepts. v2 clients speak a
+/// strict subset of v3 (they simply never send handle frames); v1 is
+/// rejected because the OUTPUT layout changed in v2.
+pub const MIN_VERSION: u16 = 2;
 
 /// Default cap on `len` a peer will accept (256 MiB): large enough for
 /// a 10^7-vertex scan with 16-byte values, small enough that a corrupt
@@ -71,6 +80,16 @@ pub enum FrameKind {
     Shutdown = 0x06,
     /// Histogram-level metrics request (no body).
     StatsV2 = 0x07,
+    /// Admit a dataset into the resident store; replied with PUT_OK.
+    Put = 0x08,
+    /// Rank request against a resident dataset named by handle.
+    RankH = 0x09,
+    /// Scan request against a resident dataset named by handle.
+    ScanH = 0x0A,
+    /// Segmented-scan request against a resident dataset by handle.
+    SegScanH = 0x0B,
+    /// Drop a resident dataset; replied with DROP_OK.
+    Drop = 0x0C,
     /// Handshake accepted: server version + frame-size cap.
     HelloOk = 0x81,
     /// Job result: execution metadata + output payload.
@@ -82,6 +101,10 @@ pub enum FrameKind {
     /// Histogram-level metrics reply: tagged blocks of latency
     /// histograms, gauges, and planner dispatch rows.
     StatsV2Ok = 0x87,
+    /// Dataset admitted: handle + bytes charged to the store budget.
+    PutOk = 0x88,
+    /// Dataset dropped (no body).
+    DropOk = 0x89,
     /// Typed error reply: code + UTF-8 message.
     Error = 0xEE,
 }
@@ -97,11 +120,18 @@ impl FrameKind {
             0x05 => FrameKind::Stats,
             0x06 => FrameKind::Shutdown,
             0x07 => FrameKind::StatsV2,
+            0x08 => FrameKind::Put,
+            0x09 => FrameKind::RankH,
+            0x0A => FrameKind::ScanH,
+            0x0B => FrameKind::SegScanH,
+            0x0C => FrameKind::Drop,
             0x81 => FrameKind::HelloOk,
             0x82 => FrameKind::Output,
             0x85 => FrameKind::StatsOk,
             0x86 => FrameKind::ShutdownOk,
             0x87 => FrameKind::StatsV2Ok,
+            0x88 => FrameKind::PutOk,
+            0x89 => FrameKind::DropOk,
             0xEE => FrameKind::Error,
             _ => return None,
         })
@@ -194,6 +224,13 @@ pub enum ErrorCode {
     ExpectedHello = 10,
     /// Unknown frame kind byte.
     UnknownKind = 11,
+    /// A handle named no resident dataset owned by this connection
+    /// (never issued, dropped, evicted, or PUT by another connection).
+    /// The connection stays open.
+    StaleHandle = 12,
+    /// A PUT could not fit within `--store-budget` even after evicting
+    /// every idle resident dataset. The connection stays open.
+    StoreFull = 13,
 }
 
 impl ErrorCode {
@@ -211,6 +248,8 @@ impl ErrorCode {
             9 => ErrorCode::FrameTooLarge,
             10 => ErrorCode::ExpectedHello,
             11 => ErrorCode::UnknownKind,
+            12 => ErrorCode::StaleHandle,
+            13 => ErrorCode::StoreFull,
             _ => return None,
         })
     }
@@ -230,6 +269,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::FrameTooLarge => "frame exceeds size cap",
             ErrorCode::ExpectedHello => "expected HELLO handshake first",
             ErrorCode::UnknownKind => "unknown frame kind",
+            ErrorCode::StaleHandle => "stale dataset handle",
+            ErrorCode::StoreFull => "dataset store budget exhausted",
         };
         f.write_str(s)
     }
@@ -540,6 +581,50 @@ pub enum WireRequest {
         /// The value array (same length as the list).
         values: WireValues,
     },
+    /// Admit a dataset into the resident store ([`FrameKind::Put`]).
+    Put {
+        /// The validated list to make resident.
+        list: LinkedList,
+    },
+    /// Rank a resident dataset ([`FrameKind::RankH`]).
+    RankH {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// Handle from a PUT_OK on this connection.
+        handle: u64,
+    },
+    /// Scan values along a resident dataset ([`FrameKind::ScanH`]).
+    ScanH {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// The operator (fixes the element type of `values`).
+        op: WireOp,
+        /// Handle from a PUT_OK on this connection.
+        handle: u64,
+        /// The value array (length must match the resident list —
+        /// checked at submit, not decode: the decoder doesn't know
+        /// the dataset).
+        values: WireValues,
+    },
+    /// Segmented scan over a resident dataset ([`FrameKind::SegScanH`]).
+    SegScanH {
+        /// Shard-parallel routing flag.
+        sharded: bool,
+        /// The operator (fixes the element type of `values`).
+        op: WireOp,
+        /// Handle from a PUT_OK on this connection.
+        handle: u64,
+        /// Unpacked segment-start flags, one per value.
+        starts: Vec<bool>,
+        /// The value array (length checked against the resident list
+        /// at submit).
+        values: WireValues,
+    },
+    /// Drop a resident dataset ([`FrameKind::Drop`]).
+    Drop {
+        /// Handle from a PUT_OK on this connection.
+        handle: u64,
+    },
     /// Metrics snapshot request.
     Stats,
     /// Histogram-level metrics request ([`FrameKind::StatsV2`]).
@@ -616,6 +701,42 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
                 let values = decode_values(op, n, &mut d)?;
                 WireRequest::Scan { sharded, op, list, values }
             }
+        }
+        FrameKind::Put => {
+            let flags = d.u8("flags")?;
+            if flags != 0 {
+                return Err(WireError::malformed(format!("reserved flag bits set: {flags:#010b}")));
+            }
+            let (list, _) = decode_list(&mut d)?;
+            WireRequest::Put { list }
+        }
+        FrameKind::RankH => {
+            let flags = decode_flags(&mut d)?;
+            let handle = d.u64("handle")?;
+            WireRequest::RankH { sharded: flags & FLAG_SHARDED != 0, handle }
+        }
+        FrameKind::ScanH | FrameKind::SegScanH => {
+            let flags = decode_flags(&mut d)?;
+            let op_byte = d.u8("operator")?;
+            let op = WireOp::from_u8(op_byte).ok_or(WireError {
+                code: ErrorCode::UnknownOp,
+                message: format!("operator byte {op_byte:#04x}"),
+            })?;
+            let handle = d.u64("handle")?;
+            let n = d.u32("value count")? as usize;
+            let sharded = flags & FLAG_SHARDED != 0;
+            if kind == FrameKind::SegScanH {
+                let starts = decode_starts(n, &mut d)?;
+                let values = decode_values(op, n, &mut d)?;
+                WireRequest::SegScanH { sharded, op, handle, starts, values }
+            } else {
+                let values = decode_values(op, n, &mut d)?;
+                WireRequest::ScanH { sharded, op, handle, values }
+            }
+        }
+        FrameKind::Drop => {
+            let handle = d.u64("handle")?;
+            WireRequest::Drop { handle }
         }
         FrameKind::Stats => WireRequest::Stats,
         FrameKind::StatsV2 => WireRequest::StatsV2,
@@ -716,6 +837,91 @@ pub fn segscan_body<T: WireElem>(
         v.put(&mut b);
     }
     b
+}
+
+/// PUT body: a reserved flags byte (must be zero) + the list's
+/// head/length/successor array.
+pub fn put_body(list: &LinkedList) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + 8 + 4 * list.len());
+    b.push(0);
+    put_list(list, &mut b);
+    b
+}
+
+/// RANK_H body: flags + dataset handle.
+pub fn rank_h_body(handle: u64, sharded: bool) -> Vec<u8> {
+    let mut b = Vec::with_capacity(9);
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    b.extend_from_slice(&handle.to_le_bytes());
+    b
+}
+
+/// SCAN_H body: flags + operator + dataset handle + value count +
+/// values.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op` — the typed
+/// [`crate::client::Client`] methods make that impossible.
+pub fn scan_h_body<T: WireElem>(handle: u64, values: &[T], op: WireOp, sharded: bool) -> Vec<u8> {
+    assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
+    let mut b = Vec::with_capacity(14 + T::BYTES * values.len());
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    b.push(op as u8);
+    b.extend_from_slice(&handle.to_le_bytes());
+    b.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        v.put(&mut b);
+    }
+    b
+}
+
+/// SEGSCAN_H body: flags + operator + dataset handle + value count +
+/// packed start bitmap + values.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ.
+pub fn segscan_h_body<T: WireElem>(
+    handle: u64,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+) -> Vec<u8> {
+    assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
+    assert_eq!(starts.len(), values.len(), "one start flag per value");
+    let mut b = Vec::with_capacity(14 + starts.len().div_ceil(8) + T::BYTES * values.len());
+    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    b.push(op as u8);
+    b.extend_from_slice(&handle.to_le_bytes());
+    b.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    b.extend_from_slice(&pack_starts(starts));
+    for &v in values {
+        v.put(&mut b);
+    }
+    b
+}
+
+/// DROP body: the dataset handle.
+pub fn drop_body(handle: u64) -> Vec<u8> {
+    handle.to_le_bytes().to_vec()
+}
+
+/// PUT_OK body: the issued handle + bytes charged to the store budget.
+pub fn put_ok_body(handle: u64, bytes: u64) -> Vec<u8> {
+    let mut b = Vec::with_capacity(16);
+    b.extend_from_slice(&handle.to_le_bytes());
+    b.extend_from_slice(&bytes.to_le_bytes());
+    b
+}
+
+/// Decode a PUT_OK body into `(handle, bytes)`.
+pub fn decode_put_ok(body: &[u8]) -> Result<(u64, u64), WireError> {
+    let mut d = Dec::new(body);
+    let handle = d.u64("handle")?;
+    let bytes = d.u64("charged bytes")?;
+    d.finish()?;
+    Ok((handle, bytes))
 }
 
 /// HELLO_OK body: server version + the frame-size cap it enforces.
@@ -926,6 +1132,11 @@ pub const TAG_GAUGES: u8 = 4;
 /// [`OpKind::index`]; payload is `count: u8` followed by `count` LE
 /// `u64`s in [`Algorithm::ALL`] order).
 pub const TAG_DISPATCH_OP: u8 = 5;
+/// STATS_V2_OK block tag: the resident dataset store's gauge block
+/// (block id is `0`; payload is `count: u8` followed by `count` LE
+/// `u64`s in [`StoreGauges`] field order). Added in protocol v3; v2
+/// readers skip it by tag.
+pub const TAG_STORE: u8 = 6;
 
 /// The fixed gauge block of a STATS_V2_OK frame: point-in-time scalars
 /// the `rankd stats` dashboard needs alongside the histograms. Encoded
@@ -1003,6 +1214,77 @@ impl StatsGauges {
     }
 }
 
+/// The resident-dataset store's gauge block of a STATS_V2_OK frame
+/// (mirrors [`crate::store::StoreStats`]). Encoded with a leading
+/// count so future versions can append gauges without breaking older
+/// readers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreGauges {
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+    /// Bytes currently resident (lists + cached artifacts).
+    pub resident_bytes: u64,
+    /// Datasets currently resident.
+    pub resident_count: u64,
+    /// Successful PUTs.
+    pub puts: u64,
+    /// Datasets removed by DROP or connection teardown.
+    pub drops: u64,
+    /// Handle resolution attempts.
+    pub lookups: u64,
+    /// Lookups that resolved to a resident dataset.
+    pub hits: u64,
+    /// Lookups that found no dataset for the (handle, connection).
+    pub misses: u64,
+    /// Datasets evicted by LRU pressure.
+    pub evictions: u64,
+    /// PUTs refused because the budget could not be met.
+    pub put_rejected: u64,
+    /// Sharded artifacts built.
+    pub artifacts_built: u64,
+    /// Sharded artifacts served from the cache.
+    pub artifacts_reused: u64,
+}
+
+impl StoreGauges {
+    /// Number of store gauges this version defines.
+    pub const COUNT: usize = 12;
+
+    fn to_array(self) -> [u64; Self::COUNT] {
+        [
+            self.budget_bytes,
+            self.resident_bytes,
+            self.resident_count,
+            self.puts,
+            self.drops,
+            self.lookups,
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.put_rejected,
+            self.artifacts_built,
+            self.artifacts_reused,
+        ]
+    }
+
+    fn from_array(c: [u64; Self::COUNT]) -> StoreGauges {
+        StoreGauges {
+            budget_bytes: c[0],
+            resident_bytes: c[1],
+            resident_count: c[2],
+            puts: c[3],
+            drops: c[4],
+            lookups: c[5],
+            hits: c[6],
+            misses: c[7],
+            evictions: c[8],
+            put_rejected: c[9],
+            artifacts_built: c[10],
+            artifacts_reused: c[11],
+        }
+    }
+}
+
 /// The decoded payload of a STATS_V2_OK frame: every histogram the
 /// telemetry registry keeps, the planner's mispredict histogram and
 /// dispatch-by-op matrix, and the gauge block. Histogram slots that
@@ -1018,6 +1300,9 @@ pub struct WireStatsV2 {
     pub mispredict: Histogram,
     /// The gauge block.
     pub gauges: StatsGauges,
+    /// The resident-dataset store's gauge block (all-zero when the
+    /// peer predates protocol v3).
+    pub store: StoreGauges,
     /// Planner dispatch rows: `(op, completions per algorithm)` in
     /// [`Algorithm::ALL`] order; only ops with completions appear.
     pub dispatch_by_op: Vec<(OpKind, Vec<u64>)>,
@@ -1110,6 +1395,13 @@ pub fn stats_v2_body(stats: &WireStatsV2) -> Vec<u8> {
     }
     put_block(TAG_GAUGES, 0, &payload, &mut blocks);
     block_count += 1;
+    payload.clear();
+    payload.push(StoreGauges::COUNT as u8);
+    for g in stats.store.to_array() {
+        payload.extend_from_slice(&g.to_le_bytes());
+    }
+    put_block(TAG_STORE, 0, &payload, &mut blocks);
+    block_count += 1;
     for (op, row) in &stats.dispatch_by_op {
         payload.clear();
         payload.push(row.len() as u8);
@@ -1171,6 +1463,24 @@ pub fn decode_stats_v2(body: &[u8]) -> Result<WireStatsV2, WireError> {
                 }
                 p.finish()?;
                 out.gauges = StatsGauges::from_array(c);
+            }
+            TAG_STORE => {
+                let count = p.u8("store gauge count")? as usize;
+                if count < StoreGauges::COUNT {
+                    return Err(WireError::malformed(format!(
+                        "store gauge block has {count} entries, need {}",
+                        StoreGauges::COUNT
+                    )));
+                }
+                let mut c = [0u64; StoreGauges::COUNT];
+                for slot in &mut c {
+                    *slot = p.u64("store gauge")?;
+                }
+                for _ in StoreGauges::COUNT..count {
+                    p.u64("extra store gauge")?;
+                }
+                p.finish()?;
+                out.store = StoreGauges::from_array(c);
             }
             TAG_DISPATCH_OP => {
                 let op = OpKind::from_index(id as usize)

@@ -26,11 +26,12 @@ use crate::engine::Engine;
 use crate::job::{JobError, JobOptions, Request};
 use crate::protocol::{
     self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, ReadFrameError,
-    StatsGauges, WireElem, WireOp, WireRequest, WireStats, WireStatsV2, WireValues,
+    StatsGauges, StoreGauges, WireElem, WireOp, WireRequest, WireStats, WireStatsV2, WireValues,
     MAX_FRAME_DEFAULT,
 };
 use crate::queue::SubmitError;
 use crate::rankd_log;
+use crate::store::{DatasetStore, StoreError, DEFAULT_STORE_BUDGET};
 use crate::telemetry::log::Level;
 use crate::telemetry::{self, Phase};
 use listkit::ops::{AddOp, MaxOp, MinOp, XorOp};
@@ -60,6 +61,9 @@ pub struct ServeConfig {
     /// to disconnect before closing on them. In-flight requests always
     /// complete regardless.
     pub drain_grace: Duration,
+    /// Byte budget for the resident dataset store (`--store-budget`):
+    /// PUT lists plus cached sharded artifacts, under LRU eviction.
+    pub store_budget: u64,
 }
 
 impl ServeConfig {
@@ -71,6 +75,7 @@ impl ServeConfig {
             serve_secs: None,
             max_frame: MAX_FRAME_DEFAULT,
             drain_grace: Duration::from_secs(2),
+            store_budget: DEFAULT_STORE_BUDGET,
         }
     }
 
@@ -95,6 +100,12 @@ impl ServeConfig {
     /// Override the post-shutdown drain grace.
     pub fn with_drain_grace(mut self, grace: Duration) -> Self {
         self.drain_grace = grace;
+        self
+    }
+
+    /// Override the resident dataset store's byte budget.
+    pub fn with_store_budget(mut self, bytes: u64) -> Self {
+        self.store_budget = bytes;
         self
     }
 }
@@ -159,6 +170,8 @@ struct Shared {
     bytes_out: AtomicU64,
     errors_sent: AtomicU64,
     busy_rejected: AtomicU64,
+    /// The resident dataset store, shared by every client handler.
+    store: Arc<DatasetStore>,
 }
 
 impl Shared {
@@ -271,6 +284,7 @@ impl Server {
             bytes_out: AtomicU64::new(0),
             errors_sent: AtomicU64::new(0),
             busy_rejected: AtomicU64::new(0),
+            store: Arc::new(DatasetStore::new(cfg.store_budget)),
         });
         Ok(Server { engine, cfg, listener, shared })
     }
@@ -319,7 +333,10 @@ impl Server {
                         );
                         continue;
                     }
-                    self.shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                    // The connection id doubles as the dataset-store
+                    // ownership key: handles are scoped to the
+                    // connection that PUT them, like file descriptors.
+                    let conn_id = self.shared.connections_total.fetch_add(1, Ordering::Relaxed) + 1;
                     let now_active =
                         self.shared.connections_active.fetch_add(1, Ordering::Relaxed) + 1;
                     self.shared.peak_connections.fetch_max(now_active, Ordering::Relaxed);
@@ -330,7 +347,15 @@ impl Server {
                         std::thread::Builder::new()
                             .name("rankd-client".to_string())
                             .spawn(move || {
-                                handle_client(stream, &engine, &shared, max_frame);
+                                handle_client(stream, &engine, &shared, max_frame, conn_id);
+                                let dropped = shared.store.drop_connection(conn_id);
+                                if dropped > 0 {
+                                    rankd_log!(
+                                        Level::Debug,
+                                        "server",
+                                        "conn {conn_id} closed, dropped {dropped} resident dataset(s)"
+                                    );
+                                }
                                 shared.connections_active.fetch_sub(1, Ordering::Relaxed);
                             })
                             .expect("spawn client handler"),
@@ -528,7 +553,13 @@ fn read_frame_polled(stream: &mut UnixStream, shared: &Shared, max_frame: u32) -
 }
 
 /// Serve one connection to completion.
-fn handle_client(mut stream: UnixStream, engine: &Engine, shared: &Shared, max_frame: u32) {
+fn handle_client(
+    mut stream: UnixStream,
+    engine: &Engine,
+    shared: &Shared,
+    max_frame: u32,
+    conn_id: u64,
+) {
     // The read/write timeouts are the poll cadence for noticing
     // shutdown and dead peers; they are not client-visible deadlines
     // (see `read_frame_polled` / `PolledWriter`).
@@ -541,7 +572,7 @@ fn handle_client(mut stream: UnixStream, engine: &Engine, shared: &Shared, max_f
             Polled::Frame(f) => f,
             Polled::Done | Polled::Fatal => return,
         };
-        let keep = dispatch(&frame, &mut stream, engine, shared, max_frame, &mut greeted);
+        let keep = dispatch(&frame, &mut stream, engine, shared, max_frame, &mut greeted, conn_id);
         if !keep || shared.drain_expired() {
             return;
         }
@@ -550,6 +581,7 @@ fn handle_client(mut stream: UnixStream, engine: &Engine, shared: &Shared, max_f
 
 /// Decode and answer one frame. Returns whether the connection should
 /// keep being served.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     frame: &Frame,
     stream: &mut UnixStream,
@@ -557,6 +589,7 @@ fn dispatch(
     shared: &Shared,
     max_frame: u32,
     greeted: &mut bool,
+    conn_id: u64,
 ) -> bool {
     let t_decode = Instant::now();
     let req = match protocol::decode_request(frame) {
@@ -573,7 +606,12 @@ fn dispatch(
     // earliest point the request exists as a typed value — so the span
     // covers the whole server-side pipeline.
     let opts = match req {
-        WireRequest::Rank { .. } | WireRequest::Scan { .. } | WireRequest::SegScan { .. } => {
+        WireRequest::Rank { .. }
+        | WireRequest::Scan { .. }
+        | WireRequest::SegScan { .. }
+        | WireRequest::RankH { .. }
+        | WireRequest::ScanH { .. }
+        | WireRequest::SegScanH { .. } => {
             let trace_id = telemetry::next_trace_id();
             engine.telemetry().record_phase(Phase::Decode, decode_ns);
             rankd_log!(
@@ -601,12 +639,20 @@ fn dispatch(
                 );
                 return false;
             }
-            if version != protocol::VERSION {
+            // v3 is purely additive over v2, so older-but-compatible
+            // clients are served; they simply never send handle
+            // frames. HELLO_OK still carries the server's version so
+            // a newer client knows what it may use.
+            if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
                 let _ = send_error(
                     stream,
                     shared,
                     ErrorCode::VersionMismatch,
-                    &format!("client speaks v{version}, server speaks v{}", protocol::VERSION),
+                    &format!(
+                        "client speaks v{version}, server accepts v{}..=v{}",
+                        protocol::MIN_VERSION,
+                        protocol::VERSION
+                    ),
                 );
                 return false;
             }
@@ -650,6 +696,7 @@ fn dispatch(
         WireRequest::StatsV2 => {
             let es = engine.stats();
             let ss = shared.stats();
+            let st = shared.store.stats();
             let wire = WireStatsV2 {
                 phase: es.phase_hist,
                 per_op: es.op_hist,
@@ -668,6 +715,20 @@ fn dispatch(
                     lane_slots: es.lane_slots,
                     connections_active: ss.connections_active,
                     connections_total: ss.connections_total,
+                },
+                store: StoreGauges {
+                    budget_bytes: st.budget_bytes,
+                    resident_bytes: st.resident_bytes,
+                    resident_count: st.resident_count,
+                    puts: st.puts,
+                    drops: st.drops,
+                    lookups: st.lookups,
+                    hits: st.hits,
+                    misses: st.misses,
+                    evictions: st.evictions,
+                    put_rejected: st.put_rejected,
+                    artifacts_built: st.artifacts_built,
+                    artifacts_reused: st.artifacts_reused,
                 },
                 dispatch_by_op: es
                     .dispatch_by_op
@@ -756,6 +817,172 @@ fn dispatch(
                 _ => unreachable!("decoder pairs values with their operator"),
             }
         }
+        WireRequest::Put { list } => match shared.store.put(conn_id, Arc::new(list)) {
+            Ok(receipt) => {
+                rankd_log!(
+                    Level::Debug,
+                    "server",
+                    "conn {conn_id} PUT handle={} ({} bytes resident)",
+                    receipt.handle,
+                    receipt.bytes
+                );
+                send(
+                    stream,
+                    shared,
+                    FrameKind::PutOk,
+                    &protocol::put_ok_body(receipt.handle, receipt.bytes),
+                )
+                .is_ok()
+            }
+            Err(e) => send_error(stream, shared, store_error_code(e), &e.to_string()).is_ok(),
+        },
+        WireRequest::Drop { handle } => match shared.store.drop_dataset(handle, conn_id) {
+            Ok(()) => send(stream, shared, FrameKind::DropOk, &[]).is_ok(),
+            Err(e) => send_error(
+                stream,
+                shared,
+                store_error_code(e),
+                &format!("DROP handle {handle}: {e}"),
+            )
+            .is_ok(),
+        },
+        WireRequest::RankH { sharded, handle } => {
+            let entry = match shared.store.get(handle, conn_id) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    return send_error(
+                        stream,
+                        shared,
+                        store_error_code(e),
+                        &format!("handle {handle}: {e}"),
+                    )
+                    .is_ok()
+                }
+            };
+            let list = entry.list();
+            let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) }
+                .with_artifacts(entry.artifacts());
+            // `entry` (the eviction pin) lives until this arm returns,
+            // i.e. past the job's completion and reply write.
+            run_and_reply(engine, req, opts, stream, shared)
+        }
+        WireRequest::ScanH { sharded, op, handle, values } => {
+            let entry = match shared.store.get(handle, conn_id) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    return send_error(
+                        stream,
+                        shared,
+                        store_error_code(e),
+                        &format!("handle {handle}: {e}"),
+                    )
+                    .is_ok()
+                }
+            };
+            let list = entry.list();
+            let warm = entry.artifacts();
+            match (op, values) {
+                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, AddOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, MaxOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, MinOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, XorOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
+                    engine,
+                    scan_req(list, v, listkit::ops::AffineOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                _ => unreachable!("decoder pairs values with their operator"),
+            }
+        }
+        WireRequest::SegScanH { sharded, op, handle, starts, values } => {
+            let entry = match shared.store.get(handle, conn_id) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    return send_error(
+                        stream,
+                        shared,
+                        store_error_code(e),
+                        &format!("handle {handle}: {e}"),
+                    )
+                    .is_ok()
+                }
+            };
+            let list = entry.list();
+            let warm = entry.artifacts();
+            let starts = Arc::new(starts);
+            match (op, values) {
+                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, AddOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, MaxOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, MinOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, XorOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
+                    engine,
+                    seg_req(list, v, starts, listkit::ops::AffineOp, sharded).with_artifacts(warm),
+                    opts,
+                    stream,
+                    shared,
+                ),
+                _ => unreachable!("decoder pairs values with their operator"),
+            }
+        }
+    }
+}
+
+/// The wire error code for a store refusal.
+fn store_error_code(e: StoreError) -> ErrorCode {
+    match e {
+        StoreError::StaleHandle => ErrorCode::StaleHandle,
+        StoreError::StoreFull => ErrorCode::StoreFull,
     }
 }
 

@@ -1,0 +1,496 @@
+//! Resident dataset store: the handle-based data plane.
+//!
+//! Shipping a successor array on every RANK/SCAN frame means a request
+//! on a 10⁸-vertex list moves ~800 MB before any ranking happens — the
+//! socket measures memcpy, not the paper's algorithm (Reid-Miller's
+//! C-90 numbers assume the list is *resident*). The store fixes the
+//! economics: a client `PUT`s a list once, receives a 64-bit handle,
+//! and every later query names the handle instead of re-sending (and
+//! re-validating) the data.
+//!
+//! * **Validated once** — the O(n) structural validation in
+//!   [`LinkedList::new`] runs at PUT; handle queries skip decode and
+//!   validation entirely.
+//! * **Artifact cache** — the first sharded query against a dataset
+//!   builds a [`ShardedList`] (shard decomposition + boundary table +
+//!   lane policy) and caches it keyed by `(shard_size, lanes)`; later
+//!   queries with the same plan reuse it and pay only stitch + walk.
+//! * **Byte-budgeted LRU** — resident bytes (lists + cached artifacts)
+//!   never exceed the configured budget. PUT evicts idle
+//!   least-recently-used datasets to make room and fails with
+//!   [`StoreError::StoreFull`] when the budget cannot be met; an
+//!   artifact that doesn't fit is still used for its query, just not
+//!   cached (build–use–discard).
+//! * **Refcounted eviction** — every resolved query holds a
+//!   [`DatasetRef`] guard; entries with live guards are never evicted,
+//!   so eviction cannot free a dataset mid-query. `Arc` semantics back
+//!   this up: even an explicit DROP only unlinks the entry, in-flight
+//!   queries complete on their clone.
+//! * **Connection-scoped handles** — like file descriptors, a handle
+//!   belongs to the connection that PUT it: queries or DROPs from any
+//!   other connection see [`StoreError::StaleHandle`], and a handler
+//!   that disconnects drops everything it owned.
+//!
+//! The store is transport-agnostic (no sockets here); `engine::server`
+//! shares one instance across client handlers, and `tests/store.rs`
+//! property-tests the invariants directly.
+
+use listkit::sharded::ShardedList;
+use listkit::LinkedList;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Default byte budget for resident datasets and artifacts (1 GiB).
+pub const DEFAULT_STORE_BUDGET: u64 = 1 << 30;
+
+/// Why a store operation was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The handle does not name a resident dataset owned by this
+    /// connection — never issued, already dropped, evicted, or PUT by
+    /// a different connection.
+    StaleHandle,
+    /// Admitting the dataset would exceed the byte budget even after
+    /// evicting every idle resident entry.
+    StoreFull,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::StaleHandle => write!(f, "stale dataset handle"),
+            StoreError::StoreFull => write!(f, "dataset store budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Receipt for a successful PUT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PutReceipt {
+    /// Handle naming the resident dataset in later queries.
+    pub handle: u64,
+    /// Bytes charged against the store budget for the list itself
+    /// (artifacts built later are charged separately).
+    pub bytes: u64,
+}
+
+/// Point-in-time snapshot of the store's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+    /// Bytes currently resident (lists + cached artifacts).
+    pub resident_bytes: u64,
+    /// Datasets currently resident.
+    pub resident_count: u64,
+    /// Successful PUTs.
+    pub puts: u64,
+    /// Datasets removed by explicit DROP or connection teardown.
+    pub drops: u64,
+    /// Handle resolution attempts (`hits + misses == lookups`).
+    pub lookups: u64,
+    /// Lookups that resolved to a resident dataset.
+    pub hits: u64,
+    /// Lookups that found no dataset for the (handle, connection).
+    pub misses: u64,
+    /// Datasets evicted by LRU pressure.
+    pub evictions: u64,
+    /// PUTs refused because the budget could not be met.
+    pub put_rejected: u64,
+    /// Sharded artifacts built (cache misses on a plan key).
+    pub artifacts_built: u64,
+    /// Sharded artifacts served from the cache.
+    pub artifacts_reused: u64,
+}
+
+/// Estimated resident footprint of a validated list: the `u32`
+/// successor array plus fixed header overhead. An estimate, not an
+/// allocator measurement — the budget is a capacity-planning knob, not
+/// an accounting ledger.
+pub fn list_footprint(list: &LinkedList) -> u64 {
+    4 * list.len() as u64 + 96
+}
+
+/// Estimated resident footprint of a built sharded artifact: shard-
+/// local successor arrays (≈4 B/vertex), boundary-table rows, and
+/// per-shard headers.
+pub fn artifact_footprint(sharded: &ShardedList) -> u64 {
+    4 * sharded.len() as u64
+        + 16 * sharded.fragment_count() as u64
+        + 64 * sharded.shard_count() as u64
+        + 96
+}
+
+struct DatasetEntry {
+    handle: u64,
+    owner: u64,
+    list: Arc<LinkedList>,
+    list_bytes: u64,
+    /// Artifact bytes charged to this entry. Mutated only under the
+    /// store lock; atomic so the eviction scan can read it through the
+    /// shared `Arc` without aliasing games.
+    artifact_bytes: AtomicU64,
+    /// Live [`DatasetRef`] guards. Incremented under the store lock,
+    /// decremented lock-free on guard drop; the eviction scan (under
+    /// the lock) skips any entry it observes in use, so the race only
+    /// ever delays an eviction, never frees a dataset mid-query.
+    in_use: AtomicU64,
+    artifacts: Arc<ArtifactCache>,
+}
+
+impl DatasetEntry {
+    fn total_bytes(&self) -> u64 {
+        self.list_bytes + self.artifact_bytes.load(Ordering::Relaxed)
+    }
+}
+
+struct Inner {
+    entries: HashMap<u64, Arc<DatasetEntry>>,
+    /// Handles in recency order: front = least recently used.
+    order: Vec<u64>,
+    resident_bytes: u64,
+    next_handle: u64,
+}
+
+/// The byte-budgeted resident dataset store. One instance is shared by
+/// every client handler of a server; see the [module docs](self) for
+/// the invariants it maintains.
+pub struct DatasetStore {
+    budget: u64,
+    inner: Mutex<Inner>,
+    puts: AtomicU64,
+    drops: AtomicU64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    put_rejected: AtomicU64,
+    artifacts_built: AtomicU64,
+    artifacts_reused: AtomicU64,
+}
+
+impl fmt::Debug for DatasetStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("DatasetStore")
+            .field("budget", &s.budget_bytes)
+            .field("resident_bytes", &s.resident_bytes)
+            .field("resident_count", &s.resident_count)
+            .finish()
+    }
+}
+
+impl DatasetStore {
+    /// An empty store with the given byte budget.
+    pub fn new(budget: u64) -> Self {
+        DatasetStore {
+            budget,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                resident_bytes: 0,
+                next_handle: 1,
+            }),
+            puts: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            put_rejected: AtomicU64::new(0),
+            artifacts_built: AtomicU64::new(0),
+            artifacts_reused: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Admit a validated list for connection `conn`, evicting idle LRU
+    /// entries as needed. Handles are sequential, start at 1, and are
+    /// never reused.
+    pub fn put(
+        self: &Arc<Self>,
+        conn: u64,
+        list: Arc<LinkedList>,
+    ) -> Result<PutReceipt, StoreError> {
+        let bytes = list_footprint(&list);
+        let mut inner = self.inner.lock().unwrap();
+        if !self.evict_to_fit(&mut inner, bytes, None) {
+            self.put_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::StoreFull);
+        }
+        let handle = inner.next_handle;
+        inner.next_handle += 1;
+        let entry = Arc::new(DatasetEntry {
+            handle,
+            owner: conn,
+            list,
+            list_bytes: bytes,
+            artifact_bytes: AtomicU64::new(0),
+            in_use: AtomicU64::new(0),
+            artifacts: Arc::new(ArtifactCache {
+                handle,
+                store: Arc::downgrade(self),
+                map: Mutex::new(HashMap::new()),
+            }),
+        });
+        inner.entries.insert(handle, entry);
+        inner.order.push(handle);
+        inner.resident_bytes += bytes;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(PutReceipt { handle, bytes })
+    }
+
+    /// Resolve `handle` for connection `conn` into a pinned guard. The
+    /// entry moves to most-recently-used and cannot be evicted while
+    /// the guard lives.
+    pub fn get(&self, handle: u64, conn: u64) -> Result<DatasetRef, StoreError> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        match inner.entries.get(&handle) {
+            Some(entry) if entry.owner == conn => {
+                let entry = Arc::clone(entry);
+                entry.in_use.fetch_add(1, Ordering::Relaxed);
+                inner.order.retain(|&h| h != handle);
+                inner.order.push(handle);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(DatasetRef { entry })
+            }
+            _ => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::StaleHandle)
+            }
+        }
+    }
+
+    /// Drop the dataset named by `handle` if connection `conn` owns
+    /// it. In-flight queries holding a [`DatasetRef`] complete on their
+    /// pinned clone; the handle is stale from this call on.
+    pub fn drop_dataset(&self, handle: u64, conn: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.entries.get(&handle) {
+            Some(entry) if entry.owner == conn => {
+                let entry = inner.entries.remove(&handle).expect("entry just observed");
+                inner.order.retain(|&h| h != handle);
+                inner.resident_bytes -= entry.total_bytes();
+                self.drops.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(StoreError::StaleHandle),
+        }
+    }
+
+    /// Drop every dataset owned by connection `conn` (handler
+    /// teardown). Returns how many were removed.
+    pub fn drop_connection(&self, conn: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let doomed: Vec<u64> =
+            inner.entries.values().filter(|e| e.owner == conn).map(|e| e.handle).collect();
+        for handle in &doomed {
+            let entry = inner.entries.remove(handle).expect("listed above");
+            inner.resident_bytes -= entry.total_bytes();
+        }
+        inner.order.retain(|h| !doomed.contains(h));
+        self.drops.fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        doomed.len()
+    }
+
+    /// Resident handles in recency order (least recently used first) —
+    /// introspection for the property-test harness.
+    pub fn resident_handles(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().order.clone()
+    }
+
+    /// Snapshot of counters and occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let (resident_bytes, resident_count) = {
+            let inner = self.inner.lock().unwrap();
+            (inner.resident_bytes, inner.entries.len() as u64)
+        };
+        StoreStats {
+            budget_bytes: self.budget,
+            resident_bytes,
+            resident_count,
+            puts: self.puts.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            put_rejected: self.put_rejected.load(Ordering::Relaxed),
+            artifacts_built: self.artifacts_built.load(Ordering::Relaxed),
+            artifacts_reused: self.artifacts_reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evict idle LRU entries (skipping `exclude`) until `need` more
+    /// bytes fit under the budget. Returns `false` — evicting nothing
+    /// further — when every remaining entry is pinned by a live guard
+    /// or excluded.
+    fn evict_to_fit(&self, inner: &mut Inner, need: u64, exclude: Option<u64>) -> bool {
+        while inner.resident_bytes + need > self.budget {
+            let victim = inner.order.iter().copied().find(|&h| {
+                Some(h) != exclude
+                    && inner.entries.get(&h).is_some_and(|e| e.in_use.load(Ordering::Relaxed) == 0)
+            });
+            let Some(victim) = victim else { return false };
+            let entry = inner.entries.remove(&victim).expect("victim listed in order");
+            inner.order.retain(|&h| h != victim);
+            inner.resident_bytes -= entry.total_bytes();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Charge `bytes` of freshly built artifact to `handle`, evicting
+    /// idle entries (never `handle` itself) to stay within budget.
+    /// `false` means the artifact should not be cached.
+    fn try_charge(&self, handle: u64, bytes: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.entries.get(&handle).map(Arc::clone) else {
+            return false;
+        };
+        if !self.evict_to_fit(&mut inner, bytes, Some(handle)) {
+            return false;
+        }
+        inner.resident_bytes += bytes;
+        entry.artifact_bytes.fetch_add(bytes, Ordering::Relaxed);
+        true
+    }
+
+    /// Return `bytes` previously charged to `handle` (a racing build
+    /// lost the insert).
+    fn uncharge(&self, handle: u64, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.entries.get(&handle).map(Arc::clone) {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(bytes);
+            entry.artifact_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Pinned reference to a resident dataset: while it lives, the entry
+/// cannot be evicted. Obtained from [`DatasetStore::get`]; held by the
+/// server for the full lifetime of a handle-routed query.
+pub struct DatasetRef {
+    entry: Arc<DatasetEntry>,
+}
+
+impl DatasetRef {
+    /// The dataset's handle.
+    pub fn handle(&self) -> u64 {
+        self.entry.handle
+    }
+
+    /// The resident, already-validated list.
+    pub fn list(&self) -> Arc<LinkedList> {
+        Arc::clone(&self.entry.list)
+    }
+
+    /// Vertices in the dataset.
+    pub fn len(&self) -> usize {
+        self.entry.list.len()
+    }
+
+    /// A pinned dataset is never empty ([`LinkedList`] forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The dataset's artifact cache, to thread into a
+    /// [`Request`](crate::Request) via
+    /// [`with_artifacts`](crate::Request::with_artifacts).
+    pub fn artifacts(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.entry.artifacts)
+    }
+}
+
+impl Drop for DatasetRef {
+    fn drop(&mut self) {
+        self.entry.in_use.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for DatasetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DatasetRef")
+            .field("handle", &self.entry.handle)
+            .field("len", &self.entry.list.len())
+            .finish()
+    }
+}
+
+/// Per-dataset cache of built [`ShardedList`] artifacts keyed by the
+/// planner's `(shard_size, lanes)` decision. Workers call
+/// [`get_or_build`](ArtifactCache::get_or_build) from the engine's
+/// sharded execution arm; bytes are charged through the owning store
+/// so cached artifacts compete for the same budget as the lists.
+pub struct ArtifactCache {
+    handle: u64,
+    store: Weak<DatasetStore>,
+    map: Mutex<HashMap<(usize, usize), Arc<ShardedList>>>,
+}
+
+impl ArtifactCache {
+    /// Fetch the artifact for `(shard_size, lanes)`, building it from
+    /// `list` on a miss. A freshly built artifact that cannot be
+    /// charged within the budget is returned uncached; builds race
+    /// optimistically (the map lock is not held across the O(n)
+    /// build), and a losing build is uncharged and discarded.
+    pub fn get_or_build(
+        &self,
+        list: &LinkedList,
+        shard_size: usize,
+        lanes: usize,
+    ) -> Arc<ShardedList> {
+        let key = (shard_size, lanes);
+        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+            if let Some(store) = self.store.upgrade() {
+                store.artifacts_reused.fetch_add(1, Ordering::Relaxed);
+            }
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(ShardedList::build(list, shard_size).with_lanes(lanes));
+        let Some(store) = self.store.upgrade() else {
+            return built;
+        };
+        store.artifacts_built.fetch_add(1, Ordering::Relaxed);
+        let bytes = artifact_footprint(&built);
+        if store.try_charge(self.handle, bytes) {
+            let mut map = self.map.lock().unwrap();
+            if let Some(winner) = map.get(&key) {
+                let winner = Arc::clone(winner);
+                drop(map);
+                store.uncharge(self.handle, bytes);
+                return winner;
+            }
+            map.insert(key, Arc::clone(&built));
+        }
+        built
+    }
+
+    /// Cached plan keys, for tests.
+    pub fn cached_plans(&self) -> Vec<(usize, usize)> {
+        let mut keys: Vec<_> = self.map.lock().unwrap().keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("handle", &self.handle)
+            .field("plans", &self.cached_plans())
+            .finish()
+    }
+}

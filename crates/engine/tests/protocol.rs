@@ -25,14 +25,14 @@ const DOC_HELLO: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x01, // kind = HELLO
     0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
-    0x02, 0x00, // version = 2
+    0x03, 0x00, // version = 3
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
 const DOC_HELLO_OK: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x81, // kind = HELLO_OK
-    0x02, 0x00, // version = 2
+    0x03, 0x00, // version = 3
     0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
 ];
 
@@ -75,9 +75,9 @@ const DOC_STATS_V2: &[u8] = &[
 /// histogram holding two samples (1000 ns and 2000 ns) plus the gauge
 /// block. See [`example_stats_v2`] for the semantic content.
 const DOC_STATS_V2_OK: &[u8] = &[
-    0xA9, 0x00, 0x00, 0x00, // len = 169
+    0x10, 0x01, 0x00, 0x00, // len = 272
     0x87, // kind = STATS_V2_OK
-    0x02, 0x00, // block_count = 2
+    0x03, 0x00, // block_count = 3
     // block 1: the exec-phase latency histogram
     0x01, // tag = 1 (phase histogram)
     0x03, // id = 3 (phase: exec)
@@ -109,6 +109,23 @@ const DOC_STATS_V2_OK: &[u8] = &[
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lane_slots = 0
     0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // connections_active = 1
     0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // connections_total = 1
+    // block 3: the dataset-store gauge block (protocol v3)
+    0x06, // tag = 6 (store gauges)
+    0x00, // id = 0
+    0x61, 0x00, 0x00, 0x00, // block len = 97
+    0x0C, // store gauge count = 12
+    0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00, 0x00, // budget_bytes = 1 GiB
+    0x6C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // resident_bytes = 108
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // resident_count = 1
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // puts = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // drops = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // lookups = 2
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // hits = 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // misses = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // evictions = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // put_rejected = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_built = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_reused = 0
 ];
 
 /// The semantic content of [`DOC_STATS_V2_OK`].
@@ -132,6 +149,22 @@ fn example_stats_v2() -> protocol::WireStatsV2 {
         lane_slots: 0,
         connections_active: 1,
         connections_total: 1,
+    };
+    // One resident 3-vertex dataset (4*3 + 96 = 108 bytes) that served
+    // two handle lookups, both hits.
+    v2.store = protocol::StoreGauges {
+        budget_bytes: 1 << 30,
+        resident_bytes: 108,
+        resident_count: 1,
+        puts: 1,
+        drops: 0,
+        lookups: 2,
+        hits: 2,
+        misses: 0,
+        evictions: 0,
+        put_rejected: 0,
+        artifacts_built: 0,
+        artifacts_reused: 0,
     };
     v2
 }
@@ -241,6 +274,197 @@ fn documented_output_bytes_round_trip() {
     assert_eq!(ranks, vec![1, 0, 2]);
 }
 
+// ------------------------------------------------------------------
+// The documented handle conversation (protocol v3)
+// ------------------------------------------------------------------
+
+/// PROTOCOL.md §"A worked handle round trip", frame 1: PUT — the same
+/// example list as [`DOC_RANK`], shipped once.
+const DOC_PUT: &[u8] = &[
+    0x16, 0x00, 0x00, 0x00, // len = 22
+    0x08, // kind = PUT
+    0x00, // flags (reserved, must be zero)
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 2: PUT_OK. A fresh
+/// daemon issues handle 1 and charges the 3-vertex list's estimated
+/// footprint, 4·3 + 96 = 108 bytes, against `--store-budget`.
+const DOC_PUT_OK: &[u8] = &[
+    0x11, 0x00, 0x00, 0x00, // len = 17
+    0x88, // kind = PUT_OK
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+    0x6C, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // bytes = 108
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 3: RANK_H. The
+/// reply is byte-identical to [`DOC_OUTPUT`] — handle routing changes
+/// how the dataset reaches the engine, never what comes back.
+const DOC_RANK_H: &[u8] = &[
+    0x0A, 0x00, 0x00, 0x00, // len = 10
+    0x09, // kind = RANK_H
+    0x00, // flags (bit 0 clear: monolithic dispatch)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 5: SCAN_H. An
+/// exclusive add-scan over the resident dataset with per-vertex
+/// values `v = [5, 7, 9]`; traversal order `1 → 0 → 2` yields
+/// `out = [7, 0, 12]`.
+const DOC_SCAN_H: &[u8] = &[
+    0x27, 0x00, 0x00, 0x00, // len = 39
+    0x0A, // kind = SCAN_H
+    0x00, // flags
+    0x01, // op = 1 (add, i64)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+    0x03, 0x00, 0x00, 0x00, // count = 3
+    0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[0] = 5
+    0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[1] = 7
+    0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[2] = 9
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 7: SEGSCAN_H.
+/// Same values with a segment restart at vertex 2 (bitmap packs
+/// LSB-first: 0b100 = 0x04). The restart zeroes the traversal tail,
+/// so `out = [7, 0, 0]`.
+const DOC_SEGSCAN_H: &[u8] = &[
+    0x28, 0x00, 0x00, 0x00, // len = 40
+    0x0B, // kind = SEGSCAN_H
+    0x00, // flags
+    0x01, // op = 1 (add, i64)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+    0x03, 0x00, 0x00, 0x00, // count = 3
+    0x04, // starts bitmap = 0b100 (vertex 2 restarts a segment)
+    0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[0] = 5
+    0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[1] = 7
+    0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // v[2] = 9
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 9: DROP.
+const DOC_DROP: &[u8] = &[
+    0x09, 0x00, 0x00, 0x00, // len = 9
+    0x0C, // kind = DROP
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 10: DROP_OK (no
+/// body).
+const DOC_DROP_OK: &[u8] = &[
+    0x01, 0x00, 0x00, 0x00, // len = 1
+    0x89, // kind = DROP_OK
+];
+
+/// PROTOCOL.md §"A worked handle round trip", frame 12: the typed
+/// ERROR a RANK_H on the dropped handle earns. The connection
+/// survives it.
+const DOC_ERROR_STALE: &[u8] = &[
+    0x21, 0x00, 0x00, 0x00, // len = 33
+    0xEE, // kind = ERROR
+    0x0C, 0x00, // code = 12 (stale_handle)
+    // message = "handle 1: stale dataset handle"
+    0x68, 0x61, 0x6E, 0x64, 0x6C, 0x65, 0x20, 0x31, 0x3A, 0x20, 0x73, 0x74, 0x61, 0x6C, 0x65, 0x20,
+    0x64, 0x61, 0x74, 0x61, 0x73, 0x65, 0x74, 0x20, 0x68, 0x61, 0x6E, 0x64, 0x6C, 0x65,
+];
+
+#[test]
+fn documented_put_bytes_round_trip() {
+    assert_eq!(framed(FrameKind::Put, &protocol::put_body(&example_list())), DOC_PUT);
+    let frame = parse(DOC_PUT);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::Put { list } => {
+            assert_eq!(list.head(), 1);
+            assert_eq!(list.links(), &[2, 0, 2]);
+        }
+        other => panic!("want Put, got {other:?}"),
+    }
+
+    // PUT_OK: the documented reply charges exactly the store's
+    // footprint estimate for the example list.
+    assert_eq!(engine::store::list_footprint(&example_list()), 108);
+    assert_eq!(framed(FrameKind::PutOk, &protocol::put_ok_body(1, 108)), DOC_PUT_OK);
+    let frame = parse(DOC_PUT_OK);
+    assert_eq!(frame.kind, FrameKind::PutOk as u8);
+    assert_eq!(protocol::decode_put_ok(&frame.body).expect("decodes"), (1, 108));
+}
+
+#[test]
+fn documented_handle_query_bytes_round_trip() {
+    assert_eq!(framed(FrameKind::RankH, &protocol::rank_h_body(1, false)), DOC_RANK_H);
+    let frame = parse(DOC_RANK_H);
+    assert!(matches!(
+        protocol::decode_request(&frame).expect("decodes"),
+        WireRequest::RankH { sharded: false, handle: 1 }
+    ));
+
+    assert_eq!(
+        framed(FrameKind::ScanH, &protocol::scan_h_body(1, &[5i64, 7, 9], WireOp::Add, false)),
+        DOC_SCAN_H
+    );
+    let frame = parse(DOC_SCAN_H);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::ScanH { sharded, op, handle, values } => {
+            assert!(!sharded);
+            assert_eq!(op, WireOp::Add);
+            assert_eq!(handle, 1);
+            assert_eq!(values, WireValues::I64(vec![5, 7, 9]));
+        }
+        other => panic!("want ScanH, got {other:?}"),
+    }
+
+    assert_eq!(
+        framed(
+            FrameKind::SegScanH,
+            &protocol::segscan_h_body(1, &[false, false, true], &[5i64, 7, 9], WireOp::Add, false)
+        ),
+        DOC_SEGSCAN_H
+    );
+    let frame = parse(DOC_SEGSCAN_H);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::SegScanH { sharded, op, handle, starts, values } => {
+            assert!(!sharded);
+            assert_eq!(op, WireOp::Add);
+            assert_eq!(handle, 1);
+            assert_eq!(starts, vec![false, false, true]);
+            assert_eq!(values, WireValues::I64(vec![5, 7, 9]));
+        }
+        other => panic!("want SegScanH, got {other:?}"),
+    }
+}
+
+#[test]
+fn documented_drop_bytes_round_trip() {
+    assert_eq!(framed(FrameKind::Drop, &protocol::drop_body(1)), DOC_DROP);
+    let frame = parse(DOC_DROP);
+    assert!(matches!(
+        protocol::decode_request(&frame).expect("decodes"),
+        WireRequest::Drop { handle: 1 }
+    ));
+
+    assert_eq!(framed(FrameKind::DropOk, &[]), DOC_DROP_OK);
+    let frame = parse(DOC_DROP_OK);
+    assert_eq!(frame.kind, FrameKind::DropOk as u8);
+    assert!(frame.body.is_empty());
+
+    // The stale-handle ERROR: documented bytes match the codec's
+    // encoding of the server's message format.
+    assert_eq!(
+        framed(
+            FrameKind::Error,
+            &protocol::error_body(ErrorCode::StaleHandle, "handle 1: stale dataset handle")
+        ),
+        DOC_ERROR_STALE
+    );
+    let frame = parse(DOC_ERROR_STALE);
+    let (raw, code, message) = protocol::decode_error(&frame.body).expect("decodes");
+    assert_eq!(raw, ErrorCode::StaleHandle as u16);
+    assert_eq!(code, Some(ErrorCode::StaleHandle));
+    assert_eq!(message, "handle 1: stale dataset handle");
+}
+
 /// The full documented conversation against a live daemon: write the
 /// PROTOCOL.md byte strings to the socket verbatim, compare the replies
 /// byte-for-byte (masking only the two timing fields the document
@@ -305,6 +529,89 @@ fn documented_round_trip_against_a_live_server() {
     assert_eq!(v2.phase[engine::Phase::QueueWait.index()].sum(), meta.queued_ns);
     assert_eq!(v2.phase[engine::Phase::Decode.index()].count(), 1);
     assert_eq!(v2.phase[engine::Phase::ReplyWrite.index()].count(), 1);
+
+    drop(stream);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+/// The documented *handle* conversation against a live daemon
+/// (protocol v3): PUT → RANK_H → SCAN_H → SEGSCAN_H → DROP → a stale
+/// RANK_H, every request written as the PROTOCOL.md bytes verbatim and
+/// every reply compared byte-for-byte (masking only OUTPUT timing
+/// fields). A fresh daemon issues handle 1 deterministically, which is
+/// what makes the documented PUT_OK exactly reproducible.
+#[cfg(unix)]
+#[test]
+fn documented_handle_conversation_against_a_live_server() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("rankd-protodoc-h-{}.sock", std::process::id()));
+    let engine = Arc::new(engine::Engine::new(
+        engine::EngineConfig::default().with_workers(1).with_inner_threads(1),
+    ));
+    let server = engine::server::Server::bind(engine, engine::server::ServeConfig::new(&path))
+        .expect("bind");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    let reply_exact = |stream: &mut std::os::unix::net::UnixStream, want: &[u8], what: &str| {
+        let mut got = vec![0u8; want.len()];
+        stream.read_exact(&mut got).unwrap_or_else(|e| panic!("read {what}: {e}"));
+        assert_eq!(got, want, "{what} bytes match the document");
+    };
+
+    stream.write_all(DOC_HELLO).expect("send documented HELLO");
+    reply_exact(&mut stream, DOC_HELLO_OK, "HELLO_OK");
+
+    // PUT: handle and charged bytes are deterministic on a fresh
+    // daemon, so the reply matches the document exactly.
+    stream.write_all(DOC_PUT).expect("send documented PUT");
+    reply_exact(&mut stream, DOC_PUT_OK, "PUT_OK");
+
+    // RANK_H: the reply is byte-identical to the inline RANK reply
+    // (masking the timing/trace fields the document marks variable).
+    stream.write_all(DOC_RANK_H).expect("send documented RANK_H");
+    let mut output = vec![0u8; DOC_OUTPUT.len()];
+    stream.read_exact(&mut output).expect("read RANK_H OUTPUT");
+    output[10..34].copy_from_slice(&DOC_OUTPUT[10..34]);
+    assert_eq!(output, DOC_OUTPUT, "handle-routed OUTPUT matches the inline reply");
+
+    // SCAN_H and SEGSCAN_H: decode the OUTPUT frames and check the
+    // documented expected values.
+    for (request, want, what) in
+        [(DOC_SCAN_H, vec![7i64, 0, 12], "SCAN_H"), (DOC_SEGSCAN_H, vec![7i64, 0, 0], "SEGSCAN_H")]
+    {
+        stream.write_all(request).unwrap_or_else(|e| panic!("send documented {what}: {e}"));
+        let mut reply = &stream;
+        let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+            .expect("read OUTPUT")
+            .expect("reply present");
+        assert_eq!(frame.kind, FrameKind::Output as u8, "{what} reply kind");
+        let (_, out) = protocol::decode_output::<i64>(&frame.body).expect("OUTPUT decodes");
+        assert_eq!(out, want, "{what} output matches the documented example");
+    }
+
+    stream.write_all(DOC_DROP).expect("send documented DROP");
+    reply_exact(&mut stream, DOC_DROP_OK, "DROP_OK");
+
+    // The handle is stale from the DROP on; the documented ERROR comes
+    // back byte-for-byte and the connection survives it.
+    stream.write_all(DOC_RANK_H).expect("send RANK_H on the dropped handle");
+    reply_exact(&mut stream, DOC_ERROR_STALE, "stale-handle ERROR");
+    stream.write_all(DOC_STATS_V2).expect("send STATS_V2 after the error");
+    let mut reply = &stream;
+    let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+        .expect("read STATS_V2_OK")
+        .expect("connection survives a stale handle");
+    let v2 = protocol::decode_stats_v2(&frame.body).expect("decodes");
+    assert_eq!(v2.store.puts, 1);
+    assert_eq!(v2.store.drops, 1);
+    assert_eq!(v2.store.resident_count, 0);
+    assert_eq!(v2.store.hits, 3, "RANK_H + SCAN_H + SEGSCAN_H all hit");
+    assert_eq!(v2.store.misses, 1, "the post-DROP RANK_H missed");
 
     drop(stream);
     control.request_shutdown();

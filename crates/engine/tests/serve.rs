@@ -541,6 +541,302 @@ fn client_that_never_reads_its_reply_cannot_block_shutdown() {
     drop(stream);
 }
 
+// ---- resident dataset store (protocol v3) --------------------------
+
+/// A small adversarial topology zoo for the wire-level handle parity
+/// tests (mirrors `tests/differential.rs`, scaled for socket traffic).
+fn wire_zoo(n: usize) -> Vec<(String, listkit::LinkedList)> {
+    use listkit::gen::Layout;
+    let seed = 0xC90 ^ n as u64;
+    let mut out = vec![
+        ("chain".to_string(), gen::sequential_list(n)),
+        ("reversed".to_string(), gen::list_with_layout(n, Layout::Reversed, seed)),
+        ("random".to_string(), gen::list_with_layout(n, Layout::Random, seed)),
+        ("blocked".to_string(), gen::list_with_layout(n, Layout::Blocked(3), seed)),
+    ];
+    if n > 71 {
+        // 71 is prime and divides none of the zoo sizes, so the strided
+        // layout stays a permutation.
+        out.push(("strided".to_string(), gen::list_with_layout(n, Layout::Strided(71), seed)));
+    }
+    out
+}
+
+#[test]
+fn handle_queries_are_byte_identical_to_inline_for_every_op() {
+    // The wire half of the handle differential oracle: every
+    // handle-routed op kind must produce byte-identical output to the
+    // same op shipped inline, across the topology zoo and the
+    // off-by-one sizes.
+    let server = start("handle-parity", small_engine(), |c| c);
+    let mut client = Client::connect(&server.path).expect("connect");
+    for &n in &[1usize, 2, 3, 127, 1024, 1025] {
+        for (name, list) in wire_zoo(n) {
+            let i64s: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+            let u64s: Vec<u64> =
+                (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) ^ i).collect();
+            let affs: Vec<Affine> =
+                (0..n as i64).map(|i| Affine::new((i % 5) - 2, (i % 7) - 3)).collect();
+            let starts: Vec<bool> = (0..n).map(|v| v % 7 == 0).collect();
+
+            let receipt = client.put(&list).expect("put");
+            let h = receipt.handle;
+            assert!(receipt.bytes >= 4 * n as u64, "receipt charges at least the links");
+
+            assert_eq!(
+                client.rank_h(h).expect("rank_h").output,
+                client.rank(&list).expect("rank").output,
+                "rank diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.scan_add_h(h, &i64s).expect("add_h").output,
+                client.scan_add(&list, &i64s).expect("add").output,
+                "add diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.scan_max_h(h, &i64s).expect("max_h").output,
+                client.scan_max(&list, &i64s).expect("max").output,
+                "max diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.scan_min_h(h, &i64s).expect("min_h").output,
+                client.scan_min(&list, &i64s).expect("min").output,
+                "min diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.scan_xor_h(h, &u64s).expect("xor_h").output,
+                client.scan_xor(&list, &u64s).expect("xor").output,
+                "xor diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.scan_affine_h(h, &affs).expect("affine_h").output,
+                client.scan_affine(&list, &affs).expect("affine").output,
+                "affine diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.segmented_add_h(h, &i64s, &starts).expect("seg_add_h").output,
+                client.segmented_add(&list, &i64s, &starts).expect("seg_add").output,
+                "segmented add diverged on {name} n={n}"
+            );
+            assert_eq!(
+                client.segmented_max_h(h, &i64s, &starts).expect("seg_max_h").output,
+                client.segmented_max(&list, &i64s, &starts).expect("seg_max").output,
+                "segmented max diverged on {name} n={n}"
+            );
+            client.drop_handle(h).expect("drop");
+        }
+    }
+    // Sharded routing by handle agrees with sharded routing inline.
+    let big = gen::random_list(50_000, 7);
+    let h = client.put(&big).expect("put big").handle;
+    assert_eq!(
+        client.rank_h_sharded(h).expect("rank_h sharded").output,
+        client.rank_sharded(&big).expect("rank sharded").output
+    );
+    let vals: Vec<i64> = (0..50_000).map(|i| (i % 13) - 6).collect();
+    assert_eq!(
+        client.scan_add_h_sharded(h, &vals).expect("scan_h sharded").output,
+        client.scan_add_sharded(&big, &vals).expect("scan sharded").output
+    );
+
+    // The store counters saw all of it: every handle query was a hit.
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert!(v2.store.hits > 0, "handle queries hit the store");
+    assert_eq!(v2.store.misses, 0, "no handle query missed");
+    assert_eq!(v2.store.hits, v2.store.lookups, "hits + misses == lookups");
+    assert!(v2.store.puts > 0);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn stale_and_foreign_handles_fail_typed_on_a_surviving_connection() {
+    let server = start("handle-stale", small_engine(), |c| c);
+    let mut a = Client::connect(&server.path).expect("connect a");
+    let list = gen::random_list(64, 5);
+    let h = a.put(&list).expect("put").handle;
+
+    // Another connection cannot see (or drop) a's handle.
+    let mut b = Client::connect(&server.path).expect("connect b");
+    assert_eq!(
+        b.rank_h(h).expect_err("foreign handle").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    assert_eq!(
+        b.drop_handle(h).expect_err("foreign drop").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    b.rank(&list).expect("b's connection survives the stale handle");
+
+    // A handle that was never issued.
+    assert_eq!(
+        a.rank_h(0xDEAD_BEEF).expect_err("unknown handle").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+
+    // Use-after-DROP and double-DROP.
+    a.drop_handle(h).expect("first drop succeeds");
+    assert_eq!(
+        a.rank_h(h).expect_err("use after drop").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    assert_eq!(
+        a.scan_add_h(h, &[1i64; 64]).expect_err("scan after drop").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    assert_eq!(
+        a.drop_handle(h).expect_err("double drop").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    a.rank(&list).expect("a's connection survives all of it");
+
+    // Connection teardown reaps b's datasets — and only b's.
+    let ha = a.put(&list).expect("fresh put on a").handle;
+    let hb = b.put(&list).expect("put on b").handle;
+    drop(b);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        a.rank_h(hb).expect_err("handle died with b").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    a.rank_h(ha).expect("a's dataset survived b's teardown");
+    let v2 = a.stats_v2().expect("stats_v2");
+    assert_eq!(v2.store.resident_count, 1, "only b's dataset was reaped");
+    drop(a);
+    server.stop();
+}
+
+#[test]
+fn malformed_put_and_handle_frames_recover_with_typed_errors() {
+    let server = start("put-malformed", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("connect raw");
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &protocol::hello_body());
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+
+    // Truncated PUT (claims 4 vertices, carries none).
+    let mut truncated = vec![0u8];
+    truncated.extend_from_slice(&0u32.to_le_bytes());
+    truncated.extend_from_slice(&4u32.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &truncated);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // Reserved flag bits must be zero.
+    let list = gen::random_list(4, 1);
+    let mut flagged = protocol::put_body(&list);
+    flagged[0] = 0x01;
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &flagged);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // Oversized body: trailing bytes after a well-formed PUT.
+    let mut trailing = protocol::put_body(&list);
+    trailing.push(0xAA);
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &trailing);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // Structurally invalid successor array (out-of-range link).
+    let mut invalid = vec![0u8];
+    invalid.extend_from_slice(&0u32.to_le_bytes());
+    invalid.extend_from_slice(&2u32.to_le_bytes());
+    invalid.extend_from_slice(&9u32.to_le_bytes());
+    invalid.extend_from_slice(&1u32.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &invalid);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // Truncated RANK_H (handle cut short).
+    let reply = roundtrip(&mut stream, FrameKind::RankH as u8, &[0u8, 1, 2, 3]);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // A real PUT on the abused connection still works…
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &protocol::put_body(&list));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::PutOk));
+    let (handle, bytes) = protocol::decode_put_ok(&reply.body).expect("put_ok");
+    assert!(bytes > 0);
+
+    // …a SCAN_H whose value count disagrees with the resident dataset
+    // fails submit validation, typed, without killing the connection…
+    let body = protocol::scan_h_body(handle, &[1i64, 2, 3], protocol::WireOp::Add, false);
+    let reply = roundtrip(&mut stream, FrameKind::ScanH as u8, &body);
+    expect_error(&reply, ErrorCode::InvalidRequest);
+
+    // …and the handle still resolves afterwards.
+    let reply =
+        roundtrip(&mut stream, FrameKind::RankH as u8, &protocol::rank_h_body(handle, false));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::Output));
+    let (_, ranks) = protocol::decode_output::<u64>(&reply.body).expect("output");
+    assert_eq!(ranks, HostRunner::new(Algorithm::Serial).rank(&list));
+
+    let stats = server.stop();
+    assert!(stats.errors_sent >= 6);
+}
+
+#[test]
+fn put_past_budget_is_store_full_and_lru_eviction_frees_idle_datasets() {
+    // Budget fits two 1000-vertex datasets (4*1000 + 96 = 4096 bytes
+    // each) but not three; a dataset bigger than the whole budget can
+    // never be admitted.
+    let server = start("budget", small_engine(), |c| c.with_store_budget(10_000));
+    let mut client = Client::connect(&server.path).expect("connect");
+
+    let big = gen::random_list(5_000, 1);
+    assert_eq!(
+        client.put(&big).expect_err("exceeds whole budget").server_code(),
+        Some(ErrorCode::StoreFull)
+    );
+    client.rank(&big).expect("connection survives StoreFull");
+
+    let h1 = client.put(&gen::random_list(1_000, 1)).expect("first fits").handle;
+    let h2 = client.put(&gen::random_list(1_000, 2)).expect("second fits").handle;
+    let h3 = client.put(&gen::random_list(1_000, 3)).expect("third evicts the LRU").handle;
+
+    // h1 was least recently used and idle → evicted; h2 and h3 live.
+    assert_eq!(
+        client.rank_h(h1).expect_err("evicted handle").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    client.rank_h(h2).expect("h2 still resident");
+    client.rank_h(h3).expect("h3 still resident");
+
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert_eq!(v2.store.evictions, 1);
+    assert_eq!(v2.store.put_rejected, 1);
+    assert_eq!(v2.store.resident_count, 2);
+    assert!(v2.store.resident_bytes <= 10_000, "budget is never exceeded");
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn v2_handshake_is_accepted_and_v1_rejected() {
+    // Protocol v3 is purely additive over v2, so a v2 client must
+    // still connect and use the v2 surface; v1 predates the OUTPUT
+    // metadata change and stays rejected.
+    let server = start("versions", small_engine(), |c| c);
+
+    let mut stream = UnixStream::connect(&server.path).expect("connect v2");
+    let mut hello = protocol::hello_body();
+    hello[4] = 2; // version = 2
+    hello[5] = 0;
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &hello);
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+    let (version, _) = protocol::decode_hello_ok(&reply.body).expect("hello_ok");
+    assert_eq!(version, protocol::VERSION, "server advertises its own version");
+    let list = gen::random_list(8, 3);
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &protocol::rank_body(&list, false));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::Output));
+
+    let mut stream = UnixStream::connect(&server.path).expect("connect v1");
+    let mut hello = protocol::hello_body();
+    hello[4] = 1; // version = 1
+    hello[5] = 0;
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &hello);
+    expect_error(&reply, ErrorCode::VersionMismatch);
+    assert!(
+        matches!(protocol::read_frame(&mut stream, MAX_FRAME_DEFAULT), Ok(None)),
+        "v1 connection is closed"
+    );
+    server.stop();
+}
+
 #[test]
 fn client_error_read_frame_surfaces() {
     // Pure codec check used by the docs: an oversized prefix read with

@@ -2,14 +2,32 @@
 //!
 //! Spawns an engine + server in-process on a temporary socket (or
 //! targets an already-running daemon with `--socket`), then drives it
-//! with N concurrent clients × M mixed rank/scan requests each, checks
+//! with N concurrent clients × M rank/scan requests each, checks
 //! every reply byte-for-byte against a local `HostRunner`, and reports
 //! request throughput plus the serving-layer counters — i.e. what the
 //! wire protocol and the per-client handler threads cost on top of the
 //! bare engine.
 //!
+//! Three query modes isolate where the per-request time goes:
+//!
+//! * `--mode oneshot` (default) — a fresh random list per request, the
+//!   original mixed workload: encode + ship + validate + solve every
+//!   time.
+//! * `--mode inline` — one list per client, re-shipped inline with
+//!   every request: the server re-validates and re-plans the same
+//!   dataset each time.
+//! * `--mode handle` — one PUT per client, then every request queries
+//!   by 8-byte handle: the resident dataset store's repeated-query
+//!   path (protocol v3).
+//!
+//! Latency histograms time the round trip from *after* the request
+//! body is encoded to the decoded reply, so client-side encode cost
+//! never pollutes the serving-layer numbers.
+//!
 //! ```sh
 //! cargo run --release --example serve_bench -- --clients 8 --requests 50
+//! cargo run --release --example serve_bench -- --mode handle --n 8388608 \
+//!     --clients 1 --requests 32
 //! ```
 
 #[cfg(not(unix))]
@@ -21,6 +39,7 @@ fn main() {
 #[cfg(unix)]
 fn main() {
     use engine::client::Client;
+    use engine::protocol::{self, FrameKind, WireOp};
     use engine::server::{ServeConfig, Server};
     use engine::{Engine, EngineConfig};
     use listkit::gen;
@@ -29,10 +48,18 @@ fn main() {
     use std::sync::Arc;
     use std::time::Instant;
 
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Oneshot,
+        Inline,
+        Handle,
+    }
+
     let mut clients = 4usize;
     let mut requests = 25usize;
     let mut n = 20_000usize;
     let mut socket: Option<String> = None;
+    let mut mode = Mode::Oneshot;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -46,9 +73,20 @@ fn main() {
             "--requests" => requests = val("--requests").parse().expect("count"),
             "--n" => n = val("--n").parse().expect("vertices"),
             "--socket" => socket = Some(val("--socket")),
+            "--mode" => {
+                mode = match val("--mode").as_str() {
+                    "oneshot" => Mode::Oneshot,
+                    "inline" => Mode::Inline,
+                    "handle" => Mode::Handle,
+                    other => {
+                        eprintln!("unknown --mode {other} (want oneshot|inline|handle)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--socket PATH]"
+                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--mode oneshot|inline|handle] [--socket PATH]"
                 );
                 std::process::exit(2);
             }
@@ -74,8 +112,13 @@ fn main() {
         }
     };
 
+    let mode_name = match mode {
+        Mode::Oneshot => "oneshot",
+        Mode::Inline => "inline",
+        Mode::Handle => "handle",
+    };
     println!(
-        "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, socket {path}"
+        "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode {mode_name}, socket {path}"
     );
     let t0 = Instant::now();
     let workers: Vec<_> = (0..clients)
@@ -85,28 +128,84 @@ fn main() {
                 let mut client = Client::connect(&path).expect("connect");
                 let runner = HostRunner::new(Algorithm::ReidMiller);
                 let mut elements = 0u64;
-                // Client-observed wall-clock latency per op kind: the
-                // wire + queue + exec round trip as the caller sees it.
+                // Client-observed wall-clock latency per op kind,
+                // timed from after the request body is encoded.
                 let mut rank_lat = engine::Histogram::new();
                 let mut scan_lat = engine::Histogram::new();
+                let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+
+                // Inline/handle modes query one dataset repeatedly, so
+                // the expected outputs (and the request bodies, minus
+                // what the mode re-ships) are computed once.
+                let fixed = gen::random_list(n, c as u64 * 1009);
+                let (expected_rank, expected_scan) = match mode {
+                    Mode::Oneshot => (Vec::new(), Vec::new()),
+                    _ => (runner.rank(&fixed), runner.scan(&fixed, &values, &AddOp)),
+                };
+                let handle = match mode {
+                    Mode::Handle => Some(client.put(&fixed).expect("put").handle),
+                    _ => None,
+                };
+                let (rank_kind, scan_kind, rank_body, scan_body) = match mode {
+                    Mode::Oneshot => (FrameKind::Rank, FrameKind::Scan, Vec::new(), Vec::new()),
+                    Mode::Inline => (
+                        FrameKind::Rank,
+                        FrameKind::Scan,
+                        protocol::rank_body(&fixed, false),
+                        protocol::scan_body(&fixed, &values, WireOp::Add, false),
+                    ),
+                    Mode::Handle => {
+                        let h = handle.expect("put issued a handle");
+                        (
+                            FrameKind::RankH,
+                            FrameKind::ScanH,
+                            protocol::rank_h_body(h, false),
+                            protocol::scan_h_body(h, &values, WireOp::Add, false),
+                        )
+                    }
+                };
+
                 for r in 0..requests {
-                    let list = gen::random_list(n, (c * 1009 + r) as u64);
-                    let t_req = Instant::now();
-                    if r % 2 == 0 {
-                        let served = client.rank(&list).expect("rank");
+                    if mode == Mode::Oneshot {
+                        let list = gen::random_list(n, (c * 1009 + r) as u64);
+                        if r % 2 == 0 {
+                            let body = protocol::rank_body(&list, false);
+                            let t_req = Instant::now();
+                            let served = client
+                                .request_encoded::<u64>(FrameKind::Rank, &body)
+                                .expect("rank");
+                            rank_lat.record(t_req.elapsed().as_nanos() as u64);
+                            assert_eq!(served.output, runner.rank(&list), "rank parity");
+                        } else {
+                            let body = protocol::scan_body(&list, &values, WireOp::Add, false);
+                            let t_req = Instant::now();
+                            let served = client
+                                .request_encoded::<i64>(FrameKind::Scan, &body)
+                                .expect("scan");
+                            scan_lat.record(t_req.elapsed().as_nanos() as u64);
+                            assert_eq!(
+                                served.output,
+                                runner.scan(&list, &values, &AddOp),
+                                "scan parity"
+                            );
+                        }
+                    } else if r % 2 == 0 {
+                        let t_req = Instant::now();
+                        let served =
+                            client.request_encoded::<u64>(rank_kind, &rank_body).expect("rank");
                         rank_lat.record(t_req.elapsed().as_nanos() as u64);
-                        assert_eq!(served.output, runner.rank(&list), "rank parity");
+                        assert_eq!(served.output, expected_rank, "rank parity");
                     } else {
-                        let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
-                        let served = client.scan_add(&list, &values).expect("scan");
+                        let t_req = Instant::now();
+                        let served =
+                            client.request_encoded::<i64>(scan_kind, &scan_body).expect("scan");
                         scan_lat.record(t_req.elapsed().as_nanos() as u64);
-                        assert_eq!(
-                            served.output,
-                            runner.scan(&list, &values, &AddOp),
-                            "scan parity"
-                        );
+                        assert_eq!(served.output, expected_scan, "scan parity");
                     }
                     elements += n as u64;
+                }
+                if let Some(h) = handle {
+                    client.drop_handle(h).expect("drop handle");
                 }
                 (elements, rank_lat, scan_lat)
             })
@@ -145,6 +244,14 @@ fn main() {
     }
 
     let mut probe = Client::connect(&path).expect("probe");
+    if mode == Mode::Handle {
+        let v2 = probe.stats_v2().expect("stats_v2");
+        let s = &v2.store;
+        println!(
+            "store: {} hits / {} lookups, {} puts, {} evictions, {} artifacts built / {} reused",
+            s.hits, s.lookups, s.puts, s.evictions, s.artifacts_built, s.artifacts_reused
+        );
+    }
     let stats = probe.stats().expect("stats");
     println!("\n-- daemon stats --\n{}", stats.text);
     drop(probe);

@@ -292,6 +292,141 @@ fn topology_zoo_is_structurally_valid() {
     }
 }
 
+#[test]
+fn resident_dataset_rank_matches_serial_on_every_topology() {
+    // The handle path's engine half: datasets resident in a
+    // `DatasetStore`, ranked through the prebuilt-artifact fast path
+    // (`Request::with_artifacts`), byte-compared with the serial
+    // oracle. Each dataset is ranked twice so both halves of the
+    // artifact cache — the build and the reuse — face the zoo.
+    use engine::DatasetStore;
+    let engine = Engine::new(
+        EngineConfig::default().with_workers(2).with_shard_budget(512).with_queue_capacity(128),
+    );
+    let store = Arc::new(DatasetStore::new(1 << 30));
+    for n in [127usize, 1025, 20_000] {
+        for (name, list) in topologies(n) {
+            let oracle = listkit::serial::rank(&list);
+            let receipt = store.put(1, Arc::new(list)).expect("put fits the budget");
+            let entry = store.get(receipt.handle, 1).expect("resident");
+            for pass in 0..2 {
+                let req = Request::rank_sharded(entry.list()).with_artifacts(entry.artifacts());
+                let opts =
+                    JobOptions { seed: SEED ^ n as u64, algorithm: None, ..Default::default() };
+                let report = engine.submit_with(req, opts).expect("submit").wait().expect("job");
+                assert_eq!(
+                    report.output, oracle,
+                    "prebuilt rank diverged on {name} n={n} pass={pass}"
+                );
+            }
+            store.drop_dataset(receipt.handle, 1).expect("drop");
+        }
+    }
+    let st = store.stats();
+    assert!(st.artifacts_built > 0, "large zoo members built sharded artifacts");
+    assert!(st.artifacts_reused > 0, "second passes reused cached artifacts");
+    engine.shutdown();
+}
+
+#[test]
+fn resident_dataset_ops_match_serial_on_every_topology() {
+    // Every operator (add/max/min/xor/affine/segmented) over a
+    // *resident* dataset, prebuilt artifacts attached, vs the same op
+    // submitted inline over the identical list — both must equal the
+    // serial oracle, so the handle data plane can never drift from the
+    // inline one.
+    use engine::DatasetStore;
+    use listkit::ops::{AddOp, AffineOp, MaxOp, MinOp, XorOp};
+    use listkit::segmented;
+    let engine = ops_engine();
+    let store = Arc::new(DatasetStore::new(1 << 30));
+    for n in [2usize, 129, 1025] {
+        for (name, list) in topologies(n) {
+            let receipt = store.put(7, Arc::new(list)).expect("put fits");
+            let entry = store.get(receipt.handle, 7).expect("resident");
+            let list = entry.list();
+            let seed = SEED ^ n as u64;
+            let s = seed as i64 | 1;
+            let i64s: Arc<Vec<i64>> =
+                Arc::new((0..n as i64).map(|i| (i.wrapping_mul(s) % 37) - 18).collect());
+            let u64s: Arc<Vec<u64>> =
+                Arc::new((0..n as u64).map(|i| i.wrapping_mul(seed | 1) ^ (i << 7)).collect());
+            let affs: Arc<Vec<listkit::ops::Affine>> = Arc::new(
+                (0..n as i64)
+                    .map(|i| listkit::ops::Affine::new((i.wrapping_add(s) % 5) - 2, (i % 11) - 5))
+                    .collect(),
+            );
+            let starts: Arc<Vec<bool>> =
+                Arc::new((0..n as u64).map(|v| v.wrapping_mul(seed | 1) % 17 == 0).collect());
+
+            let rank = Request::rank(Arc::clone(&list)).with_artifacts(entry.artifacts());
+            let add = Request::scan(Arc::clone(&list), Arc::clone(&i64s), AddOp)
+                .with_artifacts(entry.artifacts());
+            let max = Request::scan(Arc::clone(&list), Arc::clone(&i64s), MaxOp)
+                .with_artifacts(entry.artifacts());
+            let min = Request::scan(Arc::clone(&list), Arc::clone(&i64s), MinOp)
+                .with_artifacts(entry.artifacts());
+            let xor = Request::scan(Arc::clone(&list), Arc::clone(&u64s), XorOp)
+                .with_artifacts(entry.artifacts());
+            let aff = Request::scan(Arc::clone(&list), Arc::clone(&affs), AffineOp)
+                .with_artifacts(entry.artifacts());
+            let seg = Request::segmented_scan(
+                Arc::clone(&list),
+                Arc::clone(&i64s),
+                Arc::clone(&starts),
+                AddOp,
+            )
+            .with_artifacts(entry.artifacts());
+
+            let rank = engine.submit(rank).unwrap();
+            let add = engine.submit(add).unwrap();
+            let max = engine.submit(max).unwrap();
+            let min = engine.submit(min).unwrap();
+            let xor = engine.submit(xor).unwrap();
+            let aff = engine.submit(aff).unwrap();
+            let seg = engine.submit(seg).unwrap();
+
+            assert_eq!(
+                rank.wait().unwrap().output,
+                listkit::serial::rank(&list),
+                "resident rank diverged on {name} n={n}"
+            );
+            assert_eq!(
+                add.wait().unwrap().output,
+                listkit::serial::scan(&list, &i64s, &AddOp),
+                "resident add diverged on {name} n={n}"
+            );
+            assert_eq!(
+                max.wait().unwrap().output,
+                listkit::serial::scan(&list, &i64s, &MaxOp),
+                "resident max diverged on {name} n={n}"
+            );
+            assert_eq!(
+                min.wait().unwrap().output,
+                listkit::serial::scan(&list, &i64s, &MinOp),
+                "resident min diverged on {name} n={n}"
+            );
+            assert_eq!(
+                xor.wait().unwrap().output,
+                listkit::serial::scan(&list, &u64s, &XorOp),
+                "resident xor diverged on {name} n={n}"
+            );
+            assert_eq!(
+                aff.wait().unwrap().output,
+                listkit::serial::scan(&list, &affs, &AffineOp),
+                "resident affine diverged on {name} n={n}"
+            );
+            assert_eq!(
+                seg.wait().unwrap().output,
+                segmented::serial_segmented_scan(&list, &i64s, &starts, &AddOp),
+                "resident segmented diverged on {name} n={n}"
+            );
+            store.drop_dataset(receipt.handle, 7).expect("drop");
+        }
+    }
+    assert_eq!(store.stats().resident_count, 0, "every dataset was dropped");
+}
+
 /// The all-singleton stride topology really produces singleton
 /// fragments (the adversarial property the name claims).
 #[test]
