@@ -418,6 +418,29 @@ fn render_dashboard(socket: &str, v2: &engine::protocol::WireStatsV2) -> String 
         s.artifacts_built,
         s.artifacts_reused
     );
+    let m = &v2.mutate;
+    if m.mutations > 0 {
+        let passes = m.incremental + m.full;
+        let patch_rate = if m.incremental > 0 {
+            format!(
+                "{:.1} dirty shards/patch",
+                m.dirty_shards_patched as f64 / m.incremental as f64
+            )
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "mutations: {} batches ({} edits)   maintenance: {} incremental / {} full of {} passes   {}   artifacts patched: {}",
+            m.mutations,
+            m.edits,
+            m.incremental,
+            m.full,
+            passes,
+            patch_rate,
+            m.artifacts_patched
+        );
+    }
     if v2.per_op.iter().any(|h| !h.is_empty()) {
         let _ = writeln!(out, "\nexec latency by op (ms):");
         let _ = writeln!(

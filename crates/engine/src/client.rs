@@ -15,9 +15,10 @@
 
 use crate::protocol::{
     self, read_frame, write_frame, ErrorCode, Frame, FrameKind, OutputMeta, ReadFrameError,
-    WireElem, WireOp, WireStats, WireStatsV2, MAX_FRAME_DEFAULT,
+    WireElem, WireMutateOk, WireOp, WireStats, WireStatsV2, MAX_FRAME_DEFAULT,
 };
 use crate::store::PutReceipt;
+use listkit::dynamic::Edit;
 use listkit::ops::Affine;
 use listkit::LinkedList;
 use std::os::unix::net::UnixStream;
@@ -405,6 +406,60 @@ impl Client {
             FrameKind::SegScanH,
             &protocol::segscan_h_body(handle, starts, values, WireOp::Max, false),
         )
+    }
+
+    /// Apply a batch of edits to the resident dataset `handle`. The
+    /// batch is atomic: either every edit applies (and every cached
+    /// sharded artifact is brought up to date, incrementally or by
+    /// rebuild per the server's planner) or the whole batch is refused
+    /// — [`ErrorCode::BadMutation`] for a structurally invalid batch,
+    /// [`ErrorCode::StaleHandle`] for a handle this connection does
+    /// not own. The connection survives either refusal.
+    pub fn mutate(&mut self, handle: u64, edits: &[Edit]) -> Result<WireMutateOk, ClientError> {
+        self.mutate_encoded(&protocol::mutate_body(handle, edits))
+    }
+
+    /// Send a pre-encoded MUTATE body (see
+    /// [`protocol::mutate_body`]) and decode the MUTATE_OK reply.
+    /// Benchmark drivers use this to keep encode cost out of their
+    /// latency measurement, like [`Client::request_encoded`] for
+    /// queries.
+    pub fn mutate_encoded(&mut self, body: &[u8]) -> Result<WireMutateOk, ClientError> {
+        let reply = self.call(FrameKind::Mutate, body)?;
+        match FrameKind::from_u8(reply.kind) {
+            Some(FrameKind::MutateOk) => protocol::decode_mutate_ok(&reply.body)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+            other => Err(ClientError::Protocol(format!("expected MUTATE_OK, got {other:?}"))),
+        }
+    }
+
+    /// Splice the run `first..=last` (a contiguous chain in successor
+    /// order) out of the resident dataset and reinsert it after
+    /// `after` (`None` = at the head). Single-edit convenience over
+    /// [`Client::mutate`].
+    pub fn splice(
+        &mut self,
+        handle: u64,
+        first: u32,
+        last: u32,
+        after: Option<u32>,
+    ) -> Result<WireMutateOk, ClientError> {
+        self.mutate(handle, &[Edit::Splice { first, last, after }])
+    }
+
+    /// Delete vertex `v` from the resident dataset. The last vertex
+    /// (index `len - 1`) is renamed into the vacated slot, keeping the
+    /// vertex space dense. Single-edit convenience over
+    /// [`Client::mutate`].
+    pub fn delete(&mut self, handle: u64, v: u32) -> Result<WireMutateOk, ClientError> {
+        self.mutate(handle, &[Edit::Delete { v }])
+    }
+
+    /// Append `count` fresh vertices (`len..len + count`, chained in
+    /// index order) at the tail of the resident dataset. Single-edit
+    /// convenience over [`Client::mutate`].
+    pub fn append(&mut self, handle: u64, count: u32) -> Result<WireMutateOk, ClientError> {
+        self.mutate(handle, &[Edit::Append { count }])
     }
 
     /// Drop the resident dataset `handle`, releasing its store bytes.

@@ -265,6 +265,13 @@ impl Engine {
         &self.shared.telemetry
     }
 
+    /// The engine's adaptive planner — shared with the mutation plane
+    /// ([`crate::dynamic`]) so maintenance decisions draw on the same
+    /// per-bucket history as query dispatch.
+    pub(crate) fn planner(&self) -> &Planner {
+        &self.shared.planner
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn stats(&self) -> EngineStats {
         EngineStats::gather(

@@ -24,6 +24,10 @@
 //! * **small-job batching**, **[`ScratchPool`]** buffer reuse, and
 //!   **[`EngineStats`]** — throughput, queue depth, dispatch matrices
 //!   by size and by op kind, per-op throughput.
+//! * **[`dynamic`]** — the mutation plane: splice / delete / append
+//!   batches against resident datasets, with cached sharded artifacts
+//!   maintained incrementally (dirty shards patched, clean shards
+//!   shared) or rebuilt, per planner decision.
 //! * **`rankd serve`** — the socket front-end: a [`Server`] accepts
 //!   concurrent clients over a Unix domain socket speaking the
 //!   length-prefixed binary [`protocol`] (spec: `docs/PROTOCOL.md`),
@@ -57,6 +61,7 @@
 
 #[cfg(unix)]
 pub mod client;
+pub mod dynamic;
 mod engine;
 pub mod job;
 pub mod op;
@@ -74,13 +79,16 @@ pub mod workload;
 pub use crate::engine::{Engine, EngineConfig};
 #[cfg(unix)]
 pub use client::{Client, ClientError, ServedOutput};
+pub use dynamic::{MutateError, MutationOutcome};
 pub use job::{JobError, JobHandle, JobOptions, JobReport, Request};
 pub use op::OpKind;
-pub use planner::{Plan, PlanDecision, Planner, ShardDecision};
+pub use planner::{MutateDecision, Plan, PlanDecision, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
 #[cfg(unix)]
 pub use server::{ServeConfig, Server, ServerControl, ServerStats};
 pub use stats::{EngineStats, OpThroughput};
-pub use store::{ArtifactCache, DatasetRef, DatasetStore, PutReceipt, StoreError, StoreStats};
+pub use store::{
+    ArtifactCache, DatasetRef, DatasetStore, MutationStats, PutReceipt, StoreError, StoreStats,
+};
 pub use telemetry::{Histogram, Phase, Span, Telemetry};

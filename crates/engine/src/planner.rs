@@ -14,7 +14,7 @@ use crate::op::OpKind;
 use crate::telemetry::log::Level;
 use crate::telemetry::{AtomicHistogram, Histogram, Ring};
 use listrank::Algorithm;
-use rankmodel::predict::{default_lanes, predict_best_op_lanes, AlgChoice};
+use rankmodel::predict::{default_lanes, predict_best_op_lanes, predict_patch, AlgChoice};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -86,6 +86,36 @@ struct Ewma {
     samples: u64,
 }
 
+/// The maintenance decision for one mutated artifact: patch the dirty
+/// shards in place, or rebuild the decomposition from scratch. Returned
+/// by [`Planner::choose_maintenance`].
+#[derive(Clone, Copy, Debug)]
+pub struct MutateDecision {
+    /// `true` = patch dirty shards incrementally; `false` = rebuild.
+    pub incremental: bool,
+    /// Dirty shards the decision was made for.
+    pub dirty: usize,
+    /// Total shards of the decomposition.
+    pub shards: usize,
+    /// The EWMA's predicted ns for the chosen strategy at decision
+    /// time, or `0.0` when the bucket had no measurement yet
+    /// (prior-driven decision).
+    pub predicted_ns: f64,
+}
+
+/// Maintenance-strategy slots in the mutate EWMA table.
+const MAINT_INCREMENTAL: usize = 0;
+const MAINT_REBUILD: usize = 1;
+
+/// The work-unit count a maintenance EWMA normalizes by: the vertices
+/// actually re-derived plus the contracted rows re-assembled. Using
+/// per-unit times (rather than per-job) lets one bucket's history
+/// predict across different dirty fractions.
+fn maint_units(n: usize, shard_size: usize, fragments: usize, dirty: usize, kind: usize) -> u64 {
+    let touched = if kind == MAINT_REBUILD { n } else { (dirty * shard_size.max(1)).min(n) };
+    (touched + fragments).max(1) as u64
+}
+
 /// How many recent dispatch decisions the introspection ring keeps.
 const DECISION_RING_CAPACITY: usize = 128;
 
@@ -147,6 +177,19 @@ pub struct Planner {
     /// [`MISPREDICT_SCALE`]. A tight mode at the scale value means the
     /// EWMA layer predicts well; heavy tails mean it is being surprised.
     mispredict: AtomicHistogram,
+    /// Measured per-unit maintenance times by (size bucket × strategy):
+    /// slot [`MAINT_INCREMENTAL`] holds dirty-shard patching, slot
+    /// [`MAINT_REBUILD`] holds from-scratch decomposition. Kept apart
+    /// from the query EWMAs — maintenance touches different code (shard
+    /// builds and boundary stitching, no ranking) and its history must
+    /// not contaminate dispatch.
+    maint_measured: Mutex<Vec<[Ewma; 2]>>,
+    /// Maintenance dispatch counts: `[incremental, rebuild]`.
+    maint_dispatched: [AtomicU64; 2],
+    /// Mispredict ratios for maintenance decisions, same scale and
+    /// scoring rule as [`Planner::mispredict`] but fed by
+    /// [`Planner::record_maintenance`].
+    maint_mispredict: AtomicHistogram,
 }
 
 impl Planner {
@@ -165,6 +208,9 @@ impl Planner {
             tuned_m: Mutex::new(HashMap::new()),
             decisions: Ring::new(DECISION_RING_CAPACITY),
             mispredict: AtomicHistogram::new(),
+            maint_measured: Mutex::new(vec![[Ewma::default(); 2]; BUCKETS]),
+            maint_dispatched: std::array::from_fn(|_| AtomicU64::new(0)),
+            maint_mispredict: AtomicHistogram::new(),
         }
     }
 
@@ -452,6 +498,131 @@ impl Planner {
             (1.0 - ALPHA) * e.ns_per_elem + ALPHA * per_elem
         };
         e.samples += 1;
+    }
+
+    /// Choose how to bring an `n`-vertex sharded decomposition
+    /// (`shards` shards of `shard_size`, `fragments` contracted rows)
+    /// up to date after a mutation batch dirtied `dirty` shards: patch
+    /// the dirty shards in place, or rebuild from scratch.
+    ///
+    /// Same layering as [`Self::choose`]: the cost model
+    /// ([`rankmodel::predict::predict_patch`]) is the cold-start prior;
+    /// once the size bucket has measured history for both strategies,
+    /// the cheaper expected time wins; with one strategy unmeasured,
+    /// the measured one runs but the other is probed on the
+    /// `PROBE_EVERY` cadence so history covers both sides of the
+    /// crossover.
+    pub fn choose_maintenance(
+        &self,
+        n: usize,
+        shard_size: usize,
+        fragments: usize,
+        dirty: usize,
+    ) -> MutateDecision {
+        let shards = n.div_ceil(shard_size.max(1)).max(1);
+        let dirty = dirty.min(shards);
+        let b = bucket_of(n);
+        let lanes = self.lanes_override.unwrap_or_else(|| default_lanes(shard_size.min(n)));
+        let prior = dirty < shards && predict_patch(n, shard_size, fragments, dirty, self.p, lanes);
+        let row = { self.maint_measured.lock().expect("planner poisoned")[b] };
+        let incr = row[MAINT_INCREMENTAL];
+        let reb = row[MAINT_REBUILD];
+        // A fully-dirty batch has nothing clean to reuse: patching is a
+        // rebuild with extra bookkeeping, so never "probe" it.
+        let incremental = if dirty >= shards {
+            false
+        } else {
+            match (incr.samples, reb.samples) {
+                (0, 0) => prior,
+                (0, _) | (_, 0) => {
+                    let prior_measured = if prior { incr.samples > 0 } else { reb.samples > 0 };
+                    if !prior_measured {
+                        prior
+                    } else {
+                        let count: u64 =
+                            self.maint_dispatched.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                        if count % PROBE_EVERY == PROBE_EVERY - 1 {
+                            !prior
+                        } else {
+                            prior
+                        }
+                    }
+                }
+                _ => {
+                    let incr_ns = incr.ns_per_elem
+                        * maint_units(n, shard_size, fragments, dirty, MAINT_INCREMENTAL) as f64;
+                    let reb_ns = reb.ns_per_elem
+                        * maint_units(n, shard_size, fragments, dirty, MAINT_REBUILD) as f64;
+                    incr_ns < reb_ns
+                }
+            }
+        };
+        let kind = if incremental { MAINT_INCREMENTAL } else { MAINT_REBUILD };
+        self.maint_dispatched[kind].fetch_add(1, Ordering::Relaxed);
+        let chosen = row[kind];
+        let predicted_ns = if chosen.samples > 0 {
+            chosen.ns_per_elem * maint_units(n, shard_size, fragments, dirty, kind) as f64
+        } else {
+            0.0
+        };
+        if crate::telemetry::log::enabled(Level::Debug) {
+            crate::telemetry::log::write(
+                Level::Debug,
+                "planner",
+                &format!(
+                    "maintenance n={n} shard_size={shard_size} dirty={dirty}/{shards} \
+                     fragments={fragments} -> {} predicted_ns={predicted_ns:.0}",
+                    if incremental { "incremental" } else { "rebuild" }
+                ),
+            );
+        }
+        MutateDecision { incremental, dirty, shards, predicted_ns }
+    }
+
+    /// Fold one completed maintenance pass into the (bucket, strategy)
+    /// history, scoring the EWMA's prediction against the measurement
+    /// on the way in (same rule as [`Self::record`], into the separate
+    /// maintenance mispredict histogram).
+    pub fn record_maintenance(
+        &self,
+        n: usize,
+        shard_size: usize,
+        fragments: usize,
+        dirty: usize,
+        incremental: bool,
+        exec_ns: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let kind = if incremental { MAINT_INCREMENTAL } else { MAINT_REBUILD };
+        let per_unit = exec_ns as f64 / maint_units(n, shard_size, fragments, dirty, kind) as f64;
+        let mut measured = self.maint_measured.lock().expect("planner poisoned");
+        let e = &mut measured[bucket_of(n)][kind];
+        if e.samples > 0 && e.ns_per_elem > 0.0 {
+            let ratio = (per_unit / e.ns_per_elem) * MISPREDICT_SCALE as f64;
+            self.maint_mispredict.record(ratio.clamp(0.0, u64::MAX as f64) as u64);
+        }
+        e.ns_per_elem = if e.samples == 0 {
+            per_unit
+        } else {
+            (1.0 - ALPHA) * e.ns_per_elem + ALPHA * per_unit
+        };
+        e.samples += 1;
+    }
+
+    /// Maintenance dispatch counts: `(incremental, rebuild)`.
+    pub fn maintenance_dispatches(&self) -> (u64, u64) {
+        (
+            self.maint_dispatched[MAINT_INCREMENTAL].load(Ordering::Relaxed),
+            self.maint_dispatched[MAINT_REBUILD].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the maintenance mispredict-ratio histogram (same
+    /// scale as [`Self::mispredict_histogram`]).
+    pub fn maint_mispredict_histogram(&self) -> Histogram {
+        self.maint_mispredict.snapshot()
     }
 
     /// Dispatch counts per algorithm, summed over all size buckets
@@ -810,6 +981,102 @@ mod tests {
         planner.choose_sharded(1 << 24, 1 << 20, OpKind::Rank, 8, None);
         let last = planner.recent_decisions(1);
         assert!(last[0].shards > 1, "sharded decision logged: {:?}", last[0]);
+    }
+
+    /// The paper-scale dynamic case the rankmodel prior is pinned on:
+    /// 2^22 vertices, 64 shards of 2^16, blocked-topology fragments.
+    const MAINT_N: usize = 1 << 22;
+    const MAINT_SHARD: usize = 1 << 16;
+    const MAINT_FRAGS: usize = MAINT_N / 4096;
+
+    #[test]
+    fn maintenance_prior_pins_both_crossover_sides() {
+        let planner = Planner::new(8);
+        let shards = MAINT_N / MAINT_SHARD;
+        // ≤ 5% dirty: patch in place.
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, shards / 20);
+        assert!(d.incremental, "low dirty fraction must go incremental: {d:?}");
+        assert_eq!((d.dirty, d.shards), (shards / 20, shards));
+        assert_eq!(d.predicted_ns, 0.0, "cold bucket has no EWMA prediction");
+        // Most shards dirty: fall back to a from-scratch build.
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, (9 * shards) / 10);
+        assert!(!d.incremental, "high dirty fraction must rebuild: {d:?}");
+        // Fully dirty short-circuits (nothing clean to reuse).
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, shards);
+        assert!(!d.incremental);
+        // Fragment-heavy topologies pay the serial re-assembly: rebuild
+        // even at one dirty shard.
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_N, 1);
+        assert!(!d.incremental, "fragment-heavy must rebuild: {d:?}");
+        let (incr, reb) = planner.maintenance_dispatches();
+        assert_eq!((incr, reb), (1, 3));
+    }
+
+    #[test]
+    fn maintenance_history_overrides_prior_in_both_directions() {
+        let shards = MAINT_N / MAINT_SHARD;
+        // Measured history claiming patching is ruinously slow must
+        // flip a prior-incremental bucket to rebuild...
+        let planner = Planner::new(8);
+        for _ in 0..8 {
+            planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3, true, u64::MAX >> 20);
+            planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, shards, false, 1_000);
+        }
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3);
+        assert!(!d.incremental, "measured-slow patching must fall back: {d:?}");
+        assert!(d.predicted_ns > 0.0, "measured bucket reports its prediction");
+        // ...and cheap measured patching must rescue a prior-rebuild
+        // dirty fraction.
+        let planner = Planner::new(8);
+        for _ in 0..8 {
+            planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 57, true, 1_000);
+            planner.record_maintenance(
+                MAINT_N,
+                MAINT_SHARD,
+                MAINT_FRAGS,
+                shards,
+                false,
+                u64::MAX >> 20,
+            );
+        }
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, (9 * shards) / 10);
+        assert!(d.incremental, "measured-cheap patching must win: {d:?}");
+        // But never on a fully-dirty batch, whatever the history says.
+        let d = planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, shards);
+        assert!(!d.incremental, "fully dirty is a rebuild by construction");
+    }
+
+    #[test]
+    fn maintenance_probes_the_unmeasured_strategy() {
+        let planner = Planner::new(8);
+        // Only the prior side (incremental at 3/64 dirty) measured:
+        // the probe cadence must still exercise rebuild.
+        planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3, true, 1_000);
+        let picks: Vec<bool> = (0..2 * PROBE_EVERY)
+            .map(|_| planner.choose_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3).incremental)
+            .collect();
+        let rebuilds = picks.iter().filter(|&&i| !i).count();
+        assert!(rebuilds >= 1, "no probe of the unmeasured rebuild in {picks:?}");
+        assert!(rebuilds <= 4, "probing should be rare: {rebuilds} of {}", picks.len());
+    }
+
+    #[test]
+    fn maintenance_mispredict_histogram_scores_predictions() {
+        let planner = Planner::new(8);
+        // First sample seeds the EWMA — nothing to score yet.
+        planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3, true, 1_000_000);
+        assert!(planner.maint_mispredict_histogram().is_empty());
+        // Second sample runs 2× the prediction: ratio ≈ 2 × SCALE.
+        planner.record_maintenance(MAINT_N, MAINT_SHARD, MAINT_FRAGS, 3, true, 2_000_000);
+        let h = planner.maint_mispredict_histogram();
+        assert_eq!(h.count(), 1);
+        let (lo, hi) = h.percentile_bounds(50.0);
+        assert!(
+            lo <= 2 * MISPREDICT_SCALE && 2 * MISPREDICT_SCALE <= hi,
+            "2× mispredict outside [{lo}, {hi}]"
+        );
+        // The query-plane histogram is untouched.
+        assert!(planner.mispredict_histogram().is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 use crate::op::OpKind;
 use crate::telemetry::hist;
 use crate::telemetry::{Histogram, Phase};
+use listkit::dynamic::Edit;
 use listkit::ops::Affine;
 use listkit::LinkedList;
 use listrank::Algorithm;
@@ -49,11 +50,16 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
 /// codes `stale_handle` and `store_full`, and the STATS_V2 `store`
 /// gauge block. v3 is purely additive over v2 (no existing layout
 /// changed), so servers accept HELLOs from [`MIN_VERSION`] up.
-pub const VERSION: u16 = 3;
+/// **4** — dynamic lists: MUTATE / MUTATE_OK (batched splice / delete /
+/// append edits against a resident handle), error code `bad_mutation`,
+/// and the STATS_V2 `mutate` gauge block. v4 is again purely additive,
+/// so [`MIN_VERSION`] stays at 2.
+pub const VERSION: u16 = 4;
 
-/// Oldest HELLO version a server still accepts. v2 clients speak a
-/// strict subset of v3 (they simply never send handle frames); v1 is
-/// rejected because the OUTPUT layout changed in v2.
+/// Oldest HELLO version a server still accepts. v2 and v3 clients
+/// speak strict subsets of v4 (they simply never send handle or
+/// mutation frames); v1 is rejected because the OUTPUT layout changed
+/// in v2.
 pub const MIN_VERSION: u16 = 2;
 
 /// Default cap on `len` a peer will accept (256 MiB): large enough for
@@ -90,6 +96,9 @@ pub enum FrameKind {
     SegScanH = 0x0B,
     /// Drop a resident dataset; replied with DROP_OK.
     Drop = 0x0C,
+    /// Apply a batch of edits to a resident dataset; replied with
+    /// MUTATE_OK.
+    Mutate = 0x0D,
     /// Handshake accepted: server version + frame-size cap.
     HelloOk = 0x81,
     /// Job result: execution metadata + output payload.
@@ -105,6 +114,9 @@ pub enum FrameKind {
     PutOk = 0x88,
     /// Dataset dropped (no body).
     DropOk = 0x89,
+    /// Mutation batch applied: edit count, new length, maintenance
+    /// mode, dirty-shard and artifact counts, execution time.
+    MutateOk = 0x8A,
     /// Typed error reply: code + UTF-8 message.
     Error = 0xEE,
 }
@@ -125,6 +137,7 @@ impl FrameKind {
             0x0A => FrameKind::ScanH,
             0x0B => FrameKind::SegScanH,
             0x0C => FrameKind::Drop,
+            0x0D => FrameKind::Mutate,
             0x81 => FrameKind::HelloOk,
             0x82 => FrameKind::Output,
             0x85 => FrameKind::StatsOk,
@@ -132,6 +145,7 @@ impl FrameKind {
             0x87 => FrameKind::StatsV2Ok,
             0x88 => FrameKind::PutOk,
             0x89 => FrameKind::DropOk,
+            0x8A => FrameKind::MutateOk,
             0xEE => FrameKind::Error,
             _ => return None,
         })
@@ -231,6 +245,11 @@ pub enum ErrorCode {
     /// A PUT could not fit within `--store-budget` even after evicting
     /// every idle resident dataset. The connection stays open.
     StoreFull = 13,
+    /// A MUTATE batch was structurally invalid (out-of-range vertex,
+    /// splice target inside the moved run, empty batch, unknown edit
+    /// kind, …). The batch is atomic — the dataset is untouched — and
+    /// the connection stays open.
+    BadMutation = 14,
 }
 
 impl ErrorCode {
@@ -250,6 +269,7 @@ impl ErrorCode {
             11 => ErrorCode::UnknownKind,
             12 => ErrorCode::StaleHandle,
             13 => ErrorCode::StoreFull,
+            14 => ErrorCode::BadMutation,
             _ => return None,
         })
     }
@@ -271,6 +291,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnknownKind => "unknown frame kind",
             ErrorCode::StaleHandle => "stale dataset handle",
             ErrorCode::StoreFull => "dataset store budget exhausted",
+            ErrorCode::BadMutation => "invalid mutation batch",
         };
         f.write_str(s)
     }
@@ -625,6 +646,16 @@ pub enum WireRequest {
         /// Handle from a PUT_OK on this connection.
         handle: u64,
     },
+    /// Apply a batch of edits to a resident dataset
+    /// ([`FrameKind::Mutate`]). Semantic validity (vertex ranges, run
+    /// structure) is checked at apply time, not decode — the decoder
+    /// doesn't know the dataset.
+    Mutate {
+        /// Handle from a PUT_OK on this connection.
+        handle: u64,
+        /// The edit batch, applied atomically in order.
+        edits: Vec<Edit>,
+    },
     /// Metrics snapshot request.
     Stats,
     /// Histogram-level metrics request ([`FrameKind::StatsV2`]).
@@ -737,6 +768,15 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
         FrameKind::Drop => {
             let handle = d.u64("handle")?;
             WireRequest::Drop { handle }
+        }
+        FrameKind::Mutate => {
+            let handle = d.u64("handle")?;
+            let count = d.u32("edit count")? as usize;
+            let mut edits = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                edits.push(decode_edit(&mut d)?);
+            }
+            WireRequest::Mutate { handle, edits }
         }
         FrameKind::Stats => WireRequest::Stats,
         FrameKind::StatsV2 => WireRequest::StatsV2,
@@ -905,6 +945,116 @@ pub fn segscan_h_body<T: WireElem>(
 /// DROP body: the dataset handle.
 pub fn drop_body(handle: u64) -> Vec<u8> {
     handle.to_le_bytes().to_vec()
+}
+
+/// Edit kind byte for [`Edit::Splice`] in a MUTATE frame.
+pub const EDIT_SPLICE: u8 = 1;
+/// Edit kind byte for [`Edit::Delete`] in a MUTATE frame.
+pub const EDIT_DELETE: u8 = 2;
+/// Edit kind byte for [`Edit::Append`] in a MUTATE frame.
+pub const EDIT_APPEND: u8 = 3;
+
+/// Sentinel for `Edit::Splice { after: None }` (move the run to the
+/// front): `u32::MAX` is never a valid vertex index, because a list's
+/// length is capped at `u32::MAX` vertices.
+pub const SPLICE_FRONT: u32 = u32::MAX;
+
+fn put_edit(edit: &Edit, out: &mut Vec<u8>) {
+    match *edit {
+        Edit::Splice { first, last, after } => {
+            out.push(EDIT_SPLICE);
+            out.extend_from_slice(&first.to_le_bytes());
+            out.extend_from_slice(&last.to_le_bytes());
+            out.extend_from_slice(&after.unwrap_or(SPLICE_FRONT).to_le_bytes());
+        }
+        Edit::Delete { v } => {
+            out.push(EDIT_DELETE);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Edit::Append { count } => {
+            out.push(EDIT_APPEND);
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+}
+
+fn decode_edit(d: &mut Dec<'_>) -> Result<Edit, WireError> {
+    let kind = d.u8("edit kind")?;
+    Ok(match kind {
+        EDIT_SPLICE => {
+            let first = d.u32("splice first")?;
+            let last = d.u32("splice last")?;
+            let after = d.u32("splice after")?;
+            Edit::Splice { first, last, after: (after != SPLICE_FRONT).then_some(after) }
+        }
+        EDIT_DELETE => Edit::Delete { v: d.u32("delete vertex")? },
+        EDIT_APPEND => Edit::Append { count: d.u32("append count")? },
+        other => {
+            return Err(WireError {
+                code: ErrorCode::BadMutation,
+                message: format!("unknown edit kind {other:#04x}"),
+            })
+        }
+    })
+}
+
+/// MUTATE body: dataset handle + edit count + the edit batch.
+pub fn mutate_body(handle: u64, edits: &[Edit]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(12 + 13 * edits.len());
+    b.extend_from_slice(&handle.to_le_bytes());
+    b.extend_from_slice(&(edits.len() as u32).to_le_bytes());
+    for e in edits {
+        put_edit(e, &mut b);
+    }
+    b
+}
+
+/// What a MUTATE_OK frame reports — the wire projection of
+/// [`crate::dynamic::MutationOutcome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireMutateOk {
+    /// Edits applied (the whole batch).
+    pub applied: u32,
+    /// Post-mutation dataset length.
+    pub len: u64,
+    /// `true` when every cached artifact was patched incrementally
+    /// (mode byte `0` on the wire; `1` = at least one full recompute).
+    pub incremental: bool,
+    /// Dirty shards patched across incremental maintenance passes.
+    pub dirty_shards: u32,
+    /// Cached artifacts brought up to date.
+    pub artifacts: u32,
+    /// Server-side wall-clock of apply + maintenance, nanoseconds.
+    pub exec_ns: u64,
+}
+
+/// MUTATE_OK body: applied count, new length, maintenance mode byte,
+/// dirty-shard count, artifact count, execution time.
+pub fn mutate_ok_body(ok: &WireMutateOk) -> Vec<u8> {
+    let mut b = Vec::with_capacity(29);
+    b.extend_from_slice(&ok.applied.to_le_bytes());
+    b.extend_from_slice(&ok.len.to_le_bytes());
+    b.push(if ok.incremental { 0 } else { 1 });
+    b.extend_from_slice(&ok.dirty_shards.to_le_bytes());
+    b.extend_from_slice(&ok.artifacts.to_le_bytes());
+    b.extend_from_slice(&ok.exec_ns.to_le_bytes());
+    b
+}
+
+/// Decode a MUTATE_OK body.
+pub fn decode_mutate_ok(body: &[u8]) -> Result<WireMutateOk, WireError> {
+    let mut d = Dec::new(body);
+    let applied = d.u32("applied count")?;
+    let len = d.u64("new length")?;
+    let mode = d.u8("maintenance mode")?;
+    if mode > 1 {
+        return Err(WireError::malformed(format!("maintenance mode byte {mode}")));
+    }
+    let dirty_shards = d.u32("dirty shards")?;
+    let artifacts = d.u32("artifacts")?;
+    let exec_ns = d.u64("exec_ns")?;
+    d.finish()?;
+    Ok(WireMutateOk { applied, len, incremental: mode == 0, dirty_shards, artifacts, exec_ns })
 }
 
 /// PUT_OK body: the issued handle + bytes charged to the store budget.
@@ -1137,6 +1287,11 @@ pub const TAG_DISPATCH_OP: u8 = 5;
 /// `u64`s in [`StoreGauges`] field order). Added in protocol v3; v2
 /// readers skip it by tag.
 pub const TAG_STORE: u8 = 6;
+/// STATS_V2_OK block tag: the mutation plane's gauge block (block id
+/// is `0`; payload is `count: u8` followed by `count` LE `u64`s in
+/// [`MutGauges`] field order). Added in protocol v4; older readers
+/// skip it by tag.
+pub const TAG_MUTATE: u8 = 7;
 
 /// The fixed gauge block of a STATS_V2_OK frame: point-in-time scalars
 /// the `rankd stats` dashboard needs alongside the histograms. Encoded
@@ -1285,6 +1440,52 @@ impl StoreGauges {
     }
 }
 
+/// The mutation plane's gauge block of a STATS_V2_OK frame (mirrors
+/// [`crate::store::MutationStats`]). Encoded with a leading count so
+/// future versions can append gauges without breaking older readers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutGauges {
+    /// Mutation batches applied.
+    pub mutations: u64,
+    /// Individual edits applied.
+    pub edits: u64,
+    /// Maintenance passes that patched dirty shards in place.
+    pub incremental: u64,
+    /// Maintenance passes that rebuilt from scratch.
+    pub full: u64,
+    /// Dirty shards patched by incremental passes.
+    pub dirty_shards_patched: u64,
+    /// Cached artifacts brought up to date.
+    pub artifacts_patched: u64,
+}
+
+impl MutGauges {
+    /// Number of mutation gauges this version defines.
+    pub const COUNT: usize = 6;
+
+    fn to_array(self) -> [u64; Self::COUNT] {
+        [
+            self.mutations,
+            self.edits,
+            self.incremental,
+            self.full,
+            self.dirty_shards_patched,
+            self.artifacts_patched,
+        ]
+    }
+
+    fn from_array(c: [u64; Self::COUNT]) -> MutGauges {
+        MutGauges {
+            mutations: c[0],
+            edits: c[1],
+            incremental: c[2],
+            full: c[3],
+            dirty_shards_patched: c[4],
+            artifacts_patched: c[5],
+        }
+    }
+}
+
 /// The decoded payload of a STATS_V2_OK frame: every histogram the
 /// telemetry registry keeps, the planner's mispredict histogram and
 /// dispatch-by-op matrix, and the gauge block. Histogram slots that
@@ -1303,6 +1504,9 @@ pub struct WireStatsV2 {
     /// The resident-dataset store's gauge block (all-zero when the
     /// peer predates protocol v3).
     pub store: StoreGauges,
+    /// The mutation plane's gauge block (all-zero when the peer
+    /// predates protocol v4).
+    pub mutate: MutGauges,
     /// Planner dispatch rows: `(op, completions per algorithm)` in
     /// [`Algorithm::ALL`] order; only ops with completions appear.
     pub dispatch_by_op: Vec<(OpKind, Vec<u64>)>,
@@ -1402,6 +1606,13 @@ pub fn stats_v2_body(stats: &WireStatsV2) -> Vec<u8> {
     }
     put_block(TAG_STORE, 0, &payload, &mut blocks);
     block_count += 1;
+    payload.clear();
+    payload.push(MutGauges::COUNT as u8);
+    for g in stats.mutate.to_array() {
+        payload.extend_from_slice(&g.to_le_bytes());
+    }
+    put_block(TAG_MUTATE, 0, &payload, &mut blocks);
+    block_count += 1;
     for (op, row) in &stats.dispatch_by_op {
         payload.clear();
         payload.push(row.len() as u8);
@@ -1481,6 +1692,24 @@ pub fn decode_stats_v2(body: &[u8]) -> Result<WireStatsV2, WireError> {
                 }
                 p.finish()?;
                 out.store = StoreGauges::from_array(c);
+            }
+            TAG_MUTATE => {
+                let count = p.u8("mutate gauge count")? as usize;
+                if count < MutGauges::COUNT {
+                    return Err(WireError::malformed(format!(
+                        "mutate gauge block has {count} entries, need {}",
+                        MutGauges::COUNT
+                    )));
+                }
+                let mut c = [0u64; MutGauges::COUNT];
+                for slot in &mut c {
+                    *slot = p.u64("mutate gauge")?;
+                }
+                for _ in MutGauges::COUNT..count {
+                    p.u64("extra mutate gauge")?;
+                }
+                p.finish()?;
+                out.mutate = MutGauges::from_array(c);
             }
             TAG_DISPATCH_OP => {
                 let op = OpKind::from_index(id as usize)

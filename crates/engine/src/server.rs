@@ -22,12 +22,13 @@
 //! linger up to [`ServeConfig::drain_grace`] for clients to
 //! disconnect on their own before the socket file is removed.
 
+use crate::dynamic::MutateError;
 use crate::engine::Engine;
 use crate::job::{JobError, JobOptions, Request};
 use crate::protocol::{
-    self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, ReadFrameError,
-    StatsGauges, StoreGauges, WireElem, WireOp, WireRequest, WireStats, WireStatsV2, WireValues,
-    MAX_FRAME_DEFAULT,
+    self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, MutGauges,
+    ReadFrameError, StatsGauges, StoreGauges, WireElem, WireMutateOk, WireOp, WireRequest,
+    WireStats, WireStatsV2, WireValues, MAX_FRAME_DEFAULT,
 };
 use crate::queue::SubmitError;
 use crate::rankd_log;
@@ -639,10 +640,11 @@ fn dispatch(
                 );
                 return false;
             }
-            // v3 is purely additive over v2, so older-but-compatible
-            // clients are served; they simply never send handle
-            // frames. HELLO_OK still carries the server's version so
-            // a newer client knows what it may use.
+            // v3 and v4 are purely additive over v2, so
+            // older-but-compatible clients are served; they simply
+            // never send handle or mutation frames. HELLO_OK still
+            // carries the server's version so a newer client knows
+            // what it may use.
             if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
                 let _ = send_error(
                     stream,
@@ -697,6 +699,7 @@ fn dispatch(
             let es = engine.stats();
             let ss = shared.stats();
             let st = shared.store.stats();
+            let ms = shared.store.mutation_stats();
             let wire = WireStatsV2 {
                 phase: es.phase_hist,
                 per_op: es.op_hist,
@@ -729,6 +732,14 @@ fn dispatch(
                     put_rejected: st.put_rejected,
                     artifacts_built: st.artifacts_built,
                     artifacts_reused: st.artifacts_reused,
+                },
+                mutate: MutGauges {
+                    mutations: ms.mutations,
+                    edits: ms.edits,
+                    incremental: ms.incremental,
+                    full: ms.full,
+                    dirty_shards_patched: ms.dirty_shards_patched,
+                    artifacts_patched: ms.artifacts_patched,
                 },
                 dispatch_by_op: es
                     .dispatch_by_op
@@ -836,6 +847,50 @@ fn dispatch(
             }
             Err(e) => send_error(stream, shared, store_error_code(e), &e.to_string()).is_ok(),
         },
+        WireRequest::Mutate { handle, edits } => {
+            // Mutations run on the handler thread, not through the job
+            // queue: they hold the dataset's mutation lock anyway, so
+            // queueing them would only add latency, and the engine's
+            // planner is still consulted for the maintenance strategy.
+            match crate::dynamic::mutate(&shared.store, engine.planner(), handle, conn_id, &edits) {
+                Ok(out) => {
+                    rankd_log!(
+                        Level::Debug,
+                        "server",
+                        "conn {conn_id} MUTATE handle={handle} applied={} len={} {} \
+                         dirty={} artifacts={} in {:.3}ms",
+                        out.applied,
+                        out.len,
+                        if out.incremental { "incremental" } else { "full" },
+                        out.dirty_shards,
+                        out.artifacts,
+                        out.exec_ns as f64 / 1e6
+                    );
+                    send(
+                        stream,
+                        shared,
+                        FrameKind::MutateOk,
+                        &protocol::mutate_ok_body(&WireMutateOk {
+                            applied: out.applied,
+                            len: out.len,
+                            incremental: out.incremental,
+                            dirty_shards: out.dirty_shards,
+                            artifacts: out.artifacts,
+                            exec_ns: out.exec_ns,
+                        }),
+                    )
+                    .is_ok()
+                }
+                Err(e) => {
+                    let code = match e {
+                        MutateError::Stale => ErrorCode::StaleHandle,
+                        MutateError::Edit(_) => ErrorCode::BadMutation,
+                    };
+                    send_error(stream, shared, code, &format!("MUTATE handle {handle}: {e}"))
+                        .is_ok()
+                }
+            }
+        }
         WireRequest::Drop { handle } => match shared.store.drop_dataset(handle, conn_id) {
             Ok(()) => send(stream, shared, FrameKind::DropOk, &[]).is_ok(),
             Err(e) => send_error(

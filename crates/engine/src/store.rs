@@ -31,10 +31,19 @@
 //!   other connection see [`StoreError::StaleHandle`], and a handler
 //!   that disconnects drops everything it owned.
 //!
+//! * **Mutable datasets** — a resident list can be edited in place
+//!   (splice / delete / append batches, [`DatasetRef::apply_edits`]):
+//!   the entry keeps an editable next+prev mirror, the query-visible
+//!   list is an atomically swapped snapshot (in-flight queries finish
+//!   on the pre-mutation `Arc`), and footprint deltas are re-charged
+//!   against the budget. The incremental artifact maintenance built on
+//!   top lives in [`crate::dynamic`].
+//!
 //! The store is transport-agnostic (no sockets here); `engine::server`
 //! shares one instance across client handlers, and `tests/store.rs`
 //! property-tests the invariants directly.
 
+use listkit::dynamic::{Edit, EditError, EditReport, MutableList};
 use listkit::sharded::ShardedList;
 use listkit::LinkedList;
 use std::collections::HashMap;
@@ -107,6 +116,24 @@ pub struct StoreStats {
     pub artifacts_reused: u64,
 }
 
+/// Point-in-time snapshot of the store's mutation-plane counters,
+/// fed by [`crate::dynamic`] as batches land.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutationStats {
+    /// Mutation batches applied.
+    pub mutations: u64,
+    /// Individual edits applied (batches sum their edit counts).
+    pub edits: u64,
+    /// Artifact maintenance passes that patched dirty shards in place.
+    pub incremental: u64,
+    /// Artifact maintenance passes that rebuilt from scratch.
+    pub full: u64,
+    /// Dirty shards patched by incremental passes.
+    pub dirty_shards_patched: u64,
+    /// Cached artifacts brought up to date (patched or rebuilt).
+    pub artifacts_patched: u64,
+}
+
 /// Estimated resident footprint of a validated list: the `u32`
 /// successor array plus fixed header overhead. An estimate, not an
 /// allocator measurement — the budget is a capacity-planning knob, not
@@ -128,12 +155,24 @@ pub fn artifact_footprint(sharded: &ShardedList) -> u64 {
 struct DatasetEntry {
     handle: u64,
     owner: u64,
-    list: Arc<LinkedList>,
-    list_bytes: u64,
+    /// The query-visible list. Swapped wholesale by the mutation plane;
+    /// queries clone the `Arc` once at resolution time and keep ranking
+    /// their snapshot even across a concurrent mutation.
+    list: Mutex<Arc<LinkedList>>,
+    /// Footprint currently charged for the list (tracks length changes
+    /// from mutations). Mutated only under the store lock.
+    list_bytes: AtomicU64,
     /// Artifact bytes charged to this entry. Mutated only under the
     /// store lock; atomic so the eviction scan can read it through the
     /// shared `Arc` without aliasing games.
     artifact_bytes: AtomicU64,
+    /// Bytes charged for the editable mirror (zero until the first
+    /// mutation materializes it). Mutated only under the store lock.
+    dynamic_bytes: AtomicU64,
+    /// Editable next+prev mirror of the list, materialized by the first
+    /// mutation batch. The lock also serializes mutation batches per
+    /// dataset: the apply → snapshot → swap sequence runs under it.
+    dynamic: Mutex<Option<MutableList>>,
     /// Live [`DatasetRef`] guards. Incremented under the store lock,
     /// decremented lock-free on guard drop; the eviction scan (under
     /// the lock) skips any entry it observes in use, so the race only
@@ -144,7 +183,9 @@ struct DatasetEntry {
 
 impl DatasetEntry {
     fn total_bytes(&self) -> u64 {
-        self.list_bytes + self.artifact_bytes.load(Ordering::Relaxed)
+        self.list_bytes.load(Ordering::Relaxed)
+            + self.artifact_bytes.load(Ordering::Relaxed)
+            + self.dynamic_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -171,6 +212,12 @@ pub struct DatasetStore {
     put_rejected: AtomicU64,
     artifacts_built: AtomicU64,
     artifacts_reused: AtomicU64,
+    mutations: AtomicU64,
+    edits: AtomicU64,
+    mutate_incremental: AtomicU64,
+    mutate_full: AtomicU64,
+    dirty_shards_patched: AtomicU64,
+    artifacts_patched: AtomicU64,
 }
 
 impl fmt::Debug for DatasetStore {
@@ -204,6 +251,12 @@ impl DatasetStore {
             put_rejected: AtomicU64::new(0),
             artifacts_built: AtomicU64::new(0),
             artifacts_reused: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            edits: AtomicU64::new(0),
+            mutate_incremental: AtomicU64::new(0),
+            mutate_full: AtomicU64::new(0),
+            dirty_shards_patched: AtomicU64::new(0),
+            artifacts_patched: AtomicU64::new(0),
         }
     }
 
@@ -231,9 +284,11 @@ impl DatasetStore {
         let entry = Arc::new(DatasetEntry {
             handle,
             owner: conn,
-            list,
-            list_bytes: bytes,
+            list: Mutex::new(list),
+            list_bytes: AtomicU64::new(bytes),
             artifact_bytes: AtomicU64::new(0),
+            dynamic_bytes: AtomicU64::new(0),
+            dynamic: Mutex::new(None),
             in_use: AtomicU64::new(0),
             artifacts: Arc::new(ArtifactCache {
                 handle,
@@ -332,6 +387,35 @@ impl DatasetStore {
         }
     }
 
+    /// Snapshot of the mutation-plane counters.
+    pub fn mutation_stats(&self) -> MutationStats {
+        MutationStats {
+            mutations: self.mutations.load(Ordering::Relaxed),
+            edits: self.edits.load(Ordering::Relaxed),
+            incremental: self.mutate_incremental.load(Ordering::Relaxed),
+            full: self.mutate_full.load(Ordering::Relaxed),
+            dirty_shards_patched: self.dirty_shards_patched.load(Ordering::Relaxed),
+            artifacts_patched: self.artifacts_patched.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one applied mutation batch and its artifact maintenance
+    /// passes (called by [`crate::dynamic`] after the batch lands).
+    pub(crate) fn note_mutation(
+        &self,
+        edits: u64,
+        incremental_passes: u64,
+        full_passes: u64,
+        dirty_shards: u64,
+    ) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.edits.fetch_add(edits, Ordering::Relaxed);
+        self.mutate_incremental.fetch_add(incremental_passes, Ordering::Relaxed);
+        self.mutate_full.fetch_add(full_passes, Ordering::Relaxed);
+        self.dirty_shards_patched.fetch_add(dirty_shards, Ordering::Relaxed);
+        self.artifacts_patched.fetch_add(incremental_passes + full_passes, Ordering::Relaxed);
+    }
+
     /// Evict idle LRU entries (skipping `exclude`) until `need` more
     /// bytes fit under the budget. Returns `false` — evicting nothing
     /// further — when every remaining entry is pinned by a live guard
@@ -369,12 +453,52 @@ impl DatasetStore {
 
     /// Return `bytes` previously charged to `handle` (a racing build
     /// lost the insert).
+    ///
+    /// Skipping when the entry is absent is load-bearing, not an
+    /// oversight: a DROP (or eviction) that lands between the charge
+    /// and this uncharge subtracts the entry's *current*
+    /// `total_bytes()` — which still includes every in-flight charge,
+    /// because `try_charge` bumps `artifact_bytes` under the same lock
+    /// that removal holds. The drop therefore already returned this
+    /// charge; uncharging again would double-credit the budget.
+    /// `tests/store.rs` races drops against mid-build charges to pin
+    /// the end-state invariant (all handles dropped ⇒ zero resident
+    /// bytes).
     fn uncharge(&self, handle: u64, bytes: u64) {
         let mut inner = self.inner.lock().unwrap();
         if let Some(entry) = inner.entries.get(&handle).map(Arc::clone) {
             inner.resident_bytes = inner.resident_bytes.saturating_sub(bytes);
             entry.artifact_bytes.fetch_sub(bytes, Ordering::Relaxed);
         }
+    }
+
+    /// Move one of `handle`'s charged-byte accounts (list, mirror, or
+    /// artifact — chosen by `account`) from `old` to `new` bytes,
+    /// evicting idle entries on growth. Mutations are applied in
+    /// place, so unlike PUT this never fails: if nothing idle can be
+    /// evicted the store runs transiently over budget and the next PUT
+    /// sheds the pressure. No-op when the entry is already gone
+    /// (dropped mid-mutation) — removal subtracted its whole footprint.
+    fn recharge(
+        &self,
+        handle: u64,
+        account: impl Fn(&DatasetEntry) -> &AtomicU64,
+        old: u64,
+        new: u64,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.entries.get(&handle).map(Arc::clone) else {
+            return;
+        };
+        if new > old {
+            self.evict_to_fit(&mut inner, new - old, Some(handle));
+            inner.resident_bytes += new - old;
+        } else {
+            inner.resident_bytes = inner.resident_bytes.saturating_sub(old - new);
+        }
+        let a = account(&entry);
+        let cur = a.load(Ordering::Relaxed);
+        a.store((cur + new).saturating_sub(old), Ordering::Relaxed);
     }
 }
 
@@ -391,14 +515,16 @@ impl DatasetRef {
         self.entry.handle
     }
 
-    /// The resident, already-validated list.
+    /// The resident, already-validated list — the current snapshot.
+    /// Clones the `Arc` under a brief lock; a concurrent mutation swaps
+    /// the entry's snapshot but never this clone.
     pub fn list(&self) -> Arc<LinkedList> {
-        Arc::clone(&self.entry.list)
+        Arc::clone(&self.entry.list.lock().unwrap())
     }
 
-    /// Vertices in the dataset.
+    /// Vertices in the dataset (its current snapshot).
     pub fn len(&self) -> usize {
-        self.entry.list.len()
+        self.list().len()
     }
 
     /// A pinned dataset is never empty ([`LinkedList`] forbids it).
@@ -412,6 +538,53 @@ impl DatasetRef {
     pub fn artifacts(&self) -> Arc<ArtifactCache> {
         Arc::clone(&self.entry.artifacts)
     }
+
+    /// Apply one atomic batch of edits to the resident dataset:
+    /// materialize the editable next+prev mirror on first use, apply
+    /// the batch (all-or-nothing — a rejected edit leaves the dataset
+    /// untouched), swap the query-visible list to the post-edit
+    /// snapshot, and re-charge footprint deltas against the budget.
+    /// Returns the edit report and the new snapshot.
+    ///
+    /// Concurrent batches against the same handle serialize on the
+    /// mirror lock; queries resolved before the swap complete on their
+    /// pre-mutation snapshot (`Arc` semantics, same rule as DROP).
+    /// Bringing cached artifacts up to date is the caller's job — see
+    /// [`crate::dynamic`], which patches dirty shards or rebuilds under
+    /// planner control.
+    pub fn apply_edits(&self, edits: &[Edit]) -> Result<(EditReport, Arc<LinkedList>), EditError> {
+        let entry = &self.entry;
+        let mut dynamic = entry.dynamic.lock().unwrap();
+        let store = entry.artifacts.store.upgrade();
+        if dynamic.is_none() {
+            let mirror = MutableList::from_list(&self.list());
+            if let Some(store) = &store {
+                store.recharge(entry.handle, |e| &e.dynamic_bytes, 0, mirror.footprint());
+            }
+            *dynamic = Some(mirror);
+        }
+        let mirror = dynamic.as_mut().expect("materialized above");
+        let old_mirror_bytes = mirror.footprint();
+        let report = mirror.apply(edits)?;
+        let snapshot = Arc::new(mirror.snapshot());
+        let old_list_bytes = entry.list_bytes.load(Ordering::Relaxed);
+        *entry.list.lock().unwrap() = Arc::clone(&snapshot);
+        if let Some(store) = &store {
+            store.recharge(
+                entry.handle,
+                |e| &e.list_bytes,
+                old_list_bytes,
+                list_footprint(&snapshot),
+            );
+            store.recharge(
+                entry.handle,
+                |e| &e.dynamic_bytes,
+                old_mirror_bytes,
+                mirror.footprint(),
+            );
+        }
+        Ok((report, snapshot))
+    }
 }
 
 impl Drop for DatasetRef {
@@ -424,7 +597,7 @@ impl fmt::Debug for DatasetRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DatasetRef")
             .field("handle", &self.entry.handle)
-            .field("len", &self.entry.list.len())
+            .field("len", &self.len())
             .finish()
     }
 }
@@ -476,6 +649,31 @@ impl ArtifactCache {
             map.insert(key, Arc::clone(&built));
         }
         built
+    }
+
+    /// Snapshot of every cached artifact with its plan key, for the
+    /// mutation plane's maintenance sweep.
+    pub(crate) fn entries(&self) -> Vec<((usize, usize), Arc<ShardedList>)> {
+        let map = self.map.lock().unwrap();
+        let mut all: Vec<_> = map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+        all.sort_unstable_by_key(|(k, _)| *k);
+        all
+    }
+
+    /// Swap the artifact cached under `key` for an up-to-date build,
+    /// moving the budget charge from the old footprint to the new one.
+    /// Patched artifacts share clean shards with their predecessor by
+    /// `Arc`, so the charge delta is the accounting truth even though
+    /// physical memory is mostly shared. Entry already dropped ⇒ the
+    /// drop subtracted the old charge and the new artifact is orphaned
+    /// with its cache — nothing to account.
+    pub(crate) fn replace(&self, key: (usize, usize), artifact: Arc<ShardedList>) {
+        let new_bytes = artifact_footprint(&artifact);
+        let old = self.map.lock().unwrap().insert(key, artifact);
+        let old_bytes = old.map(|a| artifact_footprint(&a)).unwrap_or(0);
+        if let Some(store) = self.store.upgrade() {
+            store.recharge(self.handle, |e| &e.artifact_bytes, old_bytes, new_bytes);
+        }
     }
 
     /// Cached plan keys, for tests.

@@ -25,14 +25,14 @@ const DOC_HELLO: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x01, // kind = HELLO
     0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
-    0x03, 0x00, // version = 3
+    0x04, 0x00, // version = 4
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
 const DOC_HELLO_OK: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x81, // kind = HELLO_OK
-    0x03, 0x00, // version = 3
+    0x04, 0x00, // version = 4
     0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
 ];
 
@@ -75,9 +75,9 @@ const DOC_STATS_V2: &[u8] = &[
 /// histogram holding two samples (1000 ns and 2000 ns) plus the gauge
 /// block. See [`example_stats_v2`] for the semantic content.
 const DOC_STATS_V2_OK: &[u8] = &[
-    0x10, 0x01, 0x00, 0x00, // len = 272
+    0x47, 0x01, 0x00, 0x00, // len = 327
     0x87, // kind = STATS_V2_OK
-    0x03, 0x00, // block_count = 3
+    0x04, 0x00, // block_count = 4
     // block 1: the exec-phase latency histogram
     0x01, // tag = 1 (phase histogram)
     0x03, // id = 3 (phase: exec)
@@ -126,6 +126,17 @@ const DOC_STATS_V2_OK: &[u8] = &[
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // put_rejected = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_built = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_reused = 0
+    // block 4: the mutation-plane gauge block (protocol v4)
+    0x07, // tag = 7 (mutation gauges)
+    0x00, // id = 0
+    0x31, 0x00, 0x00, 0x00, // block len = 49
+    0x06, // mutation gauge count = 6
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // mutations = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // edits = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // incremental = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // full = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // dirty_shards_patched = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_patched = 0
 ];
 
 /// The semantic content of [`DOC_STATS_V2_OK`].
@@ -612,6 +623,133 @@ fn documented_handle_conversation_against_a_live_server() {
     assert_eq!(v2.store.resident_count, 0);
     assert_eq!(v2.store.hits, 3, "RANK_H + SCAN_H + SEGSCAN_H all hit");
     assert_eq!(v2.store.misses, 1, "the post-DROP RANK_H missed");
+
+    drop(stream);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+// ------------------------------------------------------------------
+// The documented mutation conversation (protocol v4)
+// ------------------------------------------------------------------
+
+/// PROTOCOL.md §"A worked mutation round trip": MUTATE against handle
+/// 1 with a two-edit batch — splice vertex 0 to the front (traversal
+/// `1 → 0 → 2` becomes `0 → 1 → 2`), then append one fresh vertex at
+/// the tail (`0 → 1 → 2 → 3`).
+const DOC_MUTATE: &[u8] = &[
+    0x1F, 0x00, 0x00, 0x00, // len = 31
+    0x0D, // kind = MUTATE
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // handle = 1
+    0x02, 0x00, 0x00, 0x00, // edit count = 2
+    0x01, // edit kind = 1 (splice)
+    0x00, 0x00, 0x00, 0x00, // first = 0
+    0x00, 0x00, 0x00, 0x00, // last = 0
+    0xFF, 0xFF, 0xFF, 0xFF, // after = 0xFFFFFFFF (none: run moves to the front)
+    0x03, // edit kind = 3 (append)
+    0x01, 0x00, 0x00, 0x00, // count = 1
+];
+
+/// PROTOCOL.md §"A worked mutation round trip": the MUTATE_OK reply.
+/// Both edits applied, the dataset is 4 vertices long, and with no
+/// sharded artifacts cached for a 3-vertex list the maintenance sweep
+/// is vacuously incremental (mode 0, zero shards, zero artifacts).
+/// `exec_ns` is the document's placeholder, 3000.
+const DOC_MUTATE_OK: &[u8] = &[
+    0x1E, 0x00, 0x00, 0x00, // len = 30
+    0x8A, // kind = MUTATE_OK
+    0x02, 0x00, 0x00, 0x00, // applied = 2
+    0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // len = 4
+    0x00, // mode = 0 (fully incremental maintenance)
+    0x00, 0x00, 0x00, 0x00, // dirty_shards = 0
+    0x00, 0x00, 0x00, 0x00, // artifacts = 0
+    0xB8, 0x0B, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // exec_ns = 3000
+];
+
+#[test]
+fn documented_mutate_bytes_round_trip() {
+    use listkit::dynamic::Edit;
+    let edits = [Edit::Splice { first: 0, last: 0, after: None }, Edit::Append { count: 1 }];
+    assert_eq!(framed(FrameKind::Mutate, &protocol::mutate_body(1, &edits)), DOC_MUTATE);
+    let frame = parse(DOC_MUTATE);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::Mutate { handle, edits: got } => {
+            assert_eq!(handle, 1);
+            assert_eq!(got, edits);
+        }
+        other => panic!("want Mutate, got {other:?}"),
+    }
+
+    let ok = protocol::WireMutateOk {
+        applied: 2,
+        len: 4,
+        incremental: true,
+        dirty_shards: 0,
+        artifacts: 0,
+        exec_ns: 3000,
+    };
+    assert_eq!(framed(FrameKind::MutateOk, &protocol::mutate_ok_body(&ok)), DOC_MUTATE_OK);
+    let frame = parse(DOC_MUTATE_OK);
+    assert_eq!(frame.kind, FrameKind::MutateOk as u8);
+    assert_eq!(protocol::decode_mutate_ok(&frame.body).expect("decodes"), ok);
+
+    // A mode byte the document does not define must not decode.
+    let mut future = protocol::mutate_ok_body(&ok);
+    future[12] = 2;
+    assert!(protocol::decode_mutate_ok(&future).is_err(), "mode byte 2 is malformed");
+}
+
+/// The documented mutation conversation against a live daemon
+/// (protocol v4): PUT the example list, replay the documented MUTATE
+/// bytes verbatim, compare the MUTATE_OK byte-for-byte (masking only
+/// `exec_ns`, which the document marks variable), then RANK_H and
+/// check the post-mutation traversal `0 → 1 → 2 → 3`.
+#[cfg(unix)]
+#[test]
+fn documented_mutation_conversation_against_a_live_server() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("rankd-protodoc-m-{}.sock", std::process::id()));
+    let engine = Arc::new(engine::Engine::new(
+        engine::EngineConfig::default().with_workers(1).with_inner_threads(1),
+    ));
+    let server = engine::server::Server::bind(engine, engine::server::ServeConfig::new(&path))
+        .expect("bind");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    let reply_exact = |stream: &mut std::os::unix::net::UnixStream, want: &[u8], what: &str| {
+        let mut got = vec![0u8; want.len()];
+        stream.read_exact(&mut got).unwrap_or_else(|e| panic!("read {what}: {e}"));
+        assert_eq!(got, want, "{what} bytes match the document");
+    };
+
+    stream.write_all(DOC_HELLO).expect("send documented HELLO");
+    reply_exact(&mut stream, DOC_HELLO_OK, "HELLO_OK");
+    stream.write_all(DOC_PUT).expect("send documented PUT");
+    reply_exact(&mut stream, DOC_PUT_OK, "PUT_OK");
+
+    stream.write_all(DOC_MUTATE).expect("send documented MUTATE");
+    let mut mutate_ok = vec![0u8; DOC_MUTATE_OK.len()];
+    stream.read_exact(&mut mutate_ok).expect("read MUTATE_OK");
+    // Mask exec_ns (offset 26..34): the document shows a placeholder.
+    mutate_ok[26..34].copy_from_slice(&DOC_MUTATE_OK[26..34]);
+    assert_eq!(mutate_ok, DOC_MUTATE_OK, "live MUTATE_OK matches the documented bytes");
+
+    // The handle now serves the mutated list: 0 → 1 → 2 → 3.
+    stream.write_all(DOC_RANK_H).expect("send RANK_H after the mutation");
+    let mut reply = &stream;
+    let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+        .expect("read OUTPUT")
+        .expect("reply present");
+    assert_eq!(frame.kind, FrameKind::Output as u8);
+    let (_, ranks) = protocol::decode_output::<u64>(&frame.body).expect("OUTPUT decodes");
+    assert_eq!(ranks, vec![0, 1, 2, 3], "ranks reflect the mutation");
+
+    stream.write_all(DOC_DROP).expect("send documented DROP");
+    reply_exact(&mut stream, DOC_DROP_OK, "DROP_OK");
 
     drop(stream);
     control.request_shutdown();

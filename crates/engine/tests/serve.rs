@@ -807,9 +807,9 @@ fn put_past_budget_is_store_full_and_lru_eviction_frees_idle_datasets() {
 
 #[test]
 fn v2_handshake_is_accepted_and_v1_rejected() {
-    // Protocol v3 is purely additive over v2, so a v2 client must
-    // still connect and use the v2 surface; v1 predates the OUTPUT
-    // metadata change and stays rejected.
+    // Protocol v3 and v4 are purely additive over v2, so a v2 client
+    // must still connect and use the v2 surface; v1 predates the
+    // OUTPUT metadata change and stays rejected.
     let server = start("versions", small_engine(), |c| c);
 
     let mut stream = UnixStream::connect(&server.path).expect("connect v2");
@@ -824,6 +824,19 @@ fn v2_handshake_is_accepted_and_v1_rejected() {
     let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &protocol::rank_body(&list, false));
     assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::Output));
 
+    // A v3 client (handles but no mutation plane) is accepted too: the
+    // v4 additions never moved MIN_VERSION, which stays at 2.
+    assert_eq!(protocol::MIN_VERSION, 2, "v4 did not raise the compatibility floor");
+    let mut stream = UnixStream::connect(&server.path).expect("connect v3");
+    let mut hello = protocol::hello_body();
+    hello[4] = 3; // version = 3
+    hello[5] = 0;
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &hello);
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+    let list3 = gen::random_list(6, 4);
+    let reply = roundtrip(&mut stream, FrameKind::Put as u8, &protocol::put_body(&list3));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::PutOk), "v3 surface still works");
+
     let mut stream = UnixStream::connect(&server.path).expect("connect v1");
     let mut hello = protocol::hello_body();
     hello[4] = 1; // version = 1
@@ -834,6 +847,158 @@ fn v2_handshake_is_accepted_and_v1_rejected() {
         matches!(protocol::read_frame(&mut stream, MAX_FRAME_DEFAULT), Ok(None)),
         "v1 connection is closed"
     );
+    server.stop();
+}
+
+// ---- dynamic lists / mutation plane (protocol v4) ------------------
+
+/// The live-socket half of the mutation differential oracle: drive
+/// random (but always valid) edit batches through `Client::mutate`
+/// while maintaining a client-side [`MutableList`] mirror, and demand
+/// that every post-mutation handle query is byte-identical to a serial
+/// from-scratch rank/scan of the mirror's snapshot.
+#[test]
+fn mutations_then_handle_queries_are_byte_identical_to_serial() {
+    use listkit::dynamic::{Edit, MutableList};
+    let server = start("mutate-parity", small_engine(), |c| c);
+    let mut client = Client::connect(&server.path).expect("connect");
+    let serial = HostRunner::new(Algorithm::Serial);
+
+    for &n in &[4usize, 127, 1025, 20_000] {
+        for (name, list) in wire_zoo(n) {
+            let handle = client.put(&list).expect("put").handle;
+            let mut mirror = MutableList::from_list(&list);
+            let mut rng = 0x5EED_0C90u64 ^ (n as u64) << 7;
+            let mut pick = move |m: u64| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (rng >> 33) % m.max(1)
+            };
+            for _ in 0..4 {
+                let len = mirror.len() as u64;
+                let a = pick(len) as u32;
+                let mut b = pick(len) as u32;
+                if b == a {
+                    b = (a + 1) % len as u32;
+                }
+                let after = if pick(8) == 0 { None } else { Some(b) };
+                let edits = [
+                    Edit::Splice { first: a, last: a, after },
+                    Edit::Delete { v: pick(len) as u32 },
+                    Edit::Append { count: 1 + pick(5) as u32 },
+                ];
+                mirror.apply(&edits).expect("batch valid against the mirror");
+                let ok = client.mutate(handle, &edits).expect("MUTATE accepted");
+                assert_eq!(ok.applied as usize, edits.len(), "{name} n={n}: whole batch");
+                assert_eq!(ok.len as usize, mirror.len(), "{name} n={n}: length parity");
+
+                let snapshot = mirror.snapshot();
+                assert_eq!(
+                    client.rank_h(handle).expect("rank_h").output,
+                    serial.rank(&snapshot),
+                    "rank diverged after mutation on {name} n={n}"
+                );
+                let vals: Vec<i64> = (0..mirror.len() as i64).map(|i| (i % 17) - 8).collect();
+                assert_eq!(
+                    client.scan_add_h(handle, &vals).expect("scan_h").output,
+                    serial.scan(&snapshot, &vals, &AddOp),
+                    "scan diverged after mutation on {name} n={n}"
+                );
+            }
+            client.drop_handle(handle).expect("drop");
+        }
+    }
+
+    // The mutation plane's gauges saw the traffic.
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert!(v2.mutate.mutations > 0, "mutation batches counted");
+    assert_eq!(v2.mutate.edits, v2.mutate.mutations * 3, "three edits per batch");
+    assert_eq!(
+        v2.mutate.incremental + v2.mutate.full,
+        0,
+        "no sharded artifacts existed at these sizes, so no maintenance passes"
+    );
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn adversarial_mutations_fail_typed_on_a_surviving_connection() {
+    use listkit::dynamic::Edit;
+    let server = start("mutate-adversarial", small_engine(), |c| c);
+    let mut a = Client::connect(&server.path).expect("connect a");
+    let list = gen::random_list(64, 9);
+    let h = a.put(&list).expect("put").handle;
+    let baseline = a.rank_h(h).expect("baseline rank").output;
+
+    // Foreign handle: another connection cannot mutate a's dataset.
+    let mut b = Client::connect(&server.path).expect("connect b");
+    assert_eq!(
+        b.delete(h, 0).expect_err("foreign mutate").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    b.rank(&list).expect("b survives the foreign mutation attempt");
+
+    // A handle that was never issued.
+    assert_eq!(
+        a.append(0xDEAD_BEEF, 1).expect_err("unknown handle").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+
+    // Empty batch.
+    assert_eq!(
+        a.mutate(h, &[]).expect_err("empty batch").server_code(),
+        Some(ErrorCode::BadMutation)
+    );
+
+    // Out-of-range splice target and out-of-range delete.
+    assert_eq!(
+        a.splice(h, 999, 999, None).expect_err("splice out of range").server_code(),
+        Some(ErrorCode::BadMutation)
+    );
+    assert_eq!(
+        a.delete(h, 10_000).expect_err("delete out of range").server_code(),
+        Some(ErrorCode::BadMutation)
+    );
+
+    // Splicing a run in front of a vertex inside that run.
+    assert_eq!(
+        a.splice(h, 5, 5, Some(5)).expect_err("target in run").server_code(),
+        Some(ErrorCode::BadMutation)
+    );
+
+    // Rejected batches are atomic over the wire: a valid edit followed
+    // by an invalid one leaves the dataset byte-identical.
+    let poisoned = [Edit::Append { count: 3 }, Edit::Delete { v: 10_000 }];
+    assert_eq!(
+        a.mutate(h, &poisoned).expect_err("poisoned batch").server_code(),
+        Some(ErrorCode::BadMutation)
+    );
+    assert_eq!(
+        a.rank_h(h).expect("handle still serves").output,
+        baseline,
+        "rejected batch must not change the dataset"
+    );
+
+    // A raw truncated MUTATE body is a framing error, not a mutation
+    // error, and the raw connection survives it.
+    let mut stream = UnixStream::connect(&server.path).expect("connect raw");
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &protocol::hello_body());
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+    let reply = roundtrip(&mut stream, FrameKind::Mutate as u8, &[1, 2, 3]);
+    expect_error(&reply, ErrorCode::Malformed);
+    let reply = roundtrip(&mut stream, FrameKind::Stats as u8, &[]);
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::StatsOk));
+
+    // Mutate-after-drop (and a valid mutation on a live handle works).
+    a.append(h, 2).expect("valid mutation on the abused connection");
+    a.drop_handle(h).expect("drop");
+    assert_eq!(
+        a.delete(h, 0).expect_err("mutate after drop").server_code(),
+        Some(ErrorCode::StaleHandle)
+    );
+    a.rank(&list).expect("a's connection survives everything");
+    drop(a);
+    drop(b);
     server.stop();
 }
 

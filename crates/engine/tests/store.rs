@@ -310,6 +310,58 @@ fn artifact_that_cannot_be_charged_is_used_uncached() {
 }
 
 #[test]
+fn drop_during_artifact_build_never_leaks_budget() {
+    // Artifact builds race optimistically: the charge lands before the
+    // map insert, and a losing build uncharges. A DROP that fires in
+    // that window subtracts the entry's total (which already includes
+    // every in-flight charge), so the loser's uncharge must become a
+    // no-op — uncharging again would double-credit the budget, and
+    // keeping the charge would leak it. Race two same-key builders
+    // against a drop over many rounds and pin the only observable
+    // invariant: once every handle is dropped, zero bytes are
+    // resident, no matter where the drop landed.
+    use std::sync::Barrier;
+    let store = Arc::new(DatasetStore::new(1_000_000));
+    for round in 0..80u64 {
+        let list = Arc::new(gen::random_list(2_000, round));
+        let receipt = store.put(1, Arc::clone(&list)).expect("fits");
+        let cache = store.get(receipt.handle, 1).expect("get").artifacts();
+        let barrier = Arc::new(Barrier::new(3));
+        let builders: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let list = Arc::clone(&list);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // Same plan key: the slower build loses the insert
+                    // race and must return its charge — unless the
+                    // drop already did.
+                    let built = cache.get_or_build(&list, 64, 2);
+                    assert_eq!(built.len(), 2_000, "build serves even when uncached");
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Stagger the drop across the build window round by round.
+        for _ in 0..round % 7 {
+            std::thread::yield_now();
+        }
+        store.drop_dataset(receipt.handle, 1).expect("drop");
+        for b in builders {
+            b.join().expect("builder");
+        }
+        let st = store.stats();
+        assert_eq!(
+            st.resident_bytes, 0,
+            "round {round}: all handles dropped yet {} bytes still charged",
+            st.resident_bytes
+        );
+        assert_eq!(st.resident_count, 0, "round {round}");
+    }
+}
+
+#[test]
 fn concurrent_put_query_drop_interleavings_never_serve_foreign_data() {
     // Four connections hammer one small store. Every successful GET
     // must resolve to exactly the list that connection PUT (pointer

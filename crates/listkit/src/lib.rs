@@ -17,6 +17,9 @@
 //! * [`sharded`] — chunked representation for lists beyond one worker's
 //!   scratch budget: shard-local ranking plus a contracted boundary
 //!   list for the cross-shard stitch;
+//! * [`dynamic`] — mutable list editing (splice / delete / append)
+//!   with touched-vertex tracking, feeding
+//!   [`sharded::ShardedList::rebuild_dirty`]'s incremental maintenance;
 //! * [`packed`] — the one-gather encoding of (value, link) in a single
 //!   64-bit word (paper §3, the list-ranking fast path);
 //! * [`walk`] — the K-lane interleaved traversal engine: the modern
@@ -39,6 +42,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod dynamic;
 pub mod gen;
 pub mod list;
 pub mod ops;

@@ -1,0 +1,148 @@
+//! Measure the incremental-maintenance crossover: after a mutation
+//! batch dirties a fraction of a resident dataset's shards, when does
+//! patching the dirty shards in place beat rebuilding the sharded
+//! decomposition from scratch?
+//!
+//! The benchmark builds a 2^22-vertex random list, shards it the way
+//! the engine's artifact cache does, then for each target dirty
+//! fraction applies single-vertex splices spread across the list until
+//! that many shards are dirty and times both maintenance strategies on
+//! identical inputs. It also reports what a warmed-up
+//! [`engine::Planner`] chooses at each fraction, so the numbers in the
+//! README's "Dynamic lists" section can be regenerated with:
+//!
+//! ```text
+//! cargo run --release --example mutate_bench
+//! ```
+//!
+//! Flags: `--n <vertices>` (default 2^22), `--shard-size <vertices>`
+//! (default 2^16), `--lanes <k>` (default 8), `--reps <r>` (default 5,
+//! best-of timing).
+
+use engine::Planner;
+use listkit::dynamic::{Edit, MutableList};
+use listkit::sharded::ShardedList;
+use listkit::{gen, LinkedList};
+use std::time::Instant;
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        })
+        .unwrap_or(default)
+}
+
+/// Splice one vertex out of each target shard so the batch dirties
+/// (at least) the requested shard count, spread across the list the
+/// way real edit traffic would be.
+fn batch_dirtying(
+    mutable: &MutableList,
+    shard_size: usize,
+    target_shards: usize,
+    total_shards: usize,
+) -> Vec<Edit> {
+    let stride = total_shards / target_shards.max(1);
+    (0..target_shards)
+        .map(|i| {
+            let v = ((i * stride.max(1)) * shard_size + shard_size / 2) % mutable.len();
+            let after = (v + 7) % mutable.len();
+            let after = if after == v { (v + 1) % mutable.len() } else { after };
+            Edit::Splice { first: v as u32, last: v as u32, after: Some(after as u32) }
+        })
+        .collect()
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n = parse_flag(&args, "--n", 1 << 22);
+    let shard_size = parse_flag(&args, "--shard-size", 1 << 16);
+    let lanes = parse_flag(&args, "--lanes", 8);
+    let reps = parse_flag(&args, "--reps", 5).max(1);
+    let shards = n.div_ceil(shard_size);
+
+    println!(
+        "mutate_bench: n={n} ({} shards of {shard_size}), {lanes} lanes, best of {reps}",
+        shards
+    );
+
+    // Blocked is the serving-representative topology (the paper's
+    // lists have run-locality, so the contracted boundary list is
+    // small); random is the adversarial one (fragments ≈ n, so the
+    // boundary re-assembly dominates any patch).
+    use listkit::gen::Layout;
+    for (topo, list) in [
+        ("blocked(4096)", gen::list_with_layout(n, Layout::Blocked(4096), 0xC90)),
+        ("random", gen::random_list(n, 0xC90)),
+    ] {
+        let base = ShardedList::build(&list, shard_size).with_lanes(lanes);
+        let planner = Planner::new(num_threads());
+        println!("\ntopology {topo}: {} fragments", base.fragment_count());
+        println!(
+            "{:>8} {:>7} {:>12} {:>12} {:>9} {:>12}",
+            "dirty", "dirty%", "patch ms", "rebuild ms", "speedup", "planner"
+        );
+        for &target in &[1usize, 2, 3, 6, 13, 26, 38, 51, 64] {
+            let target = target.min(shards);
+            let mut mutable = MutableList::from_list(&list);
+            let edits = batch_dirtying(&mutable, shard_size, target, shards);
+            let report = mutable.apply(&edits).expect("bench batch is valid");
+            let dirty = report.dirty_shards(shard_size);
+            let snapshot: LinkedList = mutable.snapshot();
+
+            let (patch_ms, patched) = best_of(reps, || base.rebuild_dirty(&snapshot, &dirty));
+            let (rebuild_ms, rebuilt) =
+                best_of(reps, || ShardedList::build(&snapshot, shard_size).with_lanes(lanes));
+            assert_eq!(patched.rank(), rebuilt.rank(), "patch and rebuild must agree");
+
+            // Warm the planner's history with the measurements, then
+            // ask what it would dispatch for this dirty fraction.
+            planner.record_maintenance(
+                n,
+                shard_size,
+                base.fragment_count(),
+                dirty.len(),
+                true,
+                (patch_ms * 1e6) as u64,
+            );
+            planner.record_maintenance(
+                n,
+                shard_size,
+                base.fragment_count(),
+                dirty.len(),
+                false,
+                (rebuild_ms * 1e6) as u64,
+            );
+            let decision =
+                planner.choose_maintenance(n, shard_size, base.fragment_count(), dirty.len());
+            println!(
+                "{:>8} {:>6.1}% {:>12.2} {:>12.2} {:>8.2}x {:>12}",
+                dirty.len(),
+                100.0 * dirty.len() as f64 / shards as f64,
+                patch_ms,
+                rebuild_ms,
+                rebuild_ms / patch_ms,
+                if decision.incremental { "incremental" } else { "rebuild" }
+            );
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+}

@@ -19,6 +19,12 @@
 //! * `--mode handle` — one PUT per client, then every request queries
 //!   by 8-byte handle: the resident dataset store's repeated-query
 //!   path (protocol v3).
+//! * `--mode mutate` — one PUT per client, then a mutate-then-query
+//!   loop: every `--mutate-every`-th request sends a MUTATE batch
+//!   (splice + delete + append), the rest rank by handle. Each client
+//!   keeps a local mirror of its dataset and checks every rank reply
+//!   byte-for-byte against a from-scratch solve of the mirror — the
+//!   dynamic-lists path (protocol v4) under live traffic.
 //!
 //! Latency histograms time the round trip from *after* the request
 //! body is encoded to the decoded reply, so client-side encode cost
@@ -28,6 +34,8 @@
 //! cargo run --release --example serve_bench -- --clients 8 --requests 50
 //! cargo run --release --example serve_bench -- --mode handle --n 8388608 \
 //!     --clients 1 --requests 32
+//! cargo run --release --example serve_bench -- --mode mutate --n 100000 \
+//!     --clients 4 --requests 40 --mutate-every 4
 //! ```
 
 #[cfg(not(unix))]
@@ -42,6 +50,7 @@ fn main() {
     use engine::protocol::{self, FrameKind, WireOp};
     use engine::server::{ServeConfig, Server};
     use engine::{Engine, EngineConfig};
+    use listkit::dynamic::{Edit, MutableList};
     use listkit::gen;
     use listkit::ops::AddOp;
     use listrank::{Algorithm, HostRunner};
@@ -53,6 +62,7 @@ fn main() {
         Oneshot,
         Inline,
         Handle,
+        Mutate,
     }
 
     let mut clients = 4usize;
@@ -60,6 +70,7 @@ fn main() {
     let mut n = 20_000usize;
     let mut socket: Option<String> = None;
     let mut mode = Mode::Oneshot;
+    let mut mutate_every = 4usize;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -78,15 +89,23 @@ fn main() {
                     "oneshot" => Mode::Oneshot,
                     "inline" => Mode::Inline,
                     "handle" => Mode::Handle,
+                    "mutate" => Mode::Mutate,
                     other => {
-                        eprintln!("unknown --mode {other} (want oneshot|inline|handle)");
+                        eprintln!("unknown --mode {other} (want oneshot|inline|handle|mutate)");
                         std::process::exit(2);
                     }
                 }
             }
+            "--mutate-every" => {
+                mutate_every = val("--mutate-every").parse().expect("ratio");
+                if mutate_every == 0 {
+                    eprintln!("--mutate-every must be ≥ 1");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--mode oneshot|inline|handle] [--socket PATH]"
+                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--mode oneshot|inline|handle|mutate] [--mutate-every K] [--socket PATH]"
                 );
                 std::process::exit(2);
             }
@@ -116,10 +135,16 @@ fn main() {
         Mode::Oneshot => "oneshot",
         Mode::Inline => "inline",
         Mode::Handle => "handle",
+        Mode::Mutate => "mutate",
     };
-    println!(
-        "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode {mode_name}, socket {path}"
-    );
+    match mode {
+        Mode::Mutate => println!(
+            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode mutate (1 mutation per {mutate_every} requests), socket {path}"
+        ),
+        _ => println!(
+            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode {mode_name}, socket {path}"
+        ),
+    }
     let t0 = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -132,7 +157,61 @@ fn main() {
                 // timed from after the request body is encoded.
                 let mut rank_lat = engine::Histogram::new();
                 let mut scan_lat = engine::Histogram::new();
+                let mut mut_lat = engine::Histogram::new();
                 let values: Vec<i64> = (0..n as i64).map(|i| (i % 23) - 11).collect();
+
+                if mode == Mode::Mutate {
+                    // Mutate-then-query loop: the client mirrors its
+                    // dataset locally, applies the same edit batches to
+                    // the mirror, and checks every rank reply against a
+                    // from-scratch solve of the mirror — end-to-end
+                    // byte-identity under live mutation traffic.
+                    let fixed = gen::random_list(n, c as u64 * 1009);
+                    let handle = client.put(&fixed).expect("put").handle;
+                    let mut mirror = MutableList::from_list(&fixed);
+                    let mut expected = runner.rank(&fixed);
+                    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (c as u64) << 17;
+                    let mut pick = move |m: u64| {
+                        rng =
+                            rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        (rng >> 33) % m.max(1)
+                    };
+                    for r in 0..requests {
+                        if r % mutate_every == 0 {
+                            let len = mirror.len() as u64;
+                            let a = pick(len) as u32;
+                            let mut b = pick(len) as u32;
+                            if b == a {
+                                b = (a + 1) % len as u32;
+                            }
+                            let after = if pick(8) == 0 { None } else { Some(b) };
+                            let edits = [
+                                Edit::Splice { first: a, last: a, after },
+                                Edit::Delete { v: pick(len) as u32 },
+                                Edit::Append { count: 1 + pick(8) as u32 },
+                            ];
+                            mirror.apply(&edits).expect("valid batch");
+                            let body = protocol::mutate_body(handle, &edits);
+                            let t_req = Instant::now();
+                            let reply = client.mutate_encoded(&body).expect("mutate");
+                            mut_lat.record(t_req.elapsed().as_nanos() as u64);
+                            assert_eq!(reply.applied, 3, "whole batch applied");
+                            assert_eq!(reply.len, mirror.len() as u64, "length parity");
+                            expected = runner.rank(&mirror.snapshot());
+                        } else {
+                            let body = protocol::rank_h_body(handle, true);
+                            let t_req = Instant::now();
+                            let served = client
+                                .request_encoded::<u64>(FrameKind::RankH, &body)
+                                .expect("rank_h");
+                            rank_lat.record(t_req.elapsed().as_nanos() as u64);
+                            assert_eq!(served.output, expected, "post-mutation rank parity");
+                        }
+                        elements += mirror.len() as u64;
+                    }
+                    client.drop_handle(handle).expect("drop handle");
+                    return (elements, rank_lat, scan_lat, mut_lat);
+                }
 
                 // Inline/handle modes query one dataset repeatedly, so
                 // the expected outputs (and the request bodies, minus
@@ -163,6 +242,7 @@ fn main() {
                             protocol::scan_h_body(h, &values, WireOp::Add, false),
                         )
                     }
+                    Mode::Mutate => unreachable!("mutate mode returned above"),
                 };
 
                 for r in 0..requests {
@@ -207,7 +287,7 @@ fn main() {
                 if let Some(h) = handle {
                     client.drop_handle(h).expect("drop handle");
                 }
-                (elements, rank_lat, scan_lat)
+                (elements, rank_lat, scan_lat, mut_lat)
             })
         })
         .collect();
@@ -216,11 +296,13 @@ fn main() {
     let mut elements = 0u64;
     let mut rank_lat = engine::Histogram::new();
     let mut scan_lat = engine::Histogram::new();
+    let mut mut_lat = engine::Histogram::new();
     for w in workers {
-        let (e, r, s) = w.join().expect("client");
+        let (e, r, s, m) = w.join().expect("client");
         elements += e;
         rank_lat.merge(&r);
         scan_lat.merge(&s);
+        mut_lat.merge(&m);
     }
     let elapsed = t0.elapsed();
     let total = clients * requests;
@@ -230,7 +312,7 @@ fn main() {
         total as f64 / elapsed.as_secs_f64(),
         elements as f64 / elapsed.as_secs_f64() / 1e6
     );
-    for (name, h) in [("rank", &rank_lat), ("scan_add", &scan_lat)] {
+    for (name, h) in [("rank", &rank_lat), ("scan_add", &scan_lat), ("mutate", &mut_lat)] {
         if !h.is_empty() {
             println!(
                 "client latency {name:>9}: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms  ({} requests)",
@@ -244,13 +326,20 @@ fn main() {
     }
 
     let mut probe = Client::connect(&path).expect("probe");
-    if mode == Mode::Handle {
+    if mode == Mode::Handle || mode == Mode::Mutate {
         let v2 = probe.stats_v2().expect("stats_v2");
         let s = &v2.store;
         println!(
             "store: {} hits / {} lookups, {} puts, {} evictions, {} artifacts built / {} reused",
             s.hits, s.lookups, s.puts, s.evictions, s.artifacts_built, s.artifacts_reused
         );
+        if mode == Mode::Mutate {
+            let m = &v2.mutate;
+            println!(
+                "mutations: {} batches ({} edits), maintenance {} incremental / {} full, {} dirty shards patched, {} artifacts patched",
+                m.mutations, m.edits, m.incremental, m.full, m.dirty_shards_patched, m.artifacts_patched
+            );
+        }
     }
     let stats = probe.stats().expect("stats");
     println!("\n-- daemon stats --\n{}", stats.text);

@@ -427,6 +427,180 @@ fn resident_dataset_ops_match_serial_on_every_topology() {
     assert_eq!(store.stats().resident_count, 0, "every dataset was dropped");
 }
 
+/// One valid random batch of edits against `snapshot`: a short-run
+/// splice (walked along the real successor links so it is always a
+/// run), usually a delete, and an append — composition varies with the
+/// seed stream so sequences explore interleavings, not one shape.
+fn random_edit_batch(
+    snapshot: &LinkedList,
+    rng: &mut impl FnMut() -> u64,
+) -> Vec<listkit::dynamic::Edit> {
+    use listkit::dynamic::Edit;
+    let len = snapshot.len() as u64;
+    let mut edits = Vec::new();
+    if len >= 4 {
+        let links = snapshot.links();
+        let first = (rng() % len) as u32;
+        let mut last = first;
+        let mut run = vec![first];
+        for _ in 0..rng() % 3 {
+            let nxt = links[last as usize];
+            if nxt == last {
+                break; // the run reached the tail
+            }
+            last = nxt;
+            run.push(last);
+        }
+        let after = if rng().is_multiple_of(8) {
+            None
+        } else {
+            // Any target outside the run (len ≥ 4 > run length ≤ 3
+            // guarantees one exists within a few probes).
+            let mut b = (rng() % len) as u32;
+            while run.contains(&b) {
+                b = (b + 1) % len as u32;
+            }
+            Some(b)
+        };
+        edits.push(Edit::Splice { first, last, after });
+        if rng().is_multiple_of(2) {
+            edits.push(Edit::Delete { v: (rng() % len) as u32 });
+        }
+    } else if len >= 2 && rng().is_multiple_of(2) {
+        edits.push(Edit::Delete { v: (rng() % len) as u32 });
+    }
+    edits.push(Edit::Append { count: 1 + (rng() % 6) as u32 });
+    edits
+}
+
+/// The dynamic-lists oracle: apply `batches` random mutation batches
+/// to a resident copy of `list` and, after every batch, byte-compare
+/// every cached sharded artifact's rank *and* add-scan against a
+/// from-scratch serial pass over the post-mutation list. All
+/// `shard_sizes` × `lanes_set` artifacts are primed up front, so each
+/// batch maintains each of them (incrementally or by rebuild, per the
+/// planner) and each must stay byte-identical.
+fn check_mutation_sequences(
+    name: &str,
+    list: LinkedList,
+    seed: u64,
+    batches: usize,
+    shard_sizes: &[usize],
+    lanes_set: &[usize],
+) {
+    use engine::{DatasetStore, Planner};
+    use listkit::dynamic::MutableList;
+    use listkit::ops::AddOp;
+    const CONN: u64 = 11;
+    let store = Arc::new(DatasetStore::new(1 << 30));
+    let planner = Planner::new(4);
+    let mut mirror = MutableList::from_list(&list);
+    let receipt = store.put(CONN, Arc::new(list)).expect("put fits");
+    let entry = store.get(receipt.handle, CONN).expect("resident");
+    for &shard in shard_sizes {
+        for &lanes in lanes_set {
+            entry.artifacts().get_or_build(&entry.list(), shard, lanes);
+        }
+    }
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for batch in 0..batches {
+        let edits = random_edit_batch(&entry.list(), &mut rng);
+        mirror.apply(&edits).expect("mirror accepts the batch");
+        let out = engine::dynamic::mutate(&store, &planner, receipt.handle, CONN, &edits)
+            .expect("store accepts the batch");
+        assert_eq!(out.len as usize, mirror.len(), "{name} batch {batch}: length drift");
+        assert_eq!(
+            out.artifacts as usize,
+            shard_sizes.len() * lanes_set.len(),
+            "{name} batch {batch}: every primed artifact is maintained"
+        );
+        let snapshot = entry.list();
+        assert_eq!(
+            snapshot.links(),
+            mirror.snapshot().links(),
+            "{name} batch {batch}: server and mirror applied different lists"
+        );
+        let oracle = listkit::serial::rank(&snapshot);
+        let values: Vec<i64> = (0..snapshot.len() as i64).map(|i| (i % 29) - 14).collect();
+        let scan_oracle = listkit::serial::scan(&snapshot, &values, &AddOp);
+        for &shard in shard_sizes {
+            for &lanes in lanes_set {
+                let a = entry.artifacts().get_or_build(&snapshot, shard, lanes);
+                assert_eq!(
+                    a.rank(),
+                    oracle,
+                    "{name} batch {batch}: rank diverged shard={shard} lanes={lanes}"
+                );
+                assert_eq!(
+                    a.scan(&values, &AddOp),
+                    scan_oracle,
+                    "{name} batch {batch}: scan diverged shard={shard} lanes={lanes}"
+                );
+            }
+        }
+    }
+    assert_eq!(store.mutation_stats().mutations, batches as u64);
+    drop(entry);
+    store.drop_dataset(receipt.handle, CONN).expect("drop");
+    assert_eq!(store.stats().resident_bytes, 0, "drop released list, mirror, and artifacts");
+}
+
+#[test]
+fn mutated_datasets_match_serial_on_every_topology_lane_and_budget() {
+    // The dynamic-lists acceptance matrix: the topology zoo × lanes
+    // {1, 4, 8} × two shard budgets, each under a random mutation
+    // sequence, byte-compared to serial after every batch. The planner
+    // is free to pick incremental or rebuild per pass — the contract
+    // is that the choice is invisible in the bytes.
+    for n in [129usize, 1025, 20_000] {
+        for (name, list) in topologies(n) {
+            check_mutation_sequences(&name, list, SEED ^ n as u64, 5, &[64, 512], &[1, 4, 8]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential-oracle property for mutations: any topology, any
+    /// size, any edit sequence — every maintained artifact stays
+    /// byte-identical to a from-scratch serial solve.
+    #[test]
+    fn mutation_differential(n in 4usize..1500, topo in 0usize..5, seed in any::<u64>()) {
+        let zoo = topologies(n);
+        let (name, list) = zoo[topo % zoo.len()].clone();
+        check_mutation_sequences(&name, list, seed, 4, &[7, 64], &[1, 4]);
+    }
+}
+
+/// Nightly-depth random-mutation sweep: many more sequences over a
+/// wider size range, run with `cargo test -- --include-ignored`.
+#[test]
+#[ignore = "deep mutation sweep; nightly CI runs it via --include-ignored"]
+fn mutation_sweep_deep() {
+    let mut seed = 0xDEC0_DE5Eu64;
+    for case in 0..160 {
+        let mut next = || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let n = 4 + (next() % 5000) as usize;
+        let zoo = topologies(n);
+        let (name, list) = zoo[(next() as usize) % zoo.len()].clone();
+        check_mutation_sequences(&name, list, next(), 6, &[16, 256], &[1, 4, 8]);
+        let _ = case;
+    }
+}
+
 /// The all-singleton stride topology really produces singleton
 /// fragments (the adversarial property the name claims).
 #[test]
