@@ -17,6 +17,40 @@ use engine::{Client, ServeConfig, Server};
 use engine::{Engine, EngineConfig};
 use std::sync::Arc;
 
+/// Minimal signal plumbing for `rankd serve`, declared directly
+/// against the C runtime so the daemon needs no extra dependency:
+/// SIGPIPE ignored (a dead client must surface as a write error on
+/// its own connection, not kill the daemon), SIGTERM latched into an
+/// atomic that a watcher thread turns into a graceful drain.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Latched by the SIGTERM handler; polled by the watcher thread.
+    pub static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGPIPE: i32 = 13;
+    const SIGTERM: i32 = 15;
+    const SIG_IGN: usize = 1;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Async-signal-safe: one relaxed store, nothing else.
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Install both dispositions; call once before serving.
+    pub fn install() {
+        unsafe {
+            signal(SIGPIPE, SIG_IGN);
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
 struct Args {
     workload: WorkloadConfig,
     engine: EngineConfig,
@@ -206,10 +240,27 @@ Serving:
                          datasets + cached artifacts; accepts k/m/g
                          suffixes (e.g. 256m, 2g)          [default 1g]
 
+Resilience:
+  --fault SPEC           seeded fault injection for chaos testing, e.g.
+                         \"io_err=0.01,delay=5ms@0.05,short_write=0.02,\\
+                         exec_panic=0.001,store_err=0.01,seed=7\" —
+                         \"default\" enables documented default rates;
+                         falls back to RANKD_FAULT          [default off]
+  --shed-queue N         shed job requests with a typed `overloaded`
+                         while queue depth ≥ N; 0 = rely on blocking
+                         backpressure                       [default 0]
+  --shed-store BYTES     shed PUTs with a typed `overloaded` while the
+                         store holds ≥ BYTES (k/m/g suffixes); 0 = off
+                                                            [default 0]
+
 Engine (as in plain rankd):
   --workers W --inner-threads T --queue-cap Q --small-cutoff N
   --batch-max B --no-pool --lanes K --shard-budget N
   --no-telemetry --slow-ms MS
+
+Signals: SIGTERM drains gracefully (in-flight replies complete, socket
+file removed, stats printed); SIGPIPE is ignored (dead clients surface
+as write errors on their own connection only).
 
 Logging: set RANKD_LOG=error|warn|info|debug|trace   [default warn]"
     );
@@ -220,6 +271,7 @@ Logging: set RANKD_LOG=error|warn|info|debug|trace   [default warn]"
 fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, EngineConfig) {
     let mut cfg = ServeConfig::new("/tmp/rankd.sock");
     let mut engine = EngineConfig::default();
+    let mut fault_spec: Option<String> = None;
     while let Some(flag) = it.next() {
         let mut val = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
@@ -245,6 +297,19 @@ fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, Engin
                 });
                 cfg = cfg.with_store_budget(bytes);
             }
+            "--fault" => fault_spec = Some(val("--fault")),
+            "--shed-queue" => {
+                cfg = cfg.with_shed_queue_depth(
+                    val("--shed-queue").parse().unwrap_or_else(|_| serve_usage()),
+                )
+            }
+            "--shed-store" => {
+                let bytes = parse_bytes(&val("--shed-store")).unwrap_or_else(|| {
+                    eprintln!("bad --shed-store (want BYTES with optional k/m/g suffix)");
+                    serve_usage()
+                });
+                cfg = cfg.with_shed_store_bytes(bytes);
+            }
             "--help" | "-h" => serve_usage(),
             other => match parse_engine_flag(other, &mut engine, &mut val) {
                 Ok(true) => {}
@@ -259,21 +324,53 @@ fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, Engin
             },
         }
     }
+    // One plane shared by the serving layer (socket/store injection)
+    // and the engine (worker-exec injection), so a single seed drives
+    // one reproducible decision stream.
+    let fault_spec = fault_spec.or_else(|| std::env::var("RANKD_FAULT").ok());
+    if let Some(spec) = fault_spec {
+        let fc = engine::FaultConfig::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --fault spec: {e}");
+            serve_usage()
+        });
+        let plane = Arc::new(engine::FaultPlane::new(fc));
+        cfg = cfg.with_fault(Arc::clone(&plane));
+        engine = engine.with_fault(plane);
+    }
     (cfg, engine)
 }
 
 #[cfg(unix)]
 fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
+    signals::install();
     let max_clients = cfg.max_clients;
     let serve_secs = cfg.serve_secs;
     let store_budget = cfg.store_budget;
+    let faults_on = cfg.fault.is_enabled();
     let engine = Arc::new(Engine::new(engine_cfg));
     let server = Server::bind(Arc::clone(&engine), cfg).unwrap_or_else(|e| {
         eprintln!("rankd serve: bind failed: {e}");
         std::process::exit(1);
     });
+    // SIGTERM → graceful drain: the handler only flips an atomic; this
+    // watcher turns it into the same shutdown path a SHUTDOWN frame
+    // takes. Daemon thread — dies with the process.
+    {
+        let control = server.control();
+        std::thread::Builder::new()
+            .name("rankd-signals".to_string())
+            .spawn(move || {
+                use std::sync::atomic::Ordering;
+                while !signals::TERM_REQUESTED.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                eprintln!("rankd serve: SIGTERM, draining");
+                control.request_shutdown();
+            })
+            .expect("spawn signal watcher");
+    }
     println!(
-        "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, store {}, {})",
+        "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, store {}, {}{})",
         server.socket_path().display(),
         engine.config().workers,
         engine.config().inner_threads,
@@ -283,7 +380,8 @@ fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
         match serve_secs {
             Some(s) => format!("serving {s}s"),
             None => "serving until SHUTDOWN".to_string(),
-        }
+        },
+        if faults_on { ", FAULT INJECTION ON" } else { "" }
     );
     let failed = match server.run() {
         Ok(stats) => {
@@ -439,6 +537,40 @@ fn render_dashboard(socket: &str, v2: &engine::protocol::WireStatsV2) -> String 
             passes,
             patch_rate,
             m.artifacts_patched
+        );
+    }
+    let fg = &v2.fault;
+    let injected = fg.injected_io_errors
+        + fg.injected_delays
+        + fg.injected_short_writes
+        + fg.injected_exec_panics
+        + fg.injected_store_errors;
+    if injected > 0 {
+        let _ = writeln!(
+            out,
+            "faults: {} injected ({} io, {} delay, {} short-write, {} exec-panic, {} store)",
+            injected,
+            fg.injected_io_errors,
+            fg.injected_delays,
+            fg.injected_short_writes,
+            fg.injected_exec_panics,
+            fg.injected_store_errors
+        );
+    }
+    if fg.panics_recovered > 0
+        || fg.workers_respawned > 0
+        || fg.deadline_expired > 0
+        || fg.shed_queue > 0
+        || fg.shed_store > 0
+    {
+        let _ = writeln!(
+            out,
+            "resilience: {} panics recovered, {} workers respawned, {} deadlines expired, shed {} (queue) / {} (store)",
+            fg.panics_recovered,
+            fg.workers_respawned,
+            fg.deadline_expired,
+            fg.shed_queue,
+            fg.shed_store
         );
     }
     if v2.per_op.iter().any(|h| !h.is_empty()) {

@@ -12,6 +12,17 @@
 //! This is the same codec the server uses, so the integration tests
 //! and the `serve_bench` driver exercise the real wire format, not a
 //! shortcut.
+//!
+//! ## Resilience
+//!
+//! A [`RetryPolicy`] (installed with [`Client::with_retry`]) makes the
+//! client ride out *transient* failures on its own: dropped
+//! connections and torn replies trigger a reconnect + fresh handshake,
+//! typed [`ErrorCode::Busy`]/[`ErrorCode::Overloaded`] refusals back
+//! off and resend, all under capped exponential backoff with
+//! deterministic jitter. Everything else — including every MUTATE,
+//! whose first attempt may have applied before the reply was lost — is
+//! surfaced to the caller on the first failure.
 
 use crate::protocol::{
     self, read_frame, write_frame, ErrorCode, Frame, FrameKind, OutputMeta, ReadFrameError,
@@ -22,7 +33,8 @@ use listkit::dynamic::Edit;
 use listkit::ops::Affine;
 use listkit::LinkedList;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -74,6 +86,101 @@ impl ClientError {
     }
 }
 
+/// How a [`Client`] retries transient failures: capped exponential
+/// backoff with deterministic jitter.
+///
+/// The delay before retry `attempt` (0-based) is drawn from
+/// `[exp / 2, exp]` where `exp = min(base_delay << attempt,
+/// max_delay)` — "equal jitter", so the delay never exceeds
+/// `max_delay` and never collapses below half the exponential
+/// schedule. The jitter is a pure function of `(jitter_seed,
+/// attempt)`, so a fleet of clients seeded differently desynchronises
+/// while any single run is exactly reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// First-retry backoff; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling (pre-jitter; jitter never exceeds it).
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 retries, 10 ms base, 500 ms ceiling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry policy: every failure surfaces immediately (the
+    /// behaviour of a plain [`Client::connect`]).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+
+    /// Replace the jitter seed (distinct seeds desynchronise a fleet).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The backoff before retry `attempt` (0-based). Pure and total:
+    /// saturates instead of overflowing for any `attempt`, and the
+    /// result is always within `[exp / 2, exp]` for
+    /// `exp = min(base_delay * 2^attempt, max_delay)`.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let base_ns = u64::try_from(self.base_delay.as_nanos()).unwrap_or(u64::MAX);
+        let max_ns = u64::try_from(self.max_delay.as_nanos()).unwrap_or(u64::MAX);
+        // Widen before shifting: `u64::checked_shl` only guards the
+        // shift *amount*, not value overflow, and a silently wrapped
+        // exponent would collapse the backoff for large attempts.
+        // Capping the shift at 64 keeps the u128 shift defined while
+        // preserving saturation (any base ≥ 1 shifted 64 exceeds
+        // every u64 ceiling).
+        let exp_wide = (u128::from(base_ns) << attempt.min(64)).min(u128::from(max_ns));
+        let exp_ns = u64::try_from(exp_wide).unwrap_or(u64::MAX);
+        let floor_ns = exp_ns / 2;
+        // Span is exp - floor + 1 >= 1, so the modulo is well-defined.
+        let span = exp_ns - floor_ns + 1;
+        let jitter = crate::fault::splitmix64(self.jitter_seed ^ u64::from(attempt)) % span;
+        Duration::from_nanos(floor_ns + jitter)
+    }
+
+    /// Whether `error` is worth retrying: transport failures that a
+    /// reconnect can heal, plus the server's explicit
+    /// back-off-and-come-back refusals ([`ErrorCode::Busy`],
+    /// [`ErrorCode::Overloaded`]). Typed application errors (stale
+    /// handles, malformed requests, failed jobs…) are not transient.
+    pub fn is_transient(error: &ClientError) -> bool {
+        match error {
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::WriteZero
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::NotFound
+            ),
+            ClientError::Server { kind, .. } => {
+                matches!(kind, Some(ErrorCode::Busy) | Some(ErrorCode::Overloaded))
+            }
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
 /// A served result: the typed output payload plus the execution
 /// metadata the OUTPUT frame carries.
 #[derive(Clone, Debug)]
@@ -88,6 +195,9 @@ pub struct ServedOutput<T> {
 /// A connected, handshaken `rankd serve` client.
 pub struct Client {
     stream: UnixStream,
+    /// The socket path, kept for retry-driven reconnects.
+    path: PathBuf,
+    retry: RetryPolicy,
     server_version: u16,
     server_max_frame: u32,
 }
@@ -95,19 +205,71 @@ pub struct Client {
 impl Client {
     /// Connect to the daemon's socket and perform the HELLO handshake.
     pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(path)?;
-        let mut client = Client { stream, server_version: 0, server_max_frame: MAX_FRAME_DEFAULT };
-        let reply = client.call(FrameKind::Hello, &protocol::hello_body())?;
+        let path = path.as_ref().to_path_buf();
+        let stream = UnixStream::connect(&path)?;
+        let mut client = Client {
+            stream,
+            path,
+            retry: RetryPolicy::none(),
+            server_version: 0,
+            server_max_frame: MAX_FRAME_DEFAULT,
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Connect under `policy`: a refused/missing socket (daemon still
+    /// binding, or briefly restarting) is retried on the policy's
+    /// backoff schedule before giving up. The policy stays installed
+    /// on the returned client, as if by [`Client::with_retry`].
+    pub fn connect_with_retry(
+        path: impl AsRef<Path>,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let path = path.as_ref();
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(path) {
+                Ok(client) => return Ok(client.with_retry(policy)),
+                Err(e) if attempt < policy.max_retries && RetryPolicy::is_transient(&e) => {
+                    std::thread::sleep(policy.backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Install a retry policy on this client (see [`RetryPolicy`] for
+    /// what gets retried).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Perform the HELLO handshake on the current stream.
+    fn handshake(&mut self) -> Result<(), ClientError> {
+        let reply = self.call_once(FrameKind::Hello, &protocol::hello_body())?;
         match FrameKind::from_u8(reply.kind) {
             Some(FrameKind::HelloOk) => {
                 let (version, max_frame) = protocol::decode_hello_ok(&reply.body)
                     .map_err(|e| ClientError::Protocol(e.to_string()))?;
-                client.server_version = version;
-                client.server_max_frame = max_frame;
-                Ok(client)
+                self.server_version = version;
+                self.server_max_frame = max_frame;
+                Ok(())
             }
             other => Err(ClientError::Protocol(format!("expected HELLO_OK, got {other:?}"))),
         }
+    }
+
+    /// Replace the dead stream with a fresh connection + handshake.
+    /// Server-side per-connection state (resident dataset handles!)
+    /// died with the old connection; callers holding handles must
+    /// re-PUT after a reconnect, which surfaces to them as
+    /// [`ErrorCode::StaleHandle`] on the next handle op.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = UnixStream::connect(&self.path)?;
+        self.handshake()
     }
 
     /// The protocol version the server reported in HELLO_OK.
@@ -129,9 +291,36 @@ impl Client {
         self.server_max_frame.saturating_mul(2).saturating_add(64)
     }
 
+    /// One round trip under the retry policy: transient failures
+    /// reconnect (for transport errors) and resend, with backoff.
+    /// MUTATE is never retried — its first attempt may have applied
+    /// before the reply was lost, and resending would double-apply.
+    fn call(&mut self, kind: FrameKind, body: &[u8]) -> Result<Frame, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call_once(kind, body) {
+                Ok(frame) => return Ok(frame),
+                Err(e) => e,
+            };
+            if kind == FrameKind::Mutate
+                || attempt >= self.retry.max_retries
+                || !RetryPolicy::is_transient(&err)
+            {
+                return Err(err);
+            }
+            std::thread::sleep(self.retry.backoff_delay(attempt));
+            attempt += 1;
+            if matches!(err, ClientError::Io(_)) {
+                // A failed reconnect just burns this attempt; the next
+                // call_once on the stale stream fails fast and loops.
+                let _ = self.reconnect();
+            }
+        }
+    }
+
     /// One round trip: write a frame, read the reply, surface error
     /// frames as [`ClientError::Server`].
-    fn call(&mut self, kind: FrameKind, body: &[u8]) -> Result<Frame, ClientError> {
+    fn call_once(&mut self, kind: FrameKind, body: &[u8]) -> Result<Frame, ClientError> {
         write_frame(&mut self.stream, kind as u8, body)?;
         let reply_cap = self.reply_cap();
         let frame = match read_frame(&mut self.stream, reply_cap) {
@@ -182,6 +371,34 @@ impl Client {
     /// shard-parallel path.
     pub fn rank_sharded(&mut self, list: &LinkedList) -> Result<ServedOutput<u64>, ClientError> {
         self.expect_output(FrameKind::Rank, &protocol::rank_body(list, true))
+    }
+
+    /// [`Client::rank`] with a queue deadline: if the job has not
+    /// started executing within `deadline_ms` of submission, the
+    /// server drops it and answers
+    /// [`ErrorCode::DeadlineExceeded`]. Requires a v5 server.
+    pub fn rank_with_deadline(
+        &mut self,
+        list: &LinkedList,
+        deadline_ms: u64,
+    ) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(
+            FrameKind::Rank,
+            &protocol::rank_body_deadline(list, false, Some(deadline_ms)),
+        )
+    }
+
+    /// [`Client::rank_h`] with a queue deadline (see
+    /// [`Client::rank_with_deadline`]).
+    pub fn rank_h_with_deadline(
+        &mut self,
+        handle: u64,
+        deadline_ms: u64,
+    ) -> Result<ServedOutput<u64>, ClientError> {
+        self.expect_output(
+            FrameKind::RankH,
+            &protocol::rank_h_body_deadline(handle, false, Some(deadline_ms)),
+        )
     }
 
     fn scan_with<T: WireElem>(

@@ -1,5 +1,6 @@
 //! The engine proper: worker pool, dispatch loop, lifecycle.
 
+use crate::fault::FaultPlane;
 use crate::job::{
     ErasedOutput, JobCell, JobError, JobHandle, JobOptions, JobReport, JobSpec, QueuedJob, Request,
 };
@@ -49,6 +50,11 @@ pub struct EngineConfig {
     /// `None` = the `RANKD_SLOW_MS` environment variable, defaulting to
     /// [`crate::telemetry::DEFAULT_SLOW_MS`].
     pub slow_request_ms: Option<u64>,
+    /// Fault-injection plane for the worker-side injection points
+    /// (`exec_panic`, `worker_panic`). Disabled by default — one branch
+    /// per decision, no other cost. The server shares its plane here so
+    /// one `--fault` spec drives every layer.
+    pub fault: Arc<FaultPlane>,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +72,7 @@ impl Default for EngineConfig {
             lanes: None,
             telemetry: true,
             slow_request_ms: None,
+            fault: Arc::new(FaultPlane::disabled()),
         }
     }
 }
@@ -127,6 +134,13 @@ impl EngineConfig {
         self.slow_request_ms = Some(ms);
         self
     }
+
+    /// Install a fault-injection plane (shared with the server so one
+    /// spec drives socket, store, and worker injection points).
+    pub fn with_fault(mut self, fault: Arc<FaultPlane>) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 struct Shared {
@@ -171,7 +185,26 @@ impl Engine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rankd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    // Respawn wrapper: per-job panics are isolated
+                    // inside worker_loop, but a panic *outside* job
+                    // execution (poisoned scratch, injected
+                    // worker_panic) would otherwise silently kill this
+                    // worker and shrink the pool until the daemon
+                    // starves. Catch it, count it, re-enter the loop on
+                    // the same thread. worker_loop never holds an
+                    // uncompleted job across a panic point, so no
+                    // waiter is stranded by the unwind.
+                    .spawn(move || loop {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(&shared)
+                        }));
+                        match run {
+                            Ok(()) => break,
+                            Err(_) => {
+                                shared.counters.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -272,6 +305,12 @@ impl Engine {
         &self.shared.planner
     }
 
+    /// Current queue depth (cheap — one lock, no snapshot gathering;
+    /// the server's load-shed watermark check polls this per request).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn stats(&self) -> EngineStats {
         EngineStats::gather(
@@ -354,6 +393,17 @@ fn worker_loop(shared: &Shared) {
                     shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                // Deadline enforcement happens here, at dequeue and
+                // before any execution or queue accounting: an expired
+                // job's wait never pollutes the queued_ns counters or
+                // the QueueWait histogram the planner reads.
+                if let Some(deadline_ms) = job.opts.deadline_ms {
+                    if crate::fault::deadline_expired(job.enqueued.elapsed(), deadline_ms) {
+                        shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        job.cell.complete(Err(JobError::DeadlineExceeded));
+                        continue;
+                    }
+                }
                 let n = job.spec.len();
                 let op = job.spec.op_kind();
                 let queued_ns = job.enqueued.elapsed().as_nanos() as u64;
@@ -387,8 +437,11 @@ fn worker_loop(shared: &Shared) {
                 // worker (stranding every later waiter) — it completes
                 // its cell with `Failed` instead. The scratch is safe
                 // to reuse afterwards: every entry point re-clears it.
-                let exec =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match decision {
+                let exec = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if shared.cfg.fault.exec_panic() {
+                        panic!("injected exec panic (fault plane)");
+                    }
+                    match decision {
                         ShardDecision::Monolithic(plan) => {
                             let mut runner = HostRunner::new(plan.algorithm)
                                 .with_seed(job.opts.seed)
@@ -455,7 +508,8 @@ fn worker_loop(shared: &Shared) {
                                 stitch_ns: report.stitch_ns,
                             }
                         }
-                    }));
+                    }
+                }));
                 let exec_ns = t0.elapsed().as_nanos() as u64;
                 let lane_stats = scratch.telemetry.snapshot();
                 shared.counters.lane_steps.fetch_add(lane_stats.steps, Ordering::Relaxed);
@@ -464,6 +518,7 @@ fn worker_loop(shared: &Shared) {
                     Ok(done) => done,
                     Err(_) => {
                         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.panics_recovered.fetch_add(1, Ordering::Relaxed);
                         job.cell.complete(Err(JobError::Failed));
                         continue;
                     }
@@ -547,6 +602,12 @@ fn worker_loop(shared: &Shared) {
         });
         if shared.cfg.pool_scratch {
             shared.pool.release(scratch);
+        }
+        // The worker-panic injection point sits *between* batches: every
+        // popped job has already settled, so the unwind (caught by the
+        // respawn wrapper around this loop) strands no waiter.
+        if shared.cfg.fault.worker_panic() {
+            panic!("injected worker panic (fault plane)");
         }
     }
 }

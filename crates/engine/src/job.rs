@@ -513,11 +513,24 @@ pub struct JobOptions {
     /// Carried into the request's telemetry span so slow-request log
     /// lines show the full timeline.
     pub decode_ns: u64,
+    /// Queue deadline in milliseconds, measured from enqueue. A job
+    /// still queued when the deadline passes is dropped at dequeue —
+    /// before any execution — and settles as
+    /// [`JobError::DeadlineExceeded`]. `None` (the default) means the
+    /// job waits indefinitely. The arithmetic is overflow-free at
+    /// `u64::MAX` (see [`crate::fault::deadline_expired`]).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for JobOptions {
     fn default() -> Self {
-        JobOptions { seed: 0x1994, algorithm: None, trace_id: None, decode_ns: 0 }
+        JobOptions {
+            seed: 0x1994,
+            algorithm: None,
+            trace_id: None,
+            decode_ns: 0,
+            deadline_ms: None,
+        }
     }
 }
 
@@ -525,6 +538,14 @@ impl JobOptions {
     /// Attach an upstream-assigned trace id.
     pub fn with_trace_id(mut self, id: u64) -> Self {
         self.trace_id = Some(id);
+        self
+    }
+
+    /// Set a queue deadline: drop the job (typed
+    /// [`JobError::DeadlineExceeded`]) if a worker has not picked it up
+    /// within `ms` milliseconds of enqueue.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
         self
     }
 }
@@ -603,7 +624,8 @@ impl JobReport<ErasedOutput> {
 
 /// Why a job produced no result. There is no shutdown variant:
 /// `Engine::shutdown` (and drop) drain the queue fully, so every
-/// accepted job settles as completed, cancelled, or failed.
+/// accepted job settles as completed, cancelled, failed, or
+/// deadline-expired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum JobError {
     /// The job was cancelled before its result landed.
@@ -611,6 +633,9 @@ pub enum JobError {
     /// Execution panicked; the worker survived and completed the job
     /// with this error instead of stranding its waiter.
     Failed,
+    /// The job's [`JobOptions::deadline_ms`] expired while it was
+    /// queued; it was dropped at dequeue without executing.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for JobError {
@@ -618,6 +643,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Cancelled => f.write_str("job cancelled"),
             JobError::Failed => f.write_str("job execution panicked"),
+            JobError::DeadlineExceeded => f.write_str("request deadline exceeded in queue"),
         }
     }
 }

@@ -63,6 +63,7 @@
 pub mod client;
 pub mod dynamic;
 mod engine;
+pub mod fault;
 pub mod job;
 pub mod op;
 pub mod planner;
@@ -78,8 +79,9 @@ pub mod workload;
 
 pub use crate::engine::{Engine, EngineConfig};
 #[cfg(unix)]
-pub use client::{Client, ClientError, ServedOutput};
+pub use client::{Client, ClientError, RetryPolicy, ServedOutput};
 pub use dynamic::{MutateError, MutationOutcome};
+pub use fault::{FaultConfig, FaultPlane, FaultSnapshot};
 pub use job::{JobError, JobHandle, JobOptions, JobReport, Request};
 pub use op::OpKind;
 pub use planner::{MutateDecision, Plan, PlanDecision, Planner, ShardDecision};

@@ -53,13 +53,20 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
 /// **4** — dynamic lists: MUTATE / MUTATE_OK (batched splice / delete /
 /// append edits against a resident handle), error code `bad_mutation`,
 /// and the STATS_V2 `mutate` gauge block. v4 is again purely additive,
+/// so [`MIN_VERSION`] stays at 2. **5** — resilience: the
+/// [`FLAG_DEADLINE`] request flag (an optional per-request
+/// `deadline_ms: u64` after the flags byte in the six job-bearing
+/// kinds), error codes `internal_error`, `deadline_exceeded`, and
+/// `overloaded`, and the STATS_V2 `fault` gauge block. v5 is purely
+/// additive; a server only honors the deadline flag on connections
+/// that negotiated v5 or newer (from an older client it is malformed),
 /// so [`MIN_VERSION`] stays at 2.
-pub const VERSION: u16 = 4;
+pub const VERSION: u16 = 5;
 
-/// Oldest HELLO version a server still accepts. v2 and v3 clients
-/// speak strict subsets of v4 (they simply never send handle or
-/// mutation frames); v1 is rejected because the OUTPUT layout changed
-/// in v2.
+/// Oldest HELLO version a server still accepts. v2–v4 clients speak
+/// strict subsets of v5 (they simply never send handle, mutation, or
+/// deadline-flagged frames); v1 is rejected because the OUTPUT layout
+/// changed in v2.
 pub const MIN_VERSION: u16 = 2;
 
 /// Default cap on `len` a peer will accept (256 MiB): large enough for
@@ -226,8 +233,9 @@ pub enum ErrorCode {
     InvalidRequest = 5,
     /// The engine is shutting down and accepts no new work.
     EngineShutdown = 6,
-    /// Job execution panicked; the daemon survives and the connection
-    /// stays open.
+    /// The job was cancelled before completion. (Through protocol v4
+    /// this code also covered worker panics; v5 reports those as
+    /// [`ErrorCode::InternalError`].) The connection stays open.
     JobFailed = 7,
     /// The daemon is at `--max-clients`; retry later.
     Busy = 8,
@@ -250,6 +258,19 @@ pub enum ErrorCode {
     /// kind, …). The batch is atomic — the dataset is untouched — and
     /// the connection stays open.
     BadMutation = 14,
+    /// Job execution panicked inside a worker. The panic was isolated:
+    /// only this request is lost, the daemon keeps serving, and the
+    /// connection stays open. Added in protocol v5.
+    InternalError = 15,
+    /// The request's [`FLAG_DEADLINE`] deadline expired while the job
+    /// was queued; it was dropped before execution. The connection
+    /// stays open. Added in protocol v5.
+    DeadlineExceeded = 16,
+    /// The daemon shed this request at an overload watermark (queue
+    /// depth or store pressure) instead of blocking. The message
+    /// carries a `retry_after_ms=N` hint; the connection stays open.
+    /// Added in protocol v5.
+    Overloaded = 17,
 }
 
 impl ErrorCode {
@@ -270,6 +291,9 @@ impl ErrorCode {
             12 => ErrorCode::StaleHandle,
             13 => ErrorCode::StoreFull,
             14 => ErrorCode::BadMutation,
+            15 => ErrorCode::InternalError,
+            16 => ErrorCode::DeadlineExceeded,
+            17 => ErrorCode::Overloaded,
             _ => return None,
         })
     }
@@ -284,7 +308,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnknownOp => "unknown scan operator",
             ErrorCode::InvalidRequest => "request failed submit validation",
             ErrorCode::EngineShutdown => "engine shutting down",
-            ErrorCode::JobFailed => "job execution panicked",
+            ErrorCode::JobFailed => "job failed before completion",
             ErrorCode::Busy => "server at max clients",
             ErrorCode::FrameTooLarge => "frame exceeds size cap",
             ErrorCode::ExpectedHello => "expected HELLO handshake first",
@@ -292,6 +316,9 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::StaleHandle => "stale dataset handle",
             ErrorCode::StoreFull => "dataset store budget exhausted",
             ErrorCode::BadMutation => "invalid mutation batch",
+            ErrorCode::InternalError => "job execution panicked",
+            ErrorCode::DeadlineExceeded => "request deadline exceeded",
+            ErrorCode::Overloaded => "server overloaded, retry later",
         };
         f.write_str(s)
     }
@@ -556,6 +583,14 @@ impl<'a> Dec<'a> {
 /// plan branch ([`crate::Request::rank_sharded`] and friends).
 pub const FLAG_SHARDED: u8 = 0b0000_0001;
 
+/// Request flag bit (protocol v5): a `deadline_ms: u64` follows the
+/// flags byte. The deadline is relative — "drop this request if it has
+/// not started executing within this many milliseconds of arrival" —
+/// and is enforced at dequeue with a typed
+/// [`ErrorCode::DeadlineExceeded`] reply. Servers reject the flag as
+/// malformed on connections that negotiated a HELLO version below 5.
+pub const FLAG_DEADLINE: u8 = 0b0000_0010;
+
 /// A decoded client→server request, ready to map onto the engine's
 /// typed [`crate::Request`] builders. The successor array has already
 /// passed [`LinkedList`] construction — a structurally invalid list
@@ -574,6 +609,8 @@ pub enum WireRequest {
     Rank {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// The validated list.
         list: LinkedList,
     },
@@ -581,6 +618,8 @@ pub enum WireRequest {
     Scan {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// The validated list.
@@ -593,6 +632,8 @@ pub enum WireRequest {
     SegScan {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// The validated list.
@@ -611,6 +652,8 @@ pub enum WireRequest {
     RankH {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// Handle from a PUT_OK on this connection.
         handle: u64,
     },
@@ -618,6 +661,8 @@ pub enum WireRequest {
     ScanH {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// Handle from a PUT_OK on this connection.
@@ -631,6 +676,8 @@ pub enum WireRequest {
     SegScanH {
         /// Shard-parallel routing flag.
         sharded: bool,
+        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
+        deadline_ms: Option<u64>,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// Handle from a PUT_OK on this connection.
@@ -664,16 +711,18 @@ pub enum WireRequest {
     Shutdown,
 }
 
-/// Read the request flags byte, enforcing the spec's "other bits must
-/// be zero" rule: a future client's unknown flag must fail typed
+/// Read the request flags byte (and the `deadline_ms` field when
+/// [`FLAG_DEADLINE`] is set), enforcing the spec's "other bits must be
+/// zero" rule: a future client's unknown flag must fail typed
 /// (`malformed`) rather than be silently dropped and the request
 /// executed under different semantics than it asked for.
-fn decode_flags(d: &mut Dec<'_>) -> Result<u8, WireError> {
+fn decode_flags(d: &mut Dec<'_>) -> Result<(u8, Option<u64>), WireError> {
     let flags = d.u8("flags")?;
-    if flags & !FLAG_SHARDED != 0 {
+    if flags & !(FLAG_SHARDED | FLAG_DEADLINE) != 0 {
         return Err(WireError::malformed(format!("reserved flag bits set: {flags:#010b}")));
     }
-    Ok(flags)
+    let deadline_ms = if flags & FLAG_DEADLINE != 0 { Some(d.u64("deadline_ms")?) } else { None };
+    Ok((flags, deadline_ms))
 }
 
 fn decode_list(d: &mut Dec<'_>) -> Result<(LinkedList, usize), WireError> {
@@ -711,12 +760,12 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             WireRequest::Hello { magic, version }
         }
         FrameKind::Rank => {
-            let flags = decode_flags(&mut d)?;
+            let (flags, deadline_ms) = decode_flags(&mut d)?;
             let (list, _) = decode_list(&mut d)?;
-            WireRequest::Rank { sharded: flags & FLAG_SHARDED != 0, list }
+            WireRequest::Rank { sharded: flags & FLAG_SHARDED != 0, deadline_ms, list }
         }
         FrameKind::Scan | FrameKind::SegScan => {
-            let flags = decode_flags(&mut d)?;
+            let (flags, deadline_ms) = decode_flags(&mut d)?;
             let op_byte = d.u8("operator")?;
             let op = WireOp::from_u8(op_byte).ok_or(WireError {
                 code: ErrorCode::UnknownOp,
@@ -727,10 +776,10 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             if kind == FrameKind::SegScan {
                 let starts = decode_starts(n, &mut d)?;
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::SegScan { sharded, op, list, starts, values }
+                WireRequest::SegScan { sharded, deadline_ms, op, list, starts, values }
             } else {
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::Scan { sharded, op, list, values }
+                WireRequest::Scan { sharded, deadline_ms, op, list, values }
             }
         }
         FrameKind::Put => {
@@ -742,12 +791,12 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             WireRequest::Put { list }
         }
         FrameKind::RankH => {
-            let flags = decode_flags(&mut d)?;
+            let (flags, deadline_ms) = decode_flags(&mut d)?;
             let handle = d.u64("handle")?;
-            WireRequest::RankH { sharded: flags & FLAG_SHARDED != 0, handle }
+            WireRequest::RankH { sharded: flags & FLAG_SHARDED != 0, deadline_ms, handle }
         }
         FrameKind::ScanH | FrameKind::SegScanH => {
-            let flags = decode_flags(&mut d)?;
+            let (flags, deadline_ms) = decode_flags(&mut d)?;
             let op_byte = d.u8("operator")?;
             let op = WireOp::from_u8(op_byte).ok_or(WireError {
                 code: ErrorCode::UnknownOp,
@@ -759,10 +808,10 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             if kind == FrameKind::SegScanH {
                 let starts = decode_starts(n, &mut d)?;
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::SegScanH { sharded, op, handle, starts, values }
+                WireRequest::SegScanH { sharded, deadline_ms, op, handle, starts, values }
             } else {
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::ScanH { sharded, op, handle, values }
+                WireRequest::ScanH { sharded, deadline_ms, op, handle, values }
             }
         }
         FrameKind::Drop => {
@@ -809,10 +858,28 @@ fn put_list(list: &LinkedList, out: &mut Vec<u8>) {
     }
 }
 
+/// Append the flags byte, plus the `deadline_ms` field when a deadline
+/// is present (which sets [`FLAG_DEADLINE`], a v5 construct).
+fn push_flags(b: &mut Vec<u8>, sharded: bool, deadline_ms: Option<u64>) {
+    let mut flags = if sharded { FLAG_SHARDED } else { 0 };
+    if deadline_ms.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    b.push(flags);
+    if let Some(ms) = deadline_ms {
+        b.extend_from_slice(&ms.to_le_bytes());
+    }
+}
+
 /// RANK body: flags + the list's head/length/successor array.
 pub fn rank_body(list: &LinkedList, sharded: bool) -> Vec<u8> {
-    let mut b = Vec::with_capacity(1 + 8 + 4 * list.len());
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    rank_body_deadline(list, sharded, None)
+}
+
+/// [`rank_body`] with an optional queue deadline (protocol v5).
+pub fn rank_body_deadline(list: &LinkedList, sharded: bool, deadline_ms: Option<u64>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(9 + 8 + 4 * list.len());
+    push_flags(&mut b, sharded, deadline_ms);
     put_list(list, &mut b);
     b
 }
@@ -828,9 +895,23 @@ pub fn scan_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
+    scan_body_deadline(list, values, op, sharded, None)
+}
+
+/// [`scan_body`] with an optional queue deadline (protocol v5).
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`.
+pub fn scan_body_deadline<T: WireElem>(
+    list: &LinkedList,
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
-    let mut b = Vec::with_capacity(2 + 8 + 4 * list.len() + T::BYTES * values.len());
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    let mut b = Vec::with_capacity(10 + 8 + 4 * list.len() + T::BYTES * values.len());
+    push_flags(&mut b, sharded, deadline_ms);
     b.push(op as u8);
     put_list(list, &mut b);
     for &v in values {
@@ -864,12 +945,28 @@ pub fn segscan_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
+    segscan_body_deadline(list, starts, values, op, sharded, None)
+}
+
+/// [`segscan_body`] with an optional queue deadline (protocol v5).
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ.
+pub fn segscan_body_deadline<T: WireElem>(
+    list: &LinkedList,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
     assert_eq!(starts.len(), values.len(), "one start flag per value");
     let mut b = Vec::with_capacity(
-        2 + 8 + 4 * list.len() + starts.len().div_ceil(8) + T::BYTES * values.len(),
+        10 + 8 + 4 * list.len() + starts.len().div_ceil(8) + T::BYTES * values.len(),
     );
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    push_flags(&mut b, sharded, deadline_ms);
     b.push(op as u8);
     put_list(list, &mut b);
     b.extend_from_slice(&pack_starts(starts));
@@ -890,8 +987,13 @@ pub fn put_body(list: &LinkedList) -> Vec<u8> {
 
 /// RANK_H body: flags + dataset handle.
 pub fn rank_h_body(handle: u64, sharded: bool) -> Vec<u8> {
-    let mut b = Vec::with_capacity(9);
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    rank_h_body_deadline(handle, sharded, None)
+}
+
+/// [`rank_h_body`] with an optional queue deadline (protocol v5).
+pub fn rank_h_body_deadline(handle: u64, sharded: bool, deadline_ms: Option<u64>) -> Vec<u8> {
+    let mut b = Vec::with_capacity(17);
+    push_flags(&mut b, sharded, deadline_ms);
     b.extend_from_slice(&handle.to_le_bytes());
     b
 }
@@ -903,9 +1005,23 @@ pub fn rank_h_body(handle: u64, sharded: bool) -> Vec<u8> {
 /// Panics if `T`'s wire width does not match `op` — the typed
 /// [`crate::client::Client`] methods make that impossible.
 pub fn scan_h_body<T: WireElem>(handle: u64, values: &[T], op: WireOp, sharded: bool) -> Vec<u8> {
+    scan_h_body_deadline(handle, values, op, sharded, None)
+}
+
+/// [`scan_h_body`] with an optional queue deadline (protocol v5).
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`.
+pub fn scan_h_body_deadline<T: WireElem>(
+    handle: u64,
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
-    let mut b = Vec::with_capacity(14 + T::BYTES * values.len());
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    let mut b = Vec::with_capacity(22 + T::BYTES * values.len());
+    push_flags(&mut b, sharded, deadline_ms);
     b.push(op as u8);
     b.extend_from_slice(&handle.to_le_bytes());
     b.extend_from_slice(&(values.len() as u32).to_le_bytes());
@@ -928,10 +1044,26 @@ pub fn segscan_h_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
+    segscan_h_body_deadline(handle, starts, values, op, sharded, None)
+}
+
+/// [`segscan_h_body`] with an optional queue deadline (protocol v5).
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ.
+pub fn segscan_h_body_deadline<T: WireElem>(
+    handle: u64,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    sharded: bool,
+    deadline_ms: Option<u64>,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
     assert_eq!(starts.len(), values.len(), "one start flag per value");
-    let mut b = Vec::with_capacity(14 + starts.len().div_ceil(8) + T::BYTES * values.len());
-    b.push(if sharded { FLAG_SHARDED } else { 0 });
+    let mut b = Vec::with_capacity(22 + starts.len().div_ceil(8) + T::BYTES * values.len());
+    push_flags(&mut b, sharded, deadline_ms);
     b.push(op as u8);
     b.extend_from_slice(&handle.to_le_bytes());
     b.extend_from_slice(&(values.len() as u32).to_le_bytes());
@@ -1292,6 +1424,11 @@ pub const TAG_STORE: u8 = 6;
 /// [`MutGauges`] field order). Added in protocol v4; older readers
 /// skip it by tag.
 pub const TAG_MUTATE: u8 = 7;
+/// STATS_V2_OK block tag: the fault/resilience gauge block (block id
+/// is `0`; payload is `count: u8` followed by `count` LE `u64`s in
+/// [`FaultGauges`] field order). Added in protocol v5; older readers
+/// skip it by tag.
+pub const TAG_FAULT: u8 = 8;
 
 /// The fixed gauge block of a STATS_V2_OK frame: point-in-time scalars
 /// the `rankd stats` dashboard needs alongside the histograms. Encoded
@@ -1486,6 +1623,73 @@ impl MutGauges {
     }
 }
 
+/// The fault/resilience gauge block of a STATS_V2_OK frame: what the
+/// fault-injection plane ([`crate::fault::FaultPlane`]) injected, and
+/// what the resilience machinery absorbed (panics isolated, workers
+/// respawned, deadlines expired, requests shed). Encoded with a
+/// leading count so future versions can append gauges without breaking
+/// older readers. Added in protocol v5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultGauges {
+    /// Socket reads/writes failed by injection.
+    pub injected_io_errors: u64,
+    /// Artificial socket delays injected.
+    pub injected_delays: u64,
+    /// Reply writes cut short by injection.
+    pub injected_short_writes: u64,
+    /// Worker executions panicked by injection.
+    pub injected_exec_panics: u64,
+    /// Store admissions rejected by injection.
+    pub injected_store_errors: u64,
+    /// Worker panics caught and converted to typed `internal_error`
+    /// replies (injected or genuine).
+    pub panics_recovered: u64,
+    /// Worker threads that re-entered their loop after an unexpected
+    /// panic outside job execution.
+    pub workers_respawned: u64,
+    /// Jobs dropped at dequeue because their deadline expired.
+    pub deadline_expired: u64,
+    /// Requests shed at the queue-depth watermark.
+    pub shed_queue: u64,
+    /// PUTs shed at the store-pressure watermark.
+    pub shed_store: u64,
+}
+
+impl FaultGauges {
+    /// Number of fault gauges this version defines.
+    pub const COUNT: usize = 10;
+
+    fn to_array(self) -> [u64; Self::COUNT] {
+        [
+            self.injected_io_errors,
+            self.injected_delays,
+            self.injected_short_writes,
+            self.injected_exec_panics,
+            self.injected_store_errors,
+            self.panics_recovered,
+            self.workers_respawned,
+            self.deadline_expired,
+            self.shed_queue,
+            self.shed_store,
+        ]
+    }
+
+    fn from_array(c: [u64; Self::COUNT]) -> FaultGauges {
+        FaultGauges {
+            injected_io_errors: c[0],
+            injected_delays: c[1],
+            injected_short_writes: c[2],
+            injected_exec_panics: c[3],
+            injected_store_errors: c[4],
+            panics_recovered: c[5],
+            workers_respawned: c[6],
+            deadline_expired: c[7],
+            shed_queue: c[8],
+            shed_store: c[9],
+        }
+    }
+}
+
 /// The decoded payload of a STATS_V2_OK frame: every histogram the
 /// telemetry registry keeps, the planner's mispredict histogram and
 /// dispatch-by-op matrix, and the gauge block. Histogram slots that
@@ -1507,6 +1711,9 @@ pub struct WireStatsV2 {
     /// The mutation plane's gauge block (all-zero when the peer
     /// predates protocol v4).
     pub mutate: MutGauges,
+    /// The fault/resilience gauge block (all-zero when the peer
+    /// predates protocol v5).
+    pub fault: FaultGauges,
     /// Planner dispatch rows: `(op, completions per algorithm)` in
     /// [`Algorithm::ALL`] order; only ops with completions appear.
     pub dispatch_by_op: Vec<(OpKind, Vec<u64>)>,
@@ -1613,6 +1820,13 @@ pub fn stats_v2_body(stats: &WireStatsV2) -> Vec<u8> {
     }
     put_block(TAG_MUTATE, 0, &payload, &mut blocks);
     block_count += 1;
+    payload.clear();
+    payload.push(FaultGauges::COUNT as u8);
+    for g in stats.fault.to_array() {
+        payload.extend_from_slice(&g.to_le_bytes());
+    }
+    put_block(TAG_FAULT, 0, &payload, &mut blocks);
+    block_count += 1;
     for (op, row) in &stats.dispatch_by_op {
         payload.clear();
         payload.push(row.len() as u8);
@@ -1710,6 +1924,24 @@ pub fn decode_stats_v2(body: &[u8]) -> Result<WireStatsV2, WireError> {
                 }
                 p.finish()?;
                 out.mutate = MutGauges::from_array(c);
+            }
+            TAG_FAULT => {
+                let count = p.u8("fault gauge count")? as usize;
+                if count < FaultGauges::COUNT {
+                    return Err(WireError::malformed(format!(
+                        "fault gauge block has {count} entries, need {}",
+                        FaultGauges::COUNT
+                    )));
+                }
+                let mut c = [0u64; FaultGauges::COUNT];
+                for slot in &mut c {
+                    *slot = p.u64("fault gauge")?;
+                }
+                for _ in FaultGauges::COUNT..count {
+                    p.u64("extra fault gauge")?;
+                }
+                p.finish()?;
+                out.fault = FaultGauges::from_array(c);
             }
             TAG_DISPATCH_OP => {
                 let op = OpKind::from_index(id as usize)

@@ -79,7 +79,11 @@ impl JobQueue {
         }
     }
 
-    /// Non-blocking push.
+    /// Non-blocking push. A rejected job rides back in the `Err` by
+    /// value — the shed path must answer its caller with the job's
+    /// own responder, and boxing it would put an allocation on the
+    /// overload path precisely when memory is the scarce resource.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_push(&self, job: QueuedJob) -> Result<(), (SubmitError, QueuedJob)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.shutdown {

@@ -24,9 +24,10 @@
 
 use crate::dynamic::MutateError;
 use crate::engine::Engine;
+use crate::fault::FaultPlane;
 use crate::job::{JobError, JobOptions, Request};
 use crate::protocol::{
-    self, error_body, read_frame, write_frame, ErrorCode, Frame, FrameKind, MutGauges,
+    self, error_body, read_frame, write_frame, ErrorCode, FaultGauges, Frame, FrameKind, MutGauges,
     ReadFrameError, StatsGauges, StoreGauges, WireElem, WireMutateOk, WireOp, WireRequest,
     WireStats, WireStatsV2, WireValues, MAX_FRAME_DEFAULT,
 };
@@ -65,6 +66,22 @@ pub struct ServeConfig {
     /// Byte budget for the resident dataset store (`--store-budget`):
     /// PUT lists plus cached sharded artifacts, under LRU eviction.
     pub store_budget: u64,
+    /// The fault-injection plane (`--fault`). Disabled by default;
+    /// share the same plane with [`crate::EngineConfig::with_fault`]
+    /// so socket and worker injection draw from one decision stream.
+    pub fault: Arc<FaultPlane>,
+    /// Load-shedding watermark on engine queue depth
+    /// (`--shed-queue`): job-bearing requests arriving while the
+    /// queue is at or past this depth get a typed
+    /// [`ErrorCode::Overloaded`] instead of blocking. `0` disables
+    /// shedding (the default — backpressure-by-blocking remains the
+    /// baseline admission policy).
+    pub shed_queue_depth: usize,
+    /// Load-shedding watermark on resident store bytes
+    /// (`--shed-store`): PUTs arriving while the store holds at least
+    /// this many bytes get a typed [`ErrorCode::Overloaded`] (retry
+    /// later) rather than forcing LRU churn. `0` disables (default).
+    pub shed_store_bytes: u64,
 }
 
 impl ServeConfig {
@@ -77,6 +94,9 @@ impl ServeConfig {
             max_frame: MAX_FRAME_DEFAULT,
             drain_grace: Duration::from_secs(2),
             store_budget: DEFAULT_STORE_BUDGET,
+            fault: Arc::new(FaultPlane::disabled()),
+            shed_queue_depth: 0,
+            shed_store_bytes: 0,
         }
     }
 
@@ -107,6 +127,25 @@ impl ServeConfig {
     /// Override the resident dataset store's byte budget.
     pub fn with_store_budget(mut self, bytes: u64) -> Self {
         self.store_budget = bytes;
+        self
+    }
+
+    /// Install a fault-injection plane (pass the same `Arc` to
+    /// [`crate::EngineConfig::with_fault`]).
+    pub fn with_fault(mut self, fault: Arc<FaultPlane>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Set the queue-depth shedding watermark (`0` = off).
+    pub fn with_shed_queue_depth(mut self, depth: usize) -> Self {
+        self.shed_queue_depth = depth;
+        self
+    }
+
+    /// Set the store-pressure shedding watermark in bytes (`0` = off).
+    pub fn with_shed_store_bytes(mut self, bytes: u64) -> Self {
+        self.shed_store_bytes = bytes;
         self
     }
 }
@@ -173,6 +212,17 @@ struct Shared {
     busy_rejected: AtomicU64,
     /// The resident dataset store, shared by every client handler.
     store: Arc<DatasetStore>,
+    /// The fault-injection plane (disabled = every probe is one
+    /// predictable branch).
+    fault: Arc<FaultPlane>,
+    /// Queue-depth shedding watermark (`0` = off).
+    shed_queue_depth: usize,
+    /// Store-pressure shedding watermark in bytes (`0` = off).
+    shed_store_bytes: u64,
+    /// Requests shed at the queue watermark.
+    shed_queue: AtomicU64,
+    /// PUTs shed at the store watermark.
+    shed_store: AtomicU64,
 }
 
 impl Shared {
@@ -286,6 +336,11 @@ impl Server {
             errors_sent: AtomicU64::new(0),
             busy_rejected: AtomicU64::new(0),
             store: Arc::new(DatasetStore::new(cfg.store_budget)),
+            fault: Arc::clone(&cfg.fault),
+            shed_queue_depth: cfg.shed_queue_depth,
+            shed_store_bytes: cfg.shed_store_bytes,
+            shed_queue: AtomicU64::new(0),
+            shed_store: AtomicU64::new(0),
         });
         Ok(Server { engine, cfg, listener, shared })
     }
@@ -423,6 +478,29 @@ struct PolledWriter<'a> {
 
 impl std::io::Write for PolledWriter<'_> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // Fault injection happens once per write call, before any
+        // bytes move: a disabled plane is a single branch.
+        if self.shared.fault.is_enabled() {
+            if let Some(d) = self.shared.fault.delay() {
+                std::thread::sleep(d);
+            }
+            if self.shared.fault.io_error() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "injected write error (fault plane)",
+                ));
+            }
+            if buf.len() > 1 && self.shared.fault.short_write() {
+                // Leak a prefix onto the wire, then fail: the frame is
+                // truncated mid-body exactly as a dying peer would
+                // leave it, and the handler closes the connection.
+                let _ = self.stream.write(&buf[..buf.len() / 2]);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected short write (fault plane)",
+                ));
+            }
+        }
         loop {
             match self.stream.write(buf) {
                 Ok(k) => {
@@ -508,6 +586,20 @@ fn read_frame_polled(stream: &mut UnixStream, shared: &Shared, max_frame: u32) -
     }
     impl std::io::Read for PolledReader<'_> {
         fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            // One injection probe per read call (not per 50 ms poll
+            // iteration — the WouldBlock loop below spins without
+            // re-probing), so idle connections aren't ground down.
+            if self.shared.fault.is_enabled() {
+                if let Some(d) = self.shared.fault.delay() {
+                    std::thread::sleep(d);
+                }
+                if self.shared.fault.io_error() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "injected read error (fault plane)",
+                    ));
+                }
+            }
             loop {
                 match self.stream.read(buf) {
                     Ok(k) => return Ok(k),
@@ -567,13 +659,31 @@ fn handle_client(
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    let mut greeted = false;
+    // The version the HELLO negotiated (None until then): v5-only
+    // request features (the deadline flag) are rejected on
+    // connections that negotiated lower.
+    let mut negotiated: Option<u16> = None;
     loop {
         let frame = match read_frame_polled(&mut stream, shared, max_frame) {
             Polled::Frame(f) => f,
             Polled::Done | Polled::Fatal => return,
         };
-        let keep = dispatch(&frame, &mut stream, engine, shared, max_frame, &mut greeted, conn_id);
+        // Panic firewall: decode and execution are typed, so a panic
+        // below is a server bug — but it must cost exactly one
+        // connection (typed reply, then close), never the handler
+        // thread pool's integrity or the daemon.
+        let keep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch(&frame, &mut stream, engine, shared, max_frame, &mut negotiated, conn_id)
+        }))
+        .unwrap_or_else(|_| {
+            let _ = send_error(
+                &mut stream,
+                shared,
+                ErrorCode::InternalError,
+                "request handling panicked",
+            );
+            false
+        });
         if !keep || shared.drain_expired() {
             return;
         }
@@ -589,7 +699,7 @@ fn dispatch(
     engine: &Engine,
     shared: &Shared,
     max_frame: u32,
-    greeted: &mut bool,
+    negotiated: &mut Option<u16>,
     conn_id: u64,
 ) -> bool {
     let t_decode = Instant::now();
@@ -603,6 +713,28 @@ fn dispatch(
         }
     };
     let decode_ns = t_decode.elapsed().as_nanos() as u64;
+    let deadline_ms = match &req {
+        WireRequest::Rank { deadline_ms, .. }
+        | WireRequest::Scan { deadline_ms, .. }
+        | WireRequest::SegScan { deadline_ms, .. }
+        | WireRequest::RankH { deadline_ms, .. }
+        | WireRequest::ScanH { deadline_ms, .. }
+        | WireRequest::SegScanH { deadline_ms, .. } => *deadline_ms,
+        _ => None,
+    };
+    // The deadline flag is a v5 feature: a connection that negotiated
+    // lower and sends it anyway is speaking a protocol it did not
+    // agree to, so the frame is malformed (the connection survives —
+    // framing is intact).
+    if deadline_ms.is_some() && negotiated.is_some_and(|v| v < 5) {
+        return send_error(
+            stream,
+            shared,
+            ErrorCode::Malformed,
+            "FLAG_DEADLINE requires a v5 handshake",
+        )
+        .is_ok();
+    }
     // Job-bearing frames get a trace id at the moment of decode — the
     // earliest point the request exists as a typed value — so the span
     // covers the whole server-side pipeline.
@@ -625,6 +757,7 @@ fn dispatch(
             );
             let mut opts = JobOptions::default().with_trace_id(trace_id);
             opts.decode_ns = decode_ns;
+            opts.deadline_ms = deadline_ms;
             opts
         }
         _ => JobOptions::default(),
@@ -640,11 +773,11 @@ fn dispatch(
                 );
                 return false;
             }
-            // v3 and v4 are purely additive over v2, so
+            // v3, v4, and v5 are purely additive over v2, so
             // older-but-compatible clients are served; they simply
-            // never send handle or mutation frames. HELLO_OK still
-            // carries the server's version so a newer client knows
-            // what it may use.
+            // never send handle, mutation, or deadline-flagged
+            // frames. HELLO_OK still carries the server's version so
+            // a newer client knows what it may use.
             if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
                 let _ = send_error(
                     stream,
@@ -658,7 +791,7 @@ fn dispatch(
                 );
                 return false;
             }
-            *greeted = true;
+            *negotiated = Some(version);
             send(
                 stream,
                 shared,
@@ -669,7 +802,7 @@ fn dispatch(
             )
             .is_ok()
         }
-        _ if !*greeted => {
+        _ if negotiated.is_none() => {
             send_error(stream, shared, ErrorCode::ExpectedHello, "send HELLO before requests")
                 .is_ok()
         }
@@ -741,6 +874,21 @@ fn dispatch(
                     dirty_shards_patched: ms.dirty_shards_patched,
                     artifacts_patched: ms.artifacts_patched,
                 },
+                fault: {
+                    let fs = shared.fault.snapshot();
+                    FaultGauges {
+                        injected_io_errors: fs.io_errors,
+                        injected_delays: fs.delays,
+                        injected_short_writes: fs.short_writes,
+                        injected_exec_panics: fs.exec_panics,
+                        injected_store_errors: fs.store_errors,
+                        panics_recovered: es.panics_recovered,
+                        workers_respawned: es.workers_respawned,
+                        deadline_expired: es.deadline_expired,
+                        shed_queue: shared.shed_queue.load(Ordering::Relaxed),
+                        shed_store: shared.shed_store.load(Ordering::Relaxed),
+                    }
+                },
                 dispatch_by_op: es
                     .dispatch_by_op
                     .iter()
@@ -754,12 +902,12 @@ fn dispatch(
             shared.begin_shutdown();
             false
         }
-        WireRequest::Rank { sharded, list } => {
+        WireRequest::Rank { sharded, list, deadline_ms: _ } => {
             let list = Arc::new(list);
             let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) };
             run_and_reply(engine, req, opts, stream, shared)
         }
-        WireRequest::Scan { sharded, op, list, values } => {
+        WireRequest::Scan { sharded, op, list, values, deadline_ms: _ } => {
             let list = Arc::new(list);
             match (op, values) {
                 (WireOp::Add, WireValues::I64(v)) => {
@@ -786,7 +934,7 @@ fn dispatch(
                 _ => unreachable!("decoder pairs values with their operator"),
             }
         }
-        WireRequest::SegScan { sharded, op, list, starts, values } => {
+        WireRequest::SegScan { sharded, op, list, starts, values, deadline_ms: _ } => {
             let list = Arc::new(list);
             let starts = Arc::new(starts);
             match (op, values) {
@@ -828,25 +976,51 @@ fn dispatch(
                 _ => unreachable!("decoder pairs values with their operator"),
             }
         }
-        WireRequest::Put { list } => match shared.store.put(conn_id, Arc::new(list)) {
-            Ok(receipt) => {
-                rankd_log!(
-                    Level::Debug,
-                    "server",
-                    "conn {conn_id} PUT handle={} ({} bytes resident)",
-                    receipt.handle,
-                    receipt.bytes
-                );
-                send(
+        WireRequest::Put { list } => {
+            // Injected admission failures and the store-pressure
+            // watermark both answer OVERLOADED — a *retryable* refusal,
+            // unlike the terminal STORE_FULL (dataset can never fit).
+            if shared.fault.store_error() {
+                return send_error(
                     stream,
                     shared,
-                    FrameKind::PutOk,
-                    &protocol::put_ok_body(receipt.handle, receipt.bytes),
+                    ErrorCode::Overloaded,
+                    "store admission refused (injected), retry_after_ms=50",
                 )
-                .is_ok()
+                .is_ok();
             }
-            Err(e) => send_error(stream, shared, store_error_code(e), &e.to_string()).is_ok(),
-        },
+            if shared.shed_store_bytes > 0
+                && shared.store.stats().resident_bytes >= shared.shed_store_bytes
+            {
+                shared.shed_store.fetch_add(1, Ordering::Relaxed);
+                return send_error(
+                    stream,
+                    shared,
+                    ErrorCode::Overloaded,
+                    "store over pressure watermark, retry_after_ms=100",
+                )
+                .is_ok();
+            }
+            match shared.store.put(conn_id, Arc::new(list)) {
+                Ok(receipt) => {
+                    rankd_log!(
+                        Level::Debug,
+                        "server",
+                        "conn {conn_id} PUT handle={} ({} bytes resident)",
+                        receipt.handle,
+                        receipt.bytes
+                    );
+                    send(
+                        stream,
+                        shared,
+                        FrameKind::PutOk,
+                        &protocol::put_ok_body(receipt.handle, receipt.bytes),
+                    )
+                    .is_ok()
+                }
+                Err(e) => send_error(stream, shared, store_error_code(e), &e.to_string()).is_ok(),
+            }
+        }
         WireRequest::Mutate { handle, edits } => {
             // Mutations run on the handler thread, not through the job
             // queue: they hold the dataset's mutation lock anyway, so
@@ -901,7 +1075,7 @@ fn dispatch(
             )
             .is_ok(),
         },
-        WireRequest::RankH { sharded, handle } => {
+        WireRequest::RankH { sharded, handle, deadline_ms: _ } => {
             let entry = match shared.store.get(handle, conn_id) {
                 Ok(entry) => entry,
                 Err(e) => {
@@ -921,7 +1095,7 @@ fn dispatch(
             // i.e. past the job's completion and reply write.
             run_and_reply(engine, req, opts, stream, shared)
         }
-        WireRequest::ScanH { sharded, op, handle, values } => {
+        WireRequest::ScanH { sharded, op, handle, values, deadline_ms: _ } => {
             let entry = match shared.store.get(handle, conn_id) {
                 Ok(entry) => entry,
                 Err(e) => {
@@ -975,7 +1149,7 @@ fn dispatch(
                 _ => unreachable!("decoder pairs values with their operator"),
             }
         }
-        WireRequest::SegScanH { sharded, op, handle, starts, values } => {
+        WireRequest::SegScanH { sharded, op, handle, starts, values, deadline_ms: _ } => {
             let entry = match shared.store.get(handle, conn_id) {
                 Ok(entry) => entry,
                 Err(e) => {
@@ -1084,6 +1258,19 @@ fn run_and_reply<T: WireElem + Send + 'static>(
     stream: &mut UnixStream,
     shared: &Shared,
 ) -> bool {
+    // Load shedding: past the watermark, tell the client to back off
+    // *now* instead of letting blocking submit stretch its latency.
+    // Off by default — blocking backpressure stays the baseline.
+    if shared.shed_queue_depth > 0 && engine.queue_depth() >= shared.shed_queue_depth {
+        shared.shed_queue.fetch_add(1, Ordering::Relaxed);
+        return send_error(
+            stream,
+            shared,
+            ErrorCode::Overloaded,
+            "queue over shed watermark, retry_after_ms=25",
+        )
+        .is_ok();
+    }
     let handle = match engine.submit_with(req, opts) {
         Ok(h) => h,
         Err(SubmitError::Invalid) => {
@@ -1130,11 +1317,20 @@ fn run_and_reply<T: WireElem + Send + 'static>(
             ok
         }
         Err(JobError::Failed) => {
-            send_error(stream, shared, ErrorCode::JobFailed, "job execution panicked").is_ok()
+            // The worker caught the panic; only this request is lost
+            // and the connection keeps being served.
+            send_error(stream, shared, ErrorCode::InternalError, "job execution panicked").is_ok()
         }
         Err(JobError::Cancelled) => {
             // The server never cancels its own jobs; defensive arm.
             send_error(stream, shared, ErrorCode::JobFailed, "job cancelled").is_ok()
         }
+        Err(JobError::DeadlineExceeded) => send_error(
+            stream,
+            shared,
+            ErrorCode::DeadlineExceeded,
+            "request deadline exceeded in queue",
+        )
+        .is_ok(),
     }
 }

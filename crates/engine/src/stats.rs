@@ -36,6 +36,9 @@ pub(crate) struct Counters {
     pub(crate) stitch_ns: AtomicU64,
     pub(crate) lane_steps: AtomicU64,
     pub(crate) lane_slots: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) panics_recovered: AtomicU64,
+    pub(crate) workers_respawned: AtomicU64,
     /// Indexed by [`OpKind::ALL`] order.
     pub(crate) per_op: [OpCounters; OPS],
 }
@@ -58,6 +61,9 @@ impl Counters {
             stitch_ns: AtomicU64::new(0),
             lane_steps: AtomicU64::new(0),
             lane_slots: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            panics_recovered: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
             per_op: Default::default(),
         }
     }
@@ -139,6 +145,14 @@ pub struct EngineStats {
     /// Lane-slots available while those walks ran (sweeps × lanes);
     /// `lane_steps / lane_slots` is the mean lane occupancy.
     pub lane_slots: u64,
+    /// Jobs dropped at dequeue because their queue deadline expired.
+    pub deadline_expired: u64,
+    /// Worker panics caught by the per-job `catch_unwind` isolation
+    /// (equals `failed`'s panic share; the waiter got a typed error).
+    pub panics_recovered: u64,
+    /// Worker threads that re-entered their loop after an unexpected
+    /// panic outside job execution.
+    pub workers_respawned: u64,
     /// Jobs currently queued.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -210,6 +224,9 @@ impl EngineStats {
             stitch_ns: counters.stitch_ns.load(Ordering::Relaxed),
             lane_steps: counters.lane_steps.load(Ordering::Relaxed),
             lane_slots: counters.lane_slots.load(Ordering::Relaxed),
+            deadline_expired: counters.deadline_expired.load(Ordering::Relaxed),
+            panics_recovered: counters.panics_recovered.load(Ordering::Relaxed),
+            workers_respawned: counters.workers_respawned.load(Ordering::Relaxed),
             queue_depth,
             peak_queue_depth,
             dispatch: planner.dispatch_totals(),
@@ -315,6 +332,13 @@ impl std::fmt::Display for EngineStats {
             self.pool.misses,
             self.pool.idle
         )?;
+        if self.deadline_expired > 0 || self.panics_recovered > 0 || self.workers_respawned > 0 {
+            writeln!(
+                f,
+                "resilience: {} panics recovered, {} workers respawned, {} deadlines expired",
+                self.panics_recovered, self.workers_respawned, self.deadline_expired
+            )?;
+        }
         if self.lane_slots > 0 {
             writeln!(
                 f,

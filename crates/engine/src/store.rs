@@ -54,6 +54,18 @@ use std::sync::{Arc, Mutex, Weak};
 /// Default byte budget for resident datasets and artifacts (1 GiB).
 pub const DEFAULT_STORE_BUDGET: u64 = 1 << 30;
 
+/// Lock a store mutex, riding through poisoning. A panic inside a
+/// client handler (isolated at the serving layer) must not brick the
+/// store for every *other* connection: each critical section here
+/// re-establishes its invariants from scratch (byte accounting is
+/// recomputed against the entry map, never incrementally trusted
+/// across a panic), so continuing past a poisoned flag degrades one
+/// operation's accounting at worst — strictly better than turning the
+/// whole data plane into a panic cascade.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Why a store operation was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StoreError {
@@ -274,7 +286,7 @@ impl DatasetStore {
         list: Arc<LinkedList>,
     ) -> Result<PutReceipt, StoreError> {
         let bytes = list_footprint(&list);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if !self.evict_to_fit(&mut inner, bytes, None) {
             self.put_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(StoreError::StoreFull);
@@ -308,7 +320,7 @@ impl DatasetStore {
     /// the guard lives.
     pub fn get(&self, handle: u64, conn: u64) -> Result<DatasetRef, StoreError> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         match inner.entries.get(&handle) {
             Some(entry) if entry.owner == conn => {
                 let entry = Arc::clone(entry);
@@ -331,7 +343,7 @@ impl DatasetStore {
     /// it. In-flight queries holding a [`DatasetRef`] complete on their
     /// pinned clone; the handle is stale from this call on.
     pub fn drop_dataset(&self, handle: u64, conn: u64) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         match inner.entries.get(&handle) {
             Some(entry) if entry.owner == conn => {
                 let entry = inner.entries.remove(&handle).expect("entry just observed");
@@ -347,7 +359,7 @@ impl DatasetStore {
     /// Drop every dataset owned by connection `conn` (handler
     /// teardown). Returns how many were removed.
     pub fn drop_connection(&self, conn: u64) -> usize {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let doomed: Vec<u64> =
             inner.entries.values().filter(|e| e.owner == conn).map(|e| e.handle).collect();
         for handle in &doomed {
@@ -362,13 +374,13 @@ impl DatasetStore {
     /// Resident handles in recency order (least recently used first) —
     /// introspection for the property-test harness.
     pub fn resident_handles(&self) -> Vec<u64> {
-        self.inner.lock().unwrap().order.clone()
+        lock_unpoisoned(&self.inner).order.clone()
     }
 
     /// Snapshot of counters and occupancy.
     pub fn stats(&self) -> StoreStats {
         let (resident_bytes, resident_count) = {
-            let inner = self.inner.lock().unwrap();
+            let inner = lock_unpoisoned(&self.inner);
             (inner.resident_bytes, inner.entries.len() as u64)
         };
         StoreStats {
@@ -439,7 +451,7 @@ impl DatasetStore {
     /// idle entries (never `handle` itself) to stay within budget.
     /// `false` means the artifact should not be cached.
     fn try_charge(&self, handle: u64, bytes: u64) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let Some(entry) = inner.entries.get(&handle).map(Arc::clone) else {
             return false;
         };
@@ -465,7 +477,7 @@ impl DatasetStore {
     /// the end-state invariant (all handles dropped ⇒ zero resident
     /// bytes).
     fn uncharge(&self, handle: u64, bytes: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if let Some(entry) = inner.entries.get(&handle).map(Arc::clone) {
             inner.resident_bytes = inner.resident_bytes.saturating_sub(bytes);
             entry.artifact_bytes.fetch_sub(bytes, Ordering::Relaxed);
@@ -486,7 +498,7 @@ impl DatasetStore {
         old: u64,
         new: u64,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let Some(entry) = inner.entries.get(&handle).map(Arc::clone) else {
             return;
         };
@@ -519,7 +531,7 @@ impl DatasetRef {
     /// Clones the `Arc` under a brief lock; a concurrent mutation swaps
     /// the entry's snapshot but never this clone.
     pub fn list(&self) -> Arc<LinkedList> {
-        Arc::clone(&self.entry.list.lock().unwrap())
+        Arc::clone(&lock_unpoisoned(&self.entry.list))
     }
 
     /// Vertices in the dataset (its current snapshot).
@@ -554,7 +566,7 @@ impl DatasetRef {
     /// planner control.
     pub fn apply_edits(&self, edits: &[Edit]) -> Result<(EditReport, Arc<LinkedList>), EditError> {
         let entry = &self.entry;
-        let mut dynamic = entry.dynamic.lock().unwrap();
+        let mut dynamic = lock_unpoisoned(&entry.dynamic);
         let store = entry.artifacts.store.upgrade();
         if dynamic.is_none() {
             let mirror = MutableList::from_list(&self.list());
@@ -568,7 +580,7 @@ impl DatasetRef {
         let report = mirror.apply(edits)?;
         let snapshot = Arc::new(mirror.snapshot());
         let old_list_bytes = entry.list_bytes.load(Ordering::Relaxed);
-        *entry.list.lock().unwrap() = Arc::clone(&snapshot);
+        *lock_unpoisoned(&entry.list) = Arc::clone(&snapshot);
         if let Some(store) = &store {
             store.recharge(
                 entry.handle,
@@ -626,7 +638,7 @@ impl ArtifactCache {
         lanes: usize,
     ) -> Arc<ShardedList> {
         let key = (shard_size, lanes);
-        if let Some(hit) = self.map.lock().unwrap().get(&key) {
+        if let Some(hit) = lock_unpoisoned(&self.map).get(&key) {
             if let Some(store) = self.store.upgrade() {
                 store.artifacts_reused.fetch_add(1, Ordering::Relaxed);
             }
@@ -639,7 +651,7 @@ impl ArtifactCache {
         store.artifacts_built.fetch_add(1, Ordering::Relaxed);
         let bytes = artifact_footprint(&built);
         if store.try_charge(self.handle, bytes) {
-            let mut map = self.map.lock().unwrap();
+            let mut map = lock_unpoisoned(&self.map);
             if let Some(winner) = map.get(&key) {
                 let winner = Arc::clone(winner);
                 drop(map);
@@ -654,7 +666,7 @@ impl ArtifactCache {
     /// Snapshot of every cached artifact with its plan key, for the
     /// mutation plane's maintenance sweep.
     pub(crate) fn entries(&self) -> Vec<((usize, usize), Arc<ShardedList>)> {
-        let map = self.map.lock().unwrap();
+        let map = lock_unpoisoned(&self.map);
         let mut all: Vec<_> = map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
         all.sort_unstable_by_key(|(k, _)| *k);
         all
@@ -669,7 +681,7 @@ impl ArtifactCache {
     /// with its cache — nothing to account.
     pub(crate) fn replace(&self, key: (usize, usize), artifact: Arc<ShardedList>) {
         let new_bytes = artifact_footprint(&artifact);
-        let old = self.map.lock().unwrap().insert(key, artifact);
+        let old = lock_unpoisoned(&self.map).insert(key, artifact);
         let old_bytes = old.map(|a| artifact_footprint(&a)).unwrap_or(0);
         if let Some(store) = self.store.upgrade() {
             store.recharge(self.handle, |e| &e.artifact_bytes, old_bytes, new_bytes);
@@ -678,7 +690,7 @@ impl ArtifactCache {
 
     /// Cached plan keys, for tests.
     pub fn cached_plans(&self) -> Vec<(usize, usize)> {
-        let mut keys: Vec<_> = self.map.lock().unwrap().keys().copied().collect();
+        let mut keys: Vec<_> = lock_unpoisoned(&self.map).keys().copied().collect();
         keys.sort_unstable();
         keys
     }

@@ -25,14 +25,14 @@ const DOC_HELLO: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x01, // kind = HELLO
     0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
-    0x04, 0x00, // version = 4
+    0x05, 0x00, // version = 5
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
 const DOC_HELLO_OK: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x81, // kind = HELLO_OK
-    0x04, 0x00, // version = 4
+    0x05, 0x00, // version = 5
     0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
 ];
 
@@ -41,6 +41,21 @@ const DOC_RANK: &[u8] = &[
     0x16, 0x00, 0x00, 0x00, // len = 22
     0x02, // kind = RANK
     0x00, // flags (bit 0 clear: monolithic dispatch)
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// PROTOCOL.md §"The same RANK with a queue deadline (v5)": the RANK
+/// frame with `FLAG_DEADLINE` set and a 1500 ms budget between the
+/// flags byte and the list.
+const DOC_RANK_DEADLINE: &[u8] = &[
+    0x1E, 0x00, 0x00, 0x00, // len = 30
+    0x02, // kind = RANK
+    0x02, // flags (bit 1: deadline present)
+    0xDC, 0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // deadline_ms = 1500
     0x01, 0x00, 0x00, 0x00, // head = 1
     0x03, 0x00, 0x00, 0x00, // n = 3
     0x02, 0x00, 0x00, 0x00, // next[0] = 2
@@ -75,9 +90,9 @@ const DOC_STATS_V2: &[u8] = &[
 /// histogram holding two samples (1000 ns and 2000 ns) plus the gauge
 /// block. See [`example_stats_v2`] for the semantic content.
 const DOC_STATS_V2_OK: &[u8] = &[
-    0x47, 0x01, 0x00, 0x00, // len = 327
+    0x9E, 0x01, 0x00, 0x00, // len = 414
     0x87, // kind = STATS_V2_OK
-    0x04, 0x00, // block_count = 4
+    0x05, 0x00, // block_count = 5
     // block 1: the exec-phase latency histogram
     0x01, // tag = 1 (phase histogram)
     0x03, // id = 3 (phase: exec)
@@ -137,6 +152,21 @@ const DOC_STATS_V2_OK: &[u8] = &[
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // full = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // dirty_shards_patched = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // artifacts_patched = 0
+    // block 5: the fault/resilience gauge block (protocol v5)
+    0x08, // tag = 8 (fault gauges)
+    0x00, // id = 0
+    0x51, 0x00, 0x00, 0x00, // block len = 81
+    0x0A, // fault gauge count = 10
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // injected_io_errors = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // injected_delays = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // injected_short_writes = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // injected_exec_panics = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // injected_store_errors = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // panics_recovered = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // workers_respawned = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // deadline_expired = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // shed_queue = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // shed_store = 0
 ];
 
 /// The semantic content of [`DOC_STATS_V2_OK`].
@@ -260,8 +290,27 @@ fn documented_rank_bytes_decode_to_the_example_list() {
     // Decoder side: replaying the documented bytes yields the list.
     let frame = parse(DOC_RANK);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::Rank { sharded, list } => {
+        WireRequest::Rank { sharded, list, deadline_ms } => {
             assert!(!sharded);
+            assert_eq!(deadline_ms, None);
+            assert_eq!(list.head(), 1);
+            assert_eq!(list.links(), &[2, 0, 2]);
+        }
+        other => panic!("want Rank, got {other:?}"),
+    }
+}
+
+#[test]
+fn documented_deadline_rank_bytes_round_trip() {
+    assert_eq!(
+        framed(FrameKind::Rank, &protocol::rank_body_deadline(&example_list(), false, Some(1500))),
+        DOC_RANK_DEADLINE
+    );
+    let frame = parse(DOC_RANK_DEADLINE);
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::Rank { sharded, list, deadline_ms } => {
+            assert!(!sharded);
+            assert_eq!(deadline_ms, Some(1500));
             assert_eq!(list.head(), 1);
             assert_eq!(list.links(), &[2, 0, 2]);
         }
@@ -408,7 +457,7 @@ fn documented_handle_query_bytes_round_trip() {
     let frame = parse(DOC_RANK_H);
     assert!(matches!(
         protocol::decode_request(&frame).expect("decodes"),
-        WireRequest::RankH { sharded: false, handle: 1 }
+        WireRequest::RankH { sharded: false, handle: 1, deadline_ms: None }
     ));
 
     assert_eq!(
@@ -417,8 +466,9 @@ fn documented_handle_query_bytes_round_trip() {
     );
     let frame = parse(DOC_SCAN_H);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::ScanH { sharded, op, handle, values } => {
+        WireRequest::ScanH { sharded, op, handle, values, deadline_ms } => {
             assert!(!sharded);
+            assert_eq!(deadline_ms, None);
             assert_eq!(op, WireOp::Add);
             assert_eq!(handle, 1);
             assert_eq!(values, WireValues::I64(vec![5, 7, 9]));
@@ -435,8 +485,9 @@ fn documented_handle_query_bytes_round_trip() {
     );
     let frame = parse(DOC_SEGSCAN_H);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::SegScanH { sharded, op, handle, starts, values } => {
+        WireRequest::SegScanH { sharded, op, handle, starts, values, deadline_ms } => {
             assert!(!sharded);
+            assert_eq!(deadline_ms, None);
             assert_eq!(op, WireOp::Add);
             assert_eq!(handle, 1);
             assert_eq!(starts, vec![false, false, true]);
@@ -779,7 +830,7 @@ fn scan_and_segscan_bodies_round_trip_for_every_operator() {
         };
         let frame = Frame { kind: FrameKind::Scan as u8, body: frame_body };
         match protocol::decode_request(&frame).expect("scan decodes") {
-            WireRequest::Scan { op: got, list: l, values, sharded } => {
+            WireRequest::Scan { op: got, list: l, values, sharded, deadline_ms: None } => {
                 assert_eq!(got, op);
                 assert_eq!(l.links(), list.links());
                 assert_eq!(sharded, op == WireOp::Xor);
@@ -897,7 +948,7 @@ fn reserved_flag_bits_are_rejected_not_silently_dropped() {
             FrameKind::Rank => protocol::rank_body(&list, false),
             _ => protocol::scan_body(&list, &[1i64, 2], WireOp::Add, false),
         };
-        body[0] |= 0x02; // a reserved flag bit
+        body[0] |= 0x04; // a reserved flag bit (0x01 sharded / 0x02 deadline are taken)
         let frame = Frame { kind: frame_kind as u8, body };
         let err = protocol::decode_request(&frame).expect_err("reserved bit must not decode");
         assert_eq!(err.code, ErrorCode::Malformed, "{err}");
@@ -908,4 +959,46 @@ fn reserved_flag_bits_are_rejected_not_silently_dropped() {
         protocol::decode_request(&frame),
         Ok(WireRequest::Rank { sharded: true, .. })
     ));
+}
+
+#[test]
+fn deadline_flag_round_trips_and_truncation_fails_typed() {
+    // Protocol v5: FLAG_DEADLINE carries a u64 millisecond budget
+    // between the flags byte and the rest of the body, on both the
+    // inline and the by-handle request layouts.
+    let list = LinkedList::new(vec![1, 1], 0).expect("chain");
+    let frame = Frame {
+        kind: FrameKind::Rank as u8,
+        body: protocol::rank_body_deadline(&list, false, Some(1500)),
+    };
+    assert!(matches!(
+        protocol::decode_request(&frame).expect("decodes"),
+        WireRequest::Rank { sharded: false, deadline_ms: Some(1500), .. }
+    ));
+    let frame = Frame {
+        kind: FrameKind::RankH as u8,
+        body: protocol::rank_h_body_deadline(7, true, Some(u64::MAX)),
+    };
+    assert!(matches!(
+        protocol::decode_request(&frame).expect("decodes"),
+        WireRequest::RankH { sharded: true, handle: 7, deadline_ms: Some(u64::MAX) }
+    ));
+    let frame = Frame {
+        kind: FrameKind::ScanH as u8,
+        body: protocol::scan_h_body_deadline(3, &[1i64, 2], WireOp::Add, false, Some(250)),
+    };
+    assert!(matches!(
+        protocol::decode_request(&frame).expect("decodes"),
+        WireRequest::ScanH { handle: 3, deadline_ms: Some(250), .. }
+    ));
+
+    // A deadline-flagged body truncated at ANY byte — inside the
+    // links, the list header, or the deadline field itself — is
+    // Malformed, never a misdecode.
+    let full = protocol::rank_body_deadline(&list, false, Some(1500));
+    for cut in 1..full.len() {
+        let frame = Frame { kind: FrameKind::Rank as u8, body: full[..full.len() - cut].to_vec() };
+        let err = protocol::decode_request(&frame).expect_err("truncated must not decode");
+        assert_eq!(err.code, ErrorCode::Malformed, "cut {cut}: {err}");
+    }
 }

@@ -1,0 +1,141 @@
+//! Property tests for the resilience arithmetic: queue-deadline expiry
+//! and the client's retry backoff. Both are pure functions that must
+//! be total — no overflow, no panic — for any input a hostile clock or
+//! a pathological policy can produce.
+
+use engine::client::RetryPolicy;
+use engine::fault::deadline_expired;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `deadline_expired` is total and ordered for ANY wait and ANY
+    /// millisecond budget, including `u64::MAX` (whose nanosecond
+    /// equivalent overflows `u64` — the comparison must not).
+    #[test]
+    fn deadline_expiry_is_total_and_monotone(
+        secs in any::<u64>(),
+        nanos in 0u32..1_000_000_000,
+        deadline_ms in any::<u64>(),
+    ) {
+        let waited = Duration::new(secs, nanos);
+        let expired = deadline_expired(waited, deadline_ms);
+
+        // Tightening the budget can only keep/trip the expiry…
+        if expired {
+            prop_assert!(deadline_expired(waited, deadline_ms / 2));
+            prop_assert!(deadline_expired(waited, 0));
+        }
+        // …and waiting longer can never un-expire it.
+        if expired {
+            prop_assert!(deadline_expired(waited.saturating_add(Duration::from_secs(1)), deadline_ms));
+        }
+        // A zero budget has always expired; an unexpired wait really
+        // was inside the budget.
+        prop_assert!(deadline_expired(waited, 0));
+        if !expired {
+            prop_assert!(waited.as_millis() < u128::from(deadline_ms));
+        }
+    }
+
+    /// Extremes that killed earlier drafts: `u64::MAX` milliseconds
+    /// must behave as "effectively no deadline" for sane waits.
+    #[test]
+    fn max_deadline_never_expires_sane_waits(ms in 0u64..=1_000_000_000) {
+        prop_assert!(!deadline_expired(Duration::from_millis(ms), u64::MAX));
+    }
+
+    /// The backoff is equal-jitter: for every attempt the delay lies
+    /// in `[exp / 2, exp]` for `exp = min(base · 2^attempt, max)`, so
+    /// it never exceeds the ceiling and never collapses to zero once
+    /// the schedule is nonzero. Saturates instead of overflowing for
+    /// absurd attempt counts.
+    #[test]
+    fn backoff_delay_is_bounded_by_the_schedule(
+        base_ms in 0u64..10_000,
+        max_ms in 0u64..60_000,
+        seed in any::<u64>(),
+        attempt in 0u32..512,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(base_ms),
+            max_delay: Duration::from_millis(max_ms),
+            jitter_seed: seed,
+        };
+        let base_ns = base_ms as u128 * 1_000_000;
+        let max_ns = max_ms as u128 * 1_000_000;
+        // Reference exponent with explicit lost-bit detection (a bare
+        // `checked_shl` only guards the shift amount, not overflow).
+        let exp = base_ns
+            .checked_shl(attempt)
+            .filter(|v| v >> attempt == base_ns)
+            .unwrap_or(u128::MAX)
+            .min(max_ns);
+        let delay = policy.backoff_delay(attempt).as_nanos();
+        prop_assert!(
+            delay >= exp / 2,
+            "delay {delay} under floor {} (base {base_ms}ms max {max_ms}ms attempt {attempt} seed {seed})",
+            exp / 2
+        );
+        prop_assert!(
+            delay <= exp,
+            "delay {delay} over ceiling {exp} (base {base_ms}ms max {max_ms}ms attempt {attempt} seed {seed})"
+        );
+    }
+
+    /// The jitter is a pure function of `(seed, attempt)`: the same
+    /// policy replays the same schedule, and reseeding changes only
+    /// the jitter, never the bounds.
+    #[test]
+    fn backoff_delay_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let policy = RetryPolicy::default().with_seed(seed);
+        prop_assert_eq!(policy.backoff_delay(attempt), policy.backoff_delay(attempt));
+        let reseeded = RetryPolicy::default().with_seed(seed ^ 0xABCD);
+        let d = reseeded.backoff_delay(attempt);
+        prop_assert!(d <= policy.max_delay, "reseeded delay inside the same ceiling");
+    }
+}
+
+/// The non-property half of the retry contract: what is worth
+/// retrying. (The "never retry MUTATE" rule is enforced in
+/// `Client::call` and exercised end-to-end by the chaos soak.)
+#[test]
+fn transient_classification_matches_the_documented_contract() {
+    use engine::client::ClientError;
+    use engine::protocol::ErrorCode;
+
+    let io = |kind: std::io::ErrorKind| ClientError::Io(std::io::Error::new(kind, "x"));
+    let server = |code: ErrorCode| ClientError::Server {
+        code: code as u16,
+        kind: Some(code),
+        message: String::new(),
+    };
+
+    for transient in [
+        io(std::io::ErrorKind::ConnectionRefused),
+        io(std::io::ErrorKind::ConnectionReset),
+        io(std::io::ErrorKind::BrokenPipe),
+        io(std::io::ErrorKind::UnexpectedEof),
+        server(ErrorCode::Busy),
+        server(ErrorCode::Overloaded),
+    ] {
+        assert!(RetryPolicy::is_transient(&transient), "{transient} should retry");
+    }
+    for permanent in [
+        server(ErrorCode::Malformed),
+        server(ErrorCode::StaleHandle),
+        server(ErrorCode::DeadlineExceeded),
+        server(ErrorCode::InternalError),
+        server(ErrorCode::BadMutation),
+        ClientError::Protocol("garbled".into()),
+        io(std::io::ErrorKind::PermissionDenied),
+    ] {
+        assert!(!RetryPolicy::is_transient(&permanent), "{permanent} must not retry");
+    }
+}

@@ -1018,3 +1018,326 @@ fn client_error_read_frame_surfaces() {
     let e = ClientError::Server { code: 8, kind: ErrorCode::from_u16(8), message: "busy".into() };
     assert!(e.to_string().contains("busy"));
 }
+
+// ---------------------------------------------------------------------------
+// Resilience: deadlines, shedding, panic isolation, signals, fault audit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_deadline_expires_typed_and_connection_survives() {
+    let server = start("deadline-zero", small_engine(), |c| c);
+    let mut client = Client::connect(&server.path).expect("connect");
+    let list = gen::random_list(2000, 0xDEAD);
+
+    // deadline_ms = 0 has always "waited too long" by the time the
+    // worker dequeues it — a deterministic expiry.
+    match client.rank_with_deadline(&list, 0) {
+        Err(e) => assert_eq!(e.server_code(), Some(ErrorCode::DeadlineExceeded), "got {e}"),
+        Ok(_) => panic!("a zero deadline must expire in the queue"),
+    }
+    // A generous deadline sails through, byte-identical, on the SAME
+    // connection — the expiry was a typed reply, not a hangup.
+    let served = client.rank_with_deadline(&list, 60_000).expect("generous deadline");
+    assert_eq!(served.output, HostRunner::new(Algorithm::ReidMiller).rank(&list));
+    // The expiry is visible in the resilience gauges.
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert!(v2.fault.deadline_expired >= 1, "expiry counted: {:?}", v2.fault);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn deadline_by_handle_and_mixed_flag_bits_decode_correctly() {
+    let server = start("deadline-h", small_engine(), |c| c);
+    let mut client = Client::connect(&server.path).expect("connect");
+    let list = gen::random_list(3000, 0xD11);
+    let handle = client.put(&list).expect("put").handle;
+    let served = client.rank_h_with_deadline(handle, 60_000).expect("rank_h + deadline");
+    assert_eq!(served.output, HostRunner::new(Algorithm::ReidMiller).rank(&list));
+
+    // FLAG_SHARDED | FLAG_DEADLINE together: both decode, answer is
+    // still byte-identical.
+    let body = protocol::rank_h_body_deadline(handle, true, Some(60_000));
+    let served = client.request_encoded::<u64>(FrameKind::RankH, &body).expect("both flags");
+    assert_eq!(served.output, HostRunner::new(Algorithm::ReidMiller).rank(&list));
+    client.drop_handle(handle).expect("drop");
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn deadline_flag_requires_v5_handshake() {
+    let server = start("deadline-v4", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("raw connect");
+
+    // Handshake as a v4 client (the newest version before deadlines).
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&protocol::MAGIC.to_le_bytes());
+    hello.extend_from_slice(&4u16.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &hello);
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+
+    // A deadline-flagged request on a v4-negotiated connection is
+    // Malformed — the flag bit is a v5 construct.
+    let list = gen::random_list(64, 1);
+    let body = protocol::rank_body_deadline(&list, false, Some(1000));
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &body);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // The connection survives, and the un-flagged path still works.
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &protocol::rank_body(&list, false));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::Output));
+    drop(stream);
+    server.stop();
+}
+
+#[test]
+fn queue_shedding_returns_overloaded_under_flood() {
+    // One worker, one-slot queue, shed watermark at depth 1: while the
+    // worker is busy and one job is parked, any further request must be
+    // refused with a typed OVERLOADED (not blocked, not dropped).
+    let cfg = EngineConfig::default()
+        .with_workers(1)
+        .with_inner_threads(1)
+        .with_queue_capacity(1)
+        .with_batching(1, 1);
+    let server = start("shed-queue", cfg, |c| c.with_shed_queue_depth(1));
+    let path = server.path.clone();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).expect("connect");
+                let runner = HostRunner::new(Algorithm::ReidMiller);
+                let mut shed = 0u64;
+                for j in 0..40 {
+                    let list = gen::random_list(20_000, (t * 13 + j) as u64);
+                    match client.rank(&list) {
+                        Ok(served) => assert_eq!(served.output, runner.rank(&list)),
+                        Err(e) => {
+                            assert_eq!(
+                                e.server_code(),
+                                Some(ErrorCode::Overloaded),
+                                "only typed shedding may fail a flooder: {e}"
+                            );
+                            shed += 1;
+                        }
+                    }
+                }
+                shed
+            })
+        })
+        .collect();
+    let shed: u64 = threads.into_iter().map(|t| t.join().expect("flooder")).sum();
+    assert!(shed >= 1, "watermark at depth 1 under a 4-client flood must shed");
+    // The daemon is healthy after the storm.
+    let mut probe = Client::connect(&server.path).expect("probe");
+    let list = gen::random_list(500, 9);
+    assert_eq!(
+        probe.rank(&list).expect("post-flood rank").output,
+        HostRunner::new(Algorithm::ReidMiller).rank(&list)
+    );
+    let v2 = probe.stats_v2().expect("stats_v2");
+    assert_eq!(v2.fault.shed_queue, shed, "gauge counts every queue shed");
+    drop(probe);
+    server.stop();
+}
+
+#[test]
+fn store_shedding_returns_overloaded_before_admission() {
+    // A 1-byte pressure watermark: the first PUT lands (store is
+    // empty), every further PUT is refused typed while the resident
+    // bytes stay above the mark.
+    let server = start("shed-store", small_engine(), |c| c.with_shed_store_bytes(1));
+    let mut client = Client::connect(&server.path).expect("connect");
+    let list = gen::random_list(1000, 4);
+    let handle = client.put(&list).expect("first PUT under the watermark").handle;
+    match client.put(&list) {
+        Err(e) => {
+            assert_eq!(e.server_code(), Some(ErrorCode::Overloaded), "got {e}");
+            assert!(e.to_string().contains("retry_after_ms"), "retry hint present: {e}");
+        }
+        Ok(_) => panic!("second PUT must shed at a 1-byte watermark"),
+    }
+    // Same connection: resident queries still work, and dropping the
+    // dataset re-opens admission.
+    let served = client.rank_h(handle).expect("resident query during pressure");
+    assert_eq!(served.output, HostRunner::new(Algorithm::ReidMiller).rank(&list));
+    client.drop_handle(handle).expect("drop");
+    let handle = client.put(&list).expect("admission re-opens once pressure clears").handle;
+    client.drop_handle(handle).expect("drop");
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert_eq!(v2.fault.shed_store, 1);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn panicking_job_is_isolated_to_a_typed_error() {
+    // exec_panic = 1.0: every job panics inside the worker. The panic
+    // must surface as a typed INTERNAL_ERROR to the one caller, the
+    // connection must survive, and the engine must keep serving.
+    let plane = Arc::new(engine::FaultPlane::new(engine::FaultConfig {
+        exec_panic: 1.0,
+        ..engine::FaultConfig::default()
+    }));
+    let server = start("panic-isolation", small_engine().with_fault(Arc::clone(&plane)), |c| {
+        c.with_fault(Arc::clone(&plane))
+    });
+    let mut client = Client::connect(&server.path).expect("connect");
+    let list = gen::random_list(500, 5);
+    for _ in 0..3 {
+        match client.rank(&list) {
+            Err(e) => assert_eq!(e.server_code(), Some(ErrorCode::InternalError), "got {e}"),
+            Ok(_) => panic!("every job must panic at exec_panic=1.0"),
+        }
+    }
+    // Non-job frames still answer on the same connection, and the
+    // recovery gauges saw every panic.
+    let v2 = client.stats_v2().expect("stats_v2 after panics");
+    assert_eq!(v2.fault.injected_exec_panics, 3);
+    assert_eq!(v2.fault.panics_recovered, 3);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn worker_panics_respawn_and_jobs_keep_completing() {
+    // worker_panic = 1.0: the worker thread blows up between batches,
+    // every time. The respawn loop must keep the lane staffed and
+    // every job must still complete correctly.
+    let plane = Arc::new(engine::FaultPlane::new(engine::FaultConfig {
+        worker_panic: 1.0,
+        ..engine::FaultConfig::default()
+    }));
+    let server = start("respawn", small_engine().with_fault(Arc::clone(&plane)), |c| {
+        c.with_fault(Arc::clone(&plane))
+    });
+    let mut client = Client::connect(&server.path).expect("connect");
+    let runner = HostRunner::new(Algorithm::ReidMiller);
+    for i in 0..4 {
+        let list = gen::random_list(1000 + i * 37, i as u64);
+        assert_eq!(client.rank(&list).expect("rank across respawns").output, runner.rank(&list));
+    }
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert!(v2.fault.workers_respawned >= 1, "respawns counted: {:?}", v2.fault);
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn client_killed_mid_reply_leaves_daemon_serving() {
+    // A client that hangs up after sending its request (before reading
+    // the reply) must cost the daemon nothing but that one connection:
+    // the reply write fails, the handler exits, everyone else keeps
+    // getting answers. With SIGPIPE mishandled this kills the process.
+    let server = start("hangup", small_engine(), |c| c);
+    for i in 0..3 {
+        let mut stream = UnixStream::connect(&server.path).expect("raw connect");
+        let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &protocol::hello_body());
+        assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+        let list = gen::random_list(200_000, i);
+        protocol::write_frame(
+            &mut stream,
+            FrameKind::Rank as u8,
+            &protocol::rank_body(&list, false),
+        )
+        .expect("send request");
+        // Hang up without reading the (large) reply.
+        drop(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(&server.path).expect("daemon still accepting");
+    let list = gen::random_list(1500, 77);
+    assert_eq!(
+        client.rank(&list).expect("daemon still serving").output,
+        HostRunner::new(Algorithm::ReidMiller).rank(&list)
+    );
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn sigterm_drains_the_rankd_daemon_gracefully() {
+    // The real binary: SIGTERM must drain and exit 0, exactly like a
+    // SHUTDOWN frame — not die with the default signal disposition.
+    let path = sock_path("sigterm");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_rankd"))
+        .args(["serve", "--socket"])
+        .arg(&path)
+        .args(["--workers", "1"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn rankd serve");
+    // Wait for the socket, prove it serves, then TERM it.
+    let mut client = None;
+    for _ in 0..100 {
+        if let Ok(c) = Client::connect(&path) {
+            client = Some(c);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut client = client.expect("daemon came up within 5s");
+    let list = gen::random_list(1000, 11);
+    assert_eq!(
+        client.rank(&list).expect("pre-TERM rank").output,
+        HostRunner::new(Algorithm::ReidMiller).rank(&list)
+    );
+    drop(client);
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM delivered");
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "SIGTERM is a graceful drain, got {status:?}");
+    assert!(Client::connect(&path).is_err(), "socket withdrawn after drain");
+}
+
+#[test]
+fn adversarial_lengths_fail_typed_without_allocation() {
+    // Audit regressions: every length field a client controls, pushed
+    // to its extreme, must come back as a typed MALFORMED on a live
+    // connection — never an OOM, a panic, or a dead handler.
+    let server = start("adversarial-lengths", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("raw connect");
+    let reply = roundtrip(&mut stream, FrameKind::Hello as u8, &protocol::hello_body());
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::HelloOk));
+
+    // RANK claiming u32::MAX links (4·2³² bytes): the checked multiply
+    // must refuse before any allocation.
+    let mut body = vec![0u8];
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &body);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // SCAN_H claiming u32::MAX values behind an 8-byte handle.
+    let mut body = vec![0u8, WireOp::Add as u8];
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::ScanH as u8, &body);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // MUTATE claiming u32::MAX edits with an empty edit array.
+    let mut body = Vec::new();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Mutate as u8, &body);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // FLAG_DEADLINE promising 8 bytes but delivering 4.
+    let mut body = vec![protocol::FLAG_DEADLINE];
+    body.extend_from_slice(&1000u32.to_le_bytes());
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &body);
+    expect_error(&reply, ErrorCode::Malformed);
+
+    // After the whole gauntlet the same connection still ranks.
+    let list = gen::random_list(300, 3);
+    let reply = roundtrip(&mut stream, FrameKind::Rank as u8, &protocol::rank_body(&list, false));
+    assert_eq!(FrameKind::from_u8(reply.kind), Some(FrameKind::Output));
+    drop(stream);
+    server.stop();
+}

@@ -1,0 +1,214 @@
+//! Chaos tests: the serving stack under deterministic fault injection.
+//!
+//! A compact in-process version of `examples/chaos_soak`: N clients
+//! drive a fault-armed daemon with a mixed PUT / rank-by-handle /
+//! mutate workload, and three invariants must hold no matter what the
+//! fault plane does:
+//!
+//! 1. every successful reply is byte-identical to a serial oracle;
+//! 2. every failure is *typed* (an injected transport error or a
+//!    known error code) — nothing silent, nothing unknown;
+//! 3. after all clients disconnect the store is empty and the server
+//!    drains to a clean exit.
+//!
+//! The quick soak rides every CI run; the heavy one is `#[ignore]`d
+//! and picked up by the nightly `--include-ignored` pass.
+#![cfg(unix)]
+
+use engine::client::{Client, ClientError, RetryPolicy};
+use engine::protocol::{self, ErrorCode, FrameKind};
+use engine::server::{ServeConfig, Server};
+use engine::{Engine, EngineConfig, FaultConfig, FaultPlane};
+use listkit::dynamic::{Edit, MutableList};
+use listkit::gen;
+use listrank::{Algorithm, HostRunner};
+use std::sync::Arc;
+
+/// Silence the default panic report for *injected* worker panics (they
+/// are caught and recovered by design); real panics keep reporting.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|m| m.contains("injected"))
+                .or_else(|| info.payload().downcast_ref::<String>().map(|m| m.contains("injected")))
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Upload the mirror under a fresh handle, riding out injected faults.
+fn reput(client: &mut Client, mirror: &MutableList) -> u64 {
+    let snapshot = mirror.snapshot();
+    for _ in 0..200 {
+        match client.put(&snapshot) {
+            Ok(receipt) => return receipt.handle,
+            Err(ClientError::Io(_)) => {
+                let _ = client.reconnect();
+            }
+            Err(e) if e.server_code().is_some() => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => panic!("un-typed PUT failure: {e}"),
+        }
+    }
+    panic!("PUT could not be placed in 200 attempts");
+}
+
+/// Run the soak; panics on any broken invariant. Returns the total
+/// injected-fault count so callers can assert the storm was real.
+fn soak(tag: &str, clients: usize, requests: usize, n: usize, spec: &str) -> u64 {
+    quiet_injected_panics();
+    let plane = Arc::new(FaultPlane::new(FaultConfig::parse(spec).expect("valid fault spec")));
+    let path = std::env::temp_dir()
+        .join(format!("rankd-chaos-{tag}-{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let engine = Arc::new(Engine::new(
+        EngineConfig::default().with_workers(2).with_fault(Arc::clone(&plane)),
+    ));
+    let server =
+        Server::bind(Arc::clone(&engine), ServeConfig::new(&path).with_fault(Arc::clone(&plane)))
+            .expect("bind chaos socket");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy::default().with_seed(0xC4A05 ^ (c as u64) << 8);
+                let mut client = Client::connect_with_retry(&path, policy).expect("connect");
+                let runner = HostRunner::new(Algorithm::ReidMiller);
+                let fixed = gen::random_list(n, c as u64 * 7919);
+                let mut mirror = MutableList::from_list(&fixed);
+                let mut expected = runner.rank(&fixed);
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (c as u64) << 17;
+                let mut pick = move |m: u64| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (rng >> 33) % m.max(1)
+                };
+                let mut handle = reput(&mut client, &mirror);
+                for r in 0..requests {
+                    if r % 5 == 4 {
+                        // MUTATE: never retried; the mirror advances
+                        // only on a confirmed apply, any failure
+                        // resyncs from the unchanged mirror.
+                        let len = mirror.len() as u64;
+                        let a = pick(len) as u32;
+                        let mut b = pick(len) as u32;
+                        if b == a {
+                            b = (a + 1) % len as u32;
+                        }
+                        let after = if pick(8) == 0 { None } else { Some(b) };
+                        let edits = [
+                            Edit::Splice { first: a, last: a, after },
+                            Edit::Delete { v: pick(len) as u32 },
+                            Edit::Append { count: 1 + pick(8) as u32 },
+                        ];
+                        let body = protocol::mutate_body(handle, &edits);
+                        match client.mutate_encoded(&body) {
+                            Ok(reply) if reply.applied as usize == edits.len() => {
+                                mirror.apply(&edits).expect("valid batch");
+                                assert_eq!(reply.len, mirror.len() as u64, "length parity");
+                                expected = runner.rank(&mirror.snapshot());
+                            }
+                            Ok(reply) => {
+                                panic!("partial mutate: {} of {}", reply.applied, edits.len())
+                            }
+                            Err(e) => {
+                                match &e {
+                                    ClientError::Io(_) => {
+                                        let _ = client.reconnect();
+                                    }
+                                    _ if e.server_code().is_some() => {}
+                                    _ => panic!("un-typed mutate failure: {e}"),
+                                }
+                                handle = reput(&mut client, &mirror);
+                            }
+                        }
+                    } else {
+                        let reply = if r % 3 == 0 {
+                            client.rank_h_with_deadline(handle, 30_000)
+                        } else {
+                            let body = protocol::rank_h_body(handle, false);
+                            client.request_encoded::<u64>(FrameKind::RankH, &body)
+                        };
+                        match reply {
+                            Ok(served) => {
+                                assert_eq!(served.output, expected, "rank parity (client {c})")
+                            }
+                            Err(ClientError::Io(_)) => {
+                                let _ = client.reconnect();
+                                handle = reput(&mut client, &mirror);
+                            }
+                            Err(e) => match e.server_code() {
+                                Some(ErrorCode::StaleHandle) => {
+                                    handle = reput(&mut client, &mirror);
+                                }
+                                Some(_) => {}
+                                None => panic!("un-typed rank failure: {e}"),
+                            },
+                        }
+                    }
+                }
+                let _ = client.drop_handle(handle);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("chaos client must uphold the oracle");
+    }
+
+    // Exact store accounting once every connection is gone.
+    let mut probe = Client::connect_with_retry(&path, RetryPolicy::default().with_seed(0x960BE))
+        .expect("probe");
+    let v2 = probe.stats_v2().expect("stats_v2");
+    assert_eq!(v2.store.resident_count, 0, "resident datasets after full disconnect");
+    assert_eq!(v2.store.resident_bytes, 0, "resident bytes after full disconnect");
+    drop(probe);
+
+    // Clean daemon exit.
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+    drop(engine);
+    plane.snapshot().total()
+}
+
+#[test]
+fn quick_soak_under_default_fault_rates() {
+    let injected = soak("quick", 3, 40, 600, "default");
+    assert!(injected >= 1, "default rates over 120 requests must inject something");
+}
+
+#[test]
+fn quick_soak_with_heavy_exec_panics() {
+    // Panic-dominated storm: every ~20th job blows up in the worker;
+    // the oracle and the store accounting must be untouched.
+    let injected = soak("panics", 3, 40, 400, "exec_panic=0.05,io_err=0.01,short_write=0.01");
+    assert!(injected >= 1);
+}
+
+/// The nightly long soak (`cargo test -- --include-ignored`): a
+/// sustained storm at elevated rates, large enough that every fault
+/// kind fires many times.
+#[test]
+#[ignore = "long soak; nightly runs it via --include-ignored"]
+fn long_soak_at_elevated_rates() {
+    let injected = soak(
+        "nightly",
+        8,
+        400,
+        2_000,
+        "io_err=0.02,delay=2ms@0.05,short_write=0.02,exec_panic=0.02,store_err=0.01,seed=7",
+    );
+    assert!(injected >= 100, "an hour of storm must show a real fault count, got {injected}");
+}
