@@ -232,6 +232,9 @@ backpressure becomes per-client admission control.
 
 Serving:
   --socket PATH          Unix socket path            [default /tmp/rankd.sock]
+  --tcp HOST:PORT        also listen on a TCP address (same protocol,
+                         same reactor); port 0 picks a free port
+                                                          [default off]
   --max-clients N        concurrent client cap; excess connections get
                          a typed `busy` error             [default 64]
   --serve-secs S         exit after S seconds; 0 = serve until a client
@@ -251,6 +254,14 @@ Resilience:
                          backpressure                       [default 0]
   --shed-store BYTES     shed PUTs with a typed `overloaded` while the
                          store holds ≥ BYTES (k/m/g suffixes); 0 = off
+                                                            [default 0]
+
+QoS (protocol v6):
+  --inflight-quota N     per-connection cap on pipelined requests in
+                         flight; excess gets a typed `quota_exceeded`;
+                         0 = unlimited                     [default 64]
+  --store-quota BYTES    per-connection cap on resident store bytes
+                         (k/m/g suffixes); 0 = only the global budget
                                                             [default 0]
 
 Engine (as in plain rankd):
@@ -281,6 +292,19 @@ fn parse_serve_args(mut it: impl Iterator<Item = String>) -> (ServeConfig, Engin
         };
         match flag.as_str() {
             "--socket" => cfg.socket = val("--socket").into(),
+            "--tcp" => cfg = cfg.with_tcp(Some(val("--tcp"))),
+            "--inflight-quota" => {
+                cfg = cfg.with_inflight_quota(
+                    val("--inflight-quota").parse().unwrap_or_else(|_| serve_usage()),
+                )
+            }
+            "--store-quota" => {
+                let bytes = parse_bytes(&val("--store-quota")).unwrap_or_else(|| {
+                    eprintln!("bad --store-quota (want BYTES with optional k/m/g suffix)");
+                    serve_usage()
+                });
+                cfg = cfg.with_store_quota(bytes);
+            }
             "--max-clients" => {
                 cfg = cfg.with_max_clients(
                     val("--max-clients").parse().unwrap_or_else(|_| serve_usage()),
@@ -368,6 +392,9 @@ fn run_serve(cfg: ServeConfig, engine_cfg: EngineConfig) {
                 control.request_shutdown();
             })
             .expect("spawn signal watcher");
+    }
+    if let Some(addr) = server.tcp_local_addr() {
+        println!("rankd serve: tcp listening on {addr}");
     }
     println!(
         "rankd serve: listening on {} ({} workers × {} inner threads, queue {}, ≤{} clients, store {}, {}{})",
@@ -571,6 +598,37 @@ fn render_dashboard(socket: &str, v2: &engine::protocol::WireStatsV2) -> String 
             fg.deadline_expired,
             fg.shed_queue,
             fg.shed_store
+        );
+    }
+    let sc = &v2.sched;
+    let _ = writeln!(
+        out,
+        "scheduler: {} interactive / {} batch dispatched ({}/{} in flight), {} aged",
+        sc.dispatched_interactive,
+        sc.dispatched_batch,
+        sc.inflight_interactive,
+        sc.inflight_batch,
+        sc.aged_dispatches
+    );
+    let _ = writeln!(
+        out,
+        "pipeline: {} pipelined requests, max depth {}, {} reordered replies; quota rejections: {} in-flight / {} store",
+        sc.pipelined_requests,
+        sc.max_pipeline_depth,
+        sc.reply_reorders,
+        sc.quota_rejected_inflight,
+        sc.quota_rejected_store
+    );
+    if !v2.pipeline_depth.is_empty() {
+        let d = &v2.pipeline_depth;
+        let _ = writeln!(
+            out,
+            "pipeline depth at admission: p50 {}  p95 {}  p99 {}  max {} over {} samples",
+            d.percentile(50.0),
+            d.percentile(95.0),
+            d.percentile(99.0),
+            d.max(),
+            d.count()
         );
     }
     if v2.per_op.iter().any(|h| !h.is_empty()) {

@@ -13,6 +13,27 @@
 //! and the `serve_bench` driver exercise the real wire format, not a
 //! shortcut.
 //!
+//! ## Transports
+//!
+//! [`Client::connect`] dials a Unix domain socket;
+//! [`Client::connect_tcp`] dials the daemon's optional TCP listener
+//! (`rankd serve --tcp HOST:PORT`). Both speak the identical protocol
+//! — the transport is invisible above the handshake. TCP connections
+//! set `TCP_NODELAY` so small pipelined frames are not held back by
+//! Nagle's algorithm.
+//!
+//! ## Pipelining (protocol v6)
+//!
+//! The blocking methods above are one-frame-in-flight. Against a v6
+//! server a client may instead tag each job request with a nonzero
+//! `request_id` ([`protocol::ReqFlags::with_request_id`]), write many
+//! frames back to back with [`Client::send_encoded`], and collect the
+//! replies — which arrive in *completion* order, not submission order
+//! — with [`Client::recv_pipelined`]. Pipelined sends are never
+//! retried by the [`RetryPolicy`]: a reconnect would silently drop
+//! every other in-flight request, so any failure mid-pipeline
+//! surfaces immediately and the caller decides what to replay.
+//!
 //! ## Resilience
 //!
 //! A [`RetryPolicy`] (installed with [`Client::with_retry`]) makes the
@@ -32,9 +53,67 @@ use crate::store::PutReceipt;
 use listkit::dynamic::Edit;
 use listkit::ops::Affine;
 use listkit::LinkedList;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Where a [`Client`] dials — kept so retry-driven reconnects can
+/// re-open the same endpoint.
+#[derive(Clone, Debug)]
+enum Endpoint {
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn open(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                // Pipelined frames are small; Nagle would batch them
+                // against the round trip we are trying to hide.
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+}
+
+/// The connected transport, erased behind `Read + Write`.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -194,28 +273,56 @@ pub struct ServedOutput<T> {
 
 /// A connected, handshaken `rankd serve` client.
 pub struct Client {
-    stream: UnixStream,
-    /// The socket path, kept for retry-driven reconnects.
-    path: PathBuf,
+    stream: Stream,
+    /// The dialed endpoint, kept for retry-driven reconnects.
+    endpoint: Endpoint,
     retry: RetryPolicy,
     server_version: u16,
     server_max_frame: u32,
 }
 
 impl Client {
-    /// Connect to the daemon's socket and perform the HELLO handshake.
-    pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
-        let path = path.as_ref().to_path_buf();
-        let stream = UnixStream::connect(&path)?;
+    fn connect_endpoint(endpoint: Endpoint) -> Result<Client, ClientError> {
+        let stream = endpoint.open()?;
         let mut client = Client {
             stream,
-            path,
+            endpoint,
             retry: RetryPolicy::none(),
             server_version: 0,
             server_max_frame: MAX_FRAME_DEFAULT,
         };
         client.handshake()?;
         Ok(client)
+    }
+
+    /// Connect to the daemon's socket and perform the HELLO handshake.
+    pub fn connect(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Client::connect_endpoint(Endpoint::Unix(path.as_ref().to_path_buf()))
+    }
+
+    /// Connect to the daemon's TCP listener (`rankd serve --tcp
+    /// HOST:PORT`) and perform the HELLO handshake. Identical protocol
+    /// to [`Client::connect`]; `TCP_NODELAY` is set so pipelined
+    /// frames go out immediately.
+    pub fn connect_tcp(addr: impl Into<String>) -> Result<Client, ClientError> {
+        Client::connect_endpoint(Endpoint::Tcp(addr.into()))
+    }
+
+    fn connect_endpoint_with_retry(
+        endpoint: Endpoint,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect_endpoint(endpoint.clone()) {
+                Ok(client) => return Ok(client.with_retry(policy)),
+                Err(e) if attempt < policy.max_retries && RetryPolicy::is_transient(&e) => {
+                    std::thread::sleep(policy.backoff_delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Connect under `policy`: a refused/missing socket (daemon still
@@ -226,18 +333,16 @@ impl Client {
         path: impl AsRef<Path>,
         policy: RetryPolicy,
     ) -> Result<Client, ClientError> {
-        let path = path.as_ref();
-        let mut attempt = 0u32;
-        loop {
-            match Client::connect(path) {
-                Ok(client) => return Ok(client.with_retry(policy)),
-                Err(e) if attempt < policy.max_retries && RetryPolicy::is_transient(&e) => {
-                    std::thread::sleep(policy.backoff_delay(attempt));
-                    attempt += 1;
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        Client::connect_endpoint_with_retry(Endpoint::Unix(path.as_ref().to_path_buf()), policy)
+    }
+
+    /// [`Client::connect_tcp`] under `policy` (see
+    /// [`Client::connect_with_retry`]).
+    pub fn connect_tcp_with_retry(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        Client::connect_endpoint_with_retry(Endpoint::Tcp(addr.into()), policy)
     }
 
     /// Install a retry policy on this client (see [`RetryPolicy`] for
@@ -268,7 +373,7 @@ impl Client {
     /// re-PUT after a reconnect, which surfaces to them as
     /// [`ErrorCode::StaleHandle`] on the next handle op.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
-        self.stream = UnixStream::connect(&self.path)?;
+        self.stream = self.endpoint.open()?;
         self.handshake()
     }
 
@@ -318,30 +423,82 @@ impl Client {
         }
     }
 
+    /// Read one reply frame off the stream (no error-frame
+    /// conversion; EOF and oversized replies surface as errors).
+    fn read_reply_frame(&mut self) -> Result<Frame, ClientError> {
+        let reply_cap = self.reply_cap();
+        match read_frame(&mut self.stream, reply_cap) {
+            Ok(Some(f)) => Ok(f),
+            Ok(None) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(ReadFrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(e @ ReadFrameError::TooLarge { .. }) => Err(ClientError::Protocol(e.to_string())),
+        }
+    }
+
     /// One round trip: write a frame, read the reply, surface error
     /// frames as [`ClientError::Server`].
     fn call_once(&mut self, kind: FrameKind, body: &[u8]) -> Result<Frame, ClientError> {
         write_frame(&mut self.stream, kind as u8, body)?;
-        let reply_cap = self.reply_cap();
-        let frame = match read_frame(&mut self.stream, reply_cap) {
-            Ok(Some(f)) => f,
-            Ok(None) => {
-                return Err(ClientError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )))
-            }
-            Err(ReadFrameError::Io(e)) => return Err(ClientError::Io(e)),
-            Err(e @ ReadFrameError::TooLarge { .. }) => {
-                return Err(ClientError::Protocol(e.to_string()))
-            }
-        };
+        let frame = self.read_reply_frame()?;
         if FrameKind::from_u8(frame.kind) == Some(FrameKind::Error) {
             let (code, kind, message) = protocol::decode_error(&frame.body)
                 .map_err(|e| ClientError::Protocol(e.to_string()))?;
             return Err(ClientError::Server { code, kind, message });
         }
         Ok(frame)
+    }
+
+    /// Write one request frame **without** waiting for its reply —
+    /// the pipelined send half. The body should carry a nonzero
+    /// `request_id` (see [`protocol::ReqFlags::with_request_id`] and
+    /// the `*_body_flags` encoders) so the completion-ordered reply
+    /// can be matched back; collect replies with
+    /// [`Client::recv_pipelined`]. Never retried: a reconnect would
+    /// orphan the rest of the pipeline.
+    pub fn send_encoded(&mut self, kind: FrameKind, body: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, kind as u8, body)?;
+        Ok(())
+    }
+
+    /// Read one pipelined reply: `(request_id, per-request result)`.
+    /// Replies arrive in the server's *completion* order, so the id is
+    /// how the caller matches a reply to its request. A per-request
+    /// failure (deadline, quota, stale handle…) arrives as `Ok((id,
+    /// Err(..)))` — the connection is still usable and other
+    /// in-flight requests are unaffected. A connection-level error
+    /// frame (malformed pipeline bytes, duplicate id the server could
+    /// not attribute) or transport failure is the outer `Err`.
+    pub fn recv_pipelined<T: WireElem>(
+        &mut self,
+    ) -> Result<(u64, Result<ServedOutput<T>, ClientError>), ClientError> {
+        let frame = self.read_reply_frame()?;
+        match FrameKind::from_u8(frame.kind) {
+            Some(FrameKind::OutputP) => {
+                let (id, inner) = protocol::decode_pipelined(&frame.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                let (meta, output) = protocol::decode_output::<T>(inner)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Ok((id, Ok(ServedOutput { output, meta })))
+            }
+            Some(FrameKind::ErrorP) => {
+                let (id, inner) = protocol::decode_pipelined(&frame.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                let (code, kind, message) = protocol::decode_error(inner)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Ok((id, Err(ClientError::Server { code, kind, message })))
+            }
+            Some(FrameKind::Error) => {
+                let (code, kind, message) = protocol::decode_error(&frame.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Err(ClientError::Server { code, kind, message })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected pipelined OUTPUT/ERROR, got {other:?}"
+            ))),
+        }
     }
 
     fn expect_output<T: WireElem>(
@@ -398,6 +555,33 @@ impl Client {
         self.expect_output(
             FrameKind::RankH,
             &protocol::rank_h_body_deadline(handle, false, Some(deadline_ms)),
+        )
+    }
+
+    /// Pipelined [`Client::rank`]: send only, tagged `request_id`
+    /// (nonzero). Pair with [`Client::recv_pipelined::<u64>`].
+    pub fn send_rank(&mut self, list: &LinkedList, request_id: u64) -> Result<(), ClientError> {
+        let flags = protocol::ReqFlags::default().with_request_id(request_id);
+        self.send_encoded(FrameKind::Rank, &protocol::rank_body_flags(list, flags))
+    }
+
+    /// Pipelined [`Client::rank_h`]: send only, tagged `request_id`.
+    pub fn send_rank_h(&mut self, handle: u64, request_id: u64) -> Result<(), ClientError> {
+        let flags = protocol::ReqFlags::default().with_request_id(request_id);
+        self.send_encoded(FrameKind::RankH, &protocol::rank_h_body_flags(handle, flags))
+    }
+
+    /// Pipelined [`Client::scan_add`]: send only, tagged `request_id`.
+    pub fn send_scan_add(
+        &mut self,
+        list: &LinkedList,
+        values: &[i64],
+        request_id: u64,
+    ) -> Result<(), ClientError> {
+        let flags = protocol::ReqFlags::default().with_request_id(request_id);
+        self.send_encoded(
+            FrameKind::Scan,
+            &protocol::scan_body_flags(list, values, WireOp::Add, flags),
         )
     }
 

@@ -3,10 +3,12 @@
 use crate::fault::FaultPlane;
 use crate::job::{
     ErasedOutput, JobCell, JobError, JobHandle, JobOptions, JobReport, JobSpec, QueuedJob, Request,
+    Responder,
 };
 use crate::planner::{Planner, ShardDecision};
 use crate::pool::ScratchPool;
 use crate::queue::{JobQueue, SubmitError};
+use crate::sched::SchedSnapshot;
 use crate::stats::{Counters, EngineStats};
 use crate::telemetry::{self, Phase, Span, Telemetry};
 use listrank::HostRunner;
@@ -272,23 +274,93 @@ impl Engine {
         }
     }
 
-    fn make_job<R>(&self, req: Request<R>, mut opts: JobOptions) -> (QueuedJob, JobHandle<R>) {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+    /// Submit with explicit options and a one-shot completion callback
+    /// instead of a waitable handle, blocking while the queue is full.
+    /// The callback runs on the worker thread that settles the job —
+    /// it should hand off promptly (the event-driven server encodes
+    /// the reply and wakes its reactor). Returns the job id.
+    pub fn submit_callback<R: Send + 'static>(
+        &self,
+        req: Request<R>,
+        opts: JobOptions,
+        on_done: impl FnOnce(Result<JobReport<R>, JobError>) + Send + 'static,
+    ) -> Result<u64, SubmitError> {
+        req.spec.validate()?;
+        let job = self.make_callback_job(req, opts, on_done);
+        let id = job.id;
+        self.shared.queue.push(job)?;
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Non-blocking [`Engine::submit_callback`]. On any error the
+    /// callback is dropped *unfired* — the caller still owns the
+    /// request context and can retry with a fresh closure (the
+    /// reactor's parked-submit path). [`SubmitError::Full`] here is
+    /// not counted as a client-visible rejection, precisely because
+    /// the caller is expected to retry rather than fail the request.
+    pub fn try_submit_callback<R: Send + 'static>(
+        &self,
+        req: Request<R>,
+        opts: JobOptions,
+        on_done: impl FnOnce(Result<JobReport<R>, JobError>) + Send + 'static,
+    ) -> Result<u64, SubmitError> {
+        req.spec.validate()?;
+        let job = self.make_callback_job(req, opts, on_done);
+        let id = job.id;
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(id)
+            }
+            Err((e, _job)) => Err(e),
+        }
+    }
+
+    fn assign_trace_id(opts: &mut JobOptions) -> u64 {
         // Trace ids are assigned at the earliest observation point:
         // the server sets one at frame decode; in-process requests get
         // theirs here, at submit.
-        let trace_id = match opts.trace_id {
+        match opts.trace_id {
             Some(t) => t,
             None => {
                 let t = telemetry::next_trace_id();
                 opts.trace_id = Some(t);
                 t
             }
-        };
+        }
+    }
+
+    fn make_job<R>(&self, req: Request<R>, mut opts: JobOptions) -> (QueuedJob, JobHandle<R>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace_id = Self::assign_trace_id(&mut opts);
         let cell = JobCell::new();
         let handle = JobHandle { id, trace_id, cell: Arc::clone(&cell), _out: PhantomData };
-        let job = QueuedJob { id, spec: req.spec, opts, cell, enqueued: Instant::now() };
+        let job = QueuedJob {
+            id,
+            spec: req.spec,
+            opts,
+            responder: Responder::Cell(cell),
+            enqueued: Instant::now(),
+            seq: 0,
+        };
         (job, handle)
+    }
+
+    fn make_callback_job<R: Send + 'static>(
+        &self,
+        req: Request<R>,
+        mut opts: JobOptions,
+        on_done: impl FnOnce(Result<JobReport<R>, JobError>) + Send + 'static,
+    ) -> QueuedJob {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        Self::assign_trace_id(&mut opts);
+        let responder = Responder::Callback(Some(Box::new(
+            move |res: Result<JobReport<ErasedOutput>, JobError>| {
+                on_done(res.map(JobReport::downcast::<R>))
+            },
+        )));
+        QueuedJob { id, spec: req.spec, opts, responder, enqueued: Instant::now(), seq: 0 }
     }
 
     /// The engine's telemetry registry (histograms, span ring) — the
@@ -311,6 +383,14 @@ impl Engine {
         self.shared.queue.depth()
     }
 
+    /// Point-in-time scheduler counters (per-class queued / dispatched
+    /// / finished, aging-valve fires) — cheaper than a full
+    /// [`Engine::stats`] gather; the server's STATS_V2 scheduler-gauge
+    /// block reads this per request.
+    pub fn sched_snapshot(&self) -> SchedSnapshot {
+        self.shared.queue.sched_snapshot()
+    }
+
     /// A point-in-time metrics snapshot.
     pub fn stats(&self) -> EngineStats {
         EngineStats::gather(
@@ -321,6 +401,7 @@ impl Engine {
             self.shared.pool.stats(),
             self.shared.queue.depth(),
             self.shared.queue.peak_depth(),
+            self.shared.queue.sched_snapshot(),
         )
     }
 
@@ -362,19 +443,24 @@ fn worker_loop(shared: &Shared) {
         .expect("engine inner pool");
 
     while let Some(job) = shared.queue.pop() {
-        if job.cell.is_settled() {
+        if job.responder.is_settled() {
             // Cancelled while queued.
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.queue.note_finished(job.opts.priority);
             continue;
         }
         let n = job.spec.len();
+        let class = job.opts.priority;
         let mut batch = vec![job];
-        // Small jobs: greedily pull queued siblings so one dequeue, one
-        // scratch acquisition and one pool install serve many jobs.
+        // Small jobs: greedily pull queued same-class siblings so one
+        // dequeue, one scratch acquisition and one pool install serve
+        // many jobs.
         if n <= shared.cfg.small_cutoff && shared.cfg.batch_max > 1 {
-            batch.extend(
-                shared.queue.pop_small_batch(shared.cfg.small_cutoff, shared.cfg.batch_max - 1),
-            );
+            batch.extend(shared.queue.pop_small_batch(
+                shared.cfg.small_cutoff,
+                shared.cfg.batch_max - 1,
+                class,
+            ));
         }
         if batch.len() > 1 {
             shared.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -388,9 +474,10 @@ fn worker_loop(shared: &Shared) {
             listrank::host::RankScratch::new()
         };
         inner_pool.install(|| {
-            for job in batch {
-                if job.cell.is_settled() {
+            for mut job in batch {
+                if job.responder.is_settled() {
                     shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    shared.queue.note_finished(job.opts.priority);
                     continue;
                 }
                 // Deadline enforcement happens here, at dequeue and
@@ -400,7 +487,8 @@ fn worker_loop(shared: &Shared) {
                 if let Some(deadline_ms) = job.opts.deadline_ms {
                     if crate::fault::deadline_expired(job.enqueued.elapsed(), deadline_ms) {
                         shared.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                        job.cell.complete(Err(JobError::DeadlineExceeded));
+                        job.responder.settle(Err(JobError::DeadlineExceeded));
+                        shared.queue.note_finished(job.opts.priority);
                         continue;
                     }
                 }
@@ -519,7 +607,8 @@ fn worker_loop(shared: &Shared) {
                     Err(_) => {
                         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
                         shared.counters.panics_recovered.fetch_add(1, Ordering::Relaxed);
-                        job.cell.complete(Err(JobError::Failed));
+                        job.responder.settle(Err(JobError::Failed));
+                        shared.queue.note_finished(job.opts.priority);
                         continue;
                     }
                 };
@@ -536,7 +625,7 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
                 let trace_id = job.opts.trace_id.unwrap_or(0);
-                let landed = job.cell.complete(Ok(JobReport {
+                let landed = job.responder.settle(Ok(JobReport {
                     id: job.id,
                     trace_id,
                     n,
@@ -550,6 +639,7 @@ fn worker_loop(shared: &Shared) {
                     exec_ns,
                     output: done.output,
                 }));
+                shared.queue.note_finished(job.opts.priority);
                 if landed {
                     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
                     shared.counters.elements.fetch_add(n as u64, Ordering::Relaxed);

@@ -12,6 +12,7 @@
 
 use crate::op::{classify_op, OpKind};
 use crate::queue::SubmitError;
+use crate::sched::Priority;
 use crate::store::ArtifactCache;
 use listkit::segmented::{self, SegOp, Segmented};
 use listkit::sharded::ShardedList;
@@ -520,6 +521,11 @@ pub struct JobOptions {
     /// job waits indefinitely. The arithmetic is overflow-free at
     /// `u64::MAX` (see [`crate::fault::deadline_expired`]).
     pub deadline_ms: Option<u64>,
+    /// QoS class for dispatch ordering ([`Priority::Interactive`] by
+    /// default). Batch jobs dispatch only when no interactive job is
+    /// queued, except for the periodic anti-starvation aging tick
+    /// (see [`crate::sched::pick_next`]).
+    pub priority: Priority,
 }
 
 impl Default for JobOptions {
@@ -530,6 +536,7 @@ impl Default for JobOptions {
             trace_id: None,
             decode_ns: 0,
             deadline_ms: None,
+            priority: Priority::Interactive,
         }
     }
 }
@@ -546,6 +553,12 @@ impl JobOptions {
     /// within `ms` milliseconds of enqueue.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Set the QoS priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -589,7 +602,7 @@ impl JobReport<ErasedOutput> {
     /// Re-type the erased payload. Infallible by construction: the
     /// typed [`Request`] builders are the only way to create a job, and
     /// they pair the spec with the matching handle type.
-    fn downcast<R: 'static>(self) -> JobReport<R> {
+    pub(crate) fn downcast<R: 'static>(self) -> JobReport<R> {
         let JobReport {
             id,
             trace_id,
@@ -749,11 +762,55 @@ impl<R: 'static> JobHandle<R> {
     }
 }
 
+/// How a worker delivers a job's settled result (internal). Handle
+/// submissions settle a shared [`JobCell`] the caller waits on; the
+/// event-driven server instead registers a one-shot callback that
+/// encodes the reply and wakes the reactor — no parked thread per
+/// in-flight request, which is what makes pipelining scale.
+pub(crate) type CompletionFn = Box<dyn FnOnce(Result<JobReport<ErasedOutput>, JobError>) + Send>;
+
+pub(crate) enum Responder {
+    /// Settle a waitable cell (the `submit` / `JobHandle` path).
+    Cell(Arc<JobCell>),
+    /// Invoke a one-shot callback (the `submit_callback` path). `None`
+    /// after the callback has fired.
+    Callback(Option<CompletionFn>),
+}
+
+impl Responder {
+    /// Deliver the result. First settle wins (a cancelled cell drops
+    /// later results); returns whether this call's result landed.
+    pub(crate) fn settle(&mut self, result: Result<JobReport<ErasedOutput>, JobError>) -> bool {
+        match self {
+            Responder::Cell(cell) => cell.complete(result),
+            Responder::Callback(f) => match f.take() {
+                Some(f) => {
+                    f(result);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Whether the job has already settled (e.g. cancelled while
+    /// queued). Callback responders settle exactly once, at delivery.
+    pub(crate) fn is_settled(&self) -> bool {
+        match self {
+            Responder::Cell(cell) => cell.is_settled(),
+            Responder::Callback(f) => f.is_none(),
+        }
+    }
+}
+
 /// A queued unit of work (internal).
 pub(crate) struct QueuedJob {
     pub(crate) id: u64,
     pub(crate) spec: JobSpec,
     pub(crate) opts: JobOptions,
-    pub(crate) cell: Arc<JobCell>,
+    pub(crate) responder: Responder,
     pub(crate) enqueued: std::time::Instant,
+    /// Arrival sequence number, assigned by the queue at push; the
+    /// scheduler's FIFO tiebreaker and aging key.
+    pub(crate) seq: u64,
 }

@@ -57,7 +57,9 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the poll(2) FFI shim in [`poll`] is the
+// one module-scoped allow in the workspace (see its docs).
+#![deny(unsafe_code)]
 
 #[cfg(unix)]
 pub mod client;
@@ -67,9 +69,12 @@ pub mod fault;
 pub mod job;
 pub mod op;
 pub mod planner;
+#[cfg(unix)]
+pub mod poll;
 pub mod pool;
 pub mod protocol;
 pub mod queue;
+pub mod sched;
 #[cfg(unix)]
 pub mod server;
 pub mod stats;
@@ -87,6 +92,7 @@ pub use op::OpKind;
 pub use planner::{MutateDecision, Plan, PlanDecision, Planner, ShardDecision};
 pub use pool::{PoolStats, ScratchPool};
 pub use queue::SubmitError;
+pub use sched::{Priority, QuotaTable, SchedSnapshot};
 #[cfg(unix)]
 pub use server::{ServeConfig, Server, ServerControl, ServerStats};
 pub use stats::{EngineStats, OpThroughput};

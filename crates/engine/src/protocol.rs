@@ -60,8 +60,16 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"RNKD");
 /// `overloaded`, and the STATS_V2 `fault` gauge block. v5 is purely
 /// additive; a server only honors the deadline flag on connections
 /// that negotiated v5 or newer (from an older client it is malformed),
-/// so [`MIN_VERSION`] stays at 2.
-pub const VERSION: u16 = 5;
+/// so [`MIN_VERSION`] stays at 2. **6** — pipelining and QoS: the
+/// [`FLAG_BATCH`] priority flag and the [`FLAG_REQUEST_ID`] flag (an
+/// optional client-chosen `request_id: u64` after the deadline field;
+/// requests carrying it may overlap on one connection and are answered
+/// with [`FrameKind::OutputP`] / [`FrameKind::ErrorP`] frames echoing
+/// the id, in completion order), error code `quota_exceeded`, and the
+/// STATS_V2 `sched` gauge + `pipeline` histogram blocks. v6 is purely
+/// additive; a server only honors the new flags on connections that
+/// negotiated v6 or newer, so [`MIN_VERSION`] stays at 2.
+pub const VERSION: u16 = 6;
 
 /// Oldest HELLO version a server still accepts. v2–v4 clients speak
 /// strict subsets of v5 (they simply never send handle, mutation, or
@@ -124,8 +132,16 @@ pub enum FrameKind {
     /// Mutation batch applied: edit count, new length, maintenance
     /// mode, dirty-shard and artifact counts, execution time.
     MutateOk = 0x8A,
+    /// Pipelined job result (protocol v6): `request_id: u64` followed
+    /// by a standard OUTPUT body. Sent only for requests that carried
+    /// [`FLAG_REQUEST_ID`]; replies arrive in completion order.
+    OutputP = 0x8B,
     /// Typed error reply: code + UTF-8 message.
     Error = 0xEE,
+    /// Pipelined typed error reply (protocol v6): `request_id: u64`
+    /// followed by a standard ERROR body. Sent only for requests that
+    /// carried [`FLAG_REQUEST_ID`].
+    ErrorP = 0xEF,
 }
 
 impl FrameKind {
@@ -153,7 +169,9 @@ impl FrameKind {
             0x88 => FrameKind::PutOk,
             0x89 => FrameKind::DropOk,
             0x8A => FrameKind::MutateOk,
+            0x8B => FrameKind::OutputP,
             0xEE => FrameKind::Error,
+            0xEF => FrameKind::ErrorP,
             _ => return None,
         })
     }
@@ -271,6 +289,11 @@ pub enum ErrorCode {
     /// carries a `retry_after_ms=N` hint; the connection stays open.
     /// Added in protocol v5.
     Overloaded = 17,
+    /// The request exceeded a per-tenant quota (in-flight requests or
+    /// resident store bytes, keyed by connection identity). The
+    /// request was not admitted; the connection stays open. Added in
+    /// protocol v6.
+    QuotaExceeded = 18,
 }
 
 impl ErrorCode {
@@ -294,6 +317,7 @@ impl ErrorCode {
             15 => ErrorCode::InternalError,
             16 => ErrorCode::DeadlineExceeded,
             17 => ErrorCode::Overloaded,
+            18 => ErrorCode::QuotaExceeded,
             _ => return None,
         })
     }
@@ -319,6 +343,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::InternalError => "job execution panicked",
             ErrorCode::DeadlineExceeded => "request deadline exceeded",
             ErrorCode::Overloaded => "server overloaded, retry later",
+            ErrorCode::QuotaExceeded => "tenant quota exceeded",
         };
         f.write_str(s)
     }
@@ -591,6 +616,82 @@ pub const FLAG_SHARDED: u8 = 0b0000_0001;
 /// malformed on connections that negotiated a HELLO version below 5.
 pub const FLAG_DEADLINE: u8 = 0b0000_0010;
 
+/// Request flag bit (protocol v6): schedule this request in the
+/// *batch* QoS class — it dispatches only when no interactive request
+/// is queued, except for the scheduler's periodic anti-starvation
+/// aging tick. No field follows; clear = interactive (the default).
+/// Servers reject the flag as malformed on connections that
+/// negotiated a HELLO version below 6.
+pub const FLAG_BATCH: u8 = 0b0000_0100;
+
+/// Request flag bit (protocol v6): a client-chosen `request_id: u64`
+/// follows the flags byte (after `deadline_ms` when both are set).
+/// Requests carrying an id may be *pipelined* — multiple in flight on
+/// one connection — and are answered with [`FrameKind::OutputP`] /
+/// [`FrameKind::ErrorP`] frames echoing the id, in completion order.
+/// Id `0` is reserved (malformed); reusing an id while it is still in
+/// flight on the same connection is malformed. Servers reject the
+/// flag on connections that negotiated a HELLO version below 6.
+pub const FLAG_REQUEST_ID: u8 = 0b0000_1000;
+
+/// The decoded request-flags prefix shared by the six job-bearing
+/// frame kinds (protocol v6 superset): the flags byte plus its
+/// optional trailing fields, in wire order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReqFlags {
+    /// [`FLAG_SHARDED`]: route through the shard-parallel plan branch.
+    pub sharded: bool,
+    /// [`FLAG_DEADLINE`] (v5): queue deadline in ms, if any.
+    pub deadline_ms: Option<u64>,
+    /// [`FLAG_BATCH`] (v6): batch QoS class instead of interactive.
+    pub batch: bool,
+    /// [`FLAG_REQUEST_ID`] (v6): pipelining id, if any (never 0).
+    pub request_id: Option<u64>,
+}
+
+impl ReqFlags {
+    /// Flags for a plain (or sharded) request — no v5/v6 fields.
+    pub fn sharded(sharded: bool) -> ReqFlags {
+        ReqFlags { sharded, ..ReqFlags::default() }
+    }
+
+    /// Set the queue deadline (v5).
+    pub fn with_deadline_ms(mut self, ms: u64) -> ReqFlags {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Mark the request batch-class (v6).
+    pub fn with_batch(mut self) -> ReqFlags {
+        self.batch = true;
+        self
+    }
+
+    /// Attach a pipelining request id (v6; must be nonzero).
+    pub fn with_request_id(mut self, id: u64) -> ReqFlags {
+        self.request_id = Some(id);
+        self
+    }
+
+    /// The flags byte this prefix encodes to.
+    pub fn bits(&self) -> u8 {
+        let mut flags = 0;
+        if self.sharded {
+            flags |= FLAG_SHARDED;
+        }
+        if self.deadline_ms.is_some() {
+            flags |= FLAG_DEADLINE;
+        }
+        if self.batch {
+            flags |= FLAG_BATCH;
+        }
+        if self.request_id.is_some() {
+            flags |= FLAG_REQUEST_ID;
+        }
+        flags
+    }
+}
+
 /// A decoded client→server request, ready to map onto the engine's
 /// typed [`crate::Request`] builders. The successor array has already
 /// passed [`LinkedList`] construction — a structurally invalid list
@@ -607,19 +708,15 @@ pub enum WireRequest {
     },
     /// Rank the list.
     Rank {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// The validated list.
         list: LinkedList,
     },
     /// Scan values along the list under `op`.
     Scan {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// The validated list.
@@ -630,10 +727,8 @@ pub enum WireRequest {
     /// Segmented scan: like [`WireRequest::Scan`] plus segment-start
     /// flags.
     SegScan {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// The validated list.
@@ -650,19 +745,15 @@ pub enum WireRequest {
     },
     /// Rank a resident dataset ([`FrameKind::RankH`]).
     RankH {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// Handle from a PUT_OK on this connection.
         handle: u64,
     },
     /// Scan values along a resident dataset ([`FrameKind::ScanH`]).
     ScanH {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// Handle from a PUT_OK on this connection.
@@ -674,10 +765,8 @@ pub enum WireRequest {
     },
     /// Segmented scan over a resident dataset ([`FrameKind::SegScanH`]).
     SegScanH {
-        /// Shard-parallel routing flag.
-        sharded: bool,
-        /// Queue deadline in ms ([`FLAG_DEADLINE`], v5), if any.
-        deadline_ms: Option<u64>,
+        /// Decoded flags prefix (routing, deadline, QoS, pipelining).
+        flags: ReqFlags,
         /// The operator (fixes the element type of `values`).
         op: WireOp,
         /// Handle from a PUT_OK on this connection.
@@ -711,18 +800,33 @@ pub enum WireRequest {
     Shutdown,
 }
 
-/// Read the request flags byte (and the `deadline_ms` field when
-/// [`FLAG_DEADLINE`] is set), enforcing the spec's "other bits must be
-/// zero" rule: a future client's unknown flag must fail typed
-/// (`malformed`) rather than be silently dropped and the request
-/// executed under different semantics than it asked for.
-fn decode_flags(d: &mut Dec<'_>) -> Result<(u8, Option<u64>), WireError> {
+/// Read the request-flags prefix — the flags byte plus its optional
+/// trailing fields in wire order (`deadline_ms`, then `request_id`) —
+/// enforcing the spec's "other bits must be zero" rule: a future
+/// client's unknown flag must fail typed (`malformed`) rather than be
+/// silently dropped and the request executed under different semantics
+/// than it asked for.
+fn decode_flags(d: &mut Dec<'_>) -> Result<ReqFlags, WireError> {
     let flags = d.u8("flags")?;
-    if flags & !(FLAG_SHARDED | FLAG_DEADLINE) != 0 {
+    if flags & !(FLAG_SHARDED | FLAG_DEADLINE | FLAG_BATCH | FLAG_REQUEST_ID) != 0 {
         return Err(WireError::malformed(format!("reserved flag bits set: {flags:#010b}")));
     }
     let deadline_ms = if flags & FLAG_DEADLINE != 0 { Some(d.u64("deadline_ms")?) } else { None };
-    Ok((flags, deadline_ms))
+    let request_id = if flags & FLAG_REQUEST_ID != 0 {
+        let id = d.u64("request_id")?;
+        if id == 0 {
+            return Err(WireError::malformed("request_id 0 is reserved"));
+        }
+        Some(id)
+    } else {
+        None
+    };
+    Ok(ReqFlags {
+        sharded: flags & FLAG_SHARDED != 0,
+        deadline_ms,
+        batch: flags & FLAG_BATCH != 0,
+        request_id,
+    })
 }
 
 fn decode_list(d: &mut Dec<'_>) -> Result<(LinkedList, usize), WireError> {
@@ -760,26 +864,25 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             WireRequest::Hello { magic, version }
         }
         FrameKind::Rank => {
-            let (flags, deadline_ms) = decode_flags(&mut d)?;
+            let flags = decode_flags(&mut d)?;
             let (list, _) = decode_list(&mut d)?;
-            WireRequest::Rank { sharded: flags & FLAG_SHARDED != 0, deadline_ms, list }
+            WireRequest::Rank { flags, list }
         }
         FrameKind::Scan | FrameKind::SegScan => {
-            let (flags, deadline_ms) = decode_flags(&mut d)?;
+            let flags = decode_flags(&mut d)?;
             let op_byte = d.u8("operator")?;
             let op = WireOp::from_u8(op_byte).ok_or(WireError {
                 code: ErrorCode::UnknownOp,
                 message: format!("operator byte {op_byte:#04x}"),
             })?;
             let (list, n) = decode_list(&mut d)?;
-            let sharded = flags & FLAG_SHARDED != 0;
             if kind == FrameKind::SegScan {
                 let starts = decode_starts(n, &mut d)?;
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::SegScan { sharded, deadline_ms, op, list, starts, values }
+                WireRequest::SegScan { flags, op, list, starts, values }
             } else {
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::Scan { sharded, deadline_ms, op, list, values }
+                WireRequest::Scan { flags, op, list, values }
             }
         }
         FrameKind::Put => {
@@ -791,12 +894,12 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             WireRequest::Put { list }
         }
         FrameKind::RankH => {
-            let (flags, deadline_ms) = decode_flags(&mut d)?;
+            let flags = decode_flags(&mut d)?;
             let handle = d.u64("handle")?;
-            WireRequest::RankH { sharded: flags & FLAG_SHARDED != 0, deadline_ms, handle }
+            WireRequest::RankH { flags, handle }
         }
         FrameKind::ScanH | FrameKind::SegScanH => {
-            let (flags, deadline_ms) = decode_flags(&mut d)?;
+            let flags = decode_flags(&mut d)?;
             let op_byte = d.u8("operator")?;
             let op = WireOp::from_u8(op_byte).ok_or(WireError {
                 code: ErrorCode::UnknownOp,
@@ -804,14 +907,13 @@ pub fn decode_request(frame: &Frame) -> Result<WireRequest, WireError> {
             })?;
             let handle = d.u64("handle")?;
             let n = d.u32("value count")? as usize;
-            let sharded = flags & FLAG_SHARDED != 0;
             if kind == FrameKind::SegScanH {
                 let starts = decode_starts(n, &mut d)?;
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::SegScanH { sharded, deadline_ms, op, handle, starts, values }
+                WireRequest::SegScanH { flags, op, handle, starts, values }
             } else {
                 let values = decode_values(op, n, &mut d)?;
-                WireRequest::ScanH { sharded, deadline_ms, op, handle, values }
+                WireRequest::ScanH { flags, op, handle, values }
             }
         }
         FrameKind::Drop => {
@@ -858,28 +960,35 @@ fn put_list(list: &LinkedList, out: &mut Vec<u8>) {
     }
 }
 
-/// Append the flags byte, plus the `deadline_ms` field when a deadline
-/// is present (which sets [`FLAG_DEADLINE`], a v5 construct).
-fn push_flags(b: &mut Vec<u8>, sharded: bool, deadline_ms: Option<u64>) {
-    let mut flags = if sharded { FLAG_SHARDED } else { 0 };
-    if deadline_ms.is_some() {
-        flags |= FLAG_DEADLINE;
-    }
-    b.push(flags);
-    if let Some(ms) = deadline_ms {
+/// Append the request-flags prefix: the flags byte, then `deadline_ms`
+/// when a deadline is present ([`FLAG_DEADLINE`], v5), then
+/// `request_id` when pipelining ([`FLAG_REQUEST_ID`], v6) — always in
+/// that wire order.
+fn push_flags(b: &mut Vec<u8>, flags: &ReqFlags) {
+    b.push(flags.bits());
+    if let Some(ms) = flags.deadline_ms {
         b.extend_from_slice(&ms.to_le_bytes());
+    }
+    if let Some(id) = flags.request_id {
+        b.extend_from_slice(&id.to_le_bytes());
     }
 }
 
 /// RANK body: flags + the list's head/length/successor array.
 pub fn rank_body(list: &LinkedList, sharded: bool) -> Vec<u8> {
-    rank_body_deadline(list, sharded, None)
+    rank_body_flags(list, ReqFlags::sharded(sharded))
 }
 
 /// [`rank_body`] with an optional queue deadline (protocol v5).
 pub fn rank_body_deadline(list: &LinkedList, sharded: bool, deadline_ms: Option<u64>) -> Vec<u8> {
-    let mut b = Vec::with_capacity(9 + 8 + 4 * list.len());
-    push_flags(&mut b, sharded, deadline_ms);
+    rank_body_flags(list, ReqFlags { sharded, deadline_ms, ..ReqFlags::default() })
+}
+
+/// [`rank_body`] with the full v6 flags prefix (QoS class,
+/// pipelining id).
+pub fn rank_body_flags(list: &LinkedList, flags: ReqFlags) -> Vec<u8> {
+    let mut b = Vec::with_capacity(17 + 8 + 4 * list.len());
+    push_flags(&mut b, &flags);
     put_list(list, &mut b);
     b
 }
@@ -895,7 +1004,7 @@ pub fn scan_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
-    scan_body_deadline(list, values, op, sharded, None)
+    scan_body_flags(list, values, op, ReqFlags::sharded(sharded))
 }
 
 /// [`scan_body`] with an optional queue deadline (protocol v5).
@@ -909,9 +1018,22 @@ pub fn scan_body_deadline<T: WireElem>(
     sharded: bool,
     deadline_ms: Option<u64>,
 ) -> Vec<u8> {
+    scan_body_flags(list, values, op, ReqFlags { sharded, deadline_ms, ..ReqFlags::default() })
+}
+
+/// [`scan_body`] with the full v6 flags prefix.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`.
+pub fn scan_body_flags<T: WireElem>(
+    list: &LinkedList,
+    values: &[T],
+    op: WireOp,
+    flags: ReqFlags,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
-    let mut b = Vec::with_capacity(10 + 8 + 4 * list.len() + T::BYTES * values.len());
-    push_flags(&mut b, sharded, deadline_ms);
+    let mut b = Vec::with_capacity(18 + 8 + 4 * list.len() + T::BYTES * values.len());
+    push_flags(&mut b, &flags);
     b.push(op as u8);
     put_list(list, &mut b);
     for &v in values {
@@ -945,7 +1067,7 @@ pub fn segscan_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
-    segscan_body_deadline(list, starts, values, op, sharded, None)
+    segscan_body_flags(list, starts, values, op, ReqFlags::sharded(sharded))
 }
 
 /// [`segscan_body`] with an optional queue deadline (protocol v5).
@@ -961,12 +1083,33 @@ pub fn segscan_body_deadline<T: WireElem>(
     sharded: bool,
     deadline_ms: Option<u64>,
 ) -> Vec<u8> {
+    segscan_body_flags(
+        list,
+        starts,
+        values,
+        op,
+        ReqFlags { sharded, deadline_ms, ..ReqFlags::default() },
+    )
+}
+
+/// [`segscan_body`] with the full v6 flags prefix.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ.
+pub fn segscan_body_flags<T: WireElem>(
+    list: &LinkedList,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    flags: ReqFlags,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
     assert_eq!(starts.len(), values.len(), "one start flag per value");
     let mut b = Vec::with_capacity(
-        10 + 8 + 4 * list.len() + starts.len().div_ceil(8) + T::BYTES * values.len(),
+        18 + 8 + 4 * list.len() + starts.len().div_ceil(8) + T::BYTES * values.len(),
     );
-    push_flags(&mut b, sharded, deadline_ms);
+    push_flags(&mut b, &flags);
     b.push(op as u8);
     put_list(list, &mut b);
     b.extend_from_slice(&pack_starts(starts));
@@ -987,13 +1130,18 @@ pub fn put_body(list: &LinkedList) -> Vec<u8> {
 
 /// RANK_H body: flags + dataset handle.
 pub fn rank_h_body(handle: u64, sharded: bool) -> Vec<u8> {
-    rank_h_body_deadline(handle, sharded, None)
+    rank_h_body_flags(handle, ReqFlags::sharded(sharded))
 }
 
 /// [`rank_h_body`] with an optional queue deadline (protocol v5).
 pub fn rank_h_body_deadline(handle: u64, sharded: bool, deadline_ms: Option<u64>) -> Vec<u8> {
-    let mut b = Vec::with_capacity(17);
-    push_flags(&mut b, sharded, deadline_ms);
+    rank_h_body_flags(handle, ReqFlags { sharded, deadline_ms, ..ReqFlags::default() })
+}
+
+/// [`rank_h_body`] with the full v6 flags prefix.
+pub fn rank_h_body_flags(handle: u64, flags: ReqFlags) -> Vec<u8> {
+    let mut b = Vec::with_capacity(25);
+    push_flags(&mut b, &flags);
     b.extend_from_slice(&handle.to_le_bytes());
     b
 }
@@ -1005,7 +1153,7 @@ pub fn rank_h_body_deadline(handle: u64, sharded: bool, deadline_ms: Option<u64>
 /// Panics if `T`'s wire width does not match `op` — the typed
 /// [`crate::client::Client`] methods make that impossible.
 pub fn scan_h_body<T: WireElem>(handle: u64, values: &[T], op: WireOp, sharded: bool) -> Vec<u8> {
-    scan_h_body_deadline(handle, values, op, sharded, None)
+    scan_h_body_flags(handle, values, op, ReqFlags::sharded(sharded))
 }
 
 /// [`scan_h_body`] with an optional queue deadline (protocol v5).
@@ -1019,9 +1167,22 @@ pub fn scan_h_body_deadline<T: WireElem>(
     sharded: bool,
     deadline_ms: Option<u64>,
 ) -> Vec<u8> {
+    scan_h_body_flags(handle, values, op, ReqFlags { sharded, deadline_ms, ..ReqFlags::default() })
+}
+
+/// [`scan_h_body`] with the full v6 flags prefix.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`.
+pub fn scan_h_body_flags<T: WireElem>(
+    handle: u64,
+    values: &[T],
+    op: WireOp,
+    flags: ReqFlags,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
-    let mut b = Vec::with_capacity(22 + T::BYTES * values.len());
-    push_flags(&mut b, sharded, deadline_ms);
+    let mut b = Vec::with_capacity(30 + T::BYTES * values.len());
+    push_flags(&mut b, &flags);
     b.push(op as u8);
     b.extend_from_slice(&handle.to_le_bytes());
     b.extend_from_slice(&(values.len() as u32).to_le_bytes());
@@ -1044,7 +1205,7 @@ pub fn segscan_h_body<T: WireElem>(
     op: WireOp,
     sharded: bool,
 ) -> Vec<u8> {
-    segscan_h_body_deadline(handle, starts, values, op, sharded, None)
+    segscan_h_body_flags(handle, starts, values, op, ReqFlags::sharded(sharded))
 }
 
 /// [`segscan_h_body`] with an optional queue deadline (protocol v5).
@@ -1060,10 +1221,31 @@ pub fn segscan_h_body_deadline<T: WireElem>(
     sharded: bool,
     deadline_ms: Option<u64>,
 ) -> Vec<u8> {
+    segscan_h_body_flags(
+        handle,
+        starts,
+        values,
+        op,
+        ReqFlags { sharded, deadline_ms, ..ReqFlags::default() },
+    )
+}
+
+/// [`segscan_h_body`] with the full v6 flags prefix.
+///
+/// # Panics
+/// Panics if `T`'s wire width does not match `op`, or if `starts` and
+/// `values` lengths differ.
+pub fn segscan_h_body_flags<T: WireElem>(
+    handle: u64,
+    starts: &[bool],
+    values: &[T],
+    op: WireOp,
+    flags: ReqFlags,
+) -> Vec<u8> {
     assert_eq!(T::BYTES, op.elem_bytes(), "element width must match the wire operator");
     assert_eq!(starts.len(), values.len(), "one start flag per value");
-    let mut b = Vec::with_capacity(22 + starts.len().div_ceil(8) + T::BYTES * values.len());
-    push_flags(&mut b, sharded, deadline_ms);
+    let mut b = Vec::with_capacity(30 + starts.len().div_ceil(8) + T::BYTES * values.len());
+    push_flags(&mut b, &flags);
     b.push(op as u8);
     b.extend_from_slice(&handle.to_le_bytes());
     b.extend_from_slice(&(values.len() as u32).to_le_bytes());
@@ -1429,6 +1611,17 @@ pub const TAG_MUTATE: u8 = 7;
 /// [`FaultGauges`] field order). Added in protocol v5; older readers
 /// skip it by tag.
 pub const TAG_FAULT: u8 = 8;
+/// STATS_V2_OK block tag: the scheduler/QoS gauge block (block id is
+/// `0`; payload is `count: u8` followed by `count` LE `u64`s in
+/// [`SchedGauges`] field order). Added in protocol v6; older readers
+/// skip it by tag.
+pub const TAG_SCHED: u8 = 9;
+/// STATS_V2_OK block tag: the pipeline-depth histogram — depth of the
+/// connection's in-flight set sampled at each pipelined admission
+/// (block id is `0`; payload is a histogram like [`TAG_PHASE_HIST`]).
+/// Added in protocol v6; omitted while empty; older readers skip it by
+/// tag.
+pub const TAG_PIPELINE: u8 = 10;
 
 /// The fixed gauge block of a STATS_V2_OK frame: point-in-time scalars
 /// the `rankd stats` dashboard needs alongside the histograms. Encoded
@@ -1690,6 +1883,71 @@ impl FaultGauges {
     }
 }
 
+/// The scheduler/QoS gauge block of a STATS_V2_OK frame: what the
+/// two-class scheduler dispatched and holds in flight, what the
+/// per-tenant quotas rejected, and how the pipelining plane behaved.
+/// Encoded with a leading count so future versions can append gauges
+/// without breaking older readers. Added in protocol v6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedGauges {
+    /// Interactive-class requests admitted and not yet finished.
+    pub inflight_interactive: u64,
+    /// Batch-class requests admitted and not yet finished.
+    pub inflight_batch: u64,
+    /// Interactive-class dispatches since start.
+    pub dispatched_interactive: u64,
+    /// Batch-class dispatches since start.
+    pub dispatched_batch: u64,
+    /// Dispatches where the anti-starvation aging valve bypassed
+    /// strict class order.
+    pub aged_dispatches: u64,
+    /// Requests refused because the tenant's in-flight quota was full.
+    pub quota_rejected_inflight: u64,
+    /// PUTs refused because the tenant's resident-byte quota was full.
+    pub quota_rejected_store: u64,
+    /// Pipelined replies delivered out of arrival order.
+    pub reply_reorders: u64,
+    /// Requests that carried a [`FLAG_REQUEST_ID`] pipelining id.
+    pub pipelined_requests: u64,
+    /// Deepest in-flight set observed on any one connection.
+    pub max_pipeline_depth: u64,
+}
+
+impl SchedGauges {
+    /// Number of scheduler gauges this version defines.
+    pub const COUNT: usize = 10;
+
+    fn to_array(self) -> [u64; Self::COUNT] {
+        [
+            self.inflight_interactive,
+            self.inflight_batch,
+            self.dispatched_interactive,
+            self.dispatched_batch,
+            self.aged_dispatches,
+            self.quota_rejected_inflight,
+            self.quota_rejected_store,
+            self.reply_reorders,
+            self.pipelined_requests,
+            self.max_pipeline_depth,
+        ]
+    }
+
+    fn from_array(c: [u64; Self::COUNT]) -> SchedGauges {
+        SchedGauges {
+            inflight_interactive: c[0],
+            inflight_batch: c[1],
+            dispatched_interactive: c[2],
+            dispatched_batch: c[3],
+            aged_dispatches: c[4],
+            quota_rejected_inflight: c[5],
+            quota_rejected_store: c[6],
+            reply_reorders: c[7],
+            pipelined_requests: c[8],
+            max_pipeline_depth: c[9],
+        }
+    }
+}
+
 /// The decoded payload of a STATS_V2_OK frame: every histogram the
 /// telemetry registry keeps, the planner's mispredict histogram and
 /// dispatch-by-op matrix, and the gauge block. Histogram slots that
@@ -1714,6 +1972,12 @@ pub struct WireStatsV2 {
     /// The fault/resilience gauge block (all-zero when the peer
     /// predates protocol v5).
     pub fault: FaultGauges,
+    /// The scheduler/QoS gauge block (all-zero when the peer predates
+    /// protocol v6).
+    pub sched: SchedGauges,
+    /// The pipeline-depth histogram (empty when the peer predates
+    /// protocol v6 or nothing was pipelined yet).
+    pub pipeline_depth: Histogram,
     /// Planner dispatch rows: `(op, completions per algorithm)` in
     /// [`Algorithm::ALL`] order; only ops with completions appear.
     pub dispatch_by_op: Vec<(OpKind, Vec<u64>)>,
@@ -1827,6 +2091,19 @@ pub fn stats_v2_body(stats: &WireStatsV2) -> Vec<u8> {
     }
     put_block(TAG_FAULT, 0, &payload, &mut blocks);
     block_count += 1;
+    payload.clear();
+    payload.push(SchedGauges::COUNT as u8);
+    for g in stats.sched.to_array() {
+        payload.extend_from_slice(&g.to_le_bytes());
+    }
+    put_block(TAG_SCHED, 0, &payload, &mut blocks);
+    block_count += 1;
+    if !stats.pipeline_depth.is_empty() {
+        payload.clear();
+        put_hist(&stats.pipeline_depth, &mut payload);
+        put_block(TAG_PIPELINE, 0, &payload, &mut blocks);
+        block_count += 1;
+    }
     for (op, row) in &stats.dispatch_by_op {
         payload.clear();
         payload.push(row.len() as u8);
@@ -1943,6 +2220,28 @@ pub fn decode_stats_v2(body: &[u8]) -> Result<WireStatsV2, WireError> {
                 p.finish()?;
                 out.fault = FaultGauges::from_array(c);
             }
+            TAG_SCHED => {
+                let count = p.u8("sched gauge count")? as usize;
+                if count < SchedGauges::COUNT {
+                    return Err(WireError::malformed(format!(
+                        "sched gauge block has {count} entries, need {}",
+                        SchedGauges::COUNT
+                    )));
+                }
+                let mut c = [0u64; SchedGauges::COUNT];
+                for slot in &mut c {
+                    *slot = p.u64("sched gauge")?;
+                }
+                for _ in SchedGauges::COUNT..count {
+                    p.u64("extra sched gauge")?;
+                }
+                p.finish()?;
+                out.sched = SchedGauges::from_array(c);
+            }
+            TAG_PIPELINE => {
+                out.pipeline_depth = parse_hist(&mut p)?;
+                p.finish()?;
+            }
             TAG_DISPATCH_OP => {
                 let op = OpKind::from_index(id as usize)
                     .ok_or_else(|| WireError::malformed(format!("op id {id}")))?;
@@ -1980,4 +2279,23 @@ pub fn decode_error(body: &[u8]) -> Result<(u16, Option<ErrorCode>, String), Wir
     let message = String::from_utf8(d.take(d.b.len() - d.pos, "error message")?.to_vec())
         .map_err(|_| WireError::malformed("error message is not UTF-8"))?;
     Ok((raw, ErrorCode::from_u16(raw), message))
+}
+
+/// OUTPUT_P / ERROR_P body (protocol v6): the echoed `request_id: u64`
+/// followed by the unchanged OUTPUT / ERROR body bytes. One wrapper
+/// serves both kinds — only the frame kind differs.
+pub fn pipelined_body(request_id: u64, inner: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(8 + inner.len());
+    b.extend_from_slice(&request_id.to_le_bytes());
+    b.extend_from_slice(inner);
+    b
+}
+
+/// Split an OUTPUT_P / ERROR_P body into `(request_id, inner body)`;
+/// the inner bytes decode with [`decode_output`] / [`decode_error`]
+/// according to the frame kind.
+pub fn decode_pipelined(body: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let mut d = Dec::new(body);
+    let request_id = d.u64("request_id")?;
+    Ok((request_id, &body[8..]))
 }

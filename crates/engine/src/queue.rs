@@ -1,14 +1,20 @@
-//! Bounded MPMC job queue with blocking backpressure.
+//! Bounded MPMC job queue with blocking backpressure and QoS dispatch.
 //!
 //! `submit` blocks while the queue is at capacity (producers slow to the
 //! engine's drain rate instead of ballooning memory); `try_submit`
-//! returns [`SubmitError::Full`] instead. Workers pop from the front and
-//! may additionally *drain* a batch of small jobs in one lock
-//! acquisition (see `JobQueue::pop_small_batch`).
+//! returns [`SubmitError::Full`] instead. Workers pop the job chosen by
+//! the scheduler policy ([`crate::sched::pick_next`]): interactive
+//! before batch, earliest deadline first within a class, with a
+//! periodic aging tick that dispatches the globally oldest job so batch
+//! work cannot starve. Workers may additionally *drain* a batch of
+//! small same-class jobs in one lock acquisition (see
+//! `JobQueue::pop_small_batch`).
 
 use crate::job::QueuedJob;
+use crate::sched::{self, JobMeta, Priority, SchedCounters, SchedSnapshot, AGING_PERIOD};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Why a submission was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +44,10 @@ struct Inner {
     jobs: VecDeque<QueuedJob>,
     shutdown: bool,
     peak_depth: usize,
+    /// Monotone arrival counter; stamped onto jobs at push.
+    next_seq: u64,
+    /// Dequeue counter driving the aging tick.
+    dequeues: u64,
 }
 
 pub(crate) struct JobQueue {
@@ -45,6 +55,10 @@ pub(crate) struct JobQueue {
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Epoch for deadline ticks: a job's absolute deadline is its
+    /// enqueue instant (ns since this epoch) plus its deadline.
+    epoch: Instant,
+    sched: SchedCounters,
 }
 
 impl JobQueue {
@@ -54,11 +68,25 @@ impl JobQueue {
                 jobs: VecDeque::with_capacity(capacity.min(4096)),
                 shutdown: false,
                 peak_depth: 0,
+                next_seq: 0,
+                dequeues: 0,
             }),
             capacity: capacity.max(1),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            epoch: Instant::now(),
+            sched: SchedCounters::default(),
         }
+    }
+
+    fn admit(&self, inner: &mut Inner, mut job: QueuedJob) {
+        job.seq = inner.next_seq;
+        inner.next_seq += 1;
+        self.sched.note_queued(job.opts.priority);
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        inner.peak_depth = inner.peak_depth.max(depth);
+        self.not_empty.notify_one();
     }
 
     /// Blocking push: waits for space (backpressure).
@@ -69,10 +97,7 @@ impl JobQueue {
                 return Err(SubmitError::Shutdown);
             }
             if inner.jobs.len() < self.capacity {
-                inner.jobs.push_back(job);
-                let depth = inner.jobs.len();
-                inner.peak_depth = inner.peak_depth.max(depth);
-                self.not_empty.notify_one();
+                self.admit(&mut inner, job);
                 return Ok(());
             }
             inner = self.not_full.wait(inner).expect("queue poisoned");
@@ -92,18 +117,57 @@ impl JobQueue {
         if inner.jobs.len() >= self.capacity {
             return Err((SubmitError::Full, job));
         }
-        inner.jobs.push_back(job);
-        let depth = inner.jobs.len();
-        inner.peak_depth = inner.peak_depth.max(depth);
-        self.not_empty.notify_one();
+        self.admit(&mut inner, job);
         Ok(())
     }
 
-    /// Blocking pop; `None` once shut down *and* drained.
+    /// Absolute deadline tick for a job, if it carries one: enqueue
+    /// instant as ns since the queue epoch, plus the deadline
+    /// (saturating — `deadline_ms: u64::MAX` must not wrap into the
+    /// past).
+    fn deadline_tick(&self, job: &QueuedJob) -> Option<u64> {
+        job.opts.deadline_ms.map(|ms| {
+            let enqueued =
+                job.enqueued.duration_since(self.epoch).as_nanos().min(u64::MAX as u128) as u64;
+            enqueued.saturating_add(ms.saturating_mul(1_000_000))
+        })
+    }
+
+    /// Remove and return the scheduler's pick, maintaining counters.
+    fn take_pick(&self, inner: &mut Inner) -> Option<QueuedJob> {
+        if inner.jobs.is_empty() {
+            return None;
+        }
+        let metas: Vec<JobMeta> = inner
+            .jobs
+            .iter()
+            .map(|j| JobMeta {
+                class: j.opts.priority,
+                seq: j.seq,
+                deadline: self.deadline_tick(j),
+            })
+            .collect();
+        let idx = sched::pick_next(&metas, inner.dequeues, AGING_PERIOD).expect("non-empty queue");
+        // An aging tick only *bypasses* the class order when a
+        // non-aging pick would have chosen differently; count it as
+        // aged either way — the valve fired.
+        if sched::is_aging_tick(inner.dequeues, AGING_PERIOD)
+            && metas[idx].class != metas.iter().map(|m| m.class).min().expect("non-empty")
+        {
+            self.sched.note_aged();
+        }
+        inner.dequeues += 1;
+        let job = inner.jobs.remove(idx).expect("picked index in range");
+        self.sched.note_dispatched(job.opts.priority);
+        Some(job)
+    }
+
+    /// Blocking pop; `None` once shut down *and* drained. Dispatch
+    /// order is the scheduler policy, not FIFO.
     pub(crate) fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(job) = inner.jobs.pop_front() {
+            if let Some(job) = self.take_pick(&mut inner) {
                 self.not_full.notify_one();
                 return Some(job);
             }
@@ -115,12 +179,20 @@ impl JobQueue {
     }
 
     /// Under one lock, pull up to `max` additional queued jobs whose
-    /// size is ≤ `cutoff` (leaving larger jobs in place and in order).
-    /// Small-job batching: a worker that just popped a small job grabs
-    /// its siblings so one scratch acquisition and one dispatch serve
-    /// the whole batch. Single compacting pass — no per-extraction
-    /// mid-deque shifting.
-    pub(crate) fn pop_small_batch(&self, cutoff: usize, max: usize) -> Vec<QueuedJob> {
+    /// size is ≤ `cutoff` **and whose priority class matches `class`**
+    /// (leaving everything else in place and in order). Small-job
+    /// batching: a worker that just popped a small job grabs its
+    /// same-class siblings so one scratch acquisition and one dispatch
+    /// serve the whole batch — restricted to one class so a batch job
+    /// can never ride an interactive pop ahead of queued interactive
+    /// work. Single compacting pass — no per-extraction mid-deque
+    /// shifting.
+    pub(crate) fn pop_small_batch(
+        &self,
+        cutoff: usize,
+        max: usize,
+        class: Priority,
+    ) -> Vec<QueuedJob> {
         let mut out = Vec::new();
         if max == 0 {
             return out;
@@ -128,16 +200,30 @@ impl JobQueue {
         let mut inner = self.inner.lock().expect("queue poisoned");
         let jobs = std::mem::take(&mut inner.jobs);
         for job in jobs {
-            if out.len() < max && job.spec.len() <= cutoff {
+            if out.len() < max && job.spec.len() <= cutoff && job.opts.priority == class {
+                self.sched.note_dispatched(job.opts.priority);
                 out.push(job);
             } else {
                 inner.jobs.push_back(job);
             }
         }
         if !out.is_empty() {
+            inner.dequeues += out.len() as u64;
             self.not_full.notify_all();
         }
         out
+    }
+
+    /// Record a settled job for the per-class in-flight gauge. Called
+    /// by workers at every settle site (and by submit paths that settle
+    /// a job without it ever being dispatched, e.g. shedding).
+    pub(crate) fn note_finished(&self, class: Priority) {
+        self.sched.note_finished(class);
+    }
+
+    /// Point-in-time scheduler counters.
+    pub(crate) fn sched_snapshot(&self) -> SchedSnapshot {
+        self.sched.load()
     }
 
     /// Current depth (diagnostics).

@@ -1,0 +1,315 @@
+//! QoS scheduling primitives: priority classes, the dispatch-order
+//! policy, and per-tenant admission quotas.
+//!
+//! The engine queue (PR 10) replaces strict FIFO with a small,
+//! *pure* policy function — [`pick_next`] — so the dispatch contract
+//! can be property-tested in isolation (`crates/engine/tests/qos.rs`)
+//! without threads or timing. The rules, in priority order:
+//!
+//! 1. **Aging (anti-starvation).** Every [`AGING_PERIOD`]-th dequeue
+//!    ignores class entirely and picks the globally oldest job (minimum
+//!    sequence number). Under continuous interactive load a batch job
+//!    therefore still dispatches at least once per `AGING_PERIOD`
+//!    dequeues — starvation is bounded, not merely unlikely.
+//! 2. **Class.** Otherwise the lowest-numbered class present wins:
+//!    [`Priority::Interactive`] strictly dominates [`Priority::Batch`].
+//! 3. **Deadline, then arrival.** Within the chosen class, the job with
+//!    the earliest absolute deadline tick dispatches first; jobs
+//!    without a deadline sort after every deadline-carrying job; ties
+//!    fall back to arrival order (sequence number). Deadline-first
+//!    dequeue therefore *never* inverts priority classes — it only
+//!    reorders within one.
+//!
+//! [`QuotaTable`] is the per-tenant in-flight ledger the server uses
+//! for admission control; it lives here (not in `server`) so the same
+//! accounting can be exercised by the conformance suite under random
+//! admit/complete interleavings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Request priority class. Lower discriminant = more urgent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Priority {
+    /// Latency-sensitive foreground work (the default).
+    #[default]
+    Interactive = 0,
+    /// Throughput-oriented background work; dispatches only when no
+    /// interactive job is queued, except on aging ticks.
+    Batch = 1,
+}
+
+impl Priority {
+    /// Both classes, in dispatch-preference order.
+    pub const ALL: [Priority; 2] = [Priority::Interactive, Priority::Batch];
+
+    /// Index into per-class counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case class name (matches `rankd` CLI spellings).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Dequeues between aging ticks: every `AGING_PERIOD`-th dequeue picks
+/// the globally oldest job regardless of class (see [`pick_next`]).
+pub const AGING_PERIOD: u64 = 16;
+
+/// The scheduling-relevant view of one queued job. The queue builds
+/// these from its live entries; the conformance suite builds them
+/// directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Priority class.
+    pub class: Priority,
+    /// Monotone arrival sequence number (assigned at enqueue).
+    pub seq: u64,
+    /// Absolute deadline tick (nanoseconds since the queue's epoch),
+    /// if the request carried one. Only the *order* matters here;
+    /// expiry is still enforced at execution time.
+    pub deadline: Option<u64>,
+}
+
+/// Whether the `dequeues`-th dequeue (zero-based) is an aging tick.
+pub fn is_aging_tick(dequeues: u64, aging_period: u64) -> bool {
+    aging_period > 0 && dequeues % aging_period == aging_period - 1
+}
+
+/// Pick the index of the job to dispatch next. Pure function of the
+/// queue snapshot plus the dequeue counter; see the module docs for
+/// the policy. Returns `None` only for an empty slice.
+pub fn pick_next(jobs: &[JobMeta], dequeues: u64, aging_period: u64) -> Option<usize> {
+    if jobs.is_empty() {
+        return None;
+    }
+    if is_aging_tick(dequeues, aging_period) {
+        // Globally oldest, class-blind: the anti-starvation valve.
+        return jobs.iter().enumerate().min_by_key(|(_, j)| j.seq).map(|(i, _)| i);
+    }
+    let best_class = jobs.iter().map(|j| j.class).min().expect("non-empty");
+    jobs.iter()
+        .enumerate()
+        .filter(|(_, j)| j.class == best_class)
+        .min_by_key(|(_, j)| (j.deadline.unwrap_or(u64::MAX), j.seq))
+        .map(|(i, _)| i)
+}
+
+/// Per-class scheduler counters, owned by the queue. `queued` −
+/// `finished` is the in-flight gauge STATS_V2 reports per class;
+/// `dispatched` counts dequeues-for-execution and `aged` counts
+/// anti-starvation picks that jumped the class order.
+#[derive(Debug, Default)]
+pub(crate) struct SchedCounters {
+    pub(crate) queued: [AtomicU64; 2],
+    pub(crate) dispatched: [AtomicU64; 2],
+    pub(crate) finished: [AtomicU64; 2],
+    pub(crate) aged: AtomicU64,
+}
+
+impl SchedCounters {
+    pub(crate) fn note_queued(&self, class: Priority) {
+        self.queued[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dispatched(&self, class: Priority) {
+        self.dispatched[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_finished(&self, class: Priority) {
+        self.finished[class.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_aged(&self) {
+        self.aged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn load(&self) -> SchedSnapshot {
+        let read =
+            |a: &[AtomicU64; 2]| [a[0].load(Ordering::Relaxed), a[1].load(Ordering::Relaxed)];
+        SchedSnapshot {
+            queued: read(&self.queued),
+            dispatched: read(&self.dispatched),
+            finished: read(&self.finished),
+            aged: self.aged.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the scheduler's internal counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Jobs admitted to the queue, per class.
+    pub queued: [u64; 2],
+    /// Jobs dequeued for execution, per class.
+    pub dispatched: [u64; 2],
+    /// Jobs settled (completed, failed, cancelled, expired), per class.
+    pub finished: [u64; 2],
+    /// Aging-tick dispatches that bypassed the class order.
+    pub aged: u64,
+}
+
+impl SchedSnapshot {
+    /// Current in-flight count (queued − finished) for a class.
+    pub fn inflight(&self, class: Priority) -> u64 {
+        self.queued[class.index()].saturating_sub(self.finished[class.index()])
+    }
+}
+
+/// Per-tenant in-flight admission ledger. Tenants are identified by an
+/// opaque `u64` (the server uses the connection id). A `max_inflight`
+/// of 0 means unlimited; `try_admit` never rejects then but still
+/// counts, so `drop_tenant` accounting stays exact either way.
+#[derive(Debug)]
+pub struct QuotaTable {
+    max_inflight: u64,
+    inner: Mutex<HashMap<u64, u64>>,
+    rejected: AtomicU64,
+}
+
+impl QuotaTable {
+    /// New table with the given per-tenant in-flight cap (0 = no cap).
+    pub fn new(max_inflight: u64) -> Self {
+        QuotaTable { max_inflight, inner: Mutex::new(HashMap::new()), rejected: AtomicU64::new(0) }
+    }
+
+    /// The configured cap (0 = unlimited).
+    pub fn max_inflight(&self) -> u64 {
+        self.max_inflight
+    }
+
+    /// Try to admit one more in-flight request for `tenant`. Returns
+    /// `false` (and counts a rejection) if the tenant is at its cap.
+    pub fn try_admit(&self, tenant: u64) -> bool {
+        let mut inner = self.inner.lock().expect("quota table poisoned");
+        let slot = inner.entry(tenant).or_insert(0);
+        if self.max_inflight > 0 && *slot >= self.max_inflight {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *slot += 1;
+        true
+    }
+
+    /// Record one completion for `tenant`. A completion after
+    /// [`QuotaTable::drop_tenant`] is a no-op (the ledger was already
+    /// settled by the disconnect).
+    pub fn complete(&self, tenant: u64) {
+        let mut inner = self.inner.lock().expect("quota table poisoned");
+        if let Some(slot) = inner.get_mut(&tenant) {
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 {
+                inner.remove(&tenant);
+            }
+        }
+    }
+
+    /// Current in-flight count for `tenant`.
+    pub fn inflight(&self, tenant: u64) -> u64 {
+        self.inner.lock().expect("quota table poisoned").get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Forget a tenant entirely (disconnect); returns how many
+    /// in-flight admissions were outstanding.
+    pub fn drop_tenant(&self, tenant: u64) -> u64 {
+        self.inner.lock().expect("quota table poisoned").remove(&tenant).unwrap_or(0)
+    }
+
+    /// Tenants with at least one in-flight admission.
+    pub fn tenants(&self) -> usize {
+        self.inner.lock().expect("quota table poisoned").len()
+    }
+
+    /// Total admissions rejected at the cap.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(class: Priority, seq: u64, deadline: Option<u64>) -> JobMeta {
+        JobMeta { class, seq, deadline }
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        assert_eq!(pick_next(&[], 0, AGING_PERIOD), None);
+        assert_eq!(pick_next(&[], AGING_PERIOD - 1, AGING_PERIOD), None);
+    }
+
+    #[test]
+    fn interactive_dominates_batch() {
+        let jobs = [
+            meta(Priority::Batch, 0, None),
+            meta(Priority::Interactive, 1, None),
+            meta(Priority::Batch, 2, Some(5)),
+        ];
+        // Not an aging tick: the (later, deadline-less) interactive job
+        // still beats both batch jobs.
+        assert_eq!(pick_next(&jobs, 0, AGING_PERIOD), Some(1));
+    }
+
+    #[test]
+    fn deadline_orders_within_class_only() {
+        let jobs = [
+            meta(Priority::Interactive, 0, None),
+            meta(Priority::Interactive, 1, Some(100)),
+            meta(Priority::Interactive, 2, Some(50)),
+        ];
+        assert_eq!(pick_next(&jobs, 0, AGING_PERIOD), Some(2), "earliest deadline first");
+        let jobs =
+            [meta(Priority::Interactive, 0, Some(10)), meta(Priority::Interactive, 1, Some(10))];
+        assert_eq!(pick_next(&jobs, 0, AGING_PERIOD), Some(0), "deadline tie falls back to seq");
+    }
+
+    #[test]
+    fn aging_tick_picks_globally_oldest() {
+        let jobs = [
+            meta(Priority::Batch, 3, None),
+            meta(Priority::Interactive, 7, Some(1)),
+            meta(Priority::Batch, 2, None),
+        ];
+        let tick = AGING_PERIOD - 1;
+        assert!(is_aging_tick(tick, AGING_PERIOD));
+        assert_eq!(pick_next(&jobs, tick, AGING_PERIOD), Some(2), "oldest seq, class-blind");
+        // aging_period = 0 disables the valve.
+        assert!(!is_aging_tick(tick, 0));
+    }
+
+    #[test]
+    fn quota_admits_up_to_cap_and_settles_on_drop() {
+        let q = QuotaTable::new(2);
+        assert!(q.try_admit(7));
+        assert!(q.try_admit(7));
+        assert!(!q.try_admit(7), "third admit must hit the cap");
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.inflight(7), 2);
+        q.complete(7);
+        assert!(q.try_admit(7), "a completion frees a slot");
+        assert_eq!(q.drop_tenant(7), 2);
+        assert_eq!(q.inflight(7), 0);
+        q.complete(7); // late completion after disconnect: no-op
+        assert_eq!(q.inflight(7), 0);
+        assert_eq!(q.tenants(), 0);
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited() {
+        let q = QuotaTable::new(0);
+        for _ in 0..1000 {
+            assert!(q.try_admit(1));
+        }
+        assert_eq!(q.rejected(), 0);
+        assert_eq!(q.inflight(1), 1000);
+    }
+}

@@ -1,14 +1,39 @@
-//! `rankd serve` — the concurrent Unix-domain-socket front-end.
+//! `rankd serve` — the event-driven multi-tenant socket front-end.
 //!
-//! One [`Server`] wraps one [`Engine`]: an accept loop hands each
-//! client connection to its own handler thread, which decodes
-//! [`crate::protocol`] frames, maps them onto the engine's typed
-//! [`Request`] builders, and writes the replies back. Because the
-//! handler uses the engine's *blocking* submit, the bounded job
-//! queue's backpressure becomes per-client admission control: a
-//! client that floods requests simply blocks on submit until the
-//! queue drains, instead of ballooning daemon memory or being
-//! disconnected.
+//! One [`Server`] wraps one [`Engine`]: a single-threaded *reactor*
+//! owns every connection fd (Unix domain socket, and optionally TCP
+//! via [`ServeConfig::with_tcp`]), multiplexes readiness with
+//! `poll(2)` ([`crate::poll`]), and decodes [`crate::protocol`] frames
+//! out of per-connection read buffers. Job-bearing frames are
+//! submitted through the engine's *non-blocking* callback path; the
+//! worker that settles a job pushes the encoded reply into a
+//! completion hub and wakes the reactor over a self-pipe. No thread
+//! is parked per in-flight request, which is what makes pipelining
+//! scale:
+//!
+//! * **Pipelining (v6).** A request carrying
+//!   [`protocol::FLAG_REQUEST_ID`] does not serialize the connection:
+//!   many ids may be in flight at once, and replies come back as
+//!   [`FrameKind::OutputP`] / [`FrameKind::ErrorP`] frames echoing the
+//!   id, in *completion* order. Requests without an id keep the
+//!   classic serial contract — they wait for the connection's
+//!   in-flight set to drain and block further parsing until answered,
+//!   so v2–v5 clients observe exactly the old behavior.
+//! * **QoS (v6).** [`protocol::FLAG_BATCH`] routes a job to the batch
+//!   class of the two-class scheduler ([`crate::sched`]): interactive
+//!   work dispatches first, deadline-carrying jobs order first within
+//!   a class, and a periodic aging valve bounds batch starvation.
+//!   Per-tenant quotas — in-flight jobs
+//!   ([`ServeConfig::with_inflight_quota`]) and resident store bytes
+//!   ([`ServeConfig::with_store_quota`]) — are enforced at admission,
+//!   keyed by connection identity, and answered with typed
+//!   [`ErrorCode::QuotaExceeded`] refusals.
+//! * **Backpressure without deadlock.** A connection past its write
+//!   high-watermark (a pipelining client that stops reading replies)
+//!   simply stops being *read*; completions still flush
+//!   opportunistically, so the reactor never blocks on a slow client,
+//!   and a client that never drains is reclaimed by the write-stall
+//!   limit.
 //!
 //! Error handling is deliberately forgiving: a malformed frame body
 //! gets a typed [`FrameKind::Error`] reply and the connection keeps
@@ -17,27 +42,33 @@
 //! (framing can no longer be trusted), and shutdown draining.
 //!
 //! Shutdown (a client's SHUTDOWN frame, or the `--serve-secs`
-//! deadline) is graceful: the accept loop stops, every in-flight
-//! request still completes and its reply is written, and handlers
-//! linger up to [`ServeConfig::drain_grace`] for clients to
-//! disconnect on their own before the socket file is removed.
+//! deadline) is graceful: the listeners stop accepting, every
+//! in-flight request still completes and its reply is flushed, and
+//! idle connections linger up to [`ServeConfig::drain_grace`] before
+//! the reactor closes them and removes the socket file.
 
 use crate::dynamic::MutateError;
 use crate::engine::Engine;
 use crate::fault::FaultPlane;
-use crate::job::{JobError, JobOptions, Request};
+use crate::job::{JobError, JobOptions, JobReport, Request};
+use crate::poll::{poll, PollFd, POLLIN, POLLOUT};
 use crate::protocol::{
-    self, error_body, read_frame, write_frame, ErrorCode, FaultGauges, Frame, FrameKind, MutGauges,
-    ReadFrameError, StatsGauges, StoreGauges, WireElem, WireMutateOk, WireOp, WireRequest,
+    self, error_body, pipelined_body, ErrorCode, FaultGauges, Frame, FrameKind, MutGauges,
+    ReqFlags, SchedGauges, StatsGauges, StoreGauges, WireElem, WireMutateOk, WireOp, WireRequest,
     WireStats, WireStatsV2, WireValues, MAX_FRAME_DEFAULT,
 };
 use crate::queue::SubmitError;
 use crate::rankd_log;
-use crate::store::{DatasetStore, StoreError, DEFAULT_STORE_BUDGET};
+use crate::sched::{Priority, QuotaTable};
+use crate::store::{ArtifactCache, DatasetRef, DatasetStore, StoreError, DEFAULT_STORE_BUDGET};
 use crate::telemetry::log::Level;
-use crate::telemetry::{self, Phase};
-use listkit::ops::{AddOp, MaxOp, MinOp, XorOp};
+use crate::telemetry::{self, AtomicHistogram, Phase};
+use listkit::ops::{AddOp, AffineOp, MaxOp, MinOp, XorOp};
 use listkit::LinkedList;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +81,10 @@ pub struct ServeConfig {
     /// Filesystem path of the Unix domain socket (`--socket`). A stale
     /// file at this path is removed on bind.
     pub socket: PathBuf,
+    /// Optional TCP listen address (`--tcp HOST:PORT`), served by the
+    /// same reactor beside the Unix socket. `None` (the default)
+    /// disables TCP.
+    pub tcp: Option<String>,
     /// Maximum concurrently served clients (`--max-clients`); excess
     /// connections are answered with [`ErrorCode::Busy`] and closed.
     pub max_clients: usize,
@@ -59,9 +94,9 @@ pub struct ServeConfig {
     /// Per-frame size cap enforced on reads (also advertised to
     /// clients in HELLO_OK).
     pub max_frame: u32,
-    /// After shutdown begins, how long handlers wait for idle clients
-    /// to disconnect before closing on them. In-flight requests always
-    /// complete regardless.
+    /// After shutdown begins, how long the reactor waits for idle
+    /// clients to disconnect before closing on them. In-flight
+    /// requests always complete regardless.
     pub drain_grace: Duration,
     /// Byte budget for the resident dataset store (`--store-budget`):
     /// PUT lists plus cached sharded artifacts, under LRU eviction.
@@ -82,6 +117,16 @@ pub struct ServeConfig {
     /// this many bytes get a typed [`ErrorCode::Overloaded`] (retry
     /// later) rather than forcing LRU churn. `0` disables (default).
     pub shed_store_bytes: u64,
+    /// Per-tenant in-flight job quota (`--inflight-quota`): one
+    /// connection may have at most this many job-bearing requests
+    /// admitted-but-unfinished before admission answers
+    /// [`ErrorCode::QuotaExceeded`]. `0` disables the cap.
+    pub inflight_quota: u64,
+    /// Per-tenant resident store byte quota (`--store-quota`): a PUT
+    /// from a connection already owning at least this many resident
+    /// bytes is refused with [`ErrorCode::QuotaExceeded`]. `0`
+    /// disables (default) — the global store budget still applies.
+    pub store_quota: u64,
 }
 
 impl ServeConfig {
@@ -89,6 +134,7 @@ impl ServeConfig {
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         ServeConfig {
             socket: socket.into(),
+            tcp: None,
             max_clients: 64,
             serve_secs: None,
             max_frame: MAX_FRAME_DEFAULT,
@@ -97,7 +143,15 @@ impl ServeConfig {
             fault: Arc::new(FaultPlane::disabled()),
             shed_queue_depth: 0,
             shed_store_bytes: 0,
+            inflight_quota: 64,
+            store_quota: 0,
         }
+    }
+
+    /// Also listen on a TCP address (`None` = Unix socket only).
+    pub fn with_tcp(mut self, addr: Option<String>) -> Self {
+        self.tcp = addr;
+        self
     }
 
     /// Override the client cap.
@@ -148,6 +202,18 @@ impl ServeConfig {
         self.shed_store_bytes = bytes;
         self
     }
+
+    /// Set the per-tenant in-flight job quota (`0` = off).
+    pub fn with_inflight_quota(mut self, quota: u64) -> Self {
+        self.inflight_quota = quota;
+        self
+    }
+
+    /// Set the per-tenant resident store byte quota (`0` = off).
+    pub fn with_store_quota(mut self, bytes: u64) -> Self {
+        self.store_quota = bytes;
+        self
+    }
 }
 
 /// Serving-layer counters: the connection/frame/byte dimension of the
@@ -193,12 +259,12 @@ impl std::fmt::Display for ServerStats {
     }
 }
 
-/// Shared state between the accept loop, the handlers, and
-/// [`ServerControl`].
+/// State shared between the reactor, the worker completion callbacks,
+/// and [`ServerControl`].
 struct Shared {
     shutdown: AtomicBool,
-    /// Set when shutdown begins; handlers close idle connections past
-    /// it (in-flight requests still finish).
+    /// Set when shutdown begins; the reactor closes idle connections
+    /// past it (in-flight requests still finish).
     drain_deadline: Mutex<Option<Instant>>,
     drain_grace: Duration,
     connections_total: AtomicU64,
@@ -210,7 +276,7 @@ struct Shared {
     bytes_out: AtomicU64,
     errors_sent: AtomicU64,
     busy_rejected: AtomicU64,
-    /// The resident dataset store, shared by every client handler.
+    /// The resident dataset store, shared by every connection.
     store: Arc<DatasetStore>,
     /// The fault-injection plane (disabled = every probe is one
     /// predictable branch).
@@ -223,6 +289,20 @@ struct Shared {
     shed_queue: AtomicU64,
     /// PUTs shed at the store watermark.
     shed_store: AtomicU64,
+    /// Per-tenant in-flight admission ledger (tenant = connection id).
+    quota: QuotaTable,
+    /// Per-tenant resident store byte quota (`0` = off).
+    store_quota: u64,
+    /// PUTs refused at the per-tenant store quota.
+    quota_rejected_store: AtomicU64,
+    /// Pipelined replies delivered out of arrival order.
+    reply_reorders: AtomicU64,
+    /// Requests that carried a pipelining request id.
+    pipelined_requests: AtomicU64,
+    /// Deepest in-flight set observed on any one connection.
+    max_pipeline_depth: AtomicU64,
+    /// In-flight depth observed at each pipelined admission.
+    pipeline_depth: AtomicHistogram,
 }
 
 impl Shared {
@@ -234,8 +314,8 @@ impl Shared {
         }
     }
 
-    /// Whether an *idle* handler (no frame in progress) should stop
-    /// waiting for more frames.
+    /// Whether an *idle* connection (no frame in progress) should stop
+    /// being waited on.
     fn drain_expired(&self) -> bool {
         if !self.shutdown.load(Ordering::SeqCst) {
             return false;
@@ -287,11 +367,12 @@ impl ServerControl {
 }
 
 /// The `rankd serve` daemon: bind with [`Server::bind`], then
-/// [`Server::run`] the accept loop to completion.
+/// [`Server::run`] the reactor to completion.
 pub struct Server {
     engine: Arc<Engine>,
     cfg: ServeConfig,
     listener: UnixListener,
+    tcp: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -300,6 +381,8 @@ impl Server {
     /// prepare to serve requests against `engine`. A socket file with
     /// a live daemon behind it is an [`std::io::ErrorKind::AddrInUse`]
     /// error — binding never silently steals another server's path.
+    /// When [`ServeConfig::tcp`] is set, the TCP listener is bound
+    /// here too and served by the same reactor.
     pub fn bind(engine: Arc<Engine>, cfg: ServeConfig) -> std::io::Result<Server> {
         // A daemon that died without cleanup leaves the socket file
         // behind; rebinding over *that* is the expected restart flow.
@@ -322,6 +405,14 @@ impl Server {
         }
         let listener = UnixListener::bind(&cfg.socket)?;
         listener.set_nonblocking(true)?;
+        let tcp = match &cfg.tcp {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             drain_deadline: Mutex::new(None),
@@ -341,13 +432,26 @@ impl Server {
             shed_store_bytes: cfg.shed_store_bytes,
             shed_queue: AtomicU64::new(0),
             shed_store: AtomicU64::new(0),
+            quota: QuotaTable::new(cfg.inflight_quota),
+            store_quota: cfg.store_quota,
+            quota_rejected_store: AtomicU64::new(0),
+            reply_reorders: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            max_pipeline_depth: AtomicU64::new(0),
+            pipeline_depth: AtomicHistogram::new(),
         });
-        Ok(Server { engine, cfg, listener, shared })
+        Ok(Server { engine, cfg, listener, tcp, shared })
     }
 
     /// The socket path this server is bound to.
     pub fn socket_path(&self) -> &Path {
         &self.cfg.socket
+    }
+
+    /// The TCP address actually bound (useful with a `:0` port), if
+    /// TCP serving is enabled.
+    pub fn tcp_local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// A cloneable control handle (shutdown + stats) usable from other
@@ -356,107 +460,48 @@ impl Server {
         ServerControl { shared: Arc::clone(&self.shared) }
     }
 
-    /// Run the accept loop until SHUTDOWN (or the `serve_secs`
-    /// deadline), drain every handler, remove the socket file, and
-    /// return the final serving-layer counters.
+    /// Run the reactor until SHUTDOWN (or the `serve_secs` deadline),
+    /// drain every connection, remove the socket file, and return the
+    /// final serving-layer counters.
     pub fn run(self) -> std::io::Result<ServerStats> {
-        let deadline = self.cfg.serve_secs.map(|s| Instant::now() + Duration::from_secs(s));
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        loop {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    self.shared.begin_shutdown();
-                    break;
-                }
-            }
-            match self.listener.accept() {
-                Ok((stream, _addr)) => {
-                    let active = self.shared.connections_active.load(Ordering::Relaxed);
-                    if active as usize >= self.cfg.max_clients {
-                        self.shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
-                        // Best-effort typed rejection; the stream is
-                        // blocking again for the one write.
-                        let _ = stream.set_nonblocking(false);
-                        let mut s = stream;
-                        let _ = send_error(
-                            &mut s,
-                            &self.shared,
-                            ErrorCode::Busy,
-                            "server at max clients",
-                        );
-                        continue;
-                    }
-                    // The connection id doubles as the dataset-store
-                    // ownership key: handles are scoped to the
-                    // connection that PUT them, like file descriptors.
-                    let conn_id = self.shared.connections_total.fetch_add(1, Ordering::Relaxed) + 1;
-                    let now_active =
-                        self.shared.connections_active.fetch_add(1, Ordering::Relaxed) + 1;
-                    self.shared.peak_connections.fetch_max(now_active, Ordering::Relaxed);
-                    let engine = Arc::clone(&self.engine);
-                    let shared = Arc::clone(&self.shared);
-                    let max_frame = self.cfg.max_frame;
-                    handlers.push(
-                        std::thread::Builder::new()
-                            .name("rankd-client".to_string())
-                            .spawn(move || {
-                                handle_client(stream, &engine, &shared, max_frame, conn_id);
-                                let dropped = shared.store.drop_connection(conn_id);
-                                if dropped > 0 {
-                                    rankd_log!(
-                                        Level::Debug,
-                                        "server",
-                                        "conn {conn_id} closed, dropped {dropped} resident dataset(s)"
-                                    );
-                                }
-                                shared.connections_active.fetch_sub(1, Ordering::Relaxed);
-                            })
-                            .expect("spawn client handler"),
-                    );
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    // Reap finished handlers so a long-lived daemon's
-                    // thread carcasses (stack + join metadata) don't
-                    // accumulate with connection count.
-                    let mut i = 0;
-                    while i < handlers.len() {
-                        if handlers[i].is_finished() {
-                            let _ = handlers.swap_remove(i).join();
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) => {
-                    self.shared.begin_shutdown();
-                    for h in handlers {
-                        let _ = h.join();
-                    }
-                    let _ = std::fs::remove_file(&self.cfg.socket);
-                    return Err(e);
-                }
-            }
-        }
-        // Shutdown: no new connections; handlers drain (in-flight
-        // requests complete, idle connections close after the grace).
-        self.shared.begin_shutdown();
-        for h in handlers {
-            let _ = h.join();
-        }
-        let _ = std::fs::remove_file(&self.cfg.socket);
-        Ok(self.shared.stats())
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let hub = Arc::new(Hub { queue: Mutex::new(Vec::new()), wake_tx });
+        let mut reactor = Reactor {
+            engine: self.engine,
+            cfg: self.cfg,
+            shared: self.shared,
+            unix: self.listener,
+            tcp: self.tcp,
+            hub,
+            wake_rx,
+            conns: HashMap::new(),
+        };
+        let result = reactor.run_loop();
+        let _ = std::fs::remove_file(&reactor.cfg.socket);
+        result.map(|()| reactor.shared.stats())
     }
 }
 
-/// How long a reply write may sit with zero progress before the
-/// handler gives the client up for dead. Bounds the damage of a client
-/// that submits work and never reads the reply: its handler (and the
-/// `--max-clients` slot it holds) is reclaimed instead of pinned in
-/// `write_all` forever.
+/// Reactor poll timeout: the cadence for deadline/drain checks and
+/// parked-submit retries when no fd is ready (completions and socket
+/// readiness wake it immediately).
+const TICK_MS: i32 = 25;
+
+/// Read chunk size per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Per-connection write-buffer high watermark: past it the reactor
+/// stops *reading* the connection (natural pipelining backpressure —
+/// the client must drain replies before submitting more).
+const WBUF_HIGH_WATERMARK: usize = 1 << 20;
+
+/// How long a connection's pending reply bytes may sit with zero write
+/// progress before the reactor gives the client up for dead. Bounds
+/// the damage of a client that submits work and never reads the
+/// reply: its buffers (and the `--max-clients` slot it holds) are
+/// reclaimed instead of growing forever.
 const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
 
 /// The tighter zero-progress limit applied once the shutdown drain
@@ -465,744 +510,1579 @@ const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
 /// stretch shutdown by much.
 const DRAIN_WRITE_STALL_LIMIT: Duration = Duration::from_secs(2);
 
-/// Reply-write counterpart of `PolledReader` (in `read_frame_polled`):
-/// the stream has a short write timeout, and each timeout is a chance
-/// to notice shutdown draining or a dead-stalled reader. Giving up
-/// mid-frame corrupts that client's stream, which is fine — the
-/// handler closes the connection on any write error.
-struct PolledWriter<'a> {
-    stream: &'a mut UnixStream,
-    shared: &'a Shared,
-    last_progress: Instant,
+/// One accepted client socket, Unix or TCP, behind one readiness fd.
+enum Transport {
+    /// A Unix-domain-socket client.
+    Unix(UnixStream),
+    /// A TCP client (`--tcp`).
+    Tcp(TcpStream),
 }
 
-impl std::io::Write for PolledWriter<'_> {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        // Fault injection happens once per write call, before any
-        // bytes move: a disabled plane is a single branch.
-        if self.shared.fault.is_enabled() {
-            if let Some(d) = self.shared.fault.delay() {
+impl Transport {
+    fn fd(&self) -> RawFd {
+        match self {
+            Transport::Unix(s) => s.as_raw_fd(),
+            Transport::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.set_nonblocking(nb),
+            Transport::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.flush(),
+            Transport::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Work parked on a connection until the blocking condition clears
+/// (retried every reactor tick).
+enum Stalled {
+    /// The engine queue was full at submit time: quota admission is
+    /// already held, the typed request is rebuilt and re-offered each
+    /// tick (parsing stays paused, so order is preserved).
+    Submit { submit: SubmitFn, request_id: Option<u64>, arrival_seq: u64 },
+    /// A frame that must wait for the connection's in-flight set to
+    /// drain before dispatching (a serial job behind pipelined
+    /// traffic, or MUTATE/DROP whose serial-equivalence contract
+    /// requires no overlapping jobs on this connection). Re-decoded on
+    /// dispatch; no side effects were taken at stall time.
+    Frame(Frame),
+}
+
+/// A settled job's reply, pushed by the worker callback and drained by
+/// the reactor.
+struct Completion {
+    conn: u64,
+    request_id: Option<u64>,
+    arrival_seq: u64,
+    kind: FrameKind,
+    body: Vec<u8>,
+    is_error: bool,
+    trace_id: u64,
+}
+
+/// The completion hub: worker callbacks push encoded replies here and
+/// wake the reactor over the self-pipe.
+struct Hub {
+    queue: Mutex<Vec<Completion>>,
+    wake_tx: UnixStream,
+}
+
+impl Hub {
+    fn push(&self, c: Completion) {
+        self.queue.lock().expect("completion hub poisoned").push(c);
+        // A full pipe means a wake-up is already pending — exactly
+        // what we need, so the result is ignorable.
+        let _ = (&self.wake_tx).write(&[1u8]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion hub poisoned"))
+    }
+}
+
+/// Everything a worker completion callback needs to route its reply.
+#[derive(Clone)]
+struct ReplyCtx {
+    conn: u64,
+    request_id: Option<u64>,
+    arrival_seq: u64,
+    trace_id: u64,
+    /// Eviction pin for handle-routed jobs: every callback clone holds
+    /// it, so the resident dataset cannot be evicted before the reply
+    /// is encoded. Never read — its `Drop` is the point.
+    _pin: Option<Arc<DatasetRef>>,
+}
+
+/// A re-offerable submit closure: each call builds a fresh typed
+/// [`Request`] plus completion callback and offers it to the engine's
+/// non-blocking path (which drops the callback unfired on error, so
+/// retrying after [`SubmitError::Full`] is safe).
+type SubmitFn = Box<dyn FnMut(&Engine) -> Result<u64, SubmitError>>;
+
+/// Encode a settled job as its wire reply. With a `request_id` the
+/// body is wrapped in the pipelined envelope and the kind switches to
+/// the `*P` variants.
+fn job_reply<T: WireElem>(
+    res: Result<JobReport<Vec<T>>, JobError>,
+    request_id: Option<u64>,
+) -> (FrameKind, Vec<u8>, bool) {
+    let (kind, body, is_error) = match res {
+        Ok(report) => {
+            let meta = protocol::OutputMeta {
+                algorithm: report.algorithm,
+                shards: report.shards as u32,
+                queued_ns: report.queued_ns,
+                exec_ns: report.exec_ns,
+                trace_id: report.trace_id,
+            };
+            (FrameKind::Output, protocol::output_body(&meta, &report.output), false)
+        }
+        Err(e) => {
+            let (code, msg) = match e {
+                // The worker caught the panic; only this request is
+                // lost and the connection keeps being served.
+                JobError::Failed => (ErrorCode::InternalError, "job execution panicked"),
+                // The server never cancels its own jobs; defensive arm.
+                JobError::Cancelled => (ErrorCode::JobFailed, "job cancelled"),
+                JobError::DeadlineExceeded => {
+                    (ErrorCode::DeadlineExceeded, "request deadline exceeded in queue")
+                }
+            };
+            (FrameKind::Error, error_body(code, msg), true)
+        }
+    };
+    match request_id {
+        Some(id) => {
+            let pk = if is_error { FrameKind::ErrorP } else { FrameKind::OutputP };
+            (pk, pipelined_body(id, &body), is_error)
+        }
+        None => (kind, body, is_error),
+    }
+}
+
+/// Wrap a request builder into a [`SubmitFn`].
+fn submit_fn<T, F>(build: F, opts: JobOptions, ctx: ReplyCtx, hub: Arc<Hub>) -> SubmitFn
+where
+    T: WireElem + Send + Sync + 'static,
+    F: Fn() -> Request<Vec<T>> + 'static,
+{
+    Box::new(move |engine: &Engine| {
+        let ctx = ctx.clone();
+        let hub = Arc::clone(&hub);
+        engine.try_submit_callback(build(), opts, move |res| {
+            let (kind, body, is_error) = job_reply::<T>(res, ctx.request_id);
+            hub.push(Completion {
+                conn: ctx.conn,
+                request_id: ctx.request_id,
+                arrival_seq: ctx.arrival_seq,
+                kind,
+                body,
+                is_error,
+                trace_id: ctx.trace_id,
+            });
+        })
+    })
+}
+
+/// Where a job's list comes from: decoded inline off the frame, or a
+/// pinned resident dataset (whose artifacts warm the sharded arm).
+#[derive(Clone)]
+enum ListSource {
+    Inline(Arc<LinkedList>),
+    Resident(Arc<DatasetRef>),
+}
+
+impl ListSource {
+    fn list(&self) -> Arc<LinkedList> {
+        match self {
+            ListSource::Inline(l) => Arc::clone(l),
+            ListSource::Resident(e) => e.list(),
+        }
+    }
+
+    fn warm(&self) -> Option<Arc<ArtifactCache>> {
+        match self {
+            ListSource::Inline(_) => None,
+            ListSource::Resident(e) => Some(e.artifacts()),
+        }
+    }
+}
+
+fn rank_sub(
+    src: ListSource,
+    sharded: bool,
+    opts: JobOptions,
+    ctx: ReplyCtx,
+    hub: Arc<Hub>,
+) -> SubmitFn {
+    submit_fn(
+        move || {
+            let list = src.list();
+            let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) };
+            match src.warm() {
+                Some(w) => req.with_artifacts(w),
+                None => req,
+            }
+        },
+        opts,
+        ctx,
+        hub,
+    )
+}
+
+fn scan_sub<T, Op>(
+    src: ListSource,
+    values: Arc<Vec<T>>,
+    op: Op,
+    sharded: bool,
+    opts: JobOptions,
+    ctx: ReplyCtx,
+    hub: Arc<Hub>,
+) -> SubmitFn
+where
+    T: WireElem + Copy + Send + Sync + 'static,
+    Op: listkit::ScanOp<T> + Clone + Send + Sync + 'static,
+{
+    submit_fn(
+        move || {
+            let list = src.list();
+            let values = Arc::clone(&values);
+            let req = if sharded {
+                Request::scan_sharded(list, values, op.clone())
+            } else {
+                Request::scan(list, values, op.clone())
+            };
+            match src.warm() {
+                Some(w) => req.with_artifacts(w),
+                None => req,
+            }
+        },
+        opts,
+        ctx,
+        hub,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seg_sub<T, Op>(
+    src: ListSource,
+    values: Arc<Vec<T>>,
+    starts: Arc<Vec<bool>>,
+    op: Op,
+    sharded: bool,
+    opts: JobOptions,
+    ctx: ReplyCtx,
+    hub: Arc<Hub>,
+) -> SubmitFn
+where
+    T: WireElem + Copy + Send + Sync + 'static,
+    Op: listkit::ScanOp<T> + Clone + Send + Sync + 'static,
+{
+    submit_fn(
+        move || {
+            let list = src.list();
+            let values = Arc::clone(&values);
+            let starts = Arc::clone(&starts);
+            let req = if sharded {
+                Request::segmented_scan_sharded(list, values, starts, op.clone())
+            } else {
+                Request::segmented_scan(list, values, starts, op.clone())
+            };
+            match src.warm() {
+                Some(w) => req.with_artifacts(w),
+                None => req,
+            }
+        },
+        opts,
+        ctx,
+        hub,
+    )
+}
+
+/// Route a SCAN's `(op, values)` pair to the typed submit builder.
+fn scan_any(
+    src: ListSource,
+    op: WireOp,
+    values: WireValues,
+    sharded: bool,
+    opts: JobOptions,
+    ctx: ReplyCtx,
+    hub: Arc<Hub>,
+) -> SubmitFn {
+    match (op, values) {
+        (WireOp::Add, WireValues::I64(v)) => {
+            scan_sub(src, Arc::new(v), AddOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Max, WireValues::I64(v)) => {
+            scan_sub(src, Arc::new(v), MaxOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Min, WireValues::I64(v)) => {
+            scan_sub(src, Arc::new(v), MinOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Xor, WireValues::U64(v)) => {
+            scan_sub(src, Arc::new(v), XorOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Affine, WireValues::Affine(v)) => {
+            scan_sub(src, Arc::new(v), AffineOp, sharded, opts, ctx, hub)
+        }
+        // decode_values types the array by the operator, so a
+        // mismatch cannot be constructed.
+        _ => unreachable!("decoder pairs values with their operator"),
+    }
+}
+
+/// Route a SEG_SCAN's `(op, values)` pair to the typed submit builder.
+#[allow(clippy::too_many_arguments)]
+fn seg_any(
+    src: ListSource,
+    op: WireOp,
+    starts: Arc<Vec<bool>>,
+    values: WireValues,
+    sharded: bool,
+    opts: JobOptions,
+    ctx: ReplyCtx,
+    hub: Arc<Hub>,
+) -> SubmitFn {
+    match (op, values) {
+        (WireOp::Add, WireValues::I64(v)) => {
+            seg_sub(src, Arc::new(v), starts, AddOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Max, WireValues::I64(v)) => {
+            seg_sub(src, Arc::new(v), starts, MaxOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Min, WireValues::I64(v)) => {
+            seg_sub(src, Arc::new(v), starts, MinOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Xor, WireValues::U64(v)) => {
+            seg_sub(src, Arc::new(v), starts, XorOp, sharded, opts, ctx, hub)
+        }
+        (WireOp::Affine, WireValues::Affine(v)) => {
+            seg_sub(src, Arc::new(v), starts, AffineOp, sharded, opts, ctx, hub)
+        }
+        _ => unreachable!("decoder pairs values with their operator"),
+    }
+}
+
+/// One connection's state in the reactor: the socket, partial-frame
+/// read buffer, pending-reply write buffer, negotiated version, and
+/// the pipelining in-flight set.
+struct Conn {
+    id: u64,
+    sock: Transport,
+    /// Unparsed inbound bytes; `rpos` marks how far parsing consumed.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded-but-unflushed reply bytes; `wpos` marks how far the
+    /// socket accepted.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// The version the HELLO negotiated (None until then).
+    negotiated: Option<u16>,
+    /// In-flight pipelined requests: request id → arrival sequence.
+    inflight: HashMap<u64, u64>,
+    /// Whether a serial (no-request-id) job is in flight; parsing
+    /// pauses until its reply is written, preserving the v2–v5
+    /// one-at-a-time contract.
+    serial_inflight: bool,
+    /// Parked work (full queue, or a frame waiting for in-flight
+    /// drain); parsing pauses while set.
+    stalled: Option<Stalled>,
+    /// Next arrival sequence number (orders reorder detection).
+    next_arrival: u64,
+    /// Close once `wbuf` fully drains (goodbye frame already queued).
+    close_after_flush: bool,
+    /// Peer sent EOF: parse what's buffered, flush what's owed, then
+    /// close.
+    eof: bool,
+    /// Connection is finished; reaped at the end of the tick.
+    dead: bool,
+    /// Last instant the socket accepted reply bytes (write-stall
+    /// detection).
+    write_progress: Instant,
+}
+
+impl Conn {
+    fn new(id: u64, sock: Transport) -> Conn {
+        Conn {
+            id,
+            sock,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            negotiated: None,
+            inflight: HashMap::new(),
+            serial_inflight: false,
+            stalled: None,
+            next_arrival: 0,
+            close_after_flush: false,
+            eof: false,
+            dead: false,
+            write_progress: Instant::now(),
+        }
+    }
+
+    fn pending_write(&self) -> bool {
+        self.wbuf.len() > self.wpos
+    }
+
+    /// Whether the reactor should poll this connection for input.
+    fn wants_read(&self, drained: bool) -> bool {
+        !self.dead
+            && !self.eof
+            && !self.close_after_flush
+            && !drained
+            && self.stalled.is_none()
+            && !self.serial_inflight
+            && (self.wbuf.len() - self.wpos) < WBUF_HIGH_WATERMARK
+    }
+
+    /// No request in any stage of processing on this connection.
+    fn idle(&self) -> bool {
+        self.inflight.is_empty()
+            && !self.serial_inflight
+            && self.stalled.is_none()
+            && !self.pending_write()
+    }
+
+    /// Append one frame to the write buffer and account it.
+    fn enqueue(&mut self, shared: &Shared, kind: FrameKind, body: &[u8], is_error: bool) {
+        if self.dead {
+            return;
+        }
+        let Ok(len) = u32::try_from(1 + body.len()) else {
+            self.dead = true;
+            return;
+        };
+        if !self.pending_write() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.write_progress = Instant::now();
+        }
+        self.wbuf.extend_from_slice(&len.to_le_bytes());
+        self.wbuf.push(kind as u8);
+        self.wbuf.extend_from_slice(body);
+        shared.frames_out.fetch_add(1, Ordering::Relaxed);
+        shared.bytes_out.fetch_add(5 + body.len() as u64, Ordering::Relaxed);
+        if is_error {
+            shared.errors_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Push pending reply bytes at the socket until it would block.
+    /// Fault injection happens once per attempt, before any bytes
+    /// move: a disabled plane is a single branch.
+    fn flush(&mut self, shared: &Shared) {
+        if self.dead {
+            return;
+        }
+        if !self.pending_write() {
+            if self.close_after_flush {
+                self.dead = true;
+            }
+            return;
+        }
+        if shared.fault.is_enabled() {
+            if let Some(d) = shared.fault.delay() {
                 std::thread::sleep(d);
             }
-            if self.shared.fault.io_error() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionReset,
-                    "injected write error (fault plane)",
-                ));
+            if shared.fault.io_error() {
+                self.dead = true;
+                return;
             }
-            if buf.len() > 1 && self.shared.fault.short_write() {
+            let pending = self.wbuf.len() - self.wpos;
+            if pending > 1 && shared.fault.short_write() {
                 // Leak a prefix onto the wire, then fail: the frame is
                 // truncated mid-body exactly as a dying peer would
-                // leave it, and the handler closes the connection.
-                let _ = self.stream.write(&buf[..buf.len() / 2]);
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::WriteZero,
-                    "injected short write (fault plane)",
-                ));
+                // leave it, and the connection closes.
+                let _ = self.sock.write(&self.wbuf[self.wpos..self.wpos + pending / 2]);
+                self.dead = true;
+                return;
             }
         }
         loop {
-            match self.stream.write(buf) {
+            let pending = &self.wbuf[self.wpos..];
+            if pending.is_empty() {
+                break;
+            }
+            match self.sock.write(pending) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
                 Ok(k) => {
-                    if k > 0 {
-                        self.last_progress = Instant::now();
-                    }
-                    return Ok(k);
+                    self.wpos += k;
+                    self.write_progress = Instant::now();
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Give up only on genuine lack of progress — a
-                    // client actively draining a large reply keeps
-                    // resetting the clock, so a scheduling hiccup
-                    // can't truncate its frame even during the
-                    // shutdown drain (where the patience merely
-                    // shrinks from 30 s to 2 s).
-                    let limit = if self.shared.drain_expired() {
-                        DRAIN_WRITE_STALL_LIMIT
-                    } else {
-                        WRITE_STALL_LIMIT
-                    };
-                    if self.last_progress.elapsed() >= limit {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            "client not draining replies",
-                        ));
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        if self.close_after_flush {
+            self.dead = true;
+        }
+    }
+}
+
+/// The single-threaded event loop owning every connection.
+struct Reactor {
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    unix: UnixListener,
+    tcp: Option<TcpListener>,
+    hub: Arc<Hub>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+}
+
+impl Reactor {
+    fn run_loop(&mut self) -> io::Result<()> {
+        let deadline = self.cfg.serve_secs.map(|s| Instant::now() + Duration::from_secs(s));
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.shared.begin_shutdown();
+                }
+            }
+            let shutting = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutting && self.conns.is_empty() {
+                return Ok(());
+            }
+            let drained = self.shared.drain_expired();
+
+            // Build this tick's poll set: self-pipe, listeners (only
+            // while accepting), and each connection's interest.
+            let mut fds = Vec::with_capacity(3 + self.conns.len());
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            let unix_idx = if shutting {
+                None
+            } else {
+                fds.push(PollFd::new(self.unix.as_raw_fd(), POLLIN));
+                Some(fds.len() - 1)
+            };
+            let tcp_idx = match (&self.tcp, shutting) {
+                (Some(t), false) => {
+                    fds.push(PollFd::new(t.as_raw_fd(), POLLIN));
+                    Some(fds.len() - 1)
+                }
+                _ => None,
+            };
+            let mut conn_idx: Vec<(u64, usize)> = Vec::with_capacity(self.conns.len());
+            for (&id, conn) in &self.conns {
+                let mut ev = 0i16;
+                if conn.wants_read(drained) {
+                    ev |= POLLIN;
+                }
+                if conn.pending_write() {
+                    ev |= POLLOUT;
+                }
+                if ev != 0 {
+                    conn_idx.push((id, fds.len()));
+                    fds.push(PollFd::new(conn.sock.fd(), ev));
+                }
+            }
+            poll(&mut fds, TICK_MS)?;
+
+            // Drain the self-pipe (a byte per push, coalesced).
+            let mut wake_buf = [0u8; 256];
+            loop {
+                match (&self.wake_rx).read(&mut wake_buf) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+
+            // Completions first: they free in-flight slots, which
+            // unblocks parsing and parked frames below.
+            for c in self.hub.drain() {
+                self.handle_completion(c);
+            }
+
+            // Accept new clients. A non-transient listener error is
+            // fatal: begin shutdown and surface it.
+            if unix_idx.is_some_and(|i| fds[i].readable()) {
+                if let Err(e) = self.accept_unix() {
+                    self.shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
+            if tcp_idx.is_some_and(|i| fds[i].readable()) {
+                if let Err(e) = self.accept_tcp() {
+                    self.shared.begin_shutdown();
+                    return Err(e);
+                }
+            }
+
+            // Pull bytes off ready connections and parse.
+            for &(id, i) in &conn_idx {
+                if fds[i].readable() {
+                    self.read_conn(id);
+                    self.parse_conn(id);
+                }
+            }
+
+            // Retry parked submits / parked frames.
+            self.retry_stalled();
+
+            // Flush pending replies, enforce the write-stall limit,
+            // and settle EOF/drain closes.
+            let shared = Arc::clone(&self.shared);
+            let now_drained = shared.drain_expired();
+            for conn in self.conns.values_mut() {
+                if !conn.dead && conn.pending_write() {
+                    conn.flush(&shared);
+                }
+                if !conn.dead && conn.pending_write() {
+                    let limit =
+                        if now_drained { DRAIN_WRITE_STALL_LIMIT } else { WRITE_STALL_LIMIT };
+                    if conn.write_progress.elapsed() >= limit {
+                        rankd_log!(
+                            Level::Debug,
+                            "server",
+                            "conn {} not draining replies, closing",
+                            conn.id
+                        );
+                        conn.dead = true;
                     }
                 }
+                if !conn.dead && (now_drained || conn.eof) && conn.idle() {
+                    conn.dead = true;
+                }
+            }
+            self.reap();
+        }
+    }
+
+    fn accept_unix(&mut self) -> io::Result<()> {
+        loop {
+            match self.unix.accept() {
+                Ok((stream, _addr)) => self.admit(Transport::Unix(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) => return Err(e),
             }
         }
     }
 
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.stream.flush()
-    }
-}
-
-/// Write a frame and account it.
-fn send(
-    stream: &mut UnixStream,
-    shared: &Shared,
-    kind: FrameKind,
-    body: &[u8],
-) -> std::io::Result<()> {
-    let mut writer = PolledWriter { stream, shared, last_progress: Instant::now() };
-    let bytes = write_frame(&mut writer, kind as u8, body)?;
-    shared.frames_out.fetch_add(1, Ordering::Relaxed);
-    shared.bytes_out.fetch_add(bytes, Ordering::Relaxed);
-    Ok(())
-}
-
-/// Write a typed error frame and account it.
-fn send_error(
-    stream: &mut UnixStream,
-    shared: &Shared,
-    code: ErrorCode,
-    message: &str,
-) -> std::io::Result<()> {
-    shared.errors_sent.fetch_add(1, Ordering::Relaxed);
-    send(stream, shared, FrameKind::Error, &error_body(code, message))
-}
-
-/// Read one frame off a polled (read-timeout) stream. Timeouts keep
-/// accumulating bytes (a slow writer can never corrupt framing) while
-/// giving the handler a cadence to notice shutdown draining — after
-/// which idle and stalled-mid-frame clients both stop being waited
-/// on.
-enum Polled {
-    Frame(Frame),
-    /// Peer closed cleanly, or drain told us to stop waiting.
-    Done,
-    /// Framing is no longer trustworthy; an error frame has been sent.
-    Fatal,
-}
-
-fn read_frame_polled(stream: &mut UnixStream, shared: &Shared, max_frame: u32) -> Polled {
-    struct PolledReader<'a> {
-        stream: &'a mut UnixStream,
-        shared: &'a Shared,
-    }
-    impl std::io::Read for PolledReader<'_> {
-        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-            // One injection probe per read call (not per 50 ms poll
-            // iteration — the WouldBlock loop below spins without
-            // re-probing), so idle connections aren't ground down.
-            if self.shared.fault.is_enabled() {
-                if let Some(d) = self.shared.fault.delay() {
-                    std::thread::sleep(d);
-                }
-                if self.shared.fault.io_error() {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::ConnectionReset,
-                        "injected read error (fault plane)",
-                    ));
-                }
-            }
-            loop {
-                match self.stream.read(buf) {
-                    Ok(k) => return Ok(k),
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        // Once the drain grace has expired, stop
-                        // waiting on this client: idle between frames
-                        // this reads as a clean close; mid-frame the
-                        // short read surfaces as UnexpectedEof and the
-                        // half-received frame is abandoned (a stalled
-                        // writer must not be able to pin a handler —
-                        // and with it shutdown — forever). Requests
-                        // already *executing* are unaffected.
-                        if self.shared.drain_expired() {
-                            return Ok(0);
-                        }
-                    }
-                    Err(e) => return Err(e),
-                }
+    fn accept_tcp(&mut self) -> io::Result<()> {
+        loop {
+            let Some(listener) = &self.tcp else { return Ok(()) };
+            match listener.accept() {
+                Ok((stream, _addr)) => self.admit(Transport::Tcp(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
             }
         }
     }
-    let mut reader = PolledReader { stream, shared };
-    match read_frame(&mut reader, max_frame) {
-        Ok(Some(frame)) => {
-            shared.frames_in.fetch_add(1, Ordering::Relaxed);
-            shared.bytes_in.fetch_add(5 + frame.body.len() as u64, Ordering::Relaxed);
-            Polled::Frame(frame)
-        }
-        Ok(None) => Polled::Done,
-        Err(ReadFrameError::TooLarge { len, max }) => {
-            let _ = send_error(
-                reader.stream,
-                shared,
-                ErrorCode::FrameTooLarge,
-                &format!("frame length {len} exceeds cap {max}"),
-            );
-            Polled::Fatal
-        }
-        Err(ReadFrameError::Io(_)) => Polled::Done,
-    }
-}
 
-/// Serve one connection to completion.
-fn handle_client(
-    mut stream: UnixStream,
-    engine: &Engine,
-    shared: &Shared,
-    max_frame: u32,
-    conn_id: u64,
-) {
-    // The read/write timeouts are the poll cadence for noticing
-    // shutdown and dead peers; they are not client-visible deadlines
-    // (see `read_frame_polled` / `PolledWriter`).
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
-    // The version the HELLO negotiated (None until then): v5-only
-    // request features (the deadline flag) are rejected on
-    // connections that negotiated lower.
-    let mut negotiated: Option<u16> = None;
-    loop {
-        let frame = match read_frame_polled(&mut stream, shared, max_frame) {
-            Polled::Frame(f) => f,
-            Polled::Done | Polled::Fatal => return,
-        };
-        // Panic firewall: decode and execution are typed, so a panic
-        // below is a server bug — but it must cost exactly one
-        // connection (typed reply, then close), never the handler
-        // thread pool's integrity or the daemon.
-        let keep = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dispatch(&frame, &mut stream, engine, shared, max_frame, &mut negotiated, conn_id)
-        }))
-        .unwrap_or_else(|_| {
-            let _ = send_error(
-                &mut stream,
-                shared,
-                ErrorCode::InternalError,
-                "request handling panicked",
-            );
-            false
-        });
-        if !keep || shared.drain_expired() {
+    /// Register one accepted socket, or turn it away at the client
+    /// cap with a best-effort typed BUSY (the one blocking write in
+    /// the reactor — the socket is new and empty, so it cannot stall
+    /// on a full buffer).
+    fn admit(&mut self, mut sock: Transport) {
+        if self.conns.len() >= self.cfg.max_clients {
+            self.shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.errors_sent.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(ErrorCode::Busy, "server at max clients");
+            let mut frame = Vec::with_capacity(5 + body.len());
+            frame.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+            frame.push(FrameKind::Error as u8);
+            frame.extend_from_slice(&body);
+            let _ = sock.set_nonblocking(false);
+            if sock.write_all(&frame).is_ok() {
+                self.shared.frames_out.fetch_add(1, Ordering::Relaxed);
+                self.shared.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            }
             return;
         }
-    }
-}
-
-/// Decode and answer one frame. Returns whether the connection should
-/// keep being served.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    frame: &Frame,
-    stream: &mut UnixStream,
-    engine: &Engine,
-    shared: &Shared,
-    max_frame: u32,
-    negotiated: &mut Option<u16>,
-    conn_id: u64,
-) -> bool {
-    let t_decode = Instant::now();
-    let req = match protocol::decode_request(frame) {
-        Ok(req) => req,
-        Err(we) => {
-            // Decode failures consumed the whole body off the wire, so
-            // the stream is still framed correctly: reply and carry on.
-            rankd_log!(Level::Debug, "server", "decode failed: {we}");
-            return send_error(stream, shared, we.code, &we.message).is_ok();
+        // The connection id doubles as the dataset-store ownership key
+        // *and* the quota tenant key: handles and admissions are
+        // scoped to the connection, like file descriptors.
+        let conn_id = self.shared.connections_total.fetch_add(1, Ordering::Relaxed) + 1;
+        let now_active = self.shared.connections_active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.peak_connections.fetch_max(now_active, Ordering::Relaxed);
+        let _ = sock.set_nonblocking(true);
+        if let Transport::Tcp(t) = &sock {
+            // Replies are small and latency-bound; never Nagle them.
+            let _ = t.set_nodelay(true);
         }
-    };
-    let decode_ns = t_decode.elapsed().as_nanos() as u64;
-    let deadline_ms = match &req {
-        WireRequest::Rank { deadline_ms, .. }
-        | WireRequest::Scan { deadline_ms, .. }
-        | WireRequest::SegScan { deadline_ms, .. }
-        | WireRequest::RankH { deadline_ms, .. }
-        | WireRequest::ScanH { deadline_ms, .. }
-        | WireRequest::SegScanH { deadline_ms, .. } => *deadline_ms,
-        _ => None,
-    };
-    // The deadline flag is a v5 feature: a connection that negotiated
-    // lower and sends it anyway is speaking a protocol it did not
-    // agree to, so the frame is malformed (the connection survives —
-    // framing is intact).
-    if deadline_ms.is_some() && negotiated.is_some_and(|v| v < 5) {
-        return send_error(
-            stream,
-            shared,
-            ErrorCode::Malformed,
-            "FLAG_DEADLINE requires a v5 handshake",
-        )
-        .is_ok();
+        self.conns.insert(conn_id, Conn::new(conn_id, sock));
     }
-    // Job-bearing frames get a trace id at the moment of decode — the
-    // earliest point the request exists as a typed value — so the span
-    // covers the whole server-side pipeline.
-    let opts = match req {
-        WireRequest::Rank { .. }
-        | WireRequest::Scan { .. }
-        | WireRequest::SegScan { .. }
-        | WireRequest::RankH { .. }
-        | WireRequest::ScanH { .. }
-        | WireRequest::SegScanH { .. } => {
-            let trace_id = telemetry::next_trace_id();
-            engine.telemetry().record_phase(Phase::Decode, decode_ns);
+
+    /// Pull every available byte off the socket (one fault probe per
+    /// tick, not per chunk, so idle connections aren't ground down).
+    fn read_conn(&mut self, conn_id: u64) {
+        let shared = Arc::clone(&self.shared);
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if conn.dead || conn.eof {
+            return;
+        }
+        if shared.fault.is_enabled() {
+            if let Some(d) = shared.fault.delay() {
+                std::thread::sleep(d);
+            }
+            if shared.fault.io_error() {
+                conn.dead = true;
+                return;
+            }
+        }
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            match conn.sock.read(&mut buf) {
+                // EOF: no more requests will arrive, but frames
+                // already buffered still parse and their replies
+                // still flush before the connection closes.
+                Ok(0) => {
+                    conn.eof = true;
+                    return;
+                }
+                Ok(k) => conn.rbuf.extend_from_slice(&buf[..k]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Extract and dispatch every complete frame in the read buffer,
+    /// stopping at a partial frame or whenever the connection's state
+    /// forbids further parsing (stall, serial job in flight, closing).
+    fn parse_conn(&mut self, conn_id: u64) {
+        let max_frame = self.cfg.max_frame;
+        let shared = Arc::clone(&self.shared);
+        loop {
+            if shared.drain_expired() {
+                break;
+            }
+            let frame = {
+                let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+                if conn.dead
+                    || conn.close_after_flush
+                    || conn.stalled.is_some()
+                    || conn.serial_inflight
+                {
+                    break;
+                }
+                let avail = conn.rbuf.len() - conn.rpos;
+                if avail < 4 {
+                    break;
+                }
+                let len_bytes: [u8; 4] =
+                    conn.rbuf[conn.rpos..conn.rpos + 4].try_into().expect("4 bytes");
+                let len = u32::from_le_bytes(len_bytes);
+                if len == 0 {
+                    // Framing is broken in a way no typed reply can
+                    // describe; close silently, as a failed read would.
+                    conn.dead = true;
+                    break;
+                }
+                if len > max_frame {
+                    conn.enqueue(
+                        &shared,
+                        FrameKind::Error,
+                        &error_body(
+                            ErrorCode::FrameTooLarge,
+                            &format!("frame length {len} exceeds cap {max_frame}"),
+                        ),
+                        true,
+                    );
+                    conn.close_after_flush = true;
+                    break;
+                }
+                let len = len as usize;
+                if avail < 4 + len {
+                    break;
+                }
+                let kind = conn.rbuf[conn.rpos + 4];
+                let body = conn.rbuf[conn.rpos + 5..conn.rpos + 4 + len].to_vec();
+                conn.rpos += 4 + len;
+                Frame { kind, body }
+            };
+            shared.frames_in.fetch_add(1, Ordering::Relaxed);
+            shared.bytes_in.fetch_add(5 + frame.body.len() as u64, Ordering::Relaxed);
+            self.dispatch_guarded(conn_id, &frame);
+        }
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            if conn.rpos > 0 {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+    }
+
+    /// Panic firewall around dispatch: decode and execution are typed,
+    /// so a panic below is a server bug — but it must cost exactly one
+    /// connection (typed reply, then close), never the reactor or the
+    /// daemon.
+    fn dispatch_guarded(&mut self, conn_id: u64, frame: &Frame) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch(conn_id, frame)
+        }));
+        if r.is_err() {
+            self.reply_error(conn_id, None, ErrorCode::InternalError, "request handling panicked");
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.close_after_flush = true;
+            }
+            let shared = Arc::clone(&self.shared);
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.flush(&shared);
+            }
+        }
+    }
+
+    /// Queue one reply frame on a connection and flush
+    /// opportunistically.
+    fn enqueue_reply(&mut self, conn_id: u64, kind: FrameKind, body: &[u8], is_error: bool) {
+        let shared = Arc::clone(&self.shared);
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.enqueue(&shared, kind, body, is_error);
+            conn.flush(&shared);
+        }
+    }
+
+    /// Queue a typed error reply; with a `request_id` it goes out as a
+    /// pipelined [`FrameKind::ErrorP`] echoing the id.
+    fn reply_error(&mut self, conn_id: u64, request_id: Option<u64>, code: ErrorCode, msg: &str) {
+        let body = error_body(code, msg);
+        match request_id {
+            Some(id) => {
+                self.enqueue_reply(conn_id, FrameKind::ErrorP, &pipelined_body(id, &body), true)
+            }
+            None => self.enqueue_reply(conn_id, FrameKind::Error, &body, true),
+        }
+    }
+
+    /// Error reply followed by connection close (handshake failures,
+    /// engine shutdown).
+    fn close_after_reply(
+        &mut self,
+        conn_id: u64,
+        request_id: Option<u64>,
+        code: ErrorCode,
+        msg: &str,
+    ) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.close_after_flush = true;
+        }
+        self.reply_error(conn_id, request_id, code, msg);
+    }
+
+    /// Decode and answer one frame.
+    fn dispatch(&mut self, conn_id: u64, frame: &Frame) {
+        let t_decode = Instant::now();
+        let req = match protocol::decode_request(frame) {
+            Ok(req) => req,
+            Err(we) => {
+                // Decode failures consumed the whole body off the
+                // wire, so the stream is still framed correctly:
+                // reply and carry on.
+                rankd_log!(Level::Debug, "server", "decode failed: {we}");
+                self.reply_error(conn_id, None, we.code, &we.message);
+                return;
+            }
+        };
+        let decode_ns = t_decode.elapsed().as_nanos() as u64;
+        let flags = match &req {
+            WireRequest::Rank { flags, .. }
+            | WireRequest::Scan { flags, .. }
+            | WireRequest::SegScan { flags, .. }
+            | WireRequest::RankH { flags, .. }
+            | WireRequest::ScanH { flags, .. }
+            | WireRequest::SegScanH { flags, .. } => Some(*flags),
+            _ => None,
+        };
+        let negotiated = self.conns.get(&conn_id).and_then(|c| c.negotiated);
+        // Versioned request features: a connection that negotiated
+        // lower and sends them anyway is speaking a protocol it did
+        // not agree to, so the frame is malformed (the connection
+        // survives — framing is intact). Pre-HELLO frames fall through
+        // to the EXPECTED_HELLO arm below instead.
+        if let Some(f) = flags {
+            if f.deadline_ms.is_some() && negotiated.is_some_and(|v| v < 5) {
+                self.reply_error(
+                    conn_id,
+                    None,
+                    ErrorCode::Malformed,
+                    "FLAG_DEADLINE requires a v5 handshake",
+                );
+                return;
+            }
+            if f.batch && negotiated.is_some_and(|v| v < 6) {
+                self.reply_error(
+                    conn_id,
+                    None,
+                    ErrorCode::Malformed,
+                    "FLAG_BATCH requires a v6 handshake",
+                );
+                return;
+            }
+            if f.request_id.is_some() && negotiated.is_some_and(|v| v < 6) {
+                self.reply_error(
+                    conn_id,
+                    None,
+                    ErrorCode::Malformed,
+                    "FLAG_REQUEST_ID requires a v6 handshake",
+                );
+                return;
+            }
+        }
+        match req {
+            WireRequest::Hello { magic, version } => {
+                if magic != protocol::MAGIC {
+                    self.close_after_reply(
+                        conn_id,
+                        None,
+                        ErrorCode::BadMagic,
+                        &format!("magic {magic:#010x}, want {:#010x}", protocol::MAGIC),
+                    );
+                    return;
+                }
+                // v3..v6 are purely additive over v2, so
+                // older-but-compatible clients are served; they simply
+                // never send handle, mutation, deadline, or pipelining
+                // frames. HELLO_OK still carries the server's version
+                // so a newer client knows what it may use.
+                if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
+                    self.close_after_reply(
+                        conn_id,
+                        None,
+                        ErrorCode::VersionMismatch,
+                        &format!(
+                            "client speaks v{version}, server accepts v{}..=v{}",
+                            protocol::MIN_VERSION,
+                            protocol::VERSION
+                        ),
+                    );
+                    return;
+                }
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.negotiated = Some(version);
+                }
+                // Advertise the cap this server actually enforces
+                // (ServeConfig::max_frame), not the protocol default.
+                let body = protocol::hello_ok_body(protocol::VERSION, self.cfg.max_frame);
+                self.enqueue_reply(conn_id, FrameKind::HelloOk, &body, false);
+            }
+            _ if negotiated.is_none() => {
+                self.reply_error(
+                    conn_id,
+                    None,
+                    ErrorCode::ExpectedHello,
+                    "send HELLO before requests",
+                );
+            }
+            WireRequest::Stats => {
+                let body = protocol::stats_body(&self.stats_v1());
+                self.enqueue_reply(conn_id, FrameKind::StatsOk, &body, false);
+            }
+            WireRequest::StatsV2 => {
+                let body = protocol::stats_v2_body(&self.stats_v2());
+                self.enqueue_reply(conn_id, FrameKind::StatsV2Ok, &body, false);
+            }
+            WireRequest::Shutdown => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.close_after_flush = true;
+                }
+                self.enqueue_reply(conn_id, FrameKind::ShutdownOk, &[], false);
+                self.shared.begin_shutdown();
+            }
+            WireRequest::Put { list } => self.do_put(conn_id, list),
+            WireRequest::Mutate { .. } | WireRequest::Drop { .. } => {
+                // Serial equivalence: a mutation must not overlap jobs
+                // already in flight on this connection (they read the
+                // dataset the mutation edits). Park the frame until
+                // the in-flight set drains; no side effects were taken
+                // yet, so re-dispatching later is safe.
+                let busy = self
+                    .conns
+                    .get(&conn_id)
+                    .map(|c| !c.inflight.is_empty() || c.serial_inflight)
+                    .unwrap_or(false);
+                if busy {
+                    if let Some(conn) = self.conns.get_mut(&conn_id) {
+                        conn.stalled = Some(Stalled::Frame(Frame {
+                            kind: frame.kind,
+                            body: frame.body.clone(),
+                        }));
+                    }
+                    return;
+                }
+                match req {
+                    WireRequest::Mutate { handle, edits } => {
+                        self.do_mutate(conn_id, handle, &edits)
+                    }
+                    WireRequest::Drop { handle } => self.do_drop(conn_id, handle),
+                    _ => unreachable!("outer match narrowed to MUTATE/DROP"),
+                }
+            }
+            WireRequest::Rank { .. }
+            | WireRequest::Scan { .. }
+            | WireRequest::SegScan { .. }
+            | WireRequest::RankH { .. }
+            | WireRequest::ScanH { .. }
+            | WireRequest::SegScanH { .. } => self.dispatch_job(
+                conn_id,
+                frame,
+                req,
+                flags.expect("job frames carry flags"),
+                decode_ns,
+            ),
+        }
+    }
+
+    /// Admit one dataset into the resident store.
+    fn do_put(&mut self, conn_id: u64, list: LinkedList) {
+        // Injected admission failures and the store-pressure watermark
+        // both answer OVERLOADED — a *retryable* refusal, unlike the
+        // terminal STORE_FULL (dataset can never fit) or the tenant's
+        // own QUOTA_EXCEEDED (the tenant must DROP first).
+        if self.shared.fault.store_error() {
+            self.reply_error(
+                conn_id,
+                None,
+                ErrorCode::Overloaded,
+                "store admission refused (injected), retry_after_ms=50",
+            );
+            return;
+        }
+        if self.shared.store_quota > 0
+            && self.shared.store.owned_bytes(conn_id) >= self.shared.store_quota
+        {
+            self.shared.quota_rejected_store.fetch_add(1, Ordering::Relaxed);
+            self.reply_error(
+                conn_id,
+                None,
+                ErrorCode::QuotaExceeded,
+                &format!("tenant store quota ({} bytes) exceeded", self.shared.store_quota),
+            );
+            return;
+        }
+        if self.shared.shed_store_bytes > 0
+            && self.shared.store.stats().resident_bytes >= self.shared.shed_store_bytes
+        {
+            self.shared.shed_store.fetch_add(1, Ordering::Relaxed);
+            self.reply_error(
+                conn_id,
+                None,
+                ErrorCode::Overloaded,
+                "store over pressure watermark, retry_after_ms=100",
+            );
+            return;
+        }
+        match self.shared.store.put(conn_id, Arc::new(list)) {
+            Ok(receipt) => {
+                rankd_log!(
+                    Level::Debug,
+                    "server",
+                    "conn {conn_id} PUT handle={} ({} bytes resident)",
+                    receipt.handle,
+                    receipt.bytes
+                );
+                let body = protocol::put_ok_body(receipt.handle, receipt.bytes);
+                self.enqueue_reply(conn_id, FrameKind::PutOk, &body, false);
+            }
+            Err(e) => self.reply_error(conn_id, None, store_error_code(e), &e.to_string()),
+        }
+    }
+
+    /// Apply one mutation batch inline. Mutations run on the reactor
+    /// thread, not through the job queue: they hold the dataset's
+    /// mutation lock anyway, so queueing them would only add latency,
+    /// and the engine's planner is still consulted for the maintenance
+    /// strategy.
+    fn do_mutate(&mut self, conn_id: u64, handle: u64, edits: &[listkit::dynamic::Edit]) {
+        match crate::dynamic::mutate(
+            &self.shared.store,
+            self.engine.planner(),
+            handle,
+            conn_id,
+            edits,
+        ) {
+            Ok(out) => {
+                rankd_log!(
+                    Level::Debug,
+                    "server",
+                    "conn {conn_id} MUTATE handle={handle} applied={} len={} {} \
+                     dirty={} artifacts={} in {:.3}ms",
+                    out.applied,
+                    out.len,
+                    if out.incremental { "incremental" } else { "full" },
+                    out.dirty_shards,
+                    out.artifacts,
+                    out.exec_ns as f64 / 1e6
+                );
+                let body = protocol::mutate_ok_body(&WireMutateOk {
+                    applied: out.applied,
+                    len: out.len,
+                    incremental: out.incremental,
+                    dirty_shards: out.dirty_shards,
+                    artifacts: out.artifacts,
+                    exec_ns: out.exec_ns,
+                });
+                self.enqueue_reply(conn_id, FrameKind::MutateOk, &body, false);
+            }
+            Err(e) => {
+                let code = match e {
+                    MutateError::Stale => ErrorCode::StaleHandle,
+                    MutateError::Edit(_) => ErrorCode::BadMutation,
+                };
+                self.reply_error(conn_id, None, code, &format!("MUTATE handle {handle}: {e}"));
+            }
+        }
+    }
+
+    fn do_drop(&mut self, conn_id: u64, handle: u64) {
+        match self.shared.store.drop_dataset(handle, conn_id) {
+            Ok(()) => self.enqueue_reply(conn_id, FrameKind::DropOk, &[], false),
+            Err(e) => self.reply_error(
+                conn_id,
+                None,
+                store_error_code(e),
+                &format!("DROP handle {handle}: {e}"),
+            ),
+        }
+    }
+
+    /// Admission-control and submit one job-bearing request.
+    fn dispatch_job(
+        &mut self,
+        conn_id: u64,
+        frame: &Frame,
+        req: WireRequest,
+        flags: ReqFlags,
+        decode_ns: u64,
+    ) {
+        // Serial jobs behind pipelined traffic wait for the in-flight
+        // set to drain (park the frame — no side effects yet), so
+        // their one-at-a-time reply contract holds. Checked before
+        // anything is counted so the re-dispatch double-records
+        // nothing.
+        let dup = {
+            let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+            if flags.request_id.is_none() && !conn.inflight.is_empty() {
+                conn.stalled =
+                    Some(Stalled::Frame(Frame { kind: frame.kind, body: frame.body.clone() }));
+                return;
+            }
+            flags.request_id.filter(|id| conn.inflight.contains_key(id))
+        };
+        if let Some(id) = dup {
+            self.reply_error(
+                conn_id,
+                Some(id),
+                ErrorCode::Malformed,
+                &format!("request_id {id} already in flight"),
+            );
+            return;
+        }
+        // Load shedding: past the watermark, tell the client to back
+        // off *now*. Checked before quota admission so a shed never
+        // needs an admission undone.
+        if self.shared.shed_queue_depth > 0
+            && self.engine.queue_depth() >= self.shared.shed_queue_depth
+        {
+            self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
+            self.reply_error(
+                conn_id,
+                flags.request_id,
+                ErrorCode::Overloaded,
+                "queue over shed watermark, retry_after_ms=25",
+            );
+            return;
+        }
+        if !self.shared.quota.try_admit(conn_id) {
+            self.reply_error(
+                conn_id,
+                flags.request_id,
+                ErrorCode::QuotaExceeded,
+                &format!("tenant in-flight quota ({}) exceeded", self.shared.quota.max_inflight()),
+            );
+            return;
+        }
+        // Job-bearing frames get a trace id at the moment of decode —
+        // the earliest point the request exists as a typed value — so
+        // the span covers the whole server-side pipeline.
+        let trace_id = telemetry::next_trace_id();
+        self.engine.telemetry().record_phase(Phase::Decode, decode_ns);
+        rankd_log!(
+            Level::Trace,
+            "server",
+            "request trace={trace_id} kind={:#04x} body={}B decode={:.3}ms",
+            frame.kind,
+            frame.body.len(),
+            decode_ns as f64 / 1e6
+        );
+        let mut opts = JobOptions::default().with_trace_id(trace_id);
+        opts.decode_ns = decode_ns;
+        opts.deadline_ms = flags.deadline_ms;
+        opts.priority = if flags.batch { Priority::Batch } else { Priority::Interactive };
+        let arrival_seq = {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                self.shared.quota.complete(conn_id);
+                return;
+            };
+            let s = conn.next_arrival;
+            conn.next_arrival += 1;
+            s
+        };
+        let mut ctx = ReplyCtx {
+            conn: conn_id,
+            request_id: flags.request_id,
+            arrival_seq,
+            trace_id,
+            _pin: None,
+        };
+        let hub = Arc::clone(&self.hub);
+        let submit: SubmitFn = match req {
+            WireRequest::Rank { list, .. } => {
+                rank_sub(ListSource::Inline(Arc::new(list)), flags.sharded, opts, ctx, hub)
+            }
+            WireRequest::Scan { op, list, values, .. } => scan_any(
+                ListSource::Inline(Arc::new(list)),
+                op,
+                values,
+                flags.sharded,
+                opts,
+                ctx,
+                hub,
+            ),
+            WireRequest::SegScan { op, list, starts, values, .. } => seg_any(
+                ListSource::Inline(Arc::new(list)),
+                op,
+                Arc::new(starts),
+                values,
+                flags.sharded,
+                opts,
+                ctx,
+                hub,
+            ),
+            WireRequest::RankH { handle, .. } => {
+                let Some(pin) = self.resolve_pin(conn_id, handle, flags.request_id) else {
+                    return;
+                };
+                ctx._pin = Some(Arc::clone(&pin));
+                rank_sub(ListSource::Resident(pin), flags.sharded, opts, ctx, hub)
+            }
+            WireRequest::ScanH { op, handle, values, .. } => {
+                let Some(pin) = self.resolve_pin(conn_id, handle, flags.request_id) else {
+                    return;
+                };
+                ctx._pin = Some(Arc::clone(&pin));
+                scan_any(ListSource::Resident(pin), op, values, flags.sharded, opts, ctx, hub)
+            }
+            WireRequest::SegScanH { op, handle, starts, values, .. } => {
+                let Some(pin) = self.resolve_pin(conn_id, handle, flags.request_id) else {
+                    return;
+                };
+                ctx._pin = Some(Arc::clone(&pin));
+                seg_any(
+                    ListSource::Resident(pin),
+                    op,
+                    Arc::new(starts),
+                    values,
+                    flags.sharded,
+                    opts,
+                    ctx,
+                    hub,
+                )
+            }
+            _ => unreachable!("dispatch routes only job-bearing frames here"),
+        };
+        self.attempt_submit(conn_id, submit, flags.request_id, arrival_seq);
+    }
+
+    /// Pin a resident dataset for a handle-routed job; on failure the
+    /// quota admission is returned and the typed store error replied.
+    fn resolve_pin(
+        &mut self,
+        conn_id: u64,
+        handle: u64,
+        request_id: Option<u64>,
+    ) -> Option<Arc<DatasetRef>> {
+        match self.shared.store.get(handle, conn_id) {
+            Ok(entry) => Some(Arc::new(entry)),
+            Err(e) => {
+                self.shared.quota.complete(conn_id);
+                self.reply_error(
+                    conn_id,
+                    request_id,
+                    store_error_code(e),
+                    &format!("handle {handle}: {e}"),
+                );
+                None
+            }
+        }
+    }
+
+    /// Offer a job to the engine's non-blocking path. A full queue
+    /// parks the submit closure (quota admission stays held — parsing
+    /// is paused, so no competing admission can occur on this
+    /// connection, and a disconnect settles via `drop_tenant`).
+    fn attempt_submit(
+        &mut self,
+        conn_id: u64,
+        mut submit: SubmitFn,
+        request_id: Option<u64>,
+        arrival_seq: u64,
+    ) {
+        match submit(&self.engine) {
+            Ok(_job_id) => self.note_submitted(conn_id, request_id, arrival_seq),
+            Err(SubmitError::Full) => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.stalled = Some(Stalled::Submit { submit, request_id, arrival_seq });
+                } else {
+                    self.shared.quota.complete(conn_id);
+                }
+            }
+            Err(SubmitError::Shutdown) => {
+                self.shared.quota.complete(conn_id);
+                self.close_after_reply(
+                    conn_id,
+                    request_id,
+                    ErrorCode::EngineShutdown,
+                    "engine shut down",
+                );
+            }
+            Err(SubmitError::Invalid) => {
+                self.shared.quota.complete(conn_id);
+                self.reply_error(
+                    conn_id,
+                    request_id,
+                    ErrorCode::InvalidRequest,
+                    "request failed submit validation",
+                );
+            }
+        }
+    }
+
+    /// Record a successful submit in the connection's in-flight state
+    /// and the pipelining gauges.
+    fn note_submitted(&mut self, conn_id: u64, request_id: Option<u64>, arrival_seq: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        match request_id {
+            Some(id) => {
+                conn.inflight.insert(id, arrival_seq);
+                let depth = conn.inflight.len() as u64;
+                self.shared.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+                self.shared.pipeline_depth.record(depth);
+                self.shared.max_pipeline_depth.fetch_max(depth, Ordering::Relaxed);
+            }
+            None => conn.serial_inflight = true,
+        }
+    }
+
+    /// Deliver one settled job's reply: settle the quota and in-flight
+    /// ledgers, queue the frame, and resume parsing (the completion
+    /// may have unblocked a serial connection or freed read
+    /// backpressure).
+    fn handle_completion(&mut self, c: Completion) {
+        // A completion for a reaped connection is discarded: its
+        // `drop_tenant` already settled the quota ledger, and the
+        // reply has nowhere to go.
+        self.shared.quota.complete(c.conn);
+        let shared = Arc::clone(&self.shared);
+        let Some(conn) = self.conns.get_mut(&c.conn) else { return };
+        match c.request_id {
+            Some(id) => {
+                conn.inflight.remove(&id);
+                // A reply overtaking an earlier-arrived in-flight
+                // request is a reorder — the pipelining contract
+                // clients must handle (and STATS_V2 counts).
+                if conn.inflight.values().any(|&seq| seq < c.arrival_seq) {
+                    shared.reply_reorders.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => conn.serial_inflight = false,
+        }
+        let t_reply = Instant::now();
+        conn.enqueue(&shared, c.kind, &c.body, c.is_error);
+        conn.flush(&shared);
+        if !c.is_error {
+            let reply_ns = t_reply.elapsed().as_nanos() as u64;
+            self.engine.telemetry().record_phase(Phase::ReplyWrite, reply_ns);
             rankd_log!(
                 Level::Trace,
                 "server",
-                "request trace={trace_id} kind={:#04x} body={}B decode={:.3}ms",
-                frame.kind,
-                frame.body.len(),
-                decode_ns as f64 / 1e6
+                "reply trace={} bytes={} reply-write={:.3}ms",
+                c.trace_id,
+                c.body.len() + 5,
+                reply_ns as f64 / 1e6
             );
-            let mut opts = JobOptions::default().with_trace_id(trace_id);
-            opts.decode_ns = decode_ns;
-            opts.deadline_ms = deadline_ms;
-            opts
         }
-        _ => JobOptions::default(),
-    };
-    match req {
-        WireRequest::Hello { magic, version } => {
-            if magic != protocol::MAGIC {
-                let _ = send_error(
-                    stream,
-                    shared,
-                    ErrorCode::BadMagic,
-                    &format!("magic {magic:#010x}, want {:#010x}", protocol::MAGIC),
-                );
-                return false;
-            }
-            // v3, v4, and v5 are purely additive over v2, so
-            // older-but-compatible clients are served; they simply
-            // never send handle, mutation, or deadline-flagged
-            // frames. HELLO_OK still carries the server's version so
-            // a newer client knows what it may use.
-            if !(protocol::MIN_VERSION..=protocol::VERSION).contains(&version) {
-                let _ = send_error(
-                    stream,
-                    shared,
-                    ErrorCode::VersionMismatch,
-                    &format!(
-                        "client speaks v{version}, server accepts v{}..=v{}",
-                        protocol::MIN_VERSION,
-                        protocol::VERSION
-                    ),
-                );
-                return false;
-            }
-            *negotiated = Some(version);
-            send(
-                stream,
-                shared,
-                FrameKind::HelloOk,
-                // Advertise the cap this server actually enforces
-                // (ServeConfig::max_frame), not the protocol default.
-                &protocol::hello_ok_body(protocol::VERSION, max_frame),
-            )
-            .is_ok()
-        }
-        _ if negotiated.is_none() => {
-            send_error(stream, shared, ErrorCode::ExpectedHello, "send HELLO before requests")
-                .is_ok()
-        }
-        WireRequest::Stats => {
-            let es = engine.stats();
-            let ss = shared.stats();
-            let wire = WireStats {
-                engine_submitted: es.submitted,
-                engine_completed: es.completed,
-                engine_cancelled: es.cancelled,
-                engine_failed: es.failed,
-                engine_elements: es.elements,
-                connections_total: ss.connections_total,
-                connections_active: ss.connections_active,
-                peak_connections: ss.peak_connections,
-                frames_in: ss.frames_in,
-                frames_out: ss.frames_out,
-                bytes_in: ss.bytes_in,
-                bytes_out: ss.bytes_out,
-                errors_sent: ss.errors_sent,
-                busy_rejected: ss.busy_rejected,
-                text: format!("{es}\n-- serving --\n{ss}\n"),
+        self.parse_conn(c.conn);
+    }
+
+    /// Re-offer parked submits and re-dispatch parked frames whose
+    /// blocking condition cleared.
+    fn retry_stalled(&mut self) {
+        let ids: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.stalled.is_some() && !c.dead)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let Some(stalled) = self.conns.get_mut(&id).and_then(|c| c.stalled.take()) else {
+                continue;
             };
-            send(stream, shared, FrameKind::StatsOk, &protocol::stats_body(&wire)).is_ok()
-        }
-        WireRequest::StatsV2 => {
-            let es = engine.stats();
-            let ss = shared.stats();
-            let st = shared.store.stats();
-            let ms = shared.store.mutation_stats();
-            let wire = WireStatsV2 {
-                phase: es.phase_hist,
-                per_op: es.op_hist,
-                mispredict: es.mispredict,
-                gauges: StatsGauges {
-                    uptime_ns: (es.uptime_s * 1e9) as u64,
-                    submitted: es.submitted,
-                    completed: es.completed,
-                    cancelled: es.cancelled,
-                    failed: es.failed,
-                    rejected_full: es.rejected_full,
-                    elements: es.elements,
-                    queue_depth: es.queue_depth as u64,
-                    peak_queue_depth: es.peak_queue_depth as u64,
-                    lane_steps: es.lane_steps,
-                    lane_slots: es.lane_slots,
-                    connections_active: ss.connections_active,
-                    connections_total: ss.connections_total,
-                },
-                store: StoreGauges {
-                    budget_bytes: st.budget_bytes,
-                    resident_bytes: st.resident_bytes,
-                    resident_count: st.resident_count,
-                    puts: st.puts,
-                    drops: st.drops,
-                    lookups: st.lookups,
-                    hits: st.hits,
-                    misses: st.misses,
-                    evictions: st.evictions,
-                    put_rejected: st.put_rejected,
-                    artifacts_built: st.artifacts_built,
-                    artifacts_reused: st.artifacts_reused,
-                },
-                mutate: MutGauges {
-                    mutations: ms.mutations,
-                    edits: ms.edits,
-                    incremental: ms.incremental,
-                    full: ms.full,
-                    dirty_shards_patched: ms.dirty_shards_patched,
-                    artifacts_patched: ms.artifacts_patched,
-                },
-                fault: {
-                    let fs = shared.fault.snapshot();
-                    FaultGauges {
-                        injected_io_errors: fs.io_errors,
-                        injected_delays: fs.delays,
-                        injected_short_writes: fs.short_writes,
-                        injected_exec_panics: fs.exec_panics,
-                        injected_store_errors: fs.store_errors,
-                        panics_recovered: es.panics_recovered,
-                        workers_respawned: es.workers_respawned,
-                        deadline_expired: es.deadline_expired,
-                        shed_queue: shared.shed_queue.load(Ordering::Relaxed),
-                        shed_store: shared.shed_store.load(Ordering::Relaxed),
+            match stalled {
+                Stalled::Submit { submit, request_id, arrival_seq } => {
+                    // Re-stalls itself on Full; parses buffered frames
+                    // on success.
+                    self.attempt_submit(id, submit, request_id, arrival_seq);
+                    if self.conns.get(&id).is_some_and(|c| c.stalled.is_none()) {
+                        self.parse_conn(id);
                     }
-                },
-                dispatch_by_op: es
-                    .dispatch_by_op
-                    .iter()
-                    .map(|(op, row)| (*op, row.to_vec()))
-                    .collect(),
-            };
-            send(stream, shared, FrameKind::StatsV2Ok, &protocol::stats_v2_body(&wire)).is_ok()
-        }
-        WireRequest::Shutdown => {
-            let _ = send(stream, shared, FrameKind::ShutdownOk, &[]);
-            shared.begin_shutdown();
-            false
-        }
-        WireRequest::Rank { sharded, list, deadline_ms: _ } => {
-            let list = Arc::new(list);
-            let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) };
-            run_and_reply(engine, req, opts, stream, shared)
-        }
-        WireRequest::Scan { sharded, op, list, values, deadline_ms: _ } => {
-            let list = Arc::new(list);
-            match (op, values) {
-                (WireOp::Add, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, AddOp, sharded), opts, stream, shared)
                 }
-                (WireOp::Max, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, MaxOp, sharded), opts, stream, shared)
-                }
-                (WireOp::Min, WireValues::I64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, MinOp, sharded), opts, stream, shared)
-                }
-                (WireOp::Xor, WireValues::U64(v)) => {
-                    run_and_reply(engine, scan_req(list, v, XorOp, sharded), opts, stream, shared)
-                }
-                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, listkit::ops::AffineOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                // decode_values types the array by the operator, so a
-                // mismatch cannot be constructed.
-                _ => unreachable!("decoder pairs values with their operator"),
-            }
-        }
-        WireRequest::SegScan { sharded, op, list, starts, values, deadline_ms: _ } => {
-            let list = Arc::new(list);
-            let starts = Arc::new(starts);
-            match (op, values) {
-                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, AddOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, MaxOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, MinOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, XorOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, listkit::ops::AffineOp, sharded),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                _ => unreachable!("decoder pairs values with their operator"),
-            }
-        }
-        WireRequest::Put { list } => {
-            // Injected admission failures and the store-pressure
-            // watermark both answer OVERLOADED — a *retryable* refusal,
-            // unlike the terminal STORE_FULL (dataset can never fit).
-            if shared.fault.store_error() {
-                return send_error(
-                    stream,
-                    shared,
-                    ErrorCode::Overloaded,
-                    "store admission refused (injected), retry_after_ms=50",
-                )
-                .is_ok();
-            }
-            if shared.shed_store_bytes > 0
-                && shared.store.stats().resident_bytes >= shared.shed_store_bytes
-            {
-                shared.shed_store.fetch_add(1, Ordering::Relaxed);
-                return send_error(
-                    stream,
-                    shared,
-                    ErrorCode::Overloaded,
-                    "store over pressure watermark, retry_after_ms=100",
-                )
-                .is_ok();
-            }
-            match shared.store.put(conn_id, Arc::new(list)) {
-                Ok(receipt) => {
-                    rankd_log!(
-                        Level::Debug,
-                        "server",
-                        "conn {conn_id} PUT handle={} ({} bytes resident)",
-                        receipt.handle,
-                        receipt.bytes
-                    );
-                    send(
-                        stream,
-                        shared,
-                        FrameKind::PutOk,
-                        &protocol::put_ok_body(receipt.handle, receipt.bytes),
-                    )
-                    .is_ok()
-                }
-                Err(e) => send_error(stream, shared, store_error_code(e), &e.to_string()).is_ok(),
-            }
-        }
-        WireRequest::Mutate { handle, edits } => {
-            // Mutations run on the handler thread, not through the job
-            // queue: they hold the dataset's mutation lock anyway, so
-            // queueing them would only add latency, and the engine's
-            // planner is still consulted for the maintenance strategy.
-            match crate::dynamic::mutate(&shared.store, engine.planner(), handle, conn_id, &edits) {
-                Ok(out) => {
-                    rankd_log!(
-                        Level::Debug,
-                        "server",
-                        "conn {conn_id} MUTATE handle={handle} applied={} len={} {} \
-                         dirty={} artifacts={} in {:.3}ms",
-                        out.applied,
-                        out.len,
-                        if out.incremental { "incremental" } else { "full" },
-                        out.dirty_shards,
-                        out.artifacts,
-                        out.exec_ns as f64 / 1e6
-                    );
-                    send(
-                        stream,
-                        shared,
-                        FrameKind::MutateOk,
-                        &protocol::mutate_ok_body(&WireMutateOk {
-                            applied: out.applied,
-                            len: out.len,
-                            incremental: out.incremental,
-                            dirty_shards: out.dirty_shards,
-                            artifacts: out.artifacts,
-                            exec_ns: out.exec_ns,
-                        }),
-                    )
-                    .is_ok()
-                }
-                Err(e) => {
-                    let code = match e {
-                        MutateError::Stale => ErrorCode::StaleHandle,
-                        MutateError::Edit(_) => ErrorCode::BadMutation,
-                    };
-                    send_error(stream, shared, code, &format!("MUTATE handle {handle}: {e}"))
-                        .is_ok()
+                Stalled::Frame(frame) => {
+                    let ready = self
+                        .conns
+                        .get(&id)
+                        .map(|c| c.inflight.is_empty() && !c.serial_inflight)
+                        .unwrap_or(false);
+                    if ready {
+                        self.dispatch_guarded(id, &frame);
+                        self.parse_conn(id);
+                    } else if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.stalled = Some(Stalled::Frame(frame));
+                    }
                 }
             }
         }
-        WireRequest::Drop { handle } => match shared.store.drop_dataset(handle, conn_id) {
-            Ok(()) => send(stream, shared, FrameKind::DropOk, &[]).is_ok(),
-            Err(e) => send_error(
-                stream,
-                shared,
-                store_error_code(e),
-                &format!("DROP handle {handle}: {e}"),
-            )
-            .is_ok(),
-        },
-        WireRequest::RankH { sharded, handle, deadline_ms: _ } => {
-            let entry = match shared.store.get(handle, conn_id) {
-                Ok(entry) => entry,
-                Err(e) => {
-                    return send_error(
-                        stream,
-                        shared,
-                        store_error_code(e),
-                        &format!("handle {handle}: {e}"),
-                    )
-                    .is_ok()
-                }
-            };
-            let list = entry.list();
-            let req = if sharded { Request::rank_sharded(list) } else { Request::rank(list) }
-                .with_artifacts(entry.artifacts());
-            // `entry` (the eviction pin) lives until this arm returns,
-            // i.e. past the job's completion and reply write.
-            run_and_reply(engine, req, opts, stream, shared)
-        }
-        WireRequest::ScanH { sharded, op, handle, values, deadline_ms: _ } => {
-            let entry = match shared.store.get(handle, conn_id) {
-                Ok(entry) => entry,
-                Err(e) => {
-                    return send_error(
-                        stream,
-                        shared,
-                        store_error_code(e),
-                        &format!("handle {handle}: {e}"),
-                    )
-                    .is_ok()
-                }
-            };
-            let list = entry.list();
-            let warm = entry.artifacts();
-            match (op, values) {
-                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, AddOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, MaxOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, MinOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, XorOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
-                    engine,
-                    scan_req(list, v, listkit::ops::AffineOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                _ => unreachable!("decoder pairs values with their operator"),
+    }
+
+    /// Remove finished connections and settle their tenant state.
+    fn reap(&mut self) {
+        let dead: Vec<u64> = self.conns.iter().filter(|(_, c)| c.dead).map(|(&id, _)| id).collect();
+        for conn_id in dead {
+            self.conns.remove(&conn_id);
+            self.shared.quota.drop_tenant(conn_id);
+            let dropped = self.shared.store.drop_connection(conn_id);
+            if dropped > 0 {
+                rankd_log!(
+                    Level::Debug,
+                    "server",
+                    "conn {conn_id} closed, dropped {dropped} resident dataset(s)"
+                );
             }
+            self.shared.connections_active.fetch_sub(1, Ordering::Relaxed);
         }
-        WireRequest::SegScanH { sharded, op, handle, starts, values, deadline_ms: _ } => {
-            let entry = match shared.store.get(handle, conn_id) {
-                Ok(entry) => entry,
-                Err(e) => {
-                    return send_error(
-                        stream,
-                        shared,
-                        store_error_code(e),
-                        &format!("handle {handle}: {e}"),
-                    )
-                    .is_ok()
+    }
+
+    fn stats_v1(&self) -> WireStats {
+        let es = self.engine.stats();
+        let ss = self.shared.stats();
+        WireStats {
+            engine_submitted: es.submitted,
+            engine_completed: es.completed,
+            engine_cancelled: es.cancelled,
+            engine_failed: es.failed,
+            engine_elements: es.elements,
+            connections_total: ss.connections_total,
+            connections_active: ss.connections_active,
+            peak_connections: ss.peak_connections,
+            frames_in: ss.frames_in,
+            frames_out: ss.frames_out,
+            bytes_in: ss.bytes_in,
+            bytes_out: ss.bytes_out,
+            errors_sent: ss.errors_sent,
+            busy_rejected: ss.busy_rejected,
+            text: format!("{es}\n-- serving --\n{ss}\n"),
+        }
+    }
+
+    fn stats_v2(&self) -> WireStatsV2 {
+        let es = self.engine.stats();
+        let ss = self.shared.stats();
+        let st = self.shared.store.stats();
+        let ms = self.shared.store.mutation_stats();
+        let sn = self.engine.sched_snapshot();
+        WireStatsV2 {
+            phase: es.phase_hist,
+            per_op: es.op_hist,
+            mispredict: es.mispredict,
+            gauges: StatsGauges {
+                uptime_ns: (es.uptime_s * 1e9) as u64,
+                submitted: es.submitted,
+                completed: es.completed,
+                cancelled: es.cancelled,
+                failed: es.failed,
+                rejected_full: es.rejected_full,
+                elements: es.elements,
+                queue_depth: es.queue_depth as u64,
+                peak_queue_depth: es.peak_queue_depth as u64,
+                lane_steps: es.lane_steps,
+                lane_slots: es.lane_slots,
+                connections_active: ss.connections_active,
+                connections_total: ss.connections_total,
+            },
+            store: StoreGauges {
+                budget_bytes: st.budget_bytes,
+                resident_bytes: st.resident_bytes,
+                resident_count: st.resident_count,
+                puts: st.puts,
+                drops: st.drops,
+                lookups: st.lookups,
+                hits: st.hits,
+                misses: st.misses,
+                evictions: st.evictions,
+                put_rejected: st.put_rejected,
+                artifacts_built: st.artifacts_built,
+                artifacts_reused: st.artifacts_reused,
+            },
+            mutate: MutGauges {
+                mutations: ms.mutations,
+                edits: ms.edits,
+                incremental: ms.incremental,
+                full: ms.full,
+                dirty_shards_patched: ms.dirty_shards_patched,
+                artifacts_patched: ms.artifacts_patched,
+            },
+            fault: {
+                let fs = self.shared.fault.snapshot();
+                FaultGauges {
+                    injected_io_errors: fs.io_errors,
+                    injected_delays: fs.delays,
+                    injected_short_writes: fs.short_writes,
+                    injected_exec_panics: fs.exec_panics,
+                    injected_store_errors: fs.store_errors,
+                    panics_recovered: es.panics_recovered,
+                    workers_respawned: es.workers_respawned,
+                    deadline_expired: es.deadline_expired,
+                    shed_queue: self.shared.shed_queue.load(Ordering::Relaxed),
+                    shed_store: self.shared.shed_store.load(Ordering::Relaxed),
                 }
-            };
-            let list = entry.list();
-            let warm = entry.artifacts();
-            let starts = Arc::new(starts);
-            match (op, values) {
-                (WireOp::Add, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, AddOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Max, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, MaxOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Min, WireValues::I64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, MinOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Xor, WireValues::U64(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, XorOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                (WireOp::Affine, WireValues::Affine(v)) => run_and_reply(
-                    engine,
-                    seg_req(list, v, starts, listkit::ops::AffineOp, sharded).with_artifacts(warm),
-                    opts,
-                    stream,
-                    shared,
-                ),
-                _ => unreachable!("decoder pairs values with their operator"),
-            }
+            },
+            sched: SchedGauges {
+                inflight_interactive: sn.inflight(Priority::Interactive),
+                inflight_batch: sn.inflight(Priority::Batch),
+                dispatched_interactive: sn.dispatched[0],
+                dispatched_batch: sn.dispatched[1],
+                aged_dispatches: sn.aged,
+                quota_rejected_inflight: self.shared.quota.rejected(),
+                quota_rejected_store: self.shared.quota_rejected_store.load(Ordering::Relaxed),
+                reply_reorders: self.shared.reply_reorders.load(Ordering::Relaxed),
+                pipelined_requests: self.shared.pipelined_requests.load(Ordering::Relaxed),
+                max_pipeline_depth: self.shared.max_pipeline_depth.load(Ordering::Relaxed),
+            },
+            pipeline_depth: self.shared.pipeline_depth.snapshot(),
+            dispatch_by_op: es.dispatch_by_op.iter().map(|(op, row)| (*op, row.to_vec())).collect(),
         }
     }
 }
@@ -1212,125 +2092,5 @@ fn store_error_code(e: StoreError) -> ErrorCode {
     match e {
         StoreError::StaleHandle => ErrorCode::StaleHandle,
         StoreError::StoreFull => ErrorCode::StoreFull,
-    }
-}
-
-fn scan_req<T, Op>(list: Arc<LinkedList>, values: Vec<T>, op: Op, sharded: bool) -> Request<Vec<T>>
-where
-    T: Copy + Send + Sync + 'static,
-    Op: listkit::ScanOp<T> + Send + Sync + 'static,
-{
-    let values = Arc::new(values);
-    if sharded {
-        Request::scan_sharded(list, values, op)
-    } else {
-        Request::scan(list, values, op)
-    }
-}
-
-fn seg_req<T, Op>(
-    list: Arc<LinkedList>,
-    values: Vec<T>,
-    starts: Arc<Vec<bool>>,
-    op: Op,
-    sharded: bool,
-) -> Request<Vec<T>>
-where
-    T: Copy + Send + Sync + 'static,
-    Op: listkit::ScanOp<T> + Clone + Send + Sync + 'static,
-{
-    let values = Arc::new(values);
-    if sharded {
-        Request::segmented_scan_sharded(list, values, starts, op)
-    } else {
-        Request::segmented_scan(list, values, starts, op)
-    }
-}
-
-/// Submit through the engine's blocking path (this is where a flooded
-/// queue turns into per-client backpressure), await, and encode the
-/// OUTPUT reply. Returns whether the connection should keep being
-/// served.
-fn run_and_reply<T: WireElem + Send + 'static>(
-    engine: &Engine,
-    req: Request<Vec<T>>,
-    opts: JobOptions,
-    stream: &mut UnixStream,
-    shared: &Shared,
-) -> bool {
-    // Load shedding: past the watermark, tell the client to back off
-    // *now* instead of letting blocking submit stretch its latency.
-    // Off by default — blocking backpressure stays the baseline.
-    if shared.shed_queue_depth > 0 && engine.queue_depth() >= shared.shed_queue_depth {
-        shared.shed_queue.fetch_add(1, Ordering::Relaxed);
-        return send_error(
-            stream,
-            shared,
-            ErrorCode::Overloaded,
-            "queue over shed watermark, retry_after_ms=25",
-        )
-        .is_ok();
-    }
-    let handle = match engine.submit_with(req, opts) {
-        Ok(h) => h,
-        Err(SubmitError::Invalid) => {
-            return send_error(
-                stream,
-                shared,
-                ErrorCode::InvalidRequest,
-                "request failed submit validation",
-            )
-            .is_ok()
-        }
-        Err(SubmitError::Shutdown) => {
-            let _ = send_error(stream, shared, ErrorCode::EngineShutdown, "engine shut down");
-            return false;
-        }
-        // Blocking submit never reports Full; treat it like Busy if it
-        // ever does.
-        Err(SubmitError::Full) => {
-            return send_error(stream, shared, ErrorCode::Busy, "queue full").is_ok()
-        }
-    };
-    match handle.wait() {
-        Ok(report) => {
-            let meta = protocol::OutputMeta {
-                algorithm: report.algorithm,
-                shards: report.shards as u32,
-                queued_ns: report.queued_ns,
-                exec_ns: report.exec_ns,
-                trace_id: report.trace_id,
-            };
-            let body = protocol::output_body(&meta, &report.output);
-            let t_reply = Instant::now();
-            let ok = send(stream, shared, FrameKind::Output, &body).is_ok();
-            let reply_ns = t_reply.elapsed().as_nanos() as u64;
-            engine.telemetry().record_phase(Phase::ReplyWrite, reply_ns);
-            rankd_log!(
-                Level::Trace,
-                "server",
-                "reply trace={} bytes={} reply-write={:.3}ms",
-                report.trace_id,
-                body.len() + 5,
-                reply_ns as f64 / 1e6
-            );
-            ok
-        }
-        Err(JobError::Failed) => {
-            // The worker caught the panic; only this request is lost
-            // and the connection keeps being served.
-            send_error(stream, shared, ErrorCode::InternalError, "job execution panicked").is_ok()
-        }
-        Err(JobError::Cancelled) => {
-            // The server never cancels its own jobs; defensive arm.
-            send_error(stream, shared, ErrorCode::JobFailed, "job cancelled").is_ok()
-        }
-        Err(JobError::DeadlineExceeded) => send_error(
-            stream,
-            shared,
-            ErrorCode::DeadlineExceeded,
-            "request deadline exceeded in queue",
-        )
-        .is_ok(),
     }
 }

@@ -3,6 +3,7 @@
 use crate::op::OpKind;
 use crate::planner::{Planner, MISPREDICT_SCALE};
 use crate::pool::PoolStats;
+use crate::sched::SchedSnapshot;
 use crate::telemetry::{Histogram, Phase, Telemetry};
 use listrank::Algorithm;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,9 +182,13 @@ pub struct EngineStats {
     /// `measured/predicted × 1000`; see
     /// [`crate::planner::MISPREDICT_SCALE`]).
     pub mispredict: Histogram,
+    /// QoS scheduler counters: per-class queued / dispatched /
+    /// finished totals and aging-valve fires.
+    pub sched: SchedSnapshot,
 }
 
 impl EngineStats {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn gather(
         started: Instant,
         counters: &Counters,
@@ -192,6 +197,7 @@ impl EngineStats {
         pool: PoolStats,
         queue_depth: usize,
         peak_queue_depth: usize,
+        sched: SchedSnapshot,
     ) -> Self {
         let per_op = OpKind::ALL
             .iter()
@@ -237,6 +243,7 @@ impl EngineStats {
             phase_hist: telemetry.phase_snapshots(),
             op_hist: telemetry.op_snapshots(),
             mispredict: planner.mispredict_histogram(),
+            sched,
         }
     }
 
@@ -337,6 +344,19 @@ impl std::fmt::Display for EngineStats {
                 f,
                 "resilience: {} panics recovered, {} workers respawned, {} deadlines expired",
                 self.panics_recovered, self.workers_respawned, self.deadline_expired
+            )?;
+        }
+        if self.sched.dispatched[1] > 0 || self.sched.aged > 0 {
+            // Only printed once batch-class or aging activity exists, so
+            // all-interactive workloads keep the historical report shape.
+            writeln!(
+                f,
+                "scheduler: {} interactive / {} batch dispatched ({} / {} in flight), {} aged to the front",
+                self.sched.dispatched[0],
+                self.sched.dispatched[1],
+                self.sched.inflight(crate::sched::Priority::Interactive),
+                self.sched.inflight(crate::sched::Priority::Batch),
+                self.sched.aged
             )?;
         }
         if self.lane_slots > 0 {

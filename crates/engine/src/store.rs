@@ -371,6 +371,19 @@ impl DatasetStore {
         doomed.len()
     }
 
+    /// Bytes currently resident under datasets owned by connection
+    /// `conn` — the server's per-tenant store-quota check. A linear
+    /// scan over resident entries: the store holds tens of datasets,
+    /// not millions, and PUT is already a copy-heavy path.
+    pub fn owned_bytes(&self, conn: u64) -> u64 {
+        lock_unpoisoned(&self.inner)
+            .entries
+            .values()
+            .filter(|e| e.owner == conn)
+            .map(|e| e.total_bytes())
+            .sum()
+    }
+
     /// Resident handles in recency order (least recently used first) —
     /// introspection for the property-test harness.
     pub fn resident_handles(&self) -> Vec<u64> {

@@ -1,0 +1,555 @@
+//! Pipelining differential tests (protocol v6): one connection, many
+//! requests in flight, replies in completion order — every reply
+//! byte-identical to what a serial v5-style conversation produces for
+//! the same request, matched back by `request_id`.
+//!
+//! Also pinned here: the adversarial client that stops reading replies
+//! mid-pipeline (write backpressure must stall that one connection,
+//! never the reactor), duplicate / zero request ids rejected as typed
+//! malformed, v6 flags refused on v5 handshakes, and both per-tenant
+//! quotas (in-flight jobs, resident store bytes) answering typed
+//! `quota_exceeded`.
+#![cfg(unix)]
+
+use engine::client::Client;
+use engine::protocol::{self, ErrorCode, Frame, FrameKind, ReqFlags, WireOp, MAX_FRAME_DEFAULT};
+use engine::server::{ServeConfig, Server, ServerControl, ServerStats};
+use engine::{Engine, EngineConfig};
+use listkit::gen;
+use listkit::LinkedList;
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static SOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Deterministic per-test randomness (splitmix64 finalizer).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    let seq = SOCK_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rankd-pipe-{}-{tag}-{seq}.sock", std::process::id()))
+}
+
+struct Running {
+    control: ServerControl,
+    path: PathBuf,
+    join: std::thread::JoinHandle<std::io::Result<ServerStats>>,
+}
+
+impl Running {
+    fn stop(self) -> ServerStats {
+        self.control.request_shutdown();
+        self.join.join().expect("server thread").expect("server run")
+    }
+}
+
+fn start(
+    tag: &str,
+    engine_cfg: EngineConfig,
+    tune: impl FnOnce(ServeConfig) -> ServeConfig,
+) -> Running {
+    let path = sock_path(tag);
+    let cfg = tune(ServeConfig::new(&path).with_drain_grace(Duration::from_secs(10)));
+    let engine = Arc::new(Engine::new(engine_cfg));
+    let server = Server::bind(engine, cfg).expect("bind test socket");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+    Running { control, path, join }
+}
+
+fn small_engine() -> EngineConfig {
+    EngineConfig::default().with_workers(2).with_inner_threads(1)
+}
+
+/// Raw v6 handshake on a bare stream.
+fn handshake(stream: &mut UnixStream) {
+    protocol::write_frame(stream, FrameKind::Hello as u8, &protocol::hello_body()).expect("hello");
+    let f = read_one(stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::HelloOk), "handshake reply");
+}
+
+fn read_one(stream: &mut UnixStream) -> Frame {
+    protocol::read_frame(stream, MAX_FRAME_DEFAULT).expect("read frame").expect("frame present")
+}
+
+/// The OUTPUT body's dispatch/timing metadata prefix: `algorithm: u8`,
+/// `shards: u32`, `queued_ns: u64`, `exec_ns: u64`, `trace_id: u64`.
+/// Timings and trace ids legitimately vary run to run (and the planner
+/// may pick a different algorithm as its history warms), so byte
+/// parity is asserted on everything *after* this prefix — the count
+/// and the output values, which must be exact.
+const OUTPUT_META_LEN: usize = 29;
+
+fn payload(body: &[u8]) -> &[u8] {
+    assert!(body.len() > OUTPUT_META_LEN, "OUTPUT body too short: {}", body.len());
+    &body[OUTPUT_META_LEN..]
+}
+
+/// One logical request of the differential mix, encodable with any
+/// flag set (serial for the oracle, request-id-tagged for the
+/// pipelined connection).
+enum Op {
+    Rank(LinkedList),
+    Scan(LinkedList, Vec<i64>),
+    RankH,
+    ScanH(Vec<i64>),
+    SegScanH(Vec<bool>, Vec<i64>),
+}
+
+impl Op {
+    fn encode(&self, handle: u64, flags: ReqFlags) -> (u8, Vec<u8>) {
+        match self {
+            Op::Rank(list) => (FrameKind::Rank as u8, protocol::rank_body_flags(list, flags)),
+            Op::Scan(list, vals) => {
+                (FrameKind::Scan as u8, protocol::scan_body_flags(list, vals, WireOp::Add, flags))
+            }
+            Op::RankH => (FrameKind::RankH as u8, protocol::rank_h_body_flags(handle, flags)),
+            Op::ScanH(vals) => (
+                FrameKind::ScanH as u8,
+                protocol::scan_h_body_flags(handle, vals, WireOp::Add, flags),
+            ),
+            Op::SegScanH(starts, vals) => (
+                FrameKind::SegScanH as u8,
+                protocol::segscan_h_body_flags(handle, starts, vals, WireOp::Add, flags),
+            ),
+        }
+    }
+}
+
+/// PUT `list` on a raw stream, returning the connection-scoped handle.
+fn put(stream: &mut UnixStream, list: &LinkedList) -> u64 {
+    protocol::write_frame(stream, FrameKind::Put as u8, &protocol::put_body(list)).expect("PUT");
+    let f = read_one(stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::PutOk), "PUT reply");
+    protocol::decode_put_ok(&f.body).expect("PUT_OK decodes").0
+}
+
+/// The tentpole differential: N randomly interleaved rank / scan /
+/// handle requests with shuffled request ids, all written before any
+/// reply is read. Every pipelined reply must be byte-identical (minus
+/// the variable OUTPUT metadata prefix) to the serial oracle's reply
+/// for the same request, matched by id, and every id must come back
+/// exactly once.
+#[test]
+fn pipelined_mix_is_byte_identical_to_serial_oracle() {
+    const N: usize = 32;
+    let server = start("diff", small_engine(), |c| c);
+
+    let resident = gen::random_list(257, 0xD1FF);
+    let mut rng_state = 0x1994_2026u64;
+    let mut rng = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(rng_state)
+    };
+
+    // The request mix, shared by both connections.
+    let ops: Vec<Op> = (0..N)
+        .map(|_| {
+            let n = 40 + (rng() % 400) as usize;
+            let vals = |n: usize, r: &mut dyn FnMut() -> u64| -> Vec<i64> {
+                (0..n).map(|_| (r() % 97) as i64 - 48).collect()
+            };
+            match rng() % 5 {
+                0 => Op::Rank(gen::random_list(n, rng())),
+                1 => {
+                    let list = gen::random_list(n, rng());
+                    let v = vals(n, &mut rng);
+                    Op::Scan(list, v)
+                }
+                2 => Op::RankH,
+                3 => Op::ScanH(vals(resident.len(), &mut rng)),
+                _ => {
+                    let starts: Vec<bool> = (0..resident.len()).map(|_| rng() % 4 == 0).collect();
+                    Op::SegScanH(starts, vals(resident.len(), &mut rng))
+                }
+            }
+        })
+        .collect();
+
+    // Serial oracle: same daemon, separate connection, no request ids.
+    let mut oracle = UnixStream::connect(&server.path).expect("oracle connect");
+    handshake(&mut oracle);
+    let oracle_handle = put(&mut oracle, &resident);
+    let mut expected: Vec<Vec<u8>> = Vec::with_capacity(N);
+    for op in &ops {
+        let (kind, body) = op.encode(oracle_handle, ReqFlags::default());
+        protocol::write_frame(&mut oracle, kind, &body).expect("oracle request");
+        let f = read_one(&mut oracle);
+        assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Output), "oracle reply");
+        expected.push(f.body);
+    }
+
+    // Pipelined connection: shuffled ids, everything written up front.
+    let mut piped = UnixStream::connect(&server.path).expect("pipelined connect");
+    handshake(&mut piped);
+    let piped_handle = put(&mut piped, &resident);
+    let mut ids: Vec<u64> = (1..=N as u64).collect();
+    for i in (1..ids.len()).rev() {
+        ids.swap(i, (rng() % (i as u64 + 1)) as usize);
+    }
+    let mut wire = Vec::new();
+    for (idx, op) in ops.iter().enumerate() {
+        let flags = ReqFlags::default().with_request_id(ids[idx]);
+        let (kind, body) = op.encode(piped_handle, flags);
+        protocol::write_frame(&mut wire, kind, &body).expect("encode to Vec");
+    }
+    piped.write_all(&wire).expect("write pipeline burst");
+
+    // Replies arrive in completion order; collect and match by id.
+    let mut got: HashMap<u64, Vec<u8>> = HashMap::new();
+    for _ in 0..N {
+        let f = read_one(&mut piped);
+        assert_eq!(
+            FrameKind::from_u8(f.kind),
+            Some(FrameKind::OutputP),
+            "pipelined replies are OUTPUT_P"
+        );
+        let (id, inner) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+        assert!(got.insert(id, inner.to_vec()).is_none(), "id {id} answered twice");
+    }
+    for (idx, want) in expected.iter().enumerate() {
+        let id = ids[idx];
+        let reply = got.get(&id).unwrap_or_else(|| panic!("id {id} never answered"));
+        assert_eq!(
+            payload(reply),
+            payload(want),
+            "request {idx} (id {id}): pipelined payload diverged from the serial oracle"
+        );
+    }
+
+    // The scheduler gauges saw the pipeline.
+    let mut client = Client::connect(&server.path).expect("stats connect");
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert_eq!(v2.sched.pipelined_requests, N as u64);
+    assert!(v2.sched.max_pipeline_depth >= 1, "depth gauge never moved");
+    assert_eq!(v2.pipeline_depth.count(), N as u64, "one depth sample per pipelined admission");
+
+    drop(oracle);
+    drop(piped);
+    drop(client);
+    server.stop();
+}
+
+/// Adversarial pipelining: the client writes a burst whose replies
+/// exceed the server's write high-watermark, then refuses to read
+/// until every request is submitted. The reactor must park that
+/// connection (stop reading it, keep flushing opportunistically) while
+/// other clients stay fully served — and once the adversary finally
+/// drains, every reply must be present exactly once.
+#[test]
+fn non_reading_pipeline_client_stalls_only_itself() {
+    const BURST: u64 = 48;
+    const N: usize = 4000; // 32 KB per reply → ~1.5 MB total, past the 1 MiB watermark
+    let server = start("noread", small_engine(), |c| c);
+
+    let list = gen::random_list(N, 0xBAD);
+    let mut adversary = UnixStream::connect(&server.path).expect("connect");
+    handshake(&mut adversary);
+    let mut wire = Vec::new();
+    for id in 1..=BURST {
+        let flags = ReqFlags::default().with_request_id(id);
+        protocol::write_frame(
+            &mut wire,
+            FrameKind::Rank as u8,
+            &protocol::rank_body_flags(&list, flags),
+        )
+        .expect("encode");
+    }
+    adversary.write_all(&wire).expect("write burst");
+
+    // Let the replies pile up against the unread socket.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The reactor is still alive for everyone else.
+    let mut bystander = Client::connect(&server.path).expect("bystander connect");
+    let small = gen::random_list(64, 7);
+    let served = bystander.rank(&small).expect("bystander served mid-stall");
+    assert_eq!(served.output.len(), 64);
+
+    // Now drain: all BURST replies, each id exactly once, each intact.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..BURST {
+        let f = read_one(&mut adversary);
+        assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::OutputP));
+        let (id, inner) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+        assert!(seen.insert(id), "id {id} answered twice");
+        let (_, ranks) = protocol::decode_output::<u64>(inner).expect("OUTPUT decodes");
+        assert_eq!(ranks.len(), N);
+    }
+    assert_eq!(seen.len(), BURST as usize);
+
+    drop(adversary);
+    drop(bystander);
+    server.stop();
+}
+
+/// Reusing a request id while it is still in flight is typed
+/// malformed (answered on the pipelined path so the client can match
+/// it), and the original request still completes.
+#[test]
+fn duplicate_request_id_is_typed_malformed() {
+    let server = start("dup", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("connect");
+    handshake(&mut stream);
+
+    // Big rank (stays in flight) + tiny rank reusing its id, one write.
+    let big = gen::random_list(200_000, 1);
+    let tiny = gen::random_list(8, 2);
+    let flags = ReqFlags::default().with_request_id(7);
+    let mut wire = Vec::new();
+    protocol::write_frame(
+        &mut wire,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_flags(&big, flags),
+    )
+    .expect("encode");
+    protocol::write_frame(
+        &mut wire,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_flags(&tiny, flags),
+    )
+    .expect("encode");
+    stream.write_all(&wire).expect("write");
+
+    // First reply: the duplicate, refused without waiting for the job.
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::ErrorP), "dup refusal is pipelined");
+    let (id, inner) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+    assert_eq!(id, 7);
+    let (_, code, msg) = protocol::decode_error(inner).expect("error decodes");
+    assert_eq!(code, Some(ErrorCode::Malformed));
+    assert!(msg.contains("already in flight"), "unexpected message: {msg}");
+
+    // Second reply: the original request, unharmed.
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::OutputP));
+    let (id, inner) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+    assert_eq!(id, 7);
+    let (_, ranks) = protocol::decode_output::<u64>(inner).expect("OUTPUT decodes");
+    assert_eq!(ranks.len(), 200_000);
+
+    drop(stream);
+    server.stop();
+}
+
+/// Request id 0 is reserved: the frame is rejected as typed malformed
+/// at decode (no pipelined attribution possible) and the connection
+/// survives.
+#[test]
+fn request_id_zero_is_reserved() {
+    let server = start("zero", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("connect");
+    handshake(&mut stream);
+
+    let list = gen::random_list(16, 3);
+    let mut body = protocol::rank_body_flags(&list, ReqFlags::default().with_request_id(1));
+    body[1..9].fill(0); // stamp the id field (right after the flags byte) to 0
+    protocol::write_frame(&mut stream, FrameKind::Rank as u8, &body).expect("write");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Error), "plain error: no id to echo");
+    let (_, code, msg) = protocol::decode_error(&f.body).expect("error decodes");
+    assert_eq!(code, Some(ErrorCode::Malformed));
+    assert!(msg.contains("reserved"), "unexpected message: {msg}");
+
+    // Connection survives; a well-formed request still works.
+    protocol::write_frame(&mut stream, FrameKind::Rank as u8, &protocol::rank_body(&list, false))
+        .expect("write");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Output));
+
+    drop(stream);
+    server.stop();
+}
+
+/// The v6 flag bits are version-gated: a connection that negotiated a
+/// v5 HELLO gets typed malformed for FLAG_BATCH and FLAG_REQUEST_ID,
+/// and keeps serving v5 traffic afterwards.
+#[test]
+fn v6_flags_require_a_v6_handshake() {
+    let server = start("gate", small_engine(), |c| c);
+    let mut stream = UnixStream::connect(&server.path).expect("connect");
+
+    // Handshake as a v5 client.
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&protocol::MAGIC.to_le_bytes());
+    hello.extend_from_slice(&5u16.to_le_bytes());
+    protocol::write_frame(&mut stream, FrameKind::Hello as u8, &hello).expect("hello v5");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::HelloOk));
+
+    let list = gen::random_list(16, 4);
+    for (flags, what) in [
+        (ReqFlags::default().with_batch(), "FLAG_BATCH"),
+        (ReqFlags::default().with_request_id(3), "FLAG_REQUEST_ID"),
+    ] {
+        let body = protocol::rank_body_flags(&list, flags);
+        protocol::write_frame(&mut stream, FrameKind::Rank as u8, &body).expect("write");
+        let f = read_one(&mut stream);
+        assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Error), "{what} must be refused");
+        let (_, code, msg) = protocol::decode_error(&f.body).expect("error decodes");
+        assert_eq!(code, Some(ErrorCode::Malformed), "{what}: {msg}");
+        assert!(msg.contains(what), "unexpected message: {msg}");
+        assert!(msg.contains("v6 handshake"), "unexpected message: {msg}");
+    }
+
+    // Still a working v5 connection (deadline flag is v5-legal).
+    protocol::write_frame(
+        &mut stream,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_deadline(&list, false, Some(60_000)),
+    )
+    .expect("write");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Output));
+
+    drop(stream);
+    server.stop();
+}
+
+/// The per-tenant in-flight quota refuses the excess request with a
+/// typed, id-attributed `quota_exceeded` while the admitted request
+/// completes normally — and a freed slot admits again.
+#[test]
+fn inflight_quota_answers_typed_quota_exceeded() {
+    let server = start("quota", small_engine(), |c| c.with_inflight_quota(1));
+    let mut stream = UnixStream::connect(&server.path).expect("connect");
+    handshake(&mut stream);
+
+    let big = gen::random_list(300_000, 5);
+    let tiny = gen::random_list(8, 6);
+    let mut wire = Vec::new();
+    protocol::write_frame(
+        &mut wire,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_flags(&big, ReqFlags::default().with_request_id(1)),
+    )
+    .expect("encode");
+    protocol::write_frame(
+        &mut wire,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_flags(&tiny, ReqFlags::default().with_request_id(2)),
+    )
+    .expect("encode");
+    stream.write_all(&wire).expect("write");
+
+    // The refusal (id 2) outruns the big job (id 1).
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::ErrorP));
+    let (id, inner) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+    assert_eq!(id, 2);
+    let (_, code, msg) = protocol::decode_error(inner).expect("error decodes");
+    assert_eq!(code, Some(ErrorCode::QuotaExceeded), "{msg}");
+
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::OutputP));
+    let (id, _) = protocol::decode_pipelined(&f.body).expect("pipelined body");
+    assert_eq!(id, 1);
+
+    // The slot is free again: a fresh pipelined request is admitted.
+    protocol::write_frame(
+        &mut stream,
+        FrameKind::Rank as u8,
+        &protocol::rank_body_flags(&tiny, ReqFlags::default().with_request_id(3)),
+    )
+    .expect("write");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::OutputP));
+
+    // Exactly one rejection on the gauge.
+    let mut client = Client::connect(&server.path).expect("stats connect");
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert_eq!(v2.sched.quota_rejected_inflight, 1);
+
+    drop(stream);
+    drop(client);
+    server.stop();
+}
+
+/// The per-tenant store quota refuses a PUT from a connection already
+/// at its byte cap — typed `quota_exceeded`, not `overloaded` (the
+/// tenant must DROP, not retry) — and DROP frees the budget.
+#[test]
+fn store_quota_answers_typed_quota_exceeded() {
+    let server = start("squota", small_engine(), |c| c.with_store_quota(200));
+    let mut stream = UnixStream::connect(&server.path).expect("connect");
+    handshake(&mut stream);
+
+    // First PUT (owned 0 < 200): admitted, footprint 4·100 + 96 = 496.
+    let list = gen::random_list(100, 8);
+    let handle = put(&mut stream, &list);
+
+    // Second PUT (owned 496 ≥ 200): refused.
+    protocol::write_frame(&mut stream, FrameKind::Put as u8, &protocol::put_body(&list))
+        .expect("PUT");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::Error));
+    let (_, code, msg) = protocol::decode_error(&f.body).expect("error decodes");
+    assert_eq!(code, Some(ErrorCode::QuotaExceeded), "{msg}");
+    assert!(msg.contains("store quota"), "unexpected message: {msg}");
+
+    // DROP frees the tenant's bytes; the next PUT is admitted.
+    protocol::write_frame(&mut stream, FrameKind::Drop as u8, &protocol::drop_body(handle))
+        .expect("DROP");
+    let f = read_one(&mut stream);
+    assert_eq!(FrameKind::from_u8(f.kind), Some(FrameKind::DropOk));
+    put(&mut stream, &list);
+
+    let mut client = Client::connect(&server.path).expect("stats connect");
+    let v2 = client.stats_v2().expect("stats_v2");
+    assert_eq!(v2.sched.quota_rejected_store, 1);
+
+    drop(stream);
+    drop(client);
+    server.stop();
+}
+
+/// The typed client pipelining API over TCP: the daemon's TCP listener
+/// shares the reactor and the protocol, so a depth-4 pipeline of ranks
+/// matches the Unix-socket serial answers exactly.
+#[test]
+fn client_pipeline_api_over_tcp_matches_unix_serial() {
+    let path = sock_path("tcp");
+    let engine = Arc::new(Engine::new(small_engine()));
+    let cfg = ServeConfig::new(&path)
+        .with_tcp(Some("127.0.0.1:0".to_string()))
+        .with_drain_grace(Duration::from_secs(10));
+    let server = Server::bind(engine, cfg).expect("bind");
+    let addr = server.tcp_local_addr().expect("tcp listener bound");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let lists: Vec<LinkedList> =
+        (0..4).map(|i| gen::random_list(500 + i * 131, i as u64)).collect();
+
+    let mut serial = Client::connect(&path).expect("unix connect");
+    let want: Vec<Vec<u64>> =
+        lists.iter().map(|l| serial.rank(l).expect("serial rank").output).collect();
+
+    let mut tcp = Client::connect_tcp(addr.to_string()).expect("tcp connect");
+    for (i, list) in lists.iter().enumerate() {
+        tcp.send_rank(list, i as u64 + 1).expect("pipelined send");
+    }
+    let mut got: HashMap<u64, Vec<u64>> = HashMap::new();
+    for _ in 0..lists.len() {
+        let (id, res) = tcp.recv_pipelined::<u64>().expect("pipelined recv");
+        got.insert(id, res.expect("per-request success").output);
+    }
+    for (i, want) in want.iter().enumerate() {
+        assert_eq!(got.get(&(i as u64 + 1)), Some(want), "list {i} diverged over TCP");
+    }
+
+    drop(serial);
+    drop(tcp);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}

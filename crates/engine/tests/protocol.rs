@@ -25,14 +25,14 @@ const DOC_HELLO: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x01, // kind = HELLO
     0x52, 0x4E, 0x4B, 0x44, // magic "RNKD"
-    0x05, 0x00, // version = 5
+    0x06, 0x00, // version = 6
 ];
 
 /// PROTOCOL.md §"A worked round trip", frame 2: HELLO_OK.
 const DOC_HELLO_OK: &[u8] = &[
     0x07, 0x00, 0x00, 0x00, // len = 7
     0x81, // kind = HELLO_OK
-    0x05, 0x00, // version = 5
+    0x06, 0x00, // version = 6
     0x00, 0x00, 0x00, 0x10, // max_frame = 0x10000000 (256 MiB)
 ];
 
@@ -90,9 +90,9 @@ const DOC_STATS_V2: &[u8] = &[
 /// histogram holding two samples (1000 ns and 2000 ns) plus the gauge
 /// block. See [`example_stats_v2`] for the semantic content.
 const DOC_STATS_V2_OK: &[u8] = &[
-    0x9E, 0x01, 0x00, 0x00, // len = 414
+    0xF5, 0x01, 0x00, 0x00, // len = 501
     0x87, // kind = STATS_V2_OK
-    0x05, 0x00, // block_count = 5
+    0x06, 0x00, // block_count = 6
     // block 1: the exec-phase latency histogram
     0x01, // tag = 1 (phase histogram)
     0x03, // id = 3 (phase: exec)
@@ -167,6 +167,21 @@ const DOC_STATS_V2_OK: &[u8] = &[
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // deadline_expired = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // shed_queue = 0
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // shed_store = 0
+    // block 6: the scheduler/QoS gauge block (protocol v6)
+    0x09, // tag = 9 (scheduler gauges)
+    0x00, // id = 0
+    0x51, 0x00, 0x00, 0x00, // block len = 81
+    0x0A, // sched gauge count = 10
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // inflight_interactive = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // inflight_batch = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // dispatched_interactive = 2
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // dispatched_batch = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // aged_dispatches = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // quota_rejected_inflight = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // quota_rejected_store = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // reply_reorders = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // pipelined_requests = 0
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // max_pipeline_depth = 0
 ];
 
 /// The semantic content of [`DOC_STATS_V2_OK`].
@@ -207,6 +222,9 @@ fn example_stats_v2() -> protocol::WireStatsV2 {
         artifacts_built: 0,
         artifacts_reused: 0,
     };
+    // Both ranks dispatched in the (default) interactive class; the
+    // conversation was serial, so the pipelining gauges stay zero.
+    v2.sched.dispatched_interactive = 2;
     v2
 }
 
@@ -290,9 +308,8 @@ fn documented_rank_bytes_decode_to_the_example_list() {
     // Decoder side: replaying the documented bytes yields the list.
     let frame = parse(DOC_RANK);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::Rank { sharded, list, deadline_ms } => {
-            assert!(!sharded);
-            assert_eq!(deadline_ms, None);
+        WireRequest::Rank { list, flags } => {
+            assert_eq!(flags, protocol::ReqFlags::default());
             assert_eq!(list.head(), 1);
             assert_eq!(list.links(), &[2, 0, 2]);
         }
@@ -308,9 +325,10 @@ fn documented_deadline_rank_bytes_round_trip() {
     );
     let frame = parse(DOC_RANK_DEADLINE);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::Rank { sharded, list, deadline_ms } => {
-            assert!(!sharded);
-            assert_eq!(deadline_ms, Some(1500));
+        WireRequest::Rank { list, flags } => {
+            assert!(!flags.sharded);
+            assert_eq!(flags.deadline_ms, Some(1500));
+            assert_eq!(flags.request_id, None);
             assert_eq!(list.head(), 1);
             assert_eq!(list.links(), &[2, 0, 2]);
         }
@@ -455,10 +473,13 @@ fn documented_put_bytes_round_trip() {
 fn documented_handle_query_bytes_round_trip() {
     assert_eq!(framed(FrameKind::RankH, &protocol::rank_h_body(1, false)), DOC_RANK_H);
     let frame = parse(DOC_RANK_H);
-    assert!(matches!(
-        protocol::decode_request(&frame).expect("decodes"),
-        WireRequest::RankH { sharded: false, handle: 1, deadline_ms: None }
-    ));
+    match protocol::decode_request(&frame).expect("decodes") {
+        WireRequest::RankH { handle, flags } => {
+            assert_eq!(handle, 1);
+            assert_eq!(flags, protocol::ReqFlags::default());
+        }
+        other => panic!("want RankH, got {other:?}"),
+    }
 
     assert_eq!(
         framed(FrameKind::ScanH, &protocol::scan_h_body(1, &[5i64, 7, 9], WireOp::Add, false)),
@@ -466,9 +487,8 @@ fn documented_handle_query_bytes_round_trip() {
     );
     let frame = parse(DOC_SCAN_H);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::ScanH { sharded, op, handle, values, deadline_ms } => {
-            assert!(!sharded);
-            assert_eq!(deadline_ms, None);
+        WireRequest::ScanH { op, handle, values, flags } => {
+            assert_eq!(flags, protocol::ReqFlags::default());
             assert_eq!(op, WireOp::Add);
             assert_eq!(handle, 1);
             assert_eq!(values, WireValues::I64(vec![5, 7, 9]));
@@ -485,9 +505,8 @@ fn documented_handle_query_bytes_round_trip() {
     );
     let frame = parse(DOC_SEGSCAN_H);
     match protocol::decode_request(&frame).expect("decodes") {
-        WireRequest::SegScanH { sharded, op, handle, starts, values, deadline_ms } => {
-            assert!(!sharded);
-            assert_eq!(deadline_ms, None);
+        WireRequest::SegScanH { op, handle, starts, values, flags } => {
+            assert_eq!(flags, protocol::ReqFlags::default());
             assert_eq!(op, WireOp::Add);
             assert_eq!(handle, 1);
             assert_eq!(starts, vec![false, false, true]);
@@ -808,6 +827,352 @@ fn documented_mutation_conversation_against_a_live_server() {
 }
 
 // ------------------------------------------------------------------
+// The documented pipelined conversation (protocol v6)
+// ------------------------------------------------------------------
+
+/// PROTOCOL.md §"A worked pipelined conversation", frame 1: the
+/// example RANK carrying request id 1 (interactive class).
+const DOC_RANK_P1: &[u8] = &[
+    0x1E, 0x00, 0x00, 0x00, // len = 30
+    0x02, // kind = RANK
+    0x08, // flags (bit 3: request id present)
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 1
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// PROTOCOL.md §"A worked pipelined conversation", frame 2: the same
+/// RANK with request id 2 and the batch class declared.
+const DOC_RANK_P2_BATCH: &[u8] = &[
+    0x1E, 0x00, 0x00, 0x00, // len = 30
+    0x02, // kind = RANK
+    0x0C, // flags (bit 2: batch class; bit 3: request id present)
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 2
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// PROTOCOL.md §"A worked pipelined conversation": the OUTPUT_P reply
+/// to request 1 — the echoed id, then the [`DOC_OUTPUT`] body.
+const DOC_OUTPUT_P1: &[u8] = &[
+    0x42, 0x00, 0x00, 0x00, // len = 66
+    0x8B, // kind = OUTPUT_P
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 1
+    0x00, // algorithm = 0 (serial)
+    0x00, 0x00, 0x00, 0x00, // shards = 0 (monolithic)
+    0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // queued_ns = 1000
+    0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // exec_ns = 2000
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // trace_id = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[0] = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[1] = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[2] = 2
+];
+
+/// The OUTPUT_P reply to request 2: byte-identical but for the echoed
+/// id — the batch flag changes scheduling, never the payload.
+const DOC_OUTPUT_P2: &[u8] = &[
+    0x42, 0x00, 0x00, 0x00, // len = 66
+    0x8B, // kind = OUTPUT_P
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 2
+    0x00, // algorithm = 0 (serial)
+    0x00, 0x00, 0x00, 0x00, // shards = 0 (monolithic)
+    0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // queued_ns = 1000
+    0xD0, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // exec_ns = 2000
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // trace_id = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[0] = 1
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[1] = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rank[2] = 2
+];
+
+/// PROTOCOL.md §"A worked pipelined conversation": a RANK carrying
+/// the reserved request id 0 — [`DOC_RANK_P1`] with the id zeroed.
+const DOC_RANK_P0: &[u8] = &[
+    0x1E, 0x00, 0x00, 0x00, // len = 30
+    0x02, // kind = RANK
+    0x08, // flags (bit 3: request id present)
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 0 (reserved)
+    0x01, 0x00, 0x00, 0x00, // head = 1
+    0x03, 0x00, 0x00, 0x00, // n = 3
+    0x02, 0x00, 0x00, 0x00, // next[0] = 2
+    0x00, 0x00, 0x00, 0x00, // next[1] = 0
+    0x02, 0x00, 0x00, 0x00, // next[2] = 2 (self-loop tail)
+];
+
+/// The documented reply to [`DOC_RANK_P0`]: a *plain* ERROR (there is
+/// no usable id to echo) with the decode-time message, verbatim.
+const DOC_ERROR_ID0: &[u8] = &[
+    0x1B, 0x00, 0x00, 0x00, // len = 27
+    0xEE, // kind = ERROR
+    0x03, 0x00, // code = 3 (malformed)
+    0x72, 0x65, 0x71, 0x75, 0x65, 0x73, 0x74, 0x5F, // "request_"
+    0x69, 0x64, 0x20, 0x30, 0x20, 0x69, 0x73, 0x20, // "id 0 is "
+    0x72, 0x65, 0x73, 0x65, 0x72, 0x76, 0x65, 0x64, // "reserved"
+];
+
+/// PROTOCOL.md §"A worked pipelined conversation": the ERROR_P a
+/// daemon started with `--inflight-quota 1` sends for request 2 while
+/// request 1 is still in flight.
+const DOC_ERROR_P_QUOTA: &[u8] = &[
+    0x2E, 0x00, 0x00, 0x00, // len = 46
+    0xEF, // kind = ERROR_P
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // request_id = 2
+    0x12, 0x00, // code = 18 (quota_exceeded)
+    0x74, 0x65, 0x6E, 0x61, 0x6E, 0x74, 0x20, 0x69, // "tenant i"
+    0x6E, 0x2D, 0x66, 0x6C, 0x69, 0x67, 0x68, 0x74, // "n-flight"
+    0x20, 0x71, 0x75, 0x6F, 0x74, 0x61, 0x20, 0x28, // " quota ("
+    0x31, 0x29, 0x20, 0x65, 0x78, 0x63, 0x65, 0x65, // "1) excee"
+    0x64, 0x65, 0x64, // "ded"
+];
+
+#[test]
+fn documented_pipelined_bytes_round_trip() {
+    // Encoder side: the client's flagged rank bodies produce the
+    // documented request frames byte-for-byte.
+    assert_eq!(
+        framed(
+            FrameKind::Rank,
+            &protocol::rank_body_flags(
+                &example_list(),
+                protocol::ReqFlags::default().with_request_id(1)
+            )
+        ),
+        DOC_RANK_P1
+    );
+    assert_eq!(
+        framed(
+            FrameKind::Rank,
+            &protocol::rank_body_flags(
+                &example_list(),
+                protocol::ReqFlags::default().with_batch().with_request_id(2)
+            )
+        ),
+        DOC_RANK_P2_BATCH
+    );
+
+    // Decoder side: flags survive the trip.
+    for (bytes, want_id, want_batch) in [(DOC_RANK_P1, 1u64, false), (DOC_RANK_P2_BATCH, 2, true)] {
+        let frame = parse(bytes);
+        match protocol::decode_request(&frame).expect("decodes") {
+            WireRequest::Rank { list, flags } => {
+                assert_eq!(flags.request_id, Some(want_id));
+                assert_eq!(flags.batch, want_batch);
+                assert_eq!(flags.deadline_ms, None);
+                assert_eq!(list.links(), &[2, 0, 2]);
+            }
+            other => panic!("want Rank, got {other:?}"),
+        }
+    }
+
+    // OUTPUT_P: the server-side composer (id + OUTPUT body) produces
+    // the documented reply, and `decode_pipelined` peels the id back
+    // off to expose a plain OUTPUT body.
+    let meta = OutputMeta {
+        algorithm: Algorithm::Serial,
+        shards: 0,
+        queued_ns: 1000,
+        exec_ns: 2000,
+        trace_id: 1,
+    };
+    let inner = protocol::output_body(&meta, &[1u64, 0, 2]);
+    assert_eq!(framed(FrameKind::OutputP, &protocol::pipelined_body(1, &inner)), DOC_OUTPUT_P1);
+    assert_eq!(framed(FrameKind::OutputP, &protocol::pipelined_body(2, &inner)), DOC_OUTPUT_P2);
+    let frame = parse(DOC_OUTPUT_P2);
+    let (id, body) = protocol::decode_pipelined(&frame.body).expect("pipelined envelope decodes");
+    assert_eq!(id, 2);
+    let (got_meta, ranks) = protocol::decode_output::<u64>(body).expect("inner OUTPUT decodes");
+    assert_eq!(got_meta, meta);
+    assert_eq!(ranks, vec![1, 0, 2]);
+
+    // The id-0 refusal: decoding the documented request fails with the
+    // documented message, and the documented ERROR frame is exactly
+    // what the error composer emits for it.
+    let frame = parse(DOC_RANK_P0);
+    let err = protocol::decode_request(&frame).expect_err("id 0 is refused at decode");
+    assert_eq!(err.message, "request_id 0 is reserved");
+    assert_eq!(
+        framed(FrameKind::Error, &protocol::error_body(ErrorCode::Malformed, &err.message)),
+        DOC_ERROR_ID0
+    );
+
+    // The quota refusal: ERROR_P is an ERROR body behind the echoed id.
+    let refusal =
+        protocol::error_body(ErrorCode::QuotaExceeded, "tenant in-flight quota (1) exceeded");
+    assert_eq!(
+        framed(FrameKind::ErrorP, &protocol::pipelined_body(2, &refusal)),
+        DOC_ERROR_P_QUOTA
+    );
+    let frame = parse(DOC_ERROR_P_QUOTA);
+    let (id, body) = protocol::decode_pipelined(&frame.body).expect("envelope decodes");
+    assert_eq!(id, 2);
+    let (raw, code, message) = protocol::decode_error(body).expect("inner ERROR decodes");
+    assert_eq!(raw, ErrorCode::QuotaExceeded as u16);
+    assert_eq!(code, Some(ErrorCode::QuotaExceeded));
+    assert_eq!(message, "tenant in-flight quota (1) exceeded");
+}
+
+/// The documented pipelined conversation against a live daemon
+/// (protocol v6): both RANK frames written back-to-back before any
+/// reply is read, the two OUTPUT_P replies matched *by id* (the
+/// document is explicit that completion order is unspecified), the
+/// reserved-id refusal compared byte-for-byte, and the scheduler
+/// gauges checked against the documented values.
+#[cfg(unix)]
+#[test]
+fn documented_pipelined_conversation_against_a_live_server() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("rankd-protodoc-p-{}.sock", std::process::id()));
+    let engine = Arc::new(engine::Engine::new(
+        engine::EngineConfig::default().with_workers(1).with_inner_threads(1),
+    ));
+    let server = engine::server::Server::bind(engine, engine::server::ServeConfig::new(&path))
+        .expect("bind");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    stream.write_all(DOC_HELLO).expect("send documented HELLO");
+    let mut hello_ok = vec![0u8; DOC_HELLO_OK.len()];
+    stream.read_exact(&mut hello_ok).expect("read HELLO_OK");
+    assert_eq!(hello_ok, DOC_HELLO_OK);
+
+    // Both requests in one write, replies read afterwards — the whole
+    // point of pipelining. Match replies by echoed id; mask the same
+    // timing/trace fields the inline round trip masks (they sit 8
+    // bytes deeper here, behind the echoed id).
+    let mut both = DOC_RANK_P1.to_vec();
+    both.extend_from_slice(DOC_RANK_P2_BATCH);
+    stream.write_all(&both).expect("send both pipelined RANKs");
+    let mut seen = [false; 2];
+    for _ in 0..2 {
+        let mut reply = vec![0u8; DOC_OUTPUT_P1.len()];
+        stream.read_exact(&mut reply).expect("read OUTPUT_P");
+        assert_eq!(reply[4], FrameKind::OutputP as u8);
+        let id = u64::from_le_bytes(reply[5..13].try_into().expect("8 id bytes"));
+        let want: &[u8] = match id {
+            1 => DOC_OUTPUT_P1,
+            2 => DOC_OUTPUT_P2,
+            other => panic!("unexpected request id {other}"),
+        };
+        assert!(!seen[(id - 1) as usize], "request id {id} answered twice");
+        seen[(id - 1) as usize] = true;
+        reply[18..42].copy_from_slice(&want[18..42]);
+        assert_eq!(reply, want, "OUTPUT_P for request {id} matches the documented bytes");
+    }
+    assert_eq!(seen, [true, true], "both pipelined requests answered");
+
+    // The reserved id: the documented plain ERROR, byte-for-byte, and
+    // the connection survives it.
+    stream.write_all(DOC_RANK_P0).expect("send the reserved-id RANK");
+    let mut error = vec![0u8; DOC_ERROR_ID0.len()];
+    stream.read_exact(&mut error).expect("read the id-0 ERROR");
+    assert_eq!(error, DOC_ERROR_ID0, "id-0 refusal matches the documented bytes");
+
+    // The scheduler gauges the document quotes for this conversation.
+    // Completions are published just after the reply is queued, so
+    // poll until both are visible.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let v2 = loop {
+        stream.write_all(DOC_STATS_V2).expect("send STATS_V2");
+        let mut reply = &stream;
+        let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+            .expect("read STATS_V2_OK")
+            .expect("connection survives the id-0 error");
+        let v2 = protocol::decode_stats_v2(&frame.body).expect("decodes");
+        if v2.gauges.completed == 2 {
+            break v2;
+        }
+        assert!(std::time::Instant::now() < deadline, "completions never became visible: {v2:?}");
+        std::thread::yield_now();
+    };
+    assert_eq!(v2.sched.pipelined_requests, 2);
+    assert_eq!(v2.sched.dispatched_interactive, 1);
+    assert_eq!(v2.sched.dispatched_batch, 1);
+    assert_eq!(v2.sched.inflight_interactive, 0);
+    assert_eq!(v2.sched.inflight_batch, 0);
+
+    drop(stream);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+/// The documented quota refusal against a live daemon started with an
+/// in-flight quota of 1: the same two pipelined RANKs written in one
+/// write admit request 1 and refuse request 2 with the documented
+/// ERROR_P — delivered first, because the refusal never waits for a
+/// worker — then request 1's OUTPUT_P arrives intact.
+#[cfg(unix)]
+#[test]
+fn documented_quota_refusal_against_a_live_server() {
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("rankd-protodoc-q-{}.sock", std::process::id()));
+    let engine = Arc::new(engine::Engine::new(
+        engine::EngineConfig::default().with_workers(1).with_inner_threads(1),
+    ));
+    let server = engine::server::Server::bind(
+        engine,
+        engine::server::ServeConfig::new(&path).with_inflight_quota(1),
+    )
+    .expect("bind");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    stream.write_all(DOC_HELLO).expect("send documented HELLO");
+    let mut hello_ok = vec![0u8; DOC_HELLO_OK.len()];
+    stream.read_exact(&mut hello_ok).expect("read HELLO_OK");
+    assert_eq!(hello_ok, DOC_HELLO_OK);
+
+    // One write carrying both frames: the reactor parses them in the
+    // same readable event, so the quota check on request 2 happens
+    // before request 1's completion can possibly be processed — the
+    // documented refusal is deterministic.
+    let mut both = DOC_RANK_P1.to_vec();
+    both.extend_from_slice(DOC_RANK_P2_BATCH);
+    stream.write_all(&both).expect("send both pipelined RANKs");
+
+    let mut refusal = vec![0u8; DOC_ERROR_P_QUOTA.len()];
+    stream.read_exact(&mut refusal).expect("read the quota ERROR_P");
+    assert_eq!(refusal, DOC_ERROR_P_QUOTA, "refusal matches the documented bytes");
+
+    let mut output = vec![0u8; DOC_OUTPUT_P1.len()];
+    stream.read_exact(&mut output).expect("read request 1's OUTPUT_P");
+    output[18..42].copy_from_slice(&DOC_OUTPUT_P1[18..42]);
+    assert_eq!(output, DOC_OUTPUT_P1, "request 1 is unaffected by the refusal");
+
+    // The refusal is counted, and the quota slot is free again: a
+    // fresh id on the same connection goes through.
+    stream.write_all(DOC_RANK_P2_BATCH).expect("resend request 2 alone");
+    let mut retry = vec![0u8; DOC_OUTPUT_P2.len()];
+    stream.read_exact(&mut retry).expect("read the retried OUTPUT_P");
+    retry[18..42].copy_from_slice(&DOC_OUTPUT_P2[18..42]);
+    assert_eq!(retry, DOC_OUTPUT_P2, "the retry succeeds once the slot frees");
+
+    stream.write_all(DOC_STATS_V2).expect("send STATS_V2");
+    let mut reply = &stream;
+    let frame = protocol::read_frame(&mut reply, MAX_FRAME_DEFAULT)
+        .expect("read STATS_V2_OK")
+        .expect("reply present");
+    let v2 = protocol::decode_stats_v2(&frame.body).expect("decodes");
+    assert_eq!(v2.sched.quota_rejected_inflight, 1);
+
+    drop(stream);
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+// ------------------------------------------------------------------
 // Codec round trips beyond the documented example
 // ------------------------------------------------------------------
 
@@ -830,10 +1195,11 @@ fn scan_and_segscan_bodies_round_trip_for_every_operator() {
         };
         let frame = Frame { kind: FrameKind::Scan as u8, body: frame_body };
         match protocol::decode_request(&frame).expect("scan decodes") {
-            WireRequest::Scan { op: got, list: l, values, sharded, deadline_ms: None } => {
+            WireRequest::Scan { op: got, list: l, values, flags } => {
                 assert_eq!(got, op);
                 assert_eq!(l.links(), list.links());
-                assert_eq!(sharded, op == WireOp::Xor);
+                assert_eq!(flags.deadline_ms, None);
+                assert_eq!(flags.sharded, op == WireOp::Xor);
                 match (op, values) {
                     (WireOp::Add | WireOp::Max | WireOp::Min, WireValues::I64(v)) => {
                         assert_eq!(v, vec![-1, 2, -3, 4])
@@ -948,7 +1314,7 @@ fn reserved_flag_bits_are_rejected_not_silently_dropped() {
             FrameKind::Rank => protocol::rank_body(&list, false),
             _ => protocol::scan_body(&list, &[1i64, 2], WireOp::Add, false),
         };
-        body[0] |= 0x04; // a reserved flag bit (0x01 sharded / 0x02 deadline are taken)
+        body[0] |= 0x10; // a reserved bit (0x01..0x08 are all assigned as of v6)
         let frame = Frame { kind: frame_kind as u8, body };
         let err = protocol::decode_request(&frame).expect_err("reserved bit must not decode");
         assert_eq!(err.code, ErrorCode::Malformed, "{err}");
@@ -957,7 +1323,7 @@ fn reserved_flag_bits_are_rejected_not_silently_dropped() {
     let frame = Frame { kind: FrameKind::Rank as u8, body: protocol::rank_body(&list, true) };
     assert!(matches!(
         protocol::decode_request(&frame),
-        Ok(WireRequest::Rank { sharded: true, .. })
+        Ok(WireRequest::Rank { flags: protocol::ReqFlags { sharded: true, .. }, .. })
     ));
 }
 
@@ -973,7 +1339,10 @@ fn deadline_flag_round_trips_and_truncation_fails_typed() {
     };
     assert!(matches!(
         protocol::decode_request(&frame).expect("decodes"),
-        WireRequest::Rank { sharded: false, deadline_ms: Some(1500), .. }
+        WireRequest::Rank {
+            flags: protocol::ReqFlags { sharded: false, deadline_ms: Some(1500), .. },
+            ..
+        }
     ));
     let frame = Frame {
         kind: FrameKind::RankH as u8,
@@ -981,7 +1350,10 @@ fn deadline_flag_round_trips_and_truncation_fails_typed() {
     };
     assert!(matches!(
         protocol::decode_request(&frame).expect("decodes"),
-        WireRequest::RankH { sharded: true, handle: 7, deadline_ms: Some(u64::MAX) }
+        WireRequest::RankH {
+            handle: 7,
+            flags: protocol::ReqFlags { sharded: true, deadline_ms: Some(u64::MAX), .. },
+        }
     ));
     let frame = Frame {
         kind: FrameKind::ScanH as u8,
@@ -989,7 +1361,11 @@ fn deadline_flag_round_trips_and_truncation_fails_typed() {
     };
     assert!(matches!(
         protocol::decode_request(&frame).expect("decodes"),
-        WireRequest::ScanH { handle: 3, deadline_ms: Some(250), .. }
+        WireRequest::ScanH {
+            handle: 3,
+            flags: protocol::ReqFlags { deadline_ms: Some(250), .. },
+            ..
+        }
     ));
 
     // A deadline-flagged body truncated at ANY byte — inside the

@@ -1,0 +1,277 @@
+//! Scheduler-conformance suite (PR 10): property tests pinning the
+//! QoS dispatch policy in `engine::sched` — the pure function the
+//! queue consults — and the per-tenant quota ledger the server uses
+//! for admission control.
+//!
+//! These are the *contract* tests the serving layer builds on:
+//!
+//! * batch work is never starved under continuous interactive load
+//!   (the aging valve bounds the wait, it doesn't just make starvation
+//!   unlikely);
+//! * among jobs queued at the same time, class strictly orders
+//!   dispatch, and within a class earliest-deadline-first applies with
+//!   arrival order as the tiebreak;
+//! * quota accounting is exact under arbitrary admit / complete /
+//!   disconnect interleavings;
+//! * deadline-first dequeue never inverts priority classes.
+
+use engine::sched::{is_aging_tick, pick_next, JobMeta, QuotaTable, AGING_PERIOD};
+use engine::Priority;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a `JobMeta` from raw sampled parts: class bit, sequence, and
+/// an optional deadline (deadline 0 = none).
+fn meta(batch: bool, seq: u64, deadline: u64) -> JobMeta {
+    JobMeta {
+        class: if batch { Priority::Batch } else { Priority::Interactive },
+        seq,
+        deadline: (deadline > 0).then_some(deadline),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No starvation: a single batch job queued behind a *continuous*
+    /// stream of interactive arrivals (one new interactive job per
+    /// dispatch, so the interactive backlog never drains) still
+    /// dispatches within one full aging period, from any starting
+    /// dequeue counter and any backlog size.
+    #[test]
+    fn batch_dispatches_within_one_aging_period_under_interactive_flood(
+        start_dequeues in 0u64..10_000,
+        backlog in 1usize..32,
+        batch_deadline in 0u64..1000,
+    ) {
+        let mut seq = 0u64;
+        let mut jobs: Vec<JobMeta> = Vec::new();
+        // The victim batch job arrives first…
+        jobs.push(meta(true, seq, batch_deadline));
+        let victim_seq = seq;
+        seq += 1;
+        // …behind an interactive backlog.
+        for _ in 0..backlog {
+            jobs.push(meta(false, seq, 0));
+            seq += 1;
+        }
+
+        let mut dequeues = start_dequeues;
+        let mut waited = 0u64;
+        loop {
+            let idx = pick_next(&jobs, dequeues, AGING_PERIOD).expect("queue non-empty");
+            let picked = jobs.remove(idx);
+            dequeues += 1;
+            waited += 1;
+            if picked.seq == victim_seq {
+                break;
+            }
+            prop_assert!(
+                waited <= AGING_PERIOD,
+                "batch job still queued after {waited} dispatches (start {start_dequeues}, backlog {backlog})"
+            );
+            // Continuous higher-priority load: every dispatch is
+            // immediately replaced by a fresh interactive arrival.
+            jobs.push(meta(false, seq, 0));
+            seq += 1;
+        }
+    }
+
+    /// Priority ordering: on a non-aging tick the picked job is always
+    /// from the best (lowest) class present, and within that class it
+    /// minimises (deadline-or-∞, seq). Sampled over random same-time
+    /// queue snapshots.
+    #[test]
+    fn pick_always_respects_class_then_deadline_then_arrival(
+        raw in vec((any::<bool>(), 0u64..64, 0u64..8), 1..24),
+        dequeues in 0u64..10_000,
+    ) {
+        // Distinct seqs: arrival order is a total order in the real
+        // queue, so disambiguate collisions by index.
+        let jobs: Vec<JobMeta> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(batch, seq_base, dl))| meta(batch, seq_base * 100 + i as u64, dl))
+            .collect();
+        prop_assume!(!is_aging_tick(dequeues, AGING_PERIOD));
+
+        let idx = pick_next(&jobs, dequeues, AGING_PERIOD).expect("non-empty");
+        let picked = jobs[idx];
+        let best_class = jobs.iter().map(|j| j.class).min().expect("non-empty");
+        prop_assert_eq!(picked.class, best_class, "picked a worse class than available");
+
+        let key = |j: &JobMeta| (j.deadline.unwrap_or(u64::MAX), j.seq);
+        for j in jobs.iter().filter(|j| j.class == best_class) {
+            prop_assert!(
+                key(&picked) <= key(j),
+                "picked {picked:?} but {j:?} has an earlier (deadline, seq) key"
+            );
+        }
+    }
+
+    /// Aging ticks pick the globally oldest job — class-blind — and
+    /// occur exactly once per period.
+    #[test]
+    fn aging_tick_is_class_blind_and_periodic(
+        raw in vec((any::<bool>(), 0u64..8), 2..24),
+        period_offset in 0u64..1000,
+    ) {
+        let jobs: Vec<JobMeta> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(batch, dl))| meta(batch, i as u64, dl))
+            .collect();
+        let tick = period_offset * AGING_PERIOD + (AGING_PERIOD - 1);
+        prop_assert!(is_aging_tick(tick, AGING_PERIOD));
+        prop_assert!(!is_aging_tick(tick + 1, AGING_PERIOD));
+        let idx = pick_next(&jobs, tick, AGING_PERIOD).expect("non-empty");
+        prop_assert_eq!(jobs[idx].seq, 0, "aging tick must take the oldest arrival");
+        // Exactly one aging tick per period window.
+        let ticks = (tick + 1..tick + 1 + AGING_PERIOD)
+            .filter(|&d| is_aging_tick(d, AGING_PERIOD))
+            .count();
+        prop_assert_eq!(ticks, 1);
+    }
+
+    /// Deadline-first dequeue never inverts priority classes: even
+    /// when every batch job carries an earlier deadline than every
+    /// interactive job, a non-aging pick still takes the interactive
+    /// class while one is present.
+    #[test]
+    fn deadlines_never_invert_classes(
+        n_batch in 1usize..12,
+        n_interactive in 1usize..12,
+        dequeues in 0u64..10_000,
+    ) {
+        prop_assume!(!is_aging_tick(dequeues, AGING_PERIOD));
+        let mut jobs = Vec::new();
+        // Batch jobs with the most urgent deadlines possible…
+        for i in 0..n_batch {
+            jobs.push(meta(true, i as u64, 1 + i as u64));
+        }
+        // …interactive jobs with late deadlines or none at all.
+        for i in 0..n_interactive {
+            let dl = if i % 2 == 0 { 0 } else { 1_000_000 + i as u64 };
+            jobs.push(meta(false, (n_batch + i) as u64, dl));
+        }
+        let idx = pick_next(&jobs, dequeues, AGING_PERIOD).expect("non-empty");
+        prop_assert_eq!(
+            jobs[idx].class,
+            Priority::Interactive,
+            "an urgent batch deadline must not beat the interactive class"
+        );
+    }
+
+    /// A full drain dispatches every job exactly once, whatever the
+    /// class/deadline mix — the policy can reorder but never drop or
+    /// duplicate.
+    #[test]
+    fn drain_is_a_permutation(
+        raw in vec((any::<bool>(), 0u64..6), 1..40),
+        start_dequeues in 0u64..1_000,
+    ) {
+        let mut jobs: Vec<JobMeta> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(batch, dl))| meta(batch, i as u64, dl))
+            .collect();
+        let total = jobs.len();
+        let mut seen = vec![false; total];
+        let mut dequeues = start_dequeues;
+        while let Some(idx) = pick_next(&jobs, dequeues, AGING_PERIOD) {
+            let picked = jobs.remove(idx);
+            dequeues += 1;
+            let slot = picked.seq as usize;
+            prop_assert!(!seen[slot], "job {slot} dispatched twice");
+            seen[slot] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "drain left jobs behind");
+    }
+
+    /// Quota accounting is exact under random admit / complete /
+    /// disconnect interleavings: the table always agrees with a
+    /// reference model, per tenant and in total.
+    #[test]
+    fn quota_table_matches_reference_model(
+        cap in 0u64..6,
+        events in vec((0u8..100, 0u64..4), 1..200),
+    ) {
+        let table = QuotaTable::new(cap);
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut model_rejected = 0u64;
+
+        for &(kind, tenant) in &events {
+            match kind {
+                // ~60%: admission attempts.
+                0..=59 => {
+                    let inflight = model.get(&tenant).copied().unwrap_or(0);
+                    let want_admit = cap == 0 || inflight < cap;
+                    let got = table.try_admit(tenant);
+                    prop_assert_eq!(got, want_admit, "admit mismatch for tenant {}", tenant);
+                    if want_admit {
+                        *model.entry(tenant).or_insert(0) += 1;
+                    } else {
+                        model_rejected += 1;
+                    }
+                }
+                // ~30%: completions (including spurious ones for idle
+                // tenants, which must be no-ops).
+                60..=89 => {
+                    table.complete(tenant);
+                    if let Some(slot) = model.get_mut(&tenant) {
+                        *slot -= 1;
+                        if *slot == 0 {
+                            model.remove(&tenant);
+                        }
+                    }
+                }
+                // ~10%: disconnects; the table must report exactly the
+                // outstanding admissions it forgets.
+                _ => {
+                    let outstanding = model.remove(&tenant).unwrap_or(0);
+                    prop_assert_eq!(table.drop_tenant(tenant), outstanding);
+                }
+            }
+            for (&t, &want) in &model {
+                prop_assert_eq!(table.inflight(t), want, "tenant {} inflight diverged", t);
+            }
+        }
+        prop_assert_eq!(table.rejected(), model_rejected);
+        prop_assert_eq!(table.tenants(), model.len());
+        // Settle everything: the ledger must end empty.
+        let tenants: Vec<u64> = model.keys().copied().collect();
+        for t in tenants {
+            table.drop_tenant(t);
+        }
+        prop_assert_eq!(table.tenants(), 0);
+    }
+}
+
+/// Deterministic end-to-end check of the documented starvation bound:
+/// with `AGING_PERIOD = 16`, a batch job behind an endless interactive
+/// flood waits at most 16 dispatches — and with aging disabled
+/// (period 0) it genuinely starves.
+#[test]
+fn aging_bound_is_tight_and_necessary() {
+    let flood = |aging: u64, limit: u64| -> Option<u64> {
+        let mut jobs = vec![meta(true, 0, 0)];
+        let mut seq = 1u64;
+        for _ in 0..4 {
+            jobs.push(meta(false, seq, 0));
+            seq += 1;
+        }
+        for waited in 1..=limit {
+            let idx = pick_next(&jobs, waited - 1, aging).expect("non-empty");
+            let picked = jobs.remove(idx);
+            if picked.seq == 0 {
+                return Some(waited);
+            }
+            jobs.push(meta(false, seq, 0));
+            seq += 1;
+        }
+        None
+    };
+    let waited = flood(AGING_PERIOD, 10 * AGING_PERIOD).expect("aging must rescue the batch job");
+    assert!(waited <= AGING_PERIOD, "waited {waited} > AGING_PERIOD");
+    assert_eq!(flood(0, 10 * AGING_PERIOD), None, "without aging the flood starves batch forever");
+}

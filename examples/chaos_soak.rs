@@ -25,11 +25,20 @@
 //! transport error or stale handle re-uploads the local mirror under a
 //! fresh handle, so the oracle never drifts from the server.
 //!
+//! `--pipeline` switches the workload to protocol v6 pipelining: each
+//! client keeps up to 8 request-id-tagged rank-by-handle frames in
+//! flight, so injected short reads/writes land *mid-pipeline* and a
+//! killed connection forfeits a whole outstanding window (the client
+//! resyncs and the accounting assertions still must hold exactly).
+//! `--tcp` runs the same storm through the daemon's TCP listener.
+//!
 //! ```sh
 //! cargo run --release --example chaos_soak -- --clients 4 --requests 80
 //! cargo run --release --example chaos_soak -- --fault \
 //!     "io_err=0.02,delay=2ms@0.05,short_write=0.02,exec_panic=0.05" \
 //!     --clients 8 --requests 100
+//! cargo run --release --example chaos_soak -- --pipeline --tcp \
+//!     --clients 4 --requests 200
 //! ```
 
 #[cfg(not(unix))]
@@ -41,7 +50,7 @@ fn main() {
 #[cfg(unix)]
 fn main() {
     use engine::client::{Client, ClientError, RetryPolicy};
-    use engine::protocol::{self, ErrorCode, FrameKind};
+    use engine::protocol::{self, ErrorCode, FrameKind, ReqFlags};
     use engine::server::{ServeConfig, Server};
     use engine::{Engine, EngineConfig, FaultConfig, FaultPlane};
     use listkit::dynamic::{Edit, MutableList};
@@ -55,6 +64,8 @@ fn main() {
     let mut n = 2_000usize;
     let mut fault_spec = String::from("default");
     let mut socket: Option<String> = None;
+    let mut pipeline = false;
+    let mut tcp = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -69,9 +80,11 @@ fn main() {
             "--n" => n = val("--n").parse().expect("vertices"),
             "--fault" => fault_spec = val("--fault"),
             "--socket" => socket = Some(val("--socket")),
+            "--pipeline" => pipeline = true,
+            "--tcp" => tcp = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}\nUSAGE: chaos_soak [--clients N] [--requests M] [--n V] [--fault SPEC] [--socket PATH]"
+                    "unknown flag {other}\nUSAGE: chaos_soak [--clients N] [--requests M] [--n V] [--fault SPEC] [--pipeline] [--tcp] [--socket PATH]"
                 );
                 std::process::exit(2);
             }
@@ -96,9 +109,15 @@ fn main() {
         }
     }));
 
+    if tcp && socket.is_some() {
+        eprintln!("--tcp drives the in-process daemon's TCP listener; with an external daemon pass --socket only");
+        std::process::exit(2);
+    }
+
     // In-process daemon with the fault plane armed, unless pointed at
     // an external (presumably already-faulted) daemon.
     let mut spawned = None;
+    let mut tcp_addr: Option<String> = None;
     let path = match socket {
         Some(p) => p,
         None => {
@@ -113,20 +132,35 @@ fn main() {
                 .into_owned();
             let engine =
                 Arc::new(Engine::new(EngineConfig::default().with_fault(Arc::clone(&plane))));
-            let server = Server::bind(
-                Arc::clone(&engine),
-                ServeConfig::new(&p).with_fault(Arc::clone(&plane)),
-            )
-            .expect("bind soak socket");
+            let mut serve_cfg = ServeConfig::new(&p).with_fault(Arc::clone(&plane));
+            if tcp {
+                serve_cfg = serve_cfg.with_tcp(Some("127.0.0.1:0".to_string()));
+            }
+            let server = Server::bind(Arc::clone(&engine), serve_cfg).expect("bind soak socket");
+            tcp_addr = server.tcp_local_addr().map(|a| a.to_string());
             let control = server.control();
             let join = std::thread::spawn(move || server.run());
             spawned = Some((engine, control, join, plane));
             p
         }
     };
+    let connect = |tcp_addr: &Option<String>, path: &str, seed: u64| -> Client {
+        let policy = RetryPolicy::default().with_seed(seed);
+        match tcp_addr {
+            Some(addr) => {
+                Client::connect_tcp_with_retry(addr.as_str(), policy).expect("connect tcp")
+            }
+            None => Client::connect_with_retry(path, policy).expect("connect"),
+        }
+    };
 
+    let workload = if pipeline { "pipelined (depth 8)" } else { "serial" };
+    let transport = match &tcp_addr {
+        Some(addr) => format!("tcp {addr}"),
+        None => format!("socket {path}"),
+    };
     println!(
-        "chaos_soak: {clients} clients × {requests} requests, {n}-vertex lists, faults [{fault_spec}], socket {path}"
+        "chaos_soak: {clients} clients × {requests} requests, {n}-vertex lists, {workload} workload, faults [{fault_spec}], {transport}"
     );
     let t0 = Instant::now();
 
@@ -135,9 +169,9 @@ fn main() {
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             let path = path.clone();
+            let tcp_addr = tcp_addr.clone();
             std::thread::spawn(move || {
-                let policy = RetryPolicy::default().with_seed(0xC4A05_u64 ^ (c as u64) << 8);
-                let mut client = Client::connect_with_retry(&path, policy).expect("connect");
+                let mut client = connect(&tcp_addr, &path, 0xC4A05_u64 ^ (c as u64) << 8);
                 let runner = HostRunner::new(Algorithm::ReidMiller);
 
                 // The serial oracle: a local mirror of the resident
@@ -177,6 +211,73 @@ fn main() {
                     panic!("PUT could not be placed in 200 attempts");
                 };
                 let mut handle = reput(&mut client, &mirror);
+
+                if pipeline {
+                    // Pipelined workload: up to 8 request-id-tagged
+                    // rank-by-handle frames in flight. A connection
+                    // killed mid-pipeline forfeits its outstanding
+                    // window; the client resyncs (reconnect + re-PUT)
+                    // and the oracle never drifts.
+                    const DEPTH: usize = 8;
+                    let mut sent = 0usize;
+                    let mut received = 0usize;
+                    let mut next_id = 1u64;
+                    while received < requests {
+                        let mut broke = false;
+                        while sent - received < DEPTH && sent < requests {
+                            let mut flags = ReqFlags::default().with_request_id(next_id);
+                            if sent.is_multiple_of(3) {
+                                flags = flags.with_deadline_ms(30_000);
+                            }
+                            let body = protocol::rank_h_body_flags(handle, flags);
+                            match client.send_encoded(FrameKind::RankH, &body) {
+                                Ok(()) => {
+                                    sent += 1;
+                                    next_id += 1;
+                                }
+                                Err(_) => {
+                                    broke = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !broke {
+                            match client.recv_pipelined::<u64>() {
+                                Ok((_id, Ok(served))) => {
+                                    assert_eq!(
+                                        served.output, expected,
+                                        "pipelined rank parity (client {c})"
+                                    );
+                                    ok += 1;
+                                    received += 1;
+                                }
+                                Ok((_id, Err(e))) => {
+                                    match e.server_code() {
+                                        Some(ErrorCode::StaleHandle) => {
+                                            handle = reput(&mut client, &mirror);
+                                            resyncs += 1;
+                                        }
+                                        Some(_) => {}
+                                        None => panic!("un-typed pipelined refusal: {e}"),
+                                    }
+                                    typed += 1;
+                                    received += 1;
+                                }
+                                Err(ClientError::Io(_)) => broke = true,
+                                Err(e) => panic!("un-typed pipelined failure: {e}"),
+                            }
+                        }
+                        if broke {
+                            transport += 1;
+                            received = sent;
+                            let _ = client.reconnect();
+                            handle = reput(&mut client, &mirror);
+                            resyncs += 1;
+                        }
+                    }
+                    let _ = client.drop_handle(handle);
+                    return (ok, typed, transport, resyncs);
+                }
 
                 for r in 0..requests {
                     if r % 5 == 4 {
@@ -286,9 +387,7 @@ fn main() {
     // Exact store accounting: every connection is closed, so the store
     // must be empty — a leak here means a fault path dropped a handle
     // on the floor without releasing its budget.
-    let mut probe =
-        Client::connect_with_retry(&path, RetryPolicy::default().with_seed(0x960BE_u64))
-            .expect("probe");
+    let mut probe = connect(&tcp_addr, &path, 0x960BE_u64);
     // The probe itself runs through the fault plane, so ride out any
     // injected error on the stats exchange too.
     let mut attempts = 0;

@@ -25,6 +25,16 @@
 //!   keeps a local mirror of its dataset and checks every rank reply
 //!   byte-for-byte against a from-scratch solve of the mirror — the
 //!   dynamic-lists path (protocol v4) under live traffic.
+//! * `--mode pipeline` — one PUT per client, then rank-by-handle with
+//!   up to `--pipeline-depth` requests in flight on one connection
+//!   (protocol v6 request ids). With no explicit depth the bench
+//!   sweeps depths {1, 4, 8, 16} and reports the speedup over the
+//!   depth-1 (serial) baseline; every reply is still checked against
+//!   the local oracle, so the speedup comes with byte parity.
+//!
+//! `--tcp` runs the same workload over the daemon's TCP listener
+//! (in-process servers bind `127.0.0.1:0`) instead of the Unix
+//! socket.
 //!
 //! Latency histograms time the round trip from *after* the request
 //! body is encoded to the decoded reply, so client-side encode cost
@@ -36,6 +46,8 @@
 //!     --clients 1 --requests 32
 //! cargo run --release --example serve_bench -- --mode mutate --n 100000 \
 //!     --clients 4 --requests 40 --mutate-every 4
+//! cargo run --release --example serve_bench -- --mode pipeline --tcp \
+//!     --clients 2 --requests 64 --n 20000
 //! ```
 
 #[cfg(not(unix))]
@@ -63,6 +75,31 @@ fn main() {
         Inline,
         Handle,
         Mutate,
+        Pipeline,
+    }
+
+    /// Where the client threads connect: the daemon's Unix socket or
+    /// its TCP listener — same protocol, same parity checks.
+    #[derive(Clone)]
+    enum Target {
+        Unix(String),
+        Tcp(String),
+    }
+
+    impl Target {
+        fn connect(&self) -> Client {
+            match self {
+                Target::Unix(p) => Client::connect(p).expect("connect"),
+                Target::Tcp(a) => Client::connect_tcp(a.as_str()).expect("connect tcp"),
+            }
+        }
+
+        fn describe(&self) -> String {
+            match self {
+                Target::Unix(p) => format!("socket {p}"),
+                Target::Tcp(a) => format!("tcp {a}"),
+            }
+        }
     }
 
     let mut clients = 4usize;
@@ -71,6 +108,8 @@ fn main() {
     let mut socket: Option<String> = None;
     let mut mode = Mode::Oneshot;
     let mut mutate_every = 4usize;
+    let mut pipeline_depth = 0usize; // 0 = sweep {1, 4, 8, 16}
+    let mut tcp = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -90,12 +129,19 @@ fn main() {
                     "inline" => Mode::Inline,
                     "handle" => Mode::Handle,
                     "mutate" => Mode::Mutate,
+                    "pipeline" => Mode::Pipeline,
                     other => {
-                        eprintln!("unknown --mode {other} (want oneshot|inline|handle|mutate)");
+                        eprintln!(
+                            "unknown --mode {other} (want oneshot|inline|handle|mutate|pipeline)"
+                        );
                         std::process::exit(2);
                     }
                 }
             }
+            "--pipeline-depth" => {
+                pipeline_depth = val("--pipeline-depth").parse().expect("depth");
+            }
+            "--tcp" => tcp = true,
             "--mutate-every" => {
                 mutate_every = val("--mutate-every").parse().expect("ratio");
                 if mutate_every == 0 {
@@ -105,15 +151,21 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--mode oneshot|inline|handle|mutate] [--mutate-every K] [--socket PATH]"
+                    "unknown flag {other}\nUSAGE: serve_bench [--clients N] [--requests M] [--n V] [--mode oneshot|inline|handle|mutate|pipeline] [--mutate-every K] [--pipeline-depth D] [--tcp] [--socket PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    if tcp && socket.is_some() {
+        eprintln!("--tcp drives the in-process daemon's TCP listener; with an external daemon pass --socket only");
+        std::process::exit(2);
+    }
+
     // In-process daemon unless pointed at an external one.
     let mut spawned = None;
+    let mut tcp_addr = None;
     let path = match socket {
         Some(p) => p,
         None => {
@@ -122,35 +174,124 @@ fn main() {
                 .to_string_lossy()
                 .into_owned();
             let engine = Arc::new(Engine::new(EngineConfig::default()));
-            let server =
-                Server::bind(Arc::clone(&engine), ServeConfig::new(&p)).expect("bind bench socket");
+            let mut cfg = ServeConfig::new(&p);
+            if tcp {
+                cfg = cfg.with_tcp(Some("127.0.0.1:0".to_string()));
+            }
+            let server = Server::bind(Arc::clone(&engine), cfg).expect("bind bench socket");
+            tcp_addr = server.tcp_local_addr().map(|a| a.to_string());
             let control = server.control();
             let join = std::thread::spawn(move || server.run());
             spawned = Some((engine, control, join));
             p
         }
     };
+    let target = match tcp_addr {
+        Some(addr) => Target::Tcp(addr),
+        None => Target::Unix(path.clone()),
+    };
+
+    // Pipelined mode has its own driver: a windowed in-flight loop per
+    // connection, swept over depths so the serial baseline and the
+    // pipelined runs come from the same process and dataset shapes.
+    if mode == Mode::Pipeline {
+        let depths: Vec<usize> =
+            if pipeline_depth == 0 { vec![1, 4, 8, 16] } else { vec![pipeline_depth] };
+        println!(
+            "serve_bench: {clients} clients × {requests} requests, {n}-vertex resident lists, mode pipeline, depths {depths:?}, {}",
+            target.describe()
+        );
+        let mut base_rps: Option<f64> = None;
+        for &depth in &depths {
+            assert!(depth >= 1, "--pipeline-depth must be ≥ 1");
+            let t_depth = Instant::now();
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let target = target.clone();
+                    std::thread::spawn(move || {
+                        let mut client = target.connect();
+                        let runner = HostRunner::new(Algorithm::ReidMiller);
+                        let fixed = gen::random_list(n, c as u64 * 1009);
+                        let expected = runner.rank(&fixed);
+                        let handle = client.put(&fixed).expect("put").handle;
+                        let mut inflight = 0usize;
+                        let mut next_id = 1u64;
+                        let mut done = 0usize;
+                        while done < requests {
+                            while inflight < depth && next_id as usize <= requests {
+                                client.send_rank_h(handle, next_id).expect("pipelined send");
+                                next_id += 1;
+                                inflight += 1;
+                            }
+                            let (_id, res) = client.recv_pipelined::<u64>().expect("recv");
+                            let served = res.expect("pipelined request served");
+                            assert_eq!(served.output, expected, "pipelined rank parity");
+                            inflight -= 1;
+                            done += 1;
+                        }
+                        client.drop_handle(handle).expect("drop handle");
+                        (requests * n) as u64
+                    })
+                })
+                .collect();
+            let mut elements = 0u64;
+            for w in workers {
+                elements += w.join().expect("client");
+            }
+            let elapsed = t_depth.elapsed().as_secs_f64();
+            let total = clients * requests;
+            let rps = total as f64 / elapsed;
+            let base = *base_rps.get_or_insert(rps);
+            println!(
+                "pipeline depth {depth:>2}: {total} requests ({elements} vertices) in {elapsed:.3}s — {rps:.1} req/s, {:.2}× vs depth {}, all parity-checked",
+                rps / base,
+                depths[0]
+            );
+        }
+
+        let mut probe = target.connect();
+        let v2 = probe.stats_v2().expect("stats_v2");
+        let sc = &v2.sched;
+        println!(
+            "scheduler gauges: {} pipelined requests, max depth {}, {} reordered replies, {} interactive / {} batch dispatched",
+            sc.pipelined_requests,
+            sc.max_pipeline_depth,
+            sc.reply_reorders,
+            sc.dispatched_interactive,
+            sc.dispatched_batch
+        );
+        drop(probe);
+        if let Some((engine, control, join)) = spawned {
+            control.request_shutdown();
+            join.join().expect("server thread").expect("server run");
+            drop(engine);
+        }
+        return;
+    }
 
     let mode_name = match mode {
         Mode::Oneshot => "oneshot",
         Mode::Inline => "inline",
         Mode::Handle => "handle",
         Mode::Mutate => "mutate",
+        Mode::Pipeline => unreachable!("pipeline mode returned above"),
     };
     match mode {
         Mode::Mutate => println!(
-            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode mutate (1 mutation per {mutate_every} requests), socket {path}"
+            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode mutate (1 mutation per {mutate_every} requests), {}",
+            target.describe()
         ),
         _ => println!(
-            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode {mode_name}, socket {path}"
+            "serve_bench: {clients} clients × {requests} requests, {n}-vertex lists, mode {mode_name}, {}",
+            target.describe()
         ),
     }
     let t0 = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
-            let path = path.clone();
+            let target = target.clone();
             std::thread::spawn(move || {
-                let mut client = Client::connect(&path).expect("connect");
+                let mut client = target.connect();
                 let runner = HostRunner::new(Algorithm::ReidMiller);
                 let mut elements = 0u64;
                 // Client-observed wall-clock latency per op kind,
@@ -242,7 +383,9 @@ fn main() {
                             protocol::scan_h_body(h, &values, WireOp::Add, false),
                         )
                     }
-                    Mode::Mutate => unreachable!("mutate mode returned above"),
+                    Mode::Mutate | Mode::Pipeline => {
+                        unreachable!("mutate/pipeline modes returned above")
+                    }
                 };
 
                 for r in 0..requests {
@@ -325,7 +468,7 @@ fn main() {
         }
     }
 
-    let mut probe = Client::connect(&path).expect("probe");
+    let mut probe = target.connect();
     if mode == Mode::Handle || mode == Mode::Mutate {
         let v2 = probe.stats_v2().expect("stats_v2");
         let s = &v2.store;

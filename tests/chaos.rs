@@ -11,18 +11,26 @@
 //! 3. after all clients disconnect the store is empty and the server
 //!    drains to a clean exit.
 //!
-//! The quick soak rides every CI run; the heavy one is `#[ignore]`d
+//! Protocol v6 adds a pipelined variant of the storm: the same
+//! invariants, but with up to 8 request-id-tagged frames in flight per
+//! connection (over the Unix socket *and* the TCP listener), injected
+//! short reads/writes landing mid-pipeline, and clients killed with a
+//! full window outstanding — after which the store must be empty and
+//! the scheduler's in-flight gauges must drain to zero.
+//!
+//! The quick soaks ride every CI run; the heavy ones are `#[ignore]`d
 //! and picked up by the nightly `--include-ignored` pass.
 #![cfg(unix)]
 
 use engine::client::{Client, ClientError, RetryPolicy};
-use engine::protocol::{self, ErrorCode, FrameKind};
+use engine::protocol::{self, ErrorCode, FrameKind, ReqFlags};
 use engine::server::{ServeConfig, Server};
 use engine::{Engine, EngineConfig, FaultConfig, FaultPlane};
 use listkit::dynamic::{Edit, MutableList};
 use listkit::gen;
 use listrank::{Algorithm, HostRunner};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Silence the default panic report for *injected* worker panics (they
 /// are caught and recovered by design); real panics keep reporting.
@@ -183,6 +191,159 @@ fn soak(tag: &str, clients: usize, requests: usize, n: usize, spec: &str) -> u64
     plane.snapshot().total()
 }
 
+/// The pipelined storm: every client keeps up to `depth` request-id
+/// tagged rank-by-handle frames in flight on one connection while the
+/// fault plane injects I/O errors, delays, and short reads/writes
+/// mid-pipeline. Invariants are the serial soak's, plus: a connection
+/// killed by a fault forfeits its outstanding window (those replies
+/// are gone with the socket), and the client must be able to resync —
+/// reconnect, re-PUT, restart the pipeline — without the oracle ever
+/// drifting. Runs over the Unix socket or the TCP listener.
+fn pipelined_soak(
+    tag: &str,
+    clients: usize,
+    requests: usize,
+    n: usize,
+    spec: &str,
+    depth: usize,
+    tcp: bool,
+) -> u64 {
+    quiet_injected_panics();
+    let plane = Arc::new(FaultPlane::new(FaultConfig::parse(spec).expect("valid fault spec")));
+    let path = std::env::temp_dir()
+        .join(format!("rankd-chaos-{tag}-{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let engine = Arc::new(Engine::new(
+        EngineConfig::default().with_workers(2).with_fault(Arc::clone(&plane)),
+    ));
+    let mut cfg = ServeConfig::new(&path).with_fault(Arc::clone(&plane));
+    if tcp {
+        cfg = cfg.with_tcp(Some("127.0.0.1:0".to_string()));
+    }
+    let server = Server::bind(Arc::clone(&engine), cfg).expect("bind chaos socket");
+    let tcp_addr = server.tcp_local_addr().map(|a| a.to_string());
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let connect = move |path: &str, tcp_addr: &Option<String>, seed: u64| -> Client {
+        let policy = RetryPolicy::default().with_seed(seed);
+        match tcp_addr {
+            Some(addr) => {
+                Client::connect_tcp_with_retry(addr.as_str(), policy).expect("connect tcp")
+            }
+            None => Client::connect_with_retry(path, policy).expect("connect"),
+        }
+    };
+
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let path = path.clone();
+            let tcp_addr = tcp_addr.clone();
+            std::thread::spawn(move || {
+                let mut client = connect(&path, &tcp_addr, 0xC4A05 ^ (c as u64) << 8);
+                let runner = HostRunner::new(Algorithm::ReidMiller);
+                let fixed = gen::random_list(n, c as u64 * 7919);
+                let mirror = MutableList::from_list(&fixed);
+                let expected = runner.rank(&fixed);
+                let mut handle = reput(&mut client, &mirror);
+
+                let mut sent = 0usize;
+                let mut received = 0usize;
+                let mut next_id = 1u64;
+                while received < requests {
+                    // Fill the window. `send_encoded` is fire-and-forget:
+                    // a failed send means the connection is gone and the
+                    // whole outstanding window is forfeit.
+                    let mut broke = false;
+                    while sent - received < depth && sent < requests {
+                        let mut flags = ReqFlags::default().with_request_id(next_id);
+                        if sent.is_multiple_of(3) {
+                            flags = flags.with_deadline_ms(30_000);
+                        }
+                        let body = protocol::rank_h_body_flags(handle, flags);
+                        match client.send_encoded(FrameKind::RankH, &body) {
+                            Ok(()) => {
+                                sent += 1;
+                                next_id += 1;
+                            }
+                            Err(_) => {
+                                broke = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !broke {
+                        match client.recv_pipelined::<u64>() {
+                            Ok((_id, Ok(served))) => {
+                                assert_eq!(
+                                    served.output, expected,
+                                    "pipelined rank parity (client {c})"
+                                );
+                                received += 1;
+                            }
+                            Ok((_id, Err(e))) => {
+                                // Typed per-request refusal mid-pipeline
+                                // (deadline, stale handle, shed, quota…).
+                                match e.server_code() {
+                                    Some(ErrorCode::StaleHandle) => {
+                                        handle = reput(&mut client, &mirror);
+                                    }
+                                    Some(_) => {}
+                                    None => panic!("un-typed pipelined refusal: {e}"),
+                                }
+                                received += 1;
+                            }
+                            Err(ClientError::Io(_)) => broke = true,
+                            Err(e) => panic!("un-typed pipelined failure: {e}"),
+                        }
+                    }
+                    if broke {
+                        // Killed mid-pipeline: the outstanding window is
+                        // lost with the socket. Resync and carry on.
+                        received = sent;
+                        let _ = client.reconnect();
+                        handle = reput(&mut client, &mirror);
+                    }
+                }
+                let _ = client.drop_handle(handle);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("pipelined chaos client must uphold the oracle");
+    }
+
+    // Exact store + scheduler accounting once every connection is gone:
+    // no resident bytes, and the in-flight gauges fully drained.
+    let mut probe = connect(&path, &tcp_addr, 0x960BE);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let v2 = loop {
+        match probe.stats_v2() {
+            Ok(v2) if v2.sched.inflight_interactive == 0 && v2.sched.inflight_batch == 0 => {
+                break v2
+            }
+            Ok(_) | Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+                let _ = probe.reconnect();
+            }
+            Ok(v2) => break v2,
+            Err(e) => panic!("stats probe could not get through: {e}"),
+        }
+    };
+    assert_eq!(v2.store.resident_count, 0, "resident datasets after full disconnect");
+    assert_eq!(v2.store.resident_bytes, 0, "resident bytes after full disconnect");
+    assert_eq!(v2.sched.inflight_interactive, 0, "interactive in-flight gauge must drain");
+    assert_eq!(v2.sched.inflight_batch, 0, "batch in-flight gauge must drain");
+    assert!(v2.sched.pipelined_requests > 0, "the storm must actually have pipelined");
+    drop(probe);
+
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+    drop(engine);
+    plane.snapshot().total()
+}
+
 #[test]
 fn quick_soak_under_default_fault_rates() {
     let injected = soak("quick", 3, 40, 600, "default");
@@ -195,6 +356,89 @@ fn quick_soak_with_heavy_exec_panics() {
     // the oracle and the store accounting must be untouched.
     let injected = soak("panics", 3, 40, 400, "exec_panic=0.05,io_err=0.01,short_write=0.01");
     assert!(injected >= 1);
+}
+
+#[test]
+fn quick_pipelined_soak_under_faults_unix() {
+    // Short reads/writes and I/O errors landing mid-pipeline over the
+    // Unix socket; depth-8 windows.
+    let injected = pipelined_soak(
+        "pipe-unix",
+        3,
+        60,
+        600,
+        "io_err=0.01,short_write=0.03,delay=1ms@0.03,seed=11",
+        8,
+        false,
+    );
+    assert!(injected >= 1, "the pipelined storm must inject something");
+}
+
+#[test]
+fn quick_pipelined_soak_under_faults_tcp() {
+    // Same storm through the TCP listener: one reactor, two transports,
+    // identical invariants.
+    let injected = pipelined_soak(
+        "pipe-tcp",
+        3,
+        60,
+        600,
+        "io_err=0.01,short_write=0.03,exec_panic=0.02,seed=13",
+        8,
+        true,
+    );
+    assert!(injected >= 1, "the pipelined storm must inject something");
+}
+
+/// A client killed with a full window of 8 frames in flight: the
+/// daemon must finish or discard the orphaned jobs, settle the quota
+/// ledger via `drop_tenant`, release every resident dataset, and drain
+/// the scheduler's in-flight gauges to exactly zero — no faults armed,
+/// so the accounting must be *exact*, not approximate.
+#[test]
+fn client_killed_with_eight_frames_in_flight_settles_accounting() {
+    let path = std::env::temp_dir()
+        .join(format!("rankd-chaos-kill8-{}.sock", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let engine = Arc::new(Engine::new(EngineConfig::default().with_workers(2)));
+    let server = Server::bind(Arc::clone(&engine), ServeConfig::new(&path).with_inflight_quota(8))
+        .expect("bind chaos socket");
+    let control = server.control();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&path).expect("connect");
+    let fixed = gen::random_list(60_000, 9);
+    let handle = client.put(&fixed).expect("put").handle;
+    for id in 1..=8u64 {
+        client.send_rank_h(handle, id).expect("pipelined send");
+    }
+    // Kill the connection with the full window outstanding.
+    drop(client);
+
+    let mut probe = Client::connect(&path).expect("probe");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let v2 = loop {
+        let v2 = probe.stats_v2().expect("stats_v2");
+        let drained = v2.sched.inflight_interactive == 0
+            && v2.sched.inflight_batch == 0
+            && v2.store.resident_count == 0;
+        if drained || Instant::now() >= deadline {
+            break v2;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(v2.store.resident_count, 0, "orphaned handle must be released");
+    assert_eq!(v2.store.resident_bytes, 0, "orphaned bytes must be released");
+    assert_eq!(v2.sched.inflight_interactive, 0, "in-flight gauge must drain after the kill");
+    assert_eq!(v2.sched.inflight_batch, 0);
+    assert_eq!(v2.sched.pipelined_requests, 8, "all eight frames were admitted");
+    assert_eq!(v2.sched.quota_rejected_inflight, 0, "the window exactly fills the quota");
+    drop(probe);
+
+    control.request_shutdown();
+    join.join().expect("server thread").expect("server run");
+    drop(engine);
 }
 
 /// The nightly long soak (`cargo test -- --include-ignored`): a
@@ -211,4 +455,22 @@ fn long_soak_at_elevated_rates() {
         "io_err=0.02,delay=2ms@0.05,short_write=0.02,exec_panic=0.02,store_err=0.01,seed=7",
     );
     assert!(injected >= 100, "an hour of storm must show a real fault count, got {injected}");
+}
+
+/// The nightly pipelined storm: elevated fault rates, deep windows,
+/// over TCP — the harshest path through the reactor (partial frames on
+/// both sides of every connection, windows forfeited and resynced).
+#[test]
+#[ignore = "long pipelined storm; nightly runs it via --include-ignored"]
+fn long_pipelined_storm_over_tcp() {
+    let injected = pipelined_soak(
+        "pipe-nightly",
+        8,
+        400,
+        2_000,
+        "io_err=0.02,delay=2ms@0.05,short_write=0.04,exec_panic=0.02,seed=17",
+        8,
+        true,
+    );
+    assert!(injected >= 100, "a real storm must show a real fault count, got {injected}");
 }
